@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for the EDM machinery: ensemble
+//! construction, distribution merging, and the KL-divergence kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use edm_core::dist::{kl_divergence, symmetric_kl, KL_SMOOTHING};
+use edm_core::{build_ensemble, wedm, EnsembleConfig, ProbDist};
+use qbench::registry;
+use qdevice::{presets, DeviceModel};
+use qmap::Transpiler;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random_dist(rng: &mut ChaCha8Rng, width: u32, support: usize) -> ProbDist {
+    let m = 1u64 << width;
+    let entries: Vec<(u64, f64)> = (0..support)
+        .map(|_| (rng.gen_range(0..m), rng.gen::<f64>() + 0.01))
+        .collect();
+    ProbDist::new(width, entries)
+}
+
+fn bench_ensemble(c: &mut Criterion) {
+    let device = DeviceModel::synthesize(presets::melbourne14(), 7);
+    let cal = device.calibration();
+    let transpiler = Transpiler::new(device.topology(), &cal);
+    let bv6 = registry::by_name("bv-6").expect("registered");
+
+    let mut group = c.benchmark_group("ensemble");
+    group.sample_size(20);
+    for k in [2usize, 4, 8] {
+        let config = EnsembleConfig {
+            size: k,
+            ..EnsembleConfig::default()
+        };
+        group.bench_function(format!("build_bv6_k{k}"), |b| {
+            b.iter(|| build_ensemble(&transpiler, black_box(&bv6.circuit), &config).expect("builds"))
+        });
+    }
+    group.finish();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let dists: Vec<ProbDist> = (0..8).map(|_| random_dist(&mut rng, 6, 50)).collect();
+
+    let mut group = c.benchmark_group("merge");
+    group.bench_function("kl_divergence_64_outcomes", |b| {
+        b.iter(|| kl_divergence(black_box(&dists[0]), black_box(&dists[1]), KL_SMOOTHING))
+    });
+    group.bench_function("symmetric_kl_64_outcomes", |b| {
+        b.iter(|| symmetric_kl(black_box(&dists[0]), black_box(&dists[1])))
+    });
+    group.bench_function("edm_merge_4", |b| {
+        b.iter(|| ProbDist::merge_uniform(black_box(&dists[..4])))
+    });
+    group.bench_function("wedm_merge_4", |b| {
+        b.iter(|| wedm::merge(black_box(&dists[..4])))
+    });
+    group.bench_function("wedm_merge_8", |b| {
+        b.iter(|| wedm::merge(black_box(&dists)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ensemble);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion micro-benchmarks for the transpiler: placement ranking and
+//! SWAP routing under both cost models (the paper's reliability-aware
+//! routing vs the swap-count baseline).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qbench::registry;
+use qdevice::{presets, DeviceModel};
+use qmap::{RoutingStrategy, Transpiler};
+
+fn bench_router(c: &mut Criterion) {
+    let device = DeviceModel::synthesize(presets::melbourne14(), 7);
+    let cal = device.calibration();
+
+    let mut group = c.benchmark_group("transpile");
+    for name in ["bv-6", "qaoa-6", "decode-24"] {
+        let bench = registry::by_name(name).expect("registered");
+        for (label, strategy) in [
+            ("reliability", RoutingStrategy::ReliabilityAware),
+            ("swap_count", RoutingStrategy::SwapCount),
+        ] {
+            let t = Transpiler::new(device.topology(), &cal).with_strategy(strategy);
+            group.bench_function(format!("{name}_{label}"), |b| {
+                b.iter(|| t.transpile(black_box(&bench.circuit)).expect("transpiles"))
+            });
+        }
+    }
+    let t = Transpiler::new(device.topology(), &cal);
+    let bv6 = registry::by_name("bv-6").expect("registered");
+    group.bench_function("rank_all_embeddings_bv6", |b| {
+        b.iter(|| t.ranked_layouts(black_box(&bv6.circuit), usize::MAX))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_router);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Tiny command-line parsing shared by the experiment binaries.
+
+/// Run parameters common to the experiment binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct RunArgs {
+    /// Trials per run (default: the paper's 16384).
+    pub shots: u64,
+    /// Experiment rounds (median is reported; default 5).
+    pub rounds: u64,
+    /// Base RNG / device seed.
+    pub seed: u64,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs {
+            shots: 16_384,
+            rounds: 5,
+            seed: 102,
+        }
+    }
+}
+
+/// Parses `--shots N`, `--rounds N`, `--seed N` from `std::env::args`.
+///
+/// Unknown flags abort with a usage message so typos are not silently
+/// ignored.
+pub fn parse() -> RunArgs {
+    let mut out = RunArgs::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut take = |name: &str| -> u64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("{name} expects an integer");
+                    std::process::exit(2);
+                })
+        };
+        match flag.as_str() {
+            "--shots" => out.shots = take("--shots"),
+            "--rounds" => out.rounds = take("--rounds"),
+            "--seed" => out.seed = take("--seed"),
+            other => {
+                eprintln!("unknown flag {other}; supported: --shots N --rounds N --seed N");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}

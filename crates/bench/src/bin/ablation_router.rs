@@ -1,0 +1,47 @@
+//! Ablation: reliability-aware routing vs swap-count-minimizing routing,
+//! the design choice of §5.2 (the paper's variation-aware baseline) vs the
+//! earlier swap-minimizing literature.
+
+use edm_bench::{args, experiments, setup, table};
+use edm_core::{metrics, ProbDist};
+use qbench::registry;
+use qmap::{RoutingStrategy, Transpiler};
+use qsim::NoisySimulator;
+
+fn main() {
+    let run = args::parse();
+    let device = setup::paper_device(run.seed);
+    let cal = experiments::compile_view(&device, experiments::DRIFT_SIGMA, run.seed);
+
+    table::header(&[
+        ("workload", 9),
+        ("strategy", 12),
+        ("swaps", 6),
+        ("esp", 7),
+        ("pst", 8),
+        ("ist", 8),
+    ]);
+    for bench in registry::all() {
+        for (label, strategy) in [
+            ("reliability", RoutingStrategy::ReliabilityAware),
+            ("swap-count", RoutingStrategy::SwapCount),
+        ] {
+            let t = Transpiler::new(device.topology(), &cal).with_strategy(strategy);
+            let out = t.transpile(&bench.circuit).expect("transpiles");
+            let counts = NoisySimulator::from_device(&device)
+                .run(&out.physical, run.shots, run.seed)
+                .expect("runs");
+            let dist = ProbDist::from_counts(&counts);
+            table::row(&[
+                (bench.name.to_string(), 9),
+                (label.to_string(), 12),
+                (out.swap_count.to_string(), 6),
+                (table::f(out.esp, 4), 7),
+                (table::f(metrics::pst(&dist, bench.correct), 4), 8),
+                (table::f(metrics::ist(&dist, bench.correct), 3), 8),
+            ]);
+        }
+    }
+    println!("\nmost Table-1 workloads embed swap-free (0 swaps, identical rows); the");
+    println!("strategies differ on the swap-heavy reversible circuits.");
+}

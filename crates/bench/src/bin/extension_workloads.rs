@@ -1,0 +1,59 @@
+//! Extension (beyond the paper): EDM on workload families the paper did not
+//! evaluate — QFT phase recovery and GHZ — to test that the ensemble
+//! benefit is not specific to the Table-1 suite (the paper's §8 future-work
+//! direction).
+
+use edm_bench::{args, setup, table};
+use edm_core::{metrics, EdmRunner, EnsembleConfig};
+use qbench::{ghz, qft};
+use qmap::Transpiler;
+use qsim::observables;
+use qsim::NoisySimulator;
+
+fn main() {
+    let run = args::parse();
+    let device = setup::paper_device(run.seed);
+    let cal = device.calibration();
+    let transpiler = Transpiler::new(device.topology(), &cal);
+    let backend = NoisySimulator::from_device(&device);
+    let runner = EdmRunner::new(&transpiler, &backend, EnsembleConfig::default());
+
+    println!("QFT phase recovery (correct answer = hidden k):");
+    table::header(&[("workload", 10), ("ist_base", 9), ("ist_edm", 8), ("ist_wedm", 9)]);
+    for (n, k) in [(3u32, 0b101u64), (4, 0b1011), (5, 0b10110)] {
+        let c = qft::phase_recovery(k, n);
+        let baseline = runner.run_baseline(&c, run.shots, run.seed).expect("baseline");
+        let result = runner.run(&c, run.shots, run.seed).expect("ensemble");
+        table::row(&[
+            (format!("qft-{n}"), 10),
+            (table::f(metrics::ist(&baseline.dist, k), 3), 9),
+            (table::f(result.ist_edm(k), 3), 8),
+            (table::f(result.ist_wedm(k), 3), 9),
+        ]);
+    }
+
+    println!("\nGHZ parity (coherence metric <X...X> = even-parity mass * 2 - 1):");
+    table::header(&[("workload", 10), ("parity_base", 12), ("parity_edm", 11)]);
+    for n in [3u32, 4, 5] {
+        let c = ghz::ghz_parity(n);
+        let baseline = runner.run_baseline(&c, run.shots, run.seed).expect("baseline");
+        let result = runner.run(&c, run.shots, run.seed).expect("ensemble");
+        let mask = (1u64 << n) - 1;
+        let base_parity = observables::expectation_parity(&baseline.counts, mask);
+        let edm_parity: f64 = result
+            .edm
+            .iter()
+            .map(|(k, p)| if (k & mask).count_ones().is_multiple_of(2) { p } else { -p })
+            .sum();
+        table::row(&[
+            (format!("ghz-{n}"), 10),
+            (table::f(base_parity, 3), 12),
+            (table::f(edm_parity, 3), 11),
+        ]);
+    }
+    println!("\nideal parity is 1.0; decoherence and readout errors pull it toward 0.");
+    println!("negative result worth recording: EDM improves *inference* (the QFT rows)");
+    println!("but not coherence metrics — merging distributions from mappings with");
+    println!("different systematic phases averages the GHZ parity away rather than");
+    println!("restoring it. Diversity helps identify answers, not preserve amplitudes.");
+}

@@ -1,0 +1,52 @@
+//! Figure 11: IST improvement of EDM and WEDM over the single-best-mapping
+//! baseline (paper: WEDM up to 2.3x, with every workload reaching IST > 1).
+
+use edm_bench::{args, experiments, setup, table};
+use edm_core::EnsembleConfig;
+use qbench::registry;
+
+fn main() {
+    let run = args::parse();
+    let config = EnsembleConfig::default();
+    println!(
+        "median of {} rounds, {} trials per policy per round",
+        run.rounds, run.shots
+    );
+    table::header(&[
+        ("workload", 9),
+        ("ist_base", 9),
+        ("ist_edm", 8),
+        ("ist_wedm", 9),
+        ("edm_x", 6),
+        ("wedm_x", 7),
+    ]);
+    let mut edm_best: f64 = 0.0;
+    let mut wedm_best: f64 = 0.0;
+    for bench in registry::ist_suite() {
+        let device = setup::paper_device(run.seed);
+        let r = experiments::median_round(
+            &bench,
+            &device,
+            &config,
+            run.shots,
+            experiments::DRIFT_SIGMA,
+            run.rounds,
+            run.seed,
+        );
+        let edm_x = r.edm.ist / r.best_estimated.ist;
+        let wedm_x = r.wedm.ist / r.best_estimated.ist;
+        edm_best = edm_best.max(edm_x);
+        wedm_best = wedm_best.max(wedm_x);
+        table::row(&[
+            (r.name.clone(), 9),
+            (table::f(r.best_estimated.ist, 3), 9),
+            (table::f(r.edm.ist, 3), 8),
+            (table::f(r.wedm.ist, 3), 9),
+            (table::f(edm_x, 2), 6),
+            (table::f(wedm_x, 2), 7),
+        ]);
+    }
+    println!(
+        "\nbest-case improvement: EDM {edm_best:.2}x (paper: up to 1.6x), WEDM {wedm_best:.2}x (paper: up to 2.3x)"
+    );
+}

@@ -1,0 +1,85 @@
+//! Figure 13 (Appendix A): IST vs PST for the buckets-and-balls model —
+//! uncorrelated, weak demon (Qcor = 10%), strong demon (Qcor = 50%) — the
+//! PST frontiers, and "experimental" points from the noisy simulator at a
+//! sweep of noise scales.
+
+use edm_bench::{args, experiments, setup, table};
+use edm_core::model::{pst_frontier, BucketModel, Demon};
+use edm_core::metrics;
+use qbench::registry;
+
+fn main() {
+    let run = args::parse();
+    let n = 8192;
+    let m = 64;
+    let k = 6; // k = log2(M), as the paper assumes
+
+    println!("model curves: median IST over {} Monte-Carlo rounds, N = {n} balls, M = {m} buckets", run.rounds);
+    table::header(&[
+        ("pst", 6),
+        ("iid", 8),
+        ("qcor=10%", 9),
+        ("qcor=50%", 9),
+        ("analytic_iid", 12),
+    ]);
+    let mut ps = 0.01;
+    while ps <= 0.121 {
+        let iid = BucketModel::uncorrelated(m, ps);
+        let weak = BucketModel::correlated(m, ps, k, 0.10);
+        let strong = BucketModel::correlated(m, ps, k, 0.50);
+        table::row(&[
+            (table::f(ps, 3), 6),
+            (table::f(iid.median_ist(n, run.rounds as u32, run.seed), 2), 8),
+            (table::f(weak.median_ist(n, run.rounds as u32, run.seed), 2), 9),
+            (
+                table::f(strong.median_ist(n, run.rounds as u32, run.seed), 2),
+                9,
+            ),
+            (table::f(iid.analytic_ist(n), 2), 12),
+        ]);
+        ps += 0.01;
+    }
+
+    println!("\nPST frontier (minimum PST with median IST >= 1):");
+    let f_iid = pst_frontier(m, None, n, run.rounds as u32, 0.002, run.seed);
+    let f_weak = pst_frontier(
+        m,
+        Some(Demon { num_hot: k, q_cor: 0.10 }),
+        n,
+        run.rounds as u32,
+        0.002,
+        run.seed,
+    );
+    let f_strong = pst_frontier(
+        m,
+        Some(Demon { num_hot: k, q_cor: 0.50 }),
+        n,
+        run.rounds as u32,
+        0.002,
+        run.seed,
+    );
+    println!("  uncorrelated: {f_iid:.3}  (paper: 0.018)");
+    println!("  qcor = 10%:   {f_weak:.3}  (paper: 0.036)");
+    println!("  qcor = 50%:   {f_strong:.3}  (paper: 0.08)");
+
+    println!("\nexperimental points (simulated device, noise scale sweep):");
+    table::header(&[("workload", 9), ("scale", 6), ("pst", 7), ("ist", 7)]);
+    for name in ["qaoa-6", "bv-6", "greycode"] {
+        let bench = registry::by_name(name).expect("registered");
+        for (i, scale) in [0.6, 0.8, 1.0, 1.3, 1.7].iter().enumerate() {
+            let device = setup::paper_device(run.seed + i as u64);
+            let device = device.with_truth(device.truth().scaled(*scale));
+            let members =
+                experiments::top_members(&bench, &device, 1, experiments::DRIFT_SIGMA, run.seed);
+            let dist = experiments::run_member(&members[0], &device, n, run.seed + i as u64);
+            table::row(&[
+                (name.to_string(), 9),
+                (table::f(*scale, 1), 6),
+                (table::f(metrics::pst(&dist, bench.correct), 4), 7),
+                (table::f(metrics::ist(&dist, bench.correct), 3), 7),
+            ]);
+        }
+    }
+    println!("\nshape check: experimental IST at a given PST sits below the uncorrelated curve,");
+    println!("between the demon curves — real(istic) devices make correlated mistakes.");
+}

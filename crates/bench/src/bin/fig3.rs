@@ -1,0 +1,44 @@
+//! Figure 3: output probability distribution of BV-6 under the single best
+//! mapping, outcomes sorted by frequency (paper: PST = 2.8%, the correct
+//! answer's relative strength = 68%, all 64 outcomes observed).
+
+use edm_bench::{args, experiments, setup, table};
+use edm_core::metrics;
+use qbench::registry;
+use qsim::counts::format_bitstring;
+
+fn main() {
+    let run = args::parse();
+    let bench = registry::by_name("bv-6").expect("bv-6 registered");
+    let device = setup::paper_device(run.seed);
+    let members = experiments::top_members(&bench, &device, 1, experiments::DRIFT_SIGMA, run.seed);
+    let dist = experiments::run_member(&members[0], &device, run.shots, run.seed);
+
+    println!(
+        "BV-6 (key {}) on the single best mapping, {} trials",
+        bench.correct_str(),
+        run.shots
+    );
+    table::header(&[("rank", 4), ("output", 7), ("probability", 11), ("", 8)]);
+    for (rank, (k, p)) in dist.sorted_descending().into_iter().enumerate() {
+        table::row(&[
+            (format!("{}", rank + 1), 4),
+            (format_bitstring(k, 6), 7),
+            (table::f(p, 4), 11),
+            (
+                if k == bench.correct {
+                    "correct".into()
+                } else {
+                    String::new()
+                },
+                8,
+            ),
+        ]);
+    }
+    println!(
+        "\noutcomes observed = {} / 64   PST = {}   IST (relative strength) = {}",
+        dist.support_len(),
+        table::f(metrics::pst(&dist, bench.correct), 4),
+        table::f(metrics::ist(&dist, bench.correct), 3),
+    );
+}

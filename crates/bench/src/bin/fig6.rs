@@ -1,0 +1,49 @@
+//! Figure 6: IST of BV-6 under eight individual mappings (A–H) and under
+//! the ensemble EDM = A+B+C+D. In the paper no individual mapping reaches
+//! IST ≥ 1 while the ensemble reaches 1.2.
+
+use edm_bench::{args, experiments, setup, table};
+use edm_core::{metrics, ProbDist};
+use qbench::registry;
+
+fn main() {
+    let run = args::parse();
+    let bench = registry::by_name("bv-6").expect("bv-6 registered");
+    let device = setup::paper_device(run.seed);
+    let members = experiments::top_members(&bench, &device, 8, experiments::DRIFT_SIGMA, run.seed);
+
+    println!("BV-6, {} trials per mapping", run.shots);
+    table::header(&[("mapping", 7), ("esp", 6), ("pst", 7), ("ist", 6)]);
+    let labels = ["A", "B", "C", "D", "E", "F", "G", "H"];
+    let mut dists = Vec::new();
+    for (i, m) in members.iter().enumerate() {
+        let dist = experiments::run_member(m, &device, run.shots, run.seed + 10 + i as u64);
+        table::row(&[
+            (labels[i.min(7)].to_string(), 7),
+            (table::f(m.esp, 3), 6),
+            (table::f(metrics::pst(&dist, bench.correct), 4), 7),
+            (table::f(metrics::ist(&dist, bench.correct), 3), 6),
+        ]);
+        dists.push(dist);
+    }
+
+    // EDM: the first four mappings with a quarter of the trials each.
+    let quarter = run.shots / 4;
+    let edm_dists: Vec<ProbDist> = members
+        .iter()
+        .take(4)
+        .enumerate()
+        .map(|(i, m)| experiments::run_member(m, &device, quarter, run.seed + 90 + i as u64))
+        .collect();
+    let edm = ProbDist::merge_uniform(&edm_dists);
+    table::row(&[
+        ("EDM".to_string(), 7),
+        ("-".to_string(), 6),
+        (table::f(metrics::pst(&edm, bench.correct), 4), 7),
+        (table::f(metrics::ist(&edm, bench.correct), 3), 6),
+    ]);
+    println!(
+        "\nEDM(A+B+C+D at {quarter} trials each) IST = {}",
+        table::f(metrics::ist(&edm, bench.correct), 3)
+    );
+}

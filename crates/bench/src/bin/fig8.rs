@@ -1,0 +1,57 @@
+//! Figure 8: compile-time ESP vs run-time PST for eight BV-6 mappings.
+//! The correlation is good but imperfect — the compile-time best (Map A)
+//! need not have the highest observed PST.
+
+use edm_bench::{args, experiments, setup, table};
+use edm_core::metrics;
+use qbench::registry;
+
+fn main() {
+    let run = args::parse();
+    let bench = registry::by_name("bv-6").expect("bv-6 registered");
+    let device = setup::paper_device(run.seed);
+    let members = experiments::top_members(&bench, &device, 8, experiments::DRIFT_SIGMA, run.seed);
+
+    table::header(&[("mapping", 7), ("esp", 7), ("pst", 7)]);
+    let labels = ["A", "B", "C", "D", "E", "F", "G", "H"];
+    let mut pairs = Vec::new();
+    for (i, m) in members.iter().enumerate() {
+        let dist = experiments::run_member(m, &device, run.shots, run.seed + 10 + i as u64);
+        let pst = metrics::pst(&dist, bench.correct);
+        table::row(&[
+            (labels[i.min(7)].to_string(), 7),
+            (table::f(m.esp, 4), 7),
+            (table::f(pst, 4), 7),
+        ]);
+        pairs.push((m.esp, pst));
+    }
+
+    // Pearson correlation between ESP and PST.
+    let n = pairs.len() as f64;
+    let (mx, my) = (
+        pairs.iter().map(|p| p.0).sum::<f64>() / n,
+        pairs.iter().map(|p| p.1).sum::<f64>() / n,
+    );
+    let cov: f64 = pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    let sx: f64 = pairs.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>().sqrt();
+    let sy: f64 = pairs.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>().sqrt();
+    let r = cov / (sx * sy);
+    let best_est = 0;
+    let best_run = pairs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap();
+    println!("\nPearson r(ESP, PST) = {r:.3}");
+    println!(
+        "best at compile time: Map {}; best at run time: Map {}{}",
+        ["A", "B", "C", "D", "E", "F", "G", "H"][best_est],
+        ["A", "B", "C", "D", "E", "F", "G", "H"][best_run],
+        if best_est == best_run {
+            " (calibration predicted correctly this round)"
+        } else {
+            " (imperfect ESP prediction, as in the paper)"
+        }
+    );
+}

@@ -1,0 +1,50 @@
+//! Figure 9: sensitivity of EDM to ensemble size. EDM-2 adds too little
+//! diversity (and can fall below the baseline); EDM-4 balances diversity
+//! against qubit quality; EDM-6 is forced onto weaker qubits.
+
+use edm_bench::{args, experiments, setup, table};
+use edm_core::EnsembleConfig;
+use qbench::registry;
+
+fn main() {
+    let run = args::parse();
+    println!(
+        "median of {} rounds, {} trials per policy per round",
+        run.rounds, run.shots
+    );
+    table::header(&[
+        ("workload", 9),
+        ("baseline", 9),
+        ("edm-2", 7),
+        ("edm-4", 7),
+        ("edm-6", 7),
+    ]);
+    for bench in registry::ist_suite() {
+        let device = setup::paper_device(run.seed);
+        let mut cells = vec![(bench.name.to_string(), 9)];
+        let mut baseline_printed = false;
+        for k in [2usize, 4, 6] {
+            let config = EnsembleConfig {
+                size: k,
+                // Larger ensembles must dig deeper into the ESP ranking.
+                min_esp_ratio: 0.0,
+                ..EnsembleConfig::default()
+            };
+            let r = experiments::median_round(
+                &bench,
+                &device,
+                &config,
+                run.shots,
+                experiments::DRIFT_SIGMA,
+                run.rounds,
+                run.seed,
+            );
+            if !baseline_printed {
+                cells.push((table::f(r.best_estimated.ist, 3), 9));
+                baseline_printed = true;
+            }
+            cells.push((table::f(r.edm.ist, 3), 7));
+        }
+        table::row(&cells);
+    }
+}

@@ -1,0 +1,38 @@
+//! Exploratory probe: where does the synthetic device land relative to the
+//! paper's operating regime? Not one of the paper's figures — a tuning aid.
+
+use edm_bench::{experiments, setup};
+use edm_core::EnsembleConfig;
+use qbench::registry;
+
+fn main() {
+    let shots = 16_384;
+    let config = EnsembleConfig::default();
+    println!("workload   seed  pst_base  ist_base  ist_post  ist_edm  ist_wedm  esp_spread");
+    for bench in registry::ist_suite() {
+        for seed in 0..3u64 {
+            let device = setup::paper_device(100 + seed);
+            let r = experiments::run_workload(
+                &bench,
+                &device,
+                &config,
+                shots,
+                experiments::DRIFT_SIGMA,
+                seed,
+            );
+            let esp_hi = r.members.first().map(|m| m.0).unwrap_or(0.0);
+            let esp_lo = r.members.last().map(|m| m.0).unwrap_or(0.0);
+            println!(
+                "{:9} {:5} {:9.4} {:9.3} {:9.3} {:8.3} {:9.3} {:9.3}",
+                r.name,
+                seed,
+                r.best_estimated.pst,
+                r.best_estimated.ist,
+                r.best_post_execution.ist,
+                r.edm.ist,
+                r.wedm.ist,
+                esp_hi / esp_lo.max(1e-9),
+            );
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Table 1: benchmark characteristics — description, expected output, and
+//! gate counts (ours vs the paper's RevLib-derived constructions).
+
+use edm_bench::table;
+use qbench::registry;
+
+fn main() {
+    table::header(&[
+        ("name", 9),
+        ("description", 22),
+        ("output", 8),
+        ("SG", 4),
+        ("CX", 4),
+        ("M", 3),
+        ("paper(SG,CX,M)", 15),
+    ]);
+    for b in registry::all() {
+        let s = b.circuit.decomposed().stats();
+        let (sg, cx, m) = b.paper_counts;
+        table::row(&[
+            (b.name.to_string(), 9),
+            (b.description.to_string(), 22),
+            (b.correct_str(), 8),
+            (s.single_qubit_gates.to_string(), 4),
+            (s.two_qubit_gates.to_string(), 4),
+            (s.measurements.to_string(), 3),
+            (format!("({sg},{cx},{m})"), 15),
+        ]);
+    }
+    println!("\ncounts are after lowering to the {{1q, CX}} basis, before routing;");
+    println!("the paper's constructions come from RevLib/Qiskit so absolute counts differ.");
+}

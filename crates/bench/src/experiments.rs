@@ -1,0 +1,174 @@
+//! Experiment drivers: one function per table/figure of the paper.
+
+use edm_core::{metrics, EdmRunner, EnsembleConfig, ProbDist};
+use qbench::Benchmark;
+use qdevice::DeviceModel;
+use qmap::Transpiler;
+use qsim::NoisySimulator;
+
+/// Calibration drift (log-normal sigma) between the compile-time view and
+/// the runtime truth. Non-zero drift reproduces the imperfect ESP-to-PST
+/// correlation of Fig. 8.
+pub const DRIFT_SIGMA: f64 = 0.15;
+
+/// Metrics of one executed mapping or merge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quality {
+    /// Probability of a successful trial.
+    pub pst: f64,
+    /// Inference strength.
+    pub ist: f64,
+}
+
+impl Quality {
+    fn of(dist: &ProbDist, correct: u64) -> Quality {
+        Quality {
+            pst: metrics::pst(dist, correct),
+            ist: metrics::ist(dist, correct),
+        }
+    }
+}
+
+/// The complete comparison the paper draws for one workload on one round:
+/// both baselines (§5.4), EDM, and WEDM.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// Workload name.
+    pub name: String,
+    /// The designated correct answer.
+    pub correct: u64,
+    /// Best mapping at compile time (highest ESP), run with all trials.
+    pub best_estimated: Quality,
+    /// Best mapping post execution (highest observed PST among members).
+    pub best_post_execution: Quality,
+    /// The uniform ensemble merge.
+    pub edm: Quality,
+    /// The divergence-weighted merge.
+    pub wedm: Quality,
+    /// Per-member (ESP, PST, IST) triples, ESP-descending.
+    pub members: Vec<(f64, f64, f64)>,
+}
+
+/// Builds the compile-time view of the device: the exact calibration when
+/// `drift_sigma == 0`, a drifted one otherwise.
+pub fn compile_view(device: &DeviceModel, drift_sigma: f64, seed: u64) -> qdevice::Calibration {
+    if drift_sigma > 0.0 {
+        device.drifted_calibration(drift_sigma, seed ^ 0xCA11B)
+    } else {
+        device.calibration()
+    }
+}
+
+/// Runs one workload for one round: a full-shot baseline on the best
+/// mapping plus an ensemble run with the trials split across `config.size`
+/// members, all against the same device truth but a `drift_sigma`-drifted
+/// compile-time calibration.
+pub fn run_workload(
+    bench: &Benchmark,
+    device: &DeviceModel,
+    config: &EnsembleConfig,
+    shots: u64,
+    drift_sigma: f64,
+    seed: u64,
+) -> WorkloadResult {
+    let cal = compile_view(device, drift_sigma, seed);
+    let transpiler = Transpiler::new(device.topology(), &cal);
+    let backend = NoisySimulator::from_device(device);
+    let runner = EdmRunner::new(&transpiler, &backend, *config);
+
+    let correct = bench.correct;
+    let baseline = runner
+        .run_baseline(&bench.circuit, shots, seed)
+        .expect("baseline run");
+    let ensemble = runner
+        .run(&bench.circuit, shots, seed.wrapping_add(0x5EED))
+        .expect("ensemble run");
+
+    let members = ensemble
+        .members
+        .iter()
+        .map(|m| {
+            (
+                m.member.esp,
+                metrics::pst(&m.dist, correct),
+                metrics::ist(&m.dist, correct),
+            )
+        })
+        .collect();
+
+    WorkloadResult {
+        name: bench.name.to_string(),
+        correct,
+        best_estimated: Quality::of(&baseline.dist, correct),
+        best_post_execution: Quality::of(&ensemble.best_post_execution(correct).dist, correct),
+        edm: Quality::of(&ensemble.edm, correct),
+        wedm: Quality::of(&ensemble.wedm, correct),
+        members,
+    }
+}
+
+/// Runs `rounds` rounds of [`run_workload`] and returns the round whose
+/// EDM-over-baseline improvement is the median (the paper's §4.2 protocol
+/// "reports the improvement for the median round").
+pub fn median_round(
+    bench: &Benchmark,
+    device: &DeviceModel,
+    config: &EnsembleConfig,
+    shots: u64,
+    drift_sigma: f64,
+    rounds: u64,
+    seed: u64,
+) -> WorkloadResult {
+    let mut results: Vec<WorkloadResult> = (0..rounds)
+        .map(|r| {
+            run_workload(
+                bench,
+                device,
+                config,
+                shots,
+                drift_sigma,
+                seed.wrapping_add(r.wrapping_mul(0x9E3779B97F4A7C15)),
+            )
+        })
+        .collect();
+    let ratio = |r: &WorkloadResult| {
+        if r.best_estimated.ist > 0.0 {
+            r.edm.ist / r.best_estimated.ist
+        } else {
+            f64::INFINITY
+        }
+    };
+    results.sort_by(|a, b| ratio(a).partial_cmp(&ratio(b)).expect("finite ratio"));
+    results.swap_remove(results.len() / 2)
+}
+
+/// The top-`k` ensemble members for a workload (ESP-descending), exposed
+/// for figure drivers that need the raw executables (Figs. 4, 6, 8).
+pub fn top_members(
+    bench: &Benchmark,
+    device: &DeviceModel,
+    k: usize,
+    drift_sigma: f64,
+    seed: u64,
+) -> Vec<edm_core::EnsembleMember> {
+    let cal = compile_view(device, drift_sigma, seed);
+    let transpiler = Transpiler::new(device.topology(), &cal);
+    let config = EnsembleConfig {
+        size: k,
+        ..EnsembleConfig::default()
+    };
+    edm_core::build_ensemble(&transpiler, &bench.circuit, &config).expect("ensemble")
+}
+
+/// Executes one prepared member for `shots` trials on the device truth.
+pub fn run_member(
+    member: &edm_core::EnsembleMember,
+    device: &DeviceModel,
+    shots: u64,
+    seed: u64,
+) -> ProbDist {
+    let counts = NoisySimulator::from_device(device)
+        .run(&member.physical, shots, seed)
+        .expect("member run");
+    ProbDist::from_counts(&counts)
+}

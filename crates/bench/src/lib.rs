@@ -1,0 +1,13 @@
+//! # edm-bench — experiment harness for the EDM reproduction
+//!
+//! One driver function per table/figure of the paper, shared by the
+//! `src/bin/*` binaries (which print the series the paper reports) and the
+//! Criterion micro-benchmarks in `benches/`.
+//!
+//! See `EXPERIMENTS.md` at the repository root for the paper-vs-measured
+//! record produced by these harnesses.
+
+pub mod args;
+pub mod experiments;
+pub mod setup;
+pub mod table;

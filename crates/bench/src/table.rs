@@ -1,0 +1,31 @@
+//! Minimal fixed-width text-table printer for the experiment binaries.
+
+/// Prints a header row followed by a separator.
+pub fn header(cols: &[(&str, usize)]) {
+    let mut line = String::new();
+    let mut sep = String::new();
+    for (name, w) in cols {
+        line.push_str(&format!("{name:>w$}  ", w = w));
+        sep.push_str(&format!("{:->w$}  ", "", w = w));
+    }
+    println!("{}", line.trim_end());
+    println!("{}", sep.trim_end());
+}
+
+/// Formats one cell-aligned row from pre-rendered strings.
+pub fn row(cells: &[(String, usize)]) {
+    let mut line = String::new();
+    for (cell, w) in cells {
+        line.push_str(&format!("{cell:>w$}  ", w = w));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Renders a fixed-precision float.
+pub fn f(x: f64, digits: usize) -> String {
+    if x.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{x:.digits$}")
+    }
+}

@@ -1,0 +1,260 @@
+//! Post-run analysis of wrong answers.
+//!
+//! The paper's §7 observes that state-dependent measurement bias makes
+//! wrong answers with *lower Hamming weight* than the correct answer appear
+//! disproportionately often. This module quantifies that structure in an
+//! output distribution: the Hamming-distance spectrum of the error mass and
+//! the net weight bias, plus bootstrap confidence intervals for IST (shot
+//! counts are finite, so single-point ISTs can mislead).
+
+use crate::{metrics, ProbDist};
+use qsim::Counts;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The distribution of error mass over Hamming distance from the correct
+/// answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorSpectrum {
+    /// `mass[d]` is the total probability at Hamming distance `d` from the
+    /// correct answer (index 0 is the correct answer itself).
+    pub mass: Vec<f64>,
+    /// Probability mass of wrong answers with *lower* Hamming weight than
+    /// the correct answer (flips of 1s toward 0s).
+    pub lighter_mass: f64,
+    /// Probability mass of wrong answers with *higher* Hamming weight.
+    pub heavier_mass: f64,
+}
+
+impl ErrorSpectrum {
+    /// The net readout-bias indicator: `lighter / (lighter + heavier)`.
+    /// Values well above 0.5 indicate 1→0 biased errors (§7).
+    pub fn bias_toward_zero(&self) -> f64 {
+        let total = self.lighter_mass + self.heavier_mass;
+        if total == 0.0 {
+            0.5
+        } else {
+            self.lighter_mass / total
+        }
+    }
+}
+
+/// Computes the error spectrum of a distribution around `correct`.
+///
+/// # Examples
+///
+/// ```
+/// use edm_core::{analysis, ProbDist};
+/// // Correct answer 11; errors one flip away.
+/// let d = ProbDist::new(2, [(0b11, 0.6), (0b01, 0.3), (0b10, 0.1)]);
+/// let s = analysis::error_spectrum(&d, 0b11);
+/// assert!((s.mass[0] - 0.6).abs() < 1e-12);
+/// assert!((s.mass[1] - 0.4).abs() < 1e-12);
+/// // Both wrong answers dropped a 1 -> fully biased toward zero.
+/// assert_eq!(s.bias_toward_zero(), 1.0);
+/// ```
+pub fn error_spectrum(dist: &ProbDist, correct: u64) -> ErrorSpectrum {
+    let width = dist.num_clbits();
+    let mut mass = vec![0.0; width as usize + 1];
+    let mut lighter = 0.0;
+    let mut heavier = 0.0;
+    let correct_weight = correct.count_ones();
+    for (k, p) in dist.iter() {
+        let d = (k ^ correct).count_ones() as usize;
+        mass[d] += p;
+        if k != correct {
+            match k.count_ones().cmp(&correct_weight) {
+                std::cmp::Ordering::Less => lighter += p,
+                std::cmp::Ordering::Greater => heavier += p,
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+    }
+    ErrorSpectrum {
+        mass,
+        lighter_mass: lighter,
+        heavier_mass: heavier,
+    }
+}
+
+/// A bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Point estimate from the full histogram.
+    pub estimate: f64,
+    /// Lower bound of the interval.
+    pub lo: f64,
+    /// Upper bound of the interval.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// True if the whole interval lies above 1 — the answer is inferable
+    /// with confidence.
+    pub fn confidently_above_one(&self) -> bool {
+        self.lo > 1.0
+    }
+}
+
+/// Bootstrap confidence interval for IST: resamples the histogram
+/// `resamples` times and takes the `[alpha/2, 1-alpha/2]` quantiles.
+///
+/// # Panics
+///
+/// Panics if the histogram is empty, `resamples == 0`, or `alpha` is not in
+/// `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use edm_core::analysis;
+/// use qsim::Counts;
+/// let mut counts = Counts::new(2);
+/// for _ in 0..600 { counts.record(0b11); }
+/// for _ in 0..300 { counts.record(0b01); }
+/// for _ in 0..100 { counts.record(0b00); }
+/// let ci = analysis::ist_confidence(&counts, 0b11, 200, 0.05, 7);
+/// assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+/// assert!(ci.confidently_above_one());
+/// ```
+pub fn ist_confidence(
+    counts: &Counts,
+    correct: u64,
+    resamples: u32,
+    alpha: f64,
+    seed: u64,
+) -> Interval {
+    assert!(counts.shots() > 0, "empty histogram");
+    assert!(resamples > 0, "need at least one resample");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+
+    let estimate = metrics::ist_from_counts(counts, correct);
+    let outcomes: Vec<(u64, u64)> = counts.iter().collect();
+    let total = counts.shots();
+    // Cumulative boundaries for multinomial resampling.
+    let mut cum = Vec::with_capacity(outcomes.len());
+    let mut acc = 0u64;
+    for &(_, n) in &outcomes {
+        acc += n;
+        cum.push(acc);
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut ists: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let mut resampled = Counts::new(counts.num_clbits());
+            for _ in 0..total {
+                let u = rng.gen_range(0..total) + 1;
+                let idx = cum.partition_point(|&c| c < u);
+                resampled.record(outcomes[idx].0);
+            }
+            metrics::ist_from_counts(&resampled, correct)
+        })
+        .collect();
+    ists.sort_by(|a, b| a.partial_cmp(b).expect("IST ordering"));
+    let lo_idx = ((alpha / 2.0) * resamples as f64) as usize;
+    let hi_idx = (((1.0 - alpha / 2.0) * resamples as f64) as usize).min(ists.len() - 1);
+    Interval {
+        estimate,
+        lo: ists[lo_idx],
+        hi: ists[hi_idx],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spectrum_masses_sum_to_one() {
+        let d = ProbDist::new(3, [(0b000, 0.5), (0b001, 0.2), (0b011, 0.2), (0b111, 0.1)]);
+        let s = error_spectrum(&d, 0b000);
+        let total: f64 = s.mass.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((s.mass[0] - 0.5).abs() < 1e-12);
+        assert!((s.mass[1] - 0.2).abs() < 1e-12);
+        assert!((s.mass[3] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bias_detects_one_to_zero_flips() {
+        // Correct 111; errors mostly drop 1s.
+        let d = ProbDist::new(
+            3,
+            [(0b111, 0.5), (0b110, 0.2), (0b011, 0.2), (0b101, 0.1)],
+        );
+        let s = error_spectrum(&d, 0b111);
+        assert_eq!(s.bias_toward_zero(), 1.0);
+        // Correct 000; errors must add 1s.
+        let d = ProbDist::new(3, [(0b000, 0.7), (0b100, 0.3)]);
+        let s = error_spectrum(&d, 0b000);
+        assert_eq!(s.bias_toward_zero(), 0.0);
+    }
+
+    #[test]
+    fn no_errors_means_neutral_bias() {
+        let d = ProbDist::new(2, [(0b01, 1.0)]);
+        let s = error_spectrum(&d, 0b01);
+        assert_eq!(s.bias_toward_zero(), 0.5);
+    }
+
+    #[test]
+    fn equal_weight_errors_are_neutral() {
+        // Correct 01 (weight 1); error 10 (weight 1): neither lighter nor
+        // heavier.
+        let d = ProbDist::new(2, [(0b01, 0.8), (0b10, 0.2)]);
+        let s = error_spectrum(&d, 0b01);
+        assert_eq!(s.lighter_mass, 0.0);
+        assert_eq!(s.heavier_mass, 0.0);
+    }
+
+    #[test]
+    fn bootstrap_interval_brackets_estimate() {
+        let mut c = Counts::new(3);
+        for _ in 0..400 {
+            c.record(0b101);
+        }
+        for _ in 0..250 {
+            c.record(0b001);
+        }
+        for _ in 0..350 {
+            c.record(0b111);
+        }
+        let ci = ist_confidence(&c, 0b101, 300, 0.05, 1);
+        assert!(ci.lo <= ci.estimate);
+        assert!(ci.estimate <= ci.hi);
+        // 400 vs 350: IST slightly above 1 but not confidently.
+        assert!(ci.estimate > 1.0);
+        assert!(!ci.confidently_above_one());
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_per_seed() {
+        let mut c = Counts::new(2);
+        c.extend([0b11, 0b11, 0b01, 0b00, 0b11, 0b01]);
+        let a = ist_confidence(&c, 0b11, 100, 0.1, 9);
+        let b = ist_confidence(&c, 0b11, 100, 0.1, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tight_interval_for_dominant_answer() {
+        let mut c = Counts::new(2);
+        for _ in 0..5000 {
+            c.record(0b10);
+        }
+        for _ in 0..100 {
+            c.record(0b01);
+        }
+        let ci = ist_confidence(&c, 0b10, 200, 0.05, 3);
+        assert!(ci.confidently_above_one());
+        assert!(ci.lo > 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram")]
+    fn bootstrap_rejects_empty() {
+        let c = Counts::new(1);
+        let _ = ist_confidence(&c, 0, 10, 0.05, 0);
+    }
+}

@@ -1,0 +1,432 @@
+//! Probability distributions over measurement outcomes.
+//!
+//! Implements the distribution algebra the paper relies on: normalization
+//! from shot counts, uniform and weighted merging (EDM §5.2 / WEDM §6.1),
+//! entropy, KL divergence and its symmetrized form (Appendix B), and the
+//! relative standard deviation used by the footnote-2 uniformity filter.
+
+use qsim::counts::format_bitstring;
+use qsim::Counts;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A normalized probability distribution over `num_clbits`-wide outcomes.
+///
+/// Only outcomes with non-zero probability are stored; all `2^m` outcomes
+/// are implicitly present with probability 0.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::Counts;
+/// use edm_core::ProbDist;
+///
+/// let mut counts = Counts::new(2);
+/// counts.extend([0b00, 0b00, 0b11, 0b01]);
+/// let dist = ProbDist::from_counts(&counts);
+/// assert!((dist.probability(0b00) - 0.5).abs() < 1e-12);
+/// assert_eq!(dist.most_probable(), Some(0b00));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbDist {
+    num_clbits: u32,
+    probs: BTreeMap<u64, f64>,
+}
+
+impl ProbDist {
+    /// Builds a distribution from raw `(outcome, probability)` pairs.
+    ///
+    /// Probabilities are renormalized to sum to 1; zero entries are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is negative or non-finite, if the total is
+    /// zero, or if an outcome exceeds the register width.
+    pub fn new(num_clbits: u32, entries: impl IntoIterator<Item = (u64, f64)>) -> Self {
+        let mut probs = BTreeMap::new();
+        let mut total = 0.0;
+        for (k, p) in entries {
+            assert!(p.is_finite() && p >= 0.0, "invalid probability {p}");
+            assert!(
+                num_clbits >= 63 || k < (1u64 << num_clbits),
+                "outcome {k:#b} wider than {num_clbits} bits"
+            );
+            if p > 0.0 {
+                *probs.entry(k).or_insert(0.0) += p;
+                total += p;
+            }
+        }
+        assert!(total > 0.0, "distribution must have positive total mass");
+        for v in probs.values_mut() {
+            *v /= total;
+        }
+        ProbDist { num_clbits, probs }
+    }
+
+    /// Normalizes a shot histogram into a distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty.
+    pub fn from_counts(counts: &Counts) -> Self {
+        ProbDist::new(
+            counts.num_clbits(),
+            counts.iter().map(|(k, v)| (k, v as f64)),
+        )
+    }
+
+    /// The uniform distribution over all `2^m` outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_clbits > 24` (the dense table would be too large).
+    pub fn uniform(num_clbits: u32) -> Self {
+        assert!(num_clbits <= 24, "uniform table too large");
+        let m = 1u64 << num_clbits;
+        ProbDist::new(num_clbits, (0..m).map(|k| (k, 1.0)))
+    }
+
+    /// Outcome register width in bits.
+    pub fn num_clbits(&self) -> u32 {
+        self.num_clbits
+    }
+
+    /// Number of outcomes in the full space, `2^m`.
+    pub fn num_outcomes(&self) -> u64 {
+        1u64 << self.num_clbits
+    }
+
+    /// Probability of `outcome` (0 if unobserved).
+    pub fn probability(&self, outcome: u64) -> f64 {
+        self.probs.get(&outcome).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates over the non-zero `(outcome, probability)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.probs.iter().map(|(&k, &p)| (k, p))
+    }
+
+    /// Number of outcomes with non-zero probability (the support size).
+    pub fn support_len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// The most probable outcome (smallest key on ties).
+    pub fn most_probable(&self) -> Option<u64> {
+        self.probs
+            .iter()
+            .max_by(|a, b| {
+                a.1.partial_cmp(b.1)
+                    .expect("probabilities are finite")
+                    .then(b.0.cmp(a.0))
+            })
+            .map(|(&k, _)| k)
+    }
+
+    /// The most probable outcome *excluding* `correct` — the paper's "most
+    /// frequently occurring erroneous output" — with its probability.
+    pub fn strongest_wrong(&self, correct: u64) -> Option<(u64, f64)> {
+        self.probs
+            .iter()
+            .filter(|(&k, _)| k != correct)
+            .max_by(|a, b| {
+                a.1.partial_cmp(b.1)
+                    .expect("probabilities are finite")
+                    .then(b.0.cmp(a.0))
+            })
+            .map(|(&k, &p)| (k, p))
+    }
+
+    /// Outcomes sorted from most to least probable (Fig. 3's presentation).
+    pub fn sorted_descending(&self) -> Vec<(u64, f64)> {
+        let mut v: Vec<(u64, f64)> = self.iter().collect();
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("probabilities are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        v
+    }
+
+    /// Shannon entropy in bits.
+    pub fn entropy(&self) -> f64 {
+        -self
+            .probs
+            .values()
+            .map(|&p| if p > 0.0 { p * p.log2() } else { 0.0 })
+            .sum::<f64>()
+    }
+
+    /// Relative standard deviation `σ/μ` of the probability vector over the
+    /// full `2^m` outcome space. The uniform distribution scores 0; a point
+    /// mass scores `sqrt(2^m - 1)`. Used by the footnote-2 filter to detect
+    /// runs drowned in extreme noise.
+    pub fn relative_std_dev(&self) -> f64 {
+        let m = self.num_outcomes() as f64;
+        let mean = 1.0 / m;
+        let sum_sq: f64 = self.probs.values().map(|&p| (p - mean).powi(2)).sum();
+        let zeros = m - self.support_len() as f64;
+        let var = (sum_sq + zeros * mean * mean) / m;
+        var.sqrt() / mean
+    }
+
+    /// Uniformly merges distributions (the EDM merge step, §5.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dists` is empty or widths differ.
+    pub fn merge_uniform(dists: &[ProbDist]) -> ProbDist {
+        let n = dists.len();
+        assert!(n > 0, "cannot merge zero distributions");
+        let w = vec![1.0 / n as f64; n];
+        ProbDist::merge_weighted(dists, &w)
+    }
+
+    /// Merges distributions with explicit weights (the WEDM merge step).
+    ///
+    /// Weights are renormalized to sum to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty, lengths differ, widths differ, or the
+    /// weights do not have positive total mass.
+    pub fn merge_weighted(dists: &[ProbDist], weights: &[f64]) -> ProbDist {
+        assert!(!dists.is_empty(), "cannot merge zero distributions");
+        assert_eq!(dists.len(), weights.len(), "one weight per distribution");
+        let width = dists[0].num_clbits;
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must have positive total mass");
+        let mut merged: BTreeMap<u64, f64> = BTreeMap::new();
+        for (d, &w) in dists.iter().zip(weights) {
+            assert_eq!(d.num_clbits, width, "mixed outcome widths");
+            assert!(w >= 0.0, "negative weight {w}");
+            for (k, p) in d.iter() {
+                *merged.entry(k).or_insert(0.0) += w / total * p;
+            }
+        }
+        ProbDist::new(width, merged)
+    }
+}
+
+impl fmt::Display for ProbDist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "dist({} outcomes observed)", self.support_len())?;
+        for (k, p) in self.sorted_descending().into_iter().take(8) {
+            writeln!(f, "  {}: {:.4}", format_bitstring(k, self.num_clbits), p)?;
+        }
+        Ok(())
+    }
+}
+
+/// KL divergence `D(P‖Q) = Σ P_i · ln(P_i / Q_i)` in nats with additive
+/// smoothing.
+///
+/// Empirical NISQ distributions have finite support, so the raw definition
+/// diverges whenever P observes an outcome Q never saw. Every outcome in the
+/// full `2^m` space therefore receives pseudo-mass `alpha` before
+/// normalization (pass `alpha = 0.0` for the textbook definition, which may
+/// return infinity).
+///
+/// # Panics
+///
+/// Panics if the widths differ or `alpha` is negative.
+pub fn kl_divergence(p: &ProbDist, q: &ProbDist, alpha: f64) -> f64 {
+    assert_eq!(p.num_clbits(), q.num_clbits(), "mixed outcome widths");
+    assert!(alpha >= 0.0, "smoothing mass must be non-negative");
+    let m = p.num_outcomes() as f64;
+    let pn = 1.0 + alpha * m;
+    let qn = 1.0 + alpha * m;
+    let mut d = 0.0;
+    // Support of P (after smoothing, zero-P outcomes contribute only when
+    // alpha > 0; their total contribution is alpha·ln(...) per outcome).
+    for (k, pk) in p.iter() {
+        let ps = (pk + alpha) / pn;
+        let qs = (q.probability(k) + alpha) / qn;
+        if ps > 0.0 {
+            if qs == 0.0 {
+                return f64::INFINITY;
+            }
+            d += ps * (ps / qs).ln();
+        }
+    }
+    if alpha > 0.0 {
+        // Outcomes unseen by P but seen by Q.
+        for (k, qk) in q.iter() {
+            if p.probability(k) == 0.0 {
+                let ps = alpha / pn;
+                let qs = (qk + alpha) / qn;
+                d += ps * (ps / qs).ln();
+            }
+        }
+        // Outcomes unseen by both contribute ps·ln(ps/qs) = 0.
+    }
+    d
+}
+
+/// The default smoothing mass used throughout the EDM pipeline.
+pub const KL_SMOOTHING: f64 = 1e-6;
+
+/// Symmetric KL divergence `SD(P, Q) = D(P‖Q) + D(Q‖P)` (Appendix B, Eq. 4),
+/// with the default smoothing.
+pub fn symmetric_kl(p: &ProbDist, q: &ProbDist) -> f64 {
+    kl_divergence(p, q, KL_SMOOTHING) + kl_divergence(q, p, KL_SMOOTHING)
+}
+
+/// KL divergence in base-10 (the unit the paper's Appendix-B worked example
+/// uses: `D(P‖Q) = 0.046`, `D(Q‖P) = 0.052` for Table 2).
+pub fn kl_divergence_base10(p: &ProbDist, q: &ProbDist, alpha: f64) -> f64 {
+    kl_divergence(p, q, alpha) / std::f64::consts::LN_10
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(entries: &[(u64, f64)], width: u32) -> ProbDist {
+        ProbDist::new(width, entries.iter().copied())
+    }
+
+    #[test]
+    fn normalization() {
+        let d = dist(&[(0, 2.0), (1, 2.0)], 1);
+        assert!((d.probability(0) - 0.5).abs() < 1e-12);
+        assert!((d.probability(1) - 0.5).abs() < 1e-12);
+        assert_eq!(d.probability(2), 0.0); // out of support
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total mass")]
+    fn zero_mass_rejected() {
+        let _ = dist(&[(0, 0.0)], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid probability")]
+    fn negative_mass_rejected() {
+        let _ = dist(&[(0, -1.0)], 1);
+    }
+
+    #[test]
+    fn from_counts_matches_frequencies() {
+        let mut c = Counts::new(2);
+        c.extend([0b00, 0b00, 0b00, 0b11]);
+        let d = ProbDist::from_counts(&c);
+        assert!((d.probability(0b00) - 0.75).abs() < 1e-12);
+        assert!((d.probability(0b11) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn most_probable_and_strongest_wrong() {
+        let d = dist(&[(0, 0.5), (1, 0.3), (2, 0.2)], 2);
+        assert_eq!(d.most_probable(), Some(0));
+        assert_eq!(d.strongest_wrong(0), Some((1, 0.3)));
+        assert_eq!(d.strongest_wrong(1), Some((0, 0.5)));
+        // Point mass: no wrong answers at all.
+        let p = dist(&[(3, 1.0)], 2);
+        assert_eq!(p.strongest_wrong(3), None);
+    }
+
+    #[test]
+    fn sorted_descending_order() {
+        let d = dist(&[(0, 0.1), (1, 0.6), (2, 0.3)], 2);
+        let s = d.sorted_descending();
+        assert_eq!(s[0].0, 1);
+        assert_eq!(s[1].0, 2);
+        assert_eq!(s[2].0, 0);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        assert!(dist(&[(0, 1.0)], 3).entropy().abs() < 1e-12);
+        let u = ProbDist::uniform(3);
+        assert!((u.entropy() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rsd_uniform_is_zero_point_mass_is_large() {
+        assert!(ProbDist::uniform(4).relative_std_dev() < 1e-9);
+        let point = dist(&[(0, 1.0)], 4);
+        assert!((point.relative_std_dev() - (15.0f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_uniform_averages() {
+        let a = dist(&[(0, 1.0)], 1);
+        let b = dist(&[(1, 1.0)], 1);
+        let m = ProbDist::merge_uniform(&[a, b]);
+        assert!((m.probability(0) - 0.5).abs() < 1e-12);
+        assert!((m.probability(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_weighted_respects_weights() {
+        let a = dist(&[(0, 1.0)], 1);
+        let b = dist(&[(1, 1.0)], 1);
+        let m = ProbDist::merge_weighted(&[a, b], &[3.0, 1.0]);
+        assert!((m.probability(0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed outcome widths")]
+    fn merge_rejects_mixed_widths() {
+        let a = dist(&[(0, 1.0)], 1);
+        let b = dist(&[(0, 1.0)], 2);
+        let _ = ProbDist::merge_uniform(&[a, b]);
+    }
+
+    #[test]
+    fn kl_zero_for_identical() {
+        let a = dist(&[(0, 0.4), (1, 0.6)], 1);
+        assert!(kl_divergence(&a, &a, 0.0).abs() < 1e-12);
+        assert!(symmetric_kl(&a, &a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kl_infinite_without_smoothing_on_disjoint_support() {
+        let a = dist(&[(0, 1.0)], 1);
+        let b = dist(&[(1, 1.0)], 1);
+        assert!(kl_divergence(&a, &b, 0.0).is_infinite());
+        assert!(kl_divergence(&a, &b, 1e-6).is_finite());
+    }
+
+    #[test]
+    fn paper_table2_worked_example() {
+        // Table 2: P = [0.2, 0.3, 0.4, 0.1], Q uniform over 4 outcomes.
+        // Appendix B reports 0.046 and 0.052 (base-10 logarithms).
+        let p = dist(&[(0, 0.2), (1, 0.3), (2, 0.4), (3, 0.1)], 2);
+        let q = ProbDist::uniform(2);
+        let d_pq = kl_divergence_base10(&p, &q, 0.0);
+        let d_qp = kl_divergence_base10(&q, &p, 0.0);
+        assert!((d_pq - 0.046).abs() < 0.001, "D(P||Q) = {d_pq}");
+        assert!((d_qp - 0.052).abs() < 0.001, "D(Q||P) = {d_qp}");
+        // Asymmetry (the appendix's point) and symmetrization.
+        assert!(d_pq != d_qp);
+        let s = symmetric_kl(&p, &q);
+        assert!((s - (kl_divergence(&p, &q, KL_SMOOTHING) + kl_divergence(&q, &p, KL_SMOOTHING))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_is_nonnegative_with_smoothing() {
+        let a = dist(&[(0, 0.7), (3, 0.3)], 2);
+        let b = dist(&[(0, 0.2), (1, 0.5), (2, 0.3)], 2);
+        assert!(kl_divergence(&a, &b, 1e-6) > 0.0);
+        assert!(kl_divergence(&b, &a, 1e-6) > 0.0);
+    }
+
+    #[test]
+    fn similar_dists_have_smaller_kl_than_dissimilar() {
+        // The Fig. 4 property at the metric level.
+        let base = dist(&[(0, 0.5), (1, 0.3), (2, 0.2)], 2);
+        let near = dist(&[(0, 0.45), (1, 0.35), (2, 0.2)], 2);
+        let far = dist(&[(3, 0.8), (2, 0.2)], 2);
+        assert!(symmetric_kl(&base, &near) < symmetric_kl(&base, &far));
+    }
+
+    #[test]
+    fn display_shows_top_outcomes() {
+        let d = dist(&[(0b10, 0.9), (0b01, 0.1)], 2);
+        let s = d.to_string();
+        assert!(s.contains("10: 0.9000"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Alternative divergence measures for WEDM-style weighting.
+//!
+//! The paper weights members by cumulative *symmetric KL* divergence
+//! (Appendix B). This module provides drop-in alternatives — Jensen-Shannon,
+//! total variation, and Hellinger distance — plus a [`Divergence`] selector
+//! so the weighting rule can be ablated (see the `edm-bench`
+//! `ablation_merge` experiment).
+
+use crate::dist::{kl_divergence, symmetric_kl, ProbDist, KL_SMOOTHING};
+
+/// A divergence measure between outcome distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Divergence {
+    /// Symmetric KL divergence (the paper's WEDM choice).
+    #[default]
+    SymmetricKl,
+    /// Jensen-Shannon divergence (bounded, always finite).
+    JensenShannon,
+    /// Total variation distance, `0.5·Σ|p - q|`.
+    TotalVariation,
+    /// Hellinger distance, `sqrt(0.5·Σ(sqrt(p) - sqrt(q))²)`.
+    Hellinger,
+}
+
+impl Divergence {
+    /// Evaluates the divergence between `p` and `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distributions have different outcome widths.
+    pub fn eval(self, p: &ProbDist, q: &ProbDist) -> f64 {
+        match self {
+            Divergence::SymmetricKl => symmetric_kl(p, q),
+            Divergence::JensenShannon => jensen_shannon(p, q),
+            Divergence::TotalVariation => total_variation(p, q),
+            Divergence::Hellinger => hellinger(p, q),
+        }
+    }
+}
+
+/// Jensen-Shannon divergence in nats: `0.5·D(P‖M) + 0.5·D(Q‖M)` with
+/// `M = (P + Q)/2`. Bounded by `ln 2`.
+///
+/// # Examples
+///
+/// ```
+/// use edm_core::{divergence, ProbDist};
+/// let p = ProbDist::new(1, [(0, 1.0)]);
+/// let q = ProbDist::new(1, [(1, 1.0)]);
+/// let js = divergence::jensen_shannon(&p, &q);
+/// assert!((js - std::f64::consts::LN_2).abs() < 1e-3);
+/// ```
+pub fn jensen_shannon(p: &ProbDist, q: &ProbDist) -> f64 {
+    let m = ProbDist::merge_uniform(&[p.clone(), q.clone()]);
+    0.5 * kl_divergence(p, &m, KL_SMOOTHING) + 0.5 * kl_divergence(q, &m, KL_SMOOTHING)
+}
+
+/// Total variation distance in `[0, 1]`.
+pub fn total_variation(p: &ProbDist, q: &ProbDist) -> f64 {
+    assert_eq!(p.num_clbits(), q.num_clbits(), "mixed outcome widths");
+    let mut keys: std::collections::BTreeSet<u64> = p.iter().map(|(k, _)| k).collect();
+    keys.extend(q.iter().map(|(k, _)| k));
+    0.5 * keys
+        .into_iter()
+        .map(|k| (p.probability(k) - q.probability(k)).abs())
+        .sum::<f64>()
+}
+
+/// Hellinger distance in `[0, 1]`.
+pub fn hellinger(p: &ProbDist, q: &ProbDist) -> f64 {
+    assert_eq!(p.num_clbits(), q.num_clbits(), "mixed outcome widths");
+    let mut keys: std::collections::BTreeSet<u64> = p.iter().map(|(k, _)| k).collect();
+    keys.extend(q.iter().map(|(k, _)| k));
+    let sum: f64 = keys
+        .into_iter()
+        .map(|k| (p.probability(k).sqrt() - q.probability(k).sqrt()).powi(2))
+        .sum();
+    (0.5 * sum).sqrt()
+}
+
+/// WEDM-style normalized weights under an arbitrary divergence: member `i`
+/// weighs `Σ_j d(O_i, O_j)`, normalized; uniform fallback when all
+/// divergences vanish.
+///
+/// # Panics
+///
+/// Panics if `dists` is empty.
+pub fn weights_with(dists: &[ProbDist], divergence: Divergence) -> Vec<f64> {
+    assert!(!dists.is_empty(), "need at least one distribution");
+    let raw: Vec<f64> = (0..dists.len())
+        .map(|i| {
+            (0..dists.len())
+                .filter(|&j| j != i)
+                .map(|j| divergence.eval(&dists[i], &dists[j]))
+                .sum()
+        })
+        .collect();
+    let total: f64 = raw.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        return vec![1.0 / dists.len() as f64; dists.len()];
+    }
+    raw.iter().map(|w| w / total).collect()
+}
+
+/// Weighted merge under an arbitrary divergence measure.
+pub fn merge_with(dists: &[ProbDist], divergence: Divergence) -> (ProbDist, Vec<f64>) {
+    let w = weights_with(dists, divergence);
+    (ProbDist::merge_weighted(dists, &w), w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(entries: &[(u64, f64)]) -> ProbDist {
+        ProbDist::new(2, entries.iter().copied())
+    }
+
+    #[test]
+    fn all_divergences_vanish_on_identical_inputs() {
+        let p = d(&[(0, 0.4), (1, 0.6)]);
+        for m in [
+            Divergence::SymmetricKl,
+            Divergence::JensenShannon,
+            Divergence::TotalVariation,
+            Divergence::Hellinger,
+        ] {
+            assert!(m.eval(&p, &p).abs() < 1e-9, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn all_divergences_are_symmetric_and_positive() {
+        let p = d(&[(0, 0.7), (1, 0.3)]);
+        let q = d(&[(1, 0.2), (2, 0.8)]);
+        for m in [
+            Divergence::SymmetricKl,
+            Divergence::JensenShannon,
+            Divergence::TotalVariation,
+            Divergence::Hellinger,
+        ] {
+            let fwd = m.eval(&p, &q);
+            let bwd = m.eval(&q, &p);
+            assert!(fwd > 0.0, "{m:?}");
+            assert!((fwd - bwd).abs() < 1e-9, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn js_bounded_by_ln2() {
+        let p = d(&[(0, 1.0)]);
+        let q = d(&[(3, 1.0)]);
+        let js = jensen_shannon(&p, &q);
+        assert!(js <= std::f64::consts::LN_2 + 1e-9);
+        assert!(js > 0.99 * std::f64::consts::LN_2);
+    }
+
+    #[test]
+    fn tv_worked_example() {
+        let p = d(&[(0, 0.5), (1, 0.5)]);
+        let q = d(&[(0, 0.25), (1, 0.25), (2, 0.5)]);
+        // |0.25| + |0.25| + |0.5| over 2.
+        assert!((total_variation(&p, &q) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hellinger_extremes() {
+        let p = d(&[(0, 1.0)]);
+        let q = d(&[(1, 1.0)]);
+        assert!((hellinger(&p, &q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_prefer_the_divergent_member_under_every_measure() {
+        let echo = d(&[(0, 0.8), (1, 0.2)]);
+        let diverse = d(&[(2, 0.9), (3, 0.1)]);
+        for m in [
+            Divergence::SymmetricKl,
+            Divergence::JensenShannon,
+            Divergence::TotalVariation,
+            Divergence::Hellinger,
+        ] {
+            let w = weights_with(&[echo.clone(), echo.clone(), diverse.clone()], m);
+            assert!(w[2] > w[0], "{m:?}: {w:?}");
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn merge_with_defaults_to_paper_weighting() {
+        let a = d(&[(0, 0.6), (1, 0.4)]);
+        let b = d(&[(2, 1.0)]);
+        let (paper, w_paper) = crate::wedm::merge(&[a.clone(), b.clone()]);
+        let (generic, w_generic) = merge_with(&[a, b], Divergence::SymmetricKl);
+        assert_eq!(paper, generic);
+        assert_eq!(w_paper, w_generic);
+    }
+}

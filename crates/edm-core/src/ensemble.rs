@@ -1,0 +1,779 @@
+//! Ensemble construction and orchestration (§5.2).
+//!
+//! The four EDM steps:
+//!
+//! 1. a variation-aware transpiler produces the best initial mapping and
+//!    SWAP schedule (`qmap::Transpiler`),
+//! 2. the mapped circuit's physical footprint is transplanted onto every
+//!    isomorphic subgraph of the coupling graph (VF2) and the embeddings
+//!    are ranked by ESP; the top *K* become the ensemble
+//!    ([`build_ensemble`]),
+//! 3. each member executable runs a share of the trials
+//!    ([`EdmRunner::run`]),
+//! 4. the output distributions are merged — uniformly (EDM) and
+//!    KL-weighted (WEDM).
+//!
+//! Because every member is an isomorphic relabeling of the same routed
+//! circuit, all members execute an identical gate count (§3.2), differing
+//! only in *which* physical qubits and links they stress.
+
+use crate::dist::ProbDist;
+use crate::executor::Backend;
+use crate::filter;
+use crate::metrics;
+use crate::wedm;
+use crate::EdmError;
+use qcir::{Circuit, Gate, Qubit};
+use qdevice::{vf2, Topology};
+use qmap::{esp, Transpiler};
+use qsim::Counts;
+
+/// How the trial budget is divided among ensemble members.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShotAllocation {
+    /// Equal shares (the paper's design: each mapping runs `N/K` trials).
+    #[default]
+    Uniform,
+    /// Shares proportional to compile-time ESP: stronger mappings vote with
+    /// more trials. An ablation knob — the paper argues diversity matters
+    /// more than concentrating trials on the (imperfectly) estimated best.
+    EspWeighted,
+}
+
+/// Configuration of the ensemble construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnsembleConfig {
+    /// Number of mappings in the ensemble (the paper's default K = 4).
+    pub size: usize,
+    /// Cap on the VF2 embedding enumeration.
+    pub max_candidates: usize,
+    /// Only keep members whose ESP is at least this fraction of the best
+    /// member's ESP (§3.2 used mappings within 10% of the best, i.e. 0.9).
+    /// Set to 0.0 to keep everything. When the filtered pool is smaller
+    /// than `size` the ensemble simply ends up smaller — the paper observes
+    /// exactly this on IBMQ-14 ("the number of strong ensembles are limited
+    /// two to four", §5.5).
+    pub min_esp_ratio: f64,
+    /// Select members for qubit-set diversity within the ESP pool instead
+    /// of taking the top-K by ESP alone. The coupling graph's symmetries
+    /// make many embeddings ESP-identical relabelings of the *same* qubits,
+    /// which would make every "diverse" member suffer the same correlated
+    /// errors; greedy max-min footprint selection avoids that.
+    pub diverse_selection: bool,
+    /// Optional footnote-2 uniformity filter: members whose output is
+    /// indistinguishable from uniform (RSD below the threshold) are dropped
+    /// before merging.
+    pub uniformity_filter: Option<f64>,
+    /// How trials are divided among members.
+    pub shot_allocation: ShotAllocation,
+    /// Measurement-inversion diversity (the paper's future-work transform,
+    /// §7/§8): odd ensemble members additionally invert every measured qubit
+    /// right before readout (and their recorded outcomes are flipped back),
+    /// steering readout-bias mistakes in the opposite direction.
+    pub invert_measurements: bool,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        EnsembleConfig {
+            size: 4,
+            max_candidates: 200_000,
+            min_esp_ratio: 0.9,
+            uniformity_filter: None,
+            diverse_selection: true,
+            shot_allocation: ShotAllocation::default(),
+            invert_measurements: false,
+        }
+    }
+}
+
+/// One member of the ensemble: a relabeled executable and its metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleMember {
+    /// The physical executable (device basis, coupled CX only).
+    pub physical: Circuit,
+    /// Compile-time ESP of this executable.
+    pub esp: f64,
+    /// The physical qubits used, ascending (the member's footprint).
+    pub qubits: Vec<u32>,
+    /// The embedding assignment: `assignment[i]` is the physical qubit
+    /// hosting the `i`-th active qubit of the baseline executable. Two
+    /// members with the same footprint but different assignments still
+    /// expose the program to different per-qubit errors.
+    pub assignment: Vec<u32>,
+    /// Whether this member measures in the inverted basis (outcomes are
+    /// already flipped back when recorded).
+    pub inverted_measurement: bool,
+}
+
+/// Enumerates isomorphic relabelings of a physical circuit's footprint and
+/// returns the top-`config.size` by ESP (best first; the baseline itself is
+/// always a candidate because the identity embedding is enumerated too).
+///
+/// # Errors
+///
+/// - [`EdmError::InvalidConfig`] if `config.size == 0`.
+/// - [`EdmError::NoEmbeddings`] if VF2 finds nothing (cannot happen when
+///   `physical` already satisfies the coupling constraints).
+/// - Mapping errors from ESP evaluation.
+pub fn diversify(
+    transpiler: &Transpiler<'_>,
+    physical: &Circuit,
+    config: &EnsembleConfig,
+) -> Result<Vec<EnsembleMember>, EdmError> {
+    if config.size == 0 {
+        return Err(EdmError::InvalidConfig("ensemble size must be positive"));
+    }
+    let topology = transpiler.topology();
+    let cal = transpiler.calibration();
+
+    // The footprint pattern: active qubits re-indexed densely.
+    let active: Vec<u32> = physical.active_qubits().iter().map(|q| q.index()).collect();
+    let mut pos = vec![u32::MAX; topology.num_qubits() as usize];
+    for (i, &q) in active.iter().enumerate() {
+        pos[q as usize] = i as u32;
+    }
+    let pattern_edges: Vec<(u32, u32)> = physical
+        .interaction_edges()
+        .into_iter()
+        .map(|(a, b)| (pos[a.usize()], pos[b.usize()]))
+        .collect();
+    let pattern = Topology::new(active.len() as u32, &pattern_edges);
+
+    let embeddings = vf2::enumerate_subgraph_isomorphisms(&pattern, topology, config.max_candidates);
+    if embeddings.is_empty() {
+        return Err(EdmError::NoEmbeddings);
+    }
+
+    let mut members = Vec::with_capacity(embeddings.len());
+    for phi in embeddings {
+        let relabeled = physical.relabeled(topology.num_qubits(), |q| {
+            Qubit::new(phi[pos[q.usize()] as usize])
+        });
+        let esp = esp::esp(&relabeled, cal)?;
+        let mut qubits = phi.clone();
+        qubits.sort_unstable();
+        members.push(EnsembleMember {
+            physical: relabeled,
+            esp,
+            qubits,
+            assignment: phi,
+            inverted_measurement: false,
+        });
+    }
+    members.sort_by(|a, b| b.esp.partial_cmp(&a.esp).expect("ESP is finite"));
+    if config.min_esp_ratio > 0.0 {
+        let best = members[0].esp;
+        members.retain(|m| m.esp >= config.min_esp_ratio * best);
+    }
+    members = if config.diverse_selection {
+        select_diverse(members, config.size)
+    } else {
+        members.truncate(config.size);
+        members
+    };
+
+    if config.invert_measurements {
+        for (i, m) in members.iter_mut().enumerate() {
+            if i % 2 == 1 {
+                m.physical = invert_measured_qubits(&m.physical);
+                m.inverted_measurement = true;
+            }
+        }
+    }
+    Ok(members)
+}
+
+/// Greedy max-min diversity selection: start from the ESP-best member, then
+/// repeatedly add the candidate whose *assignment* (which physical qubit
+/// hosts each program qubit) differs in the most positions from every
+/// already-selected member, breaking ties toward higher ESP. Assignment
+/// distance, unlike footprint distance, counts automorphic relabelings on
+/// the same qubit set as diverse — on a small device like IBMQ-14 those
+/// relabelings are often the only way to decorrelate per-qubit mistakes.
+/// All candidates are already inside the ESP pool, so this trades no
+/// reliability for the added diversity.
+fn select_diverse(pool: Vec<EnsembleMember>, size: usize) -> Vec<EnsembleMember> {
+    if pool.len() <= size {
+        return pool;
+    }
+    let footprint_distance = |a: &EnsembleMember, b: &EnsembleMember| -> usize {
+        a.assignment
+            .iter()
+            .zip(&b.assignment)
+            .filter(|(x, y)| x != y)
+            .count()
+    };
+    let mut remaining = pool;
+    let mut selected: Vec<EnsembleMember> = vec![remaining.remove(0)];
+    while selected.len() < size && !remaining.is_empty() {
+        // remaining is ESP-descending, so the first candidate achieving the
+        // best min-distance wins ties by ESP automatically.
+        let (best_idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let d = selected
+                    .iter()
+                    .map(|s| footprint_distance(c, s))
+                    .min()
+                    .expect("selected is non-empty");
+                (i, d)
+            })
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .expect("remaining is non-empty");
+        selected.push(remaining.remove(best_idx));
+    }
+    // Restore the ESP-descending order contract (index 0 = best estimated).
+    selected.sort_by(|a, b| b.esp.partial_cmp(&a.esp).expect("ESP is finite"));
+    selected
+}
+
+/// Transpiles a logical circuit and diversifies it into an ensemble.
+///
+/// # Errors
+///
+/// Propagates transpilation and diversification failures.
+pub fn build_ensemble(
+    transpiler: &Transpiler<'_>,
+    circuit: &Circuit,
+    config: &EnsembleConfig,
+) -> Result<Vec<EnsembleMember>, EdmError> {
+    let baseline = transpiler.transpile(circuit)?;
+    diversify(transpiler, &baseline.physical, config)
+}
+
+/// Inserts an X on every measured qubit right before its measurement
+/// (Invert-and-Measure style diversity). The recorded outcome of such a
+/// member must be XOR-corrected; [`EdmRunner`] does this automatically.
+fn invert_measured_qubits(physical: &Circuit) -> Circuit {
+    let mut out = Circuit::new(physical.num_qubits(), physical.num_clbits());
+    for g in physical.iter() {
+        if let Gate::Measure(q, c) = *g {
+            out.x(q.index());
+            out.measure(q.index(), c.index());
+        } else {
+            out.extend([g.clone()]);
+        }
+    }
+    out
+}
+
+/// One executed ensemble member.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberRun {
+    /// The member executable.
+    pub member: EnsembleMember,
+    /// Raw shot histogram (already basis-corrected for inverted members).
+    pub counts: Counts,
+    /// Normalized output distribution.
+    pub dist: ProbDist,
+}
+
+/// The result of a full EDM run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdmResult {
+    /// Executed members, ordered by descending compile-time ESP (so index 0
+    /// is the paper's "single best mapping at compile time").
+    pub members: Vec<MemberRun>,
+    /// Uniform merge of the member distributions (EDM, §5.2).
+    pub edm: ProbDist,
+    /// Divergence-weighted merge (WEDM, §6).
+    pub wedm: ProbDist,
+    /// The normalized WEDM weights.
+    pub weights: Vec<f64>,
+    /// Indices of members dropped by the uniformity filter, if enabled.
+    pub filtered_out: Vec<usize>,
+}
+
+impl EdmResult {
+    /// The member with the best compile-time ESP (the baseline mapping).
+    pub fn best_estimated(&self) -> &MemberRun {
+        &self.members[0]
+    }
+
+    /// The member with the highest *observed* PST — the paper's "single
+    /// best mapping post execution" baseline (§5.4).
+    pub fn best_post_execution(&self, correct: u64) -> &MemberRun {
+        self.members
+            .iter()
+            .max_by(|a, b| {
+                metrics::pst(&a.dist, correct)
+                    .partial_cmp(&metrics::pst(&b.dist, correct))
+                    .expect("PST is finite")
+            })
+            .expect("ensemble is non-empty")
+    }
+
+    /// IST of the EDM (uniform) merge.
+    pub fn ist_edm(&self, correct: u64) -> f64 {
+        metrics::ist(&self.edm, correct)
+    }
+
+    /// IST of the WEDM (weighted) merge.
+    pub fn ist_wedm(&self, correct: u64) -> f64 {
+        metrics::ist(&self.wedm, correct)
+    }
+}
+
+/// Orchestrates EDM end to end over a transpiler and a backend.
+///
+/// # Examples
+///
+/// ```
+/// use qdevice::{presets, DeviceModel};
+/// use qmap::Transpiler;
+/// use qsim::NoisySimulator;
+/// use edm_core::{EdmRunner, EnsembleConfig};
+///
+/// let device = DeviceModel::synthesize(presets::melbourne14(), 7);
+/// let cal = device.calibration();
+/// let transpiler = Transpiler::new(device.topology(), &cal);
+/// let backend = NoisySimulator::from_device(&device);
+/// let runner = EdmRunner::new(&transpiler, &backend, EnsembleConfig::default());
+///
+/// let bv = qbench::bv::bv(0b101, 3);
+/// let result = runner.run(&bv, 4096, 1)?;
+/// assert_eq!(result.members.len(), 4);
+/// assert_eq!(result.members.iter().map(|m| m.counts.shots()).sum::<u64>(), 4096);
+/// # Ok::<(), edm_core::EdmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EdmRunner<'t, B> {
+    transpiler: &'t Transpiler<'t>,
+    backend: B,
+    config: EnsembleConfig,
+}
+
+impl<'t, B: Backend> EdmRunner<'t, B> {
+    /// Creates a runner.
+    pub fn new(transpiler: &'t Transpiler<'t>, backend: B, config: EnsembleConfig) -> Self {
+        EdmRunner {
+            transpiler,
+            backend,
+            config,
+        }
+    }
+
+    /// The ensemble configuration.
+    pub fn config(&self) -> &EnsembleConfig {
+        &self.config
+    }
+
+    /// The transpiler this runner compiles with.
+    pub fn transpiler(&self) -> &'t Transpiler<'t> {
+        self.transpiler
+    }
+
+    /// The execution backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Runs the full EDM flow: build the top-K ensemble, split
+    /// `total_shots` evenly across members, execute, and merge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transpilation and execution failures; fails with
+    /// [`EdmError::InvalidConfig`] if fewer shots than members are
+    /// requested.
+    pub fn run(&self, circuit: &Circuit, total_shots: u64, seed: u64) -> Result<EdmResult, EdmError> {
+        let members = build_ensemble(self.transpiler, circuit, &self.config)?;
+        self.run_members(members, total_shots, seed)
+    }
+
+    /// Runs a pre-built ensemble (useful for sensitivity studies that reuse
+    /// the same members with different shot budgets).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EdmRunner::run`].
+    pub fn run_members(
+        &self,
+        members: Vec<EnsembleMember>,
+        total_shots: u64,
+        seed: u64,
+    ) -> Result<EdmResult, EdmError> {
+        if members.is_empty() {
+            return Err(EdmError::NoEmbeddings);
+        }
+        let k = members.len() as u64;
+        if total_shots < k {
+            return Err(EdmError::InvalidConfig("fewer shots than ensemble members"));
+        }
+        let shares = allocate_shots(&members, total_shots, self.config.shot_allocation);
+
+        let mut runs = Vec::with_capacity(members.len());
+        for (i, member) in members.into_iter().enumerate() {
+            let shots = shares[i];
+            let raw = self
+                .backend
+                .execute(&member.physical, shots, seed.wrapping_add(i as u64))?;
+            let counts = if member.inverted_measurement {
+                uninvert_counts(&raw)
+            } else {
+                raw
+            };
+            let dist = ProbDist::from_counts(&counts);
+            runs.push(MemberRun {
+                member,
+                counts,
+                dist,
+            });
+        }
+
+        let all_dists: Vec<ProbDist> = runs.iter().map(|r| r.dist.clone()).collect();
+        let (merge_input, filtered_out) = match self.config.uniformity_filter {
+            Some(threshold) => {
+                let (kept, dropped) = filter::partition_informative(&all_dists, threshold);
+                if kept.is_empty() {
+                    // Everything drowned in noise: fall back to merging all.
+                    (all_dists.clone(), dropped)
+                } else {
+                    (kept, dropped)
+                }
+            }
+            None => (all_dists.clone(), Vec::new()),
+        };
+
+        let edm = ProbDist::merge_uniform(&merge_input);
+        let (wedm, weights) = wedm::merge(&merge_input);
+        Ok(EdmResult {
+            members: runs,
+            edm,
+            wedm,
+            weights,
+            filtered_out,
+        })
+    }
+
+    /// Runs the paper's baseline: all trials on the single best mapping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transpilation and execution failures.
+    pub fn run_baseline(
+        &self,
+        circuit: &Circuit,
+        total_shots: u64,
+        seed: u64,
+    ) -> Result<MemberRun, EdmError> {
+        let mut single = self.config;
+        single.size = 1;
+        single.invert_measurements = false;
+        let members = build_ensemble(self.transpiler, circuit, &single)?;
+        let result = self.run_members(members, total_shots, seed)?;
+        Ok(result.members.into_iter().next().expect("one member"))
+    }
+}
+
+/// Divides `total_shots` among members per the allocation policy; every
+/// member receives at least one shot and the shares sum exactly to the
+/// total.
+fn allocate_shots(
+    members: &[EnsembleMember],
+    total_shots: u64,
+    allocation: ShotAllocation,
+) -> Vec<u64> {
+    let k = members.len() as u64;
+    match allocation {
+        ShotAllocation::Uniform => {
+            let each = total_shots / k;
+            let remainder = total_shots % k;
+            (0..k).map(|i| each + u64::from(i < remainder)).collect()
+        }
+        ShotAllocation::EspWeighted => {
+            let total_esp: f64 = members.iter().map(|m| m.esp).sum();
+            let mut shares: Vec<u64> = members
+                .iter()
+                .map(|m| {
+                    (((m.esp / total_esp) * total_shots as f64).floor() as u64).max(1)
+                })
+                .collect();
+            // Fix rounding drift onto the strongest member.
+            let assigned: u64 = shares.iter().sum();
+            if assigned <= total_shots {
+                shares[0] += total_shots - assigned;
+            } else {
+                let mut excess = assigned - total_shots;
+                for s in shares.iter_mut().rev() {
+                    let take = excess.min(s.saturating_sub(1));
+                    *s -= take;
+                    excess -= take;
+                    if excess == 0 {
+                        break;
+                    }
+                }
+            }
+            shares
+        }
+    }
+}
+
+/// XOR-corrects a histogram recorded in the inverted measurement basis.
+fn uninvert_counts(raw: &Counts) -> Counts {
+    let mask = if raw.num_clbits() >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << raw.num_clbits()) - 1
+    };
+    let mut out = Counts::new(raw.num_clbits());
+    for (k, v) in raw.iter() {
+        for _ in 0..v {
+            out.record(k ^ mask);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdevice::{presets, DeviceModel};
+    use qsim::NoisySimulator;
+
+    fn setup() -> (DeviceModel, qdevice::Calibration) {
+        let d = DeviceModel::synthesize(presets::melbourne14(), 12);
+        let cal = d.calibration();
+        (d, cal)
+    }
+
+    fn bv3() -> Circuit {
+        qbench::bv::bv(0b101, 3)
+    }
+
+    #[test]
+    fn ensemble_members_sorted_by_esp_with_identical_gate_counts() {
+        let (d, cal) = setup();
+        let t = Transpiler::new(d.topology(), &cal);
+        let members = build_ensemble(&t, &bv3(), &EnsembleConfig::default()).unwrap();
+        assert_eq!(members.len(), 4);
+        for w in members.windows(2) {
+            assert!(w[0].esp >= w[1].esp);
+        }
+        let counts: Vec<_> = members
+            .iter()
+            .map(|m| (m.physical.count_1q(), m.physical.count_cx()))
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn members_use_different_qubit_sets_or_assignments() {
+        let (d, cal) = setup();
+        let t = Transpiler::new(d.topology(), &cal);
+        let members = build_ensemble(&t, &bv3(), &EnsembleConfig::default()).unwrap();
+        let mut distinct = std::collections::BTreeSet::new();
+        for m in &members {
+            let ops: Vec<String> = m.physical.iter().map(|g| g.to_string()).collect();
+            distinct.insert(ops.join(";"));
+        }
+        assert_eq!(distinct.len(), members.len(), "members must differ");
+    }
+
+    #[test]
+    fn min_esp_ratio_prunes_weak_members() {
+        let (d, cal) = setup();
+        let t = Transpiler::new(d.topology(), &cal);
+        let config = EnsembleConfig {
+            size: 100,
+            min_esp_ratio: 0.95,
+            ..EnsembleConfig::default()
+        };
+        let members = diversify(&t, &t.transpile(&bv3()).unwrap().physical, &config).unwrap();
+        let best = members[0].esp;
+        assert!(members.iter().all(|m| m.esp >= 0.95 * best));
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let (d, cal) = setup();
+        let t = Transpiler::new(d.topology(), &cal);
+        let config = EnsembleConfig {
+            size: 0,
+            ..EnsembleConfig::default()
+        };
+        assert_eq!(
+            build_ensemble(&t, &bv3(), &config).unwrap_err(),
+            EdmError::InvalidConfig("ensemble size must be positive")
+        );
+    }
+
+    #[test]
+    fn runner_splits_shots_evenly() {
+        let (d, cal) = setup();
+        let t = Transpiler::new(d.topology(), &cal);
+        let backend = NoisySimulator::from_device(&d);
+        let runner = EdmRunner::new(&t, &backend, EnsembleConfig::default());
+        let result = runner.run(&bv3(), 4098, 3).unwrap();
+        let shots: Vec<u64> = result.members.iter().map(|m| m.counts.shots()).collect();
+        assert_eq!(shots.iter().sum::<u64>(), 4098);
+        assert!(shots.iter().all(|&s| s == 1024 || s == 1025));
+    }
+
+    #[test]
+    fn runner_rejects_too_few_shots() {
+        let (d, cal) = setup();
+        let t = Transpiler::new(d.topology(), &cal);
+        let backend = NoisySimulator::from_device(&d);
+        let runner = EdmRunner::new(&t, &backend, EnsembleConfig::default());
+        assert!(matches!(
+            runner.run(&bv3(), 2, 3).unwrap_err(),
+            EdmError::InvalidConfig(_)
+        ));
+    }
+
+    #[test]
+    fn baseline_uses_all_shots_on_best_mapping() {
+        let (d, cal) = setup();
+        let t = Transpiler::new(d.topology(), &cal);
+        let backend = NoisySimulator::from_device(&d);
+        let runner = EdmRunner::new(&t, &backend, EnsembleConfig::default());
+        let base = runner.run_baseline(&bv3(), 2048, 5).unwrap();
+        assert_eq!(base.counts.shots(), 2048);
+        // The baseline is the ESP-best member of the full ensemble.
+        let ensemble = runner.run(&bv3(), 2048, 5).unwrap();
+        assert!((base.member.esp - ensemble.best_estimated().member.esp).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_post_execution_maximizes_pst() {
+        let (d, cal) = setup();
+        let t = Transpiler::new(d.topology(), &cal);
+        let backend = NoisySimulator::from_device(&d);
+        let runner = EdmRunner::new(&t, &backend, EnsembleConfig::default());
+        let result = runner.run(&bv3(), 8192, 9).unwrap();
+        let correct = 0b101;
+        let best = result.best_post_execution(correct);
+        for m in &result.members {
+            assert!(
+                metrics::pst(&best.dist, correct) >= metrics::pst(&m.dist, correct)
+            );
+        }
+    }
+
+    #[test]
+    fn merged_distributions_are_normalized() {
+        let (d, cal) = setup();
+        let t = Transpiler::new(d.topology(), &cal);
+        let backend = NoisySimulator::from_device(&d);
+        let runner = EdmRunner::new(&t, &backend, EnsembleConfig::default());
+        let result = runner.run(&bv3(), 4096, 11).unwrap();
+        let total_edm: f64 = result.edm.iter().map(|(_, p)| p).sum();
+        let total_wedm: f64 = result.wedm.iter().map(|(_, p)| p).sum();
+        assert!((total_edm - 1.0).abs() < 1e-9);
+        assert!((total_wedm - 1.0).abs() < 1e-9);
+        assert!((result.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (d, cal) = setup();
+        let t = Transpiler::new(d.topology(), &cal);
+        let backend = NoisySimulator::from_device(&d);
+        let runner = EdmRunner::new(&t, &backend, EnsembleConfig::default());
+        let a = runner.run(&bv3(), 1024, 42).unwrap();
+        let b = runner.run(&bv3(), 1024, 42).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn inverted_measurement_members_agree_on_the_answer() {
+        let (d, cal) = setup();
+        let t = Transpiler::new(d.topology(), &cal);
+        let backend = NoisySimulator::from_device(&d);
+        let config = EnsembleConfig {
+            invert_measurements: true,
+            ..EnsembleConfig::default()
+        };
+        let runner = EdmRunner::new(&t, &backend, config);
+        let result = runner.run(&bv3(), 8192, 21).unwrap();
+        assert!(result.members.iter().any(|m| m.member.inverted_measurement));
+        // Basis-corrected outcomes: every member still votes 101 on top (or
+        // near the top) despite the inverted readout.
+        for m in &result.members {
+            assert!(
+                m.dist.probability(0b101) > 0.2,
+                "member lost the answer: {}",
+                m.dist.probability(0b101)
+            );
+        }
+    }
+
+    #[test]
+    fn uniformity_filter_reports_dropped_members() {
+        let (d, cal) = setup();
+        let t = Transpiler::new(d.topology(), &cal);
+        let backend = NoisySimulator::from_device(&d);
+        // Threshold so extreme that every member gets "dropped" -> fallback
+        // merges all and reports them.
+        let config = EnsembleConfig {
+            uniformity_filter: Some(f64::INFINITY),
+            ..EnsembleConfig::default()
+        };
+        let runner = EdmRunner::new(&t, &backend, config);
+        let result = runner.run(&bv3(), 1024, 2).unwrap();
+        assert_eq!(result.filtered_out.len(), 4);
+        // Normal threshold drops nothing for a healthy circuit.
+        let config = EnsembleConfig {
+            uniformity_filter: Some(filter::DEFAULT_RSD_THRESHOLD),
+            ..EnsembleConfig::default()
+        };
+        let runner = EdmRunner::new(&t, &backend, config);
+        let result = runner.run(&bv3(), 1024, 2).unwrap();
+        assert!(result.filtered_out.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod allocation_tests {
+    use super::*;
+    use qdevice::{presets, DeviceModel};
+    use qmap::Transpiler;
+    use qsim::NoisySimulator;
+
+    #[test]
+    fn esp_weighted_allocation_favors_stronger_members() {
+        let d = DeviceModel::synthesize(presets::melbourne14(), 12);
+        let cal = d.calibration();
+        let t = Transpiler::new(d.topology(), &cal);
+        let backend = NoisySimulator::from_device(&d);
+        let config = EnsembleConfig {
+            shot_allocation: ShotAllocation::EspWeighted,
+            min_esp_ratio: 0.0,
+            size: 4,
+            ..EnsembleConfig::default()
+        };
+        let runner = EdmRunner::new(&t, &backend, config);
+        let bv = qbench::bv::bv(0b101, 3);
+        let result = runner.run(&bv, 4096, 3).unwrap();
+        let shots: Vec<u64> = result.members.iter().map(|m| m.counts.shots()).collect();
+        assert_eq!(shots.iter().sum::<u64>(), 4096);
+        // Members are ESP-descending; shares must be non-increasing within
+        // one shot of each other.
+        for w in shots.windows(2) {
+            assert!(w[0] + 1 >= w[1], "shares {shots:?}");
+        }
+        assert!(shots.iter().all(|&s| s >= 1));
+    }
+
+    #[test]
+    fn allocation_helper_edge_cases() {
+        let member = |esp: f64| EnsembleMember {
+            physical: qcir::Circuit::new(1, 1),
+            esp,
+            qubits: vec![0],
+            assignment: vec![0],
+            inverted_measurement: false,
+        };
+        // Tiny budgets still give everyone at least one shot.
+        let members = vec![member(0.9), member(0.1)];
+        let shares = allocate_shots(&members, 2, ShotAllocation::EspWeighted);
+        assert_eq!(shares.iter().sum::<u64>(), 2);
+        assert!(shares.iter().all(|&s| s >= 1));
+        // Uniform splits evenly with remainder to the front.
+        let shares = allocate_shots(&members, 5, ShotAllocation::Uniform);
+        assert_eq!(shares, vec![3, 2]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for the EDM pipeline.
+
+use qmap::MapError;
+use qsim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by ensemble construction or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EdmError {
+    /// A mapping step failed.
+    Map(MapError),
+    /// A simulation step failed.
+    Sim(SimError),
+    /// The interaction footprint has no embedding at all (should not happen
+    /// when the baseline transpilation succeeded).
+    NoEmbeddings,
+    /// An invalid ensemble configuration.
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for EdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdmError::Map(e) => write!(f, "mapping failed: {e}"),
+            EdmError::Sim(e) => write!(f, "execution failed: {e}"),
+            EdmError::NoEmbeddings => write!(f, "no isomorphic embeddings found"),
+            EdmError::InvalidConfig(msg) => write!(f, "invalid ensemble configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for EdmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EdmError::Map(e) => Some(e),
+            EdmError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<MapError> for EdmError {
+    fn from(e: MapError) -> Self {
+        EdmError::Map(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<SimError> for EdmError {
+    fn from(e: SimError) -> Self {
+        EdmError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = EdmError::from(MapError::NotEmbeddable);
+        assert!(e.to_string().contains("mapping failed"));
+        assert!(e.source().is_some());
+        let e = EdmError::from(SimError::UnsupportedGate { name: "swap" });
+        assert!(e.to_string().contains("execution failed"));
+        assert!(EdmError::NoEmbeddings.source().is_none());
+        assert!(EdmError::InvalidConfig("size must be positive")
+            .to_string()
+            .contains("size"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<EdmError>();
+    }
+}

@@ -1,0 +1,54 @@
+//! Execution backend abstraction.
+//!
+//! EDM is backend-agnostic: it needs only "run this physical circuit for N
+//! trials". [`Backend`] is implemented for the noisy simulator; a real
+//! cloud device could implement it as well.
+
+use qcir::Circuit;
+use qsim::{Counts, NoisySimulator, SimError};
+
+/// Something that can execute physical circuits for a number of shots.
+pub trait Backend {
+    /// Runs `shots` trials of the physical `circuit`.
+    ///
+    /// Implementations should be deterministic for a fixed
+    /// `(circuit, shots, seed)` so experiments are reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when the circuit cannot be executed (wrong
+    /// basis, uncoupled CX, invalid measurement structure).
+    fn execute(&self, circuit: &Circuit, shots: u64, seed: u64) -> Result<Counts, SimError>;
+}
+
+impl Backend for NoisySimulator<'_> {
+    fn execute(&self, circuit: &Circuit, shots: u64, seed: u64) -> Result<Counts, SimError> {
+        self.run(circuit, shots, seed)
+    }
+}
+
+impl<B: Backend + ?Sized> Backend for &B {
+    fn execute(&self, circuit: &Circuit, shots: u64, seed: u64) -> Result<Counts, SimError> {
+        (**self).execute(circuit, shots, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdevice::{presets, DeviceModel};
+
+    #[test]
+    fn simulator_implements_backend() {
+        let device = DeviceModel::synthesize(presets::melbourne14(), 1);
+        let sim = NoisySimulator::from_device(&device);
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure_all();
+        let counts = Backend::execute(&sim, &c, 128, 0).unwrap();
+        assert_eq!(counts.shots(), 128);
+        // Reference-to-backend blanket impl.
+        let by_ref: &dyn Backend = &sim;
+        let counts2 = by_ref.execute(&c, 128, 0).unwrap();
+        assert_eq!(counts, counts2);
+    }
+}

@@ -1,0 +1,88 @@
+//! The uniformity filter of the paper's footnote 2 (§5.3).
+//!
+//! Under extreme noise a member's output distribution collapses toward
+//! uniform and carries no inference signal. The paper detects this by
+//! comparing the relative standard deviation (σ/μ) of the output
+//! distribution against the uniform distribution's (which is 0) and
+//! discards the run when the distance is small.
+
+use crate::ProbDist;
+
+/// Default RSD threshold: distributions with `σ/μ` below this are treated
+/// as noise-drowned.
+///
+/// For reference, a distribution over 64 outcomes that spends 30% of its
+/// mass on one answer has RSD ≈ 19; genuinely uniform output has RSD ≈ 0
+/// (sampling noise at 4096 shots contributes only ≈ 0.1 per outcome).
+pub const DEFAULT_RSD_THRESHOLD: f64 = 1.0;
+
+/// True when the distribution is distinguishable from uniform: its relative
+/// standard deviation exceeds `threshold`.
+///
+/// # Examples
+///
+/// ```
+/// use edm_core::{filter, ProbDist};
+/// let point = ProbDist::new(3, [(5, 1.0)]);
+/// assert!(filter::is_informative(&point, filter::DEFAULT_RSD_THRESHOLD));
+/// let flat = ProbDist::uniform(3);
+/// assert!(!filter::is_informative(&flat, filter::DEFAULT_RSD_THRESHOLD));
+/// ```
+pub fn is_informative(dist: &ProbDist, threshold: f64) -> bool {
+    dist.relative_std_dev() > threshold
+}
+
+/// Splits distributions into (kept, discarded-indices) under the filter.
+pub fn partition_informative(dists: &[ProbDist], threshold: f64) -> (Vec<ProbDist>, Vec<usize>) {
+    let mut kept = Vec::new();
+    let mut dropped = Vec::new();
+    for (i, d) in dists.iter().enumerate() {
+        if is_informative(d, threshold) {
+            kept.push(d.clone());
+        } else {
+            dropped.push(i);
+        }
+    }
+    (kept, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_filtered_out() {
+        assert!(!is_informative(&ProbDist::uniform(6), DEFAULT_RSD_THRESHOLD));
+    }
+
+    #[test]
+    fn peaked_distribution_is_kept() {
+        // 30% on one of 64 outcomes, remainder spread evenly.
+        let mut entries = vec![(0u64, 0.30)];
+        for k in 1..64u64 {
+            entries.push((k, 0.70 / 63.0));
+        }
+        let d = ProbDist::new(6, entries);
+        assert!(is_informative(&d, DEFAULT_RSD_THRESHOLD));
+    }
+
+    #[test]
+    fn near_uniform_with_sampling_noise_is_filtered() {
+        // Tiny jitter around uniform should still be treated as uniform.
+        let entries: Vec<(u64, f64)> = (0..64u64)
+            .map(|k| (k, 1.0 / 64.0 + if k % 2 == 0 { 1e-4 } else { -1e-4 }))
+            .collect();
+        let d = ProbDist::new(6, entries);
+        assert!(!is_informative(&d, DEFAULT_RSD_THRESHOLD));
+    }
+
+    #[test]
+    fn partition_reports_dropped_indices() {
+        let flat = ProbDist::uniform(4);
+        let point = ProbDist::new(4, [(3, 1.0)]);
+        let (kept, dropped) =
+            partition_informative(&[flat, point.clone()], DEFAULT_RSD_THRESHOLD);
+        assert_eq!(kept, vec![point]);
+        assert_eq!(dropped, vec![0]);
+    }
+}

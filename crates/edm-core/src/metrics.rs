@@ -1,0 +1,131 @@
+//! Reliability figures of merit: PST and IST (§4.3).
+
+use crate::ProbDist;
+use qsim::Counts;
+
+/// Probability of a Successful Trial: the fraction of trials producing the
+/// correct answer.
+///
+/// # Examples
+///
+/// ```
+/// use edm_core::{metrics, ProbDist};
+/// let d = ProbDist::new(2, [(0b11, 0.3), (0b01, 0.45), (0b10, 0.25)]);
+/// assert!((metrics::pst(&d, 0b11) - 0.3).abs() < 1e-12);
+/// ```
+pub fn pst(dist: &ProbDist, correct: u64) -> f64 {
+    dist.probability(correct)
+}
+
+/// Inference Strength: the ratio of the correct answer's probability to the
+/// probability of the most frequent wrong answer.
+///
+/// `IST > 1` means the machine can infer the correct answer by majority.
+/// Returns `f64::INFINITY` when no wrong answer was observed at all, and
+/// `0.0` when the correct answer was never observed (even if nothing else
+/// was either).
+///
+/// # Examples
+///
+/// ```
+/// use edm_core::{metrics, ProbDist};
+/// let d = ProbDist::new(2, [(0b11, 0.3), (0b01, 0.25), (0b10, 0.45)]);
+/// // Correct answer 11 is dominated by wrong answer 10.
+/// let ist = metrics::ist(&d, 0b11);
+/// assert!((ist - 0.3 / 0.45).abs() < 1e-12);
+/// assert!(ist < 1.0);
+/// ```
+pub fn ist(dist: &ProbDist, correct: u64) -> f64 {
+    let p_correct = dist.probability(correct);
+    match dist.strongest_wrong(correct) {
+        Some((_, p_wrong)) => p_correct / p_wrong,
+        None => {
+            if p_correct > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+/// PST straight from a shot histogram.
+pub fn pst_from_counts(counts: &Counts, correct: u64) -> f64 {
+    counts.probability(correct)
+}
+
+/// IST straight from a shot histogram.
+///
+/// # Panics
+///
+/// Panics if the histogram is empty.
+pub fn ist_from_counts(counts: &Counts, correct: u64) -> f64 {
+    ist(&ProbDist::from_counts(counts), correct)
+}
+
+/// True when the system can infer the correct answer by majority (IST > 1).
+pub fn can_infer(dist: &ProbDist, correct: u64) -> bool {
+    ist(dist, correct) > 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(entries: &[(u64, f64)]) -> ProbDist {
+        ProbDist::new(3, entries.iter().copied())
+    }
+
+    #[test]
+    fn pst_is_correct_probability() {
+        let dist = d(&[(0, 0.2), (1, 0.8)]);
+        assert!((pst(&dist, 0) - 0.2).abs() < 1e-12);
+        assert_eq!(pst(&dist, 5), 0.0);
+    }
+
+    #[test]
+    fn ist_ratio_and_threshold() {
+        // Fig. 1(b): correct 30%, strongest wrong 25% -> inferable.
+        let good = d(&[(0b11, 0.30), (0b01, 0.25), (0b00, 0.45 / 2.0), (0b10, 0.45 / 2.0)]);
+        assert!(ist(&good, 0b11) > 1.0);
+        assert!(can_infer(&good, 0b11));
+        // Fig. 1(c): correct 30%, strongest wrong 35% -> masked.
+        let bad = d(&[(0b11, 0.30), (0b01, 0.35), (0b00, 0.35)]);
+        assert!((ist(&bad, 0b11) - 0.30 / 0.35).abs() < 1e-12);
+        assert!(!can_infer(&bad, 0b11));
+    }
+
+    #[test]
+    fn ist_same_pst_different_inference() {
+        // The paper's §4.3 argument: equal PST, opposite inferability.
+        let a = d(&[
+            (0, 0.2),
+            (1, 0.15),
+            (2, 0.15),
+            (3, 0.1),
+            (4, 0.1),
+            (5, 0.1),
+            (6, 0.1),
+            (7, 0.1),
+        ]);
+        let b = d(&[(0, 0.2), (1, 0.3), (2, 0.5)]);
+        assert!((pst(&a, 0) - pst(&b, 0)).abs() < 1e-12);
+        assert!(can_infer(&a, 0));
+        assert!(!can_infer(&b, 0));
+    }
+
+    #[test]
+    fn ist_edge_cases() {
+        let perfect = d(&[(4, 1.0)]);
+        assert!(ist(&perfect, 4).is_infinite());
+        assert_eq!(ist(&perfect, 0), 0.0); // correct never observed
+    }
+
+    #[test]
+    fn counts_wrappers() {
+        let mut c = Counts::new(2);
+        c.extend([0b00, 0b00, 0b00, 0b01, 0b01, 0b10]);
+        assert!((pst_from_counts(&c, 0b00) - 0.5).abs() < 1e-12);
+        assert!((ist_from_counts(&c, 0b00) - 3.0 / 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,256 @@
+//! Readout-error mitigation by confusion-matrix unfolding.
+//!
+//! The paper's §7 discusses state-dependent measurement bias as a major
+//! correlated-error source. When the per-qubit flip probabilities are known
+//! (from calibration), the observed distribution is the true distribution
+//! pushed through a tensor product of 2×2 confusion matrices — which can be
+//! inverted bit by bit. This module implements the forward map ([`fold`])
+//! and its inverse ([`unfold`]), with clamping and renormalization because
+//! matrix inversion of sampled data can produce small negative
+//! probabilities.
+//!
+//! Mitigation is complementary to EDM: EDM diversifies *which* mistakes are
+//! made; unfolding removes the predictable readout component afterwards.
+
+use crate::ProbDist;
+use qcir::{Circuit, Gate};
+use qdevice::NoiseParams;
+
+/// Per-classical-bit readout confusion parameters.
+///
+/// `p01[c]` is P(read 1 | true 0) and `p10[c]` is P(read 0 | true 1) for
+/// the qubit measured into classical bit `c`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadoutConfusion {
+    p01: Vec<f64>,
+    p10: Vec<f64>,
+}
+
+impl ReadoutConfusion {
+    /// Builds a confusion model from per-bit `(p01, p10)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 0.5)` — a flip probability
+    /// of 0.5 or more makes the confusion matrix singular or worse than
+    /// useless.
+    pub fn new(pairs: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        let (mut p01, mut p10) = (Vec::new(), Vec::new());
+        for (a, b) in pairs {
+            assert!(
+                (0.0..0.5).contains(&a) && (0.0..0.5).contains(&b),
+                "flip probabilities must be in [0, 0.5): ({a}, {b})"
+            );
+            p01.push(a);
+            p10.push(b);
+        }
+        ReadoutConfusion { p01, p10 }
+    }
+
+    /// Number of classical bits covered.
+    pub fn num_bits(&self) -> u32 {
+        self.p01.len() as u32
+    }
+
+    /// Extracts the confusion parameters for a *physical* circuit's
+    /// measurements from the device's ground-truth noise parameters: bit
+    /// `c` inherits the flip rates of the physical qubit measured into it.
+    ///
+    /// Classical bits that receive no measurement get zero flip rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a measured qubit lies outside `params`.
+    pub fn for_circuit(physical: &Circuit, params: &NoiseParams) -> Self {
+        let n = physical.num_clbits() as usize;
+        let mut p01 = vec![0.0; n];
+        let mut p10 = vec![0.0; n];
+        for g in physical.iter() {
+            if let Gate::Measure(q, c) = *g {
+                p01[c.usize()] = params.readout_p01[q.usize()].min(0.499);
+                p10[c.usize()] = params.readout_p10[q.usize()].min(0.499);
+            }
+        }
+        ReadoutConfusion { p01, p10 }
+    }
+}
+
+/// Applies the confusion model forward: the distribution an instrument with
+/// these flip rates would *observe* given the true distribution.
+///
+/// # Panics
+///
+/// Panics if the confusion model covers fewer bits than the distribution.
+pub fn fold(true_dist: &ProbDist, confusion: &ReadoutConfusion) -> ProbDist {
+    transform(true_dist, confusion, false)
+}
+
+/// Inverts the confusion model: estimates the true distribution from the
+/// observed one. Negative intensities produced by the inversion are clamped
+/// to zero and the result renormalized.
+///
+/// # Panics
+///
+/// Panics if the confusion model covers fewer bits than the distribution,
+/// or the distribution is wider than 24 bits (dense intermediate).
+///
+/// # Examples
+///
+/// ```
+/// use edm_core::{mitigate, ProbDist};
+/// let truth = ProbDist::new(2, [(0b11, 0.8), (0b00, 0.2)]);
+/// let confusion = mitigate::ReadoutConfusion::new([(0.02, 0.10), (0.03, 0.08)]);
+/// let observed = mitigate::fold(&truth, &confusion);
+/// // Readout bias bleeds probability out of 11 ...
+/// assert!(observed.probability(0b11) < 0.8);
+/// // ... and unfolding recovers it.
+/// let recovered = mitigate::unfold(&observed, &confusion);
+/// assert!((recovered.probability(0b11) - 0.8).abs() < 1e-9);
+/// ```
+pub fn unfold(observed: &ProbDist, confusion: &ReadoutConfusion) -> ProbDist {
+    transform(observed, confusion, true)
+}
+
+fn transform(dist: &ProbDist, confusion: &ReadoutConfusion, inverse: bool) -> ProbDist {
+    let width = dist.num_clbits();
+    assert!(
+        confusion.num_bits() >= width,
+        "confusion model covers {} bits, distribution has {width}",
+        confusion.num_bits()
+    );
+    assert!(width <= 24, "distribution too wide for dense unfolding");
+    let m = 1usize << width;
+    let mut v = vec![0.0f64; m];
+    for (k, p) in dist.iter() {
+        v[k as usize] = p;
+    }
+    for bit in 0..width {
+        let (a, b) = (confusion.p01[bit as usize], confusion.p10[bit as usize]);
+        // Confusion matrix [[1-a, b], [a, 1-b]] (column = true value).
+        let (m00, m01, m10, m11) = if inverse {
+            let det = 1.0 - a - b;
+            ((1.0 - b) / det, -b / det, -a / det, (1.0 - a) / det)
+        } else {
+            (1.0 - a, b, a, 1.0 - b)
+        };
+        let mask = 1usize << bit;
+        for i in 0..m {
+            if i & mask == 0 {
+                let x0 = v[i];
+                let x1 = v[i | mask];
+                v[i] = m00 * x0 + m01 * x1;
+                v[i | mask] = m10 * x0 + m11 * x1;
+            }
+        }
+    }
+    // Clamp inversion artifacts and renormalize.
+    ProbDist::new(
+        width,
+        v.into_iter()
+            .enumerate()
+            .filter(|&(_, p)| p > 0.0)
+            .map(|(k, p)| (k as u64, p)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdevice::{presets, DeviceModel};
+    use qmap::Transpiler;
+    use qsim::{NoisySimulator, SimOptions};
+
+    #[test]
+    fn fold_unfold_is_identity() {
+        let truth = ProbDist::new(3, [(0b101, 0.5), (0b010, 0.3), (0b111, 0.2)]);
+        let confusion =
+            ReadoutConfusion::new([(0.05, 0.12), (0.02, 0.09), (0.07, 0.15)]);
+        let roundtrip = unfold(&fold(&truth, &confusion), &confusion);
+        for k in 0..8u64 {
+            assert!(
+                (roundtrip.probability(k) - truth.probability(k)).abs() < 1e-9,
+                "key {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_confusion_is_identity() {
+        let truth = ProbDist::new(2, [(0b01, 0.6), (0b10, 0.4)]);
+        let confusion = ReadoutConfusion::new([(0.0, 0.0), (0.0, 0.0)]);
+        assert_eq!(fold(&truth, &confusion), truth);
+        assert_eq!(unfold(&truth, &confusion), truth);
+    }
+
+    #[test]
+    fn fold_moves_mass_in_the_bias_direction() {
+        // True |11>: asymmetric p10 >> p01 pushes mass toward lower weight.
+        let truth = ProbDist::new(2, [(0b11, 1.0)]);
+        let confusion = ReadoutConfusion::new([(0.01, 0.2), (0.01, 0.2)]);
+        let observed = fold(&truth, &confusion);
+        assert!((observed.probability(0b11) - 0.64).abs() < 1e-9);
+        assert!((observed.probability(0b01) - 0.16).abs() < 1e-9);
+        assert!((observed.probability(0b00) - 0.04).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unfold_clamps_negative_artifacts() {
+        // An observed distribution impossible under the model: unfolding
+        // would give negatives, which must be clamped and renormalized.
+        let observed = ProbDist::new(1, [(1, 1.0)]);
+        let confusion = ReadoutConfusion::new([(0.3, 0.0)]);
+        let recovered = unfold(&observed, &confusion);
+        let total: f64 = recovered.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(recovered.iter().all(|(_, p)| p >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 0.5)")]
+    fn rejects_singular_confusion() {
+        let _ = ReadoutConfusion::new([(0.5, 0.1)]);
+    }
+
+    #[test]
+    fn mitigation_improves_simulated_readout() {
+        // Readout-only noise on a deterministic circuit: unfolding with the
+        // true parameters should recover nearly all of the lost PST.
+        let device = DeviceModel::synthesize(presets::melbourne14(), 6);
+        let cal = device.calibration();
+        let t = Transpiler::new(device.topology(), &cal);
+        let bench = qbench::registry::by_name("greycode").expect("registered");
+        let physical = t.transpile(&bench.circuit).expect("transpiles").physical;
+
+        let sim = NoisySimulator::from_device(&device).with_options(SimOptions {
+            stochastic_gate_noise: false,
+            decoherence: false,
+            coherent_errors: false,
+            crosstalk: false,
+            readout_error: true,
+        });
+        let counts = sim.run(&physical, 30_000, 9).expect("runs");
+        let observed = ProbDist::from_counts(&counts);
+        let confusion = ReadoutConfusion::for_circuit(&physical, device.truth());
+        let mitigated = unfold(&observed, &confusion);
+
+        let raw_pst = observed.probability(bench.correct);
+        let fixed_pst = mitigated.probability(bench.correct);
+        assert!(
+            fixed_pst > raw_pst + 0.05,
+            "mitigation should recover PST: {raw_pst:.3} -> {fixed_pst:.3}"
+        );
+        assert!(fixed_pst > 0.95, "near-full recovery expected: {fixed_pst:.3}");
+    }
+
+    #[test]
+    fn for_circuit_maps_physical_rates_to_clbits() {
+        let device = DeviceModel::synthesize(presets::melbourne14(), 2);
+        let mut c = qcir::Circuit::new(14, 2);
+        c.x(5);
+        c.measure(5, 1).measure(9, 0);
+        let confusion = ReadoutConfusion::for_circuit(&c, device.truth());
+        assert_eq!(confusion.num_bits(), 2);
+        assert!((confusion.p10[1] - device.truth().readout_p10[5].min(0.499)).abs() < 1e-12);
+        assert!((confusion.p01[0] - device.truth().readout_p01[9].min(0.499)).abs() < 1e-12);
+    }
+}

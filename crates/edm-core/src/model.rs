@@ -1,0 +1,269 @@
+//! The buckets-and-balls analysis of Appendix A.
+//!
+//! Running an `m`-bit program for `N` trials is modeled as throwing `N`
+//! balls at `M = 2^m` buckets: one green bucket (the correct answer) and
+//! `M - 1` red buckets. Correlated errors are modeled by a *demon* that
+//! redirects a fraction `Q_cor` of the erroneous balls into `k` designated
+//! "purple" buckets, making those wrong answers disproportionately likely.
+//!
+//! The module provides the closed-form IST estimate for the uncorrelated
+//! case, a Monte-Carlo simulator for both cases, and the *PST frontier*:
+//! the minimum success probability at which the correct answer can still be
+//! inferred (IST = 1).
+
+use crate::metrics;
+use crate::ProbDist;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// The correlated-error demon: `q_cor` of the error mass lands uniformly in
+/// `num_hot` designated buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Demon {
+    /// Number of favored ("purple") wrong-answer buckets, `k`.
+    pub num_hot: u64,
+    /// Fraction of erroneous balls redirected to the purple buckets.
+    pub q_cor: f64,
+}
+
+/// A buckets-and-balls experiment configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BucketModel {
+    /// Total number of buckets, `M = 2^m`.
+    pub num_buckets: u64,
+    /// Probability a ball lands in the green (correct) bucket, `P_s`.
+    pub p_success: f64,
+    /// Correlated-error demon, or `None` for IID errors.
+    pub demon: Option<Demon>,
+}
+
+impl BucketModel {
+    /// An uncorrelated model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_buckets < 2` or `p_success` is outside `[0, 1]`.
+    pub fn uncorrelated(num_buckets: u64, p_success: f64) -> Self {
+        Self::validate(num_buckets, p_success, None)
+    }
+
+    /// A correlated model with `k` hot buckets and correlation `q_cor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters (see [`BucketModel::uncorrelated`];
+    /// additionally `num_hot` must be in `1..num_buckets` and `q_cor` in
+    /// `[0, 1]`).
+    pub fn correlated(num_buckets: u64, p_success: f64, num_hot: u64, q_cor: f64) -> Self {
+        assert!(
+            num_hot >= 1 && num_hot < num_buckets,
+            "hot bucket count {num_hot} out of range"
+        );
+        assert!((0.0..=1.0).contains(&q_cor), "q_cor {q_cor} outside [0,1]");
+        Self::validate(num_buckets, p_success, Some(Demon { num_hot, q_cor }))
+    }
+
+    fn validate(num_buckets: u64, p_success: f64, demon: Option<Demon>) -> Self {
+        assert!(num_buckets >= 2, "need at least two buckets");
+        assert!(
+            (0.0..=1.0).contains(&p_success),
+            "p_success {p_success} outside [0,1]"
+        );
+        BucketModel {
+            num_buckets,
+            p_success,
+            demon,
+        }
+    }
+
+    /// The closed-form IST estimate of Appendix A.2/A.3 for `n` balls:
+    /// expected green occupancy over the 95%-confidence upper bound of the
+    /// fullest wrong bucket.
+    pub fn analytic_ist(&self, n: u64) -> f64 {
+        let n = n as f64;
+        let m = self.num_buckets as f64;
+        let ps = self.p_success;
+        let green = n * ps;
+        let upper = |p: f64| -> f64 { n * p + 2.0 * (n * p * (1.0 - p)).sqrt() };
+        let strongest_wrong = match self.demon {
+            None => {
+                let pe = (1.0 - ps) / (m - 1.0);
+                upper(pe)
+            }
+            Some(Demon { num_hot, q_cor }) => {
+                let k = num_hot as f64;
+                let p_hot = (1.0 - ps) * q_cor / k + (1.0 - ps) * (1.0 - q_cor) / (m - 1.0);
+                let p_cold = (1.0 - ps) * (1.0 - q_cor) / (m - 1.0);
+                upper(p_hot).max(upper(p_cold))
+            }
+        };
+        if strongest_wrong <= 0.0 {
+            f64::INFINITY
+        } else {
+            green / strongest_wrong
+        }
+    }
+
+    /// Monte-Carlo simulation: throws `n` balls and returns the resulting
+    /// outcome distribution. Bucket 0 is green; buckets `1..=k` are purple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn simulate(&self, n: u64, seed: u64) -> ProbDist {
+        assert!(n > 0, "need at least one ball");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let m = self.num_buckets;
+        let width = (64 - (m - 1).leading_zeros()).max(1);
+        let mut histogram: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+        for _ in 0..n {
+            let bucket = if rng.gen::<f64>() < self.p_success {
+                0
+            } else {
+                match self.demon {
+                    Some(Demon { num_hot, q_cor }) if rng.gen::<f64>() < q_cor => {
+                        1 + rng.gen_range(0..num_hot)
+                    }
+                    _ => 1 + rng.gen_range(0..m - 1),
+                }
+            };
+            *histogram.entry(bucket).or_insert(0.0) += 1.0;
+        }
+        ProbDist::new(width, histogram)
+    }
+
+    /// IST of one simulated experiment (`correct` = bucket 0).
+    pub fn simulated_ist(&self, n: u64, seed: u64) -> f64 {
+        metrics::ist(&self.simulate(n, seed), 0)
+    }
+
+    /// Median simulated IST across `rounds` independent experiments.
+    pub fn median_ist(&self, n: u64, rounds: u32, seed: u64) -> f64 {
+        let mut ists: Vec<f64> = (0..rounds)
+            .map(|r| self.simulated_ist(n, seed.wrapping_add(r as u64)))
+            .collect();
+        ists.sort_by(|a, b| a.partial_cmp(b).expect("IST ordering"));
+        ists[ists.len() / 2]
+    }
+}
+
+/// The PST frontier (Appendix A.3): the minimum `P_s` at which the median
+/// simulated IST reaches 1, found by scanning `P_s` in steps of `step`.
+///
+/// # Panics
+///
+/// Panics if `step` is not in `(0, 1)`.
+pub fn pst_frontier(
+    num_buckets: u64,
+    demon: Option<Demon>,
+    n: u64,
+    rounds: u32,
+    step: f64,
+    seed: u64,
+) -> f64 {
+    assert!(step > 0.0 && step < 1.0, "step {step} outside (0,1)");
+    let mut ps = step;
+    while ps < 1.0 {
+        let model = BucketModel {
+            num_buckets,
+            p_success: ps,
+            demon,
+        };
+        if model.median_ist(n, rounds, seed) >= 1.0 {
+            return ps;
+        }
+        ps += step;
+    }
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_uncorrelated_matches_paper_scale() {
+        // Appendix A: with M = 64, even Ps = 2% gives IST > 1 (paper's PST
+        // frontier for the uncorrelated model is ~1.8%).
+        let model = BucketModel::uncorrelated(64, 0.02);
+        assert!(model.analytic_ist(8192) > 1.0);
+        // Far below the frontier inference fails.
+        let weak = BucketModel::uncorrelated(64, 0.005);
+        assert!(weak.analytic_ist(8192) < 1.0);
+    }
+
+    #[test]
+    fn correlation_reduces_analytic_ist() {
+        let n = 8192;
+        let iid = BucketModel::uncorrelated(64, 0.05).analytic_ist(n);
+        let weak = BucketModel::correlated(64, 0.05, 6, 0.10).analytic_ist(n);
+        let strong = BucketModel::correlated(64, 0.05, 6, 0.50).analytic_ist(n);
+        assert!(iid > weak, "{iid} vs {weak}");
+        assert!(weak > strong, "{weak} vs {strong}");
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_analytic_uncorrelated() {
+        let model = BucketModel::uncorrelated(64, 0.06);
+        let analytic = model.analytic_ist(8192);
+        let simulated = model.median_ist(8192, 9, 7);
+        // The analytic bound uses a 95% upper bound on the fullest red
+        // bucket, so it slightly underestimates the simulated median.
+        assert!(
+            simulated > 0.6 * analytic && simulated < 2.5 * analytic,
+            "simulated {simulated} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn demon_concentrates_mass_in_hot_buckets() {
+        let model = BucketModel::correlated(64, 0.10, 6, 0.5);
+        let dist = model.simulate(20_000, 3);
+        let hot_mass: f64 = (1..=6u64).map(|b| dist.probability(b)).sum();
+        // 0.9 error mass * (0.5 demon + 0.5*6/63 uniform share) ≈ 0.49.
+        assert!(hot_mass > 0.40, "hot mass {hot_mass}");
+        let cold_example = dist.probability(20);
+        let hot_example = dist.probability(3);
+        assert!(hot_example > 3.0 * cold_example);
+    }
+
+    #[test]
+    fn pst_frontier_shifts_right_with_correlation() {
+        // The paper reports ~1.8% (no correlation) -> 3.6% (Qcor = 10%)
+        // -> 8% (Qcor = 50%) for M = 64, k = 6.
+        let n = 8192;
+        let f_iid = pst_frontier(64, None, n, 5, 0.005, 11);
+        let f_weak = pst_frontier(64, Some(Demon { num_hot: 6, q_cor: 0.10 }), n, 5, 0.005, 11);
+        let f_strong = pst_frontier(64, Some(Demon { num_hot: 6, q_cor: 0.50 }), n, 5, 0.005, 11);
+        assert!(f_iid < f_weak, "{f_iid} vs {f_weak}");
+        assert!(f_weak < f_strong, "{f_weak} vs {f_strong}");
+        assert!(f_iid <= 0.03, "iid frontier {f_iid}");
+        assert!(f_strong >= 0.04, "strong frontier {f_strong}");
+    }
+
+    #[test]
+    fn simulated_dist_is_deterministic_per_seed() {
+        let model = BucketModel::correlated(16, 0.2, 3, 0.4);
+        assert_eq!(model.simulate(1000, 5), model.simulate(1000, 5));
+        assert_ne!(model.simulate(1000, 5), model.simulate(1000, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_hot_count() {
+        let _ = BucketModel::correlated(8, 0.1, 8, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn rejects_bad_probability() {
+        let _ = BucketModel::uncorrelated(8, 1.5);
+    }
+
+    #[test]
+    fn perfect_machine_has_infinite_ist() {
+        let model = BucketModel::uncorrelated(8, 1.0);
+        assert!(model.simulated_ist(100, 0).is_infinite());
+    }
+}

@@ -1,0 +1,135 @@
+//! Weighted EDM merging (§6, Appendix B).
+//!
+//! WEDM scales each member's output distribution by its *uniqueness*: the
+//! cumulative symmetric KL divergence against every other member
+//! (Appendix B, Eq. 6). Members that echo what the rest of the ensemble
+//! already says carry little information and are down-weighted; divergent
+//! members — which by §3.2 come from genuinely different error exposure —
+//! are amplified.
+
+use crate::dist::{symmetric_kl, ProbDist};
+
+/// Raw (unnormalized) WEDM weights: `W_i = Σ_j SD_KL(O_i, O_j)`.
+///
+/// # Panics
+///
+/// Panics if `dists` is empty.
+pub fn raw_weights(dists: &[ProbDist]) -> Vec<f64> {
+    assert!(!dists.is_empty(), "need at least one distribution");
+    (0..dists.len())
+        .map(|i| {
+            (0..dists.len())
+                .filter(|&j| j != i)
+                .map(|j| symmetric_kl(&dists[i], &dists[j]))
+                .sum()
+        })
+        .collect()
+}
+
+/// Normalized WEDM weights (Appendix B, Eq. 6). Falls back to uniform
+/// weights when every pairwise divergence is zero (identical outputs) or a
+/// divergence is non-finite.
+pub fn weights(dists: &[ProbDist]) -> Vec<f64> {
+    let raw = raw_weights(dists);
+    let total: f64 = raw.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        return vec![1.0 / dists.len() as f64; dists.len()];
+    }
+    raw.iter().map(|w| w / total).collect()
+}
+
+/// The WEDM output distribution (Appendix B, Eq. 5) together with the
+/// normalized weights used.
+///
+/// # Panics
+///
+/// Panics if `dists` is empty or widths differ.
+///
+/// # Examples
+///
+/// ```
+/// use edm_core::{wedm, ProbDist};
+/// let a = ProbDist::new(1, [(0, 0.9), (1, 0.1)]);
+/// let b = ProbDist::new(1, [(0, 0.9), (1, 0.1)]);
+/// let c = ProbDist::new(1, [(1, 1.0)]);
+/// let (merged, w) = wedm::merge(&[a, b, c]);
+/// // The divergent member dominates the weights.
+/// assert!(w[2] > w[0]);
+/// assert!(merged.probability(1) > 0.1);
+/// ```
+pub fn merge(dists: &[ProbDist]) -> (ProbDist, Vec<f64>) {
+    let w = weights(dists);
+    (ProbDist::merge_weighted(dists, &w), w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(entries: &[(u64, f64)]) -> ProbDist {
+        ProbDist::new(2, entries.iter().copied())
+    }
+
+    #[test]
+    fn identical_members_get_uniform_weights() {
+        let a = d(&[(0, 0.5), (1, 0.5)]);
+        let w = weights(&[a.clone(), a.clone(), a.clone()]);
+        for x in &w {
+            assert!((x - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_member_weight_is_one() {
+        let a = d(&[(0, 1.0)]);
+        let w = weights(std::slice::from_ref(&a));
+        assert_eq!(w, vec![1.0]);
+        let (m, _) = merge(std::slice::from_ref(&a));
+        assert_eq!(m, a);
+    }
+
+    #[test]
+    fn divergent_member_weighs_more() {
+        let a = d(&[(0, 0.8), (1, 0.2)]);
+        let b = d(&[(0, 0.8), (1, 0.2)]);
+        let c = d(&[(2, 0.9), (3, 0.1)]);
+        let w = weights(&[a, b, c]);
+        assert!(w[2] > w[0]);
+        assert!(w[2] > w[1]);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_are_symmetric_under_permutation() {
+        let a = d(&[(0, 0.8), (1, 0.2)]);
+        let b = d(&[(1, 0.7), (2, 0.3)]);
+        let w1 = weights(&[a.clone(), b.clone()]);
+        let w2 = weights(&[b, a]);
+        assert!((w1[0] - w2[1]).abs() < 1e-9);
+        assert!((w1[1] - w2[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_member_weights_are_equal() {
+        // With two members, W_0 = W_1 = SD(O_0, O_1): WEDM degenerates to EDM.
+        let a = d(&[(0, 0.9), (1, 0.1)]);
+        let b = d(&[(3, 1.0)]);
+        let w = weights(&[a, b]);
+        assert!((w[0] - 0.5).abs() < 1e-9);
+        assert!((w[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_suppresses_correlated_wrong_answer() {
+        // Three members echo the same wrong answer 01; one diverges. WEDM
+        // should hand the diverse member more influence than EDM does.
+        let echo = d(&[(0b11, 0.30), (0b01, 0.40), (0b00, 0.30)]);
+        let diverse = d(&[(0b11, 0.30), (0b10, 0.45), (0b00, 0.25)]);
+        let members = [echo.clone(), echo.clone(), echo, diverse];
+        let (wedm, w) = merge(&members);
+        let edm = ProbDist::merge_uniform(&members);
+        assert!(w[3] > w[0]);
+        // The correlated wrong answer 01 is weaker under WEDM.
+        assert!(wedm.probability(0b01) < edm.probability(0b01));
+    }
+}

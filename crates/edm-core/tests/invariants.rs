@@ -1,0 +1,190 @@
+//! Paper-level invariants of the EDM machinery, checked end to end against
+//! the simulator.
+
+use edm_core::{
+    build_ensemble, metrics, wedm, EdmRunner, EnsembleConfig, ProbDist, ShotAllocation,
+};
+use qbench::registry;
+use qdevice::{presets, DeviceModel};
+use qmap::Transpiler;
+use qsim::NoisySimulator;
+
+fn setup(seed: u64) -> DeviceModel {
+    DeviceModel::synthesize(presets::melbourne14(), seed)
+}
+
+#[test]
+fn every_member_executes_identical_gate_counts() {
+    // §3.2: "the executed identical number of gates" — for every registry
+    // workload, all ensemble members are isomorphic relabelings.
+    let d = setup(3);
+    let cal = d.calibration();
+    let t = Transpiler::new(d.topology(), &cal);
+    for b in registry::all() {
+        let members = build_ensemble(&t, &b.circuit, &EnsembleConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let signature = |m: &edm_core::EnsembleMember| {
+            (
+                m.physical.count_1q(),
+                m.physical.count_cx(),
+                m.physical.count_measure(),
+                m.physical.depth(),
+            )
+        };
+        let first = signature(&members[0]);
+        for m in &members[1..] {
+            assert_eq!(signature(m), first, "{}", b.name);
+        }
+    }
+}
+
+#[test]
+fn every_member_answers_the_same_question() {
+    // Relabeling must preserve the ideal outcome for every member.
+    let d = setup(4);
+    let cal = d.calibration();
+    let t = Transpiler::new(d.topology(), &cal);
+    for b in registry::ist_suite() {
+        let members = build_ensemble(&t, &b.circuit, &EnsembleConfig::default()).expect("builds");
+        for (i, m) in members.iter().enumerate() {
+            assert_eq!(
+                qsim::ideal::outcome(&m.physical).expect("valid"),
+                b.correct,
+                "{} member {i}",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn edm_pst_is_the_mean_of_member_psts() {
+    let d = setup(5);
+    let cal = d.calibration();
+    let t = Transpiler::new(d.topology(), &cal);
+    let backend = NoisySimulator::from_device(&d);
+    let runner = EdmRunner::new(&t, &backend, EnsembleConfig::default());
+    let b = registry::by_name("bv-6").expect("registered");
+    let result = runner.run(&b.circuit, 8192, 7).expect("runs");
+    let mean: f64 = result
+        .members
+        .iter()
+        .map(|m| metrics::pst(&m.dist, b.correct))
+        .sum::<f64>()
+        / result.members.len() as f64;
+    let edm_pst = metrics::pst(&result.edm, b.correct);
+    // Equal only when shares are exactly equal; they differ by at most one
+    // shot, so allow a small tolerance.
+    assert!(
+        (edm_pst - mean).abs() < 0.01,
+        "EDM PST {edm_pst:.4} vs member mean {mean:.4}"
+    );
+}
+
+#[test]
+fn edm_ist_at_least_matches_the_weakest_member() {
+    // Merging can dilute, but the merged IST must never fall below every
+    // member's IST simultaneously being better — sanity: merged IST is at
+    // least the minimum member IST (wrong answers cannot get *relatively*
+    // stronger than in the worst member after averaging).
+    let d = setup(6);
+    let cal = d.calibration();
+    let t = Transpiler::new(d.topology(), &cal);
+    let backend = NoisySimulator::from_device(&d);
+    let runner = EdmRunner::new(&t, &backend, EnsembleConfig::default());
+    for name in ["bv-6", "greycode", "qaoa-5"] {
+        let b = registry::by_name(name).expect("registered");
+        let result = runner.run(&b.circuit, 8192, 11).expect("runs");
+        let min_member = result
+            .members
+            .iter()
+            .map(|m| metrics::ist(&m.dist, b.correct))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            result.ist_edm(b.correct) >= 0.5 * min_member,
+            "{name}: merged IST collapsed below every member"
+        );
+    }
+}
+
+#[test]
+fn wedm_equals_edm_for_two_members() {
+    // Appendix B: with two members the cumulative divergences are equal, so
+    // WEDM degenerates to the uniform merge.
+    let d = setup(7);
+    let cal = d.calibration();
+    let t = Transpiler::new(d.topology(), &cal);
+    let backend = NoisySimulator::from_device(&d);
+    let config = EnsembleConfig {
+        size: 2,
+        ..EnsembleConfig::default()
+    };
+    let runner = EdmRunner::new(&t, &backend, config);
+    let b = registry::by_name("bv-6").expect("registered");
+    let result = runner.run(&b.circuit, 4096, 5).expect("runs");
+    assert_eq!(result.members.len(), 2);
+    for k in result.edm.iter().map(|(k, _)| k) {
+        assert!(
+            (result.edm.probability(k) - result.wedm.probability(k)).abs() < 1e-9,
+            "key {k}"
+        );
+    }
+}
+
+#[test]
+fn wedm_weights_match_manual_computation() {
+    let d = setup(8);
+    let cal = d.calibration();
+    let t = Transpiler::new(d.topology(), &cal);
+    let backend = NoisySimulator::from_device(&d);
+    let runner = EdmRunner::new(&t, &backend, EnsembleConfig::default());
+    let b = registry::by_name("qaoa-5").expect("registered");
+    let result = runner.run(&b.circuit, 8192, 13).expect("runs");
+    let dists: Vec<ProbDist> = result.members.iter().map(|m| m.dist.clone()).collect();
+    assert_eq!(result.weights, wedm::weights(&dists));
+}
+
+#[test]
+fn shot_allocation_modes_agree_on_totals() {
+    let d = setup(9);
+    let cal = d.calibration();
+    let t = Transpiler::new(d.topology(), &cal);
+    let backend = NoisySimulator::from_device(&d);
+    let b = registry::by_name("greycode").expect("registered");
+    for allocation in [ShotAllocation::Uniform, ShotAllocation::EspWeighted] {
+        let config = EnsembleConfig {
+            shot_allocation: allocation,
+            ..EnsembleConfig::default()
+        };
+        let runner = EdmRunner::new(&t, &backend, config);
+        let result = runner.run(&b.circuit, 5000, 1).expect("runs");
+        let total: u64 = result.members.iter().map(|m| m.counts.shots()).sum();
+        assert_eq!(total, 5000, "{allocation:?}");
+    }
+}
+
+#[test]
+fn ensemble_respects_the_esp_pool_contract() {
+    // Every selected member's ESP is within the configured ratio of the
+    // best member's.
+    let d = setup(10);
+    let cal = d.calibration();
+    let t = Transpiler::new(d.topology(), &cal);
+    for b in registry::ist_suite() {
+        let config = EnsembleConfig {
+            min_esp_ratio: 0.9,
+            ..EnsembleConfig::default()
+        };
+        let members = build_ensemble(&t, &b.circuit, &config).expect("builds");
+        let best = members[0].esp;
+        for m in &members {
+            assert!(
+                m.esp >= 0.9 * best - 1e-12,
+                "{}: member ESP {} below pool cutoff of best {}",
+                b.name,
+                m.esp,
+                best
+            );
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Bernstein-Vazirani circuits.
+//!
+//! BV recovers an `n`-bit hidden key with a single oracle query: on an ideal
+//! machine the measured string *is* the key with probability 1, which makes
+//! BV the paper's primary probe for correlated errors (§3). The oracle is
+//! the standard phase-kickback construction: one ancilla in `|−⟩`, a CX from
+//! every key bit into the ancilla.
+
+use qcir::Circuit;
+
+/// Builds a Bernstein-Vazirani circuit for an `n`-bit `key`.
+///
+/// Uses `n + 1` qubits (data `0..n`, ancilla `n`) and `n` classical bits;
+/// the ideal output equals `key`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `n > 62`, or `key` has bits set beyond `n`.
+///
+/// # Examples
+///
+/// ```
+/// use qbench::bv;
+/// use qsim::ideal;
+///
+/// let c = bv::bv(0b110011, 6);
+/// assert_eq!(ideal::outcome(&c).unwrap(), 0b110011);
+/// ```
+pub fn bv(key: u64, n: u32) -> Circuit {
+    assert!(n > 0 && n <= 62, "key width {n} out of range");
+    assert!(
+        key < (1u64 << n),
+        "key {key:#b} wider than {n} bits"
+    );
+    let mut c = Circuit::new(n + 1, n);
+    // Ancilla in |−⟩.
+    c.x(n);
+    c.h(n);
+    // Uniform superposition over data qubits.
+    for i in 0..n {
+        c.h(i);
+    }
+    // Oracle: phase kickback for every set key bit.
+    for i in 0..n {
+        if key >> i & 1 == 1 {
+            c.cx(i, n);
+        }
+    }
+    // Back to the computational basis.
+    for i in 0..n {
+        c.h(i);
+    }
+    for i in 0..n {
+        c.measure(i, i);
+    }
+    c
+}
+
+/// The paper's BV-6 instance (key `110011`, Table 1).
+pub fn bv6() -> Circuit {
+    bv(0b110011, 6)
+}
+
+/// The paper's BV-7 instance (key `1101011`, Table 1).
+pub fn bv7() -> Circuit {
+    bv(0b1101011, 7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::ideal;
+
+    #[test]
+    fn recovers_every_2bit_key() {
+        for key in 0..4u64 {
+            let c = bv(key, 2);
+            assert_eq!(ideal::outcome(&c).unwrap(), key, "key {key}");
+            // Single-shot algorithm: the ideal distribution is a point mass.
+            let dist = ideal::probabilities(&c).unwrap();
+            assert!((dist[&key] - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_instances_recover_their_keys() {
+        assert_eq!(ideal::outcome(&bv6()).unwrap(), 0b110011);
+        assert_eq!(ideal::outcome(&bv7()).unwrap(), 0b1101011);
+    }
+
+    #[test]
+    fn gate_counts_scale_with_key_weight() {
+        // CX count equals the key's Hamming weight.
+        let c = bv(0b110011, 6);
+        assert_eq!(c.count_cx(), 4);
+        assert_eq!(c.count_measure(), 6);
+        // X + H on the ancilla plus two H layers on the data: 2n + 2.
+        assert_eq!(c.count_1q(), 2 * 6 + 2);
+        let c = bv(0b1101011, 7);
+        assert_eq!(c.count_cx(), 5);
+        assert_eq!(c.count_measure(), 7);
+    }
+
+    #[test]
+    fn zero_key_has_no_oracle() {
+        let c = bv(0, 3);
+        assert_eq!(c.count_cx(), 0);
+        assert_eq!(ideal::outcome(&c).unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than")]
+    fn rejects_wide_key() {
+        let _ = bv(0b1000, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_zero_width() {
+        let _ = bv(0, 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! GHZ-state circuits (extension workloads).
+//!
+//! GHZ states are maximally sensitive to correlated phase noise, which
+//! makes them a sharp probe for the error channels this reproduction
+//! models. Two variants are provided: the plain GHZ preparation (whose
+//! ideal output is the 50/50 `00…0` / `11…1` mixture) and a *parity* test
+//! that maps GHZ coherence onto a single deterministic outcome.
+
+use qcir::Circuit;
+
+/// Prepares an `n`-qubit GHZ state and measures all qubits.
+///
+/// The ideal distribution is `{0…0: 0.5, 1…1: 0.5}`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 62`.
+///
+/// # Examples
+///
+/// ```
+/// use qbench::ghz;
+/// use qsim::ideal;
+/// let dist = ideal::probabilities(&ghz::ghz(4)).unwrap();
+/// assert!((dist[&0b0000] - 0.5).abs() < 1e-9);
+/// assert!((dist[&0b1111] - 0.5).abs() < 1e-9);
+/// ```
+pub fn ghz(n: u32) -> Circuit {
+    assert!(n > 0 && n <= 62, "width {n} out of range");
+    let mut c = Circuit::new(n, n);
+    c.h(0);
+    for i in 0..n - 1 {
+        c.cx(i, i + 1);
+    }
+    c.measure_all();
+    c
+}
+
+/// The GHZ parity benchmark: prepare GHZ, then rotate every qubit into the
+/// X basis. An ideal machine outputs only even-parity strings; the
+/// designated correct answer is `0…0` (the most likely even-parity string
+/// is uniform among them, so the parity mass is the figure of interest).
+///
+/// Returns the circuit; use [`even_parity_mass`] to score a distribution.
+pub fn ghz_parity(n: u32) -> Circuit {
+    assert!(n > 0 && n <= 62, "width {n} out of range");
+    let mut c = Circuit::new(n, n);
+    c.h(0);
+    for i in 0..n - 1 {
+        c.cx(i, i + 1);
+    }
+    for i in 0..n {
+        c.h(i);
+    }
+    c.measure_all();
+    c
+}
+
+/// Total probability mass on even-parity outcomes — 1.0 for an ideal GHZ
+/// parity circuit, 0.5 for fully dephased states.
+pub fn even_parity_mass(dist: impl IntoIterator<Item = (u64, f64)>) -> f64 {
+    dist.into_iter()
+        .filter(|(k, _)| k.count_ones() % 2 == 0)
+        .map(|(_, p)| p)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::ideal;
+
+    #[test]
+    fn ghz_distribution_is_cat_state() {
+        for n in [2u32, 3, 5] {
+            let dist = ideal::probabilities(&ghz(n)).unwrap();
+            assert_eq!(dist.len(), 2, "n = {n}");
+            let all_ones = (1u64 << n) - 1;
+            assert!((dist[&0] - 0.5).abs() < 1e-9);
+            assert!((dist[&all_ones] - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parity_circuit_outputs_only_even_strings() {
+        let dist = ideal::probabilities(&ghz_parity(4)).unwrap();
+        for (k, p) in &dist {
+            assert!(k.count_ones() % 2 == 0 || *p < 1e-12, "odd outcome {k:b}");
+        }
+        assert!((even_parity_mass(dist.into_iter()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parity_mass_of_uniform_is_half() {
+        let m = 1u64 << 4;
+        let uniform = (0..m).map(|k| (k, 1.0 / m as f64));
+        assert!((even_parity_mass(uniform) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_counts() {
+        let c = ghz(6);
+        assert_eq!(c.count_cx(), 5);
+        assert_eq!(c.count_1q(), 1);
+        let p = ghz_parity(6);
+        assert_eq!(p.count_1q(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_zero_width() {
+        let _ = ghz(0);
+    }
+}

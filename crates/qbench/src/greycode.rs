@@ -1,0 +1,115 @@
+//! Greycode decoder circuits.
+//!
+//! Converts a binary register to its Gray code (`g_i = b_i ⊕ b_{i+1}`,
+//! `g_{n-1} = b_{n-1}`) with a cascade of CNOTs. The paper uses this shallow
+//! circuit — with equal numbers of CX and measurement operations — to probe
+//! whether correlated errors stem from measurement or two-qubit gates (§4.1).
+
+use qcir::Circuit;
+
+/// Converts `value` to its Gray code, `value ⊕ (value >> 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use qbench::greycode::to_gray;
+/// assert_eq!(to_gray(0b001111), 0b001000);
+/// ```
+pub fn to_gray(value: u64) -> u64 {
+    value ^ (value >> 1)
+}
+
+/// Builds an `n`-bit greycode decoder for a classical `input`.
+///
+/// The input is prepared with X gates, converted with `n - 1` CNOTs, and all
+/// `n` qubits are measured. The ideal output is [`to_gray`]`(input)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `n > 63`, or `input` has bits set beyond `n`.
+///
+/// # Examples
+///
+/// ```
+/// use qbench::greycode;
+/// use qsim::ideal;
+///
+/// let c = greycode::greycode(0b001111, 6);
+/// assert_eq!(ideal::outcome(&c).unwrap(), 0b001000);
+/// ```
+pub fn greycode(input: u64, n: u32) -> Circuit {
+    assert!(n > 0 && n <= 63, "width {n} out of range");
+    assert!(input < (1u64 << n), "input {input:#b} wider than {n} bits");
+    let mut c = Circuit::new(n, n);
+    for i in 0..n {
+        if input >> i & 1 == 1 {
+            c.x(i);
+        }
+    }
+    // g_i = b_i ⊕ b_{i+1}; every control is an original input bit because
+    // cx(i+1, i) only rewrites qubit i.
+    for i in 0..n - 1 {
+        c.cx(i + 1, i);
+    }
+    c.measure_all();
+    c
+}
+
+/// The paper's 6-bit greycode instance (expected output `001000`, Table 1).
+pub fn greycode6() -> Circuit {
+    greycode(0b001111, 6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::ideal;
+
+    #[test]
+    fn gray_conversion_table() {
+        assert_eq!(to_gray(0), 0);
+        assert_eq!(to_gray(1), 1);
+        assert_eq!(to_gray(2), 3);
+        assert_eq!(to_gray(3), 2);
+        assert_eq!(to_gray(7), 4);
+    }
+
+    #[test]
+    fn circuit_matches_classical_gray_for_all_4bit_inputs() {
+        for input in 0..16u64 {
+            let c = greycode(input, 4);
+            assert_eq!(
+                ideal::outcome(&c).unwrap(),
+                to_gray(input),
+                "input {input:04b}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_instance_output() {
+        assert_eq!(ideal::outcome(&greycode6()).unwrap(), 0b001000);
+    }
+
+    #[test]
+    fn equal_cx_and_measure_minus_one() {
+        // The paper's structural property: CX = n-1, M = n.
+        let c = greycode(0b001111, 6);
+        assert_eq!(c.count_cx(), 5);
+        assert_eq!(c.count_measure(), 6);
+    }
+
+    #[test]
+    fn shallow_depth() {
+        // The CNOT cascade serializes on shared qubits but stays shallow:
+        // depth ≤ (n-1) CX + input prep + measure.
+        let c = greycode(0b001111, 6);
+        assert!(c.depth() <= 8, "depth {}", c.depth());
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than")]
+    fn rejects_wide_input() {
+        let _ = greycode(0b100, 2);
+    }
+}

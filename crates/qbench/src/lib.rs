@@ -1,0 +1,32 @@
+//! # qbench — the EDM paper's benchmark circuits
+//!
+//! Generators for every workload in the paper's Table 1:
+//!
+//! - [`bv`] — Bernstein-Vazirani (6- and 7-bit keys),
+//! - [`greycode`] — the shallow greycode decoder,
+//! - [`qaoa`] — p=1 QAOA max-cut on ring graphs with deterministically
+//!   tuned angles,
+//! - [`reversible`] — Fredkin gate, 1-bit full adder, 2:4 decoder,
+//! - [`registry`] — all of the above with ground-truth correct answers and
+//!   the paper's reported gate counts.
+//!
+//! # Examples
+//!
+//! ```
+//! use qbench::registry;
+//!
+//! let bv6 = registry::by_name("bv-6").expect("in the registry");
+//! assert_eq!(bv6.correct_str(), "110011");
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod bv;
+pub mod ghz;
+pub mod greycode;
+pub mod qaoa;
+pub mod qft;
+pub mod registry;
+pub mod reversible;
+
+pub use registry::Benchmark;

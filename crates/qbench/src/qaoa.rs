@@ -1,0 +1,215 @@
+//! QAOA max-cut circuits (depth p = 1).
+//!
+//! The paper runs QAOA max-cut on small ring graphs whose path-shaped CNOT
+//! schedule needs no SWAPs on IBMQ-14 (§4.1). Each cost edge `(i, j)`
+//! becomes `CX(i,j) · Rz(2γ) · CX(i,j)` and the mixer is `Rx(2β)` on every
+//! qubit.
+//!
+//! Max-cut bitstrings always come in complement pairs describing the same
+//! cut; following the paper's Table 1, the designated *correct answer* is
+//! the alternating string starting with 1 at the top bit (`1010…`).
+
+use qcir::Circuit;
+use qsim::ideal;
+
+/// Builds a p=1 QAOA max-cut circuit for an arbitrary graph.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or an edge endpoint is out of range.
+pub fn qaoa_maxcut(n: u32, edges: &[(u32, u32)], gamma: f64, beta: f64) -> Circuit {
+    assert!(n > 0, "graph must have at least one node");
+    let mut c = Circuit::new(n, n);
+    for i in 0..n {
+        c.h(i);
+    }
+    for &(a, b) in edges {
+        assert!(a < n && b < n, "edge ({a},{b}) out of range");
+        c.cx(a, b);
+        c.rz(b, 2.0 * gamma);
+        c.cx(a, b);
+    }
+    for i in 0..n {
+        c.rx(i, 2.0 * beta);
+    }
+    c.measure_all();
+    c
+}
+
+/// The edges of an `n`-node ring.
+pub fn ring_edges(n: u32) -> Vec<(u32, u32)> {
+    (0..n).map(|i| (i, (i + 1) % n)).collect()
+}
+
+/// The paper's designated correct cut: alternating bits with the most
+/// significant classical bit set (`1010…`).
+///
+/// # Examples
+///
+/// ```
+/// use qbench::qaoa::alternating_cut;
+/// assert_eq!(alternating_cut(6), 0b101010);
+/// assert_eq!(alternating_cut(5), 0b10101);
+/// ```
+pub fn alternating_cut(n: u32) -> u64 {
+    let mut v = 0u64;
+    let mut bit = n as i64 - 1;
+    while bit >= 0 {
+        v |= 1 << bit;
+        bit -= 2;
+    }
+    v
+}
+
+/// Size of the cut induced by assignment `bits` on the given edges.
+pub fn cut_value(bits: u64, edges: &[(u32, u32)]) -> u32 {
+    edges
+        .iter()
+        .filter(|&&(a, b)| (bits >> a & 1) != (bits >> b & 1))
+        .count() as u32
+}
+
+/// Grid-searches `(γ, β)` for the ring QAOA that maximizes the ideal
+/// probability of the two optimal alternating cuts. Deterministic.
+fn tuned_angles(n: u32) -> (f64, f64) {
+    let edges = ring_edges(n);
+    let target_a = alternating_cut(n);
+    let target_b = !target_a & ((1u64 << n) - 1);
+    let mut best = (0.25, 0.12);
+    let mut best_p = -1.0;
+    let steps = 16;
+    for gi in 1..steps {
+        for bi in 1..steps {
+            let gamma = std::f64::consts::PI * gi as f64 / steps as f64;
+            let beta = std::f64::consts::FRAC_PI_2 * bi as f64 / steps as f64;
+            let c = qaoa_maxcut(n, &edges, gamma, beta);
+            let dist = ideal::probabilities(&c).expect("valid circuit");
+            let p = dist.get(&target_a).copied().unwrap_or(0.0)
+                + dist.get(&target_b).copied().unwrap_or(0.0);
+            if p > best_p {
+                best_p = p;
+                best = (gamma, beta);
+            }
+        }
+    }
+    best
+}
+
+/// A tuned p=1 ring-QAOA instance: angles chosen by a deterministic grid
+/// search so the optimal cuts dominate the ideal distribution.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `n > 16`.
+///
+/// # Examples
+///
+/// ```
+/// use qbench::qaoa;
+/// use qsim::ideal;
+///
+/// let c = qaoa::tuned_ring(5);
+/// let dist = ideal::probabilities(&c).unwrap();
+/// // The designated cut is among the most likely outcomes.
+/// let p_best = dist.values().cloned().fold(0.0, f64::max);
+/// assert!(dist[&qaoa::alternating_cut(5)] > 0.5 * p_best);
+/// ```
+pub fn tuned_ring(n: u32) -> Circuit {
+    assert!((3..=16).contains(&n), "ring size {n} out of range");
+    let (gamma, beta) = tuned_angles(n);
+    qaoa_maxcut(n, &ring_edges(n), gamma, beta)
+}
+
+/// The paper's QAOA-5 instance (5-node ring, designated cut `10101`).
+pub fn qaoa5() -> Circuit {
+    tuned_ring(5)
+}
+
+/// The paper's QAOA-6 instance (6-node ring, designated cut `101010`).
+pub fn qaoa6() -> Circuit {
+    tuned_ring(6)
+}
+
+/// The paper's QAOA-7 instance (7-node ring, designated cut `1010101`).
+pub fn qaoa7() -> Circuit {
+    tuned_ring(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternating_cut_patterns() {
+        assert_eq!(alternating_cut(4), 0b1010);
+        assert_eq!(alternating_cut(7), 0b1010101);
+        assert_eq!(alternating_cut(1), 0b1);
+    }
+
+    #[test]
+    fn cut_value_counts_cut_edges() {
+        let edges = ring_edges(6);
+        assert_eq!(cut_value(0b101010, &edges), 6);
+        assert_eq!(cut_value(0b000000, &edges), 0);
+        assert_eq!(cut_value(0b000001, &edges), 2);
+        // Odd ring: the best cut misses one edge.
+        let edges5 = ring_edges(5);
+        assert_eq!(cut_value(0b10101, &edges5), 4);
+    }
+
+    #[test]
+    fn circuit_shape() {
+        let c = qaoa_maxcut(6, &ring_edges(6), 0.3, 0.2);
+        // 2 CX per edge.
+        assert_eq!(c.count_cx(), 12);
+        // n H + n Rx + one Rz per edge.
+        assert_eq!(c.count_1q(), 6 + 6 + 6);
+        assert_eq!(c.count_measure(), 6);
+    }
+
+    #[test]
+    fn tuned_even_ring_favors_optimal_cuts() {
+        let c = qaoa6();
+        let dist = ideal::probabilities(&c).unwrap();
+        let p_opt = dist[&0b101010] + dist[&0b010101];
+        // Uniform would give 2/64 ≈ 3%; tuned QAOA concentrates much more.
+        assert!(p_opt > 0.15, "optimal-cut mass {p_opt}");
+        // Z2 symmetry: the two optimal cuts are exactly degenerate.
+        assert!((dist[&0b101010] - dist[&0b010101]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tuned_odd_ring_favors_max_cuts() {
+        let c = qaoa5();
+        let dist = ideal::probabilities(&c).unwrap();
+        let edges = ring_edges(5);
+        // Aggregate probability of all maximum cuts (cut value 4).
+        let p_max: f64 = dist
+            .iter()
+            .filter(|&(&k, _)| cut_value(k, &edges) == 4)
+            .map(|(_, &p)| p)
+            .sum();
+        assert!(p_max > 0.3, "max-cut mass {p_max}");
+        // The designated answer is one of the top outcomes.
+        let p_best = dist.values().cloned().fold(0.0, f64::max);
+        assert!(dist[&0b10101] > 0.5 * p_best);
+    }
+
+    #[test]
+    fn designated_answer_is_a_maximum_cut() {
+        for n in [5u32, 6, 7] {
+            let edges = ring_edges(n);
+            let best: u32 = (0..1u64 << n)
+                .map(|k| cut_value(k, &edges))
+                .max()
+                .unwrap();
+            assert_eq!(cut_value(alternating_cut(n), &edges), best, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_edge() {
+        let _ = qaoa_maxcut(3, &[(0, 3)], 0.1, 0.1);
+    }
+}

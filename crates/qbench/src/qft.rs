@@ -1,0 +1,165 @@
+//! Quantum Fourier transform circuits (extension workloads).
+//!
+//! The paper's future work (§8) calls for exploring EDM on a wider variety
+//! of programs; the QFT phase-recovery benchmark is a natural next step: it
+//! is the core of phase estimation, has a single correct answer like BV,
+//! but exercises *parametric* rotations whose coherent-error sensitivity
+//! differs from BV's Clifford structure.
+//!
+//! Controlled-phase gates are decomposed into `{Rz, CX}` on the fly, so
+//! every circuit is mapper-ready.
+
+use qcir::Circuit;
+use std::f64::consts::PI;
+
+/// Appends a controlled-phase `CP(theta)` between `control` and `target`,
+/// decomposed as `Rz(θ/2)·CX·Rz(-θ/2)·CX·Rz(θ/2)` (exact up to global
+/// phase).
+pub fn append_cp(c: &mut Circuit, control: u32, target: u32, theta: f64) {
+    c.rz(control, theta / 2.0);
+    c.cx(control, target);
+    c.rz(target, -theta / 2.0);
+    c.cx(control, target);
+    c.rz(target, theta / 2.0);
+}
+
+/// Appends the `n`-qubit QFT (without the final qubit-reversal swaps) to
+/// qubits `0..n`.
+pub fn append_qft(c: &mut Circuit, n: u32) {
+    for i in (0..n).rev() {
+        c.h(i);
+        for j in (0..i).rev() {
+            append_cp(c, j, i, PI / f64::from(1 << (i - j)));
+        }
+    }
+}
+
+/// Appends the inverse QFT (adjoint of [`append_qft`]).
+pub fn append_inverse_qft(c: &mut Circuit, n: u32) {
+    for i in 0..n {
+        for j in 0..i {
+            append_cp(c, j, i, -PI / f64::from(1 << (i - j)));
+        }
+        c.h(i);
+    }
+}
+
+/// The phase-recovery benchmark: prepare the Fourier state of `k` as a
+/// product of single-qubit phases, then apply the inverse QFT. An ideal
+/// machine reads out `k` (bit-reversed bookkeeping folded in) with
+/// probability 1.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `n > 20`, or `k` has bits beyond `n`.
+///
+/// # Examples
+///
+/// ```
+/// use qbench::qft;
+/// use qsim::ideal;
+/// let c = qft::phase_recovery(0b101, 3);
+/// assert_eq!(ideal::outcome(&c).unwrap(), 0b101);
+/// ```
+pub fn phase_recovery(k: u64, n: u32) -> Circuit {
+    assert!(n > 0 && n <= 20, "width {n} out of range");
+    assert!(k < (1u64 << n), "k {k:#b} wider than {n} bits");
+    let mut c = Circuit::new(n, n);
+    // The swap-free QFT circuit below computes the Fourier transform with
+    // bit-reversed output, so the state it maps |k> to carries qubit j's
+    // phase on qubit n-1-j: prepare exactly that product state, and the
+    // inverse circuit returns |k> deterministically.
+    for j in 0..n {
+        c.h(j);
+        let theta =
+            2.0 * PI * (k as f64) * f64::from(1 << (n - 1 - j)) / f64::from(1u32 << n);
+        c.rz(j, theta);
+    }
+    append_inverse_qft(&mut c, n);
+    c.measure_all();
+    c
+}
+
+/// Reverses the low `n` bits of `v`.
+pub fn reverse_bits(v: u64, n: u32) -> u64 {
+    let mut out = 0;
+    for i in 0..n {
+        if v >> i & 1 == 1 {
+            out |= 1 << (n - 1 - i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::ideal;
+
+    #[test]
+    fn reverse_bits_table() {
+        assert_eq!(reverse_bits(0b001, 3), 0b100);
+        assert_eq!(reverse_bits(0b110, 3), 0b011);
+        assert_eq!(reverse_bits(0b1011, 4), 0b1101);
+        assert_eq!(reverse_bits(0, 5), 0);
+    }
+
+    #[test]
+    fn qft_followed_by_inverse_is_identity() {
+        let mut c = Circuit::new(3, 3);
+        c.x(0).x(2); // |101>
+        append_qft(&mut c, 3);
+        append_inverse_qft(&mut c, 3);
+        c.measure_all();
+        let dist = ideal::probabilities(&c).unwrap();
+        assert!((dist[&0b101] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_recovery_recovers_every_3bit_value() {
+        for k in 0..8u64 {
+            let c = phase_recovery(k, 3);
+            let dist = ideal::probabilities(&c).unwrap();
+            assert!(
+                (dist.get(&k).copied().unwrap_or(0.0) - 1.0).abs() < 1e-9,
+                "k = {k}: {dist:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn phase_recovery_recovers_4bit_values() {
+        for k in [0u64, 5, 9, 15] {
+            let c = phase_recovery(k, 4);
+            assert_eq!(ideal::outcome(&c).unwrap(), k, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn cp_decomposition_matches_direct_cz_at_pi() {
+        // CP(π) = CZ.
+        let mut via_cp = Circuit::new(2, 0);
+        via_cp.h(0).h(1);
+        append_cp(&mut via_cp, 0, 1, PI);
+        let mut via_cz = Circuit::new(2, 0);
+        via_cz.h(0).h(1).cz(0, 1);
+        let a = ideal::final_state(&via_cp).unwrap();
+        let b = ideal::final_state(&via_cz).unwrap();
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circuit_is_in_device_basis() {
+        let c = phase_recovery(0b11, 4);
+        assert_eq!(c.count_3q(), 0);
+        assert!(c
+            .iter()
+            .all(|g| g.is_single_qubit() || matches!(g, qcir::Gate::Cx(..)) || g.is_measure()));
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than")]
+    fn rejects_wide_k() {
+        let _ = phase_recovery(0b1000, 3);
+    }
+}

@@ -1,0 +1,198 @@
+//! Reversible-logic benchmarks: Fredkin gate, 1-bit full adder, 2:4 decoder.
+//!
+//! Short-width but CX-heavy circuits; the paper uses them to study how
+//! decoherence produces correlated errors in deep, narrow programs (§4.1).
+//! All three are built from `CCX`/`CSWAP` primitives and lowered to the
+//! device basis by the transpiler.
+
+use qcir::Circuit;
+
+/// The Fredkin-gate benchmark: input `|q2 q1 q0⟩ = |101⟩`, control on
+/// qubit 2, expected output `110` (Table 1).
+///
+/// # Examples
+///
+/// ```
+/// use qbench::reversible::fredkin;
+/// use qsim::ideal;
+/// assert_eq!(ideal::outcome(&fredkin()).unwrap(), 0b110);
+/// ```
+pub fn fredkin() -> Circuit {
+    let mut c = Circuit::new(3, 3);
+    // Input: q2 = 1 (control), q0 = 1.
+    c.x(2);
+    c.x(0);
+    // Controlled swap of q1 and q0 moves the excitation: 101 -> 110.
+    c.cswap(2, 1, 0);
+    c.measure_all();
+    c
+}
+
+/// A reversible 1-bit full adder with inputs `a = 1, b = 1, cin = 0`.
+///
+/// Qubits: 0 = a, 1 = b, 2 = cin (becomes sum), 3 = carry ancilla. The
+/// measured string is `(c2 c1 c0) = (sum, carry, a)`, giving the paper's
+/// expected output `011` (sum 0, carry 1, a 1).
+pub fn adder() -> Circuit {
+    let mut c = Circuit::new(4, 3);
+    // Inputs a = 1, b = 1, cin = 0.
+    c.x(0);
+    c.x(1);
+    // carry = a·b
+    c.ccx(0, 1, 3);
+    // b' = a ⊕ b
+    c.cx(0, 1);
+    // carry ⊕= b'·cin
+    c.ccx(1, 2, 3);
+    // cin' = a ⊕ b ⊕ cin = sum
+    c.cx(1, 2);
+    // restore b
+    c.cx(0, 1);
+    // Measure a -> c0, carry -> c1, sum -> c2.
+    c.measure(0, 0);
+    c.measure(3, 1);
+    c.measure(2, 2);
+    c
+}
+
+/// A reversible 2:4 decoder with select lines `s1 s0 = 00`.
+///
+/// Qubits 0–1 are the select lines, qubits 2–5 the one-hot outputs
+/// `o0..o3`. The measured string is `(o0 o1 o2 o3 s1 s0)` top-down, so the
+/// expected output for select 00 is `100000` (Table 1).
+pub fn decoder24() -> Circuit {
+    let mut c = Circuit::new(6, 6);
+    // Select lines default to 00; outputs o_i on qubits 2 + i.
+    // o_i fires when (s1 s0) == i: conjugate the selects with X to match.
+    for i in 0..4u32 {
+        let s0_zero = i & 1 == 0;
+        let s1_zero = i & 2 == 0;
+        if s0_zero {
+            c.x(0);
+        }
+        if s1_zero {
+            c.x(1);
+        }
+        c.ccx(0, 1, 2 + i);
+        if s0_zero {
+            c.x(0);
+        }
+        if s1_zero {
+            c.x(1);
+        }
+    }
+    // Measure o0 -> c5, o1 -> c4, o2 -> c3, o3 -> c2, s1 -> c1, s0 -> c0.
+    c.measure(2, 5);
+    c.measure(3, 4);
+    c.measure(4, 3);
+    c.measure(5, 2);
+    c.measure(1, 1);
+    c.measure(0, 0);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::ideal;
+
+    #[test]
+    fn fredkin_expected_output() {
+        assert_eq!(ideal::outcome(&fredkin()).unwrap(), 0b110);
+        // Deterministic circuit: point-mass distribution.
+        let dist = ideal::probabilities(&fredkin()).unwrap();
+        assert!((dist[&0b110] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fredkin_without_control_does_nothing() {
+        // Same circuit but control stays 0: excitation stays on q0.
+        let mut c = Circuit::new(3, 3);
+        c.x(0);
+        c.cswap(2, 1, 0);
+        c.measure_all();
+        assert_eq!(ideal::outcome(&c).unwrap(), 0b001);
+    }
+
+    #[test]
+    fn adder_expected_output() {
+        assert_eq!(ideal::outcome(&adder()).unwrap(), 0b011);
+    }
+
+    #[test]
+    fn adder_truth_table() {
+        // Exercise all 8 input combinations by rebuilding the core network.
+        for input in 0..8u32 {
+            let (a, b, cin) = (input & 1, input >> 1 & 1, input >> 2 & 1);
+            let mut c = Circuit::new(4, 2);
+            if a == 1 {
+                c.x(0);
+            }
+            if b == 1 {
+                c.x(1);
+            }
+            if cin == 1 {
+                c.x(2);
+            }
+            c.ccx(0, 1, 3);
+            c.cx(0, 1);
+            c.ccx(1, 2, 3);
+            c.cx(1, 2);
+            c.cx(0, 1);
+            c.measure(2, 0); // sum
+            c.measure(3, 1); // carry
+            let out = ideal::outcome(&c).unwrap();
+            let sum = a ^ b ^ cin;
+            let carry = (a & b) | (b & cin) | (a & cin);
+            assert_eq!(out, (carry as u64) << 1 | sum as u64, "input {input:03b}");
+        }
+    }
+
+    #[test]
+    fn decoder_expected_output() {
+        assert_eq!(ideal::outcome(&decoder24()).unwrap(), 0b100000);
+    }
+
+    #[test]
+    fn decoder_is_one_hot_for_every_select() {
+        for sel in 0..4u64 {
+            let mut c = Circuit::new(6, 6);
+            if sel & 1 == 1 {
+                c.x(0);
+            }
+            if sel & 2 == 2 {
+                c.x(1);
+            }
+            for i in 0..4u32 {
+                let s0_zero = i & 1 == 0;
+                let s1_zero = i & 2 == 0;
+                if s0_zero {
+                    c.x(0);
+                }
+                if s1_zero {
+                    c.x(1);
+                }
+                c.ccx(0, 1, 2 + i);
+                if s0_zero {
+                    c.x(0);
+                }
+                if s1_zero {
+                    c.x(1);
+                }
+            }
+            for i in 0..4u32 {
+                c.measure(2 + i, i);
+            }
+            let out = ideal::outcome(&c).unwrap();
+            assert_eq!(out, 1 << sel, "select {sel:02b}");
+        }
+    }
+
+    #[test]
+    fn reversible_circuits_are_cx_heavy_after_lowering() {
+        // The paper's point: three-to-six qubit circuits with 10+ CX.
+        assert!(fredkin().decomposed().count_cx() >= 8);
+        assert!(adder().decomposed().count_cx() >= 12);
+        assert!(decoder24().decomposed().count_cx() >= 24);
+    }
+}

@@ -1,0 +1,188 @@
+//! Gate adjoints and circuit inversion.
+//!
+//! Inverted circuits enable mirror benchmarking (run `C · C⁻¹` and check
+//! the output returns to `|0…0>`), a standard way to measure a device's
+//! effective error rate that the test-suite uses to validate the noisy
+//! simulator end to end.
+
+use crate::{Circuit, CircuitError, Gate};
+
+impl Gate {
+    /// The adjoint (inverse) of a unitary gate.
+    ///
+    /// Returns `None` for measurements, which have no inverse.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcir::{Gate, Qubit};
+    /// let t = Gate::T(Qubit::new(0));
+    /// assert_eq!(t.adjoint(), Some(Gate::Tdg(Qubit::new(0))));
+    /// let rz = Gate::Rz(Qubit::new(0), 0.5);
+    /// assert_eq!(rz.adjoint(), Some(Gate::Rz(Qubit::new(0), -0.5)));
+    /// ```
+    pub fn adjoint(&self) -> Option<Gate> {
+        Some(match *self {
+            Gate::H(q) => Gate::H(q),
+            Gate::X(q) => Gate::X(q),
+            Gate::Y(q) => Gate::Y(q),
+            Gate::Z(q) => Gate::Z(q),
+            Gate::S(q) => Gate::Sdg(q),
+            Gate::Sdg(q) => Gate::S(q),
+            Gate::T(q) => Gate::Tdg(q),
+            Gate::Tdg(q) => Gate::T(q),
+            Gate::Rx(q, t) => Gate::Rx(q, -t),
+            Gate::Ry(q, t) => Gate::Ry(q, -t),
+            Gate::Rz(q, t) => Gate::Rz(q, -t),
+            Gate::Cx(a, b) => Gate::Cx(a, b),
+            Gate::Cz(a, b) => Gate::Cz(a, b),
+            Gate::Swap(a, b) => Gate::Swap(a, b),
+            Gate::Ccx(a, b, t) => Gate::Ccx(a, b, t),
+            Gate::Cswap(c, a, b) => Gate::Cswap(c, a, b),
+            Gate::Measure(..) => return None,
+        })
+    }
+}
+
+impl Circuit {
+    /// The inverse circuit: adjoint gates in reverse order, or `None` if
+    /// the circuit contains measurements (which have no inverse).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcir::Circuit;
+    /// let mut c = Circuit::new(2, 0);
+    /// c.h(0);
+    /// c.t(1);
+    /// c.cx(0, 1);
+    /// let inv = c.inverse().expect("no measurements");
+    /// assert_eq!(inv.ops()[0].name(), "cx");
+    /// assert_eq!(inv.ops()[2].name(), "h");
+    /// ```
+    pub fn inverse(&self) -> Option<Circuit> {
+        let mut out = Circuit::new(self.num_qubits(), self.num_clbits());
+        for g in self.iter().rev() {
+            out.extend([g.adjoint()?]);
+        }
+        Some(out)
+    }
+
+    /// Appends all operations of `other` to a copy of `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CircuitError`] if `other` references qubits or classical
+    /// bits outside this circuit's registers.
+    pub fn compose(&self, other: &Circuit) -> Result<Circuit, CircuitError> {
+        let mut out = self.clone();
+        for g in other.iter() {
+            out.add(g.clone())?;
+        }
+        Ok(out)
+    }
+
+    /// The mirror circuit `self · self⁻¹` followed by measuring every qubit
+    /// that fits the classical register: ideal output all zeros.
+    ///
+    /// Returns `None` if the circuit contains measurements.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcir::Circuit;
+    /// let mut c = Circuit::new(2, 2);
+    /// c.h(0);
+    /// c.cx(0, 1);
+    /// let m = c.mirrored().expect("no measurements");
+    /// assert_eq!(m.len(), 2 * c.len() + 2);
+    /// ```
+    pub fn mirrored(&self) -> Option<Circuit> {
+        let inv = self.inverse()?;
+        let mut out = self
+            .compose(&inv)
+            .expect("inverse shares this circuit's registers");
+        out.measure_all();
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Clbit, Qubit};
+
+    #[test]
+    fn self_adjoint_gates() {
+        let q = Qubit::new(0);
+        for g in [
+            Gate::H(q),
+            Gate::X(q),
+            Gate::Y(q),
+            Gate::Z(q),
+            Gate::Cx(q, Qubit::new(1)),
+            Gate::Swap(q, Qubit::new(1)),
+        ] {
+            assert_eq!(g.adjoint(), Some(g.clone()), "{g}");
+        }
+    }
+
+    #[test]
+    fn phase_gates_swap_with_daggers() {
+        let q = Qubit::new(2);
+        assert_eq!(Gate::S(q).adjoint(), Some(Gate::Sdg(q)));
+        assert_eq!(Gate::Sdg(q).adjoint(), Some(Gate::S(q)));
+        assert_eq!(Gate::Tdg(q).adjoint(), Some(Gate::T(q)));
+    }
+
+    #[test]
+    fn rotations_negate() {
+        let q = Qubit::new(0);
+        assert_eq!(Gate::Ry(q, 1.25).adjoint(), Some(Gate::Ry(q, -1.25)));
+    }
+
+    #[test]
+    fn measurement_has_no_adjoint() {
+        assert_eq!(Gate::Measure(Qubit::new(0), Clbit::new(0)).adjoint(), None);
+    }
+
+    #[test]
+    fn inverse_reverses_and_adjoints() {
+        let mut c = Circuit::new(2, 0);
+        c.s(0).cx(0, 1).rz(1, 0.5);
+        let inv = c.inverse().unwrap();
+        assert_eq!(inv.ops()[0], Gate::Rz(Qubit::new(1), -0.5));
+        assert_eq!(inv.ops()[1], Gate::Cx(Qubit::new(0), Qubit::new(1)));
+        assert_eq!(inv.ops()[2], Gate::Sdg(Qubit::new(0)));
+    }
+
+    #[test]
+    fn inverse_of_measured_circuit_is_none() {
+        let mut c = Circuit::new(1, 1);
+        c.h(0).measure(0, 0);
+        assert!(c.inverse().is_none());
+        assert!(c.mirrored().is_none());
+    }
+
+    #[test]
+    fn compose_validates_registers() {
+        let mut a = Circuit::new(2, 0);
+        a.h(0);
+        let mut wide = Circuit::new(3, 0);
+        wide.x(2);
+        assert!(a.compose(&wide).is_err());
+        let mut ok = Circuit::new(2, 0);
+        ok.x(1);
+        let combined = a.compose(&ok).unwrap();
+        assert_eq!(combined.len(), 2);
+    }
+
+    #[test]
+    fn mirror_structure() {
+        let mut c = Circuit::new(3, 3);
+        c.h(0).cx(0, 1).t(2);
+        let m = c.mirrored().unwrap();
+        assert_eq!(m.len(), 6 + 3);
+        assert_eq!(m.count_measure(), 3);
+    }
+}

@@ -1,0 +1,653 @@
+//! The [`Circuit`] container and its statistics.
+
+use crate::error::CircuitError;
+use crate::gate::{Clbit, Gate, Qubit};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An ordered list of quantum operations over fixed-size quantum and
+/// classical registers.
+///
+/// Builder methods (`h`, `cx`, `measure`, …) panic on out-of-range operands;
+/// the fallible [`Circuit::add`] returns a [`CircuitError`] instead. Gate
+/// order is program order; data dependencies are derived on demand (see
+/// [`crate::dag::DagCircuit`]).
+///
+/// # Examples
+///
+/// ```
+/// use qcir::Circuit;
+/// let mut c = Circuit::new(3, 3);
+/// c.h(0);
+/// c.cx(0, 1);
+/// c.cx(1, 2);
+/// c.measure_all();
+/// assert_eq!(c.len(), 6);
+/// assert_eq!(c.depth(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Circuit {
+    num_qubits: u32,
+    num_clbits: u32,
+    ops: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit with the given register sizes.
+    pub fn new(num_qubits: u32, num_clbits: u32) -> Self {
+        Circuit {
+            num_qubits,
+            num_clbits,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Number of qubits in the quantum register.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Number of bits in the classical register.
+    pub fn num_clbits(&self) -> u32 {
+        self.num_clbits
+    }
+
+    /// Number of operations (gates + measurements).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the circuit holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operations in program order.
+    pub fn ops(&self) -> &[Gate] {
+        &self.ops
+    }
+
+    /// Iterates over the operations in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Gate> {
+        self.ops.iter()
+    }
+
+    /// Appends a gate after validating its operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::QubitOutOfRange`],
+    /// [`CircuitError::ClbitOutOfRange`], or [`CircuitError::DuplicateQubit`]
+    /// if the gate references bits outside the registers or repeats a qubit.
+    pub fn add(&mut self, gate: Gate) -> Result<(), CircuitError> {
+        let qs = gate.qubits();
+        let mut seen = BTreeSet::new();
+        for q in &qs {
+            if q.index() >= self.num_qubits {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q.index(),
+                    num_qubits: self.num_qubits,
+                });
+            }
+            if !seen.insert(q.index()) {
+                return Err(CircuitError::DuplicateQubit { qubit: q.index() });
+            }
+        }
+        if let Gate::Measure(_, c) = gate {
+            if c.index() >= self.num_clbits {
+                return Err(CircuitError::ClbitOutOfRange {
+                    clbit: c.index(),
+                    num_clbits: self.num_clbits,
+                });
+            }
+        }
+        self.ops.push(gate);
+        Ok(())
+    }
+
+    fn push(&mut self, gate: Gate) {
+        self.add(gate).expect("gate operands out of range");
+    }
+
+    /// Appends a Hadamard gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range (as do all builder methods below).
+    pub fn h(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::H(Qubit::new(q)));
+        self
+    }
+
+    /// Appends a Pauli-X gate.
+    pub fn x(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::X(Qubit::new(q)));
+        self
+    }
+
+    /// Appends a Pauli-Y gate.
+    pub fn y(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::Y(Qubit::new(q)));
+        self
+    }
+
+    /// Appends a Pauli-Z gate.
+    pub fn z(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::Z(Qubit::new(q)));
+        self
+    }
+
+    /// Appends an S gate.
+    pub fn s(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::S(Qubit::new(q)));
+        self
+    }
+
+    /// Appends an S-dagger gate.
+    pub fn sdg(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::Sdg(Qubit::new(q)));
+        self
+    }
+
+    /// Appends a T gate.
+    pub fn t(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::T(Qubit::new(q)));
+        self
+    }
+
+    /// Appends a T-dagger gate.
+    pub fn tdg(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::Tdg(Qubit::new(q)));
+        self
+    }
+
+    /// Appends an X-rotation by `theta` radians.
+    pub fn rx(&mut self, q: u32, theta: f64) -> &mut Self {
+        self.push(Gate::Rx(Qubit::new(q), theta));
+        self
+    }
+
+    /// Appends a Y-rotation by `theta` radians.
+    pub fn ry(&mut self, q: u32, theta: f64) -> &mut Self {
+        self.push(Gate::Ry(Qubit::new(q), theta));
+        self
+    }
+
+    /// Appends a Z-rotation by `theta` radians.
+    pub fn rz(&mut self, q: u32, theta: f64) -> &mut Self {
+        self.push(Gate::Rz(Qubit::new(q), theta));
+        self
+    }
+
+    /// Appends a CNOT with `control` and `target`.
+    pub fn cx(&mut self, control: u32, target: u32) -> &mut Self {
+        self.push(Gate::Cx(Qubit::new(control), Qubit::new(target)));
+        self
+    }
+
+    /// Appends a controlled-Z.
+    pub fn cz(&mut self, a: u32, b: u32) -> &mut Self {
+        self.push(Gate::Cz(Qubit::new(a), Qubit::new(b)));
+        self
+    }
+
+    /// Appends a SWAP.
+    pub fn swap(&mut self, a: u32, b: u32) -> &mut Self {
+        self.push(Gate::Swap(Qubit::new(a), Qubit::new(b)));
+        self
+    }
+
+    /// Appends a Toffoli gate with controls `a`, `b` and target `t`.
+    pub fn ccx(&mut self, a: u32, b: u32, t: u32) -> &mut Self {
+        self.push(Gate::Ccx(Qubit::new(a), Qubit::new(b), Qubit::new(t)));
+        self
+    }
+
+    /// Appends a Fredkin (controlled-SWAP) gate with control `c` and swap
+    /// targets `a`, `b`.
+    pub fn cswap(&mut self, c: u32, a: u32, b: u32) -> &mut Self {
+        self.push(Gate::Cswap(Qubit::new(c), Qubit::new(a), Qubit::new(b)));
+        self
+    }
+
+    /// Appends a measurement of qubit `q` into classical bit `c`.
+    pub fn measure(&mut self, q: u32, c: u32) -> &mut Self {
+        self.push(Gate::Measure(Qubit::new(q), Clbit::new(c)));
+        self
+    }
+
+    /// Measures qubit `i` into classical bit `i` for every qubit that fits in
+    /// the classical register.
+    pub fn measure_all(&mut self) -> &mut Self {
+        let n = self.num_qubits.min(self.num_clbits);
+        for i in 0..n {
+            self.measure(i, i);
+        }
+        self
+    }
+
+    /// Number of single-qubit gates (excluding measurements).
+    pub fn count_1q(&self) -> usize {
+        self.ops.iter().filter(|g| g.is_single_qubit()).count()
+    }
+
+    /// Number of two-qubit gates.
+    pub fn count_2q(&self) -> usize {
+        self.ops.iter().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// Number of three-qubit gates.
+    pub fn count_3q(&self) -> usize {
+        self.ops.iter().filter(|g| g.is_three_qubit()).count()
+    }
+
+    /// Number of measurement operations.
+    pub fn count_measure(&self) -> usize {
+        self.ops.iter().filter(|g| g.is_measure()).count()
+    }
+
+    /// Number of CNOT gates specifically (the paper's "CX" column).
+    pub fn count_cx(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|g| matches!(g, Gate::Cx(..)))
+            .count()
+    }
+
+    /// Circuit depth: the longest chain of operations sharing wires, counting
+    /// measurements.
+    ///
+    /// An empty circuit has depth 0.
+    pub fn depth(&self) -> usize {
+        let mut qdepth = vec![0usize; self.num_qubits as usize];
+        let mut cdepth = vec![0usize; self.num_clbits as usize];
+        let mut max = 0;
+        for g in &self.ops {
+            let mut level = 0;
+            for q in g.qubits() {
+                level = level.max(qdepth[q.usize()]);
+            }
+            if let Gate::Measure(_, c) = g {
+                level = level.max(cdepth[c.usize()]);
+            }
+            level += 1;
+            for q in g.qubits() {
+                qdepth[q.usize()] = level;
+            }
+            if let Gate::Measure(_, c) = g {
+                cdepth[c.usize()] = level;
+            }
+            max = max.max(level);
+        }
+        max
+    }
+
+    /// The set of qubits touched by at least one operation.
+    pub fn active_qubits(&self) -> BTreeSet<Qubit> {
+        self.ops.iter().flat_map(|g| g.qubits()).collect()
+    }
+
+    /// Undirected interaction edges: every pair of qubits coupled by a
+    /// two-qubit gate, with `(min, max)` orientation, deduplicated.
+    ///
+    /// Three-qubit gates contribute all three of their pairs (they will be
+    /// decomposed into two-qubit gates on those pairs).
+    pub fn interaction_edges(&self) -> BTreeSet<(Qubit, Qubit)> {
+        let mut edges = BTreeSet::new();
+        for g in &self.ops {
+            let qs = g.qubits();
+            if qs.len() >= 2 {
+                for i in 0..qs.len() {
+                    for j in (i + 1)..qs.len() {
+                        let (a, b) = if qs[i] <= qs[j] {
+                            (qs[i], qs[j])
+                        } else {
+                            (qs[j], qs[i])
+                        };
+                        edges.insert((a, b));
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// Returns a copy with every qubit relabeled through `f`, widened to
+    /// `num_qubits` qubits (classical register unchanged).
+    ///
+    /// This is how a logical circuit is placed onto physical device qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` maps any operand to an index `>= num_qubits`.
+    pub fn relabeled<F: Fn(Qubit) -> Qubit>(&self, num_qubits: u32, f: F) -> Circuit {
+        let mut out = Circuit::new(num_qubits, self.num_clbits);
+        for g in &self.ops {
+            out.push(g.map_qubits(&f));
+        }
+        out
+    }
+
+    /// Lowers the circuit to the `{single-qubit, CX}` device basis:
+    /// `SWAP` → 3 `CX`, `CCX` → standard 6-CX network, `CSWAP` → `CX` + `CCX`
+    /// expansion, `CZ` → `H`-conjugated `CX`.
+    ///
+    /// The result contains only single-qubit gates, `CX`, and measurements.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcir::Circuit;
+    /// let mut c = Circuit::new(3, 0);
+    /// c.ccx(0, 1, 2);
+    /// let lowered = c.decomposed();
+    /// assert_eq!(lowered.count_cx(), 6);
+    /// assert_eq!(lowered.count_3q(), 0);
+    /// ```
+    pub fn decomposed(&self) -> Circuit {
+        let mut out = Circuit::new(self.num_qubits, self.num_clbits);
+        for g in &self.ops {
+            decompose_into(g, &mut out);
+        }
+        out
+    }
+
+    /// Summary statistics matching the paper's Table 1 columns.
+    pub fn stats(&self) -> CircuitStats {
+        CircuitStats {
+            num_qubits: self.num_qubits,
+            single_qubit_gates: self.count_1q(),
+            two_qubit_gates: self.count_2q(),
+            measurements: self.count_measure(),
+            depth: self.depth(),
+        }
+    }
+}
+
+fn decompose_into(g: &Gate, out: &mut Circuit) {
+    match *g {
+        Gate::Swap(a, b) => {
+            out.cx(a.index(), b.index());
+            out.cx(b.index(), a.index());
+            out.cx(a.index(), b.index());
+        }
+        Gate::Cz(a, b) => {
+            out.h(b.index());
+            out.cx(a.index(), b.index());
+            out.h(b.index());
+        }
+        Gate::Ccx(a, b, c) => {
+            // Standard 6-CX, 7-T Toffoli network.
+            let (a, b, c) = (a.index(), b.index(), c.index());
+            out.h(c);
+            out.cx(b, c);
+            out.tdg(c);
+            out.cx(a, c);
+            out.t(c);
+            out.cx(b, c);
+            out.tdg(c);
+            out.cx(a, c);
+            out.t(b);
+            out.t(c);
+            out.h(c);
+            out.cx(a, b);
+            out.t(a);
+            out.tdg(b);
+            out.cx(a, b);
+        }
+        Gate::Cswap(c, a, b) => {
+            // CSWAP = CX(b,a) · CCX(c,a,b) · CX(b,a)
+            out.cx(b.index(), a.index());
+            decompose_into(&Gate::Ccx(c, a, b), out);
+            out.cx(b.index(), a.index());
+        }
+        ref g => out.push(g.clone()),
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "circuit({} qubits, {} clbits, {} ops)",
+            self.num_qubits,
+            self.num_clbits,
+            self.ops.len()
+        )?;
+        for g in &self.ops {
+            writeln!(f, "  {g}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Extend<Gate> for Circuit {
+    fn extend<T: IntoIterator<Item = Gate>>(&mut self, iter: T) {
+        for g in iter {
+            self.push(g);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Gate;
+    type IntoIter = std::slice::Iter<'a, Gate>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.iter()
+    }
+}
+
+/// Gate-count summary for a circuit, matching the paper's Table 1 columns
+/// ("SG", "CX", "M") plus depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CircuitStats {
+    /// Width of the quantum register.
+    pub num_qubits: u32,
+    /// Count of single-qubit gates ("SG").
+    pub single_qubit_gates: usize,
+    /// Count of two-qubit gates ("CX").
+    pub two_qubit_gates: usize,
+    /// Count of measurements ("M").
+    pub measurements: usize,
+    /// Circuit depth.
+    pub depth: usize,
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SG: {}, CX: {}, M: {} (depth {})",
+            self.single_qubit_gates, self.two_qubit_gates, self.measurements, self.depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_circuit() {
+        let c = Circuit::new(2, 2);
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.depth(), 0);
+        assert!(c.active_qubits().is_empty());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.count_1q(), 1);
+        assert_eq!(c.count_2q(), 1);
+        assert_eq!(c.count_measure(), 2);
+    }
+
+    #[test]
+    fn add_validates_qubit_range() {
+        let mut c = Circuit::new(2, 2);
+        let err = c.add(Gate::H(Qubit::new(2))).unwrap_err();
+        assert_eq!(
+            err,
+            CircuitError::QubitOutOfRange {
+                qubit: 2,
+                num_qubits: 2
+            }
+        );
+    }
+
+    #[test]
+    fn add_validates_clbit_range() {
+        let mut c = Circuit::new(2, 1);
+        let err = c
+            .add(Gate::Measure(Qubit::new(0), Clbit::new(1)))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CircuitError::ClbitOutOfRange {
+                clbit: 1,
+                num_clbits: 1
+            }
+        );
+    }
+
+    #[test]
+    fn add_rejects_duplicate_operands() {
+        let mut c = Circuit::new(2, 0);
+        let err = c.add(Gate::Cx(Qubit::new(1), Qubit::new(1))).unwrap_err();
+        assert_eq!(err, CircuitError::DuplicateQubit { qubit: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_panics_out_of_range() {
+        let mut c = Circuit::new(1, 0);
+        c.cx(0, 1);
+    }
+
+    #[test]
+    fn depth_counts_chains() {
+        let mut c = Circuit::new(3, 3);
+        c.h(0); // depth 1 on q0
+        c.h(1); // depth 1 on q1 (parallel)
+        c.cx(0, 1); // depth 2
+        c.cx(1, 2); // depth 3
+        assert_eq!(c.depth(), 3);
+        c.measure_all(); // q1's measure lands at depth 4
+        assert_eq!(c.depth(), 4);
+    }
+
+    #[test]
+    fn depth_serializes_on_clbits() {
+        // Two measurements into the same classical bit cannot be parallel.
+        let mut c = Circuit::new(2, 1);
+        c.measure(0, 0).measure(1, 0);
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn interaction_edges_deduplicated_and_oriented() {
+        let mut c = Circuit::new(3, 0);
+        c.cx(1, 0).cx(0, 1).cx(1, 2);
+        let edges = c.interaction_edges();
+        let e: Vec<_> = edges
+            .iter()
+            .map(|(a, b)| (a.index(), b.index()))
+            .collect();
+        assert_eq!(e, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn interaction_edges_for_three_qubit_gate() {
+        let mut c = Circuit::new(3, 0);
+        c.ccx(0, 1, 2);
+        assert_eq!(c.interaction_edges().len(), 3);
+    }
+
+    #[test]
+    fn relabel_shifts_qubits() {
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure(1, 1);
+        let r = c.relabeled(5, |q| Qubit::new(q.index() + 3));
+        assert_eq!(r.num_qubits(), 5);
+        assert_eq!(r.ops()[0], Gate::H(Qubit::new(3)));
+        assert_eq!(r.ops()[1], Gate::Cx(Qubit::new(3), Qubit::new(4)));
+        assert_eq!(r.ops()[2], Gate::Measure(Qubit::new(4), Clbit::new(1)));
+    }
+
+    #[test]
+    fn swap_decomposes_to_three_cx() {
+        let mut c = Circuit::new(2, 0);
+        c.swap(0, 1);
+        let d = c.decomposed();
+        assert_eq!(d.count_cx(), 3);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn cz_decomposes_to_h_cx_h() {
+        let mut c = Circuit::new(2, 0);
+        c.cz(0, 1);
+        let d = c.decomposed();
+        assert_eq!(d.count_cx(), 1);
+        assert_eq!(d.count_1q(), 2);
+    }
+
+    #[test]
+    fn ccx_decomposes_to_six_cx() {
+        let mut c = Circuit::new(3, 0);
+        c.ccx(0, 1, 2);
+        let d = c.decomposed();
+        assert_eq!(d.count_cx(), 6);
+        assert_eq!(d.count_3q(), 0);
+    }
+
+    #[test]
+    fn cswap_decomposes_to_eight_cx() {
+        let mut c = Circuit::new(3, 0);
+        c.cswap(0, 1, 2);
+        let d = c.decomposed();
+        assert_eq!(d.count_cx(), 8);
+        assert_eq!(d.count_3q(), 0);
+    }
+
+    #[test]
+    fn decompose_is_idempotent_on_basis_circuits() {
+        let mut c = Circuit::new(3, 3);
+        c.h(0).cx(0, 1).rz(2, 0.3).measure_all();
+        assert_eq!(c.decomposed(), c);
+    }
+
+    #[test]
+    fn stats_match_counts() {
+        let mut c = Circuit::new(2, 2);
+        c.h(0).h(1).cx(0, 1).measure_all();
+        let s = c.stats();
+        assert_eq!(s.single_qubit_gates, 2);
+        assert_eq!(s.two_qubit_gates, 1);
+        assert_eq!(s.measurements, 2);
+        assert_eq!(s.num_qubits, 2);
+        assert!(s.to_string().contains("SG: 2"));
+    }
+
+    #[test]
+    fn extend_and_iter() {
+        let mut c = Circuit::new(2, 0);
+        c.extend(vec![Gate::H(Qubit::new(0)), Gate::X(Qubit::new(1))]);
+        assert_eq!(c.len(), 2);
+        let names: Vec<_> = (&c).into_iter().map(|g| g.name()).collect();
+        assert_eq!(names, vec!["h", "x"]);
+    }
+
+    #[test]
+    fn measure_all_respects_smaller_clbit_register() {
+        let mut c = Circuit::new(4, 2);
+        c.measure_all();
+        assert_eq!(c.count_measure(), 2);
+    }
+}

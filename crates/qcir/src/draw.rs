@@ -1,0 +1,214 @@
+//! ASCII circuit diagrams.
+//!
+//! Renders a circuit as one text row per qubit with gates placed in ASAP
+//! layers, e.g. for a measured Bell pair:
+//!
+//! ```text
+//! q0: ──H───●───M0──
+//! q1: ──────X───M1──
+//! ```
+//!
+//! Multi-qubit gates draw `│` connectors through intermediate rows. The
+//! renderer is used by the examples and is handy in test failure output.
+
+use crate::dag::DagCircuit;
+use crate::{Circuit, Gate};
+
+/// Renders the circuit as an ASCII diagram.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::{draw, Circuit};
+/// let mut c = Circuit::new(2, 2);
+/// c.h(0);
+/// c.cx(0, 1);
+/// c.measure_all();
+/// let text = draw::draw(&c);
+/// assert!(text.contains("q0:"));
+/// assert!(text.contains("●"));
+/// assert!(text.contains("M0"));
+/// ```
+pub fn draw(circuit: &Circuit) -> String {
+    let n = circuit.num_qubits() as usize;
+    if n == 0 {
+        return String::new();
+    }
+    let dag = DagCircuit::new(circuit);
+    let layers = dag.layers();
+    let ops = circuit.ops();
+
+    // cells[row][col] = symbol; connector[row][col] = true when a vertical
+    // link passes through this row in this column.
+    let cols = layers.len();
+    let mut cells: Vec<Vec<String>> = vec![vec![String::new(); cols]; n];
+    let mut connector = vec![vec![false; cols]; n];
+
+    for (col, layer) in layers.iter().enumerate() {
+        for &idx in layer {
+            let gate = &ops[idx];
+            let symbols = gate_symbols(gate);
+            let rows: Vec<usize> = gate.qubits().iter().map(|q| q.usize()).collect();
+            for (row, sym) in rows.iter().zip(symbols) {
+                cells[*row][col] = sym;
+            }
+            if rows.len() > 1 {
+                let lo = *rows.iter().min().expect("non-empty");
+                let hi = *rows.iter().max().expect("non-empty");
+                for (row, conn) in connector.iter_mut().enumerate().take(hi).skip(lo + 1) {
+                    if !rows.contains(&row) {
+                        conn[col] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Column widths.
+    let width: Vec<usize> = (0..cols)
+        .map(|c| {
+            (0..n)
+                .map(|r| cells[r][c].chars().count())
+                .max()
+                .unwrap_or(0)
+                .max(1)
+        })
+        .collect();
+
+    let mut out = String::new();
+    let label_width = format!("q{}", n - 1).len();
+    for row in 0..n {
+        out.push_str(&format!("{:<label_width$}: ", format!("q{row}")));
+        for col in 0..cols {
+            out.push('─');
+            let cell = &cells[row][col];
+            let (sym, pad_char) = if !cell.is_empty() {
+                (cell.clone(), '─')
+            } else if connector[row][col] {
+                ("│".to_string(), '─')
+            } else {
+                ("─".to_string(), '─')
+            };
+            let pad = width[col].saturating_sub(sym.chars().count());
+            let left = pad / 2;
+            for _ in 0..left {
+                out.push(pad_char);
+            }
+            out.push_str(&sym);
+            for _ in 0..(pad - left) {
+                out.push(pad_char);
+            }
+            out.push('─');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Per-operand symbols for a gate, in operand order.
+fn gate_symbols(gate: &Gate) -> Vec<String> {
+    match gate {
+        Gate::Cx(..) => vec!["●".into(), "X".into()],
+        Gate::Cz(..) => vec!["●".into(), "●".into()],
+        Gate::Swap(..) => vec!["x".into(), "x".into()],
+        Gate::Ccx(..) => vec!["●".into(), "●".into(), "X".into()],
+        Gate::Cswap(..) => vec!["●".into(), "x".into(), "x".into()],
+        Gate::Measure(_, c) => vec![format!("M{}", c.index())],
+        g => {
+            let label = match g.param() {
+                Some(theta) => format!("{}({theta:.2})", g.name().to_uppercase()),
+                None => g.name().to_uppercase(),
+            };
+            vec![label]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_circuit_draws_bare_wires() {
+        let c = Circuit::new(2, 0);
+        let text = draw(&c);
+        assert!(text.starts_with("q0: "));
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn zero_qubits_is_empty() {
+        let c = Circuit::new(0, 0);
+        assert_eq!(draw(&c), "");
+    }
+
+    #[test]
+    fn single_gates_appear_with_names() {
+        let mut c = Circuit::new(1, 0);
+        c.h(0).t(0).rz(0, 0.5);
+        let text = draw(&c);
+        assert!(text.contains('H'));
+        assert!(text.contains('T'));
+        assert!(text.contains("RZ(0.50)"));
+    }
+
+    #[test]
+    fn cx_draws_control_and_target_in_same_column() {
+        let mut c = Circuit::new(2, 0);
+        c.cx(1, 0);
+        let text = draw(&c);
+        let lines: Vec<&str> = text.lines().collect();
+        let col_x = lines[0].chars().position(|ch| ch == 'X').expect("target");
+        let col_dot = lines[1].chars().position(|ch| ch == '●').expect("control");
+        assert_eq!(col_x, col_dot);
+    }
+
+    #[test]
+    fn distant_gate_draws_connector() {
+        let mut c = Circuit::new(3, 0);
+        c.cx(0, 2);
+        let text = draw(&c);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].contains('│'), "middle row needs a connector:\n{text}");
+    }
+
+    #[test]
+    fn parallel_gates_share_a_column() {
+        let mut c = Circuit::new(2, 0);
+        c.h(0).h(1);
+        let text = draw(&c);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0].chars().position(|ch| ch == 'H'),
+            lines[1].chars().position(|ch| ch == 'H')
+        );
+    }
+
+    #[test]
+    fn measurements_show_clbit_index() {
+        let mut c = Circuit::new(2, 2);
+        c.measure(0, 1).measure(1, 0);
+        let text = draw(&c);
+        assert!(text.contains("M1"));
+        assert!(text.contains("M0"));
+    }
+
+    #[test]
+    fn all_rows_have_equal_display_width() {
+        let mut c = Circuit::new(3, 3);
+        c.h(0).ccx(0, 1, 2).swap(0, 2).measure_all();
+        let text = draw(&c);
+        let widths: Vec<usize> = text.lines().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{widths:?}\n{text}");
+    }
+
+    #[test]
+    fn wide_register_labels_align() {
+        let mut c = Circuit::new(11, 0);
+        c.x(10);
+        let text = draw(&c);
+        assert!(text.lines().next().unwrap().starts_with("q0 :")
+            || text.lines().next().unwrap().starts_with("q0:"));
+        assert!(text.contains("q10:"));
+    }
+}

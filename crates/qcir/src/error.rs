@@ -1,0 +1,75 @@
+//! Error types for circuit construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing or validating a [`crate::Circuit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A gate referenced a qubit index outside the circuit's register.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: u32,
+        /// The circuit's qubit count.
+        num_qubits: u32,
+    },
+    /// A measurement referenced a classical bit outside the circuit's register.
+    ClbitOutOfRange {
+        /// The offending classical bit index.
+        clbit: u32,
+        /// The circuit's classical bit count.
+        num_clbits: u32,
+    },
+    /// A multi-qubit gate listed the same qubit more than once.
+    DuplicateQubit {
+        /// The duplicated qubit index.
+        qubit: u32,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => write!(
+                f,
+                "qubit index {qubit} out of range for circuit with {num_qubits} qubits"
+            ),
+            CircuitError::ClbitOutOfRange { clbit, num_clbits } => write!(
+                f,
+                "classical bit index {clbit} out of range for circuit with {num_clbits} bits"
+            ),
+            CircuitError::DuplicateQubit { qubit } => {
+                write!(f, "qubit index {qubit} appears more than once in one gate")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CircuitError::QubitOutOfRange {
+            qubit: 5,
+            num_qubits: 3,
+        };
+        assert!(e.to_string().contains("qubit index 5"));
+        let e = CircuitError::ClbitOutOfRange {
+            clbit: 9,
+            num_clbits: 2,
+        };
+        assert!(e.to_string().contains("classical bit index 9"));
+        let e = CircuitError::DuplicateQubit { qubit: 1 };
+        assert!(e.to_string().contains("more than once"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

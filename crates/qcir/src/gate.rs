@@ -1,0 +1,342 @@
+//! Gate set and bit index newtypes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a qubit within a circuit or device.
+///
+/// A newtype is used so that qubit indices cannot be confused with classical
+/// bit indices ([`Clbit`]) or raw loop counters.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::Qubit;
+/// let q = Qubit::new(3);
+/// assert_eq!(q.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Qubit(u32);
+
+impl Qubit {
+    /// Creates a qubit index.
+    pub fn new(index: u32) -> Self {
+        Qubit(index)
+    }
+
+    /// Returns the raw index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the raw index as a `usize`, convenient for slice indexing.
+    pub fn usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for Qubit {
+    fn from(index: u32) -> Self {
+        Qubit(index)
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Index of a classical bit within a circuit.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::Clbit;
+/// let c = Clbit::new(0);
+/// assert_eq!(c.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Clbit(u32);
+
+impl Clbit {
+    /// Creates a classical bit index.
+    pub fn new(index: u32) -> Self {
+        Clbit(index)
+    }
+
+    /// Returns the raw index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the raw index as a `usize`, convenient for slice indexing.
+    pub fn usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for Clbit {
+    fn from(index: u32) -> Self {
+        Clbit(index)
+    }
+}
+
+impl fmt::Display for Clbit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A quantum operation on one, two, or three qubits, or a measurement.
+///
+/// The gate set covers what the EDM paper's workloads need: the standard
+/// Clifford+T single-qubit gates, parametric rotations (for QAOA), `CX`/`CZ`/
+/// `SWAP` two-qubit gates, and the `CCX` (Toffoli) / `CSWAP` (Fredkin)
+/// three-qubit gates used by the reversible-logic benchmarks. Three-qubit
+/// gates and `SWAP`s can be lowered to the `{1q, CX}` device basis with
+/// [`crate::Circuit::decomposed`].
+///
+/// # Examples
+///
+/// ```
+/// use qcir::{Gate, Qubit};
+/// let g = Gate::Cx(Qubit::new(0), Qubit::new(1));
+/// assert!(g.is_two_qubit());
+/// assert_eq!(g.name(), "cx");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Gate {
+    /// Hadamard gate.
+    H(Qubit),
+    /// Pauli-X (NOT) gate.
+    X(Qubit),
+    /// Pauli-Y gate.
+    Y(Qubit),
+    /// Pauli-Z gate.
+    Z(Qubit),
+    /// Phase gate S = sqrt(Z).
+    S(Qubit),
+    /// Inverse phase gate.
+    Sdg(Qubit),
+    /// T gate = sqrt(S).
+    T(Qubit),
+    /// Inverse T gate.
+    Tdg(Qubit),
+    /// Rotation about the X axis by the given angle (radians).
+    Rx(Qubit, f64),
+    /// Rotation about the Y axis by the given angle (radians).
+    Ry(Qubit, f64),
+    /// Rotation about the Z axis by the given angle (radians).
+    Rz(Qubit, f64),
+    /// Controlled-X with (control, target).
+    Cx(Qubit, Qubit),
+    /// Controlled-Z (symmetric in its operands).
+    Cz(Qubit, Qubit),
+    /// SWAP of two qubit states.
+    Swap(Qubit, Qubit),
+    /// Toffoli gate with (control, control, target).
+    Ccx(Qubit, Qubit, Qubit),
+    /// Fredkin gate (controlled-SWAP) with (control, target, target).
+    Cswap(Qubit, Qubit, Qubit),
+    /// Measurement of a qubit into a classical bit.
+    Measure(Qubit, Clbit),
+}
+
+impl Gate {
+    /// Returns the lowercase OpenQASM-style mnemonic of the gate.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::H(_) => "h",
+            Gate::X(_) => "x",
+            Gate::Y(_) => "y",
+            Gate::Z(_) => "z",
+            Gate::S(_) => "s",
+            Gate::Sdg(_) => "sdg",
+            Gate::T(_) => "t",
+            Gate::Tdg(_) => "tdg",
+            Gate::Rx(..) => "rx",
+            Gate::Ry(..) => "ry",
+            Gate::Rz(..) => "rz",
+            Gate::Cx(..) => "cx",
+            Gate::Cz(..) => "cz",
+            Gate::Swap(..) => "swap",
+            Gate::Ccx(..) => "ccx",
+            Gate::Cswap(..) => "cswap",
+            Gate::Measure(..) => "measure",
+        }
+    }
+
+    /// Returns the qubits this gate acts on, in operand order.
+    pub fn qubits(&self) -> Vec<Qubit> {
+        match *self {
+            Gate::H(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::Rx(q, _)
+            | Gate::Ry(q, _)
+            | Gate::Rz(q, _)
+            | Gate::Measure(q, _) => vec![q],
+            Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => vec![a, b],
+            Gate::Ccx(a, b, c) | Gate::Cswap(a, b, c) => vec![a, b, c],
+        }
+    }
+
+    /// Returns the rotation angle for parametric gates, if any.
+    pub fn param(&self) -> Option<f64> {
+        match *self {
+            Gate::Rx(_, t) | Gate::Ry(_, t) | Gate::Rz(_, t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// True for gates acting on exactly one qubit (excluding measurement).
+    pub fn is_single_qubit(&self) -> bool {
+        !matches!(self, Gate::Measure(..)) && self.qubits().len() == 1
+    }
+
+    /// True for gates acting on exactly two qubits.
+    pub fn is_two_qubit(&self) -> bool {
+        self.qubits().len() == 2
+    }
+
+    /// True for the three-qubit gates (`CCX`, `CSWAP`).
+    pub fn is_three_qubit(&self) -> bool {
+        self.qubits().len() == 3
+    }
+
+    /// True if this is a measurement.
+    pub fn is_measure(&self) -> bool {
+        matches!(self, Gate::Measure(..))
+    }
+
+    /// Rewrites every qubit operand through `f` (classical bits unchanged).
+    ///
+    /// This is how layouts relabel logical circuits onto physical qubits.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcir::{Gate, Qubit};
+    /// let g = Gate::Cx(Qubit::new(0), Qubit::new(1));
+    /// let shifted = g.map_qubits(|q| Qubit::new(q.index() + 10));
+    /// assert_eq!(shifted, Gate::Cx(Qubit::new(10), Qubit::new(11)));
+    /// ```
+    pub fn map_qubits<F: Fn(Qubit) -> Qubit>(&self, f: F) -> Gate {
+        match *self {
+            Gate::H(q) => Gate::H(f(q)),
+            Gate::X(q) => Gate::X(f(q)),
+            Gate::Y(q) => Gate::Y(f(q)),
+            Gate::Z(q) => Gate::Z(f(q)),
+            Gate::S(q) => Gate::S(f(q)),
+            Gate::Sdg(q) => Gate::Sdg(f(q)),
+            Gate::T(q) => Gate::T(f(q)),
+            Gate::Tdg(q) => Gate::Tdg(f(q)),
+            Gate::Rx(q, t) => Gate::Rx(f(q), t),
+            Gate::Ry(q, t) => Gate::Ry(f(q), t),
+            Gate::Rz(q, t) => Gate::Rz(f(q), t),
+            Gate::Cx(a, b) => Gate::Cx(f(a), f(b)),
+            Gate::Cz(a, b) => Gate::Cz(f(a), f(b)),
+            Gate::Swap(a, b) => Gate::Swap(f(a), f(b)),
+            Gate::Ccx(a, b, c) => Gate::Ccx(f(a), f(b), f(c)),
+            Gate::Cswap(a, b, c) => Gate::Cswap(f(a), f(b), f(c)),
+            Gate::Measure(q, c) => Gate::Measure(f(q), c),
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gate::Measure(q, c) => write!(f, "measure {q} -> {c}"),
+            g => {
+                write!(f, "{}", g.name())?;
+                if let Some(t) = g.param() {
+                    write!(f, "({t:.6})")?;
+                }
+                let qs = g.qubits();
+                let ops: Vec<String> = qs.iter().map(|q| q.to_string()).collect();
+                write!(f, " {}", ops.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_roundtrip() {
+        let q = Qubit::new(7);
+        assert_eq!(q.index(), 7);
+        assert_eq!(q.usize(), 7);
+        assert_eq!(Qubit::from(7u32), q);
+        assert_eq!(q.to_string(), "q7");
+    }
+
+    #[test]
+    fn clbit_roundtrip() {
+        let c = Clbit::new(2);
+        assert_eq!(c.index(), 2);
+        assert_eq!(Clbit::from(2u32), c);
+        assert_eq!(c.to_string(), "c2");
+    }
+
+    #[test]
+    fn gate_arity_classification() {
+        let q = Qubit::new;
+        assert!(Gate::H(q(0)).is_single_qubit());
+        assert!(!Gate::H(q(0)).is_two_qubit());
+        assert!(Gate::Cx(q(0), q(1)).is_two_qubit());
+        assert!(Gate::Swap(q(0), q(1)).is_two_qubit());
+        assert!(Gate::Ccx(q(0), q(1), q(2)).is_three_qubit());
+        assert!(Gate::Measure(q(0), Clbit::new(0)).is_measure());
+        assert!(!Gate::Measure(q(0), Clbit::new(0)).is_single_qubit());
+    }
+
+    #[test]
+    fn gate_qubits_in_operand_order() {
+        let q = Qubit::new;
+        assert_eq!(Gate::Cx(q(3), q(1)).qubits(), vec![q(3), q(1)]);
+        assert_eq!(Gate::Ccx(q(2), q(0), q(1)).qubits(), vec![q(2), q(0), q(1)]);
+    }
+
+    #[test]
+    fn gate_param_only_on_rotations() {
+        let q = Qubit::new(0);
+        assert_eq!(Gate::Rz(q, 1.5).param(), Some(1.5));
+        assert_eq!(Gate::Rx(q, -0.5).param(), Some(-0.5));
+        assert_eq!(Gate::H(q).param(), None);
+        assert_eq!(Gate::Cx(q, Qubit::new(1)).param(), None);
+    }
+
+    #[test]
+    fn map_qubits_relabels_all_operands() {
+        let q = Qubit::new;
+        let g = Gate::Cswap(q(0), q(1), q(2));
+        let m = g.map_qubits(|x| q(x.index() * 2));
+        assert_eq!(m, Gate::Cswap(q(0), q(2), q(4)));
+        // Measurement keeps its classical bit.
+        let g = Gate::Measure(q(1), Clbit::new(5));
+        let m = g.map_qubits(|x| q(x.index() + 1));
+        assert_eq!(m, Gate::Measure(q(2), Clbit::new(5)));
+    }
+
+    #[test]
+    fn display_formats() {
+        let q = Qubit::new;
+        assert_eq!(Gate::H(q(0)).to_string(), "h q0");
+        assert_eq!(Gate::Cx(q(0), q(1)).to_string(), "cx q0, q1");
+        assert_eq!(
+            Gate::Measure(q(3), Clbit::new(1)).to_string(),
+            "measure q3 -> c1"
+        );
+        assert!(Gate::Rz(q(0), 0.25).to_string().starts_with("rz(0.25"));
+    }
+}

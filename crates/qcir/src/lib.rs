@@ -1,0 +1,43 @@
+//! # qcir — quantum circuit intermediate representation
+//!
+//! This crate provides the circuit-level substrate for the EDM reproduction:
+//! a gate set ([`Gate`]), a circuit container ([`Circuit`]), a dependency DAG
+//! ([`dag::DagCircuit`]), a lowering pass to the `{1q, CX}` basis
+//! ([`Circuit::decomposed`]), and an OpenQASM 2 exporter ([`qasm::to_qasm`]).
+//!
+//! The IR is purely symbolic: gate *semantics* (unitaries, noise) live in the
+//! `qsim` crate, and device-awareness (topologies, calibration) lives in
+//! `qdevice`.
+//!
+//! # Examples
+//!
+//! ```
+//! use qcir::{Circuit, Gate, Qubit};
+//!
+//! // A 2-qubit Bell-pair circuit measured into 2 classical bits.
+//! let mut c = Circuit::new(2, 2);
+//! c.h(0);
+//! c.cx(0, 1);
+//! c.measure(0, 0);
+//! c.measure(1, 1);
+//!
+//! assert_eq!(c.count_1q(), 1);
+//! assert_eq!(c.count_2q(), 1);
+//! assert_eq!(c.count_measure(), 2);
+//! assert_eq!(c.depth(), 3);
+//! ```
+
+#![deny(missing_docs)]
+
+mod adjoint;
+mod circuit;
+pub mod dag;
+pub mod draw;
+mod error;
+mod gate;
+pub mod qasm;
+mod qasm_parse;
+
+pub use circuit::{Circuit, CircuitStats};
+pub use error::CircuitError;
+pub use gate::{Clbit, Gate, Qubit};

@@ -1,0 +1,110 @@
+//! OpenQASM 2.0 export.
+//!
+//! Every circuit the reproduction generates can be dumped as OpenQASM 2.0 so
+//! results can be cross-checked against external toolchains (e.g. Qiskit).
+
+use crate::{Circuit, Gate};
+use std::fmt::Write as _;
+
+/// Renders a circuit as an OpenQASM 2.0 program.
+///
+/// `SWAP`, `CCX`, and `CSWAP` are emitted using their QASM standard-library
+/// names (`swap`, `ccx`, `cswap` from `qelib1.inc`).
+///
+/// # Examples
+///
+/// ```
+/// use qcir::{Circuit, qasm};
+/// let mut c = Circuit::new(2, 2);
+/// c.h(0);
+/// c.cx(0, 1);
+/// c.measure(0, 0);
+/// let text = qasm::to_qasm(&c);
+/// assert!(text.contains("OPENQASM 2.0;"));
+/// assert!(text.contains("cx q[0],q[1];"));
+/// assert!(text.contains("measure q[0] -> c[0];"));
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    if circuit.num_clbits() > 0 {
+        let _ = writeln!(out, "creg c[{}];", circuit.num_clbits());
+    }
+    for g in circuit.iter() {
+        match g {
+            Gate::Measure(q, c) => {
+                let _ = writeln!(out, "measure q[{}] -> c[{}];", q.index(), c.index());
+            }
+            g => {
+                let name = g.name();
+                match g.param() {
+                    Some(theta) => {
+                        let _ = write!(out, "{name}({theta})");
+                    }
+                    None => {
+                        let _ = write!(out, "{name}");
+                    }
+                }
+                let operands: Vec<String> = g
+                    .qubits()
+                    .iter()
+                    .map(|q| format!("q[{}]", q.index()))
+                    .collect();
+                let _ = writeln!(out, " {};", operands.join(","));
+            }
+        }
+    }
+    out
+}
+
+pub use crate::qasm_parse::{parse, ParseQasmError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_registers() {
+        let c = Circuit::new(3, 2);
+        let q = to_qasm(&c);
+        assert!(q.starts_with("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n"));
+        assert!(q.contains("qreg q[3];"));
+        assert!(q.contains("creg c[2];"));
+    }
+
+    #[test]
+    fn no_creg_when_no_clbits() {
+        let c = Circuit::new(1, 0);
+        let q = to_qasm(&c);
+        assert!(!q.contains("creg"));
+    }
+
+    #[test]
+    fn parametric_gate_includes_angle() {
+        let mut c = Circuit::new(1, 0);
+        c.rz(0, 0.5);
+        let q = to_qasm(&c);
+        assert!(q.contains("rz(0.5) q[0];"));
+    }
+
+    #[test]
+    fn three_qubit_gates_use_qelib_names() {
+        let mut c = Circuit::new(3, 0);
+        c.ccx(0, 1, 2).cswap(2, 0, 1).swap(0, 1);
+        let q = to_qasm(&c);
+        assert!(q.contains("ccx q[0],q[1],q[2];"));
+        assert!(q.contains("cswap q[2],q[0],q[1];"));
+        assert!(q.contains("swap q[0],q[1];"));
+    }
+
+    #[test]
+    fn one_line_per_op() {
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure_all();
+        let q = to_qasm(&c);
+        // 3 header lines (qasm, include, qreg) + creg + 4 ops.
+        assert_eq!(q.trim_end().lines().count(), 8);
+    }
+}

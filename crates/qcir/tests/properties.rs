@@ -1,0 +1,162 @@
+//! Property-based tests for the circuit IR: structural invariants that must
+//! hold for arbitrary circuits.
+
+use proptest::prelude::*;
+use qcir::{qasm, Circuit, Gate, Qubit};
+
+#[derive(Debug, Clone)]
+enum Spec {
+    OneQ(u8, u32),
+    Rot(u8, u32, f64),
+    TwoQ(u8, u32, u32),
+    ThreeQ(u8, u32, u32, u32),
+}
+
+fn circuit(n: u32, max_ops: usize) -> impl Strategy<Value = Circuit> {
+    let spec = prop_oneof![
+        ((0u8..8), (0..n)).prop_map(|(k, q)| Spec::OneQ(k, q)),
+        ((0u8..3), (0..n), -3.0f64..3.0).prop_map(|(k, q, t)| Spec::Rot(k, q, t)),
+        ((0u8..3), (0..n), (0..n)).prop_map(|(k, a, b)| Spec::TwoQ(k, a, b)),
+        ((0u8..2), (0..n), (0..n), (0..n)).prop_map(|(k, a, b, c)| Spec::ThreeQ(k, a, b, c)),
+    ];
+    proptest::collection::vec(spec, 0..max_ops).prop_map(move |specs| {
+        let mut c = Circuit::new(n, n);
+        for s in specs {
+            match s {
+                Spec::OneQ(k, q) => {
+                    match k {
+                        0 => c.h(q),
+                        1 => c.x(q),
+                        2 => c.y(q),
+                        3 => c.z(q),
+                        4 => c.s(q),
+                        5 => c.sdg(q),
+                        6 => c.t(q),
+                        _ => c.tdg(q),
+                    };
+                }
+                Spec::Rot(k, q, t) => {
+                    match k {
+                        0 => c.rx(q, t),
+                        1 => c.ry(q, t),
+                        _ => c.rz(q, t),
+                    };
+                }
+                Spec::TwoQ(k, a, b) if a != b => {
+                    match k {
+                        0 => c.cx(a, b),
+                        1 => c.cz(a, b),
+                        _ => c.swap(a, b),
+                    };
+                }
+                Spec::ThreeQ(k, a, b, t) if a != b && b != t && a != t => {
+                    match k {
+                        0 => c.ccx(a, b, t),
+                        _ => c.cswap(a, b, t),
+                    };
+                }
+                _ => {}
+            }
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn qasm_roundtrip(c in circuit(5, 30)) {
+        let mut measured = c.clone();
+        measured.measure_all();
+        let text = qasm::to_qasm(&measured);
+        let parsed = qasm::parse(&text).expect("parses its own output");
+        prop_assert_eq!(parsed, measured);
+    }
+
+    #[test]
+    fn decompose_is_idempotent(c in circuit(5, 25)) {
+        let once = c.decomposed();
+        prop_assert_eq!(once.clone().decomposed(), once);
+    }
+
+    #[test]
+    fn decompose_removes_non_basis_gates(c in circuit(4, 25)) {
+        let lowered = c.decomposed();
+        prop_assert_eq!(lowered.count_3q(), 0);
+        for g in lowered.iter() {
+            let basis = g.is_single_qubit() || g.is_measure() || matches!(g, Gate::Cx(..));
+            prop_assert!(basis, "non-basis gate {} survived", g.name());
+        }
+    }
+
+    #[test]
+    fn depth_bounds(c in circuit(4, 25)) {
+        let d = c.depth();
+        prop_assert!(d <= c.len());
+        if !c.is_empty() {
+            prop_assert!(d >= 1);
+            // Depth is at least ops-per-widest-wire.
+            let mut per_wire = vec![0usize; 4];
+            for g in c.iter() {
+                for q in g.qubits() {
+                    per_wire[q.usize()] += 1;
+                }
+            }
+            prop_assert!(d >= per_wire.into_iter().max().unwrap_or(0));
+        }
+    }
+
+    #[test]
+    fn relabel_roundtrip(c in circuit(4, 20), offset in 0u32..4) {
+        let shifted = c.relabeled(8, |q| Qubit::new(q.index() + offset));
+        let back = shifted.relabeled(4, |q| Qubit::new(q.index() - offset));
+        // Same ops modulo register width.
+        prop_assert_eq!(back.ops(), c.ops());
+    }
+
+    #[test]
+    fn dag_layers_partition_all_ops(c in circuit(4, 25)) {
+        let dag = qcir::dag::DagCircuit::new(&c);
+        let layers = dag.layers();
+        let total: usize = layers.iter().map(|l| l.len()).sum();
+        prop_assert_eq!(total, c.len());
+        let mut seen = vec![false; c.len()];
+        for idx in layers.into_iter().flatten() {
+            prop_assert!(!seen[idx], "op {} in two layers", idx);
+            seen[idx] = true;
+        }
+    }
+
+    #[test]
+    fn interaction_edges_subset_of_pairs(c in circuit(5, 25)) {
+        for (a, b) in c.interaction_edges() {
+            prop_assert!(a < b);
+            prop_assert!(b.index() < 5);
+        }
+    }
+
+    #[test]
+    fn inverse_is_involution(c in circuit(4, 20)) {
+        // Only unitary circuits invert; drop measurements.
+        let mut unitary = Circuit::new(4, 0);
+        for g in c.iter().filter(|g| !g.is_measure()) {
+            unitary.extend([g.clone()]);
+        }
+        let inv = unitary.inverse().expect("unitary");
+        let back = inv.inverse().expect("unitary");
+        prop_assert_eq!(back.len(), unitary.len());
+        // Double inverse restores the op list exactly (adjoint pairs are
+        // involutive and order reverses twice).
+        prop_assert_eq!(back.ops(), unitary.ops());
+    }
+
+    #[test]
+    fn stats_are_consistent(c in circuit(5, 30)) {
+        let s = c.stats();
+        prop_assert_eq!(
+            s.single_qubit_gates + s.two_qubit_gates + c.count_3q() + s.measurements,
+            c.len()
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! The compiler-visible calibration view of a device.
+//!
+//! IBM publishes per-qubit readout error, per-qubit single-qubit gate error,
+//! and per-link CX error after every calibration cycle; variation-aware
+//! mappers consume exactly this table. Crucially, it contains *no*
+//! information about coherent error channels or error correlations — which is
+//! why a mapping that maximizes calibration-estimated ESP can still lose to
+//! correlated errors at runtime (§2.6 of the paper).
+
+use crate::topology::Edge;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-qubit and per-link error rates as a compiler would see them.
+///
+/// # Examples
+///
+/// ```
+/// use qdevice::{presets, DeviceModel};
+/// let device = DeviceModel::synthesize(presets::melbourne14(), 7);
+/// let cal = device.calibration();
+/// let e01 = cal.cx_err(0, 1).expect("edge (0,1) exists on melbourne");
+/// assert!(e01 > 0.0 && e01 < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    readout_err: Vec<f64>,
+    gate_1q_err: Vec<f64>,
+    cx_err: BTreeMap<Edge, f64>,
+}
+
+impl Calibration {
+    /// Builds a calibration table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `readout_err` and `gate_1q_err` have different lengths, if
+    /// any rate is outside `[0, 1]`, or if any CX edge endpoint is out of
+    /// range.
+    pub fn new(
+        readout_err: Vec<f64>,
+        gate_1q_err: Vec<f64>,
+        cx_err: BTreeMap<Edge, f64>,
+    ) -> Self {
+        assert_eq!(
+            readout_err.len(),
+            gate_1q_err.len(),
+            "per-qubit tables must have equal length"
+        );
+        let n = readout_err.len() as u32;
+        for &r in readout_err.iter().chain(gate_1q_err.iter()) {
+            assert!((0.0..=1.0).contains(&r), "error rate {r} outside [0,1]");
+        }
+        for (e, &r) in &cx_err {
+            assert!(e.hi() < n, "cx edge {e} out of range for {n} qubits");
+            assert!((0.0..=1.0).contains(&r), "error rate {r} outside [0,1]");
+        }
+        Calibration {
+            readout_err,
+            gate_1q_err,
+            cx_err,
+        }
+    }
+
+    /// Number of qubits covered by the table.
+    pub fn num_qubits(&self) -> u32 {
+        self.readout_err.len() as u32
+    }
+
+    /// Readout (measurement) error rate of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn readout_err(&self, q: u32) -> f64 {
+        self.readout_err[q as usize]
+    }
+
+    /// Single-qubit gate error rate of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn gate_1q_err(&self, q: u32) -> f64 {
+        self.gate_1q_err[q as usize]
+    }
+
+    /// CX error rate on the coupling between `a` and `b`, or `None` if the
+    /// pair is not calibrated (not coupled).
+    pub fn cx_err(&self, a: u32, b: u32) -> Option<f64> {
+        if a == b {
+            return None;
+        }
+        self.cx_err.get(&Edge::new(a, b)).copied()
+    }
+
+    /// The calibrated CX edges and their error rates.
+    pub fn cx_table(&self) -> &BTreeMap<Edge, f64> {
+        &self.cx_err
+    }
+
+    /// Mean readout error across all qubits.
+    pub fn mean_readout_err(&self) -> f64 {
+        mean(&self.readout_err)
+    }
+
+    /// Worst readout error across all qubits.
+    pub fn worst_readout_err(&self) -> f64 {
+        self.readout_err.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean CX error across all calibrated links.
+    pub fn mean_cx_err(&self) -> f64 {
+        if self.cx_err.is_empty() {
+            return 0.0;
+        }
+        self.cx_err.values().sum::<f64>() / self.cx_err.len() as f64
+    }
+
+    /// Ratio of the worst to the best CX link error (the paper reports up to
+    /// ~20x on IBMQ-14).
+    pub fn cx_err_spread(&self) -> f64 {
+        let min = self.cx_err.values().copied().fold(f64::INFINITY, f64::min);
+        let max = self.cx_err.values().copied().fold(0.0, f64::max);
+        if min > 0.0 {
+            max / min
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Qubits sorted from most to least reliable readout.
+    pub fn qubits_by_readout(&self) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.num_qubits()).collect();
+        order.sort_by(|&a, &b| {
+            self.readout_err[a as usize]
+                .partial_cmp(&self.readout_err[b as usize])
+                .expect("error rates are finite")
+        });
+        order
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Calibration {
+        let mut cx = BTreeMap::new();
+        cx.insert(Edge::new(0, 1), 0.02);
+        cx.insert(Edge::new(1, 2), 0.08);
+        Calibration::new(vec![0.05, 0.10, 0.30], vec![0.001, 0.002, 0.003], cx)
+    }
+
+    #[test]
+    fn accessors() {
+        let c = sample();
+        assert_eq!(c.num_qubits(), 3);
+        assert_eq!(c.readout_err(2), 0.30);
+        assert_eq!(c.gate_1q_err(1), 0.002);
+        assert_eq!(c.cx_err(1, 0), Some(0.02));
+        assert_eq!(c.cx_err(0, 2), None);
+        assert_eq!(c.cx_err(1, 1), None);
+    }
+
+    #[test]
+    fn aggregates() {
+        let c = sample();
+        assert!((c.mean_readout_err() - 0.15).abs() < 1e-12);
+        assert_eq!(c.worst_readout_err(), 0.30);
+        assert!((c.mean_cx_err() - 0.05).abs() < 1e-12);
+        assert!((c.cx_err_spread() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qubit_ranking() {
+        let c = sample();
+        assert_eq!(c.qubits_by_readout(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_tables_rejected() {
+        let _ = Calibration::new(vec![0.1], vec![0.1, 0.2], BTreeMap::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn invalid_rate_rejected() {
+        let _ = Calibration::new(vec![1.5], vec![0.0], BTreeMap::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cx_edge_out_of_range_rejected() {
+        let mut cx = BTreeMap::new();
+        cx.insert(Edge::new(0, 5), 0.1);
+        let _ = Calibration::new(vec![0.1, 0.1], vec![0.0, 0.0], cx);
+    }
+
+    #[test]
+    fn empty_cx_table_aggregates() {
+        let c = Calibration::new(vec![0.1], vec![0.0], BTreeMap::new());
+        assert_eq!(c.mean_cx_err(), 0.0);
+    }
+}

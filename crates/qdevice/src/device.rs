@@ -1,0 +1,570 @@
+//! Ground-truth device models with hidden correlated-error channels.
+//!
+//! A [`DeviceModel`] is the substitute for the paper's physical IBMQ-14
+//! machine. It owns:
+//!
+//! - the stochastic error rates a real calibration would report
+//!   ([`NoiseParams::cx_err`], readout, 1q-gate, T1/T2), and
+//! - *hidden* deterministic channels that a calibration cannot see: per-edge
+//!   coherent CX over-rotation and per-edge ZZ-crosstalk on spectator qubits,
+//!   plus state-dependent readout asymmetry.
+//!
+//! The hidden channels are fixed per calibration cycle, so every shot of a
+//! program mapped onto the same qubits suffers the *same* systematic tilt —
+//! this is what makes a specific wrong answer dominate (the "demon" of the
+//! paper's Appendix A). A different mapping touches different edges and
+//! therefore tilts toward *different* wrong answers, which is exactly the
+//! diversity EDM exploits.
+
+use crate::stats;
+use crate::topology::{Edge, Topology};
+use crate::Calibration;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// Ground-truth error parameters of a synthetic device.
+///
+/// Fields are public because this is a passive parameter record consumed by
+/// the simulator; invariants (rates in `[0,1]`) are enforced at synthesis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseParams {
+    /// P(read 1 | prepared 0) per qubit.
+    pub readout_p01: Vec<f64>,
+    /// P(read 0 | prepared 1) per qubit. Typically larger than `readout_p01`
+    /// (state-dependent bias; see the paper's concurrent work on
+    /// Invert-and-Measure).
+    pub readout_p10: Vec<f64>,
+    /// Depolarizing error probability per single-qubit gate, per qubit.
+    pub gate_1q_err: Vec<f64>,
+    /// Depolarizing error probability per CX, per coupling edge.
+    pub cx_err: BTreeMap<Edge, f64>,
+    /// Amplitude-damping time constant per qubit, microseconds.
+    pub t1_us: Vec<f64>,
+    /// Dephasing time constant per qubit, microseconds.
+    pub t2_us: Vec<f64>,
+    /// Duration of a single-qubit gate, microseconds.
+    pub gate_time_1q_us: f64,
+    /// Duration of a CX gate, microseconds.
+    pub gate_time_2q_us: f64,
+    /// Hidden systematic CX over-rotation angle per edge (radians). Applied
+    /// coherently after every CX on that edge; invisible to calibration.
+    pub coherent_cx_angle: BTreeMap<Edge, f64>,
+    /// Hidden ZZ-crosstalk phase per edge (radians), applied to topology
+    /// neighbors of the edge whenever a CX fires on it.
+    pub zz_crosstalk: BTreeMap<Edge, f64>,
+}
+
+impl NoiseParams {
+    /// Number of qubits the parameters cover.
+    pub fn num_qubits(&self) -> u32 {
+        self.readout_p01.len() as u32
+    }
+
+    /// The symmetric (reported) readout error of qubit `q`: the mean of the
+    /// two conditional flip probabilities.
+    pub fn readout_err(&self, q: u32) -> f64 {
+        0.5 * (self.readout_p01[q as usize] + self.readout_p10[q as usize])
+    }
+
+    /// Returns a copy with every stochastic error rate and coherent angle
+    /// multiplied by `factor` (clamped to valid ranges).
+    ///
+    /// Used by the Appendix-A style sweeps to move a device along the
+    /// PST axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    pub fn scaled(&self, factor: f64) -> NoiseParams {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "noise scale factor must be a non-negative finite number"
+        );
+        let scale = |v: &[f64]| -> Vec<f64> {
+            v.iter().map(|&x| (x * factor).clamp(0.0, 0.5)).collect()
+        };
+        let scale_map = |m: &BTreeMap<Edge, f64>, hi: f64| -> BTreeMap<Edge, f64> {
+            m.iter()
+                .map(|(&e, &x)| (e, (x * factor).clamp(-hi, hi)))
+                .collect()
+        };
+        NoiseParams {
+            readout_p01: scale(&self.readout_p01),
+            readout_p10: scale(&self.readout_p10),
+            gate_1q_err: scale(&self.gate_1q_err),
+            cx_err: scale_map(&self.cx_err, 0.5),
+            t1_us: self.t1_us.clone(),
+            t2_us: self.t2_us.clone(),
+            gate_time_1q_us: self.gate_time_1q_us,
+            gate_time_2q_us: self.gate_time_2q_us,
+            coherent_cx_angle: scale_map(&self.coherent_cx_angle, std::f64::consts::PI),
+            zz_crosstalk: scale_map(&self.zz_crosstalk, std::f64::consts::PI),
+        }
+    }
+
+    /// A random-walk drift sequence: `steps` successive parameter sets,
+    /// each drifted from the previous by [`NoiseParams::drifted`] with the
+    /// given per-step sigma. Models the paper's observation (§2.4) that
+    /// error rates wander between calibration cycles while relative qubit
+    /// quality is "largely repeatable".
+    pub fn drift_series(&self, steps: usize, sigma_per_step: f64, seed: u64) -> Vec<NoiseParams> {
+        let mut out = Vec::with_capacity(steps);
+        let mut current = self.clone();
+        for i in 0..steps {
+            current = current.drifted(sigma_per_step, seed.wrapping_add(i as u64));
+            out.push(current.clone());
+        }
+        out
+    }
+
+    /// Returns a drifted copy: every stochastic rate is multiplied by an
+    /// independent log-normal factor `exp(sigma * N(0,1))` and the hidden
+    /// coherent angles receive small additive jitter.
+    ///
+    /// This models the temporal drift between the calibration cycle (which
+    /// the compiler sees) and the actual run (which the program experiences),
+    /// reproducing the imperfect ESP-to-PST correlation of Fig. 8.
+    pub fn drifted(&self, sigma: f64, seed: u64) -> NoiseParams {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD51F7_u64);
+        let drift = |rng: &mut ChaCha8Rng, v: &[f64]| -> Vec<f64> {
+            v.iter()
+                .map(|&x| {
+                    let f = (sigma * stats::standard_normal(rng)).exp();
+                    (x * f).clamp(0.0, 0.5)
+                })
+                .collect()
+        };
+        let drift_map = |rng: &mut ChaCha8Rng, m: &BTreeMap<Edge, f64>| -> BTreeMap<Edge, f64> {
+            m.iter()
+                .map(|(&e, &x)| {
+                    let f = (sigma * stats::standard_normal(rng)).exp();
+                    (e, (x * f).clamp(0.0, 0.5))
+                })
+                .collect()
+        };
+        let jitter_map =
+            |rng: &mut ChaCha8Rng, m: &BTreeMap<Edge, f64>| -> BTreeMap<Edge, f64> {
+                m.iter()
+                    .map(|(&e, &x)| (e, x + 0.3 * sigma * x.abs() * stats::standard_normal(rng)))
+                    .collect()
+            };
+        NoiseParams {
+            readout_p01: drift(&mut rng, &self.readout_p01),
+            readout_p10: drift(&mut rng, &self.readout_p10),
+            gate_1q_err: drift(&mut rng, &self.gate_1q_err),
+            cx_err: drift_map(&mut rng, &self.cx_err),
+            t1_us: self.t1_us.clone(),
+            t2_us: self.t2_us.clone(),
+            gate_time_1q_us: self.gate_time_1q_us,
+            gate_time_2q_us: self.gate_time_2q_us,
+            coherent_cx_angle: jitter_map(&mut rng, &self.coherent_cx_angle),
+            zz_crosstalk: jitter_map(&mut rng, &self.zz_crosstalk),
+        }
+    }
+}
+
+/// Knobs controlling how [`DeviceModel::synthesize_with`] samples a device.
+///
+/// Defaults reproduce the error magnitudes the paper reports for IBMQ-14:
+/// ~8% average readout error with two very noisy qubits up to 30% (Q11/Q12),
+/// ~4% average CX error with large (up to ~20x) link-to-link variation,
+/// 0.1% single-qubit gate error, T1 ≈ 50 µs, T2 ≈ 30 µs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthesisProfile {
+    /// Median of the per-qubit readout error distribution.
+    pub readout_median: f64,
+    /// Log-normal spread of readout errors.
+    pub readout_sigma: f64,
+    /// Ratio `p10 / p01`: how much more likely reading |1> fails than |0>.
+    pub readout_asymmetry: f64,
+    /// Number of designated "bad readout" qubits.
+    pub num_bad_readout_qubits: usize,
+    /// Readout error of the designated bad qubits.
+    pub bad_readout_err: f64,
+    /// Median single-qubit gate error.
+    pub gate_1q_median: f64,
+    /// Log-normal spread of single-qubit gate errors.
+    pub gate_1q_sigma: f64,
+    /// Median CX error.
+    pub cx_median: f64,
+    /// Log-normal spread of CX errors (0.8 gives ~20x link variation).
+    pub cx_sigma: f64,
+    /// Mean / sd of T1 in microseconds.
+    pub t1_mean_us: f64,
+    /// Standard deviation of T1.
+    pub t1_sd_us: f64,
+    /// Mean / sd of T2 in microseconds.
+    pub t2_mean_us: f64,
+    /// Standard deviation of T2.
+    pub t2_sd_us: f64,
+    /// Maximum magnitude of the hidden coherent CX over-rotation (radians).
+    pub coherent_max_angle: f64,
+    /// Maximum magnitude of the hidden ZZ-crosstalk phase (radians).
+    pub crosstalk_max_angle: f64,
+}
+
+impl Default for SynthesisProfile {
+    fn default() -> Self {
+        SynthesisProfile {
+            readout_median: 0.06,
+            readout_sigma: 0.4,
+            readout_asymmetry: 2.5,
+            num_bad_readout_qubits: 2,
+            bad_readout_err: 0.28,
+            gate_1q_median: 0.001,
+            gate_1q_sigma: 0.3,
+            cx_median: 0.03,
+            cx_sigma: 0.8,
+            t1_mean_us: 50.0,
+            t1_sd_us: 10.0,
+            t2_mean_us: 30.0,
+            t2_sd_us: 8.0,
+            coherent_max_angle: 0.35,
+            crosstalk_max_angle: 0.15,
+        }
+    }
+}
+
+/// A synthetic NISQ device: a topology plus ground-truth noise parameters.
+///
+/// # Examples
+///
+/// ```
+/// use qdevice::{presets, DeviceModel};
+/// let device = DeviceModel::synthesize(presets::melbourne14(), 1);
+/// // The compiler view hides the coherent channels.
+/// let cal = device.calibration();
+/// assert_eq!(cal.num_qubits(), device.topology().num_qubits());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceModel {
+    topology: Topology,
+    truth: NoiseParams,
+}
+
+impl DeviceModel {
+    /// Synthesizes a device with the default (IBMQ-14-like) profile.
+    pub fn synthesize(topology: Topology, seed: u64) -> Self {
+        Self::synthesize_with(topology, &SynthesisProfile::default(), seed)
+    }
+
+    /// Synthesizes a device with a custom profile.
+    pub fn synthesize_with(topology: Topology, profile: &SynthesisProfile, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = topology.num_qubits() as usize;
+
+        let mut readout_total: Vec<f64> = (0..n)
+            .map(|_| {
+                stats::clamp_rate(
+                    stats::lognormal(&mut rng, profile.readout_median, profile.readout_sigma),
+                    0.005,
+                    0.45,
+                )
+            })
+            .collect();
+        // Designate bad-readout qubits; on a 14-qubit melbourne-like device
+        // these are Q11 and Q12 as the paper observed (footnote 3).
+        let bad: Vec<usize> = if n >= 13 {
+            vec![11, 12]
+        } else {
+            (n.saturating_sub(profile.num_bad_readout_qubits)..n).collect()
+        };
+        for &q in bad.iter().take(profile.num_bad_readout_qubits) {
+            readout_total[q] = stats::clamp_rate(
+                profile.bad_readout_err * (1.0 + 0.1 * stats::standard_normal(&mut rng)),
+                0.15,
+                0.45,
+            );
+        }
+        // Split the total into asymmetric conditional flips with
+        // p10 = asymmetry * p01 and (p01 + p10)/2 = total.
+        let a = profile.readout_asymmetry;
+        let readout_p01: Vec<f64> = readout_total.iter().map(|&t| 2.0 * t / (1.0 + a)).collect();
+        let readout_p10: Vec<f64> = readout_p01.iter().map(|&p| (p * a).min(0.49)).collect();
+
+        let gate_1q_err: Vec<f64> = (0..n)
+            .map(|_| {
+                stats::clamp_rate(
+                    stats::lognormal(&mut rng, profile.gate_1q_median, profile.gate_1q_sigma),
+                    1e-5,
+                    0.05,
+                )
+            })
+            .collect();
+
+        let mut cx_err = BTreeMap::new();
+        let mut coherent_cx_angle = BTreeMap::new();
+        let mut zz_crosstalk = BTreeMap::new();
+        for &e in topology.edges() {
+            cx_err.insert(
+                e,
+                stats::clamp_rate(
+                    stats::lognormal(&mut rng, profile.cx_median, profile.cx_sigma),
+                    0.002,
+                    0.35,
+                ),
+            );
+            let angle = (2.0 * rng.gen::<f64>() - 1.0) * profile.coherent_max_angle;
+            coherent_cx_angle.insert(e, angle);
+            let xt = (2.0 * rng.gen::<f64>() - 1.0) * profile.crosstalk_max_angle;
+            zz_crosstalk.insert(e, xt);
+        }
+
+        let t1_us: Vec<f64> = (0..n)
+            .map(|_| stats::normal(&mut rng, profile.t1_mean_us, profile.t1_sd_us).max(5.0))
+            .collect();
+        let t2_us: Vec<f64> = (0..n)
+            .map(|i| {
+                stats::normal(&mut rng, profile.t2_mean_us, profile.t2_sd_us)
+                    .max(2.0)
+                    .min(2.0 * t1_us[i])
+            })
+            .collect();
+
+        DeviceModel {
+            topology,
+            truth: NoiseParams {
+                readout_p01,
+                readout_p10,
+                gate_1q_err,
+                cx_err,
+                t1_us,
+                t2_us,
+                gate_time_1q_us: 0.1,
+                gate_time_2q_us: 0.3,
+                coherent_cx_angle,
+                zz_crosstalk,
+            },
+        }
+    }
+
+    /// Builds a device from explicit parameters (mainly for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter vectors do not match the topology size.
+    pub fn from_parts(topology: Topology, truth: NoiseParams) -> Self {
+        assert_eq!(
+            truth.num_qubits(),
+            topology.num_qubits(),
+            "noise parameters must cover every qubit"
+        );
+        DeviceModel { topology, truth }
+    }
+
+    /// The device's coupling graph.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The ground-truth noise parameters (what the simulator uses).
+    pub fn truth(&self) -> &NoiseParams {
+        &self.truth
+    }
+
+    /// The compiler-visible calibration: accurate stochastic rates, but no
+    /// hidden coherent information.
+    pub fn calibration(&self) -> Calibration {
+        let n = self.truth.num_qubits();
+        let readout: Vec<f64> = (0..n).map(|q| self.truth.readout_err(q)).collect();
+        Calibration::new(
+            readout,
+            self.truth.gate_1q_err.clone(),
+            self.truth.cx_err.clone(),
+        )
+    }
+
+    /// A calibration measured `sigma` drift ago: the rates the compiler sees
+    /// differ from the truth by log-normal drift factors.
+    pub fn drifted_calibration(&self, sigma: f64, seed: u64) -> Calibration {
+        let drifted = self.truth.drifted(sigma, seed);
+        let n = drifted.num_qubits();
+        let readout: Vec<f64> = (0..n).map(|q| drifted.readout_err(q)).collect();
+        Calibration::new(readout, drifted.gate_1q_err.clone(), drifted.cx_err.clone())
+    }
+
+    /// Returns a copy whose truth is replaced by `truth` (e.g. a drifted or
+    /// scaled variant).
+    pub fn with_truth(&self, truth: NoiseParams) -> DeviceModel {
+        DeviceModel::from_parts(self.topology.clone(), truth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn synthesis_is_deterministic_per_seed() {
+        let t = presets::melbourne14();
+        let a = DeviceModel::synthesize(t.clone(), 9);
+        let b = DeviceModel::synthesize(t.clone(), 9);
+        let c = DeviceModel::synthesize(t, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn melbourne_bad_qubits_are_11_and_12() {
+        let d = DeviceModel::synthesize(presets::melbourne14(), 3);
+        let cal = d.calibration();
+        assert!(cal.readout_err(11) > 0.15);
+        assert!(cal.readout_err(12) > 0.15);
+        // Typical qubits are far better.
+        let median = {
+            let mut v: Vec<f64> = (0..14).map(|q| cal.readout_err(q)).collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[7]
+        };
+        assert!(median < 0.15);
+    }
+
+    #[test]
+    fn readout_is_asymmetric_toward_one_state() {
+        let d = DeviceModel::synthesize(presets::melbourne14(), 5);
+        let t = d.truth();
+        for q in 0..14usize {
+            assert!(
+                t.readout_p10[q] > t.readout_p01[q],
+                "qubit {q}: p10 {} should exceed p01 {}",
+                t.readout_p10[q],
+                t.readout_p01[q]
+            );
+        }
+    }
+
+    #[test]
+    fn every_edge_has_cx_and_hidden_params() {
+        let topo = presets::melbourne14();
+        let d = DeviceModel::synthesize(topo.clone(), 1);
+        for &e in topo.edges() {
+            assert!(d.truth().cx_err.contains_key(&e));
+            assert!(d.truth().coherent_cx_angle.contains_key(&e));
+            assert!(d.truth().zz_crosstalk.contains_key(&e));
+        }
+    }
+
+    #[test]
+    fn cx_errors_show_large_variation() {
+        // Aggregate across several devices: the paper reports up to ~20x.
+        let mut max_spread: f64 = 0.0;
+        for seed in 0..5 {
+            let d = DeviceModel::synthesize(presets::melbourne14(), seed);
+            max_spread = max_spread.max(d.calibration().cx_err_spread());
+        }
+        assert!(max_spread > 5.0, "spread {max_spread}");
+    }
+
+    #[test]
+    fn t2_bounded_by_twice_t1() {
+        let d = DeviceModel::synthesize(presets::melbourne14(), 8);
+        for q in 0..14usize {
+            assert!(d.truth().t2_us[q] <= 2.0 * d.truth().t1_us[q] + 1e-9);
+            assert!(d.truth().t1_us[q] > 0.0);
+        }
+    }
+
+    #[test]
+    fn calibration_matches_truth_means() {
+        let d = DeviceModel::synthesize(presets::melbourne14(), 2);
+        let cal = d.calibration();
+        for q in 0..14 {
+            assert!((cal.readout_err(q) - d.truth().readout_err(q)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn drifted_calibration_differs_but_correlates() {
+        let d = DeviceModel::synthesize(presets::melbourne14(), 4);
+        let cal = d.calibration();
+        let drifted = d.drifted_calibration(0.3, 77);
+        let mut any_diff = false;
+        for q in 0..14 {
+            if (cal.readout_err(q) - drifted.readout_err(q)).abs() > 1e-9 {
+                any_diff = true;
+            }
+            // Drift is multiplicative, so ordering is roughly preserved:
+            // drifted value stays within a couple of octaves.
+            let ratio = drifted.readout_err(q) / cal.readout_err(q);
+            assert!(ratio > 0.1 && ratio < 10.0, "ratio {ratio}");
+        }
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn scaled_zero_removes_stochastic_noise() {
+        let d = DeviceModel::synthesize(presets::melbourne14(), 6);
+        let z = d.truth().scaled(0.0);
+        assert!(z.readout_p01.iter().all(|&x| x == 0.0));
+        assert!(z.cx_err.values().all(|&x| x == 0.0));
+        assert!(z.coherent_cx_angle.values().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn scaled_rejects_negative() {
+        let d = DeviceModel::synthesize(presets::line(3), 0);
+        let _ = d.truth().scaled(-1.0);
+    }
+
+    #[test]
+    fn drift_is_deterministic_per_seed() {
+        let d = DeviceModel::synthesize(presets::melbourne14(), 6);
+        assert_eq!(d.truth().drifted(0.2, 1), d.truth().drifted(0.2, 1));
+        assert_ne!(d.truth().drifted(0.2, 1), d.truth().drifted(0.2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every qubit")]
+    fn from_parts_validates_sizes() {
+        let d = DeviceModel::synthesize(presets::line(3), 0);
+        let truth = d.truth().clone();
+        let _ = DeviceModel::from_parts(presets::line(4), truth);
+    }
+}
+
+#[cfg(test)]
+mod drift_series_tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn drift_series_has_requested_length_and_wanders() {
+        let d = DeviceModel::synthesize(presets::melbourne14(), 3);
+        let series = d.truth().drift_series(5, 0.1, 7);
+        assert_eq!(series.len(), 5);
+        // Consecutive steps differ but stay valid.
+        for w in series.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+        for params in &series {
+            assert!(params.readout_p01.iter().all(|&x| (0.0..=0.5).contains(&x)));
+        }
+        // Deterministic.
+        assert_eq!(series, d.truth().drift_series(5, 0.1, 7));
+    }
+
+    #[test]
+    fn drift_series_preserves_relative_quality_roughly() {
+        // §2.4: relative reliability is largely repeatable. The best and
+        // worst readout qubits should mostly stay in the same half.
+        let d = DeviceModel::synthesize(presets::melbourne14(), 5);
+        let base = d.truth();
+        let worst = (0..14u32)
+            .max_by(|&a, &b| {
+                base.readout_err(a)
+                    .partial_cmp(&base.readout_err(b))
+                    .unwrap()
+            })
+            .unwrap();
+        let series = base.drift_series(4, 0.1, 11);
+        for params in &series {
+            let rank = (0..14u32)
+                .filter(|&q| params.readout_err(q) > params.readout_err(worst))
+                .count();
+            assert!(rank <= 3, "worst qubit drifted into the good half");
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! JSON persistence for device models and calibrations.
+//!
+//! Real workflows snapshot calibration data per cycle (IBM exposes it via
+//! the Qiskit API; the paper's methodology §4.2 ties every experiment round
+//! to a calibration snapshot). This module serializes [`DeviceModel`] and
+//! [`Calibration`] to a stable JSON schema so experiments can be replayed
+//! against a recorded device.
+//!
+//! Edge-keyed maps are stored as `[a, b, value]` triples because JSON
+//! object keys must be strings.
+
+use crate::topology::Edge;
+use crate::{Calibration, DeviceModel, NoiseParams, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Serializable mirror of a [`DeviceModel`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceFile {
+    /// Number of physical qubits.
+    pub num_qubits: u32,
+    /// Coupling edges.
+    pub edges: Vec<(u32, u32)>,
+    /// P(read 1 | 0) per qubit.
+    pub readout_p01: Vec<f64>,
+    /// P(read 0 | 1) per qubit.
+    pub readout_p10: Vec<f64>,
+    /// Single-qubit gate error per qubit.
+    pub gate_1q_err: Vec<f64>,
+    /// T1 per qubit (µs).
+    pub t1_us: Vec<f64>,
+    /// T2 per qubit (µs).
+    pub t2_us: Vec<f64>,
+    /// Single-qubit gate duration (µs).
+    pub gate_time_1q_us: f64,
+    /// CX duration (µs).
+    pub gate_time_2q_us: f64,
+    /// `(a, b, error)` triples per coupling.
+    pub cx_err: Vec<(u32, u32, f64)>,
+    /// `(a, b, angle)` hidden coherent over-rotations.
+    pub coherent_cx_angle: Vec<(u32, u32, f64)>,
+    /// `(a, b, angle)` hidden crosstalk phases.
+    pub zz_crosstalk: Vec<(u32, u32, f64)>,
+}
+
+impl From<&DeviceModel> for DeviceFile {
+    fn from(device: &DeviceModel) -> Self {
+        let t = device.truth();
+        let triples = |m: &BTreeMap<Edge, f64>| -> Vec<(u32, u32, f64)> {
+            m.iter().map(|(e, &v)| (e.lo(), e.hi(), v)).collect()
+        };
+        DeviceFile {
+            num_qubits: device.topology().num_qubits(),
+            edges: device
+                .topology()
+                .edges()
+                .iter()
+                .map(|e| (e.lo(), e.hi()))
+                .collect(),
+            readout_p01: t.readout_p01.clone(),
+            readout_p10: t.readout_p10.clone(),
+            gate_1q_err: t.gate_1q_err.clone(),
+            t1_us: t.t1_us.clone(),
+            t2_us: t.t2_us.clone(),
+            gate_time_1q_us: t.gate_time_1q_us,
+            gate_time_2q_us: t.gate_time_2q_us,
+            cx_err: triples(&t.cx_err),
+            coherent_cx_angle: triples(&t.coherent_cx_angle),
+            zz_crosstalk: triples(&t.zz_crosstalk),
+        }
+    }
+}
+
+impl DeviceFile {
+    /// Reconstructs the device model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file is internally inconsistent (mismatched vector
+    /// lengths or out-of-range edges) — the same validation as
+    /// [`DeviceModel::from_parts`].
+    pub fn into_device(self) -> DeviceModel {
+        let topology = Topology::new(self.num_qubits, &self.edges);
+        let map = |v: Vec<(u32, u32, f64)>| -> BTreeMap<Edge, f64> {
+            v.into_iter()
+                .map(|(a, b, x)| (Edge::new(a, b), x))
+                .collect()
+        };
+        let truth = NoiseParams {
+            readout_p01: self.readout_p01,
+            readout_p10: self.readout_p10,
+            gate_1q_err: self.gate_1q_err,
+            cx_err: map(self.cx_err),
+            t1_us: self.t1_us,
+            t2_us: self.t2_us,
+            gate_time_1q_us: self.gate_time_1q_us,
+            gate_time_2q_us: self.gate_time_2q_us,
+            coherent_cx_angle: map(self.coherent_cx_angle),
+            zz_crosstalk: map(self.zz_crosstalk),
+        };
+        DeviceModel::from_parts(topology, truth)
+    }
+}
+
+/// Serializes a device model to pretty JSON.
+///
+/// # Errors
+///
+/// Returns a [`serde_json::Error`] if serialization fails (it cannot for
+/// this schema, but the signature keeps the caller honest).
+pub fn device_to_json(device: &DeviceModel) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(&DeviceFile::from(device))
+}
+
+/// Deserializes a device model from JSON produced by [`device_to_json`].
+///
+/// # Errors
+///
+/// Returns a [`serde_json::Error`] on malformed JSON.
+///
+/// # Panics
+///
+/// Panics if the JSON parses but is internally inconsistent (see
+/// [`DeviceFile::into_device`]).
+///
+/// # Examples
+///
+/// ```
+/// use qdevice::{persist, presets, DeviceModel};
+/// let device = DeviceModel::synthesize(presets::melbourne14(), 5);
+/// let json = persist::device_to_json(&device)?;
+/// let restored = persist::device_from_json(&json)?;
+/// assert_eq!(restored, device);
+/// # Ok::<(), serde_json::Error>(())
+/// ```
+pub fn device_from_json(json: &str) -> Result<DeviceModel, serde_json::Error> {
+    let file: DeviceFile = serde_json::from_str(json)?;
+    Ok(file.into_device())
+}
+
+/// Serializable mirror of a [`Calibration`] (edge-keyed maps as triples).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CalibrationFile {
+    /// Readout error per qubit.
+    pub readout_err: Vec<f64>,
+    /// Single-qubit gate error per qubit.
+    pub gate_1q_err: Vec<f64>,
+    /// `(a, b, error)` triples per coupling.
+    pub cx_err: Vec<(u32, u32, f64)>,
+}
+
+impl From<&Calibration> for CalibrationFile {
+    fn from(cal: &Calibration) -> Self {
+        CalibrationFile {
+            readout_err: (0..cal.num_qubits()).map(|q| cal.readout_err(q)).collect(),
+            gate_1q_err: (0..cal.num_qubits()).map(|q| cal.gate_1q_err(q)).collect(),
+            cx_err: cal
+                .cx_table()
+                .iter()
+                .map(|(e, &v)| (e.lo(), e.hi(), v))
+                .collect(),
+        }
+    }
+}
+
+impl CalibrationFile {
+    /// Reconstructs the calibration table.
+    ///
+    /// # Panics
+    ///
+    /// Panics on internally inconsistent data (the same validation as
+    /// [`Calibration::new`]).
+    pub fn into_calibration(self) -> Calibration {
+        let cx: BTreeMap<Edge, f64> = self
+            .cx_err
+            .into_iter()
+            .map(|(a, b, v)| (Edge::new(a, b), v))
+            .collect();
+        Calibration::new(self.readout_err, self.gate_1q_err, cx)
+    }
+}
+
+/// Serializes a calibration table to pretty JSON.
+///
+/// # Errors
+///
+/// Returns a [`serde_json::Error`] if serialization fails.
+pub fn calibration_to_json(cal: &Calibration) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(&CalibrationFile::from(cal))
+}
+
+/// Deserializes a calibration table produced by [`calibration_to_json`].
+///
+/// # Errors
+///
+/// Returns a [`serde_json::Error`] on malformed JSON.
+///
+/// # Panics
+///
+/// Panics if the JSON parses but is internally inconsistent.
+pub fn calibration_from_json(json: &str) -> Result<Calibration, serde_json::Error> {
+    let file: CalibrationFile = serde_json::from_str(json)?;
+    Ok(file.into_calibration())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn device_roundtrip_is_exact() {
+        let device = DeviceModel::synthesize(presets::melbourne14(), 77);
+        let json = device_to_json(&device).unwrap();
+        let restored = device_from_json(&json).unwrap();
+        assert_eq!(restored, device);
+    }
+
+    #[test]
+    fn device_roundtrip_other_topologies() {
+        for topo in [presets::line(5), presets::tokyo20(), presets::grid(2, 3)] {
+            let device = DeviceModel::synthesize(topo, 3);
+            let json = device_to_json(&device).unwrap();
+            assert_eq!(device_from_json(&json).unwrap(), device);
+        }
+    }
+
+    #[test]
+    fn calibration_roundtrip_is_exact() {
+        let device = DeviceModel::synthesize(presets::melbourne14(), 8);
+        let cal = device.calibration();
+        let json = calibration_to_json(&cal).unwrap();
+        assert_eq!(calibration_from_json(&json).unwrap(), cal);
+    }
+
+    #[test]
+    fn json_is_human_readable() {
+        let device = DeviceModel::synthesize(presets::line(3), 1);
+        let json = device_to_json(&device).unwrap();
+        assert!(json.contains("\"num_qubits\": 3"));
+        assert!(json.contains("readout_p01"));
+        assert!(json.contains("coherent_cx_angle"));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(device_from_json("{\"nope\": 1}").is_err());
+        assert!(calibration_from_json("[]").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every qubit")]
+    fn inconsistent_file_panics() {
+        let device = DeviceModel::synthesize(presets::line(3), 1);
+        let mut file = DeviceFile::from(&device);
+        file.readout_p01.pop(); // corrupt
+        let _ = file.into_device();
+    }
+}

@@ -1,0 +1,269 @@
+//! Preset coupling topologies.
+//!
+//! [`melbourne14`] reproduces the coupling map of the IBMQ-14 machine the
+//! paper evaluates on; the other presets let the EDM machinery be exercised
+//! on different device shapes.
+
+use crate::Topology;
+
+/// The 14-qubit `ibmq-16-melbourne` coupling map (the paper's IBMQ-14).
+///
+/// Two rows of seven qubits with rung couplings, matching IBM's published
+/// device graph:
+///
+/// ```text
+///  0 —  1 —  2 —  3 —  4 —  5 —  6
+///       |    |    |    |    |    |
+/// 13 — 12 — 11 — 10 —  9 —  8 —  7
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use qdevice::presets::melbourne14;
+/// let t = melbourne14();
+/// assert_eq!(t.num_qubits(), 14);
+/// assert!(t.is_connected());
+/// ```
+pub fn melbourne14() -> Topology {
+    Topology::new(
+        14,
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+            (1, 13),
+            (2, 12),
+            (3, 11),
+            (4, 10),
+            (5, 9),
+            (6, 8),
+            (7, 8),
+            (8, 9),
+            (9, 10),
+            (10, 11),
+            (11, 12),
+            (12, 13),
+        ],
+    )
+}
+
+/// The 20-qubit IBM Tokyo coupling map (a denser 4x5 lattice with diagonal
+/// couplings), used to show EDM generalises beyond IBMQ-14.
+pub fn tokyo20() -> Topology {
+    Topology::new(
+        20,
+        &[
+            // Horizontal rows.
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (5, 6),
+            (6, 7),
+            (7, 8),
+            (8, 9),
+            (10, 11),
+            (11, 12),
+            (12, 13),
+            (13, 14),
+            (15, 16),
+            (16, 17),
+            (17, 18),
+            (18, 19),
+            // Vertical columns.
+            (0, 5),
+            (1, 6),
+            (2, 7),
+            (3, 8),
+            (4, 9),
+            (5, 10),
+            (6, 11),
+            (7, 12),
+            (8, 13),
+            (9, 14),
+            (10, 15),
+            (11, 16),
+            (12, 17),
+            (13, 18),
+            (14, 19),
+            // Diagonal couplings present on the Tokyo device.
+            (1, 7),
+            (2, 6),
+            (3, 9),
+            (4, 8),
+            (5, 11),
+            (6, 10),
+            (7, 13),
+            (8, 12),
+            (11, 17),
+            (12, 16),
+            (13, 19),
+            (14, 18),
+        ],
+    )
+}
+
+/// A linear chain of `n` qubits.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn line(n: u32) -> Topology {
+    assert!(n > 0, "a line topology needs at least one qubit");
+    let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+    Topology::new(n, &edges)
+}
+
+/// A `rows x cols` rectangular grid.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid(rows: u32, cols: u32) -> Topology {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut edges = Vec::new();
+    let at = |r: u32, c: u32| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((at(r, c), at(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((at(r, c), at(r + 1, c)));
+            }
+        }
+    }
+    Topology::new(rows * cols, &edges)
+}
+
+/// The 16-qubit IBM Falcon "guadalupe" coupling map — a heavy-hex cell,
+/// the topology family IBM moved to after melbourne. Useful for checking
+/// that EDM's machinery generalizes to sparser, lower-degree devices.
+///
+/// ```text
+///  0 - 1 - 2 - 3 - 5 - 8 - 9
+///      |           |
+///      4           11
+///      |           |
+///  6 - 7 - 10 - 12 - 13 - 14
+///               |
+///               15
+/// ```
+pub fn guadalupe16() -> Topology {
+    Topology::new(
+        16,
+        &[
+            (0, 1),
+            (1, 2),
+            (1, 4),
+            (2, 3),
+            (3, 5),
+            (4, 7),
+            (5, 8),
+            (6, 7),
+            (7, 10),
+            (8, 9),
+            (8, 11),
+            (10, 12),
+            (11, 14),
+            (12, 13),
+            (12, 15),
+            (13, 14),
+        ],
+    )
+}
+
+/// A ring (cycle) of `n` qubits.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: u32) -> Topology {
+    assert!(n >= 3, "a ring needs at least three qubits");
+    let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    Topology::new(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn melbourne_shape() {
+        let t = melbourne14();
+        assert_eq!(t.num_qubits(), 14);
+        assert_eq!(t.num_edges(), 18);
+        assert!(t.is_connected());
+        // Corner qubits have degree 1 or 2; interior rung qubits degree 3.
+        assert_eq!(t.degree(0), 1);
+        assert_eq!(t.degree(7), 1);
+        assert_eq!(t.degree(3), 3);
+        assert_eq!(t.degree(11), 3);
+        // The two rows are only connected via rungs.
+        assert!(t.has_edge(1, 13));
+        assert!(!t.has_edge(0, 13));
+    }
+
+    #[test]
+    fn tokyo_shape() {
+        let t = tokyo20();
+        assert_eq!(t.num_qubits(), 20);
+        assert!(t.is_connected());
+        assert!(t.has_edge(1, 7)); // diagonal
+        assert!(t.num_edges() > 30);
+    }
+
+    #[test]
+    fn line_shape() {
+        let t = line(5);
+        assert_eq!(t.num_edges(), 4);
+        assert_eq!(t.distance(0, 4), Some(4));
+        let single = line(1);
+        assert_eq!(single.num_edges(), 0);
+        assert!(single.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one qubit")]
+    fn line_rejects_zero() {
+        let _ = line(0);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let t = grid(3, 4);
+        assert_eq!(t.num_qubits(), 12);
+        // 3*3 horizontal + 2*4 vertical = 17 edges.
+        assert_eq!(t.num_edges(), 17);
+        assert!(t.is_connected());
+        assert_eq!(t.distance(0, 11), Some(5));
+    }
+
+    #[test]
+    fn guadalupe_shape() {
+        let t = guadalupe16();
+        assert_eq!(t.num_qubits(), 16);
+        assert!(t.is_connected());
+        // Heavy-hex devices are sparse: max degree 3.
+        assert!((0..16).all(|q| t.degree(q) <= 3));
+        assert_eq!(t.num_edges(), 16);
+    }
+
+    #[test]
+    fn ring_shape() {
+        let t = ring(6);
+        assert_eq!(t.num_edges(), 6);
+        assert_eq!(t.distance(0, 3), Some(3));
+        assert_eq!(t.degree(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three")]
+    fn ring_rejects_too_small() {
+        let _ = ring(2);
+    }
+}

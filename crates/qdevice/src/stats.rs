@@ -1,0 +1,79 @@
+//! Small sampling helpers used to synthesize calibration data.
+//!
+//! Only `rand`'s uniform primitives are available offline, so the normal and
+//! log-normal samplers are implemented here via Box-Muller.
+
+use rand::Rng;
+
+/// Samples a standard normal deviate via the Box-Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `N(mean, sd)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * standard_normal(rng)
+}
+
+/// Samples a log-normal variate whose *median* is `median` and whose spread
+/// is controlled by `sigma` (the standard deviation of the underlying
+/// normal). `sigma ≈ 0.8` yields roughly a 20x ratio between the 2.5th and
+/// 97.5th percentile, matching the paper's reported link-error variation.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, median: f64, sigma: f64) -> f64 {
+    median * (sigma * standard_normal(rng)).exp()
+}
+
+/// Clamps a sampled rate into the valid probability range `[lo, hi]`.
+pub fn clamp_rate(x: f64, lo: f64, hi: f64) -> f64 {
+    x.clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_median_and_positivity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let n = 20_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| lognormal(&mut rng, 0.03, 0.8)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        assert!((median - 0.03).abs() < 0.005, "median {median}");
+        // Large spread: the paper reports up to ~20x variation across links.
+        let ratio = samples[(0.975 * n as f64) as usize] / samples[(0.025 * n as f64) as usize];
+        assert!(ratio > 10.0, "spread ratio {ratio}");
+    }
+
+    #[test]
+    fn clamp_rate_bounds() {
+        assert_eq!(clamp_rate(1.5, 0.0, 1.0), 1.0);
+        assert_eq!(clamp_rate(-0.1, 0.001, 1.0), 0.001);
+        assert_eq!(clamp_rate(0.5, 0.0, 1.0), 0.5);
+    }
+
+    #[test]
+    fn standard_normal_is_finite() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(standard_normal(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! Coupling graphs: which physical qubit pairs support two-qubit gates.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+/// An undirected edge of a coupling graph, stored with its endpoints in
+/// ascending order so that `(a, b)` and `(b, a)` compare equal.
+///
+/// # Examples
+///
+/// ```
+/// use qdevice::Edge;
+/// assert_eq!(Edge::new(3, 1), Edge::new(1, 3));
+/// assert_eq!(Edge::new(3, 1).lo(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Edge(u32, u32);
+
+impl Edge {
+    /// Creates a normalized edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (self-loops are not valid couplings).
+    pub fn new(a: u32, b: u32) -> Self {
+        assert_ne!(a, b, "coupling edges cannot be self-loops");
+        if a < b {
+            Edge(a, b)
+        } else {
+            Edge(b, a)
+        }
+    }
+
+    /// The smaller endpoint.
+    pub fn lo(self) -> u32 {
+        self.0
+    }
+
+    /// The larger endpoint.
+    pub fn hi(self) -> u32 {
+        self.1
+    }
+
+    /// Both endpoints as a tuple `(min, max)`.
+    pub fn endpoints(self) -> (u32, u32) {
+        (self.0, self.1)
+    }
+
+    /// True if `q` is one of the endpoints.
+    pub fn touches(self, q: u32) -> bool {
+        self.0 == q || self.1 == q
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not an endpoint of this edge.
+    pub fn other(self, q: u32) -> u32 {
+        if q == self.0 {
+            self.1
+        } else if q == self.1 {
+            self.0
+        } else {
+            panic!("qubit {q} is not an endpoint of {self}");
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.0, self.1)
+    }
+}
+
+/// An undirected coupling graph over `num_qubits` physical qubits.
+///
+/// Two-qubit gates may only be applied along edges; entangling more distant
+/// qubits requires routing via SWAPs (see the `qmap` crate).
+///
+/// # Examples
+///
+/// ```
+/// use qdevice::Topology;
+/// let line = Topology::new(4, &[(0, 1), (1, 2), (2, 3)]);
+/// assert!(line.has_edge(1, 2));
+/// assert!(!line.has_edge(0, 3));
+/// assert_eq!(line.distance(0, 3), Some(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    num_qubits: u32,
+    adjacency: Vec<BTreeSet<u32>>,
+    edges: Vec<Edge>,
+}
+
+impl Topology {
+    /// Builds a topology from an edge list.
+    ///
+    /// Duplicate edges are deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= num_qubits` or if an edge is a self-loop.
+    pub fn new(num_qubits: u32, edges: &[(u32, u32)]) -> Self {
+        let mut adjacency = vec![BTreeSet::new(); num_qubits as usize];
+        let mut set = BTreeSet::new();
+        for &(a, b) in edges {
+            assert!(
+                a < num_qubits && b < num_qubits,
+                "edge ({a},{b}) out of range for {num_qubits} qubits"
+            );
+            let e = Edge::new(a, b);
+            if set.insert(e) {
+                adjacency[a as usize].insert(b);
+                adjacency[b as usize].insert(a);
+            }
+        }
+        Topology {
+            num_qubits,
+            adjacency,
+            edges: set.into_iter().collect(),
+        }
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// The deduplicated, normalized edge list in ascending order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Number of coupling edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Neighbors of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn neighbors(&self, q: u32) -> &BTreeSet<u32> {
+        &self.adjacency[q as usize]
+    }
+
+    /// Degree (number of couplings) of qubit `q`.
+    pub fn degree(&self, q: u32) -> usize {
+        self.adjacency[q as usize].len()
+    }
+
+    /// True if qubits `a` and `b` are directly coupled.
+    pub fn has_edge(&self, a: u32, b: u32) -> bool {
+        a != b && a < self.num_qubits && b < self.num_qubits && self.adjacency[a as usize].contains(&b)
+    }
+
+    /// BFS shortest-path distance between two qubits in coupling hops, or
+    /// `None` if they are disconnected.
+    pub fn distance(&self, from: u32, to: u32) -> Option<usize> {
+        if from == to {
+            return Some(0);
+        }
+        let mut seen = vec![false; self.num_qubits as usize];
+        let mut queue = VecDeque::new();
+        seen[from as usize] = true;
+        queue.push_back((from, 0usize));
+        while let Some((q, d)) = queue.pop_front() {
+            for &n in &self.adjacency[q as usize] {
+                if n == to {
+                    return Some(d + 1);
+                }
+                if !seen[n as usize] {
+                    seen[n as usize] = true;
+                    queue.push_back((n, d + 1));
+                }
+            }
+        }
+        None
+    }
+
+    /// All-pairs BFS distance matrix; `usize::MAX` marks disconnected pairs.
+    pub fn distance_matrix(&self) -> Vec<Vec<usize>> {
+        let n = self.num_qubits as usize;
+        let mut m = vec![vec![usize::MAX; n]; n];
+        for (s, row) in m.iter_mut().enumerate() {
+            row[s] = 0;
+            let mut queue = VecDeque::new();
+            queue.push_back(s as u32);
+            while let Some(q) = queue.pop_front() {
+                let d = row[q as usize];
+                for &x in &self.adjacency[q as usize] {
+                    if row[x as usize] == usize::MAX {
+                        row[x as usize] = d + 1;
+                        queue.push_back(x);
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// One BFS shortest path from `from` to `to` (inclusive of endpoints),
+    /// or `None` if disconnected.
+    pub fn shortest_path(&self, from: u32, to: u32) -> Option<Vec<u32>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev: Vec<Option<u32>> = vec![None; self.num_qubits as usize];
+        let mut seen = vec![false; self.num_qubits as usize];
+        let mut queue = VecDeque::new();
+        seen[from as usize] = true;
+        queue.push_back(from);
+        while let Some(q) = queue.pop_front() {
+            for &n in &self.adjacency[q as usize] {
+                if !seen[n as usize] {
+                    seen[n as usize] = true;
+                    prev[n as usize] = Some(q);
+                    if n == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while let Some(p) = prev[cur as usize] {
+                            path.push(p);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(n);
+                }
+            }
+        }
+        None
+    }
+
+    /// True if every qubit can reach every other qubit.
+    pub fn is_connected(&self) -> bool {
+        if self.num_qubits == 0 {
+            return true;
+        }
+        let mut seen = vec![false; self.num_qubits as usize];
+        let mut queue = VecDeque::new();
+        seen[0] = true;
+        queue.push_back(0u32);
+        let mut count = 1;
+        while let Some(q) = queue.pop_front() {
+            for &n in &self.adjacency[q as usize] {
+                if !seen[n as usize] {
+                    seen[n as usize] = true;
+                    count += 1;
+                    queue.push_back(n);
+                }
+            }
+        }
+        count == self.num_qubits
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "topology({} qubits, {} edges)",
+            self.num_qubits,
+            self.edges.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line4() -> Topology {
+        Topology::new(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn edge_normalizes() {
+        let e = Edge::new(5, 2);
+        assert_eq!(e.lo(), 2);
+        assert_eq!(e.hi(), 5);
+        assert_eq!(e.endpoints(), (2, 5));
+        assert_eq!(e, Edge::new(2, 5));
+        assert_eq!(e.to_string(), "(2,5)");
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn edge_rejects_self_loop() {
+        let _ = Edge::new(1, 1);
+    }
+
+    #[test]
+    fn edge_touches_and_other() {
+        let e = Edge::new(1, 4);
+        assert!(e.touches(1));
+        assert!(e.touches(4));
+        assert!(!e.touches(2));
+        assert_eq!(e.other(1), 4);
+        assert_eq!(e.other(4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_other_panics_for_non_endpoint() {
+        Edge::new(1, 4).other(2);
+    }
+
+    #[test]
+    fn duplicate_edges_deduplicated() {
+        let t = Topology::new(3, &[(0, 1), (1, 0), (0, 1), (1, 2)]);
+        assert_eq!(t.num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn topology_rejects_out_of_range_edge() {
+        let _ = Topology::new(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn adjacency_queries() {
+        let t = line4();
+        assert!(t.has_edge(0, 1));
+        assert!(t.has_edge(1, 0));
+        assert!(!t.has_edge(0, 2));
+        assert!(!t.has_edge(0, 0));
+        assert_eq!(t.degree(1), 2);
+        assert_eq!(t.degree(0), 1);
+        assert_eq!(t.neighbors(1).iter().copied().collect::<Vec<_>>(), [0, 2]);
+    }
+
+    #[test]
+    fn distances_on_a_line() {
+        let t = line4();
+        assert_eq!(t.distance(0, 0), Some(0));
+        assert_eq!(t.distance(0, 3), Some(3));
+        assert_eq!(t.distance(3, 0), Some(3));
+        let m = t.distance_matrix();
+        assert_eq!(m[0][3], 3);
+        assert_eq!(m[1][2], 1);
+    }
+
+    #[test]
+    fn disconnected_distance_is_none() {
+        let t = Topology::new(4, &[(0, 1), (2, 3)]);
+        assert_eq!(t.distance(0, 3), None);
+        assert!(!t.is_connected());
+        assert_eq!(t.distance_matrix()[0][2], usize::MAX);
+    }
+
+    #[test]
+    fn shortest_path_endpoints_inclusive() {
+        let t = line4();
+        assert_eq!(t.shortest_path(0, 3), Some(vec![0, 1, 2, 3]));
+        assert_eq!(t.shortest_path(2, 2), Some(vec![2]));
+        let t2 = Topology::new(4, &[(0, 1), (2, 3)]);
+        assert_eq!(t2.shortest_path(0, 3), None);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(line4().is_connected());
+        assert!(Topology::new(0, &[]).is_connected());
+        assert!(Topology::new(1, &[]).is_connected());
+        assert!(!Topology::new(2, &[]).is_connected());
+    }
+
+    #[test]
+    fn ring_distance_wraps() {
+        let ring = Topology::new(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        assert_eq!(ring.distance(0, 3), Some(3));
+        assert_eq!(ring.distance(0, 4), Some(2));
+    }
+}

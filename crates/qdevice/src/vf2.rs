@@ -1,0 +1,303 @@
+//! Subgraph-isomorphism enumeration (VF2-style).
+//!
+//! EDM transplants a mapped circuit onto alternative qubit subsets by
+//! enumerating embeddings of the circuit's interaction graph into the device
+//! coupling graph (§5.2 of the paper, which uses the VF2 algorithm of
+//! Cordella et al.). This module implements the enumeration from scratch:
+//! a backtracking search with candidate pruning, ordered so that each pattern
+//! vertex (after the first of its component) is matched adjacent to already
+//! matched vertices.
+//!
+//! The match is *non-induced*: every pattern edge must map to a target edge,
+//! but extra target edges between mapped vertices are allowed — exactly what
+//! qubit mapping needs.
+
+use crate::Topology;
+
+/// Enumerates injective mappings `phi` from pattern vertices to target
+/// vertices such that every pattern edge `(a, b)` maps to a target edge
+/// `(phi[a], phi[b])`.
+///
+/// Results are returned as vectors indexed by pattern vertex. At most
+/// `max_results` embeddings are produced (pass `usize::MAX` for all of them).
+/// Isolated pattern vertices are matched to any unused target vertex.
+///
+/// # Examples
+///
+/// ```
+/// use qdevice::{presets, vf2};
+/// // Embed a 3-qubit path into a 4-qubit line: 0-1-2 fits 4 ways
+/// // (starting at 0 or 1, in either direction).
+/// let pattern = presets::line(3);
+/// let target = presets::line(4);
+/// let found = vf2::enumerate_subgraph_isomorphisms(&pattern, &target, usize::MAX);
+/// assert_eq!(found.len(), 4);
+/// ```
+pub fn enumerate_subgraph_isomorphisms(
+    pattern: &Topology,
+    target: &Topology,
+    max_results: usize,
+) -> Vec<Vec<u32>> {
+    let pn = pattern.num_qubits() as usize;
+    let tn = target.num_qubits() as usize;
+    if pn == 0 || max_results == 0 {
+        return if pn == 0 && max_results > 0 {
+            vec![Vec::new()]
+        } else {
+            Vec::new()
+        };
+    }
+    if pn > tn {
+        return Vec::new();
+    }
+
+    let order = matching_order(pattern);
+    let mut state = State {
+        pattern,
+        target,
+        order,
+        mapping: vec![u32::MAX; pn],
+        used: vec![false; tn],
+        results: Vec::new(),
+        max_results,
+    };
+    state.search(0);
+    state.results
+}
+
+/// Returns true if at least one embedding of `pattern` into `target` exists.
+pub fn is_embeddable(pattern: &Topology, target: &Topology) -> bool {
+    !enumerate_subgraph_isomorphisms(pattern, target, 1).is_empty()
+}
+
+/// Computes a matching order: vertices sorted so that every vertex after the
+/// first of its connected component has at least one earlier neighbor.
+/// Components are visited by descending maximum degree, which narrows the
+/// candidate sets early.
+fn matching_order(pattern: &Topology) -> Vec<u32> {
+    let n = pattern.num_qubits();
+    let mut order = Vec::with_capacity(n as usize);
+    let mut placed = vec![false; n as usize];
+    loop {
+        // Pick the highest-degree unplaced vertex as the next component seed.
+        let seed = (0..n)
+            .filter(|&v| !placed[v as usize])
+            .max_by_key(|&v| pattern.degree(v));
+        let Some(seed) = seed else { break };
+        // Grow the component greedily: always add the unplaced vertex with
+        // the most already-placed neighbors (ties broken by degree).
+        placed[seed as usize] = true;
+        order.push(seed);
+        loop {
+            let next = (0..n)
+                .filter(|&v| !placed[v as usize])
+                .map(|v| {
+                    let placed_neighbors = pattern
+                        .neighbors(v)
+                        .iter()
+                        .filter(|&&u| placed[u as usize])
+                        .count();
+                    (placed_neighbors, pattern.degree(v), v)
+                })
+                .filter(|&(pn_count, _, _)| pn_count > 0)
+                .max();
+            match next {
+                Some((_, _, v)) => {
+                    placed[v as usize] = true;
+                    order.push(v);
+                }
+                None => break,
+            }
+        }
+    }
+    order
+}
+
+struct State<'a> {
+    pattern: &'a Topology,
+    target: &'a Topology,
+    order: Vec<u32>,
+    mapping: Vec<u32>,
+    used: Vec<bool>,
+    results: Vec<Vec<u32>>,
+    max_results: usize,
+}
+
+impl State<'_> {
+    fn search(&mut self, depth: usize) {
+        if self.results.len() >= self.max_results {
+            return;
+        }
+        if depth == self.order.len() {
+            self.results.push(self.mapping.clone());
+            return;
+        }
+        let v = self.order[depth];
+        // Candidate targets: if v has mapped neighbors, candidates are the
+        // target-neighbors of one mapped image (the smallest pruning set);
+        // otherwise every unused target vertex.
+        let mapped_neighbor = self
+            .pattern
+            .neighbors(v)
+            .iter()
+            .find(|&&u| self.mapping[u as usize] != u32::MAX)
+            .copied();
+        let candidates: Vec<u32> = match mapped_neighbor {
+            Some(u) => self
+                .target
+                .neighbors(self.mapping[u as usize])
+                .iter()
+                .copied()
+                .filter(|&t| !self.used[t as usize])
+                .collect(),
+            None => (0..self.target.num_qubits())
+                .filter(|&t| !self.used[t as usize])
+                .collect(),
+        };
+        'cand: for t in candidates {
+            // Feasibility: degree and full adjacency consistency.
+            if self.target.degree(t) < self.pattern.degree(v) {
+                continue;
+            }
+            for &u in self.pattern.neighbors(v) {
+                let img = self.mapping[u as usize];
+                if img != u32::MAX && !self.target.has_edge(t, img) {
+                    continue 'cand;
+                }
+            }
+            self.mapping[v as usize] = t;
+            self.used[t as usize] = true;
+            self.search(depth + 1);
+            self.used[t as usize] = false;
+            self.mapping[v as usize] = u32::MAX;
+            if self.results.len() >= self.max_results {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::Topology;
+
+    fn check_valid(pattern: &Topology, target: &Topology, phi: &[u32]) {
+        // Injective.
+        let mut seen = std::collections::BTreeSet::new();
+        for &t in phi {
+            assert!(seen.insert(t), "mapping not injective: {phi:?}");
+        }
+        // Edge-preserving.
+        for e in pattern.edges() {
+            assert!(
+                target.has_edge(phi[e.lo() as usize], phi[e.hi() as usize]),
+                "edge {e} not preserved by {phi:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn path_into_line_counts() {
+        let pattern = presets::line(3);
+        let target = presets::line(5);
+        let found = enumerate_subgraph_isomorphisms(&pattern, &target, usize::MAX);
+        // Three start positions, two directions each.
+        assert_eq!(found.len(), 6);
+        for phi in &found {
+            check_valid(&pattern, &target, phi);
+        }
+    }
+
+    #[test]
+    fn path_into_ring_counts() {
+        let pattern = presets::line(3);
+        let target = presets::ring(6);
+        let found = enumerate_subgraph_isomorphisms(&pattern, &target, usize::MAX);
+        // 6 start positions * 2 directions.
+        assert_eq!(found.len(), 12);
+    }
+
+    #[test]
+    fn triangle_does_not_embed_into_tree() {
+        let triangle = presets::ring(3);
+        let tree = presets::line(5);
+        assert!(!is_embeddable(&triangle, &tree));
+        assert!(enumerate_subgraph_isomorphisms(&triangle, &tree, usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn triangle_embeds_into_dense_graph() {
+        let triangle = presets::ring(3);
+        let target = presets::tokyo20();
+        assert!(is_embeddable(&triangle, &target));
+    }
+
+    #[test]
+    fn star_requires_degree() {
+        // A 4-star (center + 3 leaves) cannot embed into a line (max degree 2)
+        let star = Topology::new(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert!(!is_embeddable(&star, &presets::line(10)));
+        // ... but embeds into melbourne (degree-3 vertices exist).
+        assert!(is_embeddable(&star, &presets::melbourne14()));
+    }
+
+    #[test]
+    fn max_results_caps_enumeration() {
+        let pattern = presets::line(2);
+        let target = presets::melbourne14();
+        let found = enumerate_subgraph_isomorphisms(&pattern, &target, 5);
+        assert_eq!(found.len(), 5);
+    }
+
+    #[test]
+    fn pattern_larger_than_target_is_empty() {
+        assert!(enumerate_subgraph_isomorphisms(&presets::line(5), &presets::line(4), 10)
+            .is_empty());
+    }
+
+    #[test]
+    fn empty_pattern_has_single_empty_embedding() {
+        let empty = Topology::new(0, &[]);
+        let found = enumerate_subgraph_isomorphisms(&empty, &presets::line(3), usize::MAX);
+        assert_eq!(found, vec![Vec::<u32>::new()]);
+    }
+
+    #[test]
+    fn isolated_vertices_map_anywhere_unused() {
+        // Pattern: one edge + one isolated vertex, into a line of 3.
+        let pattern = Topology::new(3, &[(0, 1)]);
+        let target = presets::line(3);
+        let found = enumerate_subgraph_isomorphisms(&pattern, &target, usize::MAX);
+        for phi in &found {
+            check_valid(&pattern, &target, phi);
+        }
+        // Edge (0,1) can sit on (0,1),(1,0),(1,2),(2,1); vertex 2 takes the
+        // remaining spot: 4 embeddings.
+        assert_eq!(found.len(), 4);
+    }
+
+    #[test]
+    fn embeddings_into_melbourne_are_valid() {
+        // BV-6-like star-ish interaction pattern.
+        let pattern = Topology::new(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let target = presets::melbourne14();
+        let found = enumerate_subgraph_isomorphisms(&pattern, &target, usize::MAX);
+        assert!(!found.is_empty());
+        for phi in &found {
+            check_valid(&pattern, &target, phi);
+        }
+    }
+
+    #[test]
+    fn all_embeddings_distinct() {
+        let pattern = presets::line(4);
+        let target = presets::melbourne14();
+        let found = enumerate_subgraph_isomorphisms(&pattern, &target, usize::MAX);
+        let mut set = std::collections::BTreeSet::new();
+        for phi in &found {
+            assert!(set.insert(phi.clone()), "duplicate embedding {phi:?}");
+        }
+    }
+}

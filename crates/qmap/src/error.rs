@@ -1,0 +1,91 @@
+//! Mapping error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by placement, routing, or ESP evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The circuit needs more qubits than the device provides.
+    TooManyQubits {
+        /// Logical qubits required.
+        circuit: u32,
+        /// Physical qubits available.
+        device: u32,
+    },
+    /// A two-qubit gate sits on a pair with no calibrated coupling.
+    UncalibratedEdge {
+        /// First physical qubit.
+        a: u32,
+        /// Second physical qubit.
+        b: u32,
+    },
+    /// The device graph cannot connect two qubits that must interact.
+    Unroutable {
+        /// First physical qubit.
+        a: u32,
+        /// Second physical qubit.
+        b: u32,
+    },
+    /// The circuit contains a gate the mapper cannot handle (it must be
+    /// lowered to the `{1q, CX}` basis first).
+    UnsupportedGate {
+        /// Mnemonic of the offending gate.
+        name: &'static str,
+    },
+    /// No swap-free embedding of the interaction graph exists.
+    NotEmbeddable,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::TooManyQubits { circuit, device } => {
+                write!(f, "circuit needs {circuit} qubits but the device has {device}")
+            }
+            MapError::UncalibratedEdge { a, b } => {
+                write!(f, "no calibrated coupling between physical qubits {a} and {b}")
+            }
+            MapError::Unroutable { a, b } => {
+                write!(f, "no path between physical qubits {a} and {b}")
+            }
+            MapError::UnsupportedGate { name } => {
+                write!(f, "gate '{name}' must be lowered before mapping")
+            }
+            MapError::NotEmbeddable => {
+                write!(f, "interaction graph has no swap-free embedding")
+            }
+        }
+    }
+}
+
+impl Error for MapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MapError::TooManyQubits {
+            circuit: 9,
+            device: 5
+        }
+        .to_string()
+        .contains("9 qubits"));
+        assert!(MapError::UncalibratedEdge { a: 1, b: 2 }
+            .to_string()
+            .contains("1 and 2"));
+        assert!(MapError::Unroutable { a: 0, b: 3 }.to_string().contains("no path"));
+        assert!(MapError::UnsupportedGate { name: "ccx" }
+            .to_string()
+            .contains("ccx"));
+        assert!(MapError::NotEmbeddable.to_string().contains("swap-free"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<MapError>();
+    }
+}

@@ -1,0 +1,185 @@
+//! Estimated Success Probability (ESP).
+//!
+//! ESP is the compile-time reliability estimate of §2.4:
+//!
+//! ```text
+//! ESP = Π (1 - g_i^e) · Π (1 - m_j^e)
+//! ```
+//!
+//! the product of every gate's and every measurement's success rate under
+//! the current calibration. Variation-aware mapping maximizes ESP; EDM ranks
+//! candidate mappings by it.
+
+use crate::MapError;
+use qcir::{Circuit, Gate};
+use qdevice::Calibration;
+
+/// Computes the ESP of a *physical* circuit under a calibration.
+///
+/// The circuit must be in the device basis (single-qubit gates, CX,
+/// measurements), with every CX on a calibrated coupling.
+///
+/// # Errors
+///
+/// - [`MapError::UnsupportedGate`] for gates outside the device basis.
+/// - [`MapError::UncalibratedEdge`] for a CX on an uncalibrated pair.
+/// - [`MapError::TooManyQubits`] if the circuit is wider than the table.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::Circuit;
+/// use qdevice::{presets, DeviceModel};
+/// use qmap::esp;
+///
+/// let device = DeviceModel::synthesize(presets::melbourne14(), 2);
+/// let cal = device.calibration();
+/// let mut c = Circuit::new(2, 2);
+/// c.h(0);
+/// c.cx(0, 1);
+/// c.measure_all();
+/// let value = esp::esp(&c, &cal)?;
+/// assert!(value > 0.5 && value < 1.0);
+/// # Ok::<(), qmap::MapError>(())
+/// ```
+pub fn esp(circuit: &Circuit, cal: &Calibration) -> Result<f64, MapError> {
+    if circuit.num_qubits() > cal.num_qubits() {
+        return Err(MapError::TooManyQubits {
+            circuit: circuit.num_qubits(),
+            device: cal.num_qubits(),
+        });
+    }
+    let mut product = 1.0;
+    for g in circuit.iter() {
+        match *g {
+            Gate::Cx(a, b) => {
+                let e = cal
+                    .cx_err(a.index(), b.index())
+                    .ok_or(MapError::UncalibratedEdge {
+                        a: a.index(),
+                        b: b.index(),
+                    })?;
+                product *= 1.0 - e;
+            }
+            Gate::Measure(q, _) => {
+                product *= 1.0 - cal.readout_err(q.index());
+            }
+            ref g1 if g1.is_single_qubit() => {
+                product *= 1.0 - cal.gate_1q_err(g1.qubits()[0].index());
+            }
+            ref other => {
+                return Err(MapError::UnsupportedGate { name: other.name() });
+            }
+        }
+    }
+    Ok(product)
+}
+
+/// ESP restricted to the measurement terms only — useful when comparing
+/// mappings of measurement-dominated circuits.
+pub fn measurement_esp(circuit: &Circuit, cal: &Calibration) -> Result<f64, MapError> {
+    if circuit.num_qubits() > cal.num_qubits() {
+        return Err(MapError::TooManyQubits {
+            circuit: circuit.num_qubits(),
+            device: cal.num_qubits(),
+        });
+    }
+    let mut product = 1.0;
+    for g in circuit.iter() {
+        if let Gate::Measure(q, _) = *g {
+            product *= 1.0 - cal.readout_err(q.index());
+        }
+    }
+    Ok(product)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdevice::Edge;
+    use std::collections::BTreeMap;
+
+    fn cal3() -> Calibration {
+        let mut cx = BTreeMap::new();
+        cx.insert(Edge::new(0, 1), 0.1);
+        cx.insert(Edge::new(1, 2), 0.2);
+        Calibration::new(vec![0.05, 0.10, 0.20], vec![0.01, 0.02, 0.03], cx)
+    }
+
+    #[test]
+    fn empty_circuit_has_esp_one() {
+        let c = Circuit::new(2, 0);
+        assert_eq!(esp(&c, &cal3()).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn esp_multiplies_success_rates() {
+        let mut c = Circuit::new(3, 3);
+        c.h(0); // 0.99
+        c.cx(0, 1); // 0.9
+        c.measure(0, 0); // 0.95
+        c.measure(1, 1); // 0.90
+        let got = esp(&c, &cal3()).unwrap();
+        let want = 0.99 * 0.9 * 0.95 * 0.90;
+        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+    }
+
+    #[test]
+    fn worked_paper_equation() {
+        // The equation in §2.4: gate terms and measurement terms multiply.
+        let mut c = Circuit::new(2, 2);
+        c.cx(0, 1).cx(0, 1).measure_all();
+        let got = esp(&c, &cal3()).unwrap();
+        let want = 0.9 * 0.9 * 0.95 * 0.90;
+        assert!((got - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncalibrated_edge_rejected() {
+        let mut c = Circuit::new(3, 0);
+        c.cx(0, 2);
+        assert_eq!(
+            esp(&c, &cal3()).unwrap_err(),
+            MapError::UncalibratedEdge { a: 0, b: 2 }
+        );
+    }
+
+    #[test]
+    fn unsupported_gate_rejected() {
+        let mut c = Circuit::new(2, 0);
+        c.swap(0, 1);
+        assert_eq!(
+            esp(&c, &cal3()).unwrap_err(),
+            MapError::UnsupportedGate { name: "swap" }
+        );
+    }
+
+    #[test]
+    fn oversize_circuit_rejected() {
+        let c = Circuit::new(5, 0);
+        assert!(matches!(
+            esp(&c, &cal3()).unwrap_err(),
+            MapError::TooManyQubits { .. }
+        ));
+    }
+
+    #[test]
+    fn measurement_esp_ignores_gates() {
+        let mut c = Circuit::new(2, 2);
+        c.cx(0, 1).measure(0, 0);
+        let got = measurement_esp(&c, &cal3()).unwrap();
+        assert!((got - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn better_qubits_give_higher_esp() {
+        // Same circuit shape on (0,1) vs (1,2): the (0,1) variant uses more
+        // reliable hardware and must score higher.
+        let mut good = Circuit::new(3, 3);
+        good.cx(0, 1).measure(0, 0).measure(1, 1);
+        let mut bad = Circuit::new(3, 3);
+        bad.cx(1, 2).measure(1, 1).measure(2, 2);
+        let c = cal3();
+        assert!(esp(&good, &c).unwrap() > esp(&bad, &c).unwrap());
+    }
+}

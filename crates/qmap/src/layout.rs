@@ -1,0 +1,220 @@
+//! Logical-to-physical qubit assignments.
+
+use qcir::{Circuit, Qubit};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An injective assignment of logical circuit qubits to physical device
+/// qubits.
+///
+/// # Examples
+///
+/// ```
+/// use qmap::Layout;
+/// // Place logical qubits 0,1,2 on physical qubits 5,4,10.
+/// let layout = Layout::from_physical(vec![5, 4, 10], 14);
+/// assert_eq!(layout.phys(1), 4);
+/// assert_eq!(layout.logical_on(10), Some(2));
+/// assert_eq!(layout.logical_on(0), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Layout {
+    log_to_phys: Vec<u32>,
+    num_physical: u32,
+}
+
+impl Layout {
+    /// Builds a layout from `log_to_phys[logical] = physical`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is not injective or references a physical
+    /// qubit `>= num_physical`.
+    pub fn from_physical(log_to_phys: Vec<u32>, num_physical: u32) -> Self {
+        let mut seen = vec![false; num_physical as usize];
+        for &p in &log_to_phys {
+            assert!(
+                p < num_physical,
+                "physical qubit {p} out of range for {num_physical}-qubit device"
+            );
+            assert!(
+                !seen[p as usize],
+                "physical qubit {p} assigned to two logical qubits"
+            );
+            seen[p as usize] = true;
+        }
+        Layout {
+            log_to_phys,
+            num_physical,
+        }
+    }
+
+    /// The identity layout over `n` logical qubits on an `n`-or-larger device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > num_physical`.
+    pub fn identity(n: u32, num_physical: u32) -> Self {
+        assert!(n <= num_physical, "more logical than physical qubits");
+        Layout {
+            log_to_phys: (0..n).collect(),
+            num_physical,
+        }
+    }
+
+    /// Number of logical qubits covered.
+    pub fn num_logical(&self) -> u32 {
+        self.log_to_phys.len() as u32
+    }
+
+    /// Number of physical qubits on the target device.
+    pub fn num_physical(&self) -> u32 {
+        self.num_physical
+    }
+
+    /// Physical qubit hosting logical qubit `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn phys(&self, l: u32) -> u32 {
+        self.log_to_phys[l as usize]
+    }
+
+    /// The logical qubit hosted on physical qubit `p`, if any.
+    pub fn logical_on(&self, p: u32) -> Option<u32> {
+        self.log_to_phys
+            .iter()
+            .position(|&x| x == p)
+            .map(|i| i as u32)
+    }
+
+    /// The assignment as a slice indexed by logical qubit.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.log_to_phys
+    }
+
+    /// The set of physical qubits used by this layout, ascending.
+    pub fn physical_qubits(&self) -> Vec<u32> {
+        let mut v = self.log_to_phys.clone();
+        v.sort_unstable();
+        v
+    }
+
+    /// Relabels a logical circuit onto the device through this layout: the
+    /// result has `num_physical` qubits and every operand rewritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has more logical qubits than the layout covers.
+    pub fn apply(&self, circuit: &Circuit) -> Circuit {
+        assert!(
+            circuit.num_qubits() <= self.num_logical(),
+            "layout covers {} logical qubits, circuit has {}",
+            self.num_logical(),
+            circuit.num_qubits()
+        );
+        circuit.relabeled(self.num_physical, |q| Qubit::new(self.phys(q.index())))
+    }
+
+    /// Number of physical qubits shared with another layout (a diversity
+    /// measure: fewer shared qubits means more dissimilar mistakes).
+    pub fn overlap(&self, other: &Layout) -> usize {
+        let a = self.physical_qubits();
+        other
+            .physical_qubits()
+            .iter()
+            .filter(|p| a.binary_search(p).is_ok())
+            .count()
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "layout[")?;
+        for (l, p) in self.log_to_phys.iter().enumerate() {
+            if l > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "q{l}→Q{p}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_layout() {
+        let l = Layout::identity(3, 5);
+        assert_eq!(l.num_logical(), 3);
+        assert_eq!(l.num_physical(), 5);
+        assert_eq!(l.phys(2), 2);
+        assert_eq!(l.as_slice(), &[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more logical than physical")]
+    fn identity_rejects_oversize() {
+        let _ = Layout::identity(6, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned to two")]
+    fn rejects_non_injective() {
+        let _ = Layout::from_physical(vec![1, 1], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let _ = Layout::from_physical(vec![4], 4);
+    }
+
+    #[test]
+    fn inverse_lookup() {
+        let l = Layout::from_physical(vec![7, 3, 9], 10);
+        assert_eq!(l.logical_on(3), Some(1));
+        assert_eq!(l.logical_on(9), Some(2));
+        assert_eq!(l.logical_on(0), None);
+        assert_eq!(l.physical_qubits(), vec![3, 7, 9]);
+    }
+
+    #[test]
+    fn apply_relabels_circuit() {
+        let l = Layout::from_physical(vec![2, 0], 3);
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure(1, 1);
+        let p = l.apply(&c);
+        assert_eq!(p.num_qubits(), 3);
+        assert_eq!(p.ops()[0], qcir::Gate::H(Qubit::new(2)));
+        assert_eq!(p.ops()[1], qcir::Gate::Cx(Qubit::new(2), Qubit::new(0)));
+    }
+
+    #[test]
+    fn apply_allows_narrower_circuit() {
+        let l = Layout::from_physical(vec![2, 0, 1], 3);
+        let mut c = Circuit::new(2, 0);
+        c.h(1);
+        let p = l.apply(&c);
+        assert_eq!(p.ops()[0], qcir::Gate::H(Qubit::new(0)));
+    }
+
+    #[test]
+    fn overlap_counts_shared_qubits() {
+        let a = Layout::from_physical(vec![0, 1, 2], 10);
+        let b = Layout::from_physical(vec![2, 3, 4], 10);
+        let c = Layout::from_physical(vec![5, 6, 7], 10);
+        assert_eq!(a.overlap(&b), 1);
+        assert_eq!(a.overlap(&c), 0);
+        assert_eq!(a.overlap(&a), 3);
+    }
+
+    #[test]
+    fn display_format() {
+        let l = Layout::from_physical(vec![4, 2], 5);
+        assert_eq!(l.to_string(), "layout[q0→Q4, q1→Q2]");
+    }
+}

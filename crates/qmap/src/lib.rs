@@ -1,0 +1,51 @@
+//! # qmap — variation-aware qubit mapping
+//!
+//! The transpiler substrate of the EDM reproduction, implementing the
+//! baseline the paper builds on (§2.4, §5.2):
+//!
+//! - [`Layout`] — injective logical-to-physical qubit assignments,
+//! - [`esp`] — the Estimated Success Probability metric of Nishio et al.,
+//!   computed from compiler-visible calibration data,
+//! - [`placement`] — variation-aware initial placement, including exhaustive
+//!   swap-free embedding enumeration via VF2 ([`placement::rank_embeddings`]
+//!   is the engine behind EDM's top-K mapping selection),
+//! - [`router`] — SWAP insertion along reliability-optimal (Dijkstra) paths,
+//!   with a swap-count-minimizing baseline strategy,
+//! - [`Transpiler`] — the end-to-end pipeline producing device-basis
+//!   physical circuits.
+//!
+//! # Examples
+//!
+//! ```
+//! use qcir::Circuit;
+//! use qdevice::{presets, DeviceModel};
+//! use qmap::Transpiler;
+//!
+//! let device = DeviceModel::synthesize(presets::melbourne14(), 5);
+//! let mut bell = Circuit::new(2, 2);
+//! bell.h(0);
+//! bell.cx(0, 1);
+//! bell.measure_all();
+//!
+//! let cal = device.calibration();
+//! let transpiler = Transpiler::new(device.topology(), &cal);
+//! let out = transpiler.transpile(&bell)?;
+//! assert!(out.esp > 0.0 && out.esp <= 1.0);
+//! # Ok::<(), qmap::MapError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+mod error;
+pub mod esp;
+mod layout;
+pub mod optimize;
+pub mod placement;
+pub mod router;
+pub mod sabre;
+mod transpile;
+
+pub use error::MapError;
+pub use layout::Layout;
+pub use router::RoutingStrategy;
+pub use transpile::{RouterBackend, TranspiledCircuit, Transpiler};

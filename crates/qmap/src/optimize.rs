@@ -1,0 +1,266 @@
+//! Peephole circuit optimization.
+//!
+//! Two classical passes run to a fixpoint:
+//!
+//! 1. **Inverse-pair cancellation** — adjacent gate pairs that multiply to
+//!    identity on the same wires (`H·H`, `X·X`, `CX·CX`, `T·T†`, …) are
+//!    removed. "Adjacent" is judged on the dependency structure, not the
+//!    textual order: the pair cancels only when no intervening operation
+//!    touches any shared qubit.
+//! 2. **Rotation merging** — consecutive rotations of the same axis on the
+//!    same qubit fuse (`Rz(a)·Rz(b) → Rz(a+b)`), and fused rotations with
+//!    negligible angle are dropped.
+//!
+//! Fewer gates means fewer error sites, so running this before mapping
+//! directly improves ESP — the paper's related work (§7) calls out exactly
+//! this family of "eliminate redundant gates" compilations.
+
+use qcir::{Circuit, Gate};
+
+/// Angle below which a fused rotation is treated as identity.
+const EPSILON_ANGLE: f64 = 1e-12;
+
+/// Runs both peephole passes to a fixpoint.
+///
+/// Measurements and register sizes are preserved; the circuit's unitary
+/// semantics are unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::Circuit;
+/// use qmap::optimize;
+///
+/// let mut c = Circuit::new(2, 0);
+/// c.h(0);
+/// c.h(0);          // cancels with the previous H
+/// c.rz(1, 0.3);
+/// c.rz(1, -0.3);   // fuses to Rz(0) and disappears
+/// c.cx(0, 1);
+/// let opt = optimize::optimize(&c);
+/// assert_eq!(opt.len(), 1);
+/// ```
+pub fn optimize(circuit: &Circuit) -> Circuit {
+    let mut current = circuit.clone();
+    for _ in 0..8 {
+        let next = pass(&current);
+        if next.len() == current.len() {
+            return next;
+        }
+        current = next;
+    }
+    current
+}
+
+/// One combined cancellation + fusion pass.
+fn pass(circuit: &Circuit) -> Circuit {
+    // kept[i] = Some(gate) while alive; per-qubit stacks of indices into
+    // `kept` track the latest alive op on each wire.
+    let mut kept: Vec<Option<Gate>> = Vec::with_capacity(circuit.len());
+    let mut stack: Vec<Vec<usize>> = vec![Vec::new(); circuit.num_qubits() as usize];
+
+    'gates: for g in circuit.iter() {
+        if g.is_measure() {
+            let q = g.qubits()[0];
+            let idx = kept.len();
+            kept.push(Some(g.clone()));
+            stack[q.usize()].push(idx);
+            continue;
+        }
+        let qs = g.qubits();
+        // The candidate predecessor: the same alive op must be on top of
+        // every operand's stack.
+        let tops: Vec<Option<usize>> = qs.iter().map(|q| stack[q.usize()].last().copied()).collect();
+        if let Some(&Some(j)) = tops.first() {
+            if tops.iter().all(|t| *t == Some(j)) {
+                if let Some(prev) = kept[j].clone() {
+                    if prev.qubits().len() == qs.len() {
+                        // Inverse-pair cancellation.
+                        if cancels(&prev, g) {
+                            kept[j] = None;
+                            for q in &qs {
+                                stack[q.usize()].pop();
+                            }
+                            continue 'gates;
+                        }
+                        // Rotation fusion.
+                        if let Some(fused) = fuse(&prev, g) {
+                            if fused.param().map(f64::abs).unwrap_or(1.0) < EPSILON_ANGLE {
+                                kept[j] = None;
+                                for q in &qs {
+                                    stack[q.usize()].pop();
+                                }
+                            } else {
+                                kept[j] = Some(fused);
+                            }
+                            continue 'gates;
+                        }
+                    }
+                }
+            }
+        }
+        let idx = kept.len();
+        kept.push(Some(g.clone()));
+        for q in &qs {
+            stack[q.usize()].push(idx);
+        }
+    }
+
+    let mut out = Circuit::new(circuit.num_qubits(), circuit.num_clbits());
+    out.extend(kept.into_iter().flatten());
+    out
+}
+
+/// True when `b` is the adjoint of `a` on the same wires (so `a·b = I`).
+fn cancels(a: &Gate, b: &Gate) -> bool {
+    let Some(adj) = a.adjoint() else { return false };
+    if adj == *b {
+        return true;
+    }
+    // Operand-order-insensitive gates.
+    match (a, b) {
+        (Gate::Cz(a1, a2), Gate::Cz(b1, b2)) | (Gate::Swap(a1, a2), Gate::Swap(b1, b2)) => {
+            (a1, a2) == (b2, b1)
+        }
+        _ => false,
+    }
+}
+
+/// Fuses two same-axis rotations on the same qubit.
+fn fuse(a: &Gate, b: &Gate) -> Option<Gate> {
+    match (a, b) {
+        (Gate::Rx(q1, t1), Gate::Rx(q2, t2)) if q1 == q2 => Some(Gate::Rx(*q1, t1 + t2)),
+        (Gate::Ry(q1, t1), Gate::Ry(q2, t2)) if q1 == q2 => Some(Gate::Ry(*q1, t1 + t2)),
+        (Gate::Rz(q1, t1), Gate::Rz(q2, t2)) if q1 == q2 => Some(Gate::Rz(*q1, t1 + t2)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::ideal;
+
+    #[test]
+    fn double_h_cancels() {
+        let mut c = Circuit::new(1, 0);
+        c.h(0).h(0);
+        assert!(optimize(&c).is_empty());
+    }
+
+    #[test]
+    fn double_cx_cancels() {
+        let mut c = Circuit::new(2, 0);
+        c.cx(0, 1).cx(0, 1);
+        assert!(optimize(&c).is_empty());
+    }
+
+    #[test]
+    fn reversed_cx_does_not_cancel() {
+        let mut c = Circuit::new(2, 0);
+        c.cx(0, 1).cx(1, 0);
+        assert_eq!(optimize(&c).len(), 2);
+    }
+
+    #[test]
+    fn symmetric_gates_cancel_either_order() {
+        let mut c = Circuit::new(2, 0);
+        c.cz(0, 1).cz(1, 0);
+        assert!(optimize(&c).is_empty());
+        let mut c = Circuit::new(2, 0);
+        c.swap(0, 1).swap(1, 0);
+        assert!(optimize(&c).is_empty());
+    }
+
+    #[test]
+    fn t_tdg_cancels() {
+        let mut c = Circuit::new(1, 0);
+        c.t(0).tdg(0).s(0).sdg(0);
+        assert!(optimize(&c).is_empty());
+    }
+
+    #[test]
+    fn intervening_op_blocks_cancellation() {
+        let mut c = Circuit::new(2, 0);
+        c.h(0).cx(0, 1).h(0);
+        assert_eq!(optimize(&c).len(), 3);
+    }
+
+    #[test]
+    fn unrelated_qubit_does_not_block() {
+        let mut c = Circuit::new(2, 0);
+        c.h(0).x(1).h(0);
+        let opt = optimize(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(opt.ops()[0].name(), "x");
+    }
+
+    #[test]
+    fn rotations_fuse_and_vanish() {
+        let mut c = Circuit::new(1, 0);
+        c.rz(0, 0.5).rz(0, 0.25);
+        let opt = optimize(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(opt.ops()[0].param(), Some(0.75));
+
+        let mut c = Circuit::new(1, 0);
+        c.rx(0, 1.0).rx(0, -1.0);
+        assert!(optimize(&c).is_empty());
+    }
+
+    #[test]
+    fn different_axes_do_not_fuse() {
+        let mut c = Circuit::new(1, 0);
+        c.rz(0, 0.5).rx(0, 0.5);
+        assert_eq!(optimize(&c).len(), 2);
+    }
+
+    #[test]
+    fn cascading_cancellation_reaches_fixpoint() {
+        // H X X H collapses completely, but only across two passes.
+        let mut c = Circuit::new(1, 0);
+        c.h(0).x(0).x(0).h(0);
+        assert!(optimize(&c).is_empty());
+    }
+
+    #[test]
+    fn measurements_are_barriers_and_survive() {
+        let mut c = Circuit::new(1, 2);
+        c.h(0).measure(0, 0);
+        let opt = optimize(&c);
+        assert_eq!(opt.len(), 2);
+    }
+
+    #[test]
+    fn semantics_preserved_on_mixed_circuit() {
+        let mut c = Circuit::new(3, 3);
+        c.h(0)
+            .h(0)
+            .h(0) // net: one H
+            .cx(0, 1)
+            .rz(1, 0.4)
+            .rz(1, 0.6)
+            .cx(1, 2)
+            .cx(1, 2) // cancels
+            .x(2)
+            .measure_all();
+        let opt = optimize(&c);
+        assert!(opt.len() < c.len());
+        let a = ideal::probabilities(&c).unwrap();
+        let b = ideal::probabilities(&opt).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (k, p) in &a {
+            assert!((p - b[k]).abs() < 1e-9, "key {k}");
+        }
+    }
+
+    #[test]
+    fn optimizing_twice_is_idempotent() {
+        let mut c = Circuit::new(2, 0);
+        c.h(0).h(0).cx(0, 1).t(1).tdg(1).cx(0, 1);
+        let once = optimize(&c);
+        let twice = optimize(&once);
+        assert_eq!(once, twice);
+        assert!(once.is_empty());
+    }
+}

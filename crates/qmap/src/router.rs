@@ -1,0 +1,426 @@
+//! SWAP routing along reliability-optimal paths.
+//!
+//! For every CX whose operands are not adjacent under the running layout,
+//! the router moves one operand along a path chosen by Dijkstra search:
+//!
+//! - [`RoutingStrategy::ReliabilityAware`] weights each hop by the failure
+//!   cost of a SWAP on that link, `-3·ln(1 - cx_err)` (a SWAP is three CX),
+//!   matching the paper's reliability-aware A*-style routing (§5.2),
+//! - [`RoutingStrategy::SwapCount`] weights every hop equally — the
+//!   swap-minimizing baseline of earlier mapping work.
+
+use crate::{Layout, MapError};
+use qcir::{Circuit, Gate, Qubit};
+use qdevice::{Calibration, Topology};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Cost model used to select SWAP paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingStrategy {
+    /// Prefer reliable links (variation-aware; the paper's default).
+    #[default]
+    ReliabilityAware,
+    /// Minimize the number of SWAPs (the classic baseline).
+    SwapCount,
+}
+
+/// A routed circuit together with its layout bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedCircuit {
+    /// Physical-width circuit containing single-qubit gates, CX, SWAP, and
+    /// measurements; every two-qubit gate sits on a coupled pair.
+    pub circuit: Circuit,
+    /// Where each logical qubit ended up after all inserted SWAPs.
+    pub final_layout: Layout,
+    /// Number of SWAPs inserted.
+    pub swap_count: usize,
+}
+
+/// Routes a logical circuit onto the device starting from `initial` layout.
+///
+/// The input must be in the `{single-qubit, CX, measure}` basis (lower with
+/// [`qcir::Circuit::decomposed`] first).
+///
+/// # Errors
+///
+/// - [`MapError::TooManyQubits`] if the circuit is wider than the layout.
+/// - [`MapError::UnsupportedGate`] for non-basis gates.
+/// - [`MapError::Unroutable`] if two interacting qubits are disconnected.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::Circuit;
+/// use qdevice::{presets, DeviceModel};
+/// use qmap::{router, Layout, RoutingStrategy};
+///
+/// let device = DeviceModel::synthesize(presets::line(4), 0);
+/// let cal = device.calibration();
+/// // CX between the two ends of a 4-qubit line needs SWAPs.
+/// let mut c = Circuit::new(4, 2);
+/// c.cx(0, 3);
+/// c.measure(0, 0);
+/// c.measure(3, 1);
+/// let layout = Layout::identity(4, 4);
+/// let routed = router::route(&c, device.topology(), &cal, &layout,
+///                            RoutingStrategy::ReliabilityAware)?;
+/// assert_eq!(routed.swap_count, 2);
+/// # Ok::<(), qmap::MapError>(())
+/// ```
+pub fn route(
+    circuit: &Circuit,
+    topology: &Topology,
+    cal: &Calibration,
+    initial: &Layout,
+    strategy: RoutingStrategy,
+) -> Result<RoutedCircuit, MapError> {
+    if circuit.num_qubits() > initial.num_logical() {
+        return Err(MapError::TooManyQubits {
+            circuit: circuit.num_qubits(),
+            device: initial.num_logical(),
+        });
+    }
+    let np = topology.num_qubits();
+    let mut l2p: Vec<u32> = initial.as_slice().to_vec();
+    let mut p2l: Vec<Option<u32>> = vec![None; np as usize];
+    for (l, &p) in l2p.iter().enumerate() {
+        p2l[p as usize] = Some(l as u32);
+    }
+
+    let mut out = Circuit::new(np, circuit.num_clbits());
+    let mut swap_count = 0usize;
+
+    for g in circuit.iter() {
+        match *g {
+            Gate::Cx(a, b) => {
+                let mut pa = l2p[a.usize()];
+                let pb = l2p[b.usize()];
+                if !topology.has_edge(pa, pb) {
+                    let path = best_path(topology, cal, strategy, pa, pb)
+                        .ok_or(MapError::Unroutable { a: pa, b: pb })?;
+                    // Move `a` along the path until adjacent to `b`.
+                    for w in path.windows(2).take(path.len() - 2) {
+                        let (x, y) = (w[0], w[1]);
+                        out.swap(x, y);
+                        swap_count += 1;
+                        let lx = p2l[x as usize];
+                        let ly = p2l[y as usize];
+                        if let Some(l) = lx {
+                            l2p[l as usize] = y;
+                        }
+                        if let Some(l) = ly {
+                            l2p[l as usize] = x;
+                        }
+                        p2l.swap(x as usize, y as usize);
+                    }
+                    pa = l2p[a.usize()];
+                    debug_assert!(topology.has_edge(pa, pb));
+                }
+                out.cx(pa, pb);
+            }
+            Gate::Measure(q, c) => {
+                out.measure(l2p[q.usize()], c.index());
+            }
+            ref g1 if g1.is_single_qubit() => {
+                out.extend([g1.map_qubits(|q| Qubit::new(l2p[q.usize()]))]);
+            }
+            ref other => {
+                return Err(MapError::UnsupportedGate { name: other.name() });
+            }
+        }
+    }
+
+    // Extend the logical->physical table to a full injective layout record.
+    let final_layout = Layout::from_physical(l2p, np);
+    Ok(RoutedCircuit {
+        circuit: out,
+        final_layout,
+        swap_count,
+    })
+}
+
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap over cost (BinaryHeap is a max-heap).
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("costs are finite")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra shortest path from `from` to `to` under the strategy's edge
+/// weights. Returns the vertex path inclusive of both endpoints.
+fn best_path(
+    topology: &Topology,
+    cal: &Calibration,
+    strategy: RoutingStrategy,
+    from: u32,
+    to: u32,
+) -> Option<Vec<u32>> {
+    let n = topology.num_qubits() as usize;
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<u32>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[from as usize] = 0.0;
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: from,
+    });
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if node == to {
+            break;
+        }
+        if cost > dist[node as usize] {
+            continue;
+        }
+        for &nb in topology.neighbors(node) {
+            let w = match strategy {
+                RoutingStrategy::SwapCount => 1.0,
+                RoutingStrategy::ReliabilityAware => {
+                    let e = cal.cx_err(node, nb).unwrap_or(cal.mean_cx_err());
+                    // A SWAP is three CX on this link; add a small constant
+                    // so equal-reliability ties prefer shorter paths.
+                    -3.0 * (1.0 - e).max(1e-9).ln() + 1e-6
+                }
+            };
+            let nd = cost + w;
+            if nd < dist[nb as usize] {
+                dist[nb as usize] = nd;
+                prev[nb as usize] = Some(node);
+                heap.push(HeapEntry { cost: nd, node: nb });
+            }
+        }
+    }
+    if dist[to as usize].is_infinite() {
+        return None;
+    }
+    let mut path = vec![to];
+    let mut cur = to;
+    while let Some(p) = prev[cur as usize] {
+        path.push(p);
+        cur = p;
+    }
+    if cur != from {
+        return None;
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdevice::{presets, DeviceModel, Edge};
+    use qsim::ideal;
+    use std::collections::BTreeMap;
+
+    fn line_device(n: u32) -> DeviceModel {
+        DeviceModel::synthesize(presets::line(n), 17)
+    }
+
+    #[test]
+    fn adjacent_cx_needs_no_swap() {
+        let d = line_device(3);
+        let cal = d.calibration();
+        let mut c = Circuit::new(2, 0);
+        c.cx(0, 1);
+        let routed = route(
+            &c,
+            d.topology(),
+            &cal,
+            &Layout::identity(2, 3),
+            RoutingStrategy::ReliabilityAware,
+        )
+        .unwrap();
+        assert_eq!(routed.swap_count, 0);
+        assert_eq!(routed.circuit.count_2q(), 1);
+    }
+
+    #[test]
+    fn distant_cx_gets_swaps_and_stays_coupled() {
+        let d = line_device(4);
+        let cal = d.calibration();
+        let mut c = Circuit::new(4, 0);
+        c.cx(0, 3);
+        let routed = route(
+            &c,
+            d.topology(),
+            &cal,
+            &Layout::identity(4, 4),
+            RoutingStrategy::SwapCount,
+        )
+        .unwrap();
+        assert_eq!(routed.swap_count, 2);
+        for g in routed.circuit.iter() {
+            if g.is_two_qubit() {
+                let q = g.qubits();
+                assert!(d.topology().has_edge(q[0].index(), q[1].index()));
+            }
+        }
+    }
+
+    #[test]
+    fn final_layout_tracks_moves() {
+        let d = line_device(4);
+        let cal = d.calibration();
+        let mut c = Circuit::new(4, 0);
+        c.cx(0, 3);
+        let routed = route(
+            &c,
+            d.topology(),
+            &cal,
+            &Layout::identity(4, 4),
+            RoutingStrategy::SwapCount,
+        )
+        .unwrap();
+        // Logical 0 moved from physical 0 to physical 2.
+        assert_eq!(routed.final_layout.phys(0), 2);
+    }
+
+    #[test]
+    fn measurements_follow_moved_qubits() {
+        // Routing must preserve circuit semantics: ideal outcome unchanged.
+        let d = line_device(4);
+        let cal = d.calibration();
+        let mut c = Circuit::new(4, 4);
+        c.x(0); // logical 0 = |1>
+        c.cx(0, 3); // forces routing
+        c.measure_all();
+        let routed = route(
+            &c,
+            d.topology(),
+            &cal,
+            &Layout::identity(4, 4),
+            RoutingStrategy::ReliabilityAware,
+        )
+        .unwrap();
+        let logical_out = ideal::outcome(&c).unwrap();
+        let physical_out = ideal::outcome(&routed.circuit.decomposed()).unwrap();
+        assert_eq!(logical_out, physical_out);
+    }
+
+    #[test]
+    fn semantics_preserved_on_melbourne_with_nontrivial_layout() {
+        let d = DeviceModel::synthesize(presets::melbourne14(), 23);
+        let cal = d.calibration();
+        let mut c = Circuit::new(4, 4);
+        c.h(0).cx(0, 1).cx(0, 2).cx(0, 3).x(2).measure_all();
+        let layout = Layout::from_physical(vec![2, 13, 5, 9], 14);
+        let routed = route(
+            &c,
+            d.topology(),
+            &cal,
+            &layout,
+            RoutingStrategy::ReliabilityAware,
+        )
+        .unwrap();
+        let a = ideal::probabilities(&c).unwrap();
+        let b = ideal::probabilities(&routed.circuit.decomposed()).unwrap();
+        for (k, p) in &a {
+            let q = b.get(k).copied().unwrap_or(0.0);
+            assert!((p - q).abs() < 1e-9, "key {k}: {p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn reliability_routing_avoids_terrible_link() {
+        // 4-cycle: 0-1-2-3-0. CX(0, 2) can route via 1 or via 3. Make the
+        // 0-1 link terrible; reliability-aware routing must go via 3.
+        let topo = presets::ring(4);
+        let mut cx = BTreeMap::new();
+        cx.insert(Edge::new(0, 1), 0.30);
+        cx.insert(Edge::new(1, 2), 0.30);
+        cx.insert(Edge::new(2, 3), 0.01);
+        cx.insert(Edge::new(0, 3), 0.01);
+        let cal = Calibration::new(vec![0.05; 4], vec![0.001; 4], cx);
+        let mut c = Circuit::new(4, 0);
+        c.cx(0, 2);
+        let routed = route(
+            &c,
+            &topo,
+            &cal,
+            &Layout::identity(4, 4),
+            RoutingStrategy::ReliabilityAware,
+        )
+        .unwrap();
+        // The swap should be on (0,3), moving logical 0 to physical 3.
+        assert_eq!(routed.swap_count, 1);
+        assert_eq!(routed.final_layout.phys(0), 3);
+    }
+
+    #[test]
+    fn unroutable_pair_rejected() {
+        let topo = qdevice::Topology::new(4, &[(0, 1), (2, 3)]);
+        let d = DeviceModel::synthesize(topo.clone(), 0);
+        let cal = d.calibration();
+        let mut c = Circuit::new(4, 0);
+        c.cx(0, 3);
+        assert!(matches!(
+            route(
+                &c,
+                &topo,
+                &cal,
+                &Layout::identity(4, 4),
+                RoutingStrategy::SwapCount
+            )
+            .unwrap_err(),
+            MapError::Unroutable { .. }
+        ));
+    }
+
+    #[test]
+    fn non_basis_gate_rejected() {
+        let d = line_device(3);
+        let cal = d.calibration();
+        let mut c = Circuit::new(3, 0);
+        c.ccx(0, 1, 2);
+        assert!(matches!(
+            route(
+                &c,
+                d.topology(),
+                &cal,
+                &Layout::identity(3, 3),
+                RoutingStrategy::SwapCount
+            )
+            .unwrap_err(),
+            MapError::UnsupportedGate { name: "ccx" }
+        ));
+    }
+
+    #[test]
+    fn single_qubit_gates_relabel_only() {
+        let d = line_device(3);
+        let cal = d.calibration();
+        let mut c = Circuit::new(2, 0);
+        c.h(0).rz(1, 0.4);
+        let layout = Layout::from_physical(vec![2, 0], 3);
+        let routed = route(
+            &c,
+            d.topology(),
+            &cal,
+            &layout,
+            RoutingStrategy::ReliabilityAware,
+        )
+        .unwrap();
+        assert_eq!(routed.circuit.ops()[0], Gate::H(Qubit::new(2)));
+        assert_eq!(routed.circuit.ops()[1], Gate::Rz(Qubit::new(0), 0.4));
+        assert_eq!(routed.swap_count, 0);
+    }
+}

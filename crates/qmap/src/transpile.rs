@@ -1,0 +1,342 @@
+//! The end-to-end transpilation pipeline.
+//!
+//! `lower → place → route → lower SWAPs → score` — the full variation-aware
+//! compilation flow the paper's baseline uses, with a hook
+//! ([`Transpiler::transpile_with_layout`]) for EDM to re-compile the same
+//! program under each of its diverse initial mappings.
+
+use crate::{esp, placement, router, sabre, Layout, MapError, RoutingStrategy};
+use qcir::Circuit;
+use qdevice::{Calibration, Topology};
+
+/// The result of transpiling a logical circuit onto a device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranspiledCircuit {
+    /// Device-basis physical circuit (single-qubit gates, coupled CX,
+    /// measurements), ready for the noisy simulator.
+    pub physical: Circuit,
+    /// The initial logical-to-physical assignment.
+    pub initial_layout: Layout,
+    /// The assignment after all routing SWAPs.
+    pub final_layout: Layout,
+    /// Number of SWAPs the router inserted.
+    pub swap_count: usize,
+    /// Compile-time Estimated Success Probability of the physical circuit.
+    pub esp: f64,
+}
+
+/// Which SWAP-insertion engine the transpiler uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouterBackend {
+    /// Per-gate Dijkstra routing (the default).
+    #[default]
+    Greedy,
+    /// SABRE-style look-ahead routing over the dependency DAG.
+    Lookahead,
+}
+
+/// Variation-aware transpiler for a fixed device and calibration.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::Circuit;
+/// use qdevice::{presets, DeviceModel};
+/// use qmap::{RoutingStrategy, Transpiler};
+///
+/// let device = DeviceModel::synthesize(presets::melbourne14(), 11);
+/// let cal = device.calibration();
+/// let t = Transpiler::new(device.topology(), &cal)
+///     .with_strategy(RoutingStrategy::ReliabilityAware);
+///
+/// let mut c = Circuit::new(3, 3);
+/// c.h(0);
+/// c.cx(0, 1);
+/// c.cx(1, 2);
+/// c.measure_all();
+/// let out = t.transpile(&c)?;
+/// assert_eq!(out.swap_count, 0); // a path embeds swap-free in melbourne
+/// # Ok::<(), qmap::MapError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Transpiler<'a> {
+    topology: &'a Topology,
+    calibration: &'a Calibration,
+    strategy: RoutingStrategy,
+    backend: RouterBackend,
+}
+
+impl<'a> Transpiler<'a> {
+    /// Creates a transpiler targeting `topology` under `calibration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calibration covers a different number of qubits than
+    /// the topology.
+    pub fn new(topology: &'a Topology, calibration: &'a Calibration) -> Self {
+        assert_eq!(
+            topology.num_qubits(),
+            calibration.num_qubits(),
+            "calibration must cover the topology"
+        );
+        Transpiler {
+            topology,
+            calibration,
+            strategy: RoutingStrategy::default(),
+            backend: RouterBackend::default(),
+        }
+    }
+
+    /// Selects the routing cost model.
+    pub fn with_strategy(mut self, strategy: RoutingStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Selects the SWAP-insertion engine.
+    pub fn with_router(mut self, backend: RouterBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The device topology this transpiler targets.
+    pub fn topology(&self) -> &'a Topology {
+        self.topology
+    }
+
+    /// The calibration this transpiler optimizes against.
+    pub fn calibration(&self) -> &'a Calibration {
+        self.calibration
+    }
+
+    /// Transpiles with an automatically chosen variation-aware placement:
+    /// the best swap-free embedding when one exists, otherwise the greedy
+    /// variation-aware placement followed by routing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement and routing failures (width, routability).
+    pub fn transpile(&self, circuit: &Circuit) -> Result<TranspiledCircuit, MapError> {
+        let basis = circuit.decomposed();
+        let layout =
+            match placement::best_swap_free_placement(&basis, self.topology, self.calibration)? {
+                Some(layout) => layout,
+                None => placement::greedy_placement(&basis, self.topology, self.calibration)?,
+            };
+        self.transpile_with_layout(circuit, &layout)
+    }
+
+    /// Transpiles with a caller-supplied initial layout (EDM's per-member
+    /// re-compilation step).
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing failures; also fails if the layout does not cover
+    /// the circuit.
+    pub fn transpile_with_layout(
+        &self,
+        circuit: &Circuit,
+        layout: &Layout,
+    ) -> Result<TranspiledCircuit, MapError> {
+        let basis = circuit.decomposed();
+        let routed = match self.backend {
+            RouterBackend::Greedy => {
+                router::route(&basis, self.topology, self.calibration, layout, self.strategy)?
+            }
+            RouterBackend::Lookahead => sabre::route_lookahead(
+                &basis,
+                self.topology,
+                self.calibration,
+                layout,
+                self.strategy,
+            )?,
+        };
+        let physical = routed.circuit.decomposed();
+        let esp = esp::esp(&physical, self.calibration)?;
+        Ok(TranspiledCircuit {
+            physical,
+            initial_layout: layout.clone(),
+            final_layout: routed.final_layout,
+            swap_count: routed.swap_count,
+            esp,
+        })
+    }
+
+    /// Ranks every swap-free embedding of `circuit` by ESP, best first —
+    /// the candidate pool EDM draws its top-K diverse mappings from.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement failures.
+    pub fn ranked_layouts(
+        &self,
+        circuit: &Circuit,
+        max: usize,
+    ) -> Result<Vec<(Layout, f64)>, MapError> {
+        let basis = circuit.decomposed();
+        placement::rank_embeddings(&basis, self.topology, self.calibration, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdevice::{presets, DeviceModel};
+    use qsim::ideal;
+
+    fn setup() -> DeviceModel {
+        DeviceModel::synthesize(presets::melbourne14(), 31)
+    }
+
+    fn ghz(n: u32) -> Circuit {
+        let mut c = Circuit::new(n, n);
+        c.h(0);
+        for i in 0..n - 1 {
+            c.cx(i, i + 1);
+        }
+        c.measure_all();
+        c
+    }
+
+    #[test]
+    fn path_circuit_transpiles_swap_free() {
+        let d = setup();
+        let cal = d.calibration();
+        let t = Transpiler::new(d.topology(), &cal);
+        let out = t.transpile(&ghz(5)).unwrap();
+        assert_eq!(out.swap_count, 0);
+        assert!(out.esp > 0.0 && out.esp < 1.0);
+        assert_eq!(out.physical.num_qubits(), 14);
+    }
+
+    #[test]
+    fn transpiled_circuit_is_simulatable_and_correct() {
+        let d = setup();
+        let cal = d.calibration();
+        let t = Transpiler::new(d.topology(), &cal);
+        let c = ghz(4);
+        let out = t.transpile(&c).unwrap();
+        // Physical circuit has the same ideal outcome distribution.
+        let a = ideal::probabilities(&c).unwrap();
+        let b = ideal::probabilities(&out.physical).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (k, p) in &a {
+            assert!((p - b[k]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn star_circuit_needs_swaps_or_careful_placement() {
+        let d = setup();
+        let cal = d.calibration();
+        let t = Transpiler::new(d.topology(), &cal);
+        // Degree-4 hub cannot embed; greedy + routing must handle it.
+        let mut c = Circuit::new(5, 5);
+        c.cx(0, 1).cx(0, 2).cx(0, 3).cx(0, 4).measure_all();
+        let out = t.transpile(&c).unwrap();
+        assert!(out.swap_count > 0);
+        // All CX on edges.
+        for g in out.physical.iter() {
+            if g.is_two_qubit() {
+                let q = g.qubits();
+                assert!(d.topology().has_edge(q[0].index(), q[1].index()));
+            }
+        }
+        // Semantics preserved.
+        let a = ideal::outcome(&c).unwrap();
+        let b = ideal::outcome(&out.physical).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn three_qubit_gates_are_lowered() {
+        let d = setup();
+        let cal = d.calibration();
+        let t = Transpiler::new(d.topology(), &cal);
+        let mut c = Circuit::new(3, 3);
+        c.ccx(0, 1, 2).measure_all();
+        let out = t.transpile(&c).unwrap();
+        assert_eq!(out.physical.count_3q(), 0);
+        assert!(out.physical.count_cx() >= 6);
+    }
+
+    #[test]
+    fn explicit_layout_is_respected() {
+        let d = setup();
+        let cal = d.calibration();
+        let t = Transpiler::new(d.topology(), &cal);
+        let layout = Layout::from_physical(vec![5, 4, 3], 14);
+        let out = t.transpile_with_layout(&ghz(3), &layout).unwrap();
+        assert_eq!(out.initial_layout, layout);
+        assert_eq!(out.swap_count, 0);
+        let used: Vec<u32> = out
+            .physical
+            .active_qubits()
+            .iter()
+            .map(|q| q.index())
+            .collect();
+        assert_eq!(used, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn ranked_layouts_decreasing_and_plentiful() {
+        let d = setup();
+        let cal = d.calibration();
+        let t = Transpiler::new(d.topology(), &cal);
+        let ranked = t.ranked_layouts(&ghz(4), usize::MAX).unwrap();
+        assert!(ranked.len() >= 8, "only {} embeddings", ranked.len());
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn auto_placement_beats_or_matches_identity_layout() {
+        let d = setup();
+        let cal = d.calibration();
+        let t = Transpiler::new(d.topology(), &cal);
+        let c = ghz(4);
+        let auto = t.transpile(&c).unwrap();
+        let fixed = t
+            .transpile_with_layout(&c, &Layout::identity(4, 14))
+            .unwrap();
+        assert!(auto.esp >= fixed.esp - 1e-12);
+    }
+
+    #[test]
+    fn swap_count_strategy_available() {
+        let d = setup();
+        let cal = d.calibration();
+        let t = Transpiler::new(d.topology(), &cal).with_strategy(RoutingStrategy::SwapCount);
+        let out = t.transpile(&ghz(3)).unwrap();
+        assert_eq!(out.swap_count, 0);
+    }
+}
+
+#[cfg(test)]
+mod backend_tests {
+    use super::*;
+    use qdevice::{presets, DeviceModel};
+    use qsim::ideal;
+
+    #[test]
+    fn lookahead_backend_produces_equivalent_circuits() {
+        let d = DeviceModel::synthesize(presets::melbourne14(), 13);
+        let cal = d.calibration();
+        let mut c = qcir::Circuit::new(5, 5);
+        c.h(0).cx(0, 1).cx(0, 2).cx(0, 3).cx(0, 4).measure_all();
+        let greedy = Transpiler::new(d.topology(), &cal)
+            .with_router(RouterBackend::Greedy)
+            .transpile(&c)
+            .unwrap();
+        let lookahead = Transpiler::new(d.topology(), &cal)
+            .with_router(RouterBackend::Lookahead)
+            .transpile(&c)
+            .unwrap();
+        assert_eq!(
+            ideal::outcome(&greedy.physical).unwrap(),
+            ideal::outcome(&lookahead.physical).unwrap()
+        );
+        assert!(lookahead.esp > 0.0);
+    }
+}

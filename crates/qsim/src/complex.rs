@@ -1,0 +1,187 @@
+//! A minimal complex-number type.
+//!
+//! Implemented locally instead of pulling in `num-complex`: the simulator
+//! needs only arithmetic, conjugation, and squared norms.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A double-precision complex number.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// The complex zero.
+pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+/// The complex one.
+pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+/// The imaginary unit.
+pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+impl C64 {
+    /// Creates `re + im·i`.
+    pub fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a real number.
+    pub fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        C64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// `|z|²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// `|z|`.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplies by a real scalar.
+    pub fn scale(self, s: f64) -> Self {
+        C64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    fn add(self, rhs: C64) -> C64 {
+        C64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl AddAssign for C64 {
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    fn sub(self, rhs: C64) -> C64 {
+        C64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    fn mul(self, rhs: C64) -> C64 {
+        C64 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    fn neg(self) -> C64 {
+        C64 {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn arithmetic() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        assert_eq!(a + b, C64::new(4.0, 1.0));
+        assert_eq!(a - b, C64::new(-2.0, 3.0));
+        // (1+2i)(3-i) = 3 - i + 6i - 2i² = 5 + 5i
+        assert_eq!(a * b, C64::new(5.0, 5.0));
+        assert_eq!(-a, C64::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn add_assign() {
+        let mut a = C64::new(1.0, 1.0);
+        a += C64::new(0.5, -0.5);
+        assert_eq!(a, C64::new(1.5, 0.5));
+    }
+
+    #[test]
+    fn conj_and_norms() {
+        let a = C64::new(3.0, 4.0);
+        assert_eq!(a.conj(), C64::new(3.0, -4.0));
+        assert!((a.norm_sqr() - 25.0).abs() < EPS);
+        assert!((a.abs() - 5.0).abs() < EPS);
+    }
+
+    #[test]
+    fn cis_is_unit() {
+        for k in 0..8 {
+            let z = C64::cis(k as f64 * 0.7);
+            assert!((z.norm_sqr() - 1.0).abs() < EPS);
+        }
+        assert!((C64::cis(0.0) - ONE).abs() < EPS);
+        assert!((C64::cis(std::f64::consts::FRAC_PI_2) - I).abs() < EPS);
+    }
+
+    #[test]
+    fn scale_and_from() {
+        assert_eq!(C64::new(2.0, -4.0).scale(0.5), C64::new(1.0, -2.0));
+        assert_eq!(C64::from(2.5), C64::real(2.5));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(C64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(C64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

@@ -1,0 +1,96 @@
+//! Simulator error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a circuit cannot be simulated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The noisy simulator only accepts circuits lowered to the
+    /// `{single-qubit, CX, measure}` device basis.
+    UnsupportedGate {
+        /// Mnemonic of the offending gate.
+        name: &'static str,
+    },
+    /// A gate or second measurement acted on a qubit after it was measured.
+    MidCircuitMeasurement {
+        /// The qubit measured mid-circuit.
+        qubit: u32,
+    },
+    /// Two measurements wrote to the same classical bit.
+    ClbitReused {
+        /// The reused classical bit.
+        clbit: u32,
+    },
+    /// A CX was applied to a physically uncoupled qubit pair.
+    UncoupledQubits {
+        /// First qubit.
+        a: u32,
+        /// Second qubit.
+        b: u32,
+    },
+    /// The circuit is wider than the device.
+    TooManyQubits {
+        /// Qubits required by the circuit.
+        circuit: u32,
+        /// Qubits available on the device.
+        device: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnsupportedGate { name } => {
+                write!(f, "gate '{name}' is not in the device basis; lower the circuit first")
+            }
+            SimError::MidCircuitMeasurement { qubit } => {
+                write!(f, "qubit {qubit} is used after being measured (mid-circuit measurement is unsupported)")
+            }
+            SimError::ClbitReused { clbit } => {
+                write!(f, "classical bit {clbit} receives more than one measurement")
+            }
+            SimError::UncoupledQubits { a, b } => {
+                write!(f, "qubits {a} and {b} are not coupled on the device")
+            }
+            SimError::TooManyQubits { circuit, device } => {
+                write!(f, "circuit needs {circuit} qubits but the device has {device}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SimError::UnsupportedGate { name: "ccx" }
+            .to_string()
+            .contains("ccx"));
+        assert!(SimError::MidCircuitMeasurement { qubit: 3 }
+            .to_string()
+            .contains("qubit 3"));
+        assert!(SimError::ClbitReused { clbit: 1 }
+            .to_string()
+            .contains("classical bit 1"));
+        assert!(SimError::UncoupledQubits { a: 0, b: 5 }
+            .to_string()
+            .contains("not coupled"));
+        assert!(SimError::TooManyQubits {
+            circuit: 20,
+            device: 14
+        }
+        .to_string()
+        .contains("20"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,57 @@
+//! # qsim — a noisy NISQ simulator with correlated error channels
+//!
+//! The simulation substrate of the EDM reproduction. The paper (§4.4) points
+//! out that simulators with independent-and-identically-distributed error
+//! models track PST but cannot reproduce Inference Strength, because real
+//! devices make *correlated* mistakes. This simulator therefore models, on
+//! top of the usual stochastic channels, deterministic per-edge coherent
+//! errors and state-dependent readout bias — see [`NoisySimulator`].
+//!
+//! - [`StateVector`] — dense pure-state simulation,
+//! - [`NoisySimulator`] / [`SimOptions`] — shot-based trajectory execution
+//!   against a `qdevice::DeviceModel`,
+//! - [`ideal`] — noise-free reference runs (defines each benchmark's
+//!   correct answer),
+//! - [`Counts`] — outcome histograms.
+//!
+//! # Examples
+//!
+//! ```
+//! use qcir::Circuit;
+//! use qdevice::{presets, DeviceModel};
+//! use qsim::{ideal, NoisySimulator};
+//!
+//! let mut c = Circuit::new(2, 2);
+//! c.h(0);
+//! c.cx(0, 1);
+//! c.measure_all();
+//!
+//! // The correct answer set, from the ideal backend:
+//! let exact = ideal::probabilities(&c)?;
+//! assert_eq!(exact.len(), 2);
+//!
+//! // A noisy run on a synthetic melbourne-like device:
+//! let device = DeviceModel::synthesize(presets::melbourne14(), 1);
+//! let counts = NoisySimulator::from_device(&device).run(&c, 2048, 7)?;
+//! assert_eq!(counts.shots(), 2048);
+//! # Ok::<(), qsim::SimError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod complex;
+pub mod counts;
+mod error;
+pub mod ideal;
+pub mod density;
+mod noise;
+pub mod observables;
+mod parallel;
+mod statevector;
+pub mod verify;
+
+pub use counts::Counts;
+pub use density::{DensityMatrix, DensitySimulator};
+pub use error::SimError;
+pub use noise::{NoisySimulator, SimOptions};
+pub use statevector::StateVector;

@@ -1,0 +1,701 @@
+//! Noisy trajectory simulation with correlated error channels.
+//!
+//! The executor models three families of error, mirroring §2.1 of the paper:
+//!
+//! 1. **Stochastic gate noise** — depolarizing Pauli errors after every gate
+//!    (probability = the calibrated gate error rate), plus Pauli-twirled
+//!    T1/T2 relaxation on the operands of each gate, scaled by gate duration.
+//!    These are the errors an IID simulator would also model.
+//! 2. **Coherent errors (hidden, deterministic)** — every CX on edge `e`
+//!    additionally applies a fixed systematic rotation (`Rz(θ_e)` on both
+//!    operands and `Rx(0.6·θ_e)` on the target) and a ZZ-crosstalk phase
+//!    `Rz(χ_e)` on active topology-neighbors of the edge. Because θ and χ are
+//!    fixed per device, every shot of a given mapping is tilted toward the
+//!    *same* wrong answers — the correlated-error "demon" of Appendix A.
+//!    A different mapping uses different edges and is tilted differently.
+//! 3. **Asymmetric readout** — measured bits flip with state-dependent
+//!    probabilities `p01 = P(1|0)` and `p10 = P(0|1)`, with `p10 > p01`.
+//!
+//! Idle-qubit decoherence is not modeled (only gate operands decohere); the
+//! paper's shallow workloads keep qubits busy, so this mainly affects
+//! absolute PST, not the correlation structure.
+
+use crate::counts::Counts;
+use crate::error::SimError;
+use crate::ideal;
+use crate::statevector::StateVector;
+use qcir::{Circuit, Gate, Qubit};
+use qdevice::{DeviceModel, Edge, NoiseParams, Topology};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Toggles for the individual noise channels (all on by default).
+///
+/// Switching channels off enables the ablation studies in the bench harness
+/// (e.g. reproducing the IID-simulator gap the paper describes in §4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Depolarizing Pauli noise after every gate.
+    pub stochastic_gate_noise: bool,
+    /// Pauli-twirled T1/T2 relaxation on gate operands.
+    pub decoherence: bool,
+    /// Hidden deterministic CX over-rotation.
+    pub coherent_errors: bool,
+    /// Hidden deterministic ZZ-crosstalk on spectator neighbors.
+    pub crosstalk: bool,
+    /// Asymmetric readout bit-flips.
+    pub readout_error: bool,
+}
+
+impl SimOptions {
+    /// All channels enabled (the realistic device model).
+    pub fn all() -> Self {
+        SimOptions {
+            stochastic_gate_noise: true,
+            decoherence: true,
+            coherent_errors: true,
+            crosstalk: true,
+            readout_error: true,
+        }
+    }
+
+    /// All channels disabled (an ideal machine).
+    pub fn none() -> Self {
+        SimOptions {
+            stochastic_gate_noise: false,
+            decoherence: false,
+            coherent_errors: false,
+            crosstalk: false,
+            readout_error: false,
+        }
+    }
+
+    /// Only IID channels: stochastic gate noise, decoherence, and readout,
+    /// with the correlated (coherent/crosstalk) channels off. This is the
+    /// "existing simulator" model the paper contrasts against in §4.4.
+    pub fn iid_only() -> Self {
+        SimOptions {
+            stochastic_gate_noise: true,
+            decoherence: true,
+            coherent_errors: false,
+            crosstalk: false,
+            readout_error: true,
+        }
+    }
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+/// Shot-based noisy executor for circuits in the device basis.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::Circuit;
+/// use qdevice::{presets, DeviceModel};
+/// use qsim::NoisySimulator;
+///
+/// let device = DeviceModel::synthesize(presets::melbourne14(), 3);
+/// let sim = NoisySimulator::from_device(&device);
+/// let mut c = Circuit::new(2, 2);
+/// c.h(0);
+/// c.cx(0, 1);
+/// c.measure_all();
+/// let counts = sim.run(&c, 1024, 7)?;
+/// assert_eq!(counts.shots(), 1024);
+/// # Ok::<(), qsim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NoisySimulator<'a> {
+    topology: &'a Topology,
+    params: &'a NoiseParams,
+    options: SimOptions,
+}
+
+impl<'a> NoisySimulator<'a> {
+    /// Creates a simulator over an explicit topology and noise parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters do not cover every topology qubit.
+    pub fn new(topology: &'a Topology, params: &'a NoiseParams) -> Self {
+        assert_eq!(
+            topology.num_qubits(),
+            params.num_qubits(),
+            "noise parameters must cover every topology qubit"
+        );
+        NoisySimulator {
+            topology,
+            params,
+            options: SimOptions::default(),
+        }
+    }
+
+    /// Creates a simulator from a device model's ground truth.
+    pub fn from_device(device: &'a DeviceModel) -> Self {
+        Self::new(device.topology(), device.truth())
+    }
+
+    /// Replaces the channel toggles.
+    pub fn with_options(mut self, options: SimOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The active channel toggles.
+    pub fn options(&self) -> SimOptions {
+        self.options
+    }
+
+    /// Runs `shots` noisy trials of `circuit` and returns the outcome
+    /// histogram. Deterministic for a fixed `(circuit, shots, seed)`.
+    ///
+    /// The circuit must already be *physical*: lowered to the
+    /// `{single-qubit, CX, measure}` basis with every CX on a coupled pair
+    /// (use the `qmap` transpiler to get there).
+    ///
+    /// # Errors
+    ///
+    /// - [`SimError::TooManyQubits`] if the circuit is wider than the device.
+    /// - [`SimError::UnsupportedGate`] for gates outside the device basis.
+    /// - [`SimError::UncoupledQubits`] for a CX on a non-edge.
+    /// - [`SimError::MidCircuitMeasurement`] / [`SimError::ClbitReused`] for
+    ///   invalid measurement structure.
+    pub fn run(&self, circuit: &Circuit, shots: u64, seed: u64) -> Result<Counts, SimError> {
+        let plan = self.compile(circuit)?;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut counts = Counts::new(circuit.num_clbits());
+
+        // Coherent-only reference state: reused for every shot in which no
+        // stochastic event fires.
+        let clean = plan.run_trajectory(&[]);
+        let clean_cum = cumulative(&clean.probabilities());
+
+        let mut fired: Vec<FiredEvent> = Vec::new();
+        for _ in 0..shots {
+            fired.clear();
+            for spec in &plan.events {
+                if rng.gen::<f64>() < spec.prob {
+                    fired.push(FiredEvent {
+                        step: spec.step,
+                        paulis: spec.kind.sample(&mut rng),
+                    });
+                }
+            }
+            let basis = if fired.is_empty() {
+                sample_cumulative(&clean_cum, &mut rng)
+            } else {
+                plan.run_trajectory(&fired).sample(&mut rng)
+            };
+            let mut key = 0u64;
+            for &(phys, dense, clbit) in &plan.measurements {
+                let mut bit = (basis >> dense) & 1;
+                if self.options.readout_error {
+                    let flip_prob = if bit == 1 {
+                        self.params.readout_p10[phys as usize]
+                    } else {
+                        self.params.readout_p01[phys as usize]
+                    };
+                    if rng.gen::<f64>() < flip_prob {
+                        bit ^= 1;
+                    }
+                }
+                key |= (bit as u64) << clbit;
+            }
+            counts.record(key);
+        }
+        Ok(counts)
+    }
+
+    /// Validates and lowers a circuit into an executable plan.
+    fn compile(&self, circuit: &Circuit) -> Result<Plan, SimError> {
+        if circuit.num_qubits() > self.topology.num_qubits() {
+            return Err(SimError::TooManyQubits {
+                circuit: circuit.num_qubits(),
+                device: self.topology.num_qubits(),
+            });
+        }
+        let meas = ideal::measurement_map(circuit)?;
+
+        // Dense re-indexing of the active physical qubits keeps the state
+        // vector as small as the program, not the device.
+        let active: Vec<u32> = circuit.active_qubits().iter().map(|q| q.index()).collect();
+        let mut dense = vec![u32::MAX; self.topology.num_qubits() as usize];
+        for (i, &q) in active.iter().enumerate() {
+            dense[q as usize] = i as u32;
+        }
+        let dq = |q: Qubit| Qubit::new(dense[q.usize()]);
+
+        let mut steps: Vec<Vec<Gate>> = Vec::with_capacity(circuit.len());
+        let mut events: Vec<EventSpec> = Vec::new();
+        for g in circuit.iter() {
+            let step_idx = steps.len();
+            let mut step: Vec<Gate> = Vec::with_capacity(1);
+            match *g {
+                Gate::Cx(a, b) => {
+                    if !self.topology.has_edge(a.index(), b.index()) {
+                        return Err(SimError::UncoupledQubits {
+                            a: a.index(),
+                            b: b.index(),
+                        });
+                    }
+                    let e = Edge::new(a.index(), b.index());
+                    step.push(Gate::Cx(dq(a), dq(b)));
+                    if self.options.coherent_errors {
+                        let theta = self.params.coherent_cx_angle[&e];
+                        if theta != 0.0 {
+                            step.push(Gate::Rz(dq(a), theta));
+                            step.push(Gate::Rz(dq(b), theta));
+                            step.push(Gate::Rx(dq(b), 0.6 * theta));
+                        }
+                    }
+                    if self.options.crosstalk {
+                        let chi = self.params.zz_crosstalk[&e];
+                        if chi != 0.0 {
+                            for &end in &[a.index(), b.index()] {
+                                for &n in self.topology.neighbors(end) {
+                                    if n != a.index()
+                                        && n != b.index()
+                                        && dense[n as usize] != u32::MAX
+                                    {
+                                        step.push(Gate::Rz(Qubit::new(dense[n as usize]), chi));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if self.options.stochastic_gate_noise {
+                        events.push(EventSpec {
+                            step: step_idx,
+                            prob: self.params.cx_err[&e],
+                            kind: EventKind::Depol2(dq(a), dq(b)),
+                        });
+                    }
+                    if self.options.decoherence {
+                        self.push_relaxation(&mut events, step_idx, a, dq(a), true);
+                        self.push_relaxation(&mut events, step_idx, b, dq(b), true);
+                    }
+                }
+                Gate::Measure(..) => {
+                    // Handled via the measurement map + readout flips.
+                    continue;
+                }
+                ref g1 if g1.is_single_qubit() => {
+                    let q = g1.qubits()[0];
+                    step.push(g1.map_qubits(dq));
+                    if self.options.stochastic_gate_noise {
+                        events.push(EventSpec {
+                            step: step_idx,
+                            prob: self.params.gate_1q_err[q.usize()],
+                            kind: EventKind::Depol1(dq(q)),
+                        });
+                    }
+                    if self.options.decoherence {
+                        self.push_relaxation(&mut events, step_idx, q, dq(q), false);
+                    }
+                }
+                ref other => {
+                    return Err(SimError::UnsupportedGate { name: other.name() });
+                }
+            }
+            steps.push(step);
+        }
+
+        let measurements = meas
+            .iter()
+            .map(|&(q, c)| (q.index(), dense[q.usize()], c.index()))
+            .collect();
+        Ok(Plan {
+            num_dense_qubits: active.len() as u32,
+            steps,
+            events,
+            measurements,
+        })
+    }
+
+    fn push_relaxation(
+        &self,
+        events: &mut Vec<EventSpec>,
+        step: usize,
+        phys: Qubit,
+        dense: Qubit,
+        two_qubit: bool,
+    ) {
+        let t = if two_qubit {
+            self.params.gate_time_2q_us
+        } else {
+            self.params.gate_time_1q_us
+        };
+        let p_bit = 0.5 * (1.0 - (-t / self.params.t1_us[phys.usize()]).exp());
+        let p_phase = 0.5 * (1.0 - (-t / self.params.t2_us[phys.usize()]).exp());
+        if p_bit > 0.0 {
+            events.push(EventSpec {
+                step,
+                prob: p_bit,
+                kind: EventKind::BitFlip(dense),
+            });
+        }
+        if p_phase > 0.0 {
+            events.push(EventSpec {
+                step,
+                prob: p_phase,
+                kind: EventKind::PhaseFlip(dense),
+            });
+        }
+    }
+}
+
+/// A lowered, validated execution plan over densely re-indexed qubits.
+struct Plan {
+    num_dense_qubits: u32,
+    /// Per original gate: the ideal unitary followed by its deterministic
+    /// coherent-error unitaries.
+    steps: Vec<Vec<Gate>>,
+    /// Stochastic error sites with their firing probabilities.
+    events: Vec<EventSpec>,
+    /// `(physical qubit, dense qubit, classical bit)` per measurement.
+    measurements: Vec<(u32, u32, u32)>,
+}
+
+impl Plan {
+    /// Runs one trajectory with the given fired events (sorted by step).
+    fn run_trajectory(&self, fired: &[FiredEvent]) -> StateVector {
+        let mut sv = StateVector::zero_state(self.num_dense_qubits);
+        let mut fi = 0;
+        for (si, step) in self.steps.iter().enumerate() {
+            for g in step {
+                sv.apply(g);
+            }
+            while fi < fired.len() && fired[fi].step == si {
+                for &(q, pauli) in &fired[fi].paulis {
+                    match pauli {
+                        Pauli::X => sv.apply(&Gate::X(q)),
+                        Pauli::Y => sv.apply(&Gate::Y(q)),
+                        Pauli::Z => sv.apply(&Gate::Z(q)),
+                    }
+                }
+                fi += 1;
+            }
+        }
+        sv
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EventSpec {
+    step: usize,
+    prob: f64,
+    kind: EventKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EventKind {
+    /// Single-qubit depolarizing: one of X/Y/Z uniformly.
+    Depol1(Qubit),
+    /// Two-qubit depolarizing: one of the 15 non-identity Pauli pairs.
+    Depol2(Qubit, Qubit),
+    /// T1-style bit flip.
+    BitFlip(Qubit),
+    /// T2-style phase flip.
+    PhaseFlip(Qubit),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pauli {
+    X,
+    Y,
+    Z,
+}
+
+const PAULIS: [Pauli; 3] = [Pauli::X, Pauli::Y, Pauli::Z];
+
+impl EventKind {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> Vec<(Qubit, Pauli)> {
+        match self {
+            EventKind::Depol1(q) => vec![(q, PAULIS[rng.gen_range(0..3)])],
+            EventKind::Depol2(a, b) => {
+                // Pick one of 15 non-identity pairs: index 1..16 over base 4.
+                let idx = rng.gen_range(1..16);
+                let (pa, pb) = (idx / 4, idx % 4);
+                let mut out = Vec::with_capacity(2);
+                if pa > 0 {
+                    out.push((a, PAULIS[pa - 1]));
+                }
+                if pb > 0 {
+                    out.push((b, PAULIS[pb - 1]));
+                }
+                out
+            }
+            EventKind::BitFlip(q) => vec![(q, Pauli::X)],
+            EventKind::PhaseFlip(q) => vec![(q, Pauli::Z)],
+        }
+    }
+}
+
+struct FiredEvent {
+    step: usize,
+    paulis: Vec<(Qubit, Pauli)>,
+}
+
+fn cumulative(probs: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    probs
+        .iter()
+        .map(|&p| {
+            acc += p;
+            acc
+        })
+        .collect()
+}
+
+fn sample_cumulative<R: Rng + ?Sized>(cum: &[f64], rng: &mut R) -> usize {
+    let u: f64 = rng.gen::<f64>() * cum.last().copied().unwrap_or(1.0);
+    cum.partition_point(|&c| c <= u).min(cum.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdevice::presets;
+
+    fn device() -> DeviceModel {
+        DeviceModel::synthesize(presets::melbourne14(), 42)
+    }
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure_all();
+        c
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let d = device();
+        let sim = NoisySimulator::from_device(&d);
+        let a = sim.run(&bell(), 500, 1).unwrap();
+        let b = sim.run(&bell(), 500, 1).unwrap();
+        let c = sim.run(&bell(), 500, 2).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn noiseless_options_reproduce_ideal_distribution() {
+        let d = device();
+        let sim = NoisySimulator::from_device(&d).with_options(SimOptions::none());
+        let counts = sim.run(&bell(), 4000, 3).unwrap();
+        // Only 00 and 11 may appear.
+        assert_eq!(counts.get(0b01), 0);
+        assert_eq!(counts.get(0b10), 0);
+        let p00 = counts.probability(0b00);
+        assert!((p00 - 0.5).abs() < 0.05, "p00 {p00}");
+    }
+
+    #[test]
+    fn noisy_run_pollutes_other_outcomes() {
+        let d = device();
+        let sim = NoisySimulator::from_device(&d);
+        let counts = sim.run(&bell(), 4000, 4).unwrap();
+        // With ~6% readout error per bit some 01/10 outcomes must appear.
+        assert!(counts.get(0b01) + counts.get(0b10) > 0);
+        // But the Bell pair should still dominate.
+        assert!(counts.probability(0b00) + counts.probability(0b11) > 0.6);
+    }
+
+    #[test]
+    fn wide_circuit_rejected() {
+        let d = device();
+        let sim = NoisySimulator::from_device(&d);
+        let c = Circuit::new(20, 0);
+        assert_eq!(
+            sim.run(&c, 1, 0).unwrap_err(),
+            SimError::TooManyQubits {
+                circuit: 20,
+                device: 14
+            }
+        );
+    }
+
+    #[test]
+    fn non_basis_gate_rejected() {
+        let d = device();
+        let sim = NoisySimulator::from_device(&d);
+        let mut c = Circuit::new(3, 0);
+        c.ccx(0, 1, 2);
+        assert_eq!(
+            sim.run(&c, 1, 0).unwrap_err(),
+            SimError::UnsupportedGate { name: "ccx" }
+        );
+        let mut c = Circuit::new(2, 0);
+        c.swap(0, 1);
+        assert_eq!(
+            sim.run(&c, 1, 0).unwrap_err(),
+            SimError::UnsupportedGate { name: "swap" }
+        );
+    }
+
+    #[test]
+    fn uncoupled_cx_rejected() {
+        let d = device();
+        let sim = NoisySimulator::from_device(&d);
+        let mut c = Circuit::new(14, 0);
+        c.cx(0, 7); // opposite corners of melbourne
+        assert_eq!(
+            sim.run(&c, 1, 0).unwrap_err(),
+            SimError::UncoupledQubits { a: 0, b: 7 }
+        );
+    }
+
+    #[test]
+    fn readout_error_flips_deterministic_outcome() {
+        let d = device();
+        let sim = NoisySimulator::from_device(&d);
+        // |1> on a single qubit: asymmetric readout must flip some shots.
+        let mut c = Circuit::new(1, 1);
+        c.x(0).measure(0, 0);
+        let counts = sim.run(&c, 8000, 5).unwrap();
+        let p_wrong = counts.probability(0);
+        let expected = d.truth().readout_p10[0];
+        assert!(
+            (p_wrong - expected).abs() < 0.03,
+            "p_wrong {p_wrong} vs p10 {expected}"
+        );
+    }
+
+    #[test]
+    fn readout_asymmetry_is_visible() {
+        let d = device();
+        let sim = NoisySimulator::from_device(&d)
+            .with_options(SimOptions {
+                stochastic_gate_noise: false,
+                decoherence: false,
+                coherent_errors: false,
+                crosstalk: false,
+                readout_error: true,
+            });
+        let mut prep0 = Circuit::new(1, 1);
+        prep0.measure(0, 0);
+        let mut prep1 = Circuit::new(1, 1);
+        prep1.x(0).measure(0, 0);
+        let c0 = sim.run(&prep0, 20_000, 6).unwrap();
+        let c1 = sim.run(&prep1, 20_000, 7).unwrap();
+        let err0 = c0.probability(1);
+        let err1 = c1.probability(0);
+        assert!(
+            err1 > 1.5 * err0,
+            "reading |1> (err {err1}) should fail more than |0> (err {err0})"
+        );
+    }
+
+    #[test]
+    fn coherent_errors_are_reproducible_across_seeds() {
+        // With only coherent errors (deterministic), two different seeds must
+        // produce statistically identical distributions.
+        let d = device();
+        let opts = SimOptions {
+            stochastic_gate_noise: false,
+            decoherence: false,
+            coherent_errors: true,
+            crosstalk: true,
+            readout_error: false,
+        };
+        let sim = NoisySimulator::from_device(&d).with_options(opts);
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).h(0).h(1).measure_all();
+        let a = sim.run(&c, 20_000, 1).unwrap();
+        let b = sim.run(&c, 20_000, 99).unwrap();
+        for key in 0..4u64 {
+            assert!(
+                (a.probability(key) - b.probability(key)).abs() < 0.02,
+                "key {key}: {} vs {}",
+                a.probability(key),
+                b.probability(key)
+            );
+        }
+    }
+
+    #[test]
+    fn different_edges_make_different_mistakes() {
+        // The same logical circuit placed on two different edges must see
+        // different coherent tilts — the core premise of EDM.
+        let d = device();
+        let opts = SimOptions {
+            stochastic_gate_noise: false,
+            decoherence: false,
+            coherent_errors: true,
+            crosstalk: false,
+            readout_error: false,
+        };
+        let sim = NoisySimulator::from_device(&d).with_options(opts);
+        // Phase-sensitive circuit: H, CX, H on both -> coherent angles leak
+        // into outcome probabilities.
+        let build = |a: u32, b: u32| {
+            let n = a.max(b) + 1;
+            let mut c = Circuit::new(n, 2);
+            c.h(a).h(b).cx(a, b).h(a).h(b);
+            c.measure(a, 0).measure(b, 1);
+            c
+        };
+        let c01 = sim.run(&build(0, 1), 30_000, 1).unwrap();
+        let c45 = sim.run(&build(4, 5), 30_000, 1).unwrap();
+        let diff: f64 = (0..4u64)
+            .map(|k| (c01.probability(k) - c45.probability(k)).abs())
+            .sum();
+        assert!(diff > 0.02, "distributions unexpectedly similar: {diff}");
+    }
+
+    #[test]
+    fn mid_circuit_measurement_rejected() {
+        let d = device();
+        let sim = NoisySimulator::from_device(&d);
+        let mut c = Circuit::new(1, 1);
+        c.measure(0, 0).x(0);
+        assert!(matches!(
+            sim.run(&c, 1, 0).unwrap_err(),
+            SimError::MidCircuitMeasurement { .. }
+        ));
+    }
+
+    #[test]
+    fn shot_count_respected() {
+        let d = device();
+        let sim = NoisySimulator::from_device(&d);
+        let counts = sim.run(&bell(), 777, 0).unwrap();
+        assert_eq!(counts.shots(), 777);
+    }
+
+    #[test]
+    fn zero_shots_gives_empty_counts() {
+        let d = device();
+        let sim = NoisySimulator::from_device(&d);
+        let counts = sim.run(&bell(), 0, 0).unwrap();
+        assert_eq!(counts.shots(), 0);
+    }
+
+    #[test]
+    fn iid_only_matches_most_frequent_for_easy_circuit() {
+        let d = device();
+        let sim = NoisySimulator::from_device(&d).with_options(SimOptions::iid_only());
+        let mut c = Circuit::new(3, 3);
+        c.x(0).x(2).measure_all();
+        let counts = sim.run(&c, 2000, 9).unwrap();
+        assert_eq!(counts.most_frequent(), Some(0b101));
+    }
+
+    #[test]
+    fn dense_reindexing_handles_high_physical_qubits() {
+        // A circuit using only high-numbered physical qubits must still run
+        // in a compact state vector.
+        let d = device();
+        let sim = NoisySimulator::from_device(&d);
+        let mut c = Circuit::new(14, 2);
+        c.h(9).cx(9, 10).measure(9, 0).measure(10, 1);
+        let counts = sim.run(&c, 1000, 3).unwrap();
+        assert_eq!(counts.shots(), 1000);
+        assert!(counts.probability(0b00) + counts.probability(0b11) > 0.6);
+    }
+}

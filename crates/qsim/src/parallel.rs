@@ -1,0 +1,157 @@
+//! Parallel shot execution.
+//!
+//! The paper's protocol runs 16 384 trials per policy per round; trajectory
+//! simulation of those trials is embarrassingly parallel. This module
+//! splits the shot budget across threads, runs each slice with an
+//! independent deterministic seed, and merges the histograms.
+//!
+//! The result is deterministic for a fixed `(circuit, shots, seed, threads)`
+//! — but note that *changing* the thread count changes how the shot budget
+//! maps onto RNG streams, so distributions across different thread counts
+//! agree only statistically.
+
+use crate::{Counts, NoisySimulator, SimError};
+use qcir::Circuit;
+
+/// Extends a histogram with another one's observations.
+fn merge_counts(into: &mut Counts, from: &Counts) {
+    for (k, n) in from.iter() {
+        for _ in 0..n {
+            into.record(k);
+        }
+    }
+}
+
+impl NoisySimulator<'_> {
+    /// Runs `shots` trials split across `threads` OS threads.
+    ///
+    /// Each thread runs an equal slice (the first slices absorb the
+    /// remainder) with seed `seed + thread_index`, so the union of slices is
+    /// reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NoisySimulator::run`]; the first failing slice's
+    /// error is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcir::Circuit;
+    /// use qdevice::{presets, DeviceModel};
+    /// use qsim::NoisySimulator;
+    ///
+    /// let device = DeviceModel::synthesize(presets::melbourne14(), 3);
+    /// let sim = NoisySimulator::from_device(&device);
+    /// let mut c = Circuit::new(2, 2);
+    /// c.h(0);
+    /// c.cx(0, 1);
+    /// c.measure_all();
+    /// let counts = sim.run_parallel(&c, 4096, 7, 4)?;
+    /// assert_eq!(counts.shots(), 4096);
+    /// # Ok::<(), qsim::SimError>(())
+    /// ```
+    pub fn run_parallel(
+        &self,
+        circuit: &Circuit,
+        shots: u64,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Counts, SimError> {
+        assert!(threads > 0, "need at least one thread");
+        if threads == 1 || shots < threads as u64 {
+            return self.run(circuit, shots, seed);
+        }
+        let per = shots / threads as u64;
+        let remainder = shots % threads as u64;
+
+        let results: Vec<Result<Counts, SimError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let slice = per + if (t as u64) < remainder { 1 } else { 0 };
+                    let sim = self.clone();
+                    scope.spawn(move || sim.run(circuit, slice, seed.wrapping_add(t as u64)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+        });
+
+        let mut merged = Counts::new(circuit.num_clbits());
+        for r in results {
+            merge_counts(&mut merged, &r?);
+        }
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdevice::{presets, DeviceModel};
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure_all();
+        c
+    }
+
+    #[test]
+    fn parallel_run_has_exact_shot_count() {
+        let d = DeviceModel::synthesize(presets::melbourne14(), 5);
+        let sim = NoisySimulator::from_device(&d);
+        let counts = sim.run_parallel(&bell(), 1003, 1, 4).unwrap();
+        assert_eq!(counts.shots(), 1003);
+    }
+
+    #[test]
+    fn parallel_run_is_deterministic() {
+        let d = DeviceModel::synthesize(presets::melbourne14(), 5);
+        let sim = NoisySimulator::from_device(&d);
+        let a = sim.run_parallel(&bell(), 2000, 9, 4).unwrap();
+        let b = sim.run_parallel(&bell(), 2000, 9, 4).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_statistics_match_serial() {
+        let d = DeviceModel::synthesize(presets::melbourne14(), 5);
+        let sim = NoisySimulator::from_device(&d);
+        let serial = sim.run(&bell(), 20_000, 3).unwrap();
+        let parallel = sim.run_parallel(&bell(), 20_000, 3, 8).unwrap();
+        for key in 0..4u64 {
+            let a = serial.probability(key);
+            let b = parallel.probability(key);
+            assert!((a - b).abs() < 0.02, "key {key}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn single_thread_falls_back_to_serial() {
+        let d = DeviceModel::synthesize(presets::melbourne14(), 5);
+        let sim = NoisySimulator::from_device(&d);
+        let serial = sim.run(&bell(), 500, 2).unwrap();
+        let parallel = sim.run_parallel(&bell(), 500, 2, 1).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn errors_propagate_from_slices() {
+        let d = DeviceModel::synthesize(presets::melbourne14(), 5);
+        let sim = NoisySimulator::from_device(&d);
+        let mut bad = Circuit::new(3, 0);
+        bad.ccx(0, 1, 2);
+        assert!(sim.run_parallel(&bad, 100, 0, 4).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let d = DeviceModel::synthesize(presets::melbourne14(), 5);
+        let sim = NoisySimulator::from_device(&d);
+        let _ = sim.run_parallel(&bell(), 10, 0, 0);
+    }
+}

@@ -1,0 +1,451 @@
+//! Dense state-vector simulation.
+//!
+//! Qubit `q` corresponds to bit `q` of the basis-state index (little-endian:
+//! qubit 0 is the least significant bit).
+
+use crate::complex::{C64, I, ONE, ZERO};
+use qcir::{Gate, Qubit};
+use rand::Rng;
+
+/// A normalized pure state over `n` qubits, stored as `2^n` amplitudes.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::StateVector;
+/// use qcir::{Gate, Qubit};
+///
+/// let mut sv = StateVector::zero_state(2);
+/// sv.apply(&Gate::H(Qubit::new(0)));
+/// sv.apply(&Gate::Cx(Qubit::new(0), Qubit::new(1)));
+/// let p = sv.probabilities();
+/// assert!((p[0b00] - 0.5).abs() < 1e-12);
+/// assert!((p[0b11] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    num_qubits: u32,
+    amps: Vec<C64>,
+}
+
+impl StateVector {
+    /// Creates the all-zeros computational basis state `|0...0>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > 26` (the amplitude vector would not fit in
+    /// memory).
+    pub fn zero_state(num_qubits: u32) -> Self {
+        assert!(num_qubits <= 26, "state vector too large: {num_qubits} qubits");
+        let mut amps = vec![ZERO; 1usize << num_qubits];
+        amps[0] = ONE;
+        StateVector { num_qubits, amps }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// The raw amplitudes (little-endian basis ordering).
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Applies a symbolic gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate is a measurement (use a simulator driver for
+    /// those) or touches a qubit out of range.
+    pub fn apply(&mut self, gate: &Gate) {
+        match *gate {
+            Gate::H(q) => {
+                let s = std::f64::consts::FRAC_1_SQRT_2;
+                self.apply_1q(q, [[C64::real(s), C64::real(s)], [C64::real(s), C64::real(-s)]]);
+            }
+            Gate::X(q) => self.apply_1q(q, [[ZERO, ONE], [ONE, ZERO]]),
+            Gate::Y(q) => self.apply_1q(q, [[ZERO, -I], [I, ZERO]]),
+            Gate::Z(q) => self.apply_1q(q, [[ONE, ZERO], [ZERO, -ONE]]),
+            Gate::S(q) => self.apply_1q(q, [[ONE, ZERO], [ZERO, I]]),
+            Gate::Sdg(q) => self.apply_1q(q, [[ONE, ZERO], [ZERO, -I]]),
+            Gate::T(q) => self.apply_1q(
+                q,
+                [[ONE, ZERO], [ZERO, C64::cis(std::f64::consts::FRAC_PI_4)]],
+            ),
+            Gate::Tdg(q) => self.apply_1q(
+                q,
+                [[ONE, ZERO], [ZERO, C64::cis(-std::f64::consts::FRAC_PI_4)]],
+            ),
+            Gate::Rx(q, t) => {
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                self.apply_1q(
+                    q,
+                    [
+                        [C64::real(c), C64::new(0.0, -s)],
+                        [C64::new(0.0, -s), C64::real(c)],
+                    ],
+                );
+            }
+            Gate::Ry(q, t) => {
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                self.apply_1q(
+                    q,
+                    [[C64::real(c), C64::real(-s)], [C64::real(s), C64::real(c)]],
+                );
+            }
+            Gate::Rz(q, t) => self.apply_1q(
+                q,
+                [
+                    [C64::cis(-t / 2.0), ZERO],
+                    [ZERO, C64::cis(t / 2.0)],
+                ],
+            ),
+            Gate::Cx(c, t) => self.apply_cx(c, t),
+            Gate::Cz(a, b) => self.apply_cz(a, b),
+            Gate::Swap(a, b) => self.apply_swap(a, b),
+            Gate::Ccx(a, b, t) => self.apply_ccx(a, b, t),
+            Gate::Cswap(c, a, b) => self.apply_cswap(c, a, b),
+            Gate::Measure(..) => panic!("measurements must be handled by a simulator driver"),
+        }
+    }
+
+    /// Applies an arbitrary single-qubit unitary `m` (row-major) to `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_1q(&mut self, q: Qubit, m: [[C64; 2]; 2]) {
+        let bit = self.bit(q);
+        let dim = self.amps.len();
+        let mut i = 0;
+        while i < dim {
+            if i & bit == 0 {
+                let a0 = self.amps[i];
+                let a1 = self.amps[i | bit];
+                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[i | bit] = m[1][0] * a0 + m[1][1] * a1;
+            }
+            i += 1;
+        }
+    }
+
+    fn apply_cx(&mut self, c: Qubit, t: Qubit) {
+        let cbit = self.bit(c);
+        let tbit = self.bit(t);
+        for i in 0..self.amps.len() {
+            if i & cbit != 0 && i & tbit == 0 {
+                self.amps.swap(i, i | tbit);
+            }
+        }
+    }
+
+    fn apply_cz(&mut self, a: Qubit, b: Qubit) {
+        let abit = self.bit(a);
+        let bbit = self.bit(b);
+        for i in 0..self.amps.len() {
+            if i & abit != 0 && i & bbit != 0 {
+                self.amps[i] = -self.amps[i];
+            }
+        }
+    }
+
+    fn apply_swap(&mut self, a: Qubit, b: Qubit) {
+        let abit = self.bit(a);
+        let bbit = self.bit(b);
+        for i in 0..self.amps.len() {
+            if i & abit != 0 && i & bbit == 0 {
+                self.amps.swap(i, (i & !abit) | bbit);
+            }
+        }
+    }
+
+    fn apply_ccx(&mut self, a: Qubit, b: Qubit, t: Qubit) {
+        let abit = self.bit(a);
+        let bbit = self.bit(b);
+        let tbit = self.bit(t);
+        for i in 0..self.amps.len() {
+            if i & abit != 0 && i & bbit != 0 && i & tbit == 0 {
+                self.amps.swap(i, i | tbit);
+            }
+        }
+    }
+
+    fn apply_cswap(&mut self, c: Qubit, a: Qubit, b: Qubit) {
+        let cbit = self.bit(c);
+        let abit = self.bit(a);
+        let bbit = self.bit(b);
+        for i in 0..self.amps.len() {
+            if i & cbit != 0 && i & abit != 0 && i & bbit == 0 {
+                self.amps.swap(i, (i & !abit) | bbit);
+            }
+        }
+    }
+
+    fn bit(&self, q: Qubit) -> usize {
+        assert!(
+            q.index() < self.num_qubits,
+            "qubit {q} out of range for {}-qubit state",
+            self.num_qubits
+        );
+        1usize << q.index()
+    }
+
+    /// Probability of each computational basis state.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Probability that qubit `q` reads 1.
+    pub fn prob_one(&self, q: Qubit) -> f64 {
+        let bit = self.bit(q);
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & bit != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Samples one basis state index according to the state's probabilities.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (i, a) in self.amps.iter().enumerate() {
+            acc += a.norm_sqr();
+            if u < acc {
+                return i;
+            }
+        }
+        self.amps.len() - 1
+    }
+
+    /// The squared overlap `|<self|other>|²` with another state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        assert_eq!(self.num_qubits, other.num_qubits, "dimension mismatch");
+        let mut inner = ZERO;
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            inner += a.conj() * *b;
+        }
+        inner.norm_sqr()
+    }
+
+    /// Sum of all probabilities (should stay 1 within floating-point error).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::Clbit;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    const EPS: f64 = 1e-10;
+    fn q(i: u32) -> Qubit {
+        Qubit::new(i)
+    }
+
+    #[test]
+    fn zero_state_is_basis_zero() {
+        let sv = StateVector::zero_state(3);
+        let p = sv.probabilities();
+        assert!((p[0] - 1.0).abs() < EPS);
+        assert!(p[1..].iter().all(|&x| x < EPS));
+    }
+
+    #[test]
+    fn x_flips() {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply(&Gate::X(q(1)));
+        assert!((sv.probabilities()[0b10] - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn h_creates_superposition_and_is_involutive() {
+        let mut sv = StateVector::zero_state(1);
+        sv.apply(&Gate::H(q(0)));
+        assert!((sv.prob_one(q(0)) - 0.5).abs() < EPS);
+        sv.apply(&Gate::H(q(0)));
+        assert!((sv.probabilities()[0] - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn bell_state() {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply(&Gate::H(q(0)));
+        sv.apply(&Gate::Cx(q(0), q(1)));
+        let p = sv.probabilities();
+        assert!((p[0b00] - 0.5).abs() < EPS);
+        assert!((p[0b11] - 0.5).abs() < EPS);
+        assert!(p[0b01] < EPS && p[0b10] < EPS);
+    }
+
+    #[test]
+    fn cx_control_must_be_set() {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply(&Gate::Cx(q(0), q(1)));
+        assert!((sv.probabilities()[0] - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn swap_moves_excitation() {
+        let mut sv = StateVector::zero_state(3);
+        sv.apply(&Gate::X(q(0)));
+        sv.apply(&Gate::Swap(q(0), q(2)));
+        assert!((sv.probabilities()[0b100] - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn swap_equals_three_cx() {
+        let mut a = StateVector::zero_state(2);
+        a.apply(&Gate::H(q(0)));
+        a.apply(&Gate::T(q(1)));
+        let mut b = a.clone();
+        a.apply(&Gate::Swap(q(0), q(1)));
+        b.apply(&Gate::Cx(q(0), q(1)));
+        b.apply(&Gate::Cx(q(1), q(0)));
+        b.apply(&Gate::Cx(q(0), q(1)));
+        assert!((a.fidelity(&b) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn ccx_truth_table() {
+        // |11t> flips t.
+        let mut sv = StateVector::zero_state(3);
+        sv.apply(&Gate::X(q(0)));
+        sv.apply(&Gate::X(q(1)));
+        sv.apply(&Gate::Ccx(q(0), q(1), q(2)));
+        assert!((sv.probabilities()[0b111] - 1.0).abs() < EPS);
+        // |10t> does not.
+        let mut sv = StateVector::zero_state(3);
+        sv.apply(&Gate::X(q(0)));
+        sv.apply(&Gate::Ccx(q(0), q(1), q(2)));
+        assert!((sv.probabilities()[0b001] - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn ccx_matches_decomposition() {
+        let mut direct = StateVector::zero_state(3);
+        direct.apply(&Gate::H(q(0)));
+        direct.apply(&Gate::H(q(1)));
+        direct.apply(&Gate::H(q(2)));
+        let mut via_decomp = direct.clone();
+        direct.apply(&Gate::Ccx(q(0), q(1), q(2)));
+        let mut c = qcir::Circuit::new(3, 0);
+        c.ccx(0, 1, 2);
+        for g in c.decomposed().iter() {
+            via_decomp.apply(g);
+        }
+        assert!(
+            (direct.fidelity(&via_decomp) - 1.0).abs() < EPS,
+            "fidelity {}",
+            direct.fidelity(&via_decomp)
+        );
+    }
+
+    #[test]
+    fn cswap_matches_decomposition() {
+        let mut direct = StateVector::zero_state(3);
+        direct.apply(&Gate::H(q(0)));
+        direct.apply(&Gate::Ry(q(1), 0.7));
+        direct.apply(&Gate::H(q(2)));
+        let mut via_decomp = direct.clone();
+        direct.apply(&Gate::Cswap(q(0), q(1), q(2)));
+        let mut c = qcir::Circuit::new(3, 0);
+        c.cswap(0, 1, 2);
+        for g in c.decomposed().iter() {
+            via_decomp.apply(g);
+        }
+        assert!((direct.fidelity(&via_decomp) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn cz_matches_decomposition() {
+        let mut direct = StateVector::zero_state(2);
+        direct.apply(&Gate::H(q(0)));
+        direct.apply(&Gate::H(q(1)));
+        let mut via = direct.clone();
+        direct.apply(&Gate::Cz(q(0), q(1)));
+        via.apply(&Gate::H(q(1)));
+        via.apply(&Gate::Cx(q(0), q(1)));
+        via.apply(&Gate::H(q(1)));
+        assert!((direct.fidelity(&via) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn rotations_compose() {
+        // Rz(a)Rz(b) = Rz(a+b) up to global phase; compare via fidelity with
+        // an H first so the phase matters relationally.
+        let mut a = StateVector::zero_state(1);
+        a.apply(&Gate::H(q(0)));
+        let mut b = a.clone();
+        a.apply(&Gate::Rz(q(0), 0.3));
+        a.apply(&Gate::Rz(q(0), 0.5));
+        b.apply(&Gate::Rz(q(0), 0.8));
+        assert!((a.fidelity(&b) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn rx_pi_is_x_up_to_phase() {
+        let mut a = StateVector::zero_state(1);
+        a.apply(&Gate::Rx(q(0), std::f64::consts::PI));
+        assert!((a.prob_one(q(0)) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn norm_preserved_by_random_circuit() {
+        let mut sv = StateVector::zero_state(4);
+        let gates = [
+            Gate::H(q(0)),
+            Gate::Rx(q(1), 0.4),
+            Gate::Cx(q(0), q(2)),
+            Gate::Ry(q(3), 1.1),
+            Gate::Cz(q(1), q(3)),
+            Gate::T(q(2)),
+            Gate::Swap(q(0), q(3)),
+            Gate::Rz(q(2), -0.9),
+        ];
+        for g in &gates {
+            sv.apply(g);
+            assert!((sv.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_probabilities() {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply(&Gate::H(q(0)));
+        sv.apply(&Gate::Cx(q(0), q(1)));
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let n = 10_000;
+        let mut count = [0u32; 4];
+        for _ in 0..n {
+            count[sv.sample(&mut rng)] += 1;
+        }
+        assert_eq!(count[0b01], 0);
+        assert_eq!(count[0b10], 0);
+        let frac = count[0b00] as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "simulator driver")]
+    fn measure_panics() {
+        let mut sv = StateVector::zero_state(1);
+        sv.apply(&Gate::Measure(q(0), Clbit::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut sv = StateVector::zero_state(1);
+        sv.apply(&Gate::H(q(1)));
+    }
+}

@@ -1,0 +1,190 @@
+//! Circuit equivalence checking.
+//!
+//! Compiler passes (lowering, routing, peephole optimization) must preserve
+//! a circuit's unitary up to global phase. This module checks equivalence
+//! numerically: two circuits are equivalent iff they agree on a complete
+//! set of basis states — for an `n`-qubit unitary, mapping each basis state
+//! through both circuits and comparing up to a *common* phase is exact
+//! (within floating-point tolerance), not sampled.
+
+use crate::complex::C64;
+use crate::StateVector;
+use qcir::{Circuit, Gate, Qubit};
+
+/// Tolerance for amplitude comparison.
+const TOLERANCE: f64 = 1e-9;
+
+/// Result of an equivalence check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Equivalence {
+    /// The circuits implement the same unitary up to one global phase.
+    Equal,
+    /// The circuits differ; the payload is the first basis state index on
+    /// which their outputs differ.
+    DifferentAt(usize),
+}
+
+impl Equivalence {
+    /// True when the circuits were found equivalent.
+    pub fn is_equal(self) -> bool {
+        matches!(self, Equivalence::Equal)
+    }
+}
+
+/// Checks whether two measurement-free circuits implement the same unitary
+/// up to global phase.
+///
+/// Cost is `2^n` state-vector simulations of each circuit; intended for
+/// the small widths compiler tests use (`n <= 12`).
+///
+/// # Panics
+///
+/// Panics if the circuits have different qubit counts, contain
+/// measurements, or exceed 12 qubits.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::Circuit;
+/// use qsim::verify;
+///
+/// let mut swap = Circuit::new(2, 0);
+/// swap.swap(0, 1);
+/// let mut three_cx = Circuit::new(2, 0);
+/// three_cx.cx(0, 1);
+/// three_cx.cx(1, 0);
+/// three_cx.cx(0, 1);
+/// assert!(verify::equivalent(&swap, &three_cx).is_equal());
+/// ```
+pub fn equivalent(a: &Circuit, b: &Circuit) -> Equivalence {
+    assert_eq!(a.num_qubits(), b.num_qubits(), "qubit counts differ");
+    let n = a.num_qubits();
+    assert!(n <= 12, "equivalence check limited to 12 qubits");
+    assert!(
+        a.count_measure() == 0 && b.count_measure() == 0,
+        "equivalence is defined for measurement-free circuits"
+    );
+
+    // The unitaries U_a, U_b are equal up to global phase iff for every
+    // basis column the outputs match after factoring out one shared phase,
+    // and that phase is the same for every column. Track the phase from the
+    // first column with non-negligible amplitude.
+    let dim = 1usize << n;
+    let mut global_phase: Option<C64> = None;
+    for basis in 0..dim {
+        let col_a = column(a, basis, n);
+        let col_b = column(b, basis, n);
+        // Find the reference entry for phase alignment.
+        let ref_idx = col_a
+            .iter()
+            .position(|amp| amp.norm_sqr() > TOLERANCE)
+            .expect("unitary column has unit norm");
+        if col_b[ref_idx].norm_sqr() <= TOLERANCE {
+            return Equivalence::DifferentAt(basis);
+        }
+        // phase = (a_ref / b_ref), a unit complex number if equivalent.
+        let denom = col_b[ref_idx];
+        let phase = col_a[ref_idx] * denom.conj().scale(1.0 / denom.norm_sqr());
+        match &global_phase {
+            None => global_phase = Some(phase),
+            Some(g) => {
+                if (*g - phase).abs() > 1e-7 {
+                    return Equivalence::DifferentAt(basis);
+                }
+            }
+        }
+        let phase = global_phase.expect("set above");
+        for (x, y) in col_a.iter().zip(&col_b) {
+            if (*x - phase * *y).abs() > 1e-7 {
+                return Equivalence::DifferentAt(basis);
+            }
+        }
+    }
+    Equivalence::Equal
+}
+
+/// Applies the circuit to basis state `basis` and returns the output column.
+fn column(c: &Circuit, basis: usize, n: u32) -> Vec<C64> {
+    let mut sv = StateVector::zero_state(n);
+    for q in 0..n {
+        if basis >> q & 1 == 1 {
+            sv.apply(&Gate::X(Qubit::new(q)));
+        }
+    }
+    for g in c.iter() {
+        sv.apply(g);
+    }
+    sv.amplitudes().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_circuits_are_equal() {
+        let mut c = Circuit::new(3, 0);
+        c.h(0).cx(0, 1).t(2).swap(1, 2);
+        assert!(equivalent(&c, &c).is_equal());
+    }
+
+    #[test]
+    fn decomposition_is_equivalent() {
+        let mut c = Circuit::new(3, 0);
+        c.ccx(0, 1, 2).cswap(2, 0, 1).cz(0, 2);
+        assert!(equivalent(&c, &c.decomposed()).is_equal());
+    }
+
+    #[test]
+    fn global_phase_is_ignored() {
+        // Z = e^{iπ/2} Rz(π): differs only by global phase.
+        let mut a = Circuit::new(1, 0);
+        a.z(0);
+        let mut b = Circuit::new(1, 0);
+        b.rz(0, std::f64::consts::PI);
+        assert!(equivalent(&a, &b).is_equal());
+    }
+
+    #[test]
+    fn different_circuits_are_detected() {
+        let mut a = Circuit::new(2, 0);
+        a.cx(0, 1);
+        let mut b = Circuit::new(2, 0);
+        b.cx(1, 0);
+        let r = equivalent(&a, &b);
+        assert!(!r.is_equal());
+        assert!(matches!(r, Equivalence::DifferentAt(_)));
+    }
+
+    #[test]
+    fn per_column_phase_is_not_global_phase() {
+        // S vs identity: S applies a *relative* phase on |1> — not a global
+        // phase — and must be detected as different.
+        let mut a = Circuit::new(1, 0);
+        a.s(0);
+        let b = Circuit::new(1, 0);
+        assert!(!equivalent(&a, &b).is_equal());
+    }
+
+    #[test]
+    fn inverse_composition_is_identity() {
+        let mut c = Circuit::new(3, 0);
+        c.h(0).cx(0, 1).rz(2, 0.7).ccx(0, 1, 2);
+        let id_like = c.compose(&c.inverse().expect("unitary")).expect("same regs");
+        assert!(equivalent(&id_like, &Circuit::new(3, 0)).is_equal());
+    }
+
+    #[test]
+    #[should_panic(expected = "measurement-free")]
+    fn measurements_rejected() {
+        let mut a = Circuit::new(1, 1);
+        a.measure(0, 0);
+        let _ = equivalent(&a, &a);
+    }
+
+    #[test]
+    #[should_panic(expected = "qubit counts differ")]
+    fn width_mismatch_rejected() {
+        let _ = equivalent(&Circuit::new(1, 0), &Circuit::new(2, 0));
+    }
+}

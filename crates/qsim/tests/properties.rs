@@ -1,0 +1,153 @@
+//! Property-based tests for the simulator: unitarity, inversion, channel
+//! sanity, and agreement between the samplers.
+
+use proptest::prelude::*;
+use qcir::Circuit;
+use qsim::{ideal, StateVector};
+
+#[derive(Debug, Clone)]
+enum Spec {
+    H(u32),
+    X(u32),
+    S(u32),
+    T(u32),
+    Rx(u32, f64),
+    Ry(u32, f64),
+    Rz(u32, f64),
+    Cx(u32, u32),
+    Cz(u32, u32),
+    Swap(u32, u32),
+}
+
+fn unitary_circuit(n: u32, max_ops: usize) -> impl Strategy<Value = Circuit> {
+    let spec = prop_oneof![
+        (0..n).prop_map(Spec::H),
+        (0..n).prop_map(Spec::X),
+        (0..n).prop_map(Spec::S),
+        (0..n).prop_map(Spec::T),
+        ((0..n), -3.0f64..3.0).prop_map(|(q, t)| Spec::Rx(q, t)),
+        ((0..n), -3.0f64..3.0).prop_map(|(q, t)| Spec::Ry(q, t)),
+        ((0..n), -3.0f64..3.0).prop_map(|(q, t)| Spec::Rz(q, t)),
+        ((0..n), (0..n)).prop_map(|(a, b)| Spec::Cx(a, b)),
+        ((0..n), (0..n)).prop_map(|(a, b)| Spec::Cz(a, b)),
+        ((0..n), (0..n)).prop_map(|(a, b)| Spec::Swap(a, b)),
+    ];
+    proptest::collection::vec(spec, 1..max_ops).prop_map(move |specs| {
+        let mut c = Circuit::new(n, 0);
+        for s in specs {
+            match s {
+                Spec::H(q) => {
+                    c.h(q);
+                }
+                Spec::X(q) => {
+                    c.x(q);
+                }
+                Spec::S(q) => {
+                    c.s(q);
+                }
+                Spec::T(q) => {
+                    c.t(q);
+                }
+                Spec::Rx(q, t) => {
+                    c.rx(q, t);
+                }
+                Spec::Ry(q, t) => {
+                    c.ry(q, t);
+                }
+                Spec::Rz(q, t) => {
+                    c.rz(q, t);
+                }
+                Spec::Cx(a, b) if a != b => {
+                    c.cx(a, b);
+                }
+                Spec::Cz(a, b) if a != b => {
+                    c.cz(a, b);
+                }
+                Spec::Swap(a, b) if a != b => {
+                    c.swap(a, b);
+                }
+                _ => {}
+            }
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn circuits_preserve_norm(c in unitary_circuit(4, 25)) {
+        let mut sv = StateVector::zero_state(4);
+        for g in c.iter() {
+            sv.apply(g);
+        }
+        prop_assert!((sv.norm() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn inverse_undoes_circuit(c in unitary_circuit(4, 20)) {
+        let inv = c.inverse().expect("unitary circuit");
+        let mut sv = StateVector::zero_state(4);
+        for g in c.iter().chain(inv.iter()) {
+            sv.apply(g);
+        }
+        // Back to |0000> up to global phase.
+        prop_assert!((sv.probabilities()[0] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn decomposition_preserves_state(c in unitary_circuit(3, 15)) {
+        let mut direct = StateVector::zero_state(3);
+        for g in c.iter() {
+            direct.apply(g);
+        }
+        let mut lowered = StateVector::zero_state(3);
+        for g in c.decomposed().iter() {
+            lowered.apply(g);
+        }
+        prop_assert!((direct.fidelity(&lowered) - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ideal_probabilities_are_a_distribution(c in unitary_circuit(4, 20)) {
+        let mut measured = c.clone();
+        measured.measure_all();
+        // Rebuild with matching classical register.
+        let mut full = Circuit::new(4, 4);
+        for g in c.iter() {
+            full.extend([g.clone()]);
+        }
+        full.measure_all();
+        let dist = ideal::probabilities(&full).expect("valid circuit");
+        let total: f64 = dist.values().sum();
+        prop_assert!((total - 1.0).abs() < 1e-8);
+        prop_assert!(dist.values().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+    }
+
+    #[test]
+    fn sampling_frequencies_match_state_probabilities(c in unitary_circuit(3, 12), seed in 0u64..100) {
+        use rand::SeedableRng;
+        let mut sv = StateVector::zero_state(3);
+        for g in c.iter() {
+            sv.apply(g);
+        }
+        let probs = sv.probabilities();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let n = 4000;
+        let mut hist = [0u32; 8];
+        for _ in 0..n {
+            hist[sv.sample(&mut rng)] += 1;
+        }
+        for (i, &h) in hist.iter().enumerate() {
+            let freq = h as f64 / n as f64;
+            // Numerical noise can push probabilities a hair past 1.
+            let p = probs[i].clamp(0.0, 1.0);
+            let sigma = (p * (1.0 - p) / n as f64).sqrt();
+            prop_assert!(
+                (freq - p).abs() < 6.0 * sigma + 0.01,
+                "basis {}: freq {} vs prob {}", i, freq, p
+            );
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Anatomy of an ensemble: which physical qubits each member uses, which
+//! wrong answers dominate each member, and how the merge suppresses them.
+//!
+//! ```sh
+//! cargo run --release --example bv_ensemble
+//! ```
+
+use edm_core::dist::symmetric_kl;
+use edm_core::{metrics, EdmRunner, EnsembleConfig};
+use qbench::bv;
+use qdevice::{presets, DeviceModel, SynthesisProfile};
+use qmap::Transpiler;
+use qsim::counts::format_bitstring;
+use qsim::NoisySimulator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let key = 0b110011u64;
+    let circuit = bv::bv(key, 6);
+
+    // Strong correlated channels make the failure mode visible.
+    let profile = SynthesisProfile {
+        coherent_max_angle: 0.9,
+        crosstalk_max_angle: 0.45,
+        ..SynthesisProfile::default()
+    };
+    let device = DeviceModel::synthesize_with(presets::melbourne14(), &profile, 102);
+    let cal = device.calibration();
+    let transpiler = Transpiler::new(device.topology(), &cal);
+    let backend = NoisySimulator::from_device(&device);
+    let runner = EdmRunner::new(&transpiler, &backend, EnsembleConfig::default());
+
+    let result = runner.run(&circuit, 16_384, 5)?;
+
+    println!("correct answer: {}", format_bitstring(key, 6));
+    for (i, m) in result.members.iter().enumerate() {
+        let (wrong, p_wrong) = m
+            .dist
+            .strongest_wrong(key)
+            .expect("noisy runs observe wrong answers");
+        println!(
+            "\nmember {i} (ESP {:.3}) on qubits {:?}",
+            m.member.esp, m.member.qubits
+        );
+        println!(
+            "  PST {:.3}  IST {:.3}  dominant wrong answer {} at {:.3}",
+            metrics::pst(&m.dist, key),
+            metrics::ist(&m.dist, key),
+            format_bitstring(wrong, 6),
+            p_wrong
+        );
+    }
+
+    println!("\npairwise output divergence (symmetric KL):");
+    for i in 0..result.members.len() {
+        for j in (i + 1)..result.members.len() {
+            println!(
+                "  member {i} vs {j}: {:.3}",
+                symmetric_kl(&result.members[i].dist, &result.members[j].dist)
+            );
+        }
+    }
+
+    let (wrong, p_wrong) = result.edm.strongest_wrong(key).expect("wrong answers exist");
+    println!("\nEDM merge:");
+    println!(
+        "  PST {:.3}  IST {:.3}  strongest surviving wrong answer {} at {:.3}",
+        metrics::pst(&result.edm, key),
+        result.ist_edm(key),
+        format_bitstring(wrong, 6),
+        p_wrong
+    );
+    println!(
+        "WEDM merge: PST {:.3}  IST {:.3}",
+        metrics::pst(&result.wedm, key),
+        result.ist_wedm(key)
+    );
+    println!(
+        "\neach member's dominant mistake is different, so the merge attenuates\n\
+         them by ~1/K while the correct answer, present everywhere, survives."
+    );
+    Ok(())
+}

@@ -1,0 +1,151 @@
+//! `edm-cli` — a small command-line front end for the EDM reproduction.
+//!
+//! ```text
+//! edm-cli draw <circuit.qasm>                 render an ASCII diagram
+//! edm-cli transpile <circuit.qasm> [--seed N] map onto a simulated IBMQ-14
+//! edm-cli run <circuit.qasm> [--shots N] [--seed N]
+//!                                             baseline vs EDM vs WEDM
+//! edm-cli device [--seed N]                   dump the device model as JSON
+//! ```
+//!
+//! Circuits are OpenQASM 2.0 in the subset `qcir::qasm` understands (the
+//! same subset it emits).
+
+use edm_core::{metrics, EdmRunner, EnsembleConfig};
+use qcir::{draw, qasm, Circuit};
+use qdevice::{persist, presets, DeviceModel};
+use qmap::Transpiler;
+use qsim::{ideal, NoisySimulator};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "draw" => cmd_draw(&args[1..]),
+        "transpile" => cmd_transpile(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "device" => cmd_device(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  edm-cli draw <circuit.qasm>
+  edm-cli transpile <circuit.qasm> [--seed N]
+  edm-cli run <circuit.qasm> [--shots N] [--seed N]
+  edm-cli device [--seed N]";
+
+fn flag(args: &[String], name: &str, default: u64) -> Result<u64, String> {
+    match args.iter().position(|a| a == name) {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("{name} expects an integer")),
+        None => Ok(default),
+    }
+}
+
+fn load_circuit(args: &[String]) -> Result<Circuit, String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--") && a.ends_with(".qasm"))
+        .ok_or("expected a .qasm file argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    qasm::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_draw(args: &[String]) -> Result<(), String> {
+    let circuit = load_circuit(args)?;
+    print!("{}", draw::draw(&circuit));
+    Ok(())
+}
+
+fn cmd_transpile(args: &[String]) -> Result<(), String> {
+    let circuit = load_circuit(args)?;
+    let seed = flag(args, "--seed", 42)?;
+    let device = DeviceModel::synthesize(presets::melbourne14(), seed);
+    let cal = device.calibration();
+    let out = Transpiler::new(device.topology(), &cal)
+        .transpile(&circuit)
+        .map_err(|e| e.to_string())?;
+    println!("initial layout: {}", out.initial_layout);
+    println!("swaps inserted: {}", out.swap_count);
+    println!("compile-time ESP: {:.4}", out.esp);
+    println!("\n{}", qasm::to_qasm(&out.physical));
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let circuit = load_circuit(args)?;
+    let shots = flag(args, "--shots", 16_384)?;
+    let seed = flag(args, "--seed", 42)?;
+    if circuit.count_measure() == 0 {
+        return Err("circuit has no measurements; nothing to run".into());
+    }
+    let correct = ideal::outcome(&circuit).map_err(|e| e.to_string())?;
+    let device = DeviceModel::synthesize(presets::melbourne14(), seed);
+    let cal = device.calibration();
+    let transpiler = Transpiler::new(device.topology(), &cal);
+    let backend = NoisySimulator::from_device(&device);
+    let runner = EdmRunner::new(&transpiler, &backend, EnsembleConfig::default());
+
+    let baseline = runner
+        .run_baseline(&circuit, shots, seed)
+        .map_err(|e| e.to_string())?;
+    let result = runner
+        .run(&circuit, shots, seed)
+        .map_err(|e| e.to_string())?;
+
+    let width = circuit.num_clbits();
+    println!(
+        "ideal (correct) answer: {}",
+        qsim::counts::format_bitstring(correct, width)
+    );
+    println!(
+        "baseline: PST {:.4}  IST {:.3}",
+        metrics::pst(&baseline.dist, correct),
+        metrics::ist(&baseline.dist, correct)
+    );
+    println!(
+        "EDM:      PST {:.4}  IST {:.3}",
+        metrics::pst(&result.edm, correct),
+        result.ist_edm(correct)
+    );
+    println!(
+        "WEDM:     PST {:.4}  IST {:.3}",
+        metrics::pst(&result.wedm, correct),
+        result.ist_wedm(correct)
+    );
+    for (i, m) in result.members.iter().enumerate() {
+        println!(
+            "member {i}: qubits {:?}  ESP {:.3}  PST {:.4}",
+            m.member.qubits,
+            m.member.esp,
+            metrics::pst(&m.dist, correct)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_device(args: &[String]) -> Result<(), String> {
+    let seed = flag(args, "--seed", 42)?;
+    let device = DeviceModel::synthesize(presets::melbourne14(), seed);
+    let json = persist::device_to_json(&device).map_err(|e| e.to_string())?;
+    println!("{json}");
+    Ok(())
+}
