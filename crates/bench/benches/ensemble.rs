@@ -32,7 +32,9 @@ fn bench_ensemble(c: &mut Criterion) {
             ..EnsembleConfig::default()
         };
         group.bench_function(format!("build_bv6_k{k}"), |b| {
-            b.iter(|| build_ensemble(&transpiler, black_box(&bv6.circuit), &config).expect("builds"))
+            b.iter(|| {
+                build_ensemble(&transpiler, black_box(&bv6.circuit), &config).expect("builds")
+            })
         });
     }
     group.finish();

@@ -52,7 +52,10 @@ fn bench_simulator(c: &mut Criterion) {
     });
     group.bench_function("trajectory_4096_parallel4", |b| {
         let sim = NoisySimulator::from_device(&device);
-        b.iter(|| sim.run_parallel(black_box(&physical), 4096, 7, 4).expect("runs"))
+        b.iter(|| {
+            sim.run_parallel(black_box(&physical), 4096, 7, 4)
+                .expect("runs")
+        })
     });
     group.finish();
 

@@ -24,7 +24,11 @@ fn bench_vf2(c: &mut Criterion) {
     let ring6 = presets::ring(6);
     group.bench_function("ring6_into_melbourne", |b| {
         b.iter(|| {
-            vf2::enumerate_subgraph_isomorphisms(black_box(&ring6), black_box(&melbourne), usize::MAX)
+            vf2::enumerate_subgraph_isomorphisms(
+                black_box(&ring6),
+                black_box(&melbourne),
+                usize::MAX,
+            )
         })
     });
     group.bench_function("path6_into_tokyo20", |b| {
@@ -38,7 +42,11 @@ fn bench_vf2(c: &mut Criterion) {
     });
     group.bench_function("first_embedding_only", |b| {
         b.iter(|| {
-            vf2::enumerate_subgraph_isomorphisms(black_box(&presets::line(6)), black_box(&melbourne), 1)
+            vf2::enumerate_subgraph_isomorphisms(
+                black_box(&presets::line(6)),
+                black_box(&melbourne),
+                1,
+            )
         })
     });
     group.finish();

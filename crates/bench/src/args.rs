@@ -30,12 +30,10 @@ pub fn parse() -> RunArgs {
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut take = |name: &str| -> u64 {
-            args.next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| {
-                    eprintln!("{name} expects an integer");
-                    std::process::exit(2);
-                })
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{name} expects an integer");
+                std::process::exit(2);
+            })
         };
         match flag.as_str() {
             "--shots" => out.shots = take("--shots"),

@@ -36,12 +36,7 @@ fn main() {
         ),
     ];
 
-    table::header(&[
-        ("workload", 9),
-        ("channels", 18),
-        ("pst", 8),
-        ("ist", 8),
-    ]);
+    table::header(&[("workload", 9), ("channels", 18), ("pst", 8), ("ist", 8)]);
     for bench in registry::ist_suite() {
         let members =
             experiments::top_members(&bench, &device, 1, experiments::DRIFT_SIGMA, run.seed);

@@ -32,10 +32,7 @@ fn main() {
             .collect();
         let ist = |d: &ProbDist| metrics::ist(d, bench.correct);
         let uniform = ProbDist::merge_uniform(&dists);
-        let mut cells = vec![
-            (bench.name.to_string(), 9),
-            (table::f(ist(&uniform), 3), 8),
-        ];
+        let mut cells = vec![(bench.name.to_string(), 9), (table::f(ist(&uniform), 3), 8)];
         for (m, w) in [
             (Divergence::SymmetricKl, 7),
             (Divergence::JensenShannon, 7),

@@ -45,7 +45,11 @@ fn main() {
             }
             cells.push((
                 table::f(r.edm.ist, 3),
-                if allocation == ShotAllocation::Uniform { 12 } else { 16 },
+                if allocation == ShotAllocation::Uniform {
+                    12
+                } else {
+                    16
+                },
             ));
         }
         table::row(&cells);

@@ -14,12 +14,7 @@ fn main() {
     let run = args::parse();
     let device = setup::paper_device(run.seed);
 
-    table::header(&[
-        ("workload", 9),
-        ("policy", 14),
-        ("pst", 8),
-        ("ist", 8),
-    ]);
+    table::header(&[("workload", 9), ("policy", 14), ("pst", 8), ("ist", 8)]);
     for bench in registry::ist_suite() {
         let members =
             experiments::top_members(&bench, &device, 4, experiments::DRIFT_SIGMA, run.seed);

@@ -19,10 +19,17 @@ fn main() {
     let runner = EdmRunner::new(&transpiler, &backend, EnsembleConfig::default());
 
     println!("QFT phase recovery (correct answer = hidden k):");
-    table::header(&[("workload", 10), ("ist_base", 9), ("ist_edm", 8), ("ist_wedm", 9)]);
+    table::header(&[
+        ("workload", 10),
+        ("ist_base", 9),
+        ("ist_edm", 8),
+        ("ist_wedm", 9),
+    ]);
     for (n, k) in [(3u32, 0b101u64), (4, 0b1011), (5, 0b10110)] {
         let c = qft::phase_recovery(k, n);
-        let baseline = runner.run_baseline(&c, run.shots, run.seed).expect("baseline");
+        let baseline = runner
+            .run_baseline(&c, run.shots, run.seed)
+            .expect("baseline");
         let result = runner.run(&c, run.shots, run.seed).expect("ensemble");
         table::row(&[
             (format!("qft-{n}"), 10),
@@ -36,14 +43,22 @@ fn main() {
     table::header(&[("workload", 10), ("parity_base", 12), ("parity_edm", 11)]);
     for n in [3u32, 4, 5] {
         let c = ghz::ghz_parity(n);
-        let baseline = runner.run_baseline(&c, run.shots, run.seed).expect("baseline");
+        let baseline = runner
+            .run_baseline(&c, run.shots, run.seed)
+            .expect("baseline");
         let result = runner.run(&c, run.shots, run.seed).expect("ensemble");
         let mask = (1u64 << n) - 1;
         let base_parity = observables::expectation_parity(&baseline.counts, mask);
         let edm_parity: f64 = result
             .edm
             .iter()
-            .map(|(k, p)| if (k & mask).count_ones().is_multiple_of(2) { p } else { -p })
+            .map(|(k, p)| {
+                if (k & mask).count_ones().is_multiple_of(2) {
+                    p
+                } else {
+                    -p
+                }
+            })
             .sum();
         table::row(&[
             (format!("ghz-{n}"), 10),

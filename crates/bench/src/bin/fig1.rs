@@ -38,7 +38,14 @@ fn main() {
             table::row(&[
                 (format_bitstring(k, 2), 6),
                 (table::f(p, 4), 11),
-                (if k == key { "correct".into() } else { String::new() }, 8),
+                (
+                    if k == key {
+                        "correct".into()
+                    } else {
+                        String::new()
+                    },
+                    8,
+                ),
             ]);
         }
         println!(

@@ -4,8 +4,8 @@
 //! sweep of noise scales.
 
 use edm_bench::{args, experiments, setup, table};
-use edm_core::model::{pst_frontier, BucketModel, Demon};
 use edm_core::metrics;
+use edm_core::model::{pst_frontier, BucketModel, Demon};
 use qbench::registry;
 
 fn main() {
@@ -14,7 +14,10 @@ fn main() {
     let m = 64;
     let k = 6; // k = log2(M), as the paper assumes
 
-    println!("model curves: median IST over {} Monte-Carlo rounds, N = {n} balls, M = {m} buckets", run.rounds);
+    println!(
+        "model curves: median IST over {} Monte-Carlo rounds, N = {n} balls, M = {m} buckets",
+        run.rounds
+    );
     table::header(&[
         ("pst", 6),
         ("iid", 8),
@@ -29,8 +32,14 @@ fn main() {
         let strong = BucketModel::correlated(m, ps, k, 0.50);
         table::row(&[
             (table::f(ps, 3), 6),
-            (table::f(iid.median_ist(n, run.rounds as u32, run.seed), 2), 8),
-            (table::f(weak.median_ist(n, run.rounds as u32, run.seed), 2), 9),
+            (
+                table::f(iid.median_ist(n, run.rounds as u32, run.seed), 2),
+                8,
+            ),
+            (
+                table::f(weak.median_ist(n, run.rounds as u32, run.seed), 2),
+                9,
+            ),
             (
                 table::f(strong.median_ist(n, run.rounds as u32, run.seed), 2),
                 9,
@@ -44,7 +53,10 @@ fn main() {
     let f_iid = pst_frontier(m, None, n, run.rounds as u32, 0.002, run.seed);
     let f_weak = pst_frontier(
         m,
-        Some(Demon { num_hot: k, q_cor: 0.10 }),
+        Some(Demon {
+            num_hot: k,
+            q_cor: 0.10,
+        }),
         n,
         run.rounds as u32,
         0.002,
@@ -52,7 +64,10 @@ fn main() {
     );
     let f_strong = pst_frontier(
         m,
-        Some(Demon { num_hot: k, q_cor: 0.50 }),
+        Some(Demon {
+            num_hot: k,
+            q_cor: 0.50,
+        }),
         n,
         run.rounds as u32,
         0.002,

@@ -48,7 +48,5 @@ fn main() {
     }
     let geomean =
         (improvements.iter().map(|x| x.ln()).sum::<f64>() / improvements.len() as f64).exp();
-    println!(
-        "\ngeomean EDM improvement over compile-time best: {geomean:.2}x (paper: up to 1.6x)"
-    );
+    println!("\ngeomean EDM improvement over compile-time best: {geomean:.2}x (paper: up to 1.6x)");
 }

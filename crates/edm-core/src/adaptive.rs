@@ -9,11 +9,11 @@
 
 use crate::dist::ProbDist;
 use crate::ensemble::{build_ensemble, EdmResult, EdmRunner, EnsembleMember, MemberRun};
-use crate::executor::Backend;
+use crate::executor::{Backend, BatchJob};
 use crate::filter;
 use crate::{wedm, EdmError};
 use qcir::Circuit;
-use qsim::Counts;
+use qsim::{rngstream, Counts};
 
 /// Outcome of an adaptive run: the standard [`EdmResult`] plus bookkeeping
 /// about what the pilot phase decided.
@@ -78,18 +78,29 @@ impl<B: Backend> EdmRunner<'_, B> {
         let k = members.len() as u64;
         let pilot_budget = ((total_shots as f64 * pilot_fraction) as u64).max(k);
         if total_shots < pilot_budget || pilot_budget < k {
-            return Err(EdmError::InvalidConfig("budget too small for a pilot phase"));
+            return Err(EdmError::InvalidConfig(
+                "budget too small for a pilot phase",
+            ));
         }
         let pilot_each = pilot_budget / k;
 
-        // Pilot phase.
+        // Pilot phase: one batch over all members, seeds forked from a
+        // pilot-specific stream so the main phase below cannot replay them.
+        let pilot_root = rngstream::fork(seed, 0);
+        let pilot_jobs: Vec<BatchJob<'_>> = members
+            .iter()
+            .enumerate()
+            .map(|(i, member)| BatchJob {
+                circuit: &member.physical,
+                shots: pilot_each,
+                seed: rngstream::fork(pilot_root, i as u64),
+            })
+            .collect();
         let mut pilot_counts: Vec<Counts> = Vec::with_capacity(members.len());
-        for (i, member) in members.iter().enumerate() {
-            let counts = self
-                .backend()
-                .execute(&member.physical, pilot_each, seed.wrapping_add(i as u64))?;
-            pilot_counts.push(counts);
+        for counts in self.backend().execute_batch(&pilot_jobs, self.threads()) {
+            pilot_counts.push(counts?);
         }
+        drop(pilot_jobs);
 
         // Prune members indistinguishable from uniform. If *everything*
         // looks uniform, keep all members instead of aborting (matching the
@@ -115,20 +126,28 @@ impl<B: Backend> EdmRunner<'_, B> {
         let main_each = remaining / s;
         let main_rem = remaining % s;
 
+        // Main phase: batch the survivors, seeding each from a
+        // main-specific stream keyed by the *original* member index so
+        // pruning other members never shifts a survivor's RNG stream.
+        let main_root = rngstream::fork(seed, 1);
+        let main_jobs: Vec<BatchJob<'_>> = survivors
+            .iter()
+            .enumerate()
+            .map(|(slot, (orig_idx, member))| BatchJob {
+                circuit: &member.physical,
+                shots: main_each + u64::from((slot as u64) < main_rem),
+                seed: rngstream::fork(main_root, *orig_idx as u64),
+            })
+            .collect();
+        let main_results = self.backend().execute_batch(&main_jobs, self.threads());
+        drop(main_jobs);
+
         let mut runs = Vec::with_capacity(survivors.len());
-        for (slot, (orig_idx, member)) in survivors.into_iter().enumerate() {
-            let extra = main_each + u64::from((slot as u64) < main_rem);
-            let main = self.backend().execute(
-                &member.physical,
-                extra,
-                seed.wrapping_add(0x_AD_A9).wrapping_add(orig_idx as u64),
-            )?;
+        for ((orig_idx, member), main) in survivors.into_iter().zip(main_results) {
+            let main = main?;
             let mut pooled = Counts::new(main.num_clbits());
-            for (key, n) in pilot_counts[orig_idx].iter().chain(main.iter()) {
-                for _ in 0..n {
-                    pooled.record(key);
-                }
-            }
+            pooled.merge_from(&pilot_counts[orig_idx]);
+            pooled.merge_from(&main);
             let dist = ProbDist::from_counts(&pooled);
             runs.push(MemberRun {
                 member,
@@ -215,6 +234,26 @@ mod tests {
         let a = runner.run_adaptive(&bv, 2048, 0.2, 1.0, 9).unwrap();
         let b = runner.run_adaptive(&bv, 2048, 0.2, 1.0, 9).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adaptive_is_bit_identical_across_worker_counts() {
+        let d = setup();
+        let cal = d.calibration();
+        let t = Transpiler::new(d.topology(), &cal);
+        let backend = NoisySimulator::from_device(&d);
+        let bv = qbench::bv::bv(0b11, 2);
+        let reference = EdmRunner::new(&t, &backend, EnsembleConfig::default())
+            .with_threads(1)
+            .run_adaptive(&bv, 4096, 0.25, 1.0, 9)
+            .unwrap();
+        for threads in [2, 8] {
+            let result = EdmRunner::new(&t, &backend, EnsembleConfig::default())
+                .with_threads(threads)
+                .run_adaptive(&bv, 4096, 0.25, 1.0, 9)
+                .unwrap();
+            assert_eq!(result, reference, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -179,10 +179,7 @@ mod tests {
     #[test]
     fn bias_detects_one_to_zero_flips() {
         // Correct 111; errors mostly drop 1s.
-        let d = ProbDist::new(
-            3,
-            [(0b111, 0.5), (0b110, 0.2), (0b011, 0.2), (0b101, 0.1)],
-        );
+        let d = ProbDist::new(3, [(0b111, 0.5), (0b110, 0.2), (0b011, 0.2), (0b101, 0.1)]);
         let s = error_spectrum(&d, 0b111);
         assert_eq!(s.bias_toward_zero(), 1.0);
         // Correct 000; errors must add 1s.

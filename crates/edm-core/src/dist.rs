@@ -403,7 +403,10 @@ mod tests {
         // Asymmetry (the appendix's point) and symmetrization.
         assert!(d_pq != d_qp);
         let s = symmetric_kl(&p, &q);
-        assert!((s - (kl_divergence(&p, &q, KL_SMOOTHING) + kl_divergence(&q, &p, KL_SMOOTHING))).abs() < 1e-12);
+        assert!(
+            (s - (kl_divergence(&p, &q, KL_SMOOTHING) + kl_divergence(&q, &p, KL_SMOOTHING))).abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! only in *which* physical qubits and links they stress.
 
 use crate::dist::ProbDist;
-use crate::executor::Backend;
+use crate::executor::{Backend, BatchJob};
 use crate::filter;
 use crate::metrics;
 use crate::wedm;
@@ -140,7 +140,8 @@ pub fn diversify(
         .collect();
     let pattern = Topology::new(active.len() as u32, &pattern_edges);
 
-    let embeddings = vf2::enumerate_subgraph_isomorphisms(&pattern, topology, config.max_candidates);
+    let embeddings =
+        vf2::enumerate_subgraph_isomorphisms(&pattern, topology, config.max_candidates);
     if embeddings.is_empty() {
         return Err(EdmError::NoEmbeddings);
     }
@@ -343,16 +344,38 @@ pub struct EdmRunner<'t, B> {
     transpiler: &'t Transpiler<'t>,
     backend: B,
     config: EnsembleConfig,
+    threads: usize,
 }
 
 impl<'t, B: Backend> EdmRunner<'t, B> {
-    /// Creates a runner.
+    /// Creates a runner using every available core for execution.
+    ///
+    /// Results are bit-identical regardless of the thread count (see
+    /// [`Backend::execute_batch`]), so the default costs nothing in
+    /// reproducibility.
     pub fn new(transpiler: &'t Transpiler<'t>, backend: B, config: EnsembleConfig) -> Self {
         EdmRunner {
             transpiler,
             backend,
             config,
+            threads: qsim::pool::default_threads(),
         }
+    }
+
+    /// Caps execution at `threads` worker threads (including the caller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// The execution thread cap.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The ensemble configuration.
@@ -378,7 +401,12 @@ impl<'t, B: Backend> EdmRunner<'t, B> {
     /// Propagates transpilation and execution failures; fails with
     /// [`EdmError::InvalidConfig`] if fewer shots than members are
     /// requested.
-    pub fn run(&self, circuit: &Circuit, total_shots: u64, seed: u64) -> Result<EdmResult, EdmError> {
+    pub fn run(
+        &self,
+        circuit: &Circuit,
+        total_shots: u64,
+        seed: u64,
+    ) -> Result<EdmResult, EdmError> {
         let members = build_ensemble(self.transpiler, circuit, &self.config)?;
         self.run_members(members, total_shots, seed)
     }
@@ -404,12 +432,27 @@ impl<'t, B: Backend> EdmRunner<'t, B> {
         }
         let shares = allocate_shots(&members, total_shots, self.config.shot_allocation);
 
+        // One batch over all members: the backend fans the (member × slice)
+        // work items across its worker pool. Each member's RNG root is
+        // forked from the run seed — unlike the old `seed + i` scheme,
+        // forked streams cannot collide with the per-slice streams the
+        // executor derives below them (see `qsim::rngstream`).
+        let jobs: Vec<BatchJob<'_>> = members
+            .iter()
+            .zip(&shares)
+            .enumerate()
+            .map(|(i, (member, &shots))| BatchJob {
+                circuit: &member.physical,
+                shots,
+                seed: qsim::rngstream::fork(seed, i as u64),
+            })
+            .collect();
+        let mut results = self.backend.execute_batch(&jobs, self.threads);
+        debug_assert_eq!(results.len(), members.len());
+
         let mut runs = Vec::with_capacity(members.len());
-        for (i, member) in members.into_iter().enumerate() {
-            let shots = shares[i];
-            let raw = self
-                .backend
-                .execute(&member.physical, shots, seed.wrapping_add(i as u64))?;
+        for (member, raw) in members.into_iter().zip(results.drain(..)) {
+            let raw = raw?;
             let counts = if member.inverted_measurement {
                 uninvert_counts(&raw)
             } else {
@@ -487,9 +530,7 @@ fn allocate_shots(
             let total_esp: f64 = members.iter().map(|m| m.esp).sum();
             let mut shares: Vec<u64> = members
                 .iter()
-                .map(|m| {
-                    (((m.esp / total_esp) * total_shots as f64).floor() as u64).max(1)
-                })
+                .map(|m| (((m.esp / total_esp) * total_shots as f64).floor() as u64).max(1))
                 .collect();
             // Fix rounding drift onto the strongest member.
             let assigned: u64 = shares.iter().sum();
@@ -512,6 +553,7 @@ fn allocate_shots(
 }
 
 /// XOR-corrects a histogram recorded in the inverted measurement basis.
+/// Constant time per distinct outcome, not per shot.
 fn uninvert_counts(raw: &Counts) -> Counts {
     let mask = if raw.num_clbits() >= 63 {
         u64::MAX
@@ -520,9 +562,7 @@ fn uninvert_counts(raw: &Counts) -> Counts {
     };
     let mut out = Counts::new(raw.num_clbits());
     for (k, v) in raw.iter() {
-        for _ in 0..v {
-            out.record(k ^ mask);
-        }
+        out.record_n(k ^ mask, v);
     }
     out
 }
@@ -647,9 +687,7 @@ mod tests {
         let correct = 0b101;
         let best = result.best_post_execution(correct);
         for m in &result.members {
-            assert!(
-                metrics::pst(&best.dist, correct) >= metrics::pst(&m.dist, correct)
-            );
+            assert!(metrics::pst(&best.dist, correct) >= metrics::pst(&m.dist, correct));
         }
     }
 
@@ -676,6 +714,97 @@ mod tests {
         let a = runner.run(&bv3(), 1024, 42).unwrap();
         let b = runner.run(&bv3(), 1024, 42).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_is_bit_identical_across_worker_counts() {
+        let (d, cal) = setup();
+        let t = Transpiler::new(d.topology(), &cal);
+        let backend = NoisySimulator::from_device(&d);
+        let reference = EdmRunner::new(&t, &backend, EnsembleConfig::default())
+            .with_threads(1)
+            .run(&bv3(), 4096, 7)
+            .unwrap();
+        for threads in [2, 8] {
+            let runner =
+                EdmRunner::new(&t, &backend, EnsembleConfig::default()).with_threads(threads);
+            assert_eq!(runner.threads(), threads);
+            let result = runner.run(&bv3(), 4096, 7).unwrap();
+            assert_eq!(result, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn member_seeds_do_not_collide_across_adjacent_run_seeds() {
+        // The old scheme seeded member i with `seed + i`, so member 1 of a
+        // run seeded s replayed member 0 of a run seeded s + 1. With forked
+        // streams the two runs share no member histograms.
+        let (d, cal) = setup();
+        let t = Transpiler::new(d.topology(), &cal);
+        let backend = NoisySimulator::from_device(&d);
+        let runner = EdmRunner::new(&t, &backend, EnsembleConfig::default());
+        let a = runner.run(&bv3(), 8192, 100).unwrap();
+        let b = runner.run(&bv3(), 8192, 101).unwrap();
+        for (i, ma) in a.members.iter().enumerate() {
+            for (j, mb) in b.members.iter().enumerate() {
+                assert_ne!(
+                    ma.counts, mb.counts,
+                    "member {i} of seed 100 replays member {j} of seed 101"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let (d, cal) = setup();
+        let t = Transpiler::new(d.topology(), &cal);
+        let backend = NoisySimulator::from_device(&d);
+        let _ = EdmRunner::new(&t, &backend, EnsembleConfig::default()).with_threads(0);
+    }
+
+    /// Executes normally except for the `fail_at`-th job it sees.
+    struct FailNthBackend {
+        calls: std::cell::Cell<usize>,
+        fail_at: usize,
+    }
+
+    impl Backend for FailNthBackend {
+        fn execute(
+            &self,
+            circuit: &Circuit,
+            shots: u64,
+            _seed: u64,
+        ) -> Result<Counts, qsim::SimError> {
+            let call = self.calls.get();
+            self.calls.set(call + 1);
+            if call == self.fail_at {
+                return Err(qsim::SimError::TooManyQubits {
+                    circuit: 99,
+                    device: 1,
+                });
+            }
+            let mut counts = Counts::new(circuit.num_clbits());
+            counts.record_n(0, shots);
+            Ok(counts)
+        }
+    }
+
+    #[test]
+    fn failing_member_propagates_its_error() {
+        let (d, cal) = setup();
+        let t = Transpiler::new(d.topology(), &cal);
+        let backend = FailNthBackend {
+            calls: std::cell::Cell::new(0),
+            fail_at: 2,
+        };
+        let runner = EdmRunner::new(&t, backend, EnsembleConfig::default());
+        let err = runner.run(&bv3(), 4096, 3).unwrap_err();
+        assert!(
+            matches!(err, EdmError::Sim(_)),
+            "expected the member's simulation error, got {err:?}"
+        );
     }
 
     #[test]

@@ -3,11 +3,22 @@
 //! EDM is backend-agnostic: it needs only "run this physical circuit for N
 //! trials". [`Backend`] is implemented for the noisy simulator; a real
 //! cloud device could implement it as well.
+//!
+//! The trait has two entry points: [`Backend::execute`] for one circuit,
+//! and [`Backend::execute_batch`] for a batch of independent jobs that the
+//! backend may fan out in parallel. The ensemble runner always goes
+//! through the batch path, so a backend with real parallelism (like the
+//! noisy simulator's worker-pool engine) accelerates every EDM mode
+//! without the ensemble layer knowing how.
 
 use qcir::Circuit;
 use qsim::{Counts, NoisySimulator, SimError};
 
+pub use qsim::parallel::BatchJob;
+
 /// Something that can execute physical circuits for a number of shots.
+///
+/// Object-safe: `&dyn Backend` works for both entry points.
 pub trait Backend {
     /// Runs `shots` trials of the physical `circuit`.
     ///
@@ -19,17 +30,55 @@ pub trait Backend {
     /// Returns a [`SimError`] when the circuit cannot be executed (wrong
     /// basis, uncoupled CX, invalid measurement structure).
     fn execute(&self, circuit: &Circuit, shots: u64, seed: u64) -> Result<Counts, SimError>;
+
+    /// Runs a batch of independent jobs, returning one result per job in
+    /// job order. `threads` caps the parallelism a backend may use.
+    ///
+    /// Determinism contract: for a fixed job list the results must be
+    /// bit-identical for every `threads` value. An implementation may use
+    /// any per-job seed schedule (the simulator slices each job's budget
+    /// and forks per-slice seed streams), as long as the schedule depends
+    /// only on the jobs themselves — never on `threads` or scheduling.
+    ///
+    /// The default runs jobs serially through [`Backend::execute`], which
+    /// trivially satisfies the contract.
+    fn execute_batch(
+        &self,
+        jobs: &[BatchJob<'_>],
+        threads: usize,
+    ) -> Vec<Result<Counts, SimError>> {
+        let _ = threads;
+        jobs.iter()
+            .map(|job| self.execute(job.circuit, job.shots, job.seed))
+            .collect()
+    }
 }
 
 impl Backend for NoisySimulator<'_> {
     fn execute(&self, circuit: &Circuit, shots: u64, seed: u64) -> Result<Counts, SimError> {
         self.run(circuit, shots, seed)
     }
+
+    fn execute_batch(
+        &self,
+        jobs: &[BatchJob<'_>],
+        threads: usize,
+    ) -> Vec<Result<Counts, SimError>> {
+        self.run_batch(jobs, threads)
+    }
 }
 
 impl<B: Backend + ?Sized> Backend for &B {
     fn execute(&self, circuit: &Circuit, shots: u64, seed: u64) -> Result<Counts, SimError> {
         (**self).execute(circuit, shots, seed)
+    }
+
+    fn execute_batch(
+        &self,
+        jobs: &[BatchJob<'_>],
+        threads: usize,
+    ) -> Vec<Result<Counts, SimError>> {
+        (**self).execute_batch(jobs, threads)
     }
 }
 
@@ -50,5 +99,38 @@ mod tests {
         let by_ref: &dyn Backend = &sim;
         let counts2 = by_ref.execute(&c, 128, 0).unwrap();
         assert_eq!(counts, counts2);
+    }
+
+    #[test]
+    fn batch_path_is_thread_count_invariant() {
+        let device = DeviceModel::synthesize(presets::melbourne14(), 1);
+        let sim = NoisySimulator::from_device(&device);
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure_all();
+        let jobs = [
+            BatchJob {
+                circuit: &c,
+                shots: 1500,
+                seed: 3,
+            },
+            BatchJob {
+                circuit: &c,
+                shots: 2048,
+                seed: 4,
+            },
+        ];
+        let one = sim.execute_batch(&jobs, 1);
+        let eight = sim.execute_batch(&jobs, 8);
+        assert_eq!(one[0].as_ref().unwrap(), eight[0].as_ref().unwrap());
+        assert_eq!(one[1].as_ref().unwrap(), eight[1].as_ref().unwrap());
+        // The blanket &B impl forwards the batch override, not the serial
+        // default — &sim must agree with sim. Call through the trait with
+        // Self = &NoisySimulator so the blanket impl is actually exercised.
+        let forwarded = Backend::execute_batch(&&sim, &jobs, 8);
+        assert_eq!(one[0].as_ref().unwrap(), forwarded[0].as_ref().unwrap());
+        // And the trait stays object-safe for the batch path.
+        let dyn_backend: &dyn Backend = &sim;
+        let via_dyn = dyn_backend.execute_batch(&jobs, 2);
+        assert_eq!(one[1].as_ref().unwrap(), via_dyn[1].as_ref().unwrap());
     }
 }

@@ -52,7 +52,10 @@ mod tests {
 
     #[test]
     fn uniform_is_filtered_out() {
-        assert!(!is_informative(&ProbDist::uniform(6), DEFAULT_RSD_THRESHOLD));
+        assert!(!is_informative(
+            &ProbDist::uniform(6),
+            DEFAULT_RSD_THRESHOLD
+        ));
     }
 
     #[test]
@@ -80,8 +83,7 @@ mod tests {
     fn partition_reports_dropped_indices() {
         let flat = ProbDist::uniform(4);
         let point = ProbDist::new(4, [(3, 1.0)]);
-        let (kept, dropped) =
-            partition_informative(&[flat, point.clone()], DEFAULT_RSD_THRESHOLD);
+        let (kept, dropped) = partition_informative(&[flat, point.clone()], DEFAULT_RSD_THRESHOLD);
         assert_eq!(kept, vec![point]);
         assert_eq!(dropped, vec![0]);
     }

@@ -62,10 +62,11 @@ pub mod mitigate;
 pub mod model;
 pub mod wedm;
 
+pub use adaptive::AdaptiveResult;
 pub use dist::ProbDist;
 pub use ensemble::{
-    build_ensemble, diversify, EdmResult, EdmRunner, EnsembleConfig, EnsembleMember, MemberRun, ShotAllocation,
+    build_ensemble, diversify, EdmResult, EdmRunner, EnsembleConfig, EnsembleMember, MemberRun,
+    ShotAllocation,
 };
-pub use adaptive::AdaptiveResult;
 pub use error::EdmError;
-pub use executor::Backend;
+pub use executor::{Backend, BatchJob};

@@ -86,7 +86,12 @@ mod tests {
     #[test]
     fn ist_ratio_and_threshold() {
         // Fig. 1(b): correct 30%, strongest wrong 25% -> inferable.
-        let good = d(&[(0b11, 0.30), (0b01, 0.25), (0b00, 0.45 / 2.0), (0b10, 0.45 / 2.0)]);
+        let good = d(&[
+            (0b11, 0.30),
+            (0b01, 0.25),
+            (0b00, 0.45 / 2.0),
+            (0b10, 0.45 / 2.0),
+        ]);
         assert!(ist(&good, 0b11) > 1.0);
         assert!(can_infer(&good, 0b11));
         // Fig. 1(c): correct 30%, strongest wrong 35% -> masked.

@@ -163,8 +163,7 @@ mod tests {
     #[test]
     fn fold_unfold_is_identity() {
         let truth = ProbDist::new(3, [(0b101, 0.5), (0b010, 0.3), (0b111, 0.2)]);
-        let confusion =
-            ReadoutConfusion::new([(0.05, 0.12), (0.02, 0.09), (0.07, 0.15)]);
+        let confusion = ReadoutConfusion::new([(0.05, 0.12), (0.02, 0.09), (0.07, 0.15)]);
         let roundtrip = unfold(&fold(&truth, &confusion), &confusion);
         for k in 0..8u64 {
             assert!(
@@ -239,7 +238,10 @@ mod tests {
             fixed_pst > raw_pst + 0.05,
             "mitigation should recover PST: {raw_pst:.3} -> {fixed_pst:.3}"
         );
-        assert!(fixed_pst > 0.95, "near-full recovery expected: {fixed_pst:.3}");
+        assert!(
+            fixed_pst > 0.95,
+            "near-full recovery expected: {fixed_pst:.3}"
+        );
     }
 
     #[test]

@@ -234,8 +234,28 @@ mod tests {
         // -> 8% (Qcor = 50%) for M = 64, k = 6.
         let n = 8192;
         let f_iid = pst_frontier(64, None, n, 5, 0.005, 11);
-        let f_weak = pst_frontier(64, Some(Demon { num_hot: 6, q_cor: 0.10 }), n, 5, 0.005, 11);
-        let f_strong = pst_frontier(64, Some(Demon { num_hot: 6, q_cor: 0.50 }), n, 5, 0.005, 11);
+        let f_weak = pst_frontier(
+            64,
+            Some(Demon {
+                num_hot: 6,
+                q_cor: 0.10,
+            }),
+            n,
+            5,
+            0.005,
+            11,
+        );
+        let f_strong = pst_frontier(
+            64,
+            Some(Demon {
+                num_hot: 6,
+                q_cor: 0.50,
+            }),
+            n,
+            5,
+            0.005,
+            11,
+        );
         assert!(f_iid < f_weak, "{f_iid} vs {f_weak}");
         assert!(f_weak < f_strong, "{f_weak} vs {f_strong}");
         assert!(f_iid <= 0.03, "iid frontier {f_iid}");

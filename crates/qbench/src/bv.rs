@@ -28,10 +28,7 @@ use qcir::Circuit;
 /// ```
 pub fn bv(key: u64, n: u32) -> Circuit {
     assert!(n > 0 && n <= 62, "key width {n} out of range");
-    assert!(
-        key < (1u64 << n),
-        "key {key:#b} wider than {n} bits"
-    );
+    assert!(key < (1u64 << n), "key {key:#b} wider than {n} bits");
     let mut c = Circuit::new(n + 1, n);
     // Ancilla in |−⟩.
     c.x(n);

@@ -199,10 +199,7 @@ mod tests {
     fn designated_answer_is_a_maximum_cut() {
         for n in [5u32, 6, 7] {
             let edges = ring_edges(n);
-            let best: u32 = (0..1u64 << n)
-                .map(|k| cut_value(k, &edges))
-                .max()
-                .unwrap();
+            let best: u32 = (0..1u64 << n).map(|k| cut_value(k, &edges)).max().unwrap();
             assert_eq!(cut_value(alternating_cut(n), &edges), best, "n={n}");
         }
     }

@@ -71,8 +71,7 @@ pub fn phase_recovery(k: u64, n: u32) -> Circuit {
     // inverse circuit returns |k> deterministically.
     for j in 0..n {
         c.h(j);
-        let theta =
-            2.0 * PI * (k as f64) * f64::from(1 << (n - 1 - j)) / f64::from(1u32 << n);
+        let theta = 2.0 * PI * (k as f64) * f64::from(1 << (n - 1 - j)) / f64::from(1u32 << n);
         c.rz(j, theta);
     }
     append_inverse_qft(&mut c, n);

@@ -73,7 +73,12 @@ pub fn all() -> Vec<Benchmark> {
         make("qaoa-5", "max-cut 5 node graph", qaoa::qaoa5(), (24, 8, 5)),
         make("qaoa-6", "max-cut 6 node graph", qaoa::qaoa6(), (30, 10, 6)),
         make("qaoa-7", "max-cut 7 node graph", qaoa::qaoa7(), (36, 12, 7)),
-        make("fredkin", "Fredkin gate", reversible::fredkin(), (26, 13, 3)),
+        make(
+            "fredkin",
+            "Fredkin gate",
+            reversible::fredkin(),
+            (26, 13, 3),
+        ),
         make("adder", "1bit adder", reversible::adder(), (12, 15, 3)),
         make(
             "decode-24",

@@ -555,10 +555,7 @@ mod tests {
         let mut c = Circuit::new(3, 0);
         c.cx(1, 0).cx(0, 1).cx(1, 2);
         let edges = c.interaction_edges();
-        let e: Vec<_> = edges
-            .iter()
-            .map(|(a, b)| (a.index(), b.index()))
-            .collect();
+        let e: Vec<_> = edges.iter().map(|(a, b)| (a.index(), b.index())).collect();
         assert_eq!(e, vec![(0, 1), (1, 2)]);
     }
 

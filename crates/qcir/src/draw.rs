@@ -169,7 +169,10 @@ mod tests {
         c.cx(0, 2);
         let text = draw(&c);
         let lines: Vec<&str> = text.lines().collect();
-        assert!(lines[1].contains('│'), "middle row needs a connector:\n{text}");
+        assert!(
+            lines[1].contains('│'),
+            "middle row needs a connector:\n{text}"
+        );
     }
 
     #[test]
@@ -199,7 +202,10 @@ mod tests {
         c.h(0).ccx(0, 1, 2).swap(0, 2).measure_all();
         let text = draw(&c);
         let widths: Vec<usize> = text.lines().map(|l| l.chars().count()).collect();
-        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{widths:?}\n{text}");
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "{widths:?}\n{text}"
+        );
     }
 
     #[test]
@@ -207,8 +213,10 @@ mod tests {
         let mut c = Circuit::new(11, 0);
         c.x(10);
         let text = draw(&c);
-        assert!(text.lines().next().unwrap().starts_with("q0 :")
-            || text.lines().next().unwrap().starts_with("q0:"));
+        assert!(
+            text.lines().next().unwrap().starts_with("q0 :")
+                || text.lines().next().unwrap().starts_with("q0:")
+        );
         assert!(text.contains("q10:"));
     }
 }

@@ -119,12 +119,11 @@ pub fn parse(text: &str) -> Result<Circuit, ParseQasmError> {
                 continue;
             }
             if let Some(rest) = stmt.strip_prefix("qreg") {
-                let n = parse_register_decl(rest, "q").ok_or_else(|| {
-                    ParseQasmError::Malformed {
+                let n =
+                    parse_register_decl(rest, "q").ok_or_else(|| ParseQasmError::Malformed {
                         line: line_no,
                         statement: stmt.to_string(),
-                    }
-                })?;
+                    })?;
                 if num_qubits.is_some() {
                     return Err(ParseQasmError::Register {
                         line: line_no,
@@ -135,12 +134,11 @@ pub fn parse(text: &str) -> Result<Circuit, ParseQasmError> {
                 continue;
             }
             if let Some(rest) = stmt.strip_prefix("creg") {
-                let n = parse_register_decl(rest, "c").ok_or_else(|| {
-                    ParseQasmError::Malformed {
+                let n =
+                    parse_register_decl(rest, "c").ok_or_else(|| ParseQasmError::Malformed {
                         line: line_no,
                         statement: stmt.to_string(),
-                    }
-                })?;
+                    })?;
                 num_clbits = n;
                 continue;
             }
@@ -155,7 +153,9 @@ pub fn parse(text: &str) -> Result<Circuit, ParseQasmError> {
         line: 0,
         reason: "no quantum register declared".into(),
     })?;
-    let mut c = circuit.take().unwrap_or_else(|| Circuit::new(num_qubits, num_clbits));
+    let mut c = circuit
+        .take()
+        .unwrap_or_else(|| Circuit::new(num_qubits, num_clbits));
 
     for (line, stmt) in pending {
         let gate = parse_statement(&stmt, line)?;

@@ -37,11 +37,7 @@ impl Calibration {
     /// Panics if `readout_err` and `gate_1q_err` have different lengths, if
     /// any rate is outside `[0, 1]`, or if any CX edge endpoint is out of
     /// range.
-    pub fn new(
-        readout_err: Vec<f64>,
-        gate_1q_err: Vec<f64>,
-        cx_err: BTreeMap<Edge, f64>,
-    ) -> Self {
+    pub fn new(readout_err: Vec<f64>, gate_1q_err: Vec<f64>, cx_err: BTreeMap<Edge, f64>) -> Self {
         assert_eq!(
             readout_err.len(),
             gate_1q_err.len(),

@@ -81,9 +81,8 @@ impl NoiseParams {
             factor.is_finite() && factor >= 0.0,
             "noise scale factor must be a non-negative finite number"
         );
-        let scale = |v: &[f64]| -> Vec<f64> {
-            v.iter().map(|&x| (x * factor).clamp(0.0, 0.5)).collect()
-        };
+        let scale =
+            |v: &[f64]| -> Vec<f64> { v.iter().map(|&x| (x * factor).clamp(0.0, 0.5)).collect() };
         let scale_map = |m: &BTreeMap<Edge, f64>, hi: f64| -> BTreeMap<Edge, f64> {
             m.iter()
                 .map(|(&e, &x)| (e, (x * factor).clamp(-hi, hi)))
@@ -143,12 +142,11 @@ impl NoiseParams {
                 })
                 .collect()
         };
-        let jitter_map =
-            |rng: &mut ChaCha8Rng, m: &BTreeMap<Edge, f64>| -> BTreeMap<Edge, f64> {
-                m.iter()
-                    .map(|(&e, &x)| (e, x + 0.3 * sigma * x.abs() * stats::standard_normal(rng)))
-                    .collect()
-            };
+        let jitter_map = |rng: &mut ChaCha8Rng, m: &BTreeMap<Edge, f64>| -> BTreeMap<Edge, f64> {
+            m.iter()
+                .map(|(&e, &x)| (e, x + 0.3 * sigma * x.abs() * stats::standard_normal(rng)))
+                .collect()
+        };
         NoiseParams {
             readout_p01: drift(&mut rng, &self.readout_p01),
             readout_p10: drift(&mut rng, &self.readout_p10),

@@ -155,7 +155,10 @@ impl Topology {
 
     /// True if qubits `a` and `b` are directly coupled.
     pub fn has_edge(&self, a: u32, b: u32) -> bool {
-        a != b && a < self.num_qubits && b < self.num_qubits && self.adjacency[a as usize].contains(&b)
+        a != b
+            && a < self.num_qubits
+            && b < self.num_qubits
+            && self.adjacency[a as usize].contains(&b)
     }
 
     /// BFS shortest-path distance between two qubits in coupling hops, or

@@ -253,8 +253,9 @@ mod tests {
 
     #[test]
     fn pattern_larger_than_target_is_empty() {
-        assert!(enumerate_subgraph_isomorphisms(&presets::line(5), &presets::line(4), 10)
-            .is_empty());
+        assert!(
+            enumerate_subgraph_isomorphisms(&presets::line(5), &presets::line(4), 10).is_empty()
+        );
     }
 
     #[test]

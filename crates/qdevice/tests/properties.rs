@@ -24,6 +24,7 @@ fn brute_force_count(pattern: &Topology, target: &Topology) -> usize {
     let mut count = 0;
     let mut phi = vec![0u32; pn];
     let mut used = vec![false; tn];
+    #[allow(clippy::too_many_arguments)]
     fn rec(
         depth: usize,
         pn: usize,
@@ -43,9 +44,8 @@ fn brute_force_count(pattern: &Topology, target: &Topology) -> usize {
                 continue;
             }
             // Check edges from `depth` to all earlier mapped vertices.
-            let ok = (0..depth).all(|u| {
-                !pattern.has_edge(depth as u32, u as u32) || target.has_edge(t, phi[u])
-            });
+            let ok = (0..depth)
+                .all(|u| !pattern.has_edge(depth as u32, u as u32) || target.has_edge(t, phi[u]));
             if ok {
                 phi[depth] = t;
                 used[t as usize] = true;
@@ -112,7 +112,7 @@ proptest! {
             prop_assert!(t.t1_us[q] > 0.0);
             prop_assert!(t.t2_us[q] <= 2.0 * t.t1_us[q] + 1e-9);
         }
-        for (_, &e) in &t.cx_err {
+        for &e in t.cx_err.values() {
             prop_assert!((0.0..=0.5).contains(&e));
         }
     }

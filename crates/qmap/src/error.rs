@@ -41,10 +41,16 @@ impl fmt::Display for MapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MapError::TooManyQubits { circuit, device } => {
-                write!(f, "circuit needs {circuit} qubits but the device has {device}")
+                write!(
+                    f,
+                    "circuit needs {circuit} qubits but the device has {device}"
+                )
             }
             MapError::UncalibratedEdge { a, b } => {
-                write!(f, "no calibrated coupling between physical qubits {a} and {b}")
+                write!(
+                    f,
+                    "no calibrated coupling between physical qubits {a} and {b}"
+                )
             }
             MapError::Unroutable { a, b } => {
                 write!(f, "no path between physical qubits {a} and {b}")
@@ -76,7 +82,9 @@ mod tests {
         assert!(MapError::UncalibratedEdge { a: 1, b: 2 }
             .to_string()
             .contains("1 and 2"));
-        assert!(MapError::Unroutable { a: 0, b: 3 }.to_string().contains("no path"));
+        assert!(MapError::Unroutable { a: 0, b: 3 }
+            .to_string()
+            .contains("no path"));
         assert!(MapError::UnsupportedGate { name: "ccx" }
             .to_string()
             .contains("ccx"));

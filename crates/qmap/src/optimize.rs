@@ -70,7 +70,10 @@ fn pass(circuit: &Circuit) -> Circuit {
         let qs = g.qubits();
         // The candidate predecessor: the same alive op must be on top of
         // every operand's stack.
-        let tops: Vec<Option<usize>> = qs.iter().map(|q| stack[q.usize()].last().copied()).collect();
+        let tops: Vec<Option<usize>> = qs
+            .iter()
+            .map(|q| stack[q.usize()].last().copied())
+            .collect();
         if let Some(&Some(j)) = tops.first() {
             if tops.iter().all(|t| *t == Some(j)) {
                 if let Some(prev) = kept[j].clone() {

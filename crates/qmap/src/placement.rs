@@ -180,8 +180,7 @@ pub fn greedy_placement(
                 } else {
                     // Each extra hop costs roughly one SWAP (3 CX) of the
                     // average link.
-                    mean_link_success.powi(3 * (d as i32 - 1))
-                        * mean_link_success
+                    mean_link_success.powi(3 * (d as i32 - 1)) * mean_link_success
                 };
                 score *= factor.powi(weight[l][k] as i32);
             }
@@ -337,6 +336,9 @@ mod tests {
                 }
             }
         }
-        assert!(any_disjointness, "top-4 embeddings all identical qubit sets");
+        assert!(
+            any_disjointness,
+            "top-4 embeddings all identical qubit sets"
+        );
     }
 }

@@ -186,9 +186,7 @@ pub fn route_lookahead(
         // Candidate swaps: edges touching any qubit of the front layer.
         let mut best: Option<(f64, Edge)> = None;
         for &e in topology.edges() {
-            let touches_front = front
-                .iter()
-                .any(|&(a, b)| e.touches(a) || e.touches(b));
+            let touches_front = front.iter().any(|&(a, b)| e.touches(a) || e.touches(b));
             if !touches_front || Some(e) == last_swap {
                 continue;
             }
@@ -350,7 +348,13 @@ mod tests {
         let d = DeviceModel::synthesize(presets::melbourne14(), 9);
         let cal = d.calibration();
         let mut c = Circuit::new(5, 5);
-        c.h(0).cx(0, 1).cx(0, 2).cx(0, 3).cx(3, 4).x(2).measure_all();
+        c.h(0)
+            .cx(0, 1)
+            .cx(0, 2)
+            .cx(0, 3)
+            .cx(3, 4)
+            .x(2)
+            .measure_all();
         let layout = Layout::from_physical(vec![2, 13, 5, 9, 0], 14);
         let r = route_lookahead(
             &c,

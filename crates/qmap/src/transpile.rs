@@ -140,9 +140,13 @@ impl<'a> Transpiler<'a> {
     ) -> Result<TranspiledCircuit, MapError> {
         let basis = circuit.decomposed();
         let routed = match self.backend {
-            RouterBackend::Greedy => {
-                router::route(&basis, self.topology, self.calibration, layout, self.strategy)?
-            }
+            RouterBackend::Greedy => router::route(
+                &basis,
+                self.topology,
+                self.calibration,
+                layout,
+                self.strategy,
+            )?,
             RouterBackend::Lookahead => sabre::route_lookahead(
                 &basis,
                 self.topology,

@@ -5,7 +5,9 @@
 use proptest::prelude::*;
 use qcir::Circuit;
 use qdevice::{presets, DeviceModel};
-use qmap::{optimize, placement, router, sabre, Layout, RouterBackend, RoutingStrategy, Transpiler};
+use qmap::{
+    optimize, placement, router, sabre, Layout, RouterBackend, RoutingStrategy, Transpiler,
+};
 use qsim::ideal;
 
 #[derive(Debug, Clone)]

@@ -71,6 +71,60 @@ impl Counts {
         self.shots += 1;
     }
 
+    /// Records `n` observations of `outcome` in one histogram update.
+    ///
+    /// Equivalent to calling [`Counts::record`] `n` times but O(1) in `n`,
+    /// which is what makes merging per-slice histograms from the parallel
+    /// executor constant time per distinct key instead of O(shots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcome` has bits set beyond `num_clbits`.
+    pub fn record_n(&mut self, outcome: u64, n: u64) {
+        assert!(
+            self.num_clbits == 63 || outcome < (1u64 << self.num_clbits),
+            "outcome {outcome:#b} wider than {} classical bits",
+            self.num_clbits
+        );
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(outcome).or_insert(0) += n;
+        self.shots += n;
+    }
+
+    /// Merges another histogram's observations into this one.
+    ///
+    /// Constant time per distinct outcome in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histograms cover different classical-bit widths.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qsim::Counts;
+    /// let mut a = Counts::new(2);
+    /// a.record(0b01);
+    /// let mut b = Counts::new(2);
+    /// b.record_n(0b01, 2);
+    /// b.record(0b10);
+    /// a.merge_from(&b);
+    /// assert_eq!(a.shots(), 4);
+    /// assert_eq!(a.get(0b01), 3);
+    /// ```
+    pub fn merge_from(&mut self, other: &Counts) {
+        assert_eq!(
+            self.num_clbits, other.num_clbits,
+            "cannot merge histograms over different classical-bit widths"
+        );
+        for (outcome, n) in other.iter() {
+            *self.counts.entry(outcome).or_insert(0) += n;
+        }
+        self.shots += other.shots;
+    }
+
     /// Number of times `outcome` was observed.
     pub fn get(&self, outcome: u64) -> u64 {
         self.counts.get(&outcome).copied().unwrap_or(0)
@@ -217,6 +271,48 @@ mod tests {
     fn record_rejects_wide_outcome() {
         let mut c = Counts::new(2);
         c.record(0b100);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = Counts::new(3);
+        bulk.record_n(0b101, 4);
+        bulk.record_n(0b010, 0); // zero observations change nothing
+        let mut single = Counts::new(3);
+        for _ in 0..4 {
+            single.record(0b101);
+        }
+        assert_eq!(bulk, single);
+        assert_eq!(bulk.get(0b010), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than")]
+    fn record_n_rejects_wide_outcome_even_for_zero() {
+        let mut c = Counts::new(2);
+        c.record_n(0b100, 0);
+    }
+
+    #[test]
+    fn merge_from_adds_all_observations() {
+        let mut a = Counts::new(2);
+        a.extend([0b00, 0b11]);
+        let mut b = Counts::new(2);
+        b.extend([0b11, 0b01, 0b11]);
+        a.merge_from(&b);
+        assert_eq!(a.shots(), 5);
+        assert_eq!(a.get(0b11), 3);
+        assert_eq!(a.get(0b01), 1);
+        // Merging an empty histogram is a no-op.
+        a.merge_from(&Counts::new(2));
+        assert_eq!(a.shots(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different classical-bit widths")]
+    fn merge_from_rejects_width_mismatch() {
+        let mut a = Counts::new(2);
+        a.merge_from(&Counts::new(3));
     }
 
     #[test]

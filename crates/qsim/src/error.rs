@@ -42,19 +42,28 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::UnsupportedGate { name } => {
-                write!(f, "gate '{name}' is not in the device basis; lower the circuit first")
+                write!(
+                    f,
+                    "gate '{name}' is not in the device basis; lower the circuit first"
+                )
             }
             SimError::MidCircuitMeasurement { qubit } => {
                 write!(f, "qubit {qubit} is used after being measured (mid-circuit measurement is unsupported)")
             }
             SimError::ClbitReused { clbit } => {
-                write!(f, "classical bit {clbit} receives more than one measurement")
+                write!(
+                    f,
+                    "classical bit {clbit} receives more than one measurement"
+                )
             }
             SimError::UncoupledQubits { a, b } => {
                 write!(f, "qubits {a} and {b} are not coupled on the device")
             }
             SimError::TooManyQubits { circuit, device } => {
-                write!(f, "circuit needs {circuit} qubits but the device has {device}")
+                write!(
+                    f,
+                    "circuit needs {circuit} qubits but the device has {device}"
+                )
             }
         }
     }

@@ -12,7 +12,11 @@
 //!   against a `qdevice::DeviceModel`,
 //! - [`ideal`] — noise-free reference runs (defines each benchmark's
 //!   correct answer),
-//! - [`Counts`] — outcome histograms.
+//! - [`Counts`] — outcome histograms,
+//! - [`parallel`] / [`pool`] / [`rngstream`] — the deterministic parallel
+//!   execution engine: fixed shot slices with forked seed streams fanned
+//!   out over a persistent worker pool, bit-identical for any thread
+//!   count.
 //!
 //! # Examples
 //!
@@ -41,12 +45,14 @@
 
 pub mod complex;
 pub mod counts;
+pub mod density;
 mod error;
 pub mod ideal;
-pub mod density;
 mod noise;
 pub mod observables;
-mod parallel;
+pub mod parallel;
+pub mod pool;
+pub mod rngstream;
 mod statevector;
 pub mod verify;
 

@@ -178,11 +178,20 @@ impl<'a> NoisySimulator<'a> {
         let mut fired: Vec<FiredEvent> = Vec::new();
         for _ in 0..shots {
             fired.clear();
-            for spec in &plan.events {
+            for (event, spec) in plan.events.iter().enumerate() {
                 if rng.gen::<f64>() < spec.prob {
+                    // Outcomes were tabulated at compile time; sampling is
+                    // an index draw, no per-shot allocation. Deterministic
+                    // channels (one outcome) consume no RNG draw.
+                    let outcome = if spec.outcomes.len() > 1 {
+                        rng.gen_range(0..spec.outcomes.len())
+                    } else {
+                        0
+                    };
                     fired.push(FiredEvent {
                         step: spec.step,
-                        paulis: spec.kind.sample(&mut rng),
+                        event,
+                        outcome,
                     });
                 }
             }
@@ -269,11 +278,11 @@ impl<'a> NoisySimulator<'a> {
                         }
                     }
                     if self.options.stochastic_gate_noise {
-                        events.push(EventSpec {
-                            step: step_idx,
-                            prob: self.params.cx_err[&e],
-                            kind: EventKind::Depol2(dq(a), dq(b)),
-                        });
+                        events.push(EventSpec::new(
+                            step_idx,
+                            self.params.cx_err[&e],
+                            EventKind::Depol2(dq(a), dq(b)),
+                        ));
                     }
                     if self.options.decoherence {
                         self.push_relaxation(&mut events, step_idx, a, dq(a), true);
@@ -288,11 +297,11 @@ impl<'a> NoisySimulator<'a> {
                     let q = g1.qubits()[0];
                     step.push(g1.map_qubits(dq));
                     if self.options.stochastic_gate_noise {
-                        events.push(EventSpec {
-                            step: step_idx,
-                            prob: self.params.gate_1q_err[q.usize()],
-                            kind: EventKind::Depol1(dq(q)),
-                        });
+                        events.push(EventSpec::new(
+                            step_idx,
+                            self.params.gate_1q_err[q.usize()],
+                            EventKind::Depol1(dq(q)),
+                        ));
                     }
                     if self.options.decoherence {
                         self.push_relaxation(&mut events, step_idx, q, dq(q), false);
@@ -333,18 +342,10 @@ impl<'a> NoisySimulator<'a> {
         let p_bit = 0.5 * (1.0 - (-t / self.params.t1_us[phys.usize()]).exp());
         let p_phase = 0.5 * (1.0 - (-t / self.params.t2_us[phys.usize()]).exp());
         if p_bit > 0.0 {
-            events.push(EventSpec {
-                step,
-                prob: p_bit,
-                kind: EventKind::BitFlip(dense),
-            });
+            events.push(EventSpec::new(step, p_bit, EventKind::BitFlip(dense)));
         }
         if p_phase > 0.0 {
-            events.push(EventSpec {
-                step,
-                prob: p_phase,
-                kind: EventKind::PhaseFlip(dense),
-            });
+            events.push(EventSpec::new(step, p_phase, EventKind::PhaseFlip(dense)));
         }
     }
 }
@@ -371,7 +372,8 @@ impl Plan {
                 sv.apply(g);
             }
             while fi < fired.len() && fired[fi].step == si {
-                for &(q, pauli) in &fired[fi].paulis {
+                let hit = &fired[fi];
+                for &(q, pauli) in &self.events[hit.event].outcomes[hit.outcome] {
                     match pauli {
                         Pauli::X => sv.apply(&Gate::X(q)),
                         Pauli::Y => sv.apply(&Gate::Y(q)),
@@ -385,11 +387,30 @@ impl Plan {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+/// A stochastic error site with its outcome table precomputed at compile
+/// time.
+///
+/// All channels here have *uniform* outcome distributions, so the general
+/// alias-table construction degenerates to direct indexing: firing an
+/// event draws one uniform index into `outcomes` instead of rebuilding the
+/// Pauli string (and allocating it) on every fired event in the per-shot
+/// hot loop.
+#[derive(Debug, Clone)]
 struct EventSpec {
     step: usize,
     prob: f64,
-    kind: EventKind,
+    /// Every Pauli string this event can apply; sampled uniformly.
+    outcomes: Vec<Vec<(Qubit, Pauli)>>,
+}
+
+impl EventSpec {
+    fn new(step: usize, prob: f64, kind: EventKind) -> Self {
+        EventSpec {
+            step,
+            prob,
+            outcomes: kind.outcome_table(),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -414,31 +435,39 @@ enum Pauli {
 const PAULIS: [Pauli; 3] = [Pauli::X, Pauli::Y, Pauli::Z];
 
 impl EventKind {
-    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> Vec<(Qubit, Pauli)> {
+    /// Enumerates every Pauli string the channel can apply, in a fixed
+    /// order (uniformly likely once the event fires).
+    fn outcome_table(self) -> Vec<Vec<(Qubit, Pauli)>> {
         match self {
-            EventKind::Depol1(q) => vec![(q, PAULIS[rng.gen_range(0..3)])],
+            EventKind::Depol1(q) => PAULIS.iter().map(|&p| vec![(q, p)]).collect(),
             EventKind::Depol2(a, b) => {
-                // Pick one of 15 non-identity pairs: index 1..16 over base 4.
-                let idx = rng.gen_range(1..16);
-                let (pa, pb) = (idx / 4, idx % 4);
-                let mut out = Vec::with_capacity(2);
-                if pa > 0 {
-                    out.push((a, PAULIS[pa - 1]));
-                }
-                if pb > 0 {
-                    out.push((b, PAULIS[pb - 1]));
-                }
-                out
+                // The 15 non-identity pairs: index 1..16 over base 4.
+                (1..16usize)
+                    .map(|idx| {
+                        let (pa, pb) = (idx / 4, idx % 4);
+                        let mut out = Vec::with_capacity(2);
+                        if pa > 0 {
+                            out.push((a, PAULIS[pa - 1]));
+                        }
+                        if pb > 0 {
+                            out.push((b, PAULIS[pb - 1]));
+                        }
+                        out
+                    })
+                    .collect()
             }
-            EventKind::BitFlip(q) => vec![(q, Pauli::X)],
-            EventKind::PhaseFlip(q) => vec![(q, Pauli::Z)],
+            EventKind::BitFlip(q) => vec![vec![(q, Pauli::X)]],
+            EventKind::PhaseFlip(q) => vec![vec![(q, Pauli::Z)]],
         }
     }
 }
 
+/// A fired stochastic event: indices into the plan's event list and that
+/// event's outcome table (no per-shot allocation).
 struct FiredEvent {
     step: usize,
-    paulis: Vec<(Qubit, Pauli)>,
+    event: usize,
+    outcome: usize,
 }
 
 fn cumulative(probs: &[f64]) -> Vec<f64> {
@@ -569,14 +598,13 @@ mod tests {
     #[test]
     fn readout_asymmetry_is_visible() {
         let d = device();
-        let sim = NoisySimulator::from_device(&d)
-            .with_options(SimOptions {
-                stochastic_gate_noise: false,
-                decoherence: false,
-                coherent_errors: false,
-                crosstalk: false,
-                readout_error: true,
-            });
+        let sim = NoisySimulator::from_device(&d).with_options(SimOptions {
+            stochastic_gate_noise: false,
+            decoherence: false,
+            coherent_errors: false,
+            crosstalk: false,
+            readout_error: true,
+        });
         let mut prep0 = Circuit::new(1, 1);
         prep0.measure(0, 0);
         let mut prep1 = Circuit::new(1, 1);
@@ -631,12 +659,15 @@ mod tests {
             readout_error: false,
         };
         let sim = NoisySimulator::from_device(&d).with_options(opts);
-        // Phase-sensitive circuit: H, CX, H on both -> coherent angles leak
-        // into outcome probabilities.
+        // Phase-sensitive circuit: H, CX, T, H on both -> coherent angles
+        // leak into outcome probabilities. The T gates bias the phase to
+        // π/4 + θ so outcomes are monotone in θ near zero — without them
+        // the probabilities are even in θ and two edges whose angles have
+        // equal magnitude but opposite sign would be indistinguishable.
         let build = |a: u32, b: u32| {
             let n = a.max(b) + 1;
             let mut c = Circuit::new(n, 2);
-            c.h(a).h(b).cx(a, b).h(a).h(b);
+            c.h(a).h(b).cx(a, b).t(a).t(b).h(a).h(b);
             c.measure(a, 0).measure(b, 1);
             c
         };

@@ -68,11 +68,7 @@ pub fn expectation_parity(counts: &Counts, mask: u64) -> f64 {
 /// Panics if no shots were recorded.
 pub fn expectation_cost<F: Fn(u64) -> f64>(counts: &Counts, cost: F) -> f64 {
     assert!(counts.shots() > 0, "empty histogram");
-    counts
-        .iter()
-        .map(|(k, n)| cost(k) * n as f64)
-        .sum::<f64>()
-        / counts.shots() as f64
+    counts.iter().map(|(k, n)| cost(k) * n as f64).sum::<f64>() / counts.shots() as f64
 }
 
 #[cfg(test)]

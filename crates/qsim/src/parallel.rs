@@ -1,38 +1,143 @@
-//! Parallel shot execution.
+//! Parallel shot execution over the shared worker pool.
 //!
 //! The paper's protocol runs 16 384 trials per policy per round; trajectory
 //! simulation of those trials is embarrassingly parallel. This module
-//! splits the shot budget across threads, runs each slice with an
-//! independent deterministic seed, and merges the histograms.
+//! splits every job's shot budget into fixed-size slices, derives each
+//! slice's RNG seed from the job seed with [`crate::rngstream::fork`], fans
+//! the `(job × slice)` work items out over [`crate::pool::WorkerPool`], and
+//! merges the per-slice histograms in slice order.
 //!
-//! The result is deterministic for a fixed `(circuit, shots, seed, threads)`
-//! — but note that *changing* the thread count changes how the shot budget
-//! maps onto RNG streams, so distributions across different thread counts
-//! agree only statistically.
+//! Because the slicing depends only on the shot count — never on the
+//! worker count — and every slice owns a derived seed stream, the merged
+//! histogram is **bit-identical for any number of threads**. Threads decide
+//! only how fast the answer arrives, not what it is.
 
-use crate::{Counts, NoisySimulator, SimError};
+use crate::pool::WorkerPool;
+use crate::{rngstream, Counts, NoisySimulator, SimError};
 use qcir::Circuit;
 
-/// Extends a histogram with another one's observations.
-fn merge_counts(into: &mut Counts, from: &Counts) {
-    for (k, n) in from.iter() {
-        for _ in 0..n {
-            into.record(k);
-        }
+/// Shots per work slice.
+///
+/// Small enough that a 16 384-shot budget yields 16 slices (ample
+/// load-balancing granularity for small thread counts), large enough that
+/// per-slice overhead (plan compilation, histogram merge) stays well under
+/// a percent of the trajectory work.
+pub const SLICE_SHOTS: u64 = 1024;
+
+/// One independent execution request inside a batch: a circuit, its shot
+/// budget, and the root seed its slice streams are forked from.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchJob<'a> {
+    /// The physical circuit to run.
+    pub circuit: &'a Circuit,
+    /// Number of shots to accumulate for this job.
+    pub shots: u64,
+    /// Root seed; slice `s` runs with `rngstream::fork(seed, s)`.
+    pub seed: u64,
+}
+
+/// The shot budgets of each slice of a `shots`-shot job.
+///
+/// A zero-shot job still gets one (empty) slice so that circuit validation
+/// runs and errors surface exactly as in [`NoisySimulator::run`].
+fn slice_sizes(shots: u64) -> Vec<u64> {
+    if shots == 0 {
+        return vec![0];
     }
+    let full = shots / SLICE_SHOTS;
+    let rest = shots % SLICE_SHOTS;
+    let mut sizes = vec![SLICE_SHOTS; full as usize];
+    if rest > 0 {
+        sizes.push(rest);
+    }
+    sizes
 }
 
 impl NoisySimulator<'_> {
-    /// Runs `shots` trials split across `threads` OS threads.
+    /// Runs a batch of independent jobs, fanning `(job × slice)` work
+    /// items across at most `threads` pool workers, and returns one result
+    /// per job in job order.
     ///
-    /// Each thread runs an equal slice (the first slices absorb the
-    /// remainder) with seed `seed + thread_index`, so the union of slices is
-    /// reproducible.
+    /// Each job's result is bit-identical for every `threads` value — the
+    /// slice layout and seed streams depend only on `(shots, seed)`, and
+    /// slices merge in slice order. A job whose circuit fails validation
+    /// reports its own error without disturbing the other jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcir::Circuit;
+    /// use qdevice::{presets, DeviceModel};
+    /// use qsim::parallel::BatchJob;
+    /// use qsim::NoisySimulator;
+    ///
+    /// let device = DeviceModel::synthesize(presets::melbourne14(), 3);
+    /// let sim = NoisySimulator::from_device(&device);
+    /// let mut c = Circuit::new(2, 2);
+    /// c.h(0).cx(0, 1).measure_all();
+    /// let jobs = [
+    ///     BatchJob { circuit: &c, shots: 2000, seed: 7 },
+    ///     BatchJob { circuit: &c, shots: 1000, seed: 8 },
+    /// ];
+    /// let results = sim.run_batch(&jobs, 4);
+    /// assert_eq!(results[0].as_ref().unwrap().shots(), 2000);
+    /// assert_eq!(results[1].as_ref().unwrap().shots(), 1000);
+    /// ```
+    pub fn run_batch(
+        &self,
+        jobs: &[BatchJob<'_>],
+        threads: usize,
+    ) -> Vec<Result<Counts, SimError>> {
+        assert!(threads > 0, "need at least one thread");
+
+        // Flatten jobs into (job, slice) work items so one pool dispatch
+        // covers the whole batch — slices of a slow job and of its
+        // neighbors interleave freely across workers.
+        let mut items: Vec<(usize, u64, u64)> = Vec::new();
+        for (j, job) in jobs.iter().enumerate() {
+            for (s, slice_shots) in slice_sizes(job.shots).into_iter().enumerate() {
+                items.push((j, s as u64, slice_shots));
+            }
+        }
+
+        let slice_results = WorkerPool::global().map(&items, threads, |_, &(j, s, n)| {
+            let job = &jobs[j];
+            self.run(job.circuit, n, rngstream::fork(job.seed, s))
+        });
+
+        // Merge per job, in slice order; a job's first failing slice wins.
+        let mut out: Vec<Result<Counts, SimError>> = jobs
+            .iter()
+            .map(|job| Ok(Counts::new(job.circuit.num_clbits())))
+            .collect();
+        for (&(j, _, _), sliced) in items.iter().zip(slice_results) {
+            match (&mut out[j], sliced) {
+                (Ok(acc), Ok(counts)) => acc.merge_from(&counts),
+                (slot @ Ok(_), Err(e)) => *slot = Err(e),
+                (Err(_), _) => {}
+            }
+        }
+        out
+    }
+
+    /// Runs `shots` trials of one circuit across at most `threads` pool
+    /// workers.
+    ///
+    /// Equivalent to a single-job [`NoisySimulator::run_batch`]: the shot
+    /// budget is cut into [`SLICE_SHOTS`]-sized slices with seeds forked
+    /// from `seed`, so the histogram is bit-identical for every `threads`
+    /// value (including 1). Note this differs from the single-stream
+    /// [`NoisySimulator::run`] histogram for the same seed — the sliced
+    /// seed schedule is its own deterministic contract.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`NoisySimulator::run`]; the first failing slice's
-    /// error is returned.
+    /// Same conditions as [`NoisySimulator::run`]; the first failing
+    /// slice's error is returned.
     ///
     /// # Panics
     ///
@@ -53,6 +158,8 @@ impl NoisySimulator<'_> {
     /// c.measure_all();
     /// let counts = sim.run_parallel(&c, 4096, 7, 4)?;
     /// assert_eq!(counts.shots(), 4096);
+    /// // Same shots + seed, different worker count: same histogram.
+    /// assert_eq!(counts, sim.run_parallel(&c, 4096, 7, 1)?);
     /// # Ok::<(), qsim::SimError>(())
     /// ```
     pub fn run_parallel(
@@ -62,29 +169,14 @@ impl NoisySimulator<'_> {
         seed: u64,
         threads: usize,
     ) -> Result<Counts, SimError> {
-        assert!(threads > 0, "need at least one thread");
-        if threads == 1 || shots < threads as u64 {
-            return self.run(circuit, shots, seed);
-        }
-        let per = shots / threads as u64;
-        let remainder = shots % threads as u64;
-
-        let results: Vec<Result<Counts, SimError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let slice = per + if (t as u64) < remainder { 1 } else { 0 };
-                    let sim = self.clone();
-                    scope.spawn(move || sim.run(circuit, slice, seed.wrapping_add(t as u64)))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("no panics")).collect()
-        });
-
-        let mut merged = Counts::new(circuit.num_clbits());
-        for r in results {
-            merge_counts(&mut merged, &r?);
-        }
-        Ok(merged)
+        let job = BatchJob {
+            circuit,
+            shots,
+            seed,
+        };
+        self.run_batch(&[job], threads)
+            .pop()
+            .expect("one result per job")
     }
 }
 
@@ -100,11 +192,33 @@ mod tests {
     }
 
     #[test]
+    fn slice_layout_depends_only_on_shots() {
+        assert_eq!(slice_sizes(0), vec![0]);
+        assert_eq!(slice_sizes(1), vec![1]);
+        assert_eq!(slice_sizes(SLICE_SHOTS), vec![SLICE_SHOTS]);
+        assert_eq!(slice_sizes(2500), vec![1024, 1024, 452]);
+        assert_eq!(slice_sizes(2500).iter().sum::<u64>(), 2500);
+    }
+
+    #[test]
     fn parallel_run_has_exact_shot_count() {
         let d = DeviceModel::synthesize(presets::melbourne14(), 5);
         let sim = NoisySimulator::from_device(&d);
-        let counts = sim.run_parallel(&bell(), 1003, 1, 4).unwrap();
-        assert_eq!(counts.shots(), 1003);
+        // 2501 shots slice unevenly (1024 + 1024 + 453); nothing may be
+        // lost or double-counted.
+        let counts = sim.run_parallel(&bell(), 2501, 1, 4).unwrap();
+        assert_eq!(counts.shots(), 2501);
+    }
+
+    #[test]
+    fn results_are_bit_identical_across_worker_counts() {
+        let d = DeviceModel::synthesize(presets::melbourne14(), 5);
+        let sim = NoisySimulator::from_device(&d);
+        let reference = sim.run_parallel(&bell(), 5000, 9, 1).unwrap();
+        for threads in [2, 3, 8] {
+            let counts = sim.run_parallel(&bell(), 5000, 9, threads).unwrap();
+            assert_eq!(counts, reference, "threads = {threads}");
+        }
     }
 
     #[test]
@@ -114,6 +228,9 @@ mod tests {
         let a = sim.run_parallel(&bell(), 2000, 9, 4).unwrap();
         let b = sim.run_parallel(&bell(), 2000, 9, 4).unwrap();
         assert_eq!(a, b);
+        // Different seeds give different histograms.
+        let c = sim.run_parallel(&bell(), 2000, 10, 4).unwrap();
+        assert_ne!(a, c);
     }
 
     #[test]
@@ -130,12 +247,35 @@ mod tests {
     }
 
     #[test]
-    fn single_thread_falls_back_to_serial() {
+    fn batch_jobs_match_individual_runs() {
         let d = DeviceModel::synthesize(presets::melbourne14(), 5);
         let sim = NoisySimulator::from_device(&d);
-        let serial = sim.run(&bell(), 500, 2).unwrap();
-        let parallel = sim.run_parallel(&bell(), 500, 2, 1).unwrap();
-        assert_eq!(serial, parallel);
+        let bell = bell();
+        let mut ghz = Circuit::new(3, 3);
+        ghz.h(0).cx(0, 1).cx(1, 2).measure_all();
+        let jobs = [
+            BatchJob {
+                circuit: &bell,
+                shots: 1500,
+                seed: 11,
+            },
+            BatchJob {
+                circuit: &ghz,
+                shots: 2048,
+                seed: 12,
+            },
+        ];
+        let batch = sim.run_batch(&jobs, 4);
+        // Batched execution must equal running each job alone — the
+        // contract that lets the ensemble fan members out together.
+        assert_eq!(
+            batch[0].as_ref().unwrap(),
+            &sim.run_parallel(&bell, 1500, 11, 1).unwrap()
+        );
+        assert_eq!(
+            batch[1].as_ref().unwrap(),
+            &sim.run_parallel(&ghz, 2048, 12, 2).unwrap()
+        );
     }
 
     #[test]
@@ -145,6 +285,32 @@ mod tests {
         let mut bad = Circuit::new(3, 0);
         bad.ccx(0, 1, 2);
         assert!(sim.run_parallel(&bad, 100, 0, 4).is_err());
+        // Zero shots still validate.
+        assert!(sim.run_parallel(&bad, 0, 0, 4).is_err());
+    }
+
+    #[test]
+    fn failing_job_does_not_poison_its_batch_mates() {
+        let d = DeviceModel::synthesize(presets::melbourne14(), 5);
+        let sim = NoisySimulator::from_device(&d);
+        let good = bell();
+        let mut bad = Circuit::new(3, 0);
+        bad.ccx(0, 1, 2);
+        let jobs = [
+            BatchJob {
+                circuit: &bad,
+                shots: 100,
+                seed: 0,
+            },
+            BatchJob {
+                circuit: &good,
+                shots: 1200,
+                seed: 1,
+            },
+        ];
+        let results = sim.run_batch(&jobs, 4);
+        assert!(results[0].is_err());
+        assert_eq!(results[1].as_ref().unwrap().shots(), 1200);
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl StateVector {
     /// Panics if `num_qubits > 26` (the amplitude vector would not fit in
     /// memory).
     pub fn zero_state(num_qubits: u32) -> Self {
-        assert!(num_qubits <= 26, "state vector too large: {num_qubits} qubits");
+        assert!(
+            num_qubits <= 26,
+            "state vector too large: {num_qubits} qubits"
+        );
         let mut amps = vec![ZERO; 1usize << num_qubits];
         amps[0] = ONE;
         StateVector { num_qubits, amps }
@@ -62,7 +65,10 @@ impl StateVector {
         match *gate {
             Gate::H(q) => {
                 let s = std::f64::consts::FRAC_1_SQRT_2;
-                self.apply_1q(q, [[C64::real(s), C64::real(s)], [C64::real(s), C64::real(-s)]]);
+                self.apply_1q(
+                    q,
+                    [[C64::real(s), C64::real(s)], [C64::real(s), C64::real(-s)]],
+                );
             }
             Gate::X(q) => self.apply_1q(q, [[ZERO, ONE], [ONE, ZERO]]),
             Gate::Y(q) => self.apply_1q(q, [[ZERO, -I], [I, ZERO]]),
@@ -94,13 +100,9 @@ impl StateVector {
                     [[C64::real(c), C64::real(-s)], [C64::real(s), C64::real(c)]],
                 );
             }
-            Gate::Rz(q, t) => self.apply_1q(
-                q,
-                [
-                    [C64::cis(-t / 2.0), ZERO],
-                    [ZERO, C64::cis(t / 2.0)],
-                ],
-            ),
+            Gate::Rz(q, t) => {
+                self.apply_1q(q, [[C64::cis(-t / 2.0), ZERO], [ZERO, C64::cis(t / 2.0)]])
+            }
             Gate::Cx(c, t) => self.apply_cx(c, t),
             Gate::Cz(a, b) => self.apply_cz(a, b),
             Gate::Swap(a, b) => self.apply_swap(a, b),

@@ -170,7 +170,9 @@ mod tests {
     fn inverse_composition_is_identity() {
         let mut c = Circuit::new(3, 0);
         c.h(0).cx(0, 1).rz(2, 0.7).ccx(0, 1, 2);
-        let id_like = c.compose(&c.inverse().expect("unitary")).expect("same regs");
+        let id_like = c
+            .compose(&c.inverse().expect("unitary"))
+            .expect("same regs");
         assert!(equivalent(&id_like, &Circuit::new(3, 0)).is_equal());
     }
 

@@ -21,8 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A heavy-hex device: EDM is not melbourne-specific.
     let device = DeviceModel::synthesize(presets::guadalupe16(), 8);
     let cal = device.calibration();
-    let transpiler =
-        Transpiler::new(device.topology(), &cal).with_router(RouterBackend::Lookahead);
+    let transpiler = Transpiler::new(device.topology(), &cal).with_router(RouterBackend::Lookahead);
     let backend = NoisySimulator::from_device(&device);
     let runner = EdmRunner::new(&transpiler, &backend, EnsembleConfig::default());
 

@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let (wrong, p_wrong) = result.edm.strongest_wrong(key).expect("wrong answers exist");
+    let (wrong, p_wrong) = result
+        .edm
+        .strongest_wrong(key)
+        .expect("wrong answers exist");
     println!("\nEDM merge:");
     println!(
         "  PST {:.3}  IST {:.3}  strongest surviving wrong answer {} at {:.3}",

@@ -60,8 +60,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("buckets-and-balls model, M = 64 outcomes, N = 8192 trials:");
     for (label, demon) in [
         ("uncorrelated", None),
-        ("weak demon (Qcor = 10%)", Some(Demon { num_hot: 6, q_cor: 0.10 })),
-        ("strong demon (Qcor = 50%)", Some(Demon { num_hot: 6, q_cor: 0.50 })),
+        (
+            "weak demon (Qcor = 10%)",
+            Some(Demon {
+                num_hot: 6,
+                q_cor: 0.10,
+            }),
+        ),
+        (
+            "strong demon (Qcor = 50%)",
+            Some(Demon {
+                num_hot: 6,
+                q_cor: 0.50,
+            }),
+        ),
     ] {
         let frontier = pst_frontier(64, demon, 8192, 7, 0.002, 1);
         println!("  {label}: PST frontier = {:.1}%", 100.0 * frontier);

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter(|&(&k, _)| qaoa::cut_value(k, &edges) == best_cut)
         .map(|(_, &p)| p)
         .sum();
-    println!("ideal machine: optimal cuts carry {:.1}% of the output", 100.0 * p_opt);
+    println!(
+        "ideal machine: optimal cuts carry {:.1}% of the output",
+        100.0 * p_opt
+    );
 
     let device = DeviceModel::synthesize(presets::melbourne14(), 11);
     let cal = device.calibration();
@@ -48,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format_bitstring(k, n),
             p,
             qaoa::cut_value(k, &edges),
-            if k == target { "  <- designated answer" } else { "" }
+            if k == target {
+                "  <- designated answer"
+            } else {
+                ""
+            }
         );
     }
 
@@ -58,8 +65,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|(k, p)| p * qaoa::cut_value(k, &edges) as f64)
             .sum()
     };
-    println!("\nexpected cut value: baseline {:.3}, EDM {:.3} (ideal optimum {best_cut})",
-        expect(&baseline.dist), expect(&result.edm));
+    println!(
+        "\nexpected cut value: baseline {:.3}, EDM {:.3} (ideal optimum {best_cut})",
+        expect(&baseline.dist),
+        expect(&result.edm)
+    );
     println!(
         "IST for the designated cut: baseline {:.3}, EDM {:.3}, WEDM {:.3}",
         metrics::ist(&baseline.dist, target),

@@ -3,7 +3,7 @@
 //! ```text
 //! edm-cli draw <circuit.qasm>                 render an ASCII diagram
 //! edm-cli transpile <circuit.qasm> [--seed N] map onto a simulated IBMQ-14
-//! edm-cli run <circuit.qasm> [--shots N] [--seed N]
+//! edm-cli run <circuit.qasm> [--shots N] [--seed N] [--threads N]
 //!                                             baseline vs EDM vs WEDM
 //! edm-cli device [--seed N]                   dump the device model as JSON
 //! ```
@@ -47,8 +47,12 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   edm-cli draw <circuit.qasm>
   edm-cli transpile <circuit.qasm> [--seed N]
-  edm-cli run <circuit.qasm> [--shots N] [--seed N]
-  edm-cli device [--seed N]";
+  edm-cli run <circuit.qasm> [--shots N] [--seed N] [--threads N]
+  edm-cli device [--seed N]
+
+run options:
+  --threads N   cap execution worker threads (default: all cores; results
+                are identical for every N — threads only change speed)";
 
 fn flag(args: &[String], name: &str, default: u64) -> Result<u64, String> {
     match args.iter().position(|a| a == name) {
@@ -94,6 +98,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let circuit = load_circuit(args)?;
     let shots = flag(args, "--shots", 16_384)?;
     let seed = flag(args, "--seed", 42)?;
+    // 0 = auto (all cores). Any value gives bit-identical results; the
+    // flag exists to bound CPU usage, not to pick an RNG schedule.
+    let threads = flag(args, "--threads", 0)? as usize;
     if circuit.count_measure() == 0 {
         return Err("circuit has no measurements; nothing to run".into());
     }
@@ -102,7 +109,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let cal = device.calibration();
     let transpiler = Transpiler::new(device.topology(), &cal);
     let backend = NoisySimulator::from_device(&device);
-    let runner = EdmRunner::new(&transpiler, &backend, EnsembleConfig::default());
+    let mut runner = EdmRunner::new(&transpiler, &backend, EnsembleConfig::default());
+    if threads > 0 {
+        runner = runner.with_threads(threads);
+    }
 
     let baseline = runner
         .run_baseline(&circuit, shots, seed)

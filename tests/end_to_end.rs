@@ -20,7 +20,12 @@ fn every_benchmark_transpiles_onto_melbourne() {
         let out = t.transpile(&b.circuit).unwrap_or_else(|e| {
             panic!("{} failed to transpile: {e}", b.name);
         });
-        assert!(out.esp > 0.0 && out.esp < 1.0, "{}: esp {}", b.name, out.esp);
+        assert!(
+            out.esp > 0.0 && out.esp < 1.0,
+            "{}: esp {}",
+            b.name,
+            out.esp
+        );
         // Every two-qubit gate respects the coupling graph.
         for g in out.physical.iter() {
             if g.is_two_qubit() {
@@ -128,8 +133,7 @@ fn ensemble_members_make_dissimilar_mistakes() {
     };
     let same_kl = symmetric_kl(&rerun(1), &rerun(2));
     let other = ProbDist::from_counts(
-        &sim
-            .run(&members.last().expect("k members").physical, 4096, 1)
+        &sim.run(&members.last().expect("k members").physical, 4096, 1)
             .expect("runs"),
     );
     let diverse_kl = symmetric_kl(&rerun(1), &other);

@@ -1,0 +1,258 @@
+//! Offline micro-benchmark harness with a criterion-compatible surface.
+//!
+//! Implements the subset of the `criterion` API this workspace's benches
+//! use: [`Criterion::benchmark_group`] / [`BenchmarkGroup::bench_function`]
+//! / [`Bencher::iter`], plus the [`criterion_group!`] / [`criterion_main!`]
+//! macros and [`black_box`]. Timing is a straightforward
+//! calibrate-then-measure loop (no statistics engine, no HTML reports).
+//!
+//! CLI compatibility: `--test` runs every benchmark body exactly once and
+//! exits (the mode CI uses via `cargo bench -- --test`); `--bench` and
+//! other flags are accepted and ignored; bare arguments filter benchmarks
+//! by substring, as with upstream criterion.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Run each benchmark body once, as a smoke test (`-- --test`).
+    Test,
+    /// Calibrate and measure (default `cargo bench` behavior).
+    Measure,
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+    filters: Vec<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::Measure,
+            filters: Vec::new(),
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process CLI arguments (see module docs).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                c.mode = Mode::Test;
+            } else if !arg.starts_with('-') {
+                c.filters.push(arg);
+            }
+            // --bench, --verbose, etc.: accepted and ignored.
+        }
+        c
+    }
+
+    /// Whether `name` passes the CLI substring filters.
+    fn selected(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            parent: self,
+        }
+    }
+
+    /// Benchmarks `body` under `id` without an explicit group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        self.run_one(&id.into(), sample_size, body);
+        self
+    }
+
+    fn run_one<F>(&self, id: &str, sample_size: usize, mut body: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.selected(id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            mode: self.mode,
+            sample_size,
+            per_iter_ns: 0.0,
+        };
+        body(&mut bencher);
+        match self.mode {
+            Mode::Test => println!("test {id} ... ok"),
+            Mode::Measure => println!("{id:<50} time: {:>12.1} ns/iter", bencher.per_iter_ns),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample-size setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many measured samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `body` under `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.parent.run_one(&full, self.sample_size, body);
+        self
+    }
+
+    /// Ends the group. (Upstream emits summary reports here; this harness
+    /// prints per-benchmark lines eagerly, so this is a no-op.)
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] does the timing.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    per_iter_ns: f64,
+}
+
+/// Target wall-clock spent measuring one benchmark.
+const TARGET_MEASURE: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    /// Times `body`. In `--test` mode the body runs exactly once; in
+    /// measure mode the iteration count is calibrated so the measurement
+    /// takes roughly `TARGET_MEASURE` (200 ms), bounded by the sample size.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        if self.mode == Mode::Test {
+            black_box(body());
+            return;
+        }
+        // Calibrate: double the batch until it costs >= ~1/10 the target.
+        let mut batch = 1u64;
+        let threshold = TARGET_MEASURE / 10;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(body());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= threshold || batch >= 1 << 30 {
+                let per_iter = elapsed.as_nanos() as f64 / batch as f64;
+                // Measure: run the calibrated batch `sample_size` more
+                // times (capped by the time budget) and keep the mean.
+                let runs = (self.sample_size as u64)
+                    .min(
+                        (TARGET_MEASURE.as_nanos() as f64 / (per_iter * batch as f64 + 1.0)) as u64,
+                    )
+                    .max(1);
+                let start = Instant::now();
+                for _ in 0..runs * batch {
+                    black_box(body());
+                }
+                self.per_iter_ns = start.elapsed().as_nanos() as f64 / (runs * batch) as f64;
+                return;
+            }
+            batch = batch.saturating_mul(2);
+        }
+    }
+}
+
+/// Bundles benchmark functions into a group runnable by
+/// [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups with CLI-derived settings.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            filters: Vec::new(),
+            sample_size: 10,
+        };
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0u32;
+        group.bench_function("one", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measure_mode_reports_positive_time() {
+        let mut c = Criterion {
+            mode: Mode::Measure,
+            filters: Vec::new(),
+            sample_size: 3,
+        };
+        let mut saw = 0.0;
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>());
+            saw = b.per_iter_ns;
+        });
+        assert!(saw >= 0.0);
+    }
+
+    #[test]
+    fn filters_skip_unmatched() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            filters: vec!["keep".into()],
+            sample_size: 10,
+        };
+        let mut ran = false;
+        c.bench_function("skipped", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("keep_this", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+}

@@ -1,0 +1,766 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! miniature serde: the [`Serialize`] / [`Deserialize`] traits here convert
+//! through an in-memory [`Value`] tree instead of upstream serde's
+//! visitor-based zero-copy architecture. The derive macros (re-exported
+//! from `serde_derive`) generate the same externally-tagged representation
+//! upstream serde uses:
+//!
+//! - named-field structs become objects,
+//! - newtype structs are transparent,
+//! - tuple structs become arrays,
+//! - enum unit variants become strings, data variants become
+//!   single-key objects.
+//!
+//! `serde_json` (also vendored) prints and parses [`Value`] as JSON. The
+//! subset covers exactly what this workspace serializes; it is not a
+//! general-purpose serde replacement.
+
+#![deny(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed JSON-like value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer (JSON number without sign or fraction).
+    U64(u64),
+    /// Negative integer (JSON number with sign, no fraction).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object. Keys keep insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is any kind of number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            Value::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::U64(v) => i64::try_from(v).ok(),
+            Value::I64(v) => Some(v),
+            Value::F64(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+                Some(v as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// A short human-readable name for the value's kind (used in errors).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// A serialization or deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+
+    /// A type-mismatch error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Error(format!("expected {what}, found {}", got.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] if the tree does not match the expected shape.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// --- primitive impls ---------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {
+        $(
+            impl Serialize for $t {
+                fn to_value(&self) -> Value {
+                    Value::U64(*self as u64)
+                }
+            }
+
+            impl Deserialize for $t {
+                fn from_value(value: &Value) -> Result<Self, Error> {
+                    let raw = value
+                        .as_u64()
+                        .ok_or_else(|| Error::expected("unsigned integer", value))?;
+                    <$t>::try_from(raw)
+                        .map_err(|_| Error::msg(format!("{raw} out of range for {}", stringify!($t))))
+                }
+            }
+        )*
+    };
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {
+        $(
+            impl Serialize for $t {
+                fn to_value(&self) -> Value {
+                    let v = *self as i64;
+                    if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+                }
+            }
+
+            impl Deserialize for $t {
+                fn from_value(value: &Value) -> Result<Self, Error> {
+                    let raw = value
+                        .as_i64()
+                        .ok_or_else(|| Error::expected("integer", value))?;
+                    <$t>::try_from(raw)
+                        .map_err(|_| Error::msg(format!("{raw} out of range for {}", stringify!($t))))
+                }
+            }
+        )*
+    };
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::expected("number", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .map(|v| v as f32)
+            .ok_or_else(|| Error::expected("number", value))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+// --- containers --------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}
+
+/// Encodes a map key as the JSON object-key string, mirroring upstream
+/// `serde_json`: string and integer keys are used directly; any other key
+/// type is encoded as its JSON text (upstream would reject those — being
+/// permissive here keeps derived maps total).
+fn key_to_string<K: Serialize>(key: &K) -> String {
+    match key.to_value() {
+        Value::String(s) => s,
+        Value::U64(v) => v.to_string(),
+        Value::I64(v) => v.to_string(),
+        other => crate::to_compact_text(&other),
+    }
+}
+
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    if let Ok(parsed) = K::from_value(&Value::String(key.to_owned())) {
+        return Ok(parsed);
+    }
+    if let Ok(v) = key.parse::<u64>() {
+        if let Ok(parsed) = K::from_value(&Value::U64(v)) {
+            return Ok(parsed);
+        }
+    }
+    if let Ok(v) = key.parse::<i64>() {
+        if let Ok(parsed) = K::from_value(&Value::I64(v)) {
+            return Ok(parsed);
+        }
+    }
+    let reparsed = crate::from_compact_text(key)
+        .map_err(|_| Error::msg(format!("cannot reconstruct map key from {key:?}")))?;
+    K::from_value(&reparsed)
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_from_string::<K>(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::expected("object", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:expr => $($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::expected(concat!("array of length ", $len), other)),
+                }
+            }
+        }
+    };
+}
+
+impl_tuple!(1 => A: 0);
+impl_tuple!(2 => A: 0, B: 1);
+impl_tuple!(3 => A: 0, B: 1, C: 2);
+impl_tuple!(4 => A: 0, B: 1, C: 2, D: 3);
+
+// --- minimal JSON text round-trip for exotic map keys -------------------
+
+/// Prints a value as compact JSON text (no spaces). Shared with
+/// `serde_json`, which re-exports richer pretty-printing on top.
+pub fn to_compact_text(value: &Value) -> String {
+    let mut out = String::new();
+    write_compact(value, &mut out);
+    out
+}
+
+fn write_compact(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(v) => out.push_str(&v.to_string()),
+        Value::I64(v) => out.push_str(&v.to_string()),
+        Value::F64(v) => out.push_str(&format_f64(*v)),
+        Value::String(s) => write_json_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(k, out);
+                out.push(':');
+                write_compact(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Formats a float so that parsing the text reproduces the value exactly
+/// (Rust's shortest-roundtrip float formatting, `float_roundtrip` behavior).
+pub fn format_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v:?}");
+        // `{:?}` already prints a decimal point or exponent for all finite
+        // floats, keeping the text unambiguously a float.
+        s
+    } else {
+        // JSON has no Inf/NaN; upstream serde_json errors here. The
+        // workspace never serializes non-finite floats, so clamp to null.
+        "null".to_owned()
+    }
+}
+
+/// Escapes and quotes a string as JSON.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses compact JSON text back into a [`Value`] (used for exotic map
+/// keys; `serde_json` exposes the full parser).
+///
+/// # Errors
+///
+/// Returns an [`Error`] describing the first syntax problem.
+pub fn from_compact_text(text: &str) -> Result<Value, Error> {
+    parser::parse(text)
+}
+
+/// The JSON text parser shared with the vendored `serde_json`.
+pub mod parser {
+    use super::{Error, Value};
+
+    /// Parses a complete JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] on the first syntax problem, including trailing
+    /// non-whitespace input.
+    pub fn parse(text: &str) -> Result<Value, Error> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(Error::msg(format!("trailing characters at byte {}", p.pos)));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn bump(&mut self) -> Result<u8, Error> {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error::msg("unexpected end of input"))?;
+            self.pos += 1;
+            Ok(b)
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), Error> {
+            let got = self.bump()?;
+            if got != b {
+                return Err(Error::msg(format!(
+                    "expected '{}' at byte {}, found '{}'",
+                    b as char,
+                    self.pos - 1,
+                    got as char
+                )));
+            }
+            Ok(())
+        }
+
+        fn literal(&mut self, text: &str, value: Value) -> Result<Value, Error> {
+            if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+                self.pos += text.len();
+                Ok(value)
+            } else {
+                Err(Error::msg(format!("invalid literal at byte {}", self.pos)))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, Error> {
+            match self.peek() {
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'"') => self.string().map(Value::String),
+                Some(b'[') => self.array(),
+                Some(b'{') => self.object(),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                Some(c) => Err(Error::msg(format!(
+                    "unexpected character '{}' at byte {}",
+                    c as char, self.pos
+                ))),
+                None => Err(Error::msg("unexpected end of input")),
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, Error> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.bump()? {
+                    b',' => continue,
+                    b']' => return Ok(Value::Array(items)),
+                    c => {
+                        return Err(Error::msg(format!(
+                            "expected ',' or ']' at byte {}, found '{}'",
+                            self.pos - 1,
+                            c as char
+                        )))
+                    }
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, Error> {
+            self.expect(b'{')?;
+            let mut entries = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                entries.push((key, value));
+                self.skip_ws();
+                match self.bump()? {
+                    b',' => continue,
+                    b'}' => return Ok(Value::Object(entries)),
+                    c => {
+                        return Err(Error::msg(format!(
+                            "expected ',' or '}}' at byte {}, found '{}'",
+                            self.pos - 1,
+                            c as char
+                        )))
+                    }
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, Error> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.bump()? {
+                    b'"' => return Ok(out),
+                    b'\\' => match self.bump()? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let d = self.bump()?;
+                                code = code * 16
+                                    + (d as char)
+                                        .to_digit(16)
+                                        .ok_or_else(|| Error::msg("invalid \\u escape"))?;
+                            }
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::msg("invalid \\u code point"))?,
+                            );
+                        }
+                        c => return Err(Error::msg(format!("invalid escape '\\{}'", c as char))),
+                    },
+                    c if c < 0x80 => out.push(c as char),
+                    c => {
+                        // Re-decode multi-byte UTF-8: the input is a &str so
+                        // the bytes are guaranteed valid.
+                        let start = self.pos - 1;
+                        let width = match c {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        let slice = &self.bytes[start..start + width];
+                        out.push_str(std::str::from_utf8(slice).expect("input is valid UTF-8"));
+                        self.pos = start + width;
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, Error> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            let mut is_float = false;
+            while let Some(c) = self.peek() {
+                match c {
+                    b'0'..=b'9' => self.pos += 1,
+                    b'.' | b'e' | b'E' | b'+' | b'-' => {
+                        is_float = true;
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            let text =
+                std::str::from_utf8(&self.bytes[start..self.pos]).expect("numeric bytes are ASCII");
+            if !is_float {
+                if let Ok(v) = text.parse::<u64>() {
+                    return Ok(Value::U64(v));
+                }
+                if let Ok(v) = text.parse::<i64>() {
+                    return Ok(Value::I64(v));
+                }
+            }
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error::msg(format!("invalid number '{text}'")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let s = "hé\"llo\n".to_owned();
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), s);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u64, 5, 9];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()).unwrap(), v);
+        let m: BTreeMap<u64, f64> = [(3, 0.25), (9, 0.75)].into_iter().collect();
+        assert_eq!(BTreeMap::<u64, f64>::from_value(&m.to_value()).unwrap(), m);
+        let t = (1u32, 2u32, 0.5f64);
+        assert_eq!(<(u32, u32, f64)>::from_value(&t.to_value()).unwrap(), t);
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&none.to_value()).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_value(&Some(4u32).to_value()).unwrap(),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn compact_text_roundtrips() {
+        let v = Value::Object(vec![
+            (
+                "a".into(),
+                Value::Array(vec![Value::U64(1), Value::F64(0.5)]),
+            ),
+            ("b".into(), Value::String("x\"y".into())),
+            ("c".into(), Value::Null),
+        ]);
+        let text = to_compact_text(&v);
+        assert_eq!(from_compact_text(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(from_compact_text("{").is_err());
+        assert!(from_compact_text("[1,]").is_err());
+        assert!(from_compact_text("12 34").is_err());
+        assert!(from_compact_text("nul").is_err());
+    }
+
+    #[test]
+    fn float_text_is_lossless() {
+        for v in [0.1, 1.0 / 3.0, 1e-12, 123456.789, -2.5e17] {
+            let text = format_f64(v);
+            assert_eq!(text.parse::<f64>().unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! Derive macros for the vendored serde stub.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). Supports the shapes this workspace
+//! derives: non-generic named-field structs, tuple structs (newtype
+//! structs serialize transparently), unit structs, and enums with unit,
+//! newtype, tuple, and struct variants — all in serde's externally-tagged
+//! representation. Container/field attributes (`#[serde(...)]`) are not
+//! supported and doc comments are ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a parsed item looks like.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum Fields {
+    /// `struct S;`
+    Unit,
+    /// `struct S(A, B);` — `usize` is the field count.
+    Tuple(usize),
+    /// `struct S { a: A, b: B }` — field names in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// Derives `serde::Serialize` (value-tree form).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    let name = item_name(&item);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree form).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    let name = item_name(&item);
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    }
+}
+
+// --- parsing -----------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("expected item name, found `{other}`"),
+    };
+    pos += 1;
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive does not support generic types (deriving `{name}`)");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    }
+}
+
+/// Advances past any `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // `#` and the bracket group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token stream on separating commas. Bracketed groups are single
+/// token trees, but angle brackets are NOT — a comma inside a generic type
+/// like `BTreeMap<Edge, f64>` appears at the top level, so `<`/`>` nesting
+/// depth must be tracked explicitly.
+fn split_on_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                current.push(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                // `->` in an `fn(..) -> T` type position never occurs in
+                // the plain data types this stub supports, so every `>`
+                // closes an angle bracket.
+                angle_depth = angle_depth.saturating_sub(1);
+                current.push(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut current));
+            }
+            _ => current.push(tt),
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_on_commas(stream)
+        .into_iter()
+        .filter(|tokens| !tokens.is_empty())
+        .map(|tokens| {
+            let mut pos = 0;
+            skip_attrs_and_vis(&tokens, &mut pos);
+            match &tokens[pos] {
+                TokenTree::Ident(i) => i.to_string(),
+                other => panic!("expected field name, found `{other}`"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_on_commas(stream)
+        .into_iter()
+        .filter(|tokens| !tokens.is_empty())
+        .count()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_on_commas(stream)
+        .into_iter()
+        .filter(|tokens| !tokens.is_empty())
+        .map(|tokens| {
+            let mut pos = 0;
+            skip_attrs_and_vis(&tokens, &mut pos);
+            let name = match &tokens[pos] {
+                TokenTree::Ident(i) => i.to_string(),
+                other => panic!("expected variant name, found `{other}`"),
+            };
+            pos += 1;
+            let fields = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+// --- codegen: Serialize ------------------------------------------------
+
+fn named_fields_to_object(field_names: &[String], access_prefix: &str) -> String {
+    let entries: Vec<String> = field_names
+        .iter()
+        .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&{access_prefix}{f}))"))
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+}
+
+fn serialize_struct(_name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_owned(),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Named(names) => named_fields_to_object(names, "self."),
+    }
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Unit => {
+                    format!("{name}::{vname} => ::serde::Value::String({vname:?}.to_string()),")
+                }
+                Fields::Tuple(1) => format!(
+                    "{name}::{vname}(__f0) => ::serde::Value::Object(vec![\
+                         ({vname:?}.to_string(), ::serde::Serialize::to_value(__f0))]),"
+                ),
+                Fields::Tuple(n) => {
+                    let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({}) => ::serde::Value::Object(vec![\
+                             ({vname:?}.to_string(), ::serde::Value::Array(vec![{}]))]),",
+                        binders.join(", "),
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(field_names) => {
+                    let binders = field_names.join(", ");
+                    let object = named_fields_to_object(field_names, "");
+                    format!(
+                        "{name}::{vname} {{ {binders} }} => ::serde::Value::Object(vec![\
+                             ({vname:?}.to_string(), {object})]),"
+                    )
+                }
+            }
+        })
+        .collect();
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+// --- codegen: Deserialize ----------------------------------------------
+
+fn named_fields_from_object(
+    type_path: &str,
+    field_names: &[String],
+    source: &str,
+    context: &str,
+) -> String {
+    let inits: Vec<String> = field_names
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value({source}.get({f:?})\
+                     .ok_or_else(|| ::serde::Error::msg(\
+                         concat!(\"missing field `\", {f:?}, \"` in {context}\")))?)?"
+            )
+        })
+        .collect();
+    format!("{type_path} {{ {} }}", inits.join(", "))
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!(
+            "match value {{\n\
+                 ::serde::Value::Null => Ok({name}),\n\
+                 other => Err(::serde::Error::expected(\"null\", other)),\n\
+             }}"
+        ),
+        Fields::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Array(__items) if __items.len() == {n} => \
+                         Ok({name}({})),\n\
+                     other => Err(::serde::Error::expected(\"array of length {n}\", other)),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Fields::Named(field_names) => {
+            let construct = named_fields_from_object(name, field_names, "value", name);
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Object(_) => Ok({construct}),\n\
+                     other => Err(::serde::Error::expected(\"object\", other)),\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut data_arms = Vec::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => unit_arms.push(format!("{vname:?} => Ok({name}::{vname}),")),
+            Fields::Tuple(1) => data_arms.push(format!(
+                "{vname:?} => Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_value(__inner)?)),"
+            )),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                data_arms.push(format!(
+                    "{vname:?} => match __inner {{\n\
+                         ::serde::Value::Array(__items) if __items.len() == {n} => \
+                             Ok({name}::{vname}({})),\n\
+                         other => Err(::serde::Error::expected(\
+                             \"array of length {n}\", other)),\n\
+                     }},",
+                    items.join(", ")
+                ));
+            }
+            Fields::Named(field_names) => {
+                let path = format!("{name}::{vname}");
+                let construct = named_fields_from_object(&path, field_names, "__inner", &path);
+                data_arms.push(format!(
+                    "{vname:?} => match __inner {{\n\
+                         ::serde::Value::Object(_) => Ok({construct}),\n\
+                         other => Err(::serde::Error::expected(\"object\", other)),\n\
+                     }},"
+                ));
+            }
+        }
+    }
+    format!(
+        "match value {{\n\
+             ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit}\n\
+                 other => Err(::serde::Error::msg(\
+                     format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+             }},\n\
+             ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                     {data}\n\
+                     other => Err(::serde::Error::msg(\
+                         format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             other => Err(::serde::Error::expected(\"{name} variant\", other)),\n\
+         }}",
+        unit = unit_arms.join("\n"),
+        data = data_arms.join("\n"),
+    )
+}

@@ -1,0 +1,194 @@
+//! Offline JSON front-end for the vendored `serde` stub.
+//!
+//! Provides the subset of the upstream `serde_json` API this workspace
+//! uses: [`to_string`], [`to_string_pretty`], [`from_str`], and [`Error`].
+//! Values flow through the vendored `serde::Value` tree; the parser lives
+//! in `serde::parser` and is shared with `serde`'s compact text format.
+
+#![deny(missing_docs)]
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Error produced while serializing to or deserializing from JSON text.
+///
+/// Wraps the vendored `serde::Error`; carries a human-readable message.
+pub struct Error(serde::Error);
+
+impl Error {
+    /// Creates an error from a message (used by the parser glue).
+    fn new(inner: serde::Error) -> Self {
+        Error(inner)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({})", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(inner: serde::Error) -> Self {
+        Error::new(inner)
+    }
+}
+
+/// Serializes `value` as a compact JSON string.
+///
+/// # Errors
+///
+/// Returns an [`Error`] if the value contains a non-finite float (JSON has
+/// no representation for NaN or infinities).
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let v = value.to_value();
+    check_finite(&v)?;
+    Ok(serde::to_compact_text(&v))
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indentation,
+/// `"key": value` member separators), matching upstream `serde_json`'s
+/// pretty format closely enough for substring assertions like
+/// `contains("\"num_qubits\": 3")`.
+///
+/// # Errors
+///
+/// Returns an [`Error`] if the value contains a non-finite float.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let v = value.to_value();
+    check_finite(&v)?;
+    let mut out = String::new();
+    write_pretty(&v, 0, &mut out);
+    Ok(out)
+}
+
+/// JSON cannot represent NaN or infinities; upstream `serde_json` errors
+/// on them, so this front-end does too (the value-tree printer in `serde`
+/// would silently clamp them to `null`).
+fn check_finite(value: &Value) -> Result<(), Error> {
+    match value {
+        Value::F64(v) if !v.is_finite() => Err(Error::new(serde::Error::msg(format!(
+            "cannot serialize non-finite float {v}"
+        )))),
+        Value::Array(items) => items.iter().try_for_each(check_finite),
+        Value::Object(entries) => entries.iter().try_for_each(|(_, v)| check_finite(v)),
+        _ => Ok(()),
+    }
+}
+
+/// Parses a value of type `T` from JSON text.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or when the parsed value does not
+/// match the shape `T` expects (missing fields, wrong types, unknown enum
+/// variants).
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = serde::parser::parse(text).map_err(Error::new)?;
+    T::from_value(&value).map_err(Error::new)
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_pretty(value: &Value, depth: usize, out: &mut String) {
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                indent(out, depth + 1);
+                write_pretty(item, depth + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            indent(out, depth);
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, item)) in entries.iter().enumerate() {
+                indent(out, depth + 1);
+                serde::write_json_string(key, out);
+                out.push_str(": ");
+                write_pretty(item, depth + 1, out);
+                if i + 1 < entries.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            indent(out, depth);
+            out.push('}');
+        }
+        // Empty containers and scalars print compactly ("[]", "{}", "3").
+        other => out.push_str(&serde::to_compact_text(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_object_format() {
+        let v = Value::Object(vec![
+            ("num_qubits".to_string(), Value::U64(3)),
+            (
+                "edges".to_string(),
+                Value::Array(vec![
+                    Value::Array(vec![Value::U64(0), Value::U64(1)]),
+                    Value::Array(vec![Value::U64(1), Value::U64(2)]),
+                ]),
+            ),
+            ("empty".to_string(), Value::Array(Vec::new())),
+        ]);
+        let mut out = String::new();
+        write_pretty(&v, 0, &mut out);
+        assert!(out.contains("\"num_qubits\": 3"), "{out}");
+        assert!(out.contains("\"empty\": []"), "{out}");
+        assert!(out.starts_with("{\n  \""), "{out}");
+        assert!(out.ends_with("\n}"), "{out}");
+        // Pretty output must reparse to the same value.
+        let back = serde::parser::parse(&out).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn roundtrip_via_traits() {
+        let xs: Vec<u64> = vec![1, 2, 3];
+        let text = to_string_pretty(&xs).unwrap();
+        let back: Vec<u64> = from_str(&text).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(from_str::<Vec<u64>>("[1, 2").is_err());
+        assert!(from_str::<Vec<u64>>("not json").is_err());
+        assert!(from_str::<Vec<u64>>("[1] trailing").is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_error() {
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string_pretty(&f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn compact_matches_serde() {
+        let v: (u64, bool) = (7, true);
+        assert_eq!(to_string(&v).unwrap(), "[7,true]");
+    }
+}
