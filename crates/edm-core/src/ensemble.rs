@@ -423,72 +423,11 @@ impl<'t, B: Backend> EdmRunner<'t, B> {
         total_shots: u64,
         seed: u64,
     ) -> Result<EdmResult, EdmError> {
-        if members.is_empty() {
-            return Err(EdmError::NoEmbeddings);
-        }
-        let k = members.len() as u64;
-        if total_shots < k {
-            return Err(EdmError::InvalidConfig("fewer shots than ensemble members"));
-        }
-        let shares = allocate_shots(&members, total_shots, self.config.shot_allocation);
-
-        // One batch over all members: the backend fans the (member × slice)
-        // work items across its worker pool. Each member's RNG root is
-        // forked from the run seed — unlike the old `seed + i` scheme,
-        // forked streams cannot collide with the per-slice streams the
-        // executor derives below them (see `qsim::rngstream`).
-        let jobs: Vec<BatchJob<'_>> = members
-            .iter()
-            .zip(&shares)
-            .enumerate()
-            .map(|(i, (member, &shots))| BatchJob {
-                circuit: &member.physical,
-                shots,
-                seed: qsim::rngstream::fork(seed, i as u64),
-            })
-            .collect();
-        let mut results = self.backend.execute_batch(&jobs, self.threads);
-        debug_assert_eq!(results.len(), members.len());
-
-        let mut runs = Vec::with_capacity(members.len());
-        for (member, raw) in members.into_iter().zip(results.drain(..)) {
-            let raw = raw?;
-            let counts = if member.inverted_measurement {
-                uninvert_counts(&raw)
-            } else {
-                raw
-            };
-            let dist = ProbDist::from_counts(&counts);
-            runs.push(MemberRun {
-                member,
-                counts,
-                dist,
-            });
-        }
-
-        let all_dists: Vec<ProbDist> = runs.iter().map(|r| r.dist.clone()).collect();
-        let (merge_input, filtered_out) = match self.config.uniformity_filter {
-            Some(threshold) => {
-                let (kept, dropped) = filter::partition_informative(&all_dists, threshold);
-                if kept.is_empty() {
-                    // Everything drowned in noise: fall back to merging all.
-                    (all_dists.clone(), dropped)
-                } else {
-                    (kept, dropped)
-                }
-            }
-            None => (all_dists.clone(), Vec::new()),
-        };
-
-        let edm = ProbDist::merge_uniform(&merge_input);
-        let (wedm, weights) = wedm::merge(&merge_input);
-        Ok(EdmResult {
-            members: runs,
-            edm,
-            wedm,
-            weights,
-            filtered_out,
-        })
+        let plan = plan_run(members, total_shots, seed, self.config.shot_allocation)?;
+        let jobs = plan.jobs();
+        let results = self.backend.execute_batch(&jobs, self.threads);
+        drop(jobs);
+        assemble_result(plan.members, results, &self.config)
     }
 
     /// Runs the paper's baseline: all trials on the single best mapping.
@@ -509,6 +448,141 @@ impl<'t, B: Backend> EdmRunner<'t, B> {
         let result = self.run_members(members, total_shots, seed)?;
         Ok(result.members.into_iter().next().expect("one member"))
     }
+}
+
+/// A fully planned ensemble execution: members in ESP-descending order,
+/// per-member shot shares, and per-member RNG roots.
+///
+/// Splitting planning from assembly lets callers control dispatch: the
+/// serving layer (`edm-serve`) concatenates the [`RunPlan::jobs`] of many
+/// queued requests into one `execute_batch` call and still reassembles each
+/// request with [`assemble_result`]. Because the batch executor is per-job
+/// deterministic, results are bit-identical to running every request alone
+/// through [`EdmRunner::run_members`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunPlan {
+    /// Ensemble members, ordered by descending compile-time ESP.
+    pub members: Vec<EnsembleMember>,
+    /// Shots assigned to each member; sums to the requested total.
+    pub shares: Vec<u64>,
+    /// Per-member RNG roots, forked from the run seed.
+    pub seeds: Vec<u64>,
+}
+
+impl RunPlan {
+    /// The planned execution as batch jobs, one per member, in member order.
+    pub fn jobs(&self) -> Vec<BatchJob<'_>> {
+        self.members
+            .iter()
+            .zip(&self.shares)
+            .zip(&self.seeds)
+            .map(|((member, &shots), &seed)| BatchJob {
+                circuit: &member.physical,
+                shots,
+                seed,
+            })
+            .collect()
+    }
+}
+
+/// Plans an ensemble execution: allocates the shot budget across members and
+/// forks each member's RNG root from the run seed.
+///
+/// Each member's root is `qsim::rngstream::fork(seed, i)` — unlike a naive
+/// `seed + i` scheme, forked streams cannot collide with the per-slice
+/// streams the executor derives below them (see `qsim::rngstream`).
+///
+/// # Errors
+///
+/// - [`EdmError::NoEmbeddings`] if `members` is empty.
+/// - [`EdmError::InvalidConfig`] if fewer shots than members are requested.
+pub fn plan_run(
+    members: Vec<EnsembleMember>,
+    total_shots: u64,
+    seed: u64,
+    allocation: ShotAllocation,
+) -> Result<RunPlan, EdmError> {
+    if members.is_empty() {
+        return Err(EdmError::NoEmbeddings);
+    }
+    if total_shots < members.len() as u64 {
+        return Err(EdmError::InvalidConfig("fewer shots than ensemble members"));
+    }
+    let shares = allocate_shots(&members, total_shots, allocation);
+    let seeds = (0..members.len() as u64)
+        .map(|i| qsim::rngstream::fork(seed, i))
+        .collect();
+    Ok(RunPlan {
+        members,
+        shares,
+        seeds,
+    })
+}
+
+/// Merges raw per-member histograms into an [`EdmResult`]: basis-corrects
+/// inverted members, normalizes, applies the optional uniformity filter, and
+/// computes the EDM and WEDM merges.
+///
+/// `raw` must hold one result per member, in member order — exactly what
+/// `Backend::execute_batch` returns for [`RunPlan::jobs`].
+///
+/// # Errors
+///
+/// Propagates the first member's execution error, wrapped in
+/// [`EdmError::Sim`].
+///
+/// # Panics
+///
+/// Panics if `raw` and `members` have different lengths.
+pub fn assemble_result(
+    members: Vec<EnsembleMember>,
+    raw: Vec<Result<Counts, qsim::SimError>>,
+    config: &EnsembleConfig,
+) -> Result<EdmResult, EdmError> {
+    assert_eq!(
+        members.len(),
+        raw.len(),
+        "one raw result required per member"
+    );
+    let mut runs = Vec::with_capacity(members.len());
+    for (member, raw) in members.into_iter().zip(raw) {
+        let raw = raw?;
+        let counts = if member.inverted_measurement {
+            uninvert_counts(&raw)
+        } else {
+            raw
+        };
+        let dist = ProbDist::from_counts(&counts);
+        runs.push(MemberRun {
+            member,
+            counts,
+            dist,
+        });
+    }
+
+    let all_dists: Vec<ProbDist> = runs.iter().map(|r| r.dist.clone()).collect();
+    let (merge_input, filtered_out) = match config.uniformity_filter {
+        Some(threshold) => {
+            let (kept, dropped) = filter::partition_informative(&all_dists, threshold);
+            if kept.is_empty() {
+                // Everything drowned in noise: fall back to merging all.
+                (all_dists.clone(), dropped)
+            } else {
+                (kept, dropped)
+            }
+        }
+        None => (all_dists.clone(), Vec::new()),
+    };
+
+    let edm = ProbDist::merge_uniform(&merge_input);
+    let (wedm, weights) = wedm::merge(&merge_input);
+    Ok(EdmResult {
+        members: runs,
+        edm,
+        wedm,
+        weights,
+        filtered_out,
+    })
 }
 
 /// Divides `total_shots` among members per the allocation policy; every
@@ -752,6 +826,59 @@ mod tests {
                     "member {i} of seed 100 replays member {j} of seed 101"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn plan_seeds_fork_from_run_seed() {
+        let (d, cal) = setup();
+        let t = Transpiler::new(d.topology(), &cal);
+        let members = build_ensemble(&t, &bv3(), &EnsembleConfig::default()).unwrap();
+        let plan = plan_run(members, 4096, 17, ShotAllocation::Uniform).unwrap();
+        for (i, &s) in plan.seeds.iter().enumerate() {
+            assert_eq!(s, qsim::rngstream::fork(17, i as u64));
+        }
+        assert_eq!(plan.shares.iter().sum::<u64>(), 4096);
+        let jobs = plan.jobs();
+        assert_eq!(jobs.len(), plan.members.len());
+        for (job, (&shots, &seed)) in jobs.iter().zip(plan.shares.iter().zip(&plan.seeds)) {
+            assert_eq!(job.shots, shots);
+            assert_eq!(job.seed, seed);
+        }
+    }
+
+    #[test]
+    fn coalesced_plans_match_individual_runs() {
+        // The serving pattern: concatenate two requests' jobs into ONE
+        // execute_batch call, split the results, assemble each — must be
+        // bit-identical to running each request through run_members alone.
+        let (d, cal) = setup();
+        let t = Transpiler::new(d.topology(), &cal);
+        let backend = NoisySimulator::from_device(&d);
+        let config = EnsembleConfig::default();
+        let runner = EdmRunner::new(&t, &backend, config);
+
+        let requests = [(&bv3(), 2048u64, 5u64), (&bv3(), 4096, 91)];
+        let direct: Vec<EdmResult> = requests
+            .iter()
+            .map(|&(c, shots, seed)| runner.run(c, shots, seed).unwrap())
+            .collect();
+
+        let plans: Vec<RunPlan> = requests
+            .iter()
+            .map(|&(c, shots, seed)| {
+                let members = build_ensemble(&t, c, &config).unwrap();
+                plan_run(members, shots, seed, config.shot_allocation).unwrap()
+            })
+            .collect();
+        let all_jobs: Vec<BatchJob<'_>> = plans.iter().flat_map(|p| p.jobs()).collect();
+        let mut results = backend.execute_batch(&all_jobs, 2).into_iter();
+        drop(all_jobs);
+        for (plan, expected) in plans.into_iter().zip(direct) {
+            let k = plan.members.len();
+            let raw: Vec<_> = results.by_ref().take(k).collect();
+            let assembled = assemble_result(plan.members, raw, &config).unwrap();
+            assert_eq!(assembled, expected);
         }
     }
 

@@ -65,8 +65,8 @@ pub mod wedm;
 pub use adaptive::AdaptiveResult;
 pub use dist::ProbDist;
 pub use ensemble::{
-    build_ensemble, diversify, EdmResult, EdmRunner, EnsembleConfig, EnsembleMember, MemberRun,
-    ShotAllocation,
+    assemble_result, build_ensemble, diversify, plan_run, EdmResult, EdmRunner, EnsembleConfig,
+    EnsembleMember, MemberRun, RunPlan, ShotAllocation,
 };
 pub use error::EdmError;
 pub use executor::{Backend, BatchJob};

@@ -1,0 +1,187 @@
+//! `edm-serve` — a JSON-lines job service over the EDM pipeline.
+//!
+//! ```text
+//! edm-serve [--device-seed N] [--threads N] [--queue N] [--cache N] [--batch N]
+//! ```
+//!
+//! Reads one [`Request`](edm_serve::protocol::Request) JSON object per
+//! stdin line, writes one [`Response`](edm_serve::protocol::Response) JSON
+//! object per stdout line, and exits on `"Shutdown"` or EOF. The device is
+//! the simulated IBMQ-14 (`melbourne14`) synthesized from `--device-seed`,
+//! matching `edm-cli run` — so a served result is bit-identical to the
+//! direct run with the same circuit, shots, and seed.
+
+use edm_serve::protocol::{JobSummary, Request, Response};
+use edm_serve::queue::JobRequest;
+use edm_serve::service::{JobService, JobState, ServeConfig};
+use edm_serve::validate;
+use qcir::qasm;
+use qdevice::{presets, DeviceModel};
+use qsim::NoisySimulator;
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  edm-serve [--device-seed N] [--threads N] [--queue N] [--cache N] [--batch N]
+
+Speaks JSON lines on stdin/stdout. Requests:
+  {\"Submit\":{\"qasm\":\"...\",\"shots\":N,\"seed\":N,\"priority\":\"Normal\"}}
+  {\"Poll\":{\"id\":N}}   \"Flush\"   \"Stats\"   \"BumpCalibration\"   \"Shutdown\"";
+
+fn flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
+    match args.iter().position(|a| a == name) {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .map(Some)
+            .ok_or_else(|| format!("{name} expects an integer")),
+        None => Ok(None),
+    }
+}
+
+fn config_from_args(args: &[String]) -> Result<(u64, ServeConfig), String> {
+    let device_seed = flag(args, "--device-seed")?.unwrap_or(42);
+    let mut config = ServeConfig::default();
+    if let Some(threads) = validate::threads(flag(args, "--threads")?).map_err(|e| e.to_string())? {
+        config.threads = threads;
+    }
+    if let Some(queue) = flag(args, "--queue")? {
+        if queue == 0 {
+            return Err("--queue must be at least 1".into());
+        }
+        config.queue_capacity = queue as usize;
+    }
+    if let Some(cache) = flag(args, "--cache")? {
+        if cache == 0 {
+            return Err("--cache must be at least 1".into());
+        }
+        config.cache_capacity = cache as usize;
+    }
+    if let Some(batch) = flag(args, "--batch")? {
+        if batch == 0 {
+            return Err("--batch must be at least 1".into());
+        }
+        config.max_batch_jobs = batch as usize;
+    }
+    Ok((device_seed, config))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let (device_seed, config) = match config_from_args(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let device = DeviceModel::synthesize(presets::melbourne14(), device_seed);
+    let backend = NoisySimulator::from_device(&device);
+    let mut service = JobService::new(
+        device.topology().clone(),
+        device.calibration(),
+        backend,
+        config,
+    );
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match serde_json::from_str::<Request>(&line) {
+            Ok(request) => request,
+            Err(e) => {
+                emit(
+                    &mut out,
+                    &Response::Error {
+                        reason: format!("bad request line: {e}"),
+                    },
+                );
+                continue;
+            }
+        };
+        let shutdown = matches!(request, Request::Shutdown);
+        let response = handle(&mut service, request);
+        emit(&mut out, &response);
+        if shutdown {
+            return ExitCode::SUCCESS;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn emit(out: &mut impl Write, response: &Response) {
+    let line = serde_json::to_string(response).expect("responses always serialize");
+    writeln!(out, "{line}").expect("stdout closed");
+    out.flush().expect("stdout closed");
+}
+
+fn handle<B: edm_core::Backend>(service: &mut JobService<B>, request: Request) -> Response {
+    match request {
+        Request::Submit {
+            qasm,
+            shots,
+            seed,
+            priority,
+        } => {
+            let circuit = match qasm::parse(&qasm) {
+                Ok(circuit) => circuit,
+                Err(e) => {
+                    return Response::Rejected {
+                        reason: format!("bad qasm: {e}"),
+                    }
+                }
+            };
+            match service.submit(JobRequest {
+                circuit,
+                shots,
+                seed,
+                priority,
+            }) {
+                Ok(id) => Response::Accepted { id },
+                Err(e) => Response::Rejected {
+                    reason: e.to_string(),
+                },
+            }
+        }
+        Request::Poll { id } => {
+            // Polling drives the service: anything queued runs first, so a
+            // single-client session never needs a separate Flush.
+            service.process_all();
+            match service.poll(id) {
+                None => Response::Unknown { id },
+                Some(JobState::Queued) => Response::Queued { id },
+                Some(JobState::Failed(reason)) => Response::Failed {
+                    id,
+                    reason: reason.clone(),
+                },
+                Some(JobState::Done(done)) => Response::Finished {
+                    id,
+                    summary: JobSummary::from_result(id, &done.result, done.latency_ms),
+                },
+            }
+        }
+        Request::Flush => Response::Processed {
+            jobs: service.process_all() as u64,
+        },
+        Request::Stats => Response::Stats {
+            stats: service.stats(),
+        },
+        Request::BumpCalibration => Response::Recalibrated {
+            generation: service.bump_calibration_generation(),
+        },
+        Request::Shutdown => Response::Bye,
+    }
+}

@@ -1,0 +1,268 @@
+//! The compilation cache: memoized compiled ensembles.
+//!
+//! VF2 enumeration + ESP ranking is by far the most expensive step of
+//! serving a job, and it depends only on `(circuit, topology, calibration
+//! cycle)`. The cache keys on exactly those three — a stable circuit
+//! fingerprint, a stable topology fingerprint, and the calibration
+//! generation — so resubmitting a circuit within one calibration cycle
+//! reuses the compiled ensemble, while a generation bump can never serve a
+//! stale compilation (the old generation's keys simply stop matching).
+
+use edm_core::EnsembleMember;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// What a compilation is memoized under.
+///
+/// All three components are content-derived or monotonic, so equal keys
+/// imply the compiled ensemble would come out identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CacheKey {
+    /// [`qcir::Circuit::fingerprint`] of the logical circuit.
+    pub circuit: u64,
+    /// [`qdevice::Topology::fingerprint`] of the device coupling graph.
+    pub topology: u64,
+    /// [`qdevice::Calibration::generation`] the compilation used.
+    pub generation: u64,
+}
+
+/// Counter snapshot of a [`CompileCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries displaced by the LRU bound.
+    pub evictions: u64,
+    /// Entries purged because their calibration generation went stale.
+    pub invalidated: u64,
+    /// Live entries right now.
+    pub entries: u64,
+    /// Maximum live entries.
+    pub capacity: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache, or 0.0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    ensemble: Arc<Vec<EnsembleMember>>,
+    last_used: u64,
+}
+
+/// An LRU-bounded map from [`CacheKey`] to a compiled ensemble.
+///
+/// Entries are shared out as `Arc`s so a hit costs a pointer clone, not an
+/// ensemble clone. Not internally synchronized — the service owns it behind
+/// one `&mut`.
+pub struct CompileCache {
+    capacity: usize,
+    tick: u64,
+    entries: BTreeMap<CacheKey, Entry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidated: u64,
+}
+
+impl CompileCache {
+    /// Creates a cache bounded to `capacity` live entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` — a zero-capacity cache would turn every
+    /// insert into an immediate eviction, which is never what a caller
+    /// wants; disable caching by not consulting the cache instead.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        CompileCache {
+            capacity,
+            tick: 0,
+            entries: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            invalidated: 0,
+        }
+    }
+
+    /// Looks up a compiled ensemble, refreshing its LRU position on hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<Vec<EnsembleMember>>> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(&entry.ensemble))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a compiled ensemble, evicting the least-recently-used entry
+    /// if the cache is full. Returns the shared handle.
+    pub fn insert(
+        &mut self,
+        key: CacheKey,
+        ensemble: Vec<EnsembleMember>,
+    ) -> Arc<Vec<EnsembleMember>> {
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("cache is non-empty when at capacity");
+            self.entries.remove(&lru);
+            self.evictions += 1;
+        }
+        let shared = Arc::new(ensemble);
+        self.entries.insert(
+            key,
+            Entry {
+                ensemble: Arc::clone(&shared),
+                last_used: self.tick,
+            },
+        );
+        shared
+    }
+
+    /// Purges every entry whose generation differs from `generation`.
+    ///
+    /// Correctness never depends on this — stale generations stop matching
+    /// by key construction — but purging returns their slots to the LRU
+    /// budget immediately after a recalibration instead of waiting for
+    /// eviction pressure. Returns how many entries were purged.
+    pub fn retain_generation(&mut self, generation: u64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|k, _| k.generation == generation);
+        let purged = before - self.entries.len();
+        self.invalidated += purged as u64;
+        purged
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            invalidated: self.invalidated,
+            entries: self.entries.len() as u64,
+            capacity: self.capacity as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::Circuit;
+
+    fn member(tag: u32) -> EnsembleMember {
+        EnsembleMember {
+            physical: Circuit::new(tag, tag),
+            esp: 0.5,
+            qubits: vec![tag],
+            assignment: vec![tag],
+            inverted_measurement: false,
+        }
+    }
+
+    fn key(circuit: u64, generation: u64) -> CacheKey {
+        CacheKey {
+            circuit,
+            topology: 99,
+            generation,
+        }
+    }
+
+    #[test]
+    fn miss_then_hit_counts() {
+        let mut c = CompileCache::new(4);
+        assert!(c.get(&key(1, 0)).is_none());
+        c.insert(key(1, 0), vec![member(1)]);
+        let got = c.get(&key(1, 0)).expect("inserted entry");
+        assert_eq!(got.len(), 1);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 1, 0));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = CompileCache::new(2);
+        c.insert(key(1, 0), vec![member(1)]);
+        c.insert(key(2, 0), vec![member(2)]);
+        // Touch key 1 so key 2 becomes the LRU victim.
+        assert!(c.get(&key(1, 0)).is_some());
+        c.insert(key(3, 0), vec![member(3)]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.get(&key(1, 0)).is_some());
+        assert!(c.get(&key(2, 0)).is_none(), "LRU entry must be gone");
+        assert!(c.get(&key(3, 0)).is_some());
+    }
+
+    #[test]
+    fn reinserting_same_key_does_not_evict() {
+        let mut c = CompileCache::new(2);
+        c.insert(key(1, 0), vec![member(1)]);
+        c.insert(key(2, 0), vec![member(2)]);
+        c.insert(key(1, 0), vec![member(1), member(1)]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get(&key(1, 0)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn generation_change_misses_and_purge_reclaims() {
+        let mut c = CompileCache::new(8);
+        c.insert(key(1, 0), vec![member(1)]);
+        c.insert(key(2, 0), vec![member(2)]);
+        // New generation: same circuit, different key -> miss.
+        assert!(c.get(&key(1, 1)).is_none());
+        assert_eq!(c.retain_generation(1), 2);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().invalidated, 2);
+        // The old generation's entries are gone entirely.
+        assert!(c.get(&key(1, 0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = CompileCache::new(0);
+    }
+
+    #[test]
+    fn hit_rate_zero_before_any_lookup() {
+        let c = CompileCache::new(1);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Time abstraction so retry backoff and latency accounting are testable.
+//!
+//! The dispatcher and service consult a [`Clock`] instead of
+//! `std::time::Instant` directly; tests swap in [`ManualClock`] to make
+//! backoff schedules and timeouts deterministic without real sleeping.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A monotonic millisecond clock that can also block.
+pub trait Clock: Send + Sync {
+    /// Milliseconds elapsed since some fixed origin.
+    fn now_ms(&self) -> u64;
+
+    /// Blocks the caller for `ms` milliseconds.
+    fn sleep_ms(&self, ms: u64);
+}
+
+/// The production clock: `Instant`-based monotonic time and real sleeping.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// Creates a clock whose origin is "now".
+    pub fn new() -> Self {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+}
+
+/// A test clock: time only advances when something "sleeps", and every
+/// sleep is recorded so tests can assert the exact backoff schedule.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+    sleeps: Mutex<Vec<u64>>,
+}
+
+impl ManualClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// The sleep durations observed so far, in call order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned (a prior panic mid-sleep).
+    pub fn sleeps(&self) -> Vec<u64> {
+        self.sleeps.lock().expect("clock lock poisoned").clone()
+    }
+
+    /// Advances time without recording a sleep.
+    pub fn advance_ms(&self, ms: u64) {
+        self.now.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        self.sleeps.lock().expect("clock lock poisoned").push(ms);
+        self.now.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now_ms();
+        let b = c.now_ms();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advances_on_sleep_and_records() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ms(), 0);
+        c.sleep_ms(10);
+        c.advance_ms(5);
+        c.sleep_ms(40);
+        assert_eq!(c.now_ms(), 55);
+        assert_eq!(c.sleeps(), vec![10, 40]);
+    }
+}

@@ -1,0 +1,453 @@
+//! The retry-aware dispatcher: a [`Backend`] wrapper that survives
+//! transient failures.
+//!
+//! Real backends drop jobs for reasons that have nothing to do with the
+//! circuit — queue contention, lost links, worker restarts. The
+//! [`Dispatcher`] retries exactly those (`SimError::is_transient`) with
+//! bounded exponential backoff under a per-job timeout, and passes every
+//! deterministic circuit error straight through. Because a retry reuses the
+//! identical `(circuit, shots, seed)`, a job that eventually succeeds is
+//! bit-identical to one that succeeded first try.
+
+use crate::clock::{Clock, SystemClock};
+use edm_core::{Backend, BatchJob};
+use qcir::Circuit;
+use qsim::{Counts, SimError};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Bounds on the dispatcher's retry behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in milliseconds; doubles per retry.
+    pub base_backoff_ms: u64,
+    /// Upper bound on any single backoff.
+    pub max_backoff_ms: u64,
+    /// Wall-clock budget per job, measured from dispatch; a retry whose
+    /// backoff would overrun it is not attempted.
+    pub job_timeout_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff_ms: 10,
+            max_backoff_ms: 1_000,
+            job_timeout_ms: 30_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry `k` (1-based): `base * 2^(k-1)`, capped at
+    /// `max_backoff_ms`.
+    pub fn backoff_ms(&self, k: u32) -> u64 {
+        let doubled = self
+            .base_backoff_ms
+            .saturating_mul(1u64.checked_shl(k.saturating_sub(1)).unwrap_or(u64::MAX));
+        doubled.min(self.max_backoff_ms)
+    }
+}
+
+/// A [`Backend`] wrapper that retries transient failures.
+///
+/// Deterministic circuit errors pass through untouched. Counters
+/// ([`Dispatcher::retries`], [`Dispatcher::exhausted`],
+/// [`Dispatcher::timeouts`]) feed the service stats.
+pub struct Dispatcher<B> {
+    inner: B,
+    policy: RetryPolicy,
+    clock: Arc<dyn Clock>,
+    retries: AtomicU64,
+    exhausted: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+impl<B: Backend> Dispatcher<B> {
+    /// Wraps `inner` under `policy` with the real system clock.
+    pub fn new(inner: B, policy: RetryPolicy) -> Self {
+        Dispatcher::with_clock(inner, policy, Arc::new(SystemClock::new()))
+    }
+
+    /// Wraps `inner` with an explicit clock (tests pass
+    /// [`ManualClock`](crate::clock::ManualClock)).
+    pub fn with_clock(inner: B, policy: RetryPolicy, clock: Arc<dyn Clock>) -> Self {
+        Dispatcher {
+            inner,
+            policy,
+            clock,
+            retries: AtomicU64::new(0),
+            exhausted: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// The retry policy in force.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Total retry attempts performed (not jobs retried).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::SeqCst)
+    }
+
+    /// Jobs that failed even after the full retry budget.
+    pub fn exhausted(&self) -> u64 {
+        self.exhausted.load(Ordering::SeqCst)
+    }
+
+    /// Jobs whose retrying was cut short by the per-job timeout.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::SeqCst)
+    }
+
+    /// Retries a transiently failed job until success, a deterministic
+    /// error, retry exhaustion, or the deadline. `attempt` must repeat the
+    /// exact original execution (same entry point, same inputs) so a late
+    /// success is bit-identical to a first-try success.
+    fn retry(
+        &self,
+        deadline_ms: u64,
+        mut last: SimError,
+        attempt: impl Fn() -> Result<Counts, SimError>,
+    ) -> Result<Counts, SimError> {
+        for k in 1..=self.policy.max_retries {
+            let backoff = self.policy.backoff_ms(k);
+            if self.clock.now_ms().saturating_add(backoff) > deadline_ms {
+                self.timeouts.fetch_add(1, Ordering::SeqCst);
+                return Err(SimError::BackendUnavailable {
+                    reason: "per-job timeout exceeded before the retry budget",
+                });
+            }
+            self.clock.sleep_ms(backoff);
+            self.retries.fetch_add(1, Ordering::SeqCst);
+            match attempt() {
+                Ok(counts) => return Ok(counts),
+                Err(e) if !e.is_transient() => return Err(e),
+                Err(e) => last = e,
+            }
+        }
+        self.exhausted.fetch_add(1, Ordering::SeqCst);
+        Err(last)
+    }
+}
+
+impl<B: Backend> Backend for Dispatcher<B> {
+    fn execute(&self, circuit: &Circuit, shots: u64, seed: u64) -> Result<Counts, SimError> {
+        let deadline = self
+            .clock
+            .now_ms()
+            .saturating_add(self.policy.job_timeout_ms);
+        match self.inner.execute(circuit, shots, seed) {
+            Ok(counts) => Ok(counts),
+            Err(e) if !e.is_transient() => Err(e),
+            Err(e) => self.retry(deadline, e, || self.inner.execute(circuit, shots, seed)),
+        }
+    }
+
+    fn execute_batch(
+        &self,
+        jobs: &[BatchJob<'_>],
+        threads: usize,
+    ) -> Vec<Result<Counts, SimError>> {
+        // One parallel pass through the inner backend, then serial retries
+        // for the (rare) transient stragglers. A straggler is re-run as a
+        // one-job batch: a backend's batch seed schedule may legitimately
+        // differ from its single-circuit schedule (the simulator's does),
+        // and per-job batch results must not depend on batch composition,
+        // so this reproduces the original execution exactly. The timeout
+        // window is measured from batch dispatch.
+        let deadline = self
+            .clock
+            .now_ms()
+            .saturating_add(self.policy.job_timeout_ms);
+        let mut out = self.inner.execute_batch(jobs, threads);
+        for (job, slot) in jobs.iter().zip(out.iter_mut()) {
+            if let Err(e) = slot {
+                if e.is_transient() {
+                    *slot = self.retry(deadline, e.clone(), || {
+                        self.inner
+                            .execute_batch(std::slice::from_ref(job), 1)
+                            .pop()
+                            .expect("one job in, one result out")
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A fault-injecting [`Backend`] test double.
+///
+/// Fails each distinct job (keyed by seed) with a transient
+/// [`SimError::BackendUnavailable`] for its first `failures_per_job`
+/// attempts, then delegates to the wrapped backend. Used to prove the
+/// dispatcher's retry and give-up behavior; exported so downstream crates
+/// can fault-inject their own integration tests.
+pub struct FlakyBackend<B> {
+    inner: B,
+    failures_per_job: u32,
+    attempts: Mutex<BTreeMap<u64, u32>>,
+}
+
+impl<B: Backend> FlakyBackend<B> {
+    /// Wraps `inner`, injecting `failures_per_job` transient failures per
+    /// distinct job seed.
+    pub fn new(inner: B, failures_per_job: u32) -> Self {
+        FlakyBackend {
+            inner,
+            failures_per_job,
+            attempts: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Total injected failures so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    pub fn injected(&self) -> u64 {
+        self.attempts
+            .lock()
+            .expect("attempts lock poisoned")
+            .values()
+            .map(|&n| u64::from(n.min(self.failures_per_job)))
+            .sum()
+    }
+}
+
+impl<B: Backend> Backend for FlakyBackend<B> {
+    fn execute(&self, circuit: &Circuit, shots: u64, seed: u64) -> Result<Counts, SimError> {
+        {
+            let mut attempts = self.attempts.lock().expect("attempts lock poisoned");
+            let n = attempts.entry(seed).or_insert(0);
+            if *n < self.failures_per_job {
+                *n += 1;
+                return Err(SimError::BackendUnavailable {
+                    reason: "injected fault",
+                });
+            }
+        }
+        self.inner.execute(circuit, shots, seed)
+    }
+
+    fn execute_batch(
+        &self,
+        jobs: &[BatchJob<'_>],
+        threads: usize,
+    ) -> Vec<Result<Counts, SimError>> {
+        // Inject per job, then delegate the survivors as one sub-batch.
+        // Per-job batch results must not depend on batch composition, so
+        // sub-batching keeps surviving jobs bit-identical to a fault-free
+        // full batch — which is exactly what the dispatcher tests assert.
+        let injected: Vec<bool> = {
+            let mut attempts = self.attempts.lock().expect("attempts lock poisoned");
+            jobs.iter()
+                .map(|job| {
+                    let n = attempts.entry(job.seed).or_insert(0);
+                    if *n < self.failures_per_job {
+                        *n += 1;
+                        true
+                    } else {
+                        false
+                    }
+                })
+                .collect()
+        };
+        let survivors: Vec<BatchJob<'_>> = jobs
+            .iter()
+            .zip(&injected)
+            .filter(|(_, &inj)| !inj)
+            .map(|(job, _)| *job)
+            .collect();
+        let mut passed = self.inner.execute_batch(&survivors, threads).into_iter();
+        injected
+            .into_iter()
+            .map(|inj| {
+                if inj {
+                    Err(SimError::BackendUnavailable {
+                        reason: "injected fault",
+                    })
+                } else {
+                    passed.next().expect("one result per surviving job")
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    /// Succeeds every job with a fixed all-zeros histogram.
+    struct OkBackend;
+
+    impl Backend for OkBackend {
+        fn execute(&self, circuit: &Circuit, shots: u64, _seed: u64) -> Result<Counts, SimError> {
+            let mut counts = Counts::new(circuit.num_clbits());
+            counts.record_n(0, shots);
+            Ok(counts)
+        }
+    }
+
+    /// Fails every job with a transient error, forever.
+    struct DownBackend;
+
+    impl Backend for DownBackend {
+        fn execute(&self, _: &Circuit, _: u64, _: u64) -> Result<Counts, SimError> {
+            Err(SimError::BackendUnavailable {
+                reason: "backend down",
+            })
+        }
+    }
+
+    fn circuit() -> Circuit {
+        let mut c = Circuit::new(1, 1);
+        c.h(0).measure(0, 0);
+        c
+    }
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff_ms: 10,
+            max_backoff_ms: 1_000,
+            job_timeout_ms: 30_000,
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            base_backoff_ms: 10,
+            max_backoff_ms: 50,
+            ..policy()
+        };
+        assert_eq!(p.backoff_ms(1), 10);
+        assert_eq!(p.backoff_ms(2), 20);
+        assert_eq!(p.backoff_ms(3), 40);
+        assert_eq!(p.backoff_ms(4), 50);
+        assert_eq!(p.backoff_ms(63), 50);
+        assert_eq!(p.backoff_ms(200), 50);
+    }
+
+    #[test]
+    fn flaky_job_succeeds_after_retries() {
+        let clock = Arc::new(ManualClock::new());
+        let flaky = FlakyBackend::new(OkBackend, 2);
+        let d = Dispatcher::with_clock(flaky, policy(), clock.clone());
+        let counts = d.execute(&circuit(), 64, 7).unwrap();
+        assert_eq!(counts.shots(), 64);
+        assert_eq!(d.retries(), 2);
+        assert_eq!(d.exhausted(), 0);
+        // Exponential schedule: 10ms then 20ms.
+        assert_eq!(clock.sleeps(), vec![10, 20]);
+        assert_eq!(d.inner().injected(), 2);
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_terminal_error() {
+        let clock = Arc::new(ManualClock::new());
+        let d = Dispatcher::with_clock(DownBackend, policy(), clock.clone());
+        let err = d.execute(&circuit(), 64, 7).unwrap_err();
+        assert!(err.is_transient());
+        assert!(err.to_string().contains("backend down"));
+        assert_eq!(d.retries(), 3);
+        assert_eq!(d.exhausted(), 1);
+        assert_eq!(clock.sleeps(), vec![10, 20, 40]);
+    }
+
+    #[test]
+    fn deterministic_errors_pass_through_without_retry() {
+        struct BadCircuitBackend;
+        impl Backend for BadCircuitBackend {
+            fn execute(&self, _: &Circuit, _: u64, _: u64) -> Result<Counts, SimError> {
+                Err(SimError::UnsupportedGate { name: "ccx" })
+            }
+        }
+        let clock = Arc::new(ManualClock::new());
+        let d = Dispatcher::with_clock(BadCircuitBackend, policy(), clock.clone());
+        let err = d.execute(&circuit(), 64, 7).unwrap_err();
+        assert_eq!(err, SimError::UnsupportedGate { name: "ccx" });
+        assert_eq!(d.retries(), 0);
+        assert!(clock.sleeps().is_empty());
+    }
+
+    #[test]
+    fn per_job_timeout_cuts_retrying_short() {
+        let clock = Arc::new(ManualClock::new());
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_backoff_ms: 100,
+            max_backoff_ms: 10_000,
+            job_timeout_ms: 150,
+        };
+        let d = Dispatcher::with_clock(DownBackend, p, clock.clone());
+        let err = d.execute(&circuit(), 64, 7).unwrap_err();
+        assert!(err.to_string().contains("timeout"));
+        // First retry (100ms backoff) fits the 150ms budget; the second
+        // (200ms) would overrun it and is never slept.
+        assert_eq!(d.retries(), 1);
+        assert_eq!(d.timeouts(), 1);
+        assert_eq!(clock.sleeps(), vec![100]);
+    }
+
+    #[test]
+    fn batch_retries_only_failed_jobs_bit_identically() {
+        let clock = Arc::new(ManualClock::new());
+        // Seed 5 fails twice; seed 6 never fails.
+        let flaky = FlakyBackend::new(OkBackend, 2);
+        {
+            // Pre-burn seed 6's failures so only seed 5 is flaky.
+            let mut attempts = flaky.attempts.lock().unwrap();
+            attempts.insert(6, 2);
+        }
+        let d = Dispatcher::with_clock(flaky, policy(), clock.clone());
+        let c = circuit();
+        let jobs = [
+            BatchJob {
+                circuit: &c,
+                shots: 32,
+                seed: 5,
+            },
+            BatchJob {
+                circuit: &c,
+                shots: 64,
+                seed: 6,
+            },
+        ];
+        let out = d.execute_batch(&jobs, 1);
+        assert_eq!(out[0].as_ref().unwrap().shots(), 32);
+        assert_eq!(out[1].as_ref().unwrap().shots(), 64);
+        assert_eq!(d.retries(), 2);
+        // The retried result matches a clean backend bit for bit.
+        let clean = OkBackend.execute(&c, 32, 5).unwrap();
+        assert_eq!(out[0].as_ref().unwrap(), &clean);
+    }
+
+    #[test]
+    fn zero_max_retries_disables_retrying() {
+        let clock = Arc::new(ManualClock::new());
+        let p = RetryPolicy {
+            max_retries: 0,
+            ..policy()
+        };
+        let d = Dispatcher::with_clock(DownBackend, p, clock.clone());
+        assert!(d.execute(&circuit(), 8, 1).is_err());
+        assert_eq!(d.retries(), 0);
+        assert_eq!(d.exhausted(), 1);
+    }
+}

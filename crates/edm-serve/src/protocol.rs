@@ -1,0 +1,192 @@
+//! The JSON-lines wire protocol the `edm-serve` binary speaks.
+//!
+//! One request per line on stdin, one response per line on stdout, both
+//! serde-serialized with the external enum tag as the message type. The
+//! types live in the library so integration tests and future clients parse
+//! the exact structs the binary emits.
+
+use crate::queue::Priority;
+use edm_core::EdmResult;
+use qsim::counts::format_bitstring;
+use serde::{Deserialize, Serialize};
+
+/// A client request, one JSON object per line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Submit a circuit for ensemble execution.
+    Submit {
+        /// The logical circuit as OpenQASM 2.0 text.
+        qasm: String,
+        /// Total trial budget, split across ensemble members.
+        shots: u64,
+        /// Run seed; served results are bit-identical to a direct
+        /// `EdmRunner::run` with the same seed.
+        seed: u64,
+        /// Admission priority class.
+        priority: Priority,
+    },
+    /// Ask for a job's current state (drives pending work first).
+    Poll {
+        /// The id returned by `Accepted`.
+        id: u64,
+    },
+    /// Process everything queued, then report how many jobs ran.
+    Flush,
+    /// Snapshot the service counters.
+    Stats,
+    /// Simulate a recalibration: bump the calibration generation, which
+    /// invalidates every cached compilation.
+    BumpCalibration,
+    /// Stop the service loop.
+    Shutdown,
+}
+
+/// A service response, one JSON object per line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// The submission was admitted under this id.
+    Accepted {
+        /// Service-assigned job id; poll with it.
+        id: u64,
+    },
+    /// The submission was refused (backpressure or validation).
+    Rejected {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+    /// The polled job is still waiting in the queue.
+    Queued {
+        /// The polled id.
+        id: u64,
+    },
+    /// The polled job finished; its result, summarized.
+    Finished {
+        /// The polled id.
+        id: u64,
+        /// Result summary (counts stay server-side; the summary carries
+        /// the answer and its confidence).
+        summary: JobSummary,
+    },
+    /// The polled job ran and failed.
+    Failed {
+        /// The polled id.
+        id: u64,
+        /// Terminal error text.
+        reason: String,
+    },
+    /// The polled id was never issued.
+    Unknown {
+        /// The polled id.
+        id: u64,
+    },
+    /// Counter snapshot.
+    Stats {
+        /// The counters at the time of the request.
+        stats: crate::stats::ServiceStats,
+    },
+    /// A `Flush` completed.
+    Processed {
+        /// How many queued jobs were dispatched.
+        jobs: u64,
+    },
+    /// The new calibration generation after a `BumpCalibration`.
+    Recalibrated {
+        /// The now-current generation.
+        generation: u64,
+    },
+    /// The request line could not be handled.
+    Error {
+        /// What went wrong (parse failure, unsupported request).
+        reason: String,
+    },
+    /// Acknowledges `Shutdown`; the service exits after sending it.
+    Bye,
+}
+
+/// The client-facing digest of a finished job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSummary {
+    /// The finished job's id.
+    pub id: u64,
+    /// Ensemble members executed.
+    pub members: u64,
+    /// Total shots actually distributed.
+    pub shots: u64,
+    /// The most probable EDM outcome, as a bitstring (MSB first).
+    pub top_outcome: String,
+    /// The EDM probability of `top_outcome`.
+    pub top_probability: f64,
+    /// Submit-to-finish latency in milliseconds.
+    pub latency_ms: u64,
+}
+
+impl JobSummary {
+    /// Digests a finished [`EdmResult`] for the wire.
+    pub fn from_result(id: u64, result: &EdmResult, latency_ms: u64) -> Self {
+        let shots = result.members.iter().map(|m| m.counts.shots()).sum();
+        let (top_outcome, top_probability) = match result.edm.most_probable() {
+            Some(outcome) => (
+                format_bitstring(outcome, result.edm.num_clbits()),
+                result.edm.probability(outcome),
+            ),
+            None => (String::new(), 0.0),
+        };
+        JobSummary {
+            id,
+            members: result.members.len() as u64,
+            shots,
+            top_outcome,
+            top_probability,
+            latency_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_through_json() {
+        let req = Request::Submit {
+            qasm: "OPENQASM 2.0;".into(),
+            shots: 4096,
+            seed: 7,
+            priority: Priority::High,
+        };
+        let line = serde_json::to_string(&req).unwrap();
+        assert!(line.contains("\"Submit\""));
+        let back: Request = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn response_roundtrips_through_json() {
+        let resp = Response::Finished {
+            id: 3,
+            summary: JobSummary {
+                id: 3,
+                members: 4,
+                shots: 8192,
+                top_outcome: "101".into(),
+                top_probability: 0.75,
+                latency_ms: 12,
+            },
+        };
+        let line = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn unit_requests_parse_from_bare_strings() {
+        // Externally tagged unit variants serialize as plain strings, which
+        // is what a shell one-liner will type.
+        let line = serde_json::to_string(&Request::Shutdown).unwrap();
+        assert_eq!(line, "\"Shutdown\"");
+        assert_eq!(
+            serde_json::from_str::<Request>("\"Flush\"").unwrap(),
+            Request::Flush
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! The bounded admission queue: priority classes and backpressure.
+//!
+//! A service that accepts unboundedly eventually falls over; one that
+//! blocks producers deadlocks them. This queue does neither — when full it
+//! rejects with a reason the caller can surface, and the service drains it
+//! in priority order, coalescing a batch of jobs into one dispatch.
+
+use qcir::Circuit;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Admission priority class, highest first.
+///
+/// The derived order makes `High < Normal < Low`, i.e. sorting ascending
+/// yields dispatch order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub enum Priority {
+    /// Dispatched before everything else (interactive callers).
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Dispatched only when nothing higher waits (bulk sweeps).
+    Low,
+}
+
+impl Priority {
+    const COUNT: usize = 3;
+
+    fn class(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+/// One job submission: what to run and under which budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// The logical circuit to compile and execute.
+    pub circuit: Circuit,
+    /// Total trial budget, split across ensemble members.
+    pub shots: u64,
+    /// The run seed; the service forks member seeds from it exactly as
+    /// `EdmRunner` does, so results are bit-identical to a direct run.
+    pub seed: u64,
+    /// Admission priority class.
+    pub priority: Priority,
+}
+
+/// A request that passed admission, stamped with its identity and arrival
+/// time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueuedJob {
+    /// Service-assigned job id.
+    pub id: u64,
+    /// The admitted request.
+    pub request: JobRequest,
+    /// Service-clock arrival time in milliseconds (latency accounting).
+    pub enqueued_at_ms: u64,
+}
+
+/// Why admission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The queue is at capacity; resubmit later.
+    QueueFull {
+        /// The configured bound that was hit.
+        capacity: usize,
+    },
+    /// The request failed validation before touching the queue.
+    Invalid(String),
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::QueueFull { capacity } => {
+                write!(f, "queue full ({capacity} jobs); resubmit later")
+            }
+            AdmitError::Invalid(reason) => write!(f, "invalid request: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// A bounded multi-class FIFO queue.
+///
+/// Within a class jobs leave in arrival order; across classes higher
+/// priority always leaves first. The bound covers all classes together, so
+/// a flood of `Low` jobs can still exert backpressure on `High` submitters
+/// — by design: total memory is what the bound protects.
+pub struct AdmissionQueue {
+    capacity: usize,
+    classes: [VecDeque<QueuedJob>; Priority::COUNT],
+}
+
+impl AdmissionQueue {
+    /// Creates a queue bounded to `capacity` waiting jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` — such a queue would reject everything.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        AdmissionQueue {
+            capacity,
+            classes: Default::default(),
+        }
+    }
+
+    /// Admits a job, or rejects it with backpressure when full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdmitError::QueueFull`] when the queue is at capacity; the
+    /// job is NOT enqueued and the caller decides whether to retry later.
+    pub fn push(&mut self, job: QueuedJob) -> Result<(), AdmitError> {
+        if self.len() >= self.capacity {
+            return Err(AdmitError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        self.classes[job.request.priority.class()].push_back(job);
+        Ok(())
+    }
+
+    /// Jobs currently waiting, across all classes.
+    pub fn len(&self) -> usize {
+        self.classes.iter().map(VecDeque::len).sum()
+    }
+
+    /// True when nothing waits.
+    pub fn is_empty(&self) -> bool {
+        self.classes.iter().all(VecDeque::is_empty)
+    }
+
+    /// Waiting jobs per class, highest priority first.
+    pub fn depth_by_class(&self) -> [usize; Priority::COUNT] {
+        [
+            self.classes[0].len(),
+            self.classes[1].len(),
+            self.classes[2].len(),
+        ]
+    }
+
+    /// Removes up to `max` jobs in dispatch order: all `High` before any
+    /// `Normal` before any `Low`, FIFO within each class.
+    pub fn drain_batch(&mut self, max: usize) -> Vec<QueuedJob> {
+        let mut batch = Vec::new();
+        for class in &mut self.classes {
+            while batch.len() < max {
+                match class.pop_front() {
+                    Some(job) => batch.push(job),
+                    None => break,
+                }
+            }
+        }
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, priority: Priority) -> QueuedJob {
+        QueuedJob {
+            id,
+            request: JobRequest {
+                circuit: Circuit::new(1, 1),
+                shots: 16,
+                seed: id,
+                priority,
+            },
+            enqueued_at_ms: 0,
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_with_reason() {
+        let mut q = AdmissionQueue::new(2);
+        q.push(job(1, Priority::Normal)).unwrap();
+        q.push(job(2, Priority::High)).unwrap();
+        let err = q.push(job(3, Priority::High)).unwrap_err();
+        assert_eq!(err, AdmitError::QueueFull { capacity: 2 });
+        assert!(err.to_string().contains("queue full (2 jobs)"));
+        // The rejected job vanished; the queue is intact.
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn drains_in_priority_then_fifo_order() {
+        let mut q = AdmissionQueue::new(8);
+        for (id, p) in [
+            (1, Priority::Low),
+            (2, Priority::Normal),
+            (3, Priority::High),
+            (4, Priority::Normal),
+            (5, Priority::High),
+        ] {
+            q.push(job(id, p)).unwrap();
+        }
+        let ids: Vec<u64> = q.drain_batch(8).iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![3, 5, 2, 4, 1]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_respects_batch_bound() {
+        let mut q = AdmissionQueue::new(8);
+        for id in 1..=5 {
+            q.push(job(id, Priority::Normal)).unwrap();
+        }
+        let first = q.drain_batch(2);
+        assert_eq!(first.iter().map(|j| j.id).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(q.len(), 3);
+        let rest = q.drain_batch(100);
+        assert_eq!(rest.len(), 3);
+    }
+
+    #[test]
+    fn depth_by_class_reports_all_classes() {
+        let mut q = AdmissionQueue::new(8);
+        q.push(job(1, Priority::Low)).unwrap();
+        q.push(job(2, Priority::Low)).unwrap();
+        q.push(job(3, Priority::High)).unwrap();
+        assert_eq!(q.depth_by_class(), [1, 0, 2]);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn freed_capacity_admits_again() {
+        let mut q = AdmissionQueue::new(1);
+        q.push(job(1, Priority::Normal)).unwrap();
+        assert!(q.push(job(2, Priority::Normal)).is_err());
+        q.drain_batch(1);
+        q.push(job(2, Priority::Normal)).unwrap();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = AdmissionQueue::new(0);
+    }
+
+    #[test]
+    fn priority_order_is_dispatch_order() {
+        assert!(Priority::High < Priority::Normal);
+        assert!(Priority::Normal < Priority::Low);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+}

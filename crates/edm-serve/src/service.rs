@@ -1,0 +1,556 @@
+//! The job service: admission, cached compilation, coalesced dispatch.
+//!
+//! [`JobService`] owns the device description (topology + calibration), the
+//! compilation cache, the admission queue, and a retry-aware dispatcher
+//! around the execution backend. `submit` only validates and enqueues;
+//! `process_pending` drains a priority-ordered batch, compiles each circuit
+//! through the cache, and coalesces every member job of every drained
+//! request into ONE `execute_batch` call — legal because batch execution is
+//! bit-identical to running each job alone (see
+//! [`Backend::execute_batch`]).
+
+use crate::cache::{CacheKey, CompileCache};
+use crate::clock::{Clock, SystemClock};
+use crate::dispatch::{Dispatcher, RetryPolicy};
+use crate::queue::{AdmissionQueue, AdmitError, JobRequest, QueuedJob};
+use crate::stats::{LatencyRecorder, ServiceStats};
+use crate::validate;
+use edm_core::{
+    assemble_result, build_ensemble, plan_run, Backend, BatchJob, EdmResult, EnsembleConfig,
+    RunPlan,
+};
+use qdevice::{Calibration, Topology};
+use qmap::Transpiler;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Knobs for a [`JobService`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bound on waiting jobs before submissions are rejected.
+    pub queue_capacity: usize,
+    /// Bound on live compilation-cache entries.
+    pub cache_capacity: usize,
+    /// Most requests drained (and coalesced) per `process_pending` call.
+    pub max_batch_jobs: usize,
+    /// Execution thread cap (bit-identical for any value).
+    pub threads: usize,
+    /// Ensemble construction parameters, shared by every job.
+    pub ensemble: EnsembleConfig,
+    /// Retry behavior of the dispatcher.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 256,
+            cache_capacity: 64,
+            max_batch_jobs: 32,
+            threads: qsim::pool::default_threads(),
+            ensemble: EnsembleConfig::default(),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Where a submitted job currently is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobState {
+    /// Admitted, waiting for a `process_pending` pass.
+    Queued,
+    /// Finished with a result.
+    Done(CompletedJob),
+    /// Finished with a terminal error.
+    Failed(String),
+}
+
+/// A finished job's result and its accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedJob {
+    /// The full EDM result — bit-identical to a direct
+    /// [`EdmRunner::run`](edm_core::EdmRunner::run) with the same inputs.
+    pub result: EdmResult,
+    /// Submit-to-finish latency on the service clock, milliseconds.
+    pub latency_ms: u64,
+}
+
+/// A long-running EDM job service over one device.
+///
+/// Generic over the execution [`Backend`]; the service wraps it in a
+/// [`Dispatcher`] so transient failures are retried transparently.
+pub struct JobService<B> {
+    topology: Topology,
+    topology_fp: u64,
+    calibration: Calibration,
+    dispatcher: Dispatcher<B>,
+    cache: CompileCache,
+    queue: AdmissionQueue,
+    jobs: BTreeMap<u64, JobState>,
+    next_id: u64,
+    clock: Arc<dyn Clock>,
+    latency: LatencyRecorder,
+    config: ServeConfig,
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    rejected: u64,
+    batches: u64,
+    compilations: u64,
+}
+
+impl<B: Backend> JobService<B> {
+    /// Creates a service over `topology` + `calibration`, executing on
+    /// `backend`, with the real system clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calibration does not cover the topology, or if
+    /// `config` has a zero queue, cache, batch, or thread bound.
+    pub fn new(
+        topology: Topology,
+        calibration: Calibration,
+        backend: B,
+        config: ServeConfig,
+    ) -> Self {
+        JobService::with_clock(
+            topology,
+            calibration,
+            backend,
+            config,
+            Arc::new(SystemClock::new()),
+        )
+    }
+
+    /// Same as [`JobService::new`] with an explicit clock (tests pass
+    /// [`ManualClock`](crate::clock::ManualClock)).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`JobService::new`].
+    pub fn with_clock(
+        topology: Topology,
+        calibration: Calibration,
+        backend: B,
+        config: ServeConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        assert_eq!(
+            topology.num_qubits(),
+            calibration.num_qubits(),
+            "calibration must cover the topology"
+        );
+        assert!(config.max_batch_jobs > 0, "batch bound must be positive");
+        assert!(config.threads > 0, "need at least one thread");
+        let topology_fp = topology.fingerprint();
+        JobService {
+            topology,
+            topology_fp,
+            calibration,
+            dispatcher: Dispatcher::with_clock(backend, config.retry, Arc::clone(&clock)),
+            cache: CompileCache::new(config.cache_capacity),
+            queue: AdmissionQueue::new(config.queue_capacity),
+            jobs: BTreeMap::new(),
+            next_id: 1,
+            clock,
+            latency: LatencyRecorder::default(),
+            config,
+            submitted: 0,
+            completed: 0,
+            failed: 0,
+            rejected: 0,
+            batches: 0,
+            compilations: 0,
+        }
+    }
+
+    /// Validates and enqueues a job, returning its id.
+    ///
+    /// Admission never runs the pipeline — a bad circuit is only discovered
+    /// (and reported via [`JobState::Failed`]) when its batch runs.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::Invalid`] for a zero shot budget,
+    /// [`AdmitError::QueueFull`] under backpressure. Rejected jobs get no
+    /// id and leave no trace beyond the `rejected` counter.
+    pub fn submit(&mut self, request: JobRequest) -> Result<u64, AdmitError> {
+        if let Err(e) = validate::shots(request.shots) {
+            self.rejected += 1;
+            return Err(AdmitError::Invalid(e.to_string()));
+        }
+        let id = self.next_id;
+        let job = QueuedJob {
+            id,
+            request,
+            enqueued_at_ms: self.clock.now_ms(),
+        };
+        match self.queue.push(job) {
+            Ok(()) => {
+                self.next_id += 1;
+                self.submitted += 1;
+                self.jobs.insert(id, JobState::Queued);
+                Ok(id)
+            }
+            Err(e) => {
+                self.rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Drains up to `max_batch_jobs` queued requests, compiles each through
+    /// the cache, and executes ALL their member jobs as one coalesced
+    /// `execute_batch` dispatch. Returns how many requests finished (in
+    /// either state).
+    pub fn process_pending(&mut self) -> usize {
+        let drained = self.queue.drain_batch(self.config.max_batch_jobs);
+        if drained.is_empty() {
+            return 0;
+        }
+        let processed = drained.len();
+
+        // Phase 1: compile (through the cache) and plan each request.
+        // Failures are terminal for that request only.
+        let mut plans: Vec<(u64, u64, RunPlan)> = Vec::new();
+        for job in drained {
+            let ensemble = match self.compile_cached(&job) {
+                Ok(members) => members,
+                Err(reason) => {
+                    self.fail(job.id, reason);
+                    continue;
+                }
+            };
+            match plan_run(
+                ensemble.as_ref().clone(),
+                job.request.shots,
+                job.request.seed,
+                self.config.ensemble.shot_allocation,
+            ) {
+                Ok(plan) => plans.push((job.id, job.enqueued_at_ms, plan)),
+                Err(e) => self.fail(job.id, e.to_string()),
+            }
+        }
+
+        // Phase 2: one coalesced dispatch for every member job of every
+        // planned request. Seeds were forked per-request inside plan_run,
+        // so concatenation changes nothing about any job's RNG stream.
+        if !plans.is_empty() {
+            let all_jobs: Vec<BatchJob<'_>> = plans.iter().flat_map(|(_, _, p)| p.jobs()).collect();
+            let results = self
+                .dispatcher
+                .execute_batch(&all_jobs, self.config.threads);
+            drop(all_jobs);
+            self.batches += 1;
+
+            // Phase 3: split the flat result vector back per request and
+            // merge each into its EdmResult.
+            let mut results = results.into_iter();
+            for (id, enqueued_at_ms, plan) in plans {
+                let k = plan.members.len();
+                let raw: Vec<_> = results.by_ref().take(k).collect();
+                match assemble_result(plan.members, raw, &self.config.ensemble) {
+                    Ok(result) => {
+                        let latency_ms = self.clock.now_ms().saturating_sub(enqueued_at_ms);
+                        self.latency.record(latency_ms);
+                        self.completed += 1;
+                        self.jobs
+                            .insert(id, JobState::Done(CompletedJob { result, latency_ms }));
+                    }
+                    Err(e) => self.fail(id, e.to_string()),
+                }
+            }
+        }
+        processed
+    }
+
+    /// Drains the queue completely, batch by batch. Returns how many
+    /// requests finished.
+    pub fn process_all(&mut self) -> usize {
+        let mut total = 0;
+        loop {
+            let n = self.process_pending();
+            if n == 0 {
+                return total;
+            }
+            total += n;
+        }
+    }
+
+    /// A submitted job's current state, or `None` for an unknown id.
+    pub fn poll(&self, id: u64) -> Option<&JobState> {
+        self.jobs.get(&id)
+    }
+
+    /// Simulates a recalibration: bumps the calibration generation and
+    /// purges every now-stale cache entry. Returns the new generation.
+    pub fn bump_calibration_generation(&mut self) -> u64 {
+        let generation = self.calibration.bump_generation();
+        self.cache.retain_generation(generation);
+        generation
+    }
+
+    /// Installs a fresh calibration (same device, new measured error
+    /// rates). The service restamps it with the next generation so cached
+    /// compilations from the old calibration can never be served.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new calibration does not cover the topology.
+    pub fn update_calibration(&mut self, calibration: Calibration) {
+        assert_eq!(
+            self.topology.num_qubits(),
+            calibration.num_qubits(),
+            "calibration must cover the topology"
+        );
+        let generation = self.calibration.generation() + 1;
+        self.calibration = calibration.with_generation(generation);
+        self.cache.retain_generation(generation);
+    }
+
+    /// The calibration currently compiled against.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// The device topology served.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Jobs waiting in the queue right now.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Counter snapshot across queue, cache, dispatcher, and latencies.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.submitted,
+            completed: self.completed,
+            failed: self.failed,
+            rejected: self.rejected,
+            batches: self.batches,
+            compilations: self.compilations,
+            queue_depth: self.queue.len() as u64,
+            cache: self.cache.stats(),
+            retries: self.dispatcher.retries(),
+            retry_exhausted: self.dispatcher.exhausted(),
+            timeouts: self.dispatcher.timeouts(),
+            latency_p50_ms: self.latency.percentile_ms(50),
+            latency_p99_ms: self.latency.percentile_ms(99),
+        }
+    }
+
+    /// Looks the job's ensemble up in the cache, compiling (and caching) on
+    /// a miss.
+    fn compile_cached(
+        &mut self,
+        job: &QueuedJob,
+    ) -> Result<Arc<Vec<edm_core::EnsembleMember>>, String> {
+        let key = CacheKey {
+            circuit: job.request.circuit.fingerprint(),
+            topology: self.topology_fp,
+            generation: self.calibration.generation(),
+        };
+        if let Some(members) = self.cache.get(&key) {
+            return Ok(members);
+        }
+        let transpiler = Transpiler::new(&self.topology, &self.calibration);
+        let members = build_ensemble(&transpiler, &job.request.circuit, &self.config.ensemble)
+            .map_err(|e| e.to_string())?;
+        self.compilations += 1;
+        Ok(self.cache.insert(key, members))
+    }
+
+    fn fail(&mut self, id: u64, reason: String) {
+        self.failed += 1;
+        self.jobs.insert(id, JobState::Failed(reason));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::queue::Priority;
+    use qcir::Circuit;
+    use qdevice::{presets, DeviceModel};
+    use qsim::NoisySimulator;
+
+    fn ghz(n: u32) -> Circuit {
+        let mut c = Circuit::new(n, n);
+        c.h(0);
+        for q in 1..n {
+            c.cx(q - 1, q);
+        }
+        c.measure_all();
+        c
+    }
+
+    fn request(circuit: Circuit, shots: u64, seed: u64) -> JobRequest {
+        JobRequest {
+            circuit,
+            shots,
+            seed,
+            priority: Priority::Normal,
+        }
+    }
+
+    fn small_config() -> ServeConfig {
+        ServeConfig {
+            threads: 2,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn submit_process_poll_lifecycle() {
+        let device = DeviceModel::synthesize(presets::melbourne14(), 11);
+        let backend = NoisySimulator::from_device(&device);
+        let mut svc = JobService::with_clock(
+            device.topology().clone(),
+            device.calibration(),
+            backend,
+            small_config(),
+            Arc::new(ManualClock::new()),
+        );
+        let id = svc.submit(request(ghz(3), 1024, 5)).unwrap();
+        assert_eq!(svc.poll(id), Some(&JobState::Queued));
+        assert_eq!(svc.queue_depth(), 1);
+        assert_eq!(svc.process_pending(), 1);
+        match svc.poll(id) {
+            Some(JobState::Done(done)) => {
+                let total: u64 = done.result.members.iter().map(|m| m.counts.shots()).sum();
+                assert_eq!(total, 1024);
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+        assert!(svc.poll(999).is_none());
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.compilations, 1);
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn zero_shots_rejected_at_admission() {
+        let device = DeviceModel::synthesize(presets::melbourne14(), 11);
+        let backend = NoisySimulator::from_device(&device);
+        let mut svc = JobService::new(
+            device.topology().clone(),
+            device.calibration(),
+            backend,
+            small_config(),
+        );
+        let err = svc.submit(request(ghz(3), 0, 5)).unwrap_err();
+        assert!(matches!(err, AdmitError::Invalid(_)));
+        assert!(err.to_string().contains("shots must be at least 1"));
+        assert_eq!(svc.stats().rejected, 1);
+        assert_eq!(svc.stats().submitted, 0);
+    }
+
+    #[test]
+    fn queue_backpressure_rejects_without_losing_admitted_jobs() {
+        let device = DeviceModel::synthesize(presets::melbourne14(), 11);
+        let backend = NoisySimulator::from_device(&device);
+        let mut svc = JobService::new(
+            device.topology().clone(),
+            device.calibration(),
+            backend,
+            ServeConfig {
+                queue_capacity: 2,
+                ..small_config()
+            },
+        );
+        let a = svc.submit(request(ghz(2), 64, 1)).unwrap();
+        let b = svc.submit(request(ghz(2), 64, 2)).unwrap();
+        let err = svc.submit(request(ghz(2), 64, 3)).unwrap_err();
+        assert_eq!(err, AdmitError::QueueFull { capacity: 2 });
+        assert_eq!(svc.stats().rejected, 1);
+        // The earlier admissions still run to completion.
+        assert_eq!(svc.process_all(), 2);
+        assert!(matches!(svc.poll(a), Some(JobState::Done(_))));
+        assert!(matches!(svc.poll(b), Some(JobState::Done(_))));
+    }
+
+    #[test]
+    fn resubmission_hits_cache_and_generation_bump_invalidates() {
+        let device = DeviceModel::synthesize(presets::melbourne14(), 11);
+        let backend = NoisySimulator::from_device(&device);
+        let mut svc = JobService::new(
+            device.topology().clone(),
+            device.calibration(),
+            backend,
+            small_config(),
+        );
+        let a = svc.submit(request(ghz(3), 512, 1)).unwrap();
+        svc.process_pending();
+        assert_eq!(svc.stats().compilations, 1);
+        assert_eq!(svc.stats().cache.misses, 1);
+
+        // Same circuit, different shots/seed: compilation reused.
+        let b = svc.submit(request(ghz(3), 1024, 2)).unwrap();
+        svc.process_pending();
+        assert_eq!(svc.stats().compilations, 1, "second run must hit cache");
+        assert_eq!(svc.stats().cache.hits, 1);
+        assert!(matches!(svc.poll(a), Some(JobState::Done(_))));
+        assert!(matches!(svc.poll(b), Some(JobState::Done(_))));
+
+        // Recalibration: cached ensembles go stale and recompile.
+        let generation = svc.bump_calibration_generation();
+        assert_eq!(generation, 1);
+        assert_eq!(svc.stats().cache.invalidated, 1);
+        svc.submit(request(ghz(3), 512, 3)).unwrap();
+        svc.process_pending();
+        assert_eq!(svc.stats().compilations, 2, "bump must force a recompile");
+    }
+
+    #[test]
+    fn oversized_circuit_fails_terminally_not_fatally() {
+        let device = DeviceModel::synthesize(presets::melbourne14(), 11);
+        let backend = NoisySimulator::from_device(&device);
+        let mut svc = JobService::new(
+            device.topology().clone(),
+            device.calibration(),
+            backend,
+            small_config(),
+        );
+        // 20 qubits on a 14-qubit device: compiles cannot succeed.
+        let id = svc.submit(request(ghz(20), 256, 1)).unwrap();
+        let ok = svc.submit(request(ghz(2), 256, 2)).unwrap();
+        assert_eq!(svc.process_pending(), 2);
+        assert!(matches!(svc.poll(id), Some(JobState::Failed(_))));
+        assert!(matches!(svc.poll(ok), Some(JobState::Done(_))));
+        assert_eq!(svc.stats().failed, 1);
+        assert_eq!(svc.stats().completed, 1);
+    }
+
+    #[test]
+    fn fewer_shots_than_members_fails_that_job_only() {
+        let device = DeviceModel::synthesize(presets::melbourne14(), 11);
+        let backend = NoisySimulator::from_device(&device);
+        let mut svc = JobService::new(
+            device.topology().clone(),
+            device.calibration(),
+            backend,
+            small_config(),
+        );
+        // 1 shot across a (usually) multi-member ensemble.
+        let id = svc.submit(request(ghz(3), 1, 9)).unwrap();
+        svc.process_pending();
+        match svc.poll(id) {
+            Some(JobState::Failed(reason)) => {
+                assert!(reason.contains("fewer shots"), "got: {reason}")
+            }
+            Some(JobState::Done(done)) => {
+                // Degenerate but legal: a single-member ensemble can absorb
+                // one shot.
+                assert_eq!(done.result.members.len(), 1);
+            }
+            other => panic!("unexpected state {other:?}"),
+        }
+    }
+}

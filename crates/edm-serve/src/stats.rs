@@ -1,0 +1,156 @@
+//! Service observability: latency percentiles and the aggregate stats
+//! snapshot a `stats` request returns.
+
+use crate::cache::CacheStats;
+use serde::{Deserialize, Serialize};
+
+/// A bounded reservoir of per-job latencies with nearest-rank percentiles.
+///
+/// Keeps the most recent `capacity` samples in a ring, so percentiles track
+/// current behavior rather than averaging over the service's whole life.
+#[derive(Debug)]
+pub struct LatencyRecorder {
+    samples: Vec<u64>,
+    capacity: usize,
+    next: usize,
+    recorded: u64,
+}
+
+impl LatencyRecorder {
+    /// Creates a recorder keeping the most recent `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "latency window must be positive");
+        LatencyRecorder {
+            samples: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Records one job latency in milliseconds.
+    pub fn record(&mut self, latency_ms: u64) {
+        if self.samples.len() < self.capacity {
+            self.samples.push(latency_ms);
+        } else {
+            self.samples[self.next] = latency_ms;
+        }
+        self.next = (self.next + 1) % self.capacity;
+        self.recorded += 1;
+    }
+
+    /// Total samples ever recorded (including ones rotated out).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// The nearest-rank `p`-th percentile over the retained window, or 0
+    /// with no samples. `p` is clamped to `[1, 100]`.
+    pub fn percentile_ms(&self, p: u32) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let p = p.clamp(1, 100) as usize;
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        // Nearest rank: the smallest sample with at least p% of samples at
+        // or below it.
+        let rank = (p * sorted.len()).div_ceil(100);
+        sorted[rank - 1]
+    }
+}
+
+impl Default for LatencyRecorder {
+    /// A 1024-sample window.
+    fn default() -> Self {
+        LatencyRecorder::new(1024)
+    }
+}
+
+/// Aggregate service counters, returned verbatim by the `stats` request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Jobs admitted to the queue over the service's life.
+    pub submitted: u64,
+    /// Jobs that finished with a result.
+    pub completed: u64,
+    /// Jobs that finished with an error.
+    pub failed: u64,
+    /// Submissions refused (queue full or invalid).
+    pub rejected: u64,
+    /// `execute_batch` dispatches issued (coalescing means this can be far
+    /// below `completed`).
+    pub batches: u64,
+    /// Ensemble compilations actually performed (cache misses).
+    pub compilations: u64,
+    /// Jobs waiting in the queue right now.
+    pub queue_depth: u64,
+    /// Compilation cache counters.
+    pub cache: CacheStats,
+    /// Retry attempts performed by the dispatcher.
+    pub retries: u64,
+    /// Jobs that failed even after the full retry budget.
+    pub retry_exhausted: u64,
+    /// Jobs whose retrying was cut short by the per-job timeout.
+    pub timeouts: u64,
+    /// Median job latency (submit to finish) over the recent window, ms.
+    pub latency_p50_ms: u64,
+    /// 99th-percentile job latency over the recent window, ms.
+    pub latency_p99_ms: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_small_window() {
+        let mut r = LatencyRecorder::new(16);
+        for ms in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            r.record(ms);
+        }
+        assert_eq!(r.percentile_ms(50), 50);
+        assert_eq!(r.percentile_ms(99), 100);
+        assert_eq!(r.percentile_ms(100), 100);
+        assert_eq!(r.percentile_ms(1), 10);
+        assert_eq!(r.recorded(), 10);
+    }
+
+    #[test]
+    fn empty_recorder_reports_zero() {
+        let r = LatencyRecorder::new(4);
+        assert_eq!(r.percentile_ms(50), 0);
+        assert_eq!(r.recorded(), 0);
+    }
+
+    #[test]
+    fn window_rotates_out_old_samples() {
+        let mut r = LatencyRecorder::new(2);
+        r.record(1_000);
+        r.record(5);
+        r.record(7);
+        // The 1000ms outlier rotated out; only {5, 7} remain.
+        assert_eq!(r.percentile_ms(100), 7);
+        assert_eq!(r.percentile_ms(50), 5);
+        assert_eq!(r.recorded(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = LatencyRecorder::new(0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut r = LatencyRecorder::new(8);
+        r.record(42);
+        assert_eq!(r.percentile_ms(1), 42);
+        assert_eq!(r.percentile_ms(50), 42);
+        assert_eq!(r.percentile_ms(99), 42);
+    }
+}

@@ -1,0 +1,270 @@
+//! End-to-end service tests: the served path must be bit-identical to the
+//! direct `EdmRunner` path, through batching, caching, and retries alike.
+
+use edm_core::{EdmRunner, EnsembleConfig};
+use edm_serve::clock::ManualClock;
+use edm_serve::dispatch::FlakyBackend;
+use edm_serve::queue::{JobRequest, Priority};
+use edm_serve::service::{JobService, JobState, ServeConfig};
+use qcir::Circuit;
+use qdevice::{presets, DeviceModel};
+use qmap::Transpiler;
+use qsim::NoisySimulator;
+use std::sync::Arc;
+
+fn ghz(n: u32) -> Circuit {
+    let mut c = Circuit::new(n, n);
+    c.h(0);
+    for q in 1..n {
+        c.cx(q - 1, q);
+    }
+    c.measure_all();
+    c
+}
+
+fn bv(n: u32, secret: u64) -> Circuit {
+    // Bernstein-Vazirani on n data qubits + 1 ancilla.
+    let mut c = Circuit::new(n + 1, n);
+    c.x(n).h(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for q in 0..n {
+        if secret >> q & 1 == 1 {
+            c.cx(q, n);
+        }
+    }
+    for q in 0..n {
+        c.h(q);
+        c.measure(q, q);
+    }
+    c
+}
+
+fn request(circuit: Circuit, shots: u64, seed: u64) -> JobRequest {
+    JobRequest {
+        circuit,
+        shots,
+        seed,
+        priority: Priority::Normal,
+    }
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        threads: 2,
+        ..ServeConfig::default()
+    }
+}
+
+/// The headline determinism contract: a job served through admission,
+/// cached compilation, coalesced dispatch, and result assembly equals a
+/// direct `EdmRunner::run` bit for bit — full `EdmResult`, not just the
+/// merged answer.
+#[test]
+fn served_result_is_bit_identical_to_direct_run() {
+    let device = DeviceModel::synthesize(presets::melbourne14(), 42);
+    let cal = device.calibration();
+    let transpiler = Transpiler::new(device.topology(), &cal);
+    let backend = NoisySimulator::from_device(&device);
+    let runner = EdmRunner::new(&transpiler, &backend, EnsembleConfig::default()).with_threads(2);
+    let direct = runner.run(&ghz(3), 4096, 17).unwrap();
+
+    let mut svc = JobService::new(
+        device.topology().clone(),
+        device.calibration(),
+        NoisySimulator::from_device(&device),
+        config(),
+    );
+    let id = svc.submit(request(ghz(3), 4096, 17)).unwrap();
+    svc.process_pending();
+    match svc.poll(id) {
+        Some(JobState::Done(done)) => assert_eq!(done.result, direct),
+        other => panic!("expected Done, got {other:?}"),
+    }
+}
+
+/// Several queued requests coalesce into ONE `execute_batch` dispatch, and
+/// every one of them still equals its own direct run.
+#[test]
+fn coalesced_batch_preserves_per_job_bit_identity() {
+    let device = DeviceModel::synthesize(presets::melbourne14(), 42);
+    let cal = device.calibration();
+    let transpiler = Transpiler::new(device.topology(), &cal);
+    let backend = NoisySimulator::from_device(&device);
+    let runner = EdmRunner::new(&transpiler, &backend, EnsembleConfig::default()).with_threads(2);
+
+    let submissions = [
+        (ghz(3), 2048, 5),
+        (bv(3, 0b101), 4096, 91),
+        (ghz(3), 1024, 7),
+    ];
+    let direct: Vec<_> = submissions
+        .iter()
+        .map(|(c, shots, seed)| runner.run(c, *shots, *seed).unwrap())
+        .collect();
+
+    let mut svc = JobService::new(
+        device.topology().clone(),
+        device.calibration(),
+        NoisySimulator::from_device(&device),
+        config(),
+    );
+    let ids: Vec<u64> = submissions
+        .iter()
+        .map(|(c, shots, seed)| svc.submit(request(c.clone(), *shots, *seed)).unwrap())
+        .collect();
+    assert_eq!(svc.process_pending(), 3);
+    assert_eq!(svc.stats().batches, 1, "jobs must coalesce into one batch");
+
+    for (id, expected) in ids.iter().zip(&direct) {
+        match svc.poll(*id) {
+            Some(JobState::Done(done)) => assert_eq!(&done.result, expected),
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+}
+
+/// Transient backend faults are retried transparently: the service result
+/// against a flaky backend equals the result against a clean one, bit for
+/// bit, and the retry counters record the recovery.
+#[test]
+fn retries_recover_flaky_backend_bit_identically() {
+    let device = DeviceModel::synthesize(presets::melbourne14(), 42);
+
+    let mut clean = JobService::new(
+        device.topology().clone(),
+        device.calibration(),
+        NoisySimulator::from_device(&device),
+        config(),
+    );
+    let id = clean.submit(request(ghz(3), 2048, 33)).unwrap();
+    clean.process_pending();
+    let Some(JobState::Done(expected)) = clean.poll(id) else {
+        panic!("clean run must finish");
+    };
+
+    // Every member job fails once before succeeding.
+    let flaky = FlakyBackend::new(NoisySimulator::from_device(&device), 1);
+    let mut svc = JobService::with_clock(
+        device.topology().clone(),
+        device.calibration(),
+        flaky,
+        config(),
+        Arc::new(ManualClock::new()),
+    );
+    let id = svc.submit(request(ghz(3), 2048, 33)).unwrap();
+    svc.process_pending();
+    match svc.poll(id) {
+        Some(JobState::Done(done)) => assert_eq!(done.result, expected.result),
+        other => panic!("expected Done, got {other:?}"),
+    }
+    let stats = svc.stats();
+    assert!(stats.retries > 0, "recovery must have used retries");
+    assert_eq!(stats.retry_exhausted, 0);
+    assert_eq!(stats.failed, 0);
+}
+
+/// A backend that stays down past the retry budget surfaces a terminal
+/// failure on the job — the service itself keeps running.
+#[test]
+fn exhausted_retries_fail_the_job_not_the_service() {
+    let device = DeviceModel::synthesize(presets::melbourne14(), 42);
+    // More injected failures than max_retries + 1 attempts can absorb.
+    let flaky = FlakyBackend::new(NoisySimulator::from_device(&device), 100);
+    let mut svc = JobService::with_clock(
+        device.topology().clone(),
+        device.calibration(),
+        flaky,
+        config(),
+        Arc::new(ManualClock::new()),
+    );
+    let id = svc.submit(request(ghz(2), 256, 1)).unwrap();
+    svc.process_pending();
+    match svc.poll(id) {
+        Some(JobState::Failed(reason)) => {
+            assert!(reason.contains("injected fault"), "got: {reason}")
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    let stats = svc.stats();
+    assert!(stats.retry_exhausted > 0);
+
+    // The service is still healthy: a later job against the same (by now
+    // warmed-up, still-failing) backend is handled without panicking, and
+    // submission/polling still work.
+    let id2 = svc.submit(request(ghz(2), 256, 2)).unwrap();
+    svc.process_pending();
+    assert!(matches!(svc.poll(id2), Some(JobState::Failed(_))));
+}
+
+/// The cache serves recompilations within a generation and never across
+/// one; either way the answers stay bit-identical to direct runs.
+#[test]
+fn cache_reuse_and_invalidation_never_change_answers() {
+    let device = DeviceModel::synthesize(presets::melbourne14(), 42);
+    let cal = device.calibration();
+    let transpiler = Transpiler::new(device.topology(), &cal);
+    let backend = NoisySimulator::from_device(&device);
+    let runner = EdmRunner::new(&transpiler, &backend, EnsembleConfig::default()).with_threads(2);
+    let direct_a = runner.run(&bv(3, 0b110), 2048, 3).unwrap();
+    let direct_b = runner.run(&bv(3, 0b110), 2048, 4).unwrap();
+
+    let mut svc = JobService::new(
+        device.topology().clone(),
+        device.calibration(),
+        NoisySimulator::from_device(&device),
+        config(),
+    );
+    let a = svc.submit(request(bv(3, 0b110), 2048, 3)).unwrap();
+    svc.process_pending();
+    let b = svc.submit(request(bv(3, 0b110), 2048, 4)).unwrap();
+    svc.process_pending();
+    assert_eq!(svc.stats().compilations, 1, "resubmission must hit cache");
+    assert_eq!(svc.stats().cache.hits, 1);
+
+    // Same calibration values, new generation: forced recompile, and the
+    // recompiled ensemble (same inputs) yields the same bits.
+    svc.bump_calibration_generation();
+    let c = svc.submit(request(bv(3, 0b110), 2048, 3)).unwrap();
+    svc.process_pending();
+    assert_eq!(svc.stats().compilations, 2);
+
+    for (id, expected) in [(a, &direct_a), (b, &direct_b), (c, &direct_a)] {
+        match svc.poll(id) {
+            Some(JobState::Done(done)) => assert_eq!(&done.result, expected),
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+}
+
+/// High-priority jobs are dispatched before earlier-submitted normal ones
+/// when the batch bound forces a choice.
+#[test]
+fn priority_classes_order_dispatch_under_batch_pressure() {
+    let device = DeviceModel::synthesize(presets::melbourne14(), 42);
+    let mut svc = JobService::new(
+        device.topology().clone(),
+        device.calibration(),
+        NoisySimulator::from_device(&device),
+        ServeConfig {
+            max_batch_jobs: 1,
+            ..config()
+        },
+    );
+    let normal = svc.submit(request(ghz(2), 128, 1)).unwrap();
+    let urgent = svc
+        .submit(JobRequest {
+            circuit: ghz(2),
+            shots: 128,
+            seed: 2,
+            priority: Priority::High,
+        })
+        .unwrap();
+    // One slot: the later, higher-priority job takes it.
+    assert_eq!(svc.process_pending(), 1);
+    assert!(matches!(svc.poll(urgent), Some(JobState::Done(_))));
+    assert!(matches!(svc.poll(normal), Some(JobState::Queued)));
+    assert_eq!(svc.process_pending(), 1);
+    assert!(matches!(svc.poll(normal), Some(JobState::Done(_))));
+}

@@ -353,6 +353,47 @@ impl Circuit {
         out
     }
 
+    /// A stable 64-bit content hash of the circuit.
+    ///
+    /// Two circuits fingerprint equal iff they have the same register sizes
+    /// and the same gate sequence (angles compared by exact bit pattern, so
+    /// `0.0` and `-0.0` hash differently). The hash is FNV-1a over a
+    /// canonical encoding and does not depend on platform, process, or
+    /// allocation state, which makes it usable as a persistent cache key —
+    /// this is how `edm-serve` memoizes compiled ensembles.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcir::Circuit;
+    /// let mut a = Circuit::new(2, 2);
+    /// a.h(0).cx(0, 1).measure_all();
+    /// let mut b = Circuit::new(2, 2);
+    /// b.h(0).cx(0, 1).measure_all();
+    /// assert_eq!(a.fingerprint(), b.fingerprint());
+    /// b.x(0);
+    /// assert_ne!(a.fingerprint(), b.fingerprint());
+    /// ```
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(u64::from(self.num_qubits));
+        h.write_u64(u64::from(self.num_clbits));
+        h.write_u64(self.ops.len() as u64);
+        for g in &self.ops {
+            h.write_u64(gate_opcode(g));
+            for q in g.qubits() {
+                h.write_u64(u64::from(q.index()));
+            }
+            if let Gate::Measure(_, c) = g {
+                h.write_u64(u64::from(c.index()));
+            }
+            if let Some(t) = g.param() {
+                h.write_u64(t.to_bits());
+            }
+        }
+        h.finish()
+    }
+
     /// Summary statistics matching the paper's Table 1 columns.
     pub fn stats(&self) -> CircuitStats {
         CircuitStats {
@@ -362,6 +403,55 @@ impl Circuit {
             measurements: self.count_measure(),
             depth: self.depth(),
         }
+    }
+}
+
+/// 64-bit FNV-1a with a fixed little-endian word encoding.
+///
+/// `std::hash::Hasher` implementations are allowed to vary between releases,
+/// so cache keys use this explicit hasher instead.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A stable discriminant per gate kind, fed into [`Circuit::fingerprint`].
+///
+/// Values are append-only: new gate kinds must take fresh codes so existing
+/// fingerprints never change meaning.
+fn gate_opcode(g: &Gate) -> u64 {
+    match g {
+        Gate::H(_) => 1,
+        Gate::X(_) => 2,
+        Gate::Y(_) => 3,
+        Gate::Z(_) => 4,
+        Gate::S(_) => 5,
+        Gate::Sdg(_) => 6,
+        Gate::T(_) => 7,
+        Gate::Tdg(_) => 8,
+        Gate::Rx(..) => 9,
+        Gate::Ry(..) => 10,
+        Gate::Rz(..) => 11,
+        Gate::Cx(..) => 12,
+        Gate::Cz(..) => 13,
+        Gate::Swap(..) => 14,
+        Gate::Ccx(..) => 15,
+        Gate::Cswap(..) => 16,
+        Gate::Measure(..) => 17,
     }
 }
 
@@ -639,6 +729,51 @@ mod tests {
         assert_eq!(c.len(), 2);
         let names: Vec<_> = (&c).into_iter().map(|g| g.name()).collect();
         assert_eq!(names, vec!["h", "x"]);
+    }
+
+    #[test]
+    fn fingerprint_stable_and_content_sensitive() {
+        let build = || {
+            let mut c = Circuit::new(3, 3);
+            c.h(0).cx(0, 1).rz(2, 0.75).measure_all();
+            c
+        };
+        let a = build();
+        assert_eq!(a.fingerprint(), build().fingerprint());
+
+        // Gate order matters.
+        let mut reordered = Circuit::new(3, 3);
+        reordered.cx(0, 1).h(0).rz(2, 0.75).measure_all();
+        assert_ne!(a.fingerprint(), reordered.fingerprint());
+
+        // Register width matters even with identical ops.
+        let mut wider = Circuit::new(4, 3);
+        wider.h(0).cx(0, 1).rz(2, 0.75);
+        for i in 0..3 {
+            wider.measure(i, i);
+        }
+        assert_ne!(a.fingerprint(), wider.fingerprint());
+
+        // Angles are compared by bit pattern.
+        let mut angle = build();
+        angle.rz(2, 0.75);
+        let mut other_angle = build();
+        other_angle.rz(2, 0.7500001);
+        assert_ne!(angle.fingerprint(), other_angle.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_same_arity_gates() {
+        // Cx/Cz/Swap share operand shapes; only the opcode separates them.
+        let mut cx = Circuit::new(2, 0);
+        cx.cx(0, 1);
+        let mut cz = Circuit::new(2, 0);
+        cz.cz(0, 1);
+        let mut sw = Circuit::new(2, 0);
+        sw.swap(0, 1);
+        assert_ne!(cx.fingerprint(), cz.fingerprint());
+        assert_ne!(cx.fingerprint(), sw.fingerprint());
+        assert_ne!(cz.fingerprint(), sw.fingerprint());
     }
 
     #[test]

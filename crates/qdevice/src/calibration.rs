@@ -27,6 +27,7 @@ pub struct Calibration {
     readout_err: Vec<f64>,
     gate_1q_err: Vec<f64>,
     cx_err: BTreeMap<Edge, f64>,
+    generation: u64,
 }
 
 impl Calibration {
@@ -55,7 +56,35 @@ impl Calibration {
             readout_err,
             gate_1q_err,
             cx_err,
+            generation: 0,
         }
+    }
+
+    /// The calibration cycle this table belongs to.
+    ///
+    /// IBM-style backends recalibrate on a daily cycle; each cycle produces a
+    /// new table. The generation is a monotonic counter over those cycles:
+    /// freshly built tables start at generation 0, and every
+    /// [`Calibration::bump_generation`] advances it. Consumers that memoize
+    /// work derived from the table (notably `edm-serve`'s compilation cache)
+    /// key on this value so stale results can never be served across a
+    /// recalibration.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Advances to the next calibration cycle and returns the new generation.
+    pub fn bump_generation(&mut self) -> u64 {
+        self.generation += 1;
+        self.generation
+    }
+
+    /// Returns the same table stamped with an explicit generation, used when
+    /// restoring a persisted calibration.
+    #[must_use]
+    pub fn with_generation(mut self, generation: u64) -> Self {
+        self.generation = generation;
+        self
     }
 
     /// Number of qubits covered by the table.
@@ -206,5 +235,26 @@ mod tests {
     fn empty_cx_table_aggregates() {
         let c = Calibration::new(vec![0.1], vec![0.0], BTreeMap::new());
         assert_eq!(c.mean_cx_err(), 0.0);
+    }
+
+    #[test]
+    fn generation_starts_at_zero_and_bumps_monotonically() {
+        let mut c = sample();
+        assert_eq!(c.generation(), 0);
+        assert_eq!(c.bump_generation(), 1);
+        assert_eq!(c.bump_generation(), 2);
+        assert_eq!(c.generation(), 2);
+        // Bumping does not touch the error tables.
+        assert_eq!(c.readout_err(2), 0.30);
+        assert_eq!(c.cx_err(0, 1), Some(0.02));
+    }
+
+    #[test]
+    fn with_generation_restamps() {
+        let c = sample().with_generation(7);
+        assert_eq!(c.generation(), 7);
+        // Same tables, different cycle: not equal to the fresh build.
+        assert_ne!(c, sample());
+        assert_eq!(c, sample().with_generation(7));
     }
 }

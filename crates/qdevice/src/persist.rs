@@ -147,6 +147,8 @@ pub struct CalibrationFile {
     pub gate_1q_err: Vec<f64>,
     /// `(a, b, error)` triples per coupling.
     pub cx_err: Vec<(u32, u32, f64)>,
+    /// Calibration cycle counter (see [`Calibration::generation`]).
+    pub generation: u64,
 }
 
 impl From<&Calibration> for CalibrationFile {
@@ -159,6 +161,7 @@ impl From<&Calibration> for CalibrationFile {
                 .iter()
                 .map(|(e, &v)| (e.lo(), e.hi(), v))
                 .collect(),
+            generation: cal.generation(),
         }
     }
 }
@@ -176,7 +179,7 @@ impl CalibrationFile {
             .into_iter()
             .map(|(a, b, v)| (Edge::new(a, b), v))
             .collect();
-        Calibration::new(self.readout_err, self.gate_1q_err, cx)
+        Calibration::new(self.readout_err, self.gate_1q_err, cx).with_generation(self.generation)
     }
 }
 
@@ -231,6 +234,18 @@ mod tests {
         let cal = device.calibration();
         let json = calibration_to_json(&cal).unwrap();
         assert_eq!(calibration_from_json(&json).unwrap(), cal);
+    }
+
+    #[test]
+    fn calibration_roundtrip_preserves_generation() {
+        let device = DeviceModel::synthesize(presets::line(4), 8);
+        let mut cal = device.calibration();
+        cal.bump_generation();
+        cal.bump_generation();
+        let json = calibration_to_json(&cal).unwrap();
+        let restored = calibration_from_json(&json).unwrap();
+        assert_eq!(restored.generation(), 2);
+        assert_eq!(restored, cal);
     }
 
     #[test]

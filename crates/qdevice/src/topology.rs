@@ -52,18 +52,28 @@ impl Edge {
         self.0 == q || self.1 == q
     }
 
-    /// Given one endpoint, returns the other.
+    /// Given one endpoint, returns the other, or `None` if `q` is not an
+    /// endpoint of this edge.
     ///
-    /// # Panics
+    /// Edges frequently come from untrusted input (persisted device files,
+    /// service requests), so a bad endpoint is a recoverable condition, not
+    /// a programming error.
     ///
-    /// Panics if `q` is not an endpoint of this edge.
-    pub fn other(self, q: u32) -> u32 {
+    /// # Examples
+    ///
+    /// ```
+    /// use qdevice::Edge;
+    /// let e = Edge::new(1, 4);
+    /// assert_eq!(e.other(1), Some(4));
+    /// assert_eq!(e.other(2), None);
+    /// ```
+    pub fn other(self, q: u32) -> Option<u32> {
         if q == self.0 {
-            self.1
+            Some(self.1)
         } else if q == self.1 {
-            self.0
+            Some(self.0)
         } else {
-            panic!("qubit {q} is not an endpoint of {self}");
+            None
         }
     }
 }
@@ -239,6 +249,41 @@ impl Topology {
         None
     }
 
+    /// A stable 64-bit content hash of the coupling graph.
+    ///
+    /// Two topologies fingerprint equal iff they have the same qubit count
+    /// and the same normalized edge set. FNV-1a over a canonical encoding,
+    /// independent of platform and process — the topology component of
+    /// `edm-serve`'s compilation-cache key.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qdevice::Topology;
+    /// let a = Topology::new(3, &[(0, 1), (1, 2)]);
+    /// let b = Topology::new(3, &[(1, 2), (1, 0)]); // same graph, reordered
+    /// assert_eq!(a.fingerprint(), b.fingerprint());
+    /// assert_ne!(a.fingerprint(), Topology::new(3, &[(0, 1)]).fingerprint());
+    /// ```
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let write = |word: u64, h: &mut u64| {
+            for byte in word.to_le_bytes() {
+                *h ^= u64::from(byte);
+                *h = h.wrapping_mul(PRIME);
+            }
+        };
+        write(u64::from(self.num_qubits), &mut h);
+        write(self.edges.len() as u64, &mut h);
+        for e in &self.edges {
+            write(u64::from(e.lo()), &mut h);
+            write(u64::from(e.hi()), &mut h);
+        }
+        h
+    }
+
     /// True if every qubit can reach every other qubit.
     pub fn is_connected(&self) -> bool {
         if self.num_qubits == 0 {
@@ -303,14 +348,14 @@ mod tests {
         assert!(e.touches(1));
         assert!(e.touches(4));
         assert!(!e.touches(2));
-        assert_eq!(e.other(1), 4);
-        assert_eq!(e.other(4), 1);
+        assert_eq!(e.other(1), Some(4));
+        assert_eq!(e.other(4), Some(1));
     }
 
     #[test]
-    #[should_panic(expected = "not an endpoint")]
-    fn edge_other_panics_for_non_endpoint() {
-        Edge::new(1, 4).other(2);
+    fn edge_other_is_none_for_non_endpoint() {
+        assert_eq!(Edge::new(1, 4).other(2), None);
+        assert_eq!(Edge::new(0, 1).other(u32::MAX), None);
     }
 
     #[test]
@@ -371,6 +416,22 @@ mod tests {
         assert!(Topology::new(0, &[]).is_connected());
         assert!(Topology::new(1, &[]).is_connected());
         assert!(!Topology::new(2, &[]).is_connected());
+    }
+
+    #[test]
+    fn fingerprint_ignores_edge_input_order() {
+        let a = Topology::new(4, &[(0, 1), (1, 2), (2, 3)]);
+        let b = Topology::new(4, &[(2, 3), (1, 0), (2, 1), (0, 1)]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Different edge set or width changes the hash.
+        assert_ne!(
+            a.fingerprint(),
+            Topology::new(4, &[(0, 1), (1, 2)]).fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            Topology::new(5, &[(0, 1), (1, 2), (2, 3)]).fingerprint()
+        );
     }
 
     #[test]

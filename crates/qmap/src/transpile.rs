@@ -8,9 +8,14 @@
 use crate::{esp, placement, router, sabre, Layout, MapError, RoutingStrategy};
 use qcir::Circuit;
 use qdevice::{Calibration, Topology};
+use serde::{Deserialize, Serialize};
 
 /// The result of transpiling a logical circuit onto a device.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so compiled artifacts can be persisted or cached (the
+/// `edm-serve` compilation cache stores ensembles of these per circuit
+/// fingerprint).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TranspiledCircuit {
     /// Device-basis physical circuit (single-qubit gates, coupled CX,
     /// measurements), ready for the noisy simulator.
@@ -305,6 +310,18 @@ mod tests {
             .transpile_with_layout(&c, &Layout::identity(4, 14))
             .unwrap();
         assert!(auto.esp >= fixed.esp - 1e-12);
+    }
+
+    #[test]
+    fn transpiled_circuit_serde_roundtrip() {
+        let d = setup();
+        let cal = d.calibration();
+        let t = Transpiler::new(d.topology(), &cal);
+        let out = t.transpile(&ghz(4)).unwrap();
+        let json = serde_json::to_string(&out).unwrap();
+        let restored: TranspiledCircuit = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored, out);
+        assert_eq!(restored.esp.to_bits(), out.esp.to_bits());
     }
 
     #[test]

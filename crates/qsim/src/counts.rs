@@ -348,4 +348,49 @@ mod tests {
         assert!(s.contains("2 shots"));
         assert!(s.contains("10: 2"));
     }
+
+    #[test]
+    fn serde_roundtrip_is_exact() {
+        let mut c = Counts::new(6);
+        c.record_n(0b110011, 1000);
+        c.record_n(0b000001, 3);
+        c.record(0);
+        let json = serde_json::to_string(&c).unwrap();
+        let restored: Counts = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored, c);
+        assert_eq!(restored.num_clbits(), 6);
+        assert_eq!(restored.shots(), 1004);
+    }
+
+    #[test]
+    fn serde_roundtrip_merges_bit_identically() {
+        // The service result store persists histograms and merges them after
+        // restore; merging restored copies must equal merging the originals.
+        let mut a = Counts::new(4);
+        a.record_n(0b1010, 7);
+        a.record_n(0b0001, 2);
+        let mut b = Counts::new(4);
+        b.record_n(0b1010, 5);
+        b.record_n(0b1111, 1);
+
+        let mut direct = a.clone();
+        direct.merge_from(&b);
+
+        let ra: Counts = serde_json::from_str(&serde_json::to_string(&a).unwrap()).unwrap();
+        let rb: Counts = serde_json::from_str(&serde_json::to_string(&b).unwrap()).unwrap();
+        let mut via_serde = ra;
+        via_serde.merge_from(&rb);
+
+        assert_eq!(via_serde, direct);
+        assert_eq!(via_serde.get(0b1010), 12);
+        assert_eq!(via_serde.shots(), 15);
+    }
+
+    #[test]
+    fn serde_roundtrip_empty_histogram() {
+        let c = Counts::new(0);
+        let restored: Counts = serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+        assert_eq!(restored, c);
+        assert_eq!(restored.shots(), 0);
+    }
 }

@@ -36,6 +36,27 @@ pub enum SimError {
         /// Qubits available on the device.
         device: u32,
     },
+    /// The execution backend was temporarily unable to run the job (queue
+    /// contention, lost link, worker restart).
+    ///
+    /// Unlike every other variant this is not a property of the circuit:
+    /// retrying the same job later can succeed. Dispatchers test for it via
+    /// [`SimError::is_transient`] and retry with backoff instead of failing
+    /// the job outright.
+    BackendUnavailable {
+        /// Human-readable description of the transient condition.
+        reason: &'static str,
+    },
+}
+
+impl SimError {
+    /// True if retrying the same job can succeed.
+    ///
+    /// Every other variant describes a deterministic property of the circuit
+    /// or device, so retrying would fail identically.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SimError::BackendUnavailable { .. })
+    }
 }
 
 impl fmt::Display for SimError {
@@ -63,6 +84,12 @@ impl fmt::Display for SimError {
                 write!(
                     f,
                     "circuit needs {circuit} qubits but the device has {device}"
+                )
+            }
+            SimError::BackendUnavailable { reason } => {
+                write!(
+                    f,
+                    "backend unavailable: {reason} (transient; retry may succeed)"
                 )
             }
         }
@@ -95,6 +122,32 @@ mod tests {
         }
         .to_string()
         .contains("20"));
+    }
+
+    #[test]
+    fn backend_unavailable_display_and_transience() {
+        let e = SimError::BackendUnavailable {
+            reason: "worker restarting",
+        };
+        assert!(e.to_string().contains("worker restarting"));
+        assert!(e.to_string().contains("transient"));
+        assert!(e.is_transient());
+    }
+
+    #[test]
+    fn circuit_errors_are_not_transient() {
+        for e in [
+            SimError::UnsupportedGate { name: "ccx" },
+            SimError::MidCircuitMeasurement { qubit: 3 },
+            SimError::ClbitReused { clbit: 1 },
+            SimError::UncoupledQubits { a: 0, b: 5 },
+            SimError::TooManyQubits {
+                circuit: 20,
+                device: 14,
+            },
+        ] {
+            assert!(!e.is_transient(), "{e} must not be retryable");
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! same subset it emits).
 
 use edm_core::{metrics, EdmRunner, EnsembleConfig};
+use edm_serve::validate;
 use qcir::{draw, qasm, Circuit};
 use qdevice::{persist, presets, DeviceModel};
 use qmap::Transpiler;
@@ -51,16 +52,22 @@ const USAGE: &str = "usage:
   edm-cli device [--seed N]
 
 run options:
-  --threads N   cap execution worker threads (default: all cores; results
-                are identical for every N — threads only change speed)";
+  --threads N   cap execution worker threads, N >= 1 (default: all cores;
+                results are identical for every N — threads only change
+                speed)";
 
 fn flag(args: &[String], name: &str, default: u64) -> Result<u64, String> {
+    opt_flag(args, name).map(|v| v.unwrap_or(default))
+}
+
+fn opt_flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
     match args.iter().position(|a| a == name) {
         Some(i) => args
             .get(i + 1)
             .and_then(|v| v.parse().ok())
+            .map(Some)
             .ok_or_else(|| format!("{name} expects an integer")),
-        None => Ok(default),
+        None => Ok(None),
     }
 }
 
@@ -96,11 +103,13 @@ fn cmd_transpile(args: &[String]) -> Result<(), String> {
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let circuit = load_circuit(args)?;
-    let shots = flag(args, "--shots", 16_384)?;
+    let shots =
+        validate::shots(flag(args, "--shots", 16_384)?).map_err(|e| format!("--shots: {e}"))?;
     let seed = flag(args, "--seed", 42)?;
-    // 0 = auto (all cores). Any value gives bit-identical results; the
+    // Absent = auto (all cores). Any value gives bit-identical results; the
     // flag exists to bound CPU usage, not to pick an RNG schedule.
-    let threads = flag(args, "--threads", 0)? as usize;
+    let threads =
+        validate::threads(opt_flag(args, "--threads")?).map_err(|e| format!("--threads: {e}"))?;
     if circuit.count_measure() == 0 {
         return Err("circuit has no measurements; nothing to run".into());
     }
@@ -110,7 +119,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let transpiler = Transpiler::new(device.topology(), &cal);
     let backend = NoisySimulator::from_device(&device);
     let mut runner = EdmRunner::new(&transpiler, &backend, EnsembleConfig::default());
-    if threads > 0 {
+    if let Some(threads) = threads {
         runner = runner.with_threads(threads);
     }
 
