@@ -166,6 +166,8 @@ impl<B: Backend> EdmRunner<'_, B> {
                 wedm,
                 weights,
                 filtered_out: pruned.clone(),
+                // Pruning is a deliberate schedule decision, not a failure.
+                health: crate::ensemble::RunHealth::Full,
             },
             pruned,
             pilot_shots: pilot_each * k,

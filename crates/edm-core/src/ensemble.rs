@@ -71,6 +71,15 @@ pub struct EnsembleConfig {
     /// right before readout (and their recorded outcomes are flipped back),
     /// steering readout-bias mistakes in the opposite direction.
     pub invert_measurements: bool,
+    /// Minimum number of members that must execute successfully for a run
+    /// with failures to complete in degraded mode (default 2, so a merged
+    /// answer always reflects at least two diverse mappings). When members
+    /// fail but at least `min_quorum` survive, [`assemble_result`] drops
+    /// the failures, renormalizes the EDM/WEDM merges over the survivors,
+    /// and marks the result [`RunHealth::Degraded`]; below quorum the run
+    /// fails with the first member's error. Values below 1 behave as 1 —
+    /// merging zero distributions is meaningless.
+    pub min_quorum: usize,
 }
 
 impl Default for EnsembleConfig {
@@ -83,6 +92,7 @@ impl Default for EnsembleConfig {
             diverse_selection: true,
             shot_allocation: ShotAllocation::default(),
             invert_measurements: false,
+            min_quorum: 2,
         }
     }
 }
@@ -140,8 +150,20 @@ pub fn diversify(
         .collect();
     let pattern = Topology::new(active.len() as u32, &pattern_edges);
 
-    let embeddings =
-        vf2::enumerate_subgraph_isomorphisms(&pattern, topology, config.max_candidates);
+    // Enumerate on the quarantine-masked view first; quarantine is advisory,
+    // so fall back to the full device rather than return zero embeddings.
+    let mut embeddings = vf2::enumerate_subgraph_isomorphisms(
+        &pattern,
+        transpiler.effective_topology(),
+        config.max_candidates,
+    );
+    if let Some(quarantine) = transpiler.quarantine() {
+        embeddings.retain(|phi| quarantine.allows_footprint(phi));
+        if embeddings.is_empty() {
+            embeddings =
+                vf2::enumerate_subgraph_isomorphisms(&pattern, topology, config.max_candidates);
+        }
+    }
     if embeddings.is_empty() {
         return Err(EdmError::NoEmbeddings);
     }
@@ -271,26 +293,77 @@ pub struct MemberRun {
     pub dist: ProbDist,
 }
 
+/// A planned ensemble member that failed permanently (after whatever retry
+/// policy the dispatcher applied) and was dropped from a degraded run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedMember {
+    /// The member's index in the planned (ESP-descending) member order —
+    /// i.e. into the [`RunPlan`], not into the surviving
+    /// [`EdmResult::members`].
+    pub index: usize,
+    /// The member whose execution failed.
+    pub member: EnsembleMember,
+    /// The terminal execution error.
+    pub error: qsim::SimError,
+}
+
+/// Health of an assembled run: did every planned member contribute?
+///
+/// Degradation is EDM's own premise applied to failures — no single mapping
+/// is load-bearing, so losing one costs statistical strength, not the
+/// answer. The marker keeps the quality downgrade honest instead of silent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunHealth {
+    /// Every planned member executed; merges cover the full ensemble.
+    Full,
+    /// Some members failed permanently and were dropped; the EDM/WEDM
+    /// merges are renormalized over the survivors.
+    Degraded {
+        /// The dropped members with their errors, in plan order.
+        failed_members: Vec<FailedMember>,
+        /// The minimum survivor count that allowed the run to complete.
+        quorum: usize,
+    },
+}
+
+impl RunHealth {
+    /// True for [`RunHealth::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, RunHealth::Degraded { .. })
+    }
+}
+
 /// The result of a full EDM run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EdmResult {
-    /// Executed members, ordered by descending compile-time ESP (so index 0
-    /// is the paper's "single best mapping at compile time").
+    /// Executed (surviving) members, ordered by descending compile-time ESP
+    /// (so index 0 is the paper's "single best mapping at compile time"
+    /// among the members that actually ran).
     pub members: Vec<MemberRun>,
-    /// Uniform merge of the member distributions (EDM, §5.2).
+    /// Uniform merge of the member distributions (EDM, §5.2), renormalized
+    /// over the survivors in a degraded run.
     pub edm: ProbDist,
-    /// Divergence-weighted merge (WEDM, §6).
+    /// Divergence-weighted merge (WEDM, §6), renormalized likewise.
     pub wedm: ProbDist,
-    /// The normalized WEDM weights.
+    /// The normalized WEDM weights, aligned with `members` (`0.0` for
+    /// members the uniformity filter dropped from the merge).
     pub weights: Vec<f64>,
-    /// Indices of members dropped by the uniformity filter, if enabled.
+    /// Indices into `members` dropped by the uniformity filter, if enabled.
     pub filtered_out: Vec<usize>,
+    /// Whether every planned member contributed, or which ones were lost.
+    pub health: RunHealth,
 }
 
 impl EdmResult {
     /// The member with the best compile-time ESP (the baseline mapping).
     pub fn best_estimated(&self) -> &MemberRun {
         &self.members[0]
+    }
+
+    /// True when at least one planned member failed and was dropped — the
+    /// merges then cover survivors only (see [`RunHealth::Degraded`]).
+    pub fn is_degraded(&self) -> bool {
+        self.health.is_degraded()
     }
 
     /// The member with the highest *observed* PST — the paper's "single
@@ -526,10 +599,18 @@ pub fn plan_run(
 /// `raw` must hold one result per member, in member order — exactly what
 /// `Backend::execute_batch` returns for [`RunPlan::jobs`].
 ///
+/// Failed members do not automatically fail the run. As long as at least
+/// `config.min_quorum` members executed, the failures are dropped, the
+/// merges renormalize over the survivors, and the result carries
+/// [`RunHealth::Degraded`] naming every lost member — the caller decides
+/// whether a degraded answer is acceptable. Errors reaching this function
+/// are terminal by construction: transient failures were already retried by
+/// the dispatching layer.
+///
 /// # Errors
 ///
-/// Propagates the first member's execution error, wrapped in
-/// [`EdmError::Sim`].
+/// Below quorum (including a fully failed run) the first member's execution
+/// error is propagated, wrapped in [`EdmError::Sim`].
 ///
 /// # Panics
 ///
@@ -545,8 +626,19 @@ pub fn assemble_result(
         "one raw result required per member"
     );
     let mut runs = Vec::with_capacity(members.len());
-    for (member, raw) in members.into_iter().zip(raw) {
-        let raw = raw?;
+    let mut failed_members = Vec::new();
+    for (index, (member, raw)) in members.into_iter().zip(raw).enumerate() {
+        let raw = match raw {
+            Ok(raw) => raw,
+            Err(error) => {
+                failed_members.push(FailedMember {
+                    index,
+                    member,
+                    error,
+                });
+                continue;
+            }
+        };
         let counts = if member.inverted_measurement {
             uninvert_counts(&raw)
         } else {
@@ -560,28 +652,57 @@ pub fn assemble_result(
         });
     }
 
+    let quorum = config.min_quorum.max(1);
+    let health = if failed_members.is_empty() {
+        RunHealth::Full
+    } else if runs.len() >= quorum {
+        RunHealth::Degraded {
+            failed_members,
+            quorum,
+        }
+    } else {
+        // Too few survivors for a defensible merge: fail the run with the
+        // first lost member's error.
+        return Err(EdmError::Sim(failed_members.swap_remove(0).error));
+    };
+
+    // `None` slots are members the uniformity filter excludes from the
+    // merge; execution failures never reach here (they were dropped above),
+    // so slot indices align with the surviving `runs`.
     let all_dists: Vec<ProbDist> = runs.iter().map(|r| r.dist.clone()).collect();
-    let (merge_input, filtered_out) = match config.uniformity_filter {
+    let (slots, filtered_out): (Vec<Option<ProbDist>>, Vec<usize>) = match config.uniformity_filter
+    {
         Some(threshold) => {
             let (kept, dropped) = filter::partition_informative(&all_dists, threshold);
             if kept.is_empty() {
                 // Everything drowned in noise: fall back to merging all.
-                (all_dists.clone(), dropped)
+                (all_dists.into_iter().map(Some).collect(), dropped)
             } else {
-                (kept, dropped)
+                let dropped_set: std::collections::BTreeSet<usize> =
+                    dropped.iter().copied().collect();
+                (
+                    all_dists
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, d)| (!dropped_set.contains(&i)).then_some(d))
+                        .collect(),
+                    dropped,
+                )
             }
         }
-        None => (all_dists.clone(), Vec::new()),
+        None => (all_dists.into_iter().map(Some).collect(), Vec::new()),
     };
 
+    let merge_input: Vec<ProbDist> = slots.iter().flatten().cloned().collect();
     let edm = ProbDist::merge_uniform(&merge_input);
-    let (wedm, weights) = wedm::merge(&merge_input);
+    let (wedm, weights) = wedm::merge_survivors(&slots);
     Ok(EdmResult {
         members: runs,
         edm,
         wedm,
         weights,
         filtered_out,
+        health,
     })
 }
 
@@ -655,6 +776,38 @@ mod tests {
 
     fn bv3() -> Circuit {
         qbench::bv::bv(0b101, 3)
+    }
+
+    #[test]
+    fn quarantined_qubits_are_excluded_from_the_ensemble() {
+        let (d, cal) = setup();
+        let mut quarantine = qdevice::drift::Quarantine::new();
+        quarantine.add_qubit(0);
+        quarantine.add_qubit(7);
+        let t = Transpiler::new(d.topology(), &cal).with_quarantine(&quarantine);
+        let members = build_ensemble(&t, &bv3(), &EnsembleConfig::default()).unwrap();
+        assert!(!members.is_empty());
+        for member in &members {
+            for &q in &member.qubits {
+                assert!(
+                    !quarantine.contains_qubit(q),
+                    "member uses quarantined qubit {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn total_quarantine_falls_back_to_the_full_device() {
+        let (d, cal) = setup();
+        let mut quarantine = qdevice::drift::Quarantine::new();
+        for q in 0..14 {
+            quarantine.add_qubit(q);
+        }
+        let t = Transpiler::new(d.topology(), &cal).with_quarantine(&quarantine);
+        // Advisory quarantine: compilation must still find an ensemble.
+        let members = build_ensemble(&t, &bv3(), &EnsembleConfig::default()).unwrap();
+        assert_eq!(members.len(), 4);
     }
 
     #[test]
@@ -919,7 +1072,7 @@ mod tests {
     }
 
     #[test]
-    fn failing_member_propagates_its_error() {
+    fn failing_member_degrades_the_run_instead_of_failing_it() {
         let (d, cal) = setup();
         let t = Transpiler::new(d.topology(), &cal);
         let backend = FailNthBackend {
@@ -927,11 +1080,116 @@ mod tests {
             fail_at: 2,
         };
         let runner = EdmRunner::new(&t, backend, EnsembleConfig::default());
+        let result = runner.run(&bv3(), 4096, 3).unwrap();
+        assert!(result.is_degraded());
+        match &result.health {
+            RunHealth::Degraded {
+                failed_members,
+                quorum,
+            } => {
+                assert_eq!(*quorum, 2);
+                assert_eq!(failed_members.len(), 1);
+                assert_eq!(failed_members[0].index, 2, "plan-order index of the loss");
+                assert!(matches!(
+                    failed_members[0].error,
+                    qsim::SimError::TooManyQubits { .. }
+                ));
+            }
+            RunHealth::Full => unreachable!("is_degraded was true"),
+        }
+        // Three of four members survive; the merges renormalize over them.
+        assert_eq!(result.members.len(), 3);
+        assert_eq!(result.weights.len(), 3);
+        let total_edm: f64 = result.edm.iter().map(|(_, p)| p).sum();
+        assert!((total_edm - 1.0).abs() < 1e-9);
+        assert!((result.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn below_quorum_failures_propagate_the_error() {
+        let (d, cal) = setup();
+        let t = Transpiler::new(d.topology(), &cal);
+        // Require the full ensemble: any loss must fail the run.
+        let config = EnsembleConfig {
+            min_quorum: 4,
+            ..EnsembleConfig::default()
+        };
+        let backend = FailNthBackend {
+            calls: std::cell::Cell::new(0),
+            fail_at: 1,
+        };
+        let runner = EdmRunner::new(&t, backend, config);
         let err = runner.run(&bv3(), 4096, 3).unwrap_err();
         assert!(
-            matches!(err, EdmError::Sim(_)),
-            "expected the member's simulation error, got {err:?}"
+            matches!(err, EdmError::Sim(qsim::SimError::TooManyQubits { .. })),
+            "expected the lost member's error, got {err:?}"
         );
+    }
+
+    #[test]
+    fn fully_failed_run_errors_even_with_zero_quorum() {
+        let (d, cal) = setup();
+        let t = Transpiler::new(d.topology(), &cal);
+        let members = build_ensemble(&t, &bv3(), &EnsembleConfig::default()).unwrap();
+        let n = members.len();
+        let raw: Vec<Result<Counts, qsim::SimError>> = (0..n)
+            .map(|_| {
+                Err(qsim::SimError::BackendUnavailable {
+                    reason: "dead backend",
+                })
+            })
+            .collect();
+        // min_quorum 0 is clamped to 1: merging nothing is meaningless.
+        let config = EnsembleConfig {
+            min_quorum: 0,
+            ..EnsembleConfig::default()
+        };
+        let err = assemble_result(members, raw, &config).unwrap_err();
+        assert!(matches!(
+            err,
+            EdmError::Sim(qsim::SimError::BackendUnavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn degraded_merge_equals_a_fresh_run_over_the_survivors() {
+        // The renormalization contract: dropping a member and merging must
+        // give the same distributions as if the ensemble had never
+        // contained it.
+        let (d, cal) = setup();
+        let t = Transpiler::new(d.topology(), &cal);
+        let backend = NoisySimulator::from_device(&d);
+        let config = EnsembleConfig::default();
+        let members = build_ensemble(&t, &bv3(), &config).unwrap();
+        let plan = plan_run(members, 4096, 17, config.shot_allocation).unwrap();
+        let jobs = plan.jobs();
+        let mut raw = Backend::execute_batch(&backend, &jobs, 2);
+        drop(jobs);
+        // Kill member 1 after the fact.
+        raw[1] = Err(qsim::SimError::ExecutionPanicked {
+            detail: "chaos".into(),
+        });
+        let degraded = assemble_result(plan.members.clone(), raw.clone(), &config).unwrap();
+        assert!(degraded.is_degraded());
+
+        let surviving_members: Vec<EnsembleMember> = plan
+            .members
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 1)
+            .map(|(_, m)| m)
+            .collect();
+        let surviving_raw: Vec<_> = raw
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 1)
+            .map(|(_, r)| r)
+            .collect();
+        let reference = assemble_result(surviving_members, surviving_raw, &config).unwrap();
+        assert_eq!(degraded.edm, reference.edm);
+        assert_eq!(degraded.wedm, reference.wedm);
+        assert_eq!(degraded.weights, reference.weights);
+        assert_eq!(degraded.members, reference.members);
     }
 
     #[test]

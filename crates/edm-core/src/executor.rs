@@ -41,7 +41,11 @@ pub trait Backend {
     /// only on the jobs themselves — never on `threads` or scheduling.
     ///
     /// The default runs jobs serially through [`Backend::execute`], which
-    /// trivially satisfies the contract.
+    /// trivially satisfies the contract. A panic inside `execute` is
+    /// contained to its own job — it surfaces as the non-transient
+    /// [`SimError::ExecutionPanicked`] while the rest of the batch runs to
+    /// completion. (The simulator's pool-based override provides the same
+    /// containment per slice.)
     fn execute_batch(
         &self,
         jobs: &[BatchJob<'_>],
@@ -49,7 +53,16 @@ pub trait Backend {
     ) -> Vec<Result<Counts, SimError>> {
         let _ = threads;
         jobs.iter()
-            .map(|job| self.execute(job.circuit, job.shots, job.seed))
+            .map(|job| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.execute(job.circuit, job.shots, job.seed)
+                }))
+                .unwrap_or_else(|p| {
+                    Err(SimError::ExecutionPanicked {
+                        detail: qsim::pool::panic_message(p.as_ref()),
+                    })
+                })
+            })
             .collect()
     }
 }
@@ -132,5 +145,60 @@ mod tests {
         let dyn_backend: &dyn Backend = &sim;
         let via_dyn = dyn_backend.execute_batch(&jobs, 2);
         assert_eq!(one[1].as_ref().unwrap(), via_dyn[1].as_ref().unwrap());
+    }
+
+    /// A backend that panics on jobs whose seed matches `panic_seed`.
+    struct PanickyBackend {
+        panic_seed: u64,
+    }
+
+    impl Backend for PanickyBackend {
+        fn execute(&self, circuit: &Circuit, shots: u64, seed: u64) -> Result<Counts, SimError> {
+            if seed == self.panic_seed {
+                panic!("backend bug on seed {seed}");
+            }
+            let mut counts = Counts::new(circuit.num_clbits());
+            counts.record_n(0, shots);
+            Ok(counts)
+        }
+    }
+
+    #[test]
+    fn panicking_backend_fails_only_its_job() {
+        let backend = PanickyBackend { panic_seed: 8 };
+        let mut c = Circuit::new(1, 1);
+        c.measure_all();
+        let jobs = [
+            BatchJob {
+                circuit: &c,
+                shots: 10,
+                seed: 7,
+            },
+            BatchJob {
+                circuit: &c,
+                shots: 10,
+                seed: 8,
+            },
+            BatchJob {
+                circuit: &c,
+                shots: 10,
+                seed: 9,
+            },
+        ];
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output quiet
+        let results = backend.execute_batch(&jobs, 2);
+        std::panic::set_hook(prev);
+        assert_eq!(results[0].as_ref().unwrap().shots(), 10);
+        match &results[1] {
+            Err(e @ SimError::ExecutionPanicked { detail }) => {
+                assert!(detail.contains("backend bug on seed 8"), "{detail}");
+                assert!(!e.is_transient(), "a panic must not be retried");
+            }
+            other => panic!("expected ExecutionPanicked, got {other:?}"),
+        }
+        assert_eq!(results[2].as_ref().unwrap().shots(), 10);
+        // The backend (and process) remain usable afterwards.
+        assert_eq!(backend.execute(&c, 5, 1).unwrap().shots(), 5);
     }
 }

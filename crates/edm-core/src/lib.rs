@@ -66,7 +66,7 @@ pub use adaptive::AdaptiveResult;
 pub use dist::ProbDist;
 pub use ensemble::{
     assemble_result, build_ensemble, diversify, plan_run, EdmResult, EdmRunner, EnsembleConfig,
-    EnsembleMember, MemberRun, RunPlan, ShotAllocation,
+    EnsembleMember, FailedMember, MemberRun, RunHealth, RunPlan, ShotAllocation,
 };
 pub use error::EdmError;
 pub use executor::{Backend, BatchJob};

@@ -62,6 +62,48 @@ pub fn merge(dists: &[ProbDist]) -> (ProbDist, Vec<f64>) {
     (ProbDist::merge_weighted(dists, &w), w)
 }
 
+/// WEDM merge over a partially failed ensemble.
+///
+/// `slots[i]` is `None` when member `i` was dropped (execution failure in a
+/// degraded run, or the uniformity filter). The merge renormalizes over the
+/// survivors exactly as [`merge`] would over a smaller ensemble; the
+/// returned weight vector stays aligned with `slots` — dropped entries hold
+/// `0.0` — so callers can report per-member weights without re-deriving who
+/// survived. The surviving weights sum to 1.
+///
+/// # Panics
+///
+/// Panics if every slot is `None` (a degraded run must keep quorum, so at
+/// least one survivor is guaranteed by the caller).
+///
+/// # Examples
+///
+/// ```
+/// use edm_core::{wedm, ProbDist};
+/// let a = ProbDist::new(1, [(0, 0.9), (1, 0.1)]);
+/// let c = ProbDist::new(1, [(1, 1.0)]);
+/// let (merged, w) = wedm::merge_survivors(&[Some(a), None, Some(c)]);
+/// assert_eq!(w[1], 0.0);                       // the failed member
+/// assert!((w[0] + w[2] - 1.0).abs() < 1e-9);   // survivors renormalize
+/// assert!(merged.probability(1) > 0.0);
+/// ```
+pub fn merge_survivors(slots: &[Option<ProbDist>]) -> (ProbDist, Vec<f64>) {
+    let survivors: Vec<ProbDist> = slots.iter().flatten().cloned().collect();
+    assert!(
+        !survivors.is_empty(),
+        "need at least one surviving distribution"
+    );
+    let (merged, surviving_weights) = merge(&survivors);
+    let mut aligned = vec![0.0; slots.len()];
+    let mut next = surviving_weights.into_iter();
+    for (slot, out) in slots.iter().zip(&mut aligned) {
+        if slot.is_some() {
+            *out = next.next().expect("one weight per survivor");
+        }
+    }
+    (merged, aligned)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +159,38 @@ mod tests {
         let w = weights(&[a, b]);
         assert!((w[0] - 0.5).abs() < 1e-9);
         assert!((w[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn survivor_merge_matches_plain_merge_of_the_survivors() {
+        let a = d(&[(0, 0.8), (1, 0.2)]);
+        let b = d(&[(1, 0.7), (2, 0.3)]);
+        let c = d(&[(3, 1.0)]);
+        let slots = [Some(a.clone()), None, Some(b.clone()), Some(c.clone())];
+        let (merged, w) = merge_survivors(&slots);
+        let (expected, ew) = merge(&[a, b, c]);
+        assert_eq!(merged, expected);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[1], 0.0);
+        assert_eq!(&[w[0], w[2], w[3]], ew.as_slice());
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn survivor_merge_with_no_failures_is_plain_merge() {
+        let a = d(&[(0, 0.8), (1, 0.2)]);
+        let b = d(&[(1, 0.7), (2, 0.3)]);
+        let slots = [Some(a.clone()), Some(b.clone())];
+        let (merged, w) = merge_survivors(&slots);
+        let (expected, ew) = merge(&[a, b]);
+        assert_eq!(merged, expected);
+        assert_eq!(w, ew);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one surviving")]
+    fn survivor_merge_rejects_total_loss() {
+        let _ = merge_survivors(&[None, None]);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! matching `edm-cli run` — so a served result is bit-identical to the
 //! direct run with the same circuit, shots, and seed.
 
+use edm_serve::exitcode;
+use edm_serve::journal::JournalError;
 use edm_serve::protocol::{JobSummary, Request, Response};
 use edm_serve::queue::JobRequest;
 use edm_serve::service::{JobService, JobState, ServeConfig};
@@ -23,10 +25,21 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   edm-serve [--device-seed N] [--threads N] [--queue N] [--cache N] [--batch N]
+            [--journal PATH]
 
 Speaks JSON lines on stdin/stdout. Requests:
   {\"Submit\":{\"qasm\":\"...\",\"shots\":N,\"seed\":N,\"priority\":\"Normal\"}}
-  {\"Poll\":{\"id\":N}}   \"Flush\"   \"Stats\"   \"BumpCalibration\"   \"Shutdown\"";
+  {\"Poll\":{\"id\":N}}   \"Flush\"   \"Stats\"   \"BumpCalibration\"   \"Shutdown\"
+
+--journal PATH appends a JSON-lines write-ahead journal of accepted jobs;
+restarting with the same path replays unfinished jobs bit-identically.
+
+exit codes:
+  0   success
+  1   unclassified failure
+  2   usage error (bad flags)
+  65  data error (corrupt journal)
+  75  transient backend failure; rerunning may succeed";
 
 fn flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
     match args.iter().position(|a| a == name) {
@@ -76,8 +89,18 @@ fn main() -> ExitCode {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("error: {msg}\n{USAGE}");
-            return ExitCode::from(2);
+            return ExitCode::from(exitcode::USAGE);
         }
+    };
+    let journal_path = match args.iter().position(|a| a == "--journal") {
+        Some(i) => match args.get(i + 1) {
+            Some(path) => Some(path.clone()),
+            None => {
+                eprintln!("error: --journal expects a path\n{USAGE}");
+                return ExitCode::from(exitcode::USAGE);
+            }
+        },
+        None => None,
     };
 
     let device = DeviceModel::synthesize(presets::melbourne14(), device_seed);
@@ -88,6 +111,22 @@ fn main() -> ExitCode {
         backend,
         config,
     );
+    if let Some(path) = journal_path {
+        match service.attach_journal(&path) {
+            Ok(recovered) if recovered > 0 => {
+                eprintln!("recovered {recovered} unfinished job(s) from {path}");
+            }
+            Ok(_) => {}
+            Err(e @ JournalError::Corrupt { .. }) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(exitcode::DATA);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(exitcode::FAILURE);
+            }
+        }
+    }
 
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();

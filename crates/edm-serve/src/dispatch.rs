@@ -287,6 +287,327 @@ impl<B: Backend> Backend for FlakyBackend<B> {
     }
 }
 
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive transient failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker fails fast before admitting one half-open
+    /// probe, in clock milliseconds.
+    pub cooldown_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown_ms: 5_000,
+        }
+    }
+}
+
+/// Where a [`CircuitBreaker`] currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum BreakerState {
+    /// Calls pass through; consecutive transient failures are counted.
+    Closed,
+    /// Calls fail fast until the cooldown elapses.
+    Open,
+    /// One probe call is in flight; its outcome decides Closed vs Open.
+    HalfOpen,
+}
+
+/// Counter snapshot of one breaker, folded into the service stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BreakerStats {
+    /// The admission state right now.
+    pub state: BreakerState,
+    /// Times the breaker tripped open (including a failed half-open probe
+    /// re-opening it).
+    pub trips: u64,
+    /// Calls refused without touching the backend while open.
+    pub fast_failures: u64,
+    /// Transient failures since the last success.
+    pub consecutive_failures: u32,
+}
+
+struct BreakerCore {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at_ms: u64,
+}
+
+/// A [`Backend`] wrapper that stops hammering a dead backend.
+///
+/// After `failure_threshold` *consecutive* transient failures the breaker
+/// opens and every call fails fast with a transient
+/// [`SimError::BackendUnavailable`] — no backend round-trip, no retry
+/// storm. Once `cooldown_ms` elapses, exactly one probe call is admitted
+/// (half-open); its success closes the breaker, another transient failure
+/// re-opens it for a fresh cooldown. Deterministic circuit errors neither
+/// trip nor hold the breaker open: they prove the backend is alive and
+/// reset the failure streak.
+///
+/// Layering: put the breaker *outside* the [`Dispatcher`]
+/// (`CircuitBreaker<Dispatcher<B>>`, as
+/// [`JobService`](crate::service::JobService) does) so an open breaker
+/// skips the whole backoff schedule instead of sleeping through it.
+pub struct CircuitBreaker<B> {
+    inner: B,
+    config: BreakerConfig,
+    clock: Arc<dyn Clock>,
+    core: Mutex<BreakerCore>,
+    trips: AtomicU64,
+    fast_failures: AtomicU64,
+}
+
+impl<B: Backend> CircuitBreaker<B> {
+    /// Wraps `inner` under `config` with the real system clock.
+    pub fn new(inner: B, config: BreakerConfig) -> Self {
+        CircuitBreaker::with_clock(inner, config, Arc::new(SystemClock::new()))
+    }
+
+    /// Wraps `inner` with an explicit clock (tests pass
+    /// [`ManualClock`](crate::clock::ManualClock)).
+    pub fn with_clock(inner: B, config: BreakerConfig, clock: Arc<dyn Clock>) -> Self {
+        CircuitBreaker {
+            inner,
+            config,
+            clock,
+            core: Mutex::new(BreakerCore {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at_ms: 0,
+            }),
+            trips: AtomicU64::new(0),
+            fast_failures: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// The breaker tuning in force.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.config
+    }
+
+    /// Counter snapshot for the stats endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    pub fn stats(&self) -> BreakerStats {
+        let core = self.core.lock().expect("breaker lock poisoned");
+        BreakerStats {
+            state: core.state,
+            trips: self.trips.load(Ordering::SeqCst),
+            fast_failures: self.fast_failures.load(Ordering::SeqCst),
+            consecutive_failures: core.consecutive_failures,
+        }
+    }
+
+    /// The admission state right now (an elapsed cooldown still reports
+    /// `Open` until a call actually probes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    pub fn state(&self) -> BreakerState {
+        self.core.lock().expect("breaker lock poisoned").state
+    }
+
+    /// Decides whether a call may reach the backend, performing the
+    /// `Open -> HalfOpen` transition when the cooldown has elapsed.
+    fn admit(&self) -> bool {
+        let mut core = self.core.lock().expect("breaker lock poisoned");
+        match core.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if self.clock.now_ms() >= core.opened_at_ms.saturating_add(self.config.cooldown_ms)
+                {
+                    core.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+            // A probe is already in flight; don't pile on.
+            BreakerState::HalfOpen => false,
+        }
+    }
+
+    /// Folds one backend outcome into the breaker state. Anything that is
+    /// not a transient failure — success or deterministic error — proves
+    /// the backend responded and resets the streak.
+    fn observe<T>(&self, outcome: &Result<T, SimError>) {
+        let transient_failure = matches!(outcome, Err(e) if e.is_transient());
+        let mut core = self.core.lock().expect("breaker lock poisoned");
+        if !transient_failure {
+            core.state = BreakerState::Closed;
+            core.consecutive_failures = 0;
+            return;
+        }
+        core.consecutive_failures = core.consecutive_failures.saturating_add(1);
+        let trip = match core.state {
+            // A failed probe re-opens immediately.
+            BreakerState::HalfOpen => true,
+            _ => core.consecutive_failures >= self.config.failure_threshold,
+        };
+        if trip && core.state != BreakerState::Open {
+            core.state = BreakerState::Open;
+            core.opened_at_ms = self.clock.now_ms();
+            self.trips.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn fail_fast(&self) -> SimError {
+        self.fast_failures.fetch_add(1, Ordering::SeqCst);
+        SimError::BackendUnavailable {
+            reason: "circuit breaker open; backend cooling down",
+        }
+    }
+}
+
+impl<B: Backend> Backend for CircuitBreaker<B> {
+    fn execute(&self, circuit: &Circuit, shots: u64, seed: u64) -> Result<Counts, SimError> {
+        if !self.admit() {
+            return Err(self.fail_fast());
+        }
+        let out = self.inner.execute(circuit, shots, seed);
+        self.observe(&out);
+        out
+    }
+
+    fn execute_batch(
+        &self,
+        jobs: &[BatchJob<'_>],
+        threads: usize,
+    ) -> Vec<Result<Counts, SimError>> {
+        if !self.admit() {
+            return jobs.iter().map(|_| Err(self.fail_fast())).collect();
+        }
+        let out = self.inner.execute_batch(jobs, threads);
+        // Fold outcomes in job order so "consecutive" means the same thing
+        // it would have meant for sequential execution.
+        for slot in &out {
+            self.observe(slot);
+        }
+        out
+    }
+}
+
+/// A deterministic chaos-injecting [`Backend`] test double.
+///
+/// Each *attempt* at a job fails transiently with probability
+/// `fail_percent` (decided by hashing `(salt, seed, attempt number)` with
+/// the same SplitMix64 fork the seed schedule uses, so chaos runs replay
+/// exactly). Seeds registered via [`ChaosBackend::kill_seed`] fail
+/// transiently on every attempt — the dispatcher's retries exhaust and the
+/// member fails permanently, which is how the chaos suite produces a
+/// degraded ensemble on demand.
+pub struct ChaosBackend<B> {
+    inner: B,
+    fail_percent: u32,
+    salt: u64,
+    dead_seeds: std::collections::BTreeSet<u64>,
+    attempts: Mutex<BTreeMap<u64, u64>>,
+    injected: AtomicU64,
+}
+
+impl<B: Backend> ChaosBackend<B> {
+    /// Wraps `inner`, failing roughly `fail_percent`% of attempts. The
+    /// `salt` picks which attempts; two chaos backends with the same salt
+    /// inject identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fail_percent > 100`.
+    pub fn new(inner: B, fail_percent: u32, salt: u64) -> Self {
+        assert!(fail_percent <= 100, "fail_percent is a percentage");
+        ChaosBackend {
+            inner,
+            fail_percent,
+            salt,
+            dead_seeds: std::collections::BTreeSet::new(),
+            attempts: Mutex::new(BTreeMap::new()),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Marks a job seed as permanently dead: every attempt fails
+    /// transiently, so retries never rescue it.
+    pub fn kill_seed(&mut self, seed: u64) {
+        self.dead_seeds.insert(seed);
+    }
+
+    /// Total injected failures so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    fn inject(&self, seed: u64) -> bool {
+        if self.dead_seeds.contains(&seed) {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            return true;
+        }
+        let attempt = {
+            let mut attempts = self.attempts.lock().expect("attempts lock poisoned");
+            let n = attempts.entry(seed).or_insert(0);
+            *n += 1;
+            *n
+        };
+        let roll = qsim::rngstream::fork(self.salt ^ seed, attempt) % 100;
+        let hit = roll < u64::from(self.fail_percent);
+        if hit {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+        }
+        hit
+    }
+}
+
+impl<B: Backend> Backend for ChaosBackend<B> {
+    fn execute(&self, circuit: &Circuit, shots: u64, seed: u64) -> Result<Counts, SimError> {
+        if self.inject(seed) {
+            return Err(SimError::BackendUnavailable {
+                reason: "injected chaos",
+            });
+        }
+        self.inner.execute(circuit, shots, seed)
+    }
+
+    fn execute_batch(
+        &self,
+        jobs: &[BatchJob<'_>],
+        threads: usize,
+    ) -> Vec<Result<Counts, SimError>> {
+        // Same sub-batching trick as FlakyBackend: surviving jobs must stay
+        // bit-identical to a chaos-free batch.
+        let injected: Vec<bool> = jobs.iter().map(|job| self.inject(job.seed)).collect();
+        let survivors: Vec<BatchJob<'_>> = jobs
+            .iter()
+            .zip(&injected)
+            .filter(|(_, &inj)| !inj)
+            .map(|(job, _)| *job)
+            .collect();
+        let mut passed = self.inner.execute_batch(&survivors, threads).into_iter();
+        injected
+            .into_iter()
+            .map(|inj| {
+                if inj {
+                    Err(SimError::BackendUnavailable {
+                        reason: "injected chaos",
+                    })
+                } else {
+                    passed.next().expect("one result per surviving job")
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,5 +770,198 @@ mod tests {
         assert!(d.execute(&circuit(), 8, 1).is_err());
         assert_eq!(d.retries(), 0);
         assert_eq!(d.exhausted(), 1);
+    }
+
+    fn breaker_config() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ms: 100,
+        }
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_transient_failures() {
+        let clock = Arc::new(ManualClock::new());
+        let b = CircuitBreaker::with_clock(DownBackend, breaker_config(), clock.clone());
+        let c = circuit();
+        for _ in 0..3 {
+            assert!(b.execute(&c, 8, 1).is_err());
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.stats().trips, 1);
+        // While open, calls fail fast without touching the backend.
+        let err = b.execute(&c, 8, 1).unwrap_err();
+        assert!(err.is_transient());
+        assert!(err.to_string().contains("circuit breaker open"));
+        assert_eq!(b.stats().fast_failures, 1);
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success() {
+        let clock = Arc::new(ManualClock::new());
+        // Fails exactly 3 attempts (keyed on seed 1), then recovers.
+        let flaky = FlakyBackend::new(OkBackend, 3);
+        let b = CircuitBreaker::with_clock(flaky, breaker_config(), clock.clone());
+        let c = circuit();
+        for _ in 0..3 {
+            assert!(b.execute(&c, 8, 1).is_err());
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cooldown not elapsed: still failing fast.
+        clock.advance_ms(50);
+        assert!(b.execute(&c, 8, 1).is_err());
+        assert_eq!(b.stats().fast_failures, 1);
+        // Cooldown elapsed: the probe goes through and closes the breaker.
+        clock.advance_ms(50);
+        assert!(b.execute(&c, 8, 1).is_ok());
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.stats().consecutive_failures, 0);
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_a_fresh_cooldown() {
+        let clock = Arc::new(ManualClock::new());
+        let b = CircuitBreaker::with_clock(DownBackend, breaker_config(), clock.clone());
+        let c = circuit();
+        for _ in 0..3 {
+            assert!(b.execute(&c, 8, 1).is_err());
+        }
+        clock.advance_ms(100);
+        // The probe reaches the (still dead) backend and re-opens.
+        assert!(b.execute(&c, 8, 1).is_err());
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.stats().trips, 2);
+        // The fresh cooldown starts at the probe, not the original trip.
+        clock.advance_ms(50);
+        let err = b.execute(&c, 8, 1).unwrap_err();
+        assert!(err.to_string().contains("circuit breaker open"));
+    }
+
+    #[test]
+    fn deterministic_errors_do_not_trip_the_breaker() {
+        struct BadCircuitBackend;
+        impl Backend for BadCircuitBackend {
+            fn execute(&self, _: &Circuit, _: u64, _: u64) -> Result<Counts, SimError> {
+                Err(SimError::UnsupportedGate { name: "ccx" })
+            }
+        }
+        let clock = Arc::new(ManualClock::new());
+        let b = CircuitBreaker::with_clock(BadCircuitBackend, breaker_config(), clock);
+        let c = circuit();
+        for _ in 0..10 {
+            assert!(b.execute(&c, 8, 1).is_err());
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.stats().trips, 0);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let clock = Arc::new(ManualClock::new());
+        // Each fresh seed fails twice then succeeds — never 3 in a row on
+        // the streak counter because each success resets it.
+        let flaky = FlakyBackend::new(OkBackend, 2);
+        let b = CircuitBreaker::with_clock(flaky, breaker_config(), clock);
+        let c = circuit();
+        for seed in 0..4 {
+            assert!(b.execute(&c, 8, seed).is_err());
+            assert!(b.execute(&c, 8, seed).is_err());
+            assert!(b.execute(&c, 8, seed).is_ok());
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.stats().trips, 0);
+    }
+
+    #[test]
+    fn open_breaker_fails_a_whole_batch_fast() {
+        let clock = Arc::new(ManualClock::new());
+        let b = CircuitBreaker::with_clock(DownBackend, breaker_config(), clock);
+        let c = circuit();
+        let jobs = [
+            BatchJob {
+                circuit: &c,
+                shots: 8,
+                seed: 1,
+            },
+            BatchJob {
+                circuit: &c,
+                shots: 8,
+                seed: 2,
+            },
+        ];
+        // Trip via a batch: 2 failures, then 1 more in the next batch.
+        b.execute_batch(&jobs, 1);
+        assert_eq!(b.stats().consecutive_failures, 2);
+        assert!(b.execute(&c, 8, 3).is_err());
+        assert_eq!(b.state(), BreakerState::Open);
+        let out = b.execute_batch(&jobs, 1);
+        assert_eq!(out.len(), 2);
+        for slot in &out {
+            assert!(slot.as_ref().unwrap_err().to_string().contains("breaker"));
+        }
+        assert_eq!(b.stats().fast_failures, 2);
+    }
+
+    #[test]
+    fn chaos_injection_is_deterministic_and_roughly_calibrated() {
+        let a = ChaosBackend::new(OkBackend, 30, 99);
+        let b = ChaosBackend::new(OkBackend, 30, 99);
+        let c = circuit();
+        let mut fails = 0;
+        for seed in 0..200 {
+            let ra = a.execute(&c, 8, seed);
+            let rb = b.execute(&c, 8, seed);
+            assert_eq!(
+                ra.is_err(),
+                rb.is_err(),
+                "same salt must inject identically"
+            );
+            fails += u32::from(ra.is_err());
+        }
+        // ~30% of 200; generous bounds, the point is "nonzero and not all".
+        assert!((30..90).contains(&fails), "got {fails} failures");
+        assert_eq!(a.injected(), u64::from(fails));
+    }
+
+    #[test]
+    fn dead_seeds_fail_every_attempt_but_others_recover() {
+        let mut chaos = ChaosBackend::new(OkBackend, 0, 1);
+        chaos.kill_seed(42);
+        let d = Dispatcher::with_clock(chaos, policy(), Arc::new(ManualClock::new()));
+        let c = circuit();
+        // The dead seed exhausts the dispatcher's whole retry budget.
+        let err = d.execute(&c, 8, 42).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(d.retries(), 3);
+        assert_eq!(d.exhausted(), 1);
+        // A live seed sails through (0% ambient chaos here).
+        assert!(d.execute(&c, 8, 43).is_ok());
+    }
+
+    #[test]
+    fn chaos_batch_survivors_are_bit_identical_to_clean_runs() {
+        use qsim::NoisySimulator;
+        let device = qdevice::DeviceModel::synthesize(qdevice::presets::melbourne14(), 3);
+        let chaos = ChaosBackend::new(NoisySimulator::from_device(&device), 50, 7);
+        let clean = NoisySimulator::from_device(&device);
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure_all();
+        let jobs: Vec<BatchJob<'_>> = (0..8)
+            .map(|seed| BatchJob {
+                circuit: &c,
+                shots: 128,
+                seed,
+            })
+            .collect();
+        let chaotic = chaos.execute_batch(&jobs, 2);
+        let reference = clean.execute_batch(&jobs, 2);
+        let mut survivors = 0;
+        for (got, want) in chaotic.iter().zip(&reference) {
+            if let Ok(counts) = got {
+                assert_eq!(counts, want.as_ref().unwrap());
+                survivors += 1;
+            }
+        }
+        assert!(survivors > 0, "50% chaos should leave some survivors");
     }
 }

@@ -12,12 +12,18 @@
 //!   reject-with-reason backpressure,
 //! - [`dispatch`] — a retry-aware [`Backend`](edm_core::Backend) wrapper
 //!   with per-job timeout and bounded exponential backoff on transient
-//!   errors, plus the fault-injecting [`FlakyBackend`](dispatch::FlakyBackend)
-//!   test double,
+//!   errors, a [`CircuitBreaker`](dispatch::CircuitBreaker) that fails fast
+//!   while a backend is down, and the fault-injecting
+//!   [`FlakyBackend`](dispatch::FlakyBackend) /
+//!   [`ChaosBackend`](dispatch::ChaosBackend) test doubles,
+//! - [`journal`] — a JSON-lines write-ahead journal so accepted jobs
+//!   survive a service crash and replay bit-identically,
 //! - [`service`] — the [`JobService`](service::JobService) orchestrator that
 //!   coalesces queued jobs into one `execute_batch` dispatch,
 //! - [`protocol`] — the JSON-lines request/response types the `edm-serve`
-//!   binary speaks.
+//!   binary speaks,
+//! - [`exitcode`] — the sysexits-style process exit codes both binaries
+//!   map error classes onto.
 //!
 //! ## Determinism contract
 //!
@@ -61,6 +67,8 @@
 pub mod cache;
 pub mod clock;
 pub mod dispatch;
+pub mod exitcode;
+pub mod journal;
 pub mod protocol;
 pub mod queue;
 pub mod service;

@@ -116,6 +116,11 @@ pub struct JobSummary {
     pub top_outcome: String,
     /// The EDM probability of `top_outcome`.
     pub top_probability: f64,
+    /// True when members failed permanently and the result was merged over
+    /// the surviving quorum (see `edm_core::RunHealth`).
+    pub degraded: bool,
+    /// How many planned members were dropped (0 unless `degraded`).
+    pub failed_members: u64,
     /// Submit-to-finish latency in milliseconds.
     pub latency_ms: u64,
 }
@@ -131,12 +136,18 @@ impl JobSummary {
             ),
             None => (String::new(), 0.0),
         };
+        let failed_members = match &result.health {
+            edm_core::RunHealth::Full => 0,
+            edm_core::RunHealth::Degraded { failed_members, .. } => failed_members.len() as u64,
+        };
         JobSummary {
             id,
             members: result.members.len() as u64,
             shots,
             top_outcome,
             top_probability,
+            degraded: result.is_degraded(),
+            failed_members,
             latency_ms,
         }
     }
@@ -170,6 +181,8 @@ mod tests {
                 shots: 8192,
                 top_outcome: "101".into(),
                 top_probability: 0.75,
+                degraded: false,
+                failed_members: 0,
                 latency_ms: 12,
             },
         };

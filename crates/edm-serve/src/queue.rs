@@ -73,6 +73,9 @@ pub enum AdmitError {
     },
     /// The request failed validation before touching the queue.
     Invalid(String),
+    /// The write-ahead journal could not record the admission, so the job
+    /// was refused rather than accepted without crash protection.
+    Journal(String),
 }
 
 impl fmt::Display for AdmitError {
@@ -82,6 +85,7 @@ impl fmt::Display for AdmitError {
                 write!(f, "queue full ({capacity} jobs); resubmit later")
             }
             AdmitError::Invalid(reason) => write!(f, "invalid request: {reason}"),
+            AdmitError::Journal(reason) => write!(f, "journal write failed: {reason}"),
         }
     }
 }

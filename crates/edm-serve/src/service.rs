@@ -11,7 +11,8 @@
 
 use crate::cache::{CacheKey, CompileCache};
 use crate::clock::{Clock, SystemClock};
-use crate::dispatch::{Dispatcher, RetryPolicy};
+use crate::dispatch::{BreakerConfig, CircuitBreaker, Dispatcher, RetryPolicy};
+use crate::journal::{self, Journal, JournalEntry, JournalError};
 use crate::queue::{AdmissionQueue, AdmitError, JobRequest, QueuedJob};
 use crate::stats::{LatencyRecorder, ServiceStats};
 use crate::validate;
@@ -19,9 +20,11 @@ use edm_core::{
     assemble_result, build_ensemble, plan_run, Backend, BatchJob, EdmResult, EnsembleConfig,
     RunPlan,
 };
+use qdevice::drift::{DriftPolicy, DriftWatchdog};
 use qdevice::{Calibration, Topology};
 use qmap::Transpiler;
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::Arc;
 
 /// Knobs for a [`JobService`].
@@ -39,6 +42,10 @@ pub struct ServeConfig {
     pub ensemble: EnsembleConfig,
     /// Retry behavior of the dispatcher.
     pub retry: RetryPolicy,
+    /// Circuit-breaker tuning for the backend wrapper.
+    pub breaker: BreakerConfig,
+    /// Calibration-drift thresholds for the quarantine watchdog.
+    pub drift: DriftPolicy,
 }
 
 impl Default for ServeConfig {
@@ -50,6 +57,8 @@ impl Default for ServeConfig {
             threads: qsim::pool::default_threads(),
             ensemble: EnsembleConfig::default(),
             retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            drift: DriftPolicy::default(),
         }
     }
 }
@@ -83,7 +92,9 @@ pub struct JobService<B> {
     topology: Topology,
     topology_fp: u64,
     calibration: Calibration,
-    dispatcher: Dispatcher<B>,
+    dispatcher: CircuitBreaker<Dispatcher<B>>,
+    watchdog: DriftWatchdog,
+    journal: Option<Journal>,
     cache: CompileCache,
     queue: AdmissionQueue,
     jobs: BTreeMap<u64, JobState>,
@@ -97,6 +108,9 @@ pub struct JobService<B> {
     rejected: u64,
     batches: u64,
     compilations: u64,
+    degraded: u64,
+    recovered: u64,
+    journal_appends: u64,
 }
 
 impl<B: Backend> JobService<B> {
@@ -143,11 +157,25 @@ impl<B: Backend> JobService<B> {
         assert!(config.max_batch_jobs > 0, "batch bound must be positive");
         assert!(config.threads > 0, "need at least one thread");
         let topology_fp = topology.fingerprint();
+        // Breaker outside dispatcher: when the backend is declared dead,
+        // calls skip the whole backoff schedule instead of sleeping
+        // through it.
+        let dispatcher = CircuitBreaker::with_clock(
+            Dispatcher::with_clock(backend, config.retry, Arc::clone(&clock)),
+            config.breaker,
+            Arc::clone(&clock),
+        );
+        // Seed the watchdog's baseline so the next update_calibration is
+        // compared against what we're compiling with right now.
+        let mut watchdog = DriftWatchdog::new(config.drift);
+        watchdog.observe(&calibration);
         JobService {
             topology,
             topology_fp,
             calibration,
-            dispatcher: Dispatcher::with_clock(backend, config.retry, Arc::clone(&clock)),
+            dispatcher,
+            watchdog,
+            journal: None,
             cache: CompileCache::new(config.cache_capacity),
             queue: AdmissionQueue::new(config.queue_capacity),
             jobs: BTreeMap::new(),
@@ -161,7 +189,47 @@ impl<B: Backend> JobService<B> {
             rejected: 0,
             batches: 0,
             compilations: 0,
+            degraded: 0,
+            recovered: 0,
+            journal_appends: 0,
         }
+    }
+
+    /// Attaches a write-ahead journal at `path`, replaying any entries a
+    /// previous process left behind. Jobs that were accepted but never
+    /// finished are re-enqueued under their original ids and seeds — their
+    /// recovered results are bit-identical to what the interrupted run
+    /// would have produced. Returns how many jobs were recovered.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError`] when the file cannot be opened or a non-final line
+    /// is corrupt (a data error — the service refuses to silently drop
+    /// journaled jobs).
+    pub fn attach_journal(&mut self, path: impl AsRef<Path>) -> Result<usize, JournalError> {
+        let (journal, entries) = Journal::open(path)?;
+        let (open, max_id) = journal::outstanding(&entries);
+        let recovered = open.len();
+        for (id, request) in open {
+            let job = QueuedJob {
+                id,
+                request,
+                enqueued_at_ms: self.clock.now_ms(),
+            };
+            match self.queue.push(job) {
+                Ok(()) => {
+                    self.jobs.insert(id, JobState::Queued);
+                    self.submitted += 1;
+                    self.recovered += 1;
+                }
+                // A recovered backlog larger than the queue: the overflow
+                // fails visibly rather than vanishing.
+                Err(e) => self.fail(id, format!("recovery dropped the job: {e}")),
+            }
+        }
+        self.next_id = self.next_id.max(max_id + 1);
+        self.journal = Some(journal);
+        Ok(recovered)
     }
 
     /// Validates and enqueues a job, returning its id.
@@ -179,24 +247,45 @@ impl<B: Backend> JobService<B> {
             self.rejected += 1;
             return Err(AdmitError::Invalid(e.to_string()));
         }
+        // Backpressure is checked before journaling so a rejected job
+        // never leaves an orphan `Accepted` entry behind.
+        if self.queue.len() >= self.config.queue_capacity {
+            self.rejected += 1;
+            return Err(AdmitError::QueueFull {
+                capacity: self.config.queue_capacity,
+            });
+        }
         let id = self.next_id;
+        // Write-ahead: the journal entry lands on disk before the job is
+        // acknowledged, so an accepted job survives a crash. A job we
+        // cannot journal is refused — accepting it silently would break
+        // the recovery contract.
+        if let Some(journal) = &mut self.journal {
+            let entry = JournalEntry::Accepted {
+                id,
+                circuit: request.circuit.clone(),
+                shots: request.shots,
+                seed: request.seed,
+                priority: request.priority,
+            };
+            if let Err(e) = journal.append(&entry) {
+                self.rejected += 1;
+                return Err(AdmitError::Journal(e.to_string()));
+            }
+            self.journal_appends += 1;
+        }
         let job = QueuedJob {
             id,
             request,
             enqueued_at_ms: self.clock.now_ms(),
         };
-        match self.queue.push(job) {
-            Ok(()) => {
-                self.next_id += 1;
-                self.submitted += 1;
-                self.jobs.insert(id, JobState::Queued);
-                Ok(id)
-            }
-            Err(e) => {
-                self.rejected += 1;
-                Err(e)
-            }
-        }
+        self.queue
+            .push(job)
+            .expect("capacity was checked before journaling");
+        self.next_id += 1;
+        self.submitted += 1;
+        self.jobs.insert(id, JobState::Queued);
+        Ok(id)
     }
 
     /// Drains up to `max_batch_jobs` queued requests, compiles each through
@@ -254,6 +343,10 @@ impl<B: Backend> JobService<B> {
                         let latency_ms = self.clock.now_ms().saturating_sub(enqueued_at_ms);
                         self.latency.record(latency_ms);
                         self.completed += 1;
+                        if result.is_degraded() {
+                            self.degraded += 1;
+                        }
+                        self.journal_finished(JournalEntry::Completed { id });
                         self.jobs
                             .insert(id, JobState::Done(CompletedJob { result, latency_ms }));
                     }
@@ -287,6 +380,9 @@ impl<B: Backend> JobService<B> {
     pub fn bump_calibration_generation(&mut self) -> u64 {
         let generation = self.calibration.bump_generation();
         self.cache.retain_generation(generation);
+        // Same error rates, new generation: the watchdog sees zero drift
+        // but its baseline tracks the generation we now compile against.
+        self.watchdog.observe(&self.calibration);
         generation
     }
 
@@ -306,6 +402,16 @@ impl<B: Backend> JobService<B> {
         let generation = self.calibration.generation() + 1;
         self.calibration = calibration.with_generation(generation);
         self.cache.retain_generation(generation);
+        // Score the new calibration against the previous one; qubits and
+        // links whose error rates worsened past the drift thresholds are
+        // quarantined and avoided by every compilation until rates
+        // stabilize.
+        self.watchdog.observe(&self.calibration);
+    }
+
+    /// The drift watchdog (thresholds, current quarantine, event count).
+    pub fn watchdog(&self) -> &DriftWatchdog {
+        &self.watchdog
     }
 
     /// The calibration currently compiled against.
@@ -323,7 +429,8 @@ impl<B: Backend> JobService<B> {
         self.queue.len()
     }
 
-    /// Counter snapshot across queue, cache, dispatcher, and latencies.
+    /// Counter snapshot across queue, cache, dispatcher, breaker,
+    /// watchdog, journal, and latencies.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             submitted: self.submitted,
@@ -334,9 +441,16 @@ impl<B: Backend> JobService<B> {
             compilations: self.compilations,
             queue_depth: self.queue.len() as u64,
             cache: self.cache.stats(),
-            retries: self.dispatcher.retries(),
-            retry_exhausted: self.dispatcher.exhausted(),
-            timeouts: self.dispatcher.timeouts(),
+            retries: self.dispatcher.inner().retries(),
+            retry_exhausted: self.dispatcher.inner().exhausted(),
+            timeouts: self.dispatcher.inner().timeouts(),
+            breaker: self.dispatcher.stats(),
+            drift_events: self.watchdog.drift_events(),
+            quarantined_qubits: self.watchdog.quarantine().num_qubits() as u64,
+            quarantined_links: self.watchdog.quarantine().num_links() as u64,
+            degraded: self.degraded,
+            recovered: self.recovered,
+            journal_appends: self.journal_appends,
             latency_p50_ms: self.latency.percentile_ms(50),
             latency_p99_ms: self.latency.percentile_ms(99),
         }
@@ -356,7 +470,11 @@ impl<B: Backend> JobService<B> {
         if let Some(members) = self.cache.get(&key) {
             return Ok(members);
         }
-        let transpiler = Transpiler::new(&self.topology, &self.calibration);
+        // Quarantine only changes when the calibration does, and every
+        // calibration change bumps the generation in the cache key — so
+        // cached ensembles never reflect a stale quarantine.
+        let transpiler = Transpiler::new(&self.topology, &self.calibration)
+            .with_quarantine(self.watchdog.quarantine());
         let members = build_ensemble(&transpiler, &job.request.circuit, &self.config.ensemble)
             .map_err(|e| e.to_string())?;
         self.compilations += 1;
@@ -365,7 +483,20 @@ impl<B: Backend> JobService<B> {
 
     fn fail(&mut self, id: u64, reason: String) {
         self.failed += 1;
+        self.journal_finished(JournalEntry::Failed { id });
         self.jobs.insert(id, JobState::Failed(reason));
+    }
+
+    /// Journals a terminal transition. Unlike admission, a failed append
+    /// here is tolerated: the work is already done, and re-running a
+    /// finished job after a crash is safe because execution is
+    /// deterministic — the replay reproduces the identical result.
+    fn journal_finished(&mut self, entry: JournalEntry) {
+        if let Some(journal) = &mut self.journal {
+            if journal.append(&entry).is_ok() {
+                self.journal_appends += 1;
+            }
+        }
     }
 }
 

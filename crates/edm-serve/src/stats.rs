@@ -97,6 +97,21 @@ pub struct ServiceStats {
     pub retry_exhausted: u64,
     /// Jobs whose retrying was cut short by the per-job timeout.
     pub timeouts: u64,
+    /// Circuit-breaker state and counters for the backend wrapper.
+    pub breaker: crate::dispatch::BreakerStats,
+    /// Calibration updates whose drift quarantined at least one qubit or
+    /// link.
+    pub drift_events: u64,
+    /// Qubits currently quarantined by the drift watchdog.
+    pub quarantined_qubits: u64,
+    /// Links currently quarantined by the drift watchdog.
+    pub quarantined_links: u64,
+    /// Completed jobs whose ensemble lost members and ran degraded.
+    pub degraded: u64,
+    /// Jobs re-enqueued from the journal after a restart.
+    pub recovered: u64,
+    /// Write-ahead journal entries appended by this process.
+    pub journal_appends: u64,
     /// Median job latency (submit to finish) over the recent window, ms.
     pub latency_p50_ms: u64,
     /// 99th-percentile job latency over the recent window, ms.

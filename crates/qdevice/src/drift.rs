@@ -1,0 +1,499 @@
+//! Calibration-drift detection and qubit/link quarantine.
+//!
+//! Device error rates are not stationary: "A Case for Variability-Aware
+//! Policies for NISQ-Era Quantum Computers" shows the best qubits change
+//! from one calibration cycle to the next. A mapper that trusts yesterday's
+//! table can concentrate trials on hardware that has silently degraded.
+//! This module compares successive [`Calibration`] generations, scores
+//! per-qubit and per-link drift, and quarantines the resources whose error
+//! rates *worsened* past a policy threshold. The quarantine feeds the
+//! mapping layer (ESP ranking and VF2 candidate filtering in `qmap`), which
+//! then avoids the suspect hardware while the next cycle re-measures it.
+//!
+//! Drift in the improving direction is never quarantined: a qubit getting
+//! better is not a hazard, and the fresh table already rewards it in ESP.
+
+use crate::calibration::Calibration;
+use crate::topology::{Edge, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Thresholds above which a worsening error rate quarantines its resource.
+///
+/// All thresholds are absolute increases in error rate between two
+/// calibration generations (`new - old`). Defaults are tuned to the
+/// synthetic IBMQ-14 model: readout errors sit in the 1–30% range and CX
+/// errors in the 1–15% range, so a five-percentage-point jump is far
+/// outside normal cycle-to-cycle jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftPolicy {
+    /// Readout-error increase that quarantines a qubit (default 0.05).
+    pub readout_threshold: f64,
+    /// Single-qubit gate-error increase that quarantines a qubit
+    /// (default 0.02).
+    pub gate_1q_threshold: f64,
+    /// CX-error increase that quarantines a link (default 0.05).
+    pub cx_threshold: f64,
+}
+
+impl Default for DriftPolicy {
+    fn default() -> Self {
+        DriftPolicy {
+            readout_threshold: 0.05,
+            gate_1q_threshold: 0.02,
+            cx_threshold: 0.05,
+        }
+    }
+}
+
+/// Signed per-qubit drift between two calibration generations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QubitDrift {
+    /// The qubit.
+    pub qubit: u32,
+    /// Readout-error change, `new - old` (positive = worse).
+    pub readout_delta: f64,
+    /// Single-qubit gate-error change, `new - old`.
+    pub gate_1q_delta: f64,
+}
+
+/// Signed per-link drift between two calibration generations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkDrift {
+    /// The coupling link.
+    pub link: Edge,
+    /// CX-error change, `new - old` (positive = worse).
+    pub cx_delta: f64,
+}
+
+/// The full drift picture between two calibration generations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftReport {
+    /// Generation of the older table.
+    pub from_generation: u64,
+    /// Generation of the newer table.
+    pub to_generation: u64,
+    /// Per-qubit drift, ascending by qubit index (every qubit listed).
+    pub qubits: Vec<QubitDrift>,
+    /// Per-link drift, ascending by edge, for links calibrated in *both*
+    /// generations. A link present in only one table cannot be scored.
+    pub links: Vec<LinkDrift>,
+}
+
+impl DriftReport {
+    /// Compares two calibration tables covering the same device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables cover different qubit counts.
+    pub fn compare(old: &Calibration, new: &Calibration) -> DriftReport {
+        assert_eq!(
+            old.num_qubits(),
+            new.num_qubits(),
+            "calibrations cover different devices"
+        );
+        let qubits = (0..new.num_qubits())
+            .map(|q| QubitDrift {
+                qubit: q,
+                readout_delta: new.readout_err(q) - old.readout_err(q),
+                gate_1q_delta: new.gate_1q_err(q) - old.gate_1q_err(q),
+            })
+            .collect();
+        let links = new
+            .cx_table()
+            .iter()
+            .filter_map(|(&link, &rate)| {
+                old.cx_table().get(&link).map(|&old_rate| LinkDrift {
+                    link,
+                    cx_delta: rate - old_rate,
+                })
+            })
+            .collect();
+        DriftReport {
+            from_generation: old.generation(),
+            to_generation: new.generation(),
+            qubits,
+            links,
+        }
+    }
+
+    /// Largest worsening readout delta in the report (0 if nothing worsened).
+    pub fn max_readout_delta(&self) -> f64 {
+        self.qubits
+            .iter()
+            .map(|q| q.readout_delta)
+            .fold(0.0, f64::max)
+    }
+
+    /// Largest worsening CX delta in the report (0 if nothing worsened).
+    pub fn max_cx_delta(&self) -> f64 {
+        self.links.iter().map(|l| l.cx_delta).fold(0.0, f64::max)
+    }
+
+    /// The resources whose *worsening* drift crosses the policy thresholds.
+    pub fn quarantine(&self, policy: &DriftPolicy) -> Quarantine {
+        let mut q = Quarantine::default();
+        for qubit in &self.qubits {
+            if qubit.readout_delta > policy.readout_threshold
+                || qubit.gate_1q_delta > policy.gate_1q_threshold
+            {
+                q.add_qubit(qubit.qubit);
+            }
+        }
+        for link in &self.links {
+            if link.cx_delta > policy.cx_threshold {
+                q.add_link(link.link);
+            }
+        }
+        q
+    }
+}
+
+/// A set of qubits and links the mapper should avoid this calibration cycle.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Quarantine {
+    qubits: BTreeSet<u32>,
+    links: BTreeSet<Edge>,
+}
+
+impl Quarantine {
+    /// An empty quarantine (nothing suspected).
+    pub fn new() -> Self {
+        Quarantine::default()
+    }
+
+    /// True when nothing is quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.qubits.is_empty() && self.links.is_empty()
+    }
+
+    /// Quarantines a qubit (and implicitly every link touching it).
+    pub fn add_qubit(&mut self, q: u32) {
+        self.qubits.insert(q);
+    }
+
+    /// Quarantines a single coupling link.
+    pub fn add_link(&mut self, link: Edge) {
+        self.links.insert(link);
+    }
+
+    /// The quarantined qubits, ascending.
+    pub fn qubits(&self) -> &BTreeSet<u32> {
+        &self.qubits
+    }
+
+    /// The individually quarantined links, ascending (links implied by
+    /// quarantined qubits are not materialized here).
+    pub fn links(&self) -> &BTreeSet<Edge> {
+        &self.links
+    }
+
+    /// Number of quarantined qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// Number of individually quarantined links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// True if qubit `q` is quarantined.
+    pub fn contains_qubit(&self, q: u32) -> bool {
+        self.qubits.contains(&q)
+    }
+
+    /// True if the link `a`–`b` is quarantined, either directly or because
+    /// an endpoint is.
+    pub fn contains_link(&self, a: u32, b: u32) -> bool {
+        self.qubits.contains(&a)
+            || self.qubits.contains(&b)
+            || (a != b && self.links.contains(&Edge::new(a, b)))
+    }
+
+    /// True when a physical footprint (a set of physical qubits, e.g. a VF2
+    /// embedding) avoids every quarantined qubit.
+    pub fn allows_footprint(&self, physical_qubits: &[u32]) -> bool {
+        physical_qubits.iter().all(|&q| !self.contains_qubit(q))
+    }
+
+    /// The topology with every quarantined link removed (links incident to
+    /// a quarantined qubit included). The qubit count is preserved so
+    /// physical indices stay stable — quarantined qubits simply become
+    /// isolated vertices that no connected interaction pattern can use.
+    pub fn mask(&self, topology: &Topology) -> Topology {
+        let kept: Vec<(u32, u32)> = topology
+            .edges()
+            .iter()
+            .filter(|e| !self.contains_link(e.lo(), e.hi()))
+            .map(|e| (e.lo(), e.hi()))
+            .collect();
+        Topology::new(topology.num_qubits(), &kept)
+    }
+}
+
+/// Watches successive calibration generations and maintains the current
+/// quarantine.
+///
+/// Feed every new table through [`DriftWatchdog::observe`]; the watchdog
+/// diffs it against the previous one, derives the quarantine for the new
+/// cycle under its [`DriftPolicy`], and remembers the new table as the next
+/// baseline. The quarantine is *replaced* each cycle, not accumulated — a
+/// resource is suspect while its last jump is fresh, and trusted again once
+/// a later cycle re-measures it without another jump.
+///
+/// # Examples
+///
+/// ```
+/// use qdevice::{presets, DeviceModel};
+/// use qdevice::drift::{DriftPolicy, DriftWatchdog};
+///
+/// let device = DeviceModel::synthesize(presets::melbourne14(), 7);
+/// let mut watchdog = DriftWatchdog::new(DriftPolicy::default());
+/// assert!(watchdog.observe(&device.calibration()).is_none()); // baseline
+/// // A second identical table: no drift, empty quarantine.
+/// let report = watchdog.observe(&device.calibration()).expect("diffed");
+/// assert_eq!(report.max_readout_delta(), 0.0);
+/// assert!(watchdog.quarantine().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriftWatchdog {
+    policy: DriftPolicy,
+    baseline: Option<Calibration>,
+    quarantine: Quarantine,
+    drift_events: u64,
+}
+
+impl DriftWatchdog {
+    /// Creates a watchdog with no baseline and an empty quarantine.
+    pub fn new(policy: DriftPolicy) -> Self {
+        DriftWatchdog {
+            policy,
+            baseline: None,
+            quarantine: Quarantine::new(),
+            drift_events: 0,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &DriftPolicy {
+        &self.policy
+    }
+
+    /// Ingests the calibration of a new cycle.
+    ///
+    /// The first observation only sets the baseline and returns `None`.
+    /// Every later observation returns the [`DriftReport`] against the
+    /// previous cycle and replaces the quarantine with the report's
+    /// threshold crossings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cal` covers a different qubit count than the baseline.
+    pub fn observe(&mut self, cal: &Calibration) -> Option<DriftReport> {
+        let report = self
+            .baseline
+            .as_ref()
+            .map(|old| DriftReport::compare(old, cal));
+        if let Some(report) = &report {
+            self.quarantine = report.quarantine(&self.policy);
+            if !self.quarantine.is_empty() {
+                self.drift_events += 1;
+            }
+        }
+        self.baseline = Some(cal.clone());
+        report
+    }
+
+    /// The quarantine derived from the most recent observation.
+    pub fn quarantine(&self) -> &Quarantine {
+        &self.quarantine
+    }
+
+    /// How many observations produced a non-empty quarantine.
+    pub fn drift_events(&self) -> u64 {
+        self.drift_events
+    }
+
+    /// Forgets the baseline and clears the quarantine (e.g. after a device
+    /// swap).
+    pub fn reset(&mut self) {
+        self.baseline = None;
+        self.quarantine = Quarantine::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn cal(readout: Vec<f64>, gate1q: Vec<f64>, cx: &[((u32, u32), f64)]) -> Calibration {
+        let table: BTreeMap<Edge, f64> =
+            cx.iter().map(|&((a, b), r)| (Edge::new(a, b), r)).collect();
+        Calibration::new(readout, gate1q, table)
+    }
+
+    fn baseline() -> Calibration {
+        cal(
+            vec![0.05, 0.06, 0.07, 0.08],
+            vec![0.001, 0.002, 0.001, 0.002],
+            &[((0, 1), 0.02), ((1, 2), 0.03), ((2, 3), 0.04)],
+        )
+    }
+
+    #[test]
+    fn identical_tables_have_zero_drift() {
+        let a = baseline();
+        let report = DriftReport::compare(&a, &a);
+        assert_eq!(report.max_readout_delta(), 0.0);
+        assert_eq!(report.max_cx_delta(), 0.0);
+        assert!(report.quarantine(&DriftPolicy::default()).is_empty());
+    }
+
+    #[test]
+    fn worsened_readout_quarantines_the_qubit() {
+        let old = baseline();
+        let mut readout = vec![0.05, 0.06, 0.07, 0.08];
+        readout[2] = 0.20; // +0.13 over a 0.05 threshold
+        let new = cal(
+            readout,
+            vec![0.001, 0.002, 0.001, 0.002],
+            &[((0, 1), 0.02), ((1, 2), 0.03), ((2, 3), 0.04)],
+        )
+        .with_generation(1);
+        let report = DriftReport::compare(&old, &new);
+        assert_eq!(report.from_generation, 0);
+        assert_eq!(report.to_generation, 1);
+        assert!((report.max_readout_delta() - 0.13).abs() < 1e-12);
+        let q = report.quarantine(&DriftPolicy::default());
+        assert!(q.contains_qubit(2));
+        assert_eq!(q.num_qubits(), 1);
+        // Every link touching the qubit is implicitly quarantined.
+        assert!(q.contains_link(1, 2));
+        assert!(q.contains_link(2, 3));
+        assert!(!q.contains_link(0, 1));
+    }
+
+    #[test]
+    fn improvement_is_never_quarantined() {
+        let old = baseline();
+        let new = cal(
+            vec![0.01, 0.01, 0.01, 0.01], // all improved sharply
+            vec![0.001, 0.002, 0.001, 0.002],
+            &[((0, 1), 0.001), ((1, 2), 0.001), ((2, 3), 0.001)],
+        );
+        let report = DriftReport::compare(&old, &new);
+        assert!(report.quarantine(&DriftPolicy::default()).is_empty());
+        assert_eq!(report.max_readout_delta(), 0.0);
+    }
+
+    #[test]
+    fn worsened_link_quarantines_only_that_link() {
+        let old = baseline();
+        let new = cal(
+            vec![0.05, 0.06, 0.07, 0.08],
+            vec![0.001, 0.002, 0.001, 0.002],
+            &[((0, 1), 0.02), ((1, 2), 0.30), ((2, 3), 0.04)],
+        );
+        let q = DriftReport::compare(&old, &new).quarantine(&DriftPolicy::default());
+        assert_eq!(q.num_qubits(), 0);
+        assert_eq!(q.num_links(), 1);
+        assert!(q.contains_link(1, 2));
+        assert!(q.contains_link(2, 1));
+        assert!(!q.contains_link(2, 3));
+    }
+
+    #[test]
+    fn gate_error_drift_quarantines_too() {
+        let old = baseline();
+        let new = cal(
+            vec![0.05, 0.06, 0.07, 0.08],
+            vec![0.001, 0.05, 0.001, 0.002], // qubit 1 gate error jumped
+            &[((0, 1), 0.02), ((1, 2), 0.03), ((2, 3), 0.04)],
+        );
+        let q = DriftReport::compare(&old, &new).quarantine(&DriftPolicy::default());
+        assert!(q.contains_qubit(1));
+    }
+
+    #[test]
+    fn mask_removes_quarantined_links_but_keeps_indices() {
+        let topo = Topology::new(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut q = Quarantine::new();
+        q.add_qubit(2);
+        let masked = q.mask(&topo);
+        assert_eq!(masked.num_qubits(), 4, "indices must stay stable");
+        assert!(masked.has_edge(0, 1));
+        assert!(!masked.has_edge(1, 2));
+        assert!(!masked.has_edge(2, 3));
+
+        let mut q = Quarantine::new();
+        q.add_link(Edge::new(1, 2));
+        let masked = q.mask(&topo);
+        assert!(masked.has_edge(0, 1));
+        assert!(!masked.has_edge(1, 2));
+        assert!(masked.has_edge(2, 3));
+    }
+
+    #[test]
+    fn footprint_filter_rejects_quarantined_qubits() {
+        let mut q = Quarantine::new();
+        q.add_qubit(5);
+        assert!(q.allows_footprint(&[0, 1, 2]));
+        assert!(!q.allows_footprint(&[0, 5, 2]));
+        assert!(Quarantine::new().allows_footprint(&[5]));
+    }
+
+    #[test]
+    fn watchdog_tracks_successive_generations() {
+        let mut w = DriftWatchdog::new(DriftPolicy::default());
+        assert!(w.observe(&baseline()).is_none());
+        assert_eq!(w.drift_events(), 0);
+
+        // Generation 1: qubit 3 degrades.
+        let mut degraded = cal(
+            vec![0.05, 0.06, 0.07, 0.30],
+            vec![0.001, 0.002, 0.001, 0.002],
+            &[((0, 1), 0.02), ((1, 2), 0.03), ((2, 3), 0.04)],
+        )
+        .with_generation(1);
+        let report = w.observe(&degraded).expect("second observation diffs");
+        assert_eq!(report.to_generation, 1);
+        assert!(w.quarantine().contains_qubit(3));
+        assert_eq!(w.drift_events(), 1);
+
+        // Generation 2: stable at the new (bad but known) level — the jump
+        // is no longer fresh, so the quarantine clears.
+        degraded.bump_generation();
+        let _ = w.observe(&degraded).expect("third observation diffs");
+        assert!(w.quarantine().is_empty());
+        assert_eq!(w.drift_events(), 1);
+    }
+
+    #[test]
+    fn watchdog_reset_forgets_the_baseline() {
+        let mut w = DriftWatchdog::new(DriftPolicy::default());
+        let _ = w.observe(&baseline());
+        w.reset();
+        assert!(w.observe(&baseline()).is_none(), "baseline was forgotten");
+        assert!(w.quarantine().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "different devices")]
+    fn mismatched_widths_rejected() {
+        let a = baseline();
+        let b = cal(vec![0.1], vec![0.001], &[]);
+        let _ = DriftReport::compare(&a, &b);
+    }
+
+    #[test]
+    fn quarantine_roundtrips_through_serde() {
+        let mut q = Quarantine::new();
+        q.add_qubit(3);
+        q.add_link(Edge::new(0, 1));
+        let json = serde_json::to_string(&q).unwrap();
+        let back: Quarantine = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, q);
+    }
+}

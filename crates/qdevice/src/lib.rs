@@ -14,7 +14,9 @@
 //!   hidden coherent information), optionally drifted relative to the truth
 //!   so that compile-time ESP imperfectly predicts run-time PST (Fig. 8),
 //! - [`vf2`] — subgraph-isomorphism enumeration used by EDM to transplant a
-//!   mapping onto alternative qubit subsets (§5.2).
+//!   mapping onto alternative qubit subsets (§5.2),
+//! - [`drift`] — cycle-over-cycle calibration-drift scoring and the
+//!   qubit/link quarantine that feeds variation-aware mapping.
 //!
 //! # Examples
 //!
@@ -32,6 +34,7 @@
 
 mod calibration;
 mod device;
+pub mod drift;
 pub mod persist;
 pub mod presets;
 pub mod stats;

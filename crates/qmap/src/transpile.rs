@@ -7,6 +7,7 @@
 
 use crate::{esp, placement, router, sabre, Layout, MapError, RoutingStrategy};
 use qcir::Circuit;
+use qdevice::drift::Quarantine;
 use qdevice::{Calibration, Topology};
 use serde::{Deserialize, Serialize};
 
@@ -69,6 +70,11 @@ pub struct Transpiler<'a> {
     calibration: &'a Calibration,
     strategy: RoutingStrategy,
     backend: RouterBackend,
+    /// Drift quarantine, if any (see [`Transpiler::with_quarantine`]).
+    quarantine: Option<Quarantine>,
+    /// The topology with quarantined links masked out, kept alongside the
+    /// borrowed full topology so `effective_topology` is allocation-free.
+    masked: Option<Topology>,
 }
 
 impl<'a> Transpiler<'a> {
@@ -89,7 +95,31 @@ impl<'a> Transpiler<'a> {
             calibration,
             strategy: RoutingStrategy::default(),
             backend: RouterBackend::default(),
+            quarantine: None,
+            masked: None,
         }
+    }
+
+    /// Makes placement and routing avoid drift-quarantined qubits and
+    /// links (see `qdevice::drift`): embeddings are enumerated on the
+    /// masked topology, candidate layouts touching a quarantined qubit are
+    /// filtered from ESP ranking, and the greedy mapper places on the
+    /// masked device.
+    ///
+    /// Quarantine is advisory, not absolute: whenever honoring it would
+    /// leave *zero* viable mappings (the pattern no longer embeds, the
+    /// masked graph is too disconnected to route), the transpiler falls
+    /// back to the full topology — a mapping on suspect hardware beats no
+    /// mapping at all. An empty quarantine clears any previous one.
+    pub fn with_quarantine(mut self, quarantine: &Quarantine) -> Self {
+        if quarantine.is_empty() {
+            self.quarantine = None;
+            self.masked = None;
+        } else {
+            self.masked = Some(quarantine.mask(self.topology));
+            self.quarantine = Some(quarantine.clone());
+        }
+        self
     }
 
     /// Selects the routing cost model.
@@ -114,6 +144,17 @@ impl<'a> Transpiler<'a> {
         self.calibration
     }
 
+    /// The active drift quarantine, if one was installed.
+    pub fn quarantine(&self) -> Option<&Quarantine> {
+        self.quarantine.as_ref()
+    }
+
+    /// The topology mapping actually targets: the quarantine-masked graph
+    /// when a quarantine is active, otherwise the full device.
+    pub fn effective_topology(&self) -> &Topology {
+        self.masked.as_ref().unwrap_or(self.topology)
+    }
+
     /// Transpiles with an automatically chosen variation-aware placement:
     /// the best swap-free embedding when one exists, otherwise the greedy
     /// variation-aware placement followed by routing.
@@ -123,12 +164,47 @@ impl<'a> Transpiler<'a> {
     /// Propagates placement and routing failures (width, routability).
     pub fn transpile(&self, circuit: &Circuit) -> Result<TranspiledCircuit, MapError> {
         let basis = circuit.decomposed();
-        let layout =
-            match placement::best_swap_free_placement(&basis, self.topology, self.calibration)? {
-                Some(layout) => layout,
-                None => placement::greedy_placement(&basis, self.topology, self.calibration)?,
-            };
+        let layout = match self.swap_free_layout(&basis)? {
+            Some(layout) => layout,
+            None => self.greedy_layout(&basis)?,
+        };
         self.transpile_with_layout(circuit, &layout)
+    }
+
+    /// The ESP-best swap-free placement honoring the quarantine, if any
+    /// exists.
+    fn swap_free_layout(&self, basis: &Circuit) -> Result<Option<Layout>, MapError> {
+        let Some(quarantine) = &self.quarantine else {
+            return placement::best_swap_free_placement(basis, self.topology, self.calibration);
+        };
+        // Enumerating on the masked graph already avoids quarantined links;
+        // the footprint filter additionally rejects layouts parking a
+        // (now isolated) quarantined qubit under a measure-only program
+        // qubit.
+        let ranked = placement::rank_embeddings(
+            basis,
+            self.effective_topology(),
+            self.calibration,
+            usize::MAX,
+        )?;
+        Ok(ranked
+            .into_iter()
+            .map(|(l, _)| l)
+            .find(|l| quarantine.allows_footprint(&l.physical_qubits())))
+    }
+
+    /// Greedy variation-aware placement honoring the quarantine when
+    /// possible, falling back to the full device when the masked one can't
+    /// host the circuit (so compilation never fails just because drift
+    /// shrank the device).
+    fn greedy_layout(&self, basis: &Circuit) -> Result<Layout, MapError> {
+        let Some(quarantine) = &self.quarantine else {
+            return placement::greedy_placement(basis, self.topology, self.calibration);
+        };
+        match placement::greedy_placement(basis, self.effective_topology(), self.calibration) {
+            Ok(layout) if quarantine.allows_footprint(&layout.physical_qubits()) => Ok(layout),
+            _ => placement::greedy_placement(basis, self.topology, self.calibration),
+        }
     }
 
     /// Transpiles with a caller-supplied initial layout (EDM's per-member
@@ -144,21 +220,12 @@ impl<'a> Transpiler<'a> {
         layout: &Layout,
     ) -> Result<TranspiledCircuit, MapError> {
         let basis = circuit.decomposed();
-        let routed = match self.backend {
-            RouterBackend::Greedy => router::route(
-                &basis,
-                self.topology,
-                self.calibration,
-                layout,
-                self.strategy,
-            )?,
-            RouterBackend::Lookahead => sabre::route_lookahead(
-                &basis,
-                self.topology,
-                self.calibration,
-                layout,
-                self.strategy,
-            )?,
+        let routed = match self.route(&basis, layout, self.effective_topology()) {
+            Ok(routed) => routed,
+            // Quarantine may disconnect the masked graph; route on the full
+            // device rather than fail compilation outright.
+            Err(_) if self.masked.is_some() => self.route(&basis, layout, self.topology)?,
+            Err(e) => return Err(e),
         };
         let physical = routed.circuit.decomposed();
         let esp = esp::esp(&physical, self.calibration)?;
@@ -171,8 +238,31 @@ impl<'a> Transpiler<'a> {
         })
     }
 
+    /// Routes `basis` under `layout` on the given topology with the
+    /// configured engine and strategy.
+    fn route(
+        &self,
+        basis: &Circuit,
+        layout: &Layout,
+        topology: &Topology,
+    ) -> Result<router::RoutedCircuit, MapError> {
+        match self.backend {
+            RouterBackend::Greedy => {
+                router::route(basis, topology, self.calibration, layout, self.strategy)
+            }
+            RouterBackend::Lookahead => {
+                sabre::route_lookahead(basis, topology, self.calibration, layout, self.strategy)
+            }
+        }
+    }
+
     /// Ranks every swap-free embedding of `circuit` by ESP, best first —
     /// the candidate pool EDM draws its top-K diverse mappings from.
+    ///
+    /// Under an active quarantine the candidates are enumerated on the
+    /// masked topology and layouts touching quarantined qubits are
+    /// filtered out; if that leaves nothing, the full-device ranking is
+    /// returned instead (quarantine must never empty the candidate pool).
     ///
     /// # Errors
     ///
@@ -183,7 +273,20 @@ impl<'a> Transpiler<'a> {
         max: usize,
     ) -> Result<Vec<(Layout, f64)>, MapError> {
         let basis = circuit.decomposed();
-        placement::rank_embeddings(&basis, self.topology, self.calibration, max)
+        let Some(quarantine) = &self.quarantine else {
+            return placement::rank_embeddings(&basis, self.topology, self.calibration, max);
+        };
+        let ranked =
+            placement::rank_embeddings(&basis, self.effective_topology(), self.calibration, max)?;
+        let allowed: Vec<(Layout, f64)> = ranked
+            .into_iter()
+            .filter(|(l, _)| quarantine.allows_footprint(&l.physical_qubits()))
+            .collect();
+        if allowed.is_empty() {
+            placement::rank_embeddings(&basis, self.topology, self.calibration, max)
+        } else {
+            Ok(allowed)
+        }
     }
 }
 
@@ -331,6 +434,123 @@ mod tests {
         let t = Transpiler::new(d.topology(), &cal).with_strategy(RoutingStrategy::SwapCount);
         let out = t.transpile(&ghz(3)).unwrap();
         assert_eq!(out.swap_count, 0);
+    }
+}
+
+#[cfg(test)]
+mod quarantine_tests {
+    use super::*;
+    use qdevice::drift::Quarantine;
+    use qdevice::{presets, DeviceModel};
+    use qsim::ideal;
+
+    fn setup() -> DeviceModel {
+        DeviceModel::synthesize(presets::melbourne14(), 31)
+    }
+
+    fn ghz(n: u32) -> Circuit {
+        let mut c = Circuit::new(n, n);
+        c.h(0);
+        for i in 0..n - 1 {
+            c.cx(i, i + 1);
+        }
+        c.measure_all();
+        c
+    }
+
+    #[test]
+    fn quarantined_qubits_are_avoided() {
+        let d = setup();
+        let cal = d.calibration();
+        let mut q = Quarantine::new();
+        q.add_qubit(3);
+        q.add_qubit(10);
+        let t = Transpiler::new(d.topology(), &cal).with_quarantine(&q);
+        assert_eq!(t.quarantine().unwrap().num_qubits(), 2);
+        assert!(t.effective_topology().num_qubits() == 14);
+        assert!(!t.effective_topology().has_edge(3, 4));
+        let out = t.transpile(&ghz(4)).unwrap();
+        for qubit in out.physical.active_qubits() {
+            assert!(
+                !q.contains_qubit(qubit.index()),
+                "placed on quarantined qubit {}",
+                qubit.index()
+            );
+        }
+        // Semantics are untouched by the detour.
+        assert_eq!(
+            ideal::outcome(&out.physical).unwrap(),
+            ideal::outcome(&ghz(4)).unwrap()
+        );
+    }
+
+    #[test]
+    fn ranked_layouts_respect_the_quarantine() {
+        let d = setup();
+        let cal = d.calibration();
+        let mut q = Quarantine::new();
+        q.add_qubit(0);
+        let t = Transpiler::new(d.topology(), &cal).with_quarantine(&q);
+        let ranked = t.ranked_layouts(&ghz(4), usize::MAX).unwrap();
+        assert!(!ranked.is_empty());
+        for (layout, _) in &ranked {
+            assert!(q.allows_footprint(&layout.physical_qubits()));
+        }
+        // Strictly fewer candidates than the unquarantined pool.
+        let full = Transpiler::new(d.topology(), &cal)
+            .ranked_layouts(&ghz(4), usize::MAX)
+            .unwrap();
+        assert!(ranked.len() < full.len());
+    }
+
+    #[test]
+    fn impossible_quarantine_falls_back_to_full_device() {
+        let d = setup();
+        let cal = d.calibration();
+        // Quarantine every qubit: honoring it strictly would leave nothing.
+        let mut q = Quarantine::new();
+        for qubit in 0..14 {
+            q.add_qubit(qubit);
+        }
+        let t = Transpiler::new(d.topology(), &cal).with_quarantine(&q);
+        // Compilation must still succeed (availability over purity)...
+        let out = t.transpile(&ghz(4)).unwrap();
+        assert!(out.esp > 0.0);
+        // ...and the candidate pool must not be empty either.
+        let ranked = t.ranked_layouts(&ghz(4), usize::MAX).unwrap();
+        assert!(!ranked.is_empty());
+    }
+
+    #[test]
+    fn empty_quarantine_is_a_no_op() {
+        let d = setup();
+        let cal = d.calibration();
+        let t = Transpiler::new(d.topology(), &cal).with_quarantine(&Quarantine::new());
+        assert!(t.quarantine().is_none());
+        let reference = Transpiler::new(d.topology(), &cal);
+        assert_eq!(
+            t.transpile(&ghz(4)).unwrap(),
+            reference.transpile(&ghz(4)).unwrap()
+        );
+    }
+
+    #[test]
+    fn quarantine_changes_the_chosen_mapping_when_it_hits_the_best() {
+        let d = setup();
+        let cal = d.calibration();
+        let reference = Transpiler::new(d.topology(), &cal);
+        let best = reference.transpile(&ghz(4)).unwrap();
+        // Quarantine the best mapping's first qubit; the detour must avoid it.
+        let first = best.initial_layout.physical_qubits()[0];
+        let mut q = Quarantine::new();
+        q.add_qubit(first);
+        let detour = Transpiler::new(d.topology(), &cal)
+            .with_quarantine(&q)
+            .transpile(&ghz(4))
+            .unwrap();
+        assert!(!detour.initial_layout.physical_qubits().contains(&first));
+        // The detour pays at most a modest ESP price on a 14-qubit device.
+        assert!(detour.esp > 0.0);
     }
 }
 

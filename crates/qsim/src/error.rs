@@ -47,6 +47,17 @@ pub enum SimError {
         /// Human-readable description of the transient condition.
         reason: &'static str,
     },
+    /// A worker panicked while executing the job (or one of its slices).
+    ///
+    /// The panic is caught at the pool boundary so the worker pool and the
+    /// rest of the batch survive; the job itself is failed. This is *not*
+    /// transient: a panic is a bug in the backend or simulator, and retrying
+    /// the same deterministic job would panic identically.
+    ExecutionPanicked {
+        /// The panic payload, stringified (`"<non-string panic>"` when the
+        /// payload was not a string).
+        detail: String,
+    },
 }
 
 impl SimError {
@@ -91,6 +102,9 @@ impl fmt::Display for SimError {
                     f,
                     "backend unavailable: {reason} (transient; retry may succeed)"
                 )
+            }
+            SimError::ExecutionPanicked { detail } => {
+                write!(f, "execution panicked: {detail} (not transient; the job is failed but the pool survives)")
             }
         }
     }
@@ -145,9 +159,21 @@ mod tests {
                 circuit: 20,
                 device: 14,
             },
+            SimError::ExecutionPanicked {
+                detail: "index out of bounds".into(),
+            },
         ] {
             assert!(!e.is_transient(), "{e} must not be retryable");
         }
+    }
+
+    #[test]
+    fn panic_display_names_the_payload() {
+        let e = SimError::ExecutionPanicked {
+            detail: "boom".into(),
+        };
+        assert!(e.to_string().contains("boom"));
+        assert!(e.to_string().contains("pool survives"));
     }
 
     #[test]

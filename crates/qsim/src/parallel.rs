@@ -104,10 +104,16 @@ impl NoisySimulator<'_> {
             }
         }
 
-        let slice_results = WorkerPool::global().map(&items, threads, |_, &(j, s, n)| {
-            let job = &jobs[j];
-            self.run(job.circuit, n, rngstream::fork(job.seed, s))
-        });
+        // `map_catch` contains a panicking slice: it fails only its own
+        // job (as a non-transient [`SimError::ExecutionPanicked`]) and the
+        // pool stays usable for the rest of the batch and future calls.
+        let slice_results = WorkerPool::global()
+            .map_catch(&items, threads, |_, &(j, s, n)| {
+                let job = &jobs[j];
+                self.run(job.circuit, n, rngstream::fork(job.seed, s))
+            })
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|detail| Err(SimError::ExecutionPanicked { detail })));
 
         // Merge per job, in slice order; a job's first failing slice wins.
         let mut out: Vec<Result<Counts, SimError>> = jobs

@@ -181,6 +181,51 @@ impl WorkerPool {
             .collect()
     }
 
+    /// Like [`WorkerPool::map`], but a panic in `f` fails only its own
+    /// item instead of aborting the batch.
+    ///
+    /// Each item's panic is caught *inside* the work closure, so the batch
+    /// keeps draining, every other slot completes normally, and the pool
+    /// stays usable — nothing is re-raised on the dispatcher. A panicked
+    /// slot holds `Err(message)` with the stringified panic payload.
+    ///
+    /// This is the containment boundary fault-tolerant callers build on:
+    /// a panicking backend fails one slice, not the whole run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_workers == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qsim::pool::WorkerPool;
+    ///
+    /// let pool = WorkerPool::new(2);
+    /// let out = pool.map_catch(&[1u64, 2, 3], 3, |_, &x| {
+    ///     if x == 2 { panic!("bad item"); }
+    ///     x * 10
+    /// });
+    /// assert_eq!(out[0], Ok(10));
+    /// assert_eq!(out[1], Err("bad item".to_string()));
+    /// assert_eq!(out[2], Ok(30));
+    /// ```
+    pub fn map_catch<T, R, F>(
+        &self,
+        items: &[T],
+        max_workers: usize,
+        f: F,
+    ) -> Vec<Result<R, String>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.map(items, max_workers, |i, t| {
+            catch_unwind(AssertUnwindSafe(|| f(i, t))).map_err(|p| panic_message(p.as_ref()))
+        })
+    }
+
     /// Posts `work` for up to `extra_workers` background threads, runs it
     /// on the calling thread too, and blocks until no worker can still be
     /// inside it.
@@ -292,6 +337,20 @@ impl<R> SlotWriter<R> {
     }
 }
 
+/// Extracts a human-readable message from a caught panic payload.
+///
+/// `panic!("literal")` carries `&str`; `panic!("{x}")` carries `String`;
+/// anything else (custom payloads) gets a fixed placeholder.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
+
 /// The machine's usable thread count (`available_parallelism`, min 1).
 pub fn default_threads() -> usize {
     std::thread::available_parallelism()
@@ -395,6 +454,50 @@ mod tests {
         // The pool must still dispatch cleanly afterwards.
         let out = pool.map(&[5usize, 6], 3, |_, &i| i * 10);
         assert_eq!(out, vec![50, 60]);
+    }
+
+    #[test]
+    fn map_catch_contains_panics_to_their_item() {
+        let pool = WorkerPool::new(2);
+        let items: Vec<usize> = (0..32).collect();
+        let out = pool.map_catch(&items, 3, |_, &i| {
+            if i % 7 == 3 {
+                panic!("unlucky {i}");
+            }
+            i * 2
+        });
+        for (i, slot) in out.iter().enumerate() {
+            if i % 7 == 3 {
+                assert_eq!(*slot, Err(format!("unlucky {i}")));
+            } else {
+                assert_eq!(*slot, Ok(i * 2));
+            }
+        }
+        // The pool is immediately reusable — no poisoning, no re-raise.
+        assert_eq!(pool.map(&[4u64], 3, |_, &x| x + 1), vec![5]);
+    }
+
+    #[test]
+    fn map_catch_serial_path_also_contains() {
+        let pool = WorkerPool::new(0);
+        let out = pool.map_catch(&[1u32, 2], 1, |_, &x| {
+            if x == 1 {
+                panic!("first");
+            }
+            x
+        });
+        assert_eq!(out, vec![Err("first".to_string()), Ok(2)]);
+    }
+
+    #[test]
+    fn panic_message_extracts_known_payloads() {
+        let p = catch_unwind(|| panic!("plain literal")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "plain literal");
+        let n = 7;
+        let p = catch_unwind(move || panic!("formatted {n}")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "formatted 7");
+        let p = catch_unwind(|| std::panic::panic_any(42u64)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "<non-string panic>");
     }
 
     #[test]

@@ -151,3 +151,70 @@ proptest! {
         }
     }
 }
+
+/// A random histogram over `width` classical bits as (outcome, count)
+/// pairs; outcomes stay within the register width by construction.
+fn histogram(width: u32, max_entries: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    let max_outcome = (1u64 << width) - 1;
+    proptest::collection::vec((0..=max_outcome, 0u64..5_000), 0..max_entries)
+}
+
+fn counts_from(width: u32, entries: &[(u64, u64)]) -> qsim::Counts {
+    let mut c = qsim::Counts::new(width);
+    for &(outcome, n) in entries {
+        c.record_n(outcome, n);
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_from_is_commutative(a in histogram(4, 12), b in histogram(4, 12)) {
+        let mut ab = counts_from(4, &a);
+        ab.merge_from(&counts_from(4, &b));
+        let mut ba = counts_from(4, &b);
+        ba.merge_from(&counts_from(4, &a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_from_preserves_total_shots(a in histogram(4, 12), b in histogram(4, 12)) {
+        let mut merged = counts_from(4, &a);
+        let other = counts_from(4, &b);
+        let before = merged.shots() + other.shots();
+        merged.merge_from(&other);
+        prop_assert_eq!(merged.shots(), before);
+    }
+
+    #[test]
+    fn merge_from_adds_per_outcome(a in histogram(3, 10), b in histogram(3, 10)) {
+        let left = counts_from(3, &a);
+        let right = counts_from(3, &b);
+        let mut merged = left.clone();
+        merged.merge_from(&right);
+        for outcome in 0u64..8 {
+            prop_assert_eq!(merged.get(outcome), left.get(outcome) + right.get(outcome));
+        }
+    }
+
+    #[test]
+    fn record_n_equals_n_records(outcome in 0u64..16, n in 0u64..200) {
+        let mut bulk = qsim::Counts::new(4);
+        bulk.record_n(outcome, n);
+        let mut one_by_one = qsim::Counts::new(4);
+        for _ in 0..n {
+            one_by_one.record(outcome);
+        }
+        prop_assert_eq!(bulk, one_by_one);
+    }
+
+    #[test]
+    fn merging_empty_is_identity(a in histogram(4, 12)) {
+        let reference = counts_from(4, &a);
+        let mut merged = reference.clone();
+        merged.merge_from(&qsim::Counts::new(4));
+        prop_assert_eq!(merged, reference);
+    }
+}

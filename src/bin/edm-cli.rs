@@ -11,19 +11,64 @@
 //! Circuits are OpenQASM 2.0 in the subset `qcir::qasm` understands (the
 //! same subset it emits).
 
-use edm_core::{metrics, EdmRunner, EnsembleConfig};
-use edm_serve::validate;
+use edm_core::{metrics, EdmError, EdmRunner, EnsembleConfig, RunHealth};
+use edm_serve::{exitcode, validate};
 use qcir::{draw, qasm, Circuit};
 use qdevice::{persist, presets, DeviceModel};
 use qmap::Transpiler;
 use qsim::{ideal, NoisySimulator};
 use std::process::ExitCode;
 
+/// A command failure carrying the exit code its class maps to.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    /// Exit 2: the command line could not be understood.
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            code: exitcode::USAGE,
+            message: message.into(),
+        }
+    }
+
+    /// Exit 65: an input file exists but is unusable.
+    fn data(message: impl Into<String>) -> Self {
+        CliError {
+            code: exitcode::DATA,
+            message: message.into(),
+        }
+    }
+
+    /// Exit 1: everything else.
+    fn other(message: impl Into<String>) -> Self {
+        CliError {
+            code: exitcode::FAILURE,
+            message: message.into(),
+        }
+    }
+
+    /// Exit 75 for a transient backend failure (rerunning may succeed),
+    /// exit 1 for deterministic pipeline errors.
+    fn run(e: EdmError) -> Self {
+        let code = match &e {
+            EdmError::Sim(sim) => exitcode::for_sim_error(sim),
+            _ => exitcode::FAILURE,
+        };
+        CliError {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!("{USAGE}");
-        return ExitCode::from(2);
+        return ExitCode::from(exitcode::USAGE);
     };
     let result = match command.as_str() {
         "draw" => cmd_draw(&args[1..]),
@@ -34,13 +79,15 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+        other => Err(CliError::usage(format!(
+            "unknown command '{other}'\n{USAGE}"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {}", e.message);
+            ExitCode::from(e.code)
         }
     }
 }
@@ -54,46 +101,53 @@ const USAGE: &str = "usage:
 run options:
   --threads N   cap execution worker threads, N >= 1 (default: all cores;
                 results are identical for every N — threads only change
-                speed)";
+                speed)
 
-fn flag(args: &[String], name: &str, default: u64) -> Result<u64, String> {
+exit codes:
+  0   success
+  1   unclassified failure
+  2   usage error (bad flags / arguments)
+  65  data error (missing or unparseable circuit file)
+  75  transient backend failure; rerunning may succeed";
+
+fn flag(args: &[String], name: &str, default: u64) -> Result<u64, CliError> {
     opt_flag(args, name).map(|v| v.unwrap_or(default))
 }
 
-fn opt_flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
+fn opt_flag(args: &[String], name: &str) -> Result<Option<u64>, CliError> {
     match args.iter().position(|a| a == name) {
         Some(i) => args
             .get(i + 1)
             .and_then(|v| v.parse().ok())
             .map(Some)
-            .ok_or_else(|| format!("{name} expects an integer")),
+            .ok_or_else(|| CliError::usage(format!("{name} expects an integer"))),
         None => Ok(None),
     }
 }
 
-fn load_circuit(args: &[String]) -> Result<Circuit, String> {
+fn load_circuit(args: &[String]) -> Result<Circuit, CliError> {
     let path = args
         .iter()
         .find(|a| !a.starts_with("--") && a.ends_with(".qasm"))
-        .ok_or("expected a .qasm file argument")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    qasm::parse(&text).map_err(|e| format!("{path}: {e}"))
+        .ok_or_else(|| CliError::usage("expected a .qasm file argument"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::data(format!("{path}: {e}")))?;
+    qasm::parse(&text).map_err(|e| CliError::data(format!("{path}: {e}")))
 }
 
-fn cmd_draw(args: &[String]) -> Result<(), String> {
+fn cmd_draw(args: &[String]) -> Result<(), CliError> {
     let circuit = load_circuit(args)?;
     print!("{}", draw::draw(&circuit));
     Ok(())
 }
 
-fn cmd_transpile(args: &[String]) -> Result<(), String> {
+fn cmd_transpile(args: &[String]) -> Result<(), CliError> {
     let circuit = load_circuit(args)?;
     let seed = flag(args, "--seed", 42)?;
     let device = DeviceModel::synthesize(presets::melbourne14(), seed);
     let cal = device.calibration();
     let out = Transpiler::new(device.topology(), &cal)
         .transpile(&circuit)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::other(e.to_string()))?;
     println!("initial layout: {}", out.initial_layout);
     println!("swaps inserted: {}", out.swap_count);
     println!("compile-time ESP: {:.4}", out.esp);
@@ -101,19 +155,21 @@ fn cmd_transpile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let circuit = load_circuit(args)?;
-    let shots =
-        validate::shots(flag(args, "--shots", 16_384)?).map_err(|e| format!("--shots: {e}"))?;
+    let shots = validate::shots(flag(args, "--shots", 16_384)?)
+        .map_err(|e| CliError::usage(format!("--shots: {e}")))?;
     let seed = flag(args, "--seed", 42)?;
     // Absent = auto (all cores). Any value gives bit-identical results; the
     // flag exists to bound CPU usage, not to pick an RNG schedule.
-    let threads =
-        validate::threads(opt_flag(args, "--threads")?).map_err(|e| format!("--threads: {e}"))?;
+    let threads = validate::threads(opt_flag(args, "--threads")?)
+        .map_err(|e| CliError::usage(format!("--threads: {e}")))?;
     if circuit.count_measure() == 0 {
-        return Err("circuit has no measurements; nothing to run".into());
+        return Err(CliError::data(
+            "circuit has no measurements; nothing to run",
+        ));
     }
-    let correct = ideal::outcome(&circuit).map_err(|e| e.to_string())?;
+    let correct = ideal::outcome(&circuit).map_err(|e| CliError::other(e.to_string()))?;
     let device = DeviceModel::synthesize(presets::melbourne14(), seed);
     let cal = device.calibration();
     let transpiler = Transpiler::new(device.topology(), &cal);
@@ -125,11 +181,21 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
     let baseline = runner
         .run_baseline(&circuit, shots, seed)
-        .map_err(|e| e.to_string())?;
-    let result = runner
-        .run(&circuit, shots, seed)
-        .map_err(|e| e.to_string())?;
+        .map_err(CliError::run)?;
+    let result = runner.run(&circuit, shots, seed).map_err(CliError::run)?;
 
+    if let RunHealth::Degraded {
+        failed_members,
+        quorum,
+    } = &result.health
+    {
+        println!(
+            "DEGRADED: {} member(s) failed permanently; merged over {} survivor(s) (quorum {})",
+            failed_members.len(),
+            result.members.len(),
+            quorum
+        );
+    }
     let width = circuit.num_clbits();
     println!(
         "ideal (correct) answer: {}",
@@ -161,10 +227,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_device(args: &[String]) -> Result<(), String> {
+fn cmd_device(args: &[String]) -> Result<(), CliError> {
     let seed = flag(args, "--seed", 42)?;
     let device = DeviceModel::synthesize(presets::melbourne14(), seed);
-    let json = persist::device_to_json(&device).map_err(|e| e.to_string())?;
+    let json = persist::device_to_json(&device).map_err(|e| CliError::other(e.to_string()))?;
     println!("{json}");
     Ok(())
 }
