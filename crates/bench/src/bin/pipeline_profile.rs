@@ -1,0 +1,101 @@
+//! Pipeline latency profile: runs the IST workload suite with telemetry
+//! enabled and writes `BENCH_pipeline.json` — per-stage histogram counts
+//! with p50/p99/mean microseconds — so CI archives stage latency alongside
+//! the paper's figures and a regression shows up as a diff.
+
+use edm_bench::{experiments, setup};
+use edm_core::EnsembleConfig;
+use edm_telemetry::metrics::{quantile_from_buckets, registry, MetricSnapshot};
+use qbench::registry as workloads;
+use serde::Serialize;
+
+/// One stage histogram, digested to the quantiles worth diffing.
+#[derive(Serialize)]
+struct StageLatency {
+    name: String,
+    count: u64,
+    mean_us: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+/// One domain counter, carried for context (cache hits, shots, members).
+#[derive(Serialize)]
+struct CounterValue {
+    name: String,
+    value: u64,
+}
+
+/// The whole document written to `BENCH_pipeline.json`.
+#[derive(Serialize)]
+struct PipelineBench {
+    shots: u64,
+    workload_runs: u64,
+    stages: Vec<StageLatency>,
+    counters: Vec<CounterValue>,
+}
+
+fn main() {
+    edm_telemetry::set_enabled(true);
+    let shots = 4096;
+    let config = EnsembleConfig::default();
+    let mut workload_runs = 0u64;
+    for bench in workloads::ist_suite() {
+        for seed in 0..2u64 {
+            let device = setup::paper_device(100 + seed);
+            let _ = experiments::run_workload(
+                &bench,
+                &device,
+                &config,
+                shots,
+                experiments::DRIFT_SIGMA,
+                seed,
+            );
+            workload_runs += 1;
+        }
+    }
+
+    let mut stages = Vec::new();
+    let mut counters = Vec::new();
+    for metric in registry().snapshot() {
+        match metric {
+            MetricSnapshot::Histogram { name, snapshot, .. } => {
+                let mean_us = if snapshot.count == 0 {
+                    0.0
+                } else {
+                    snapshot.sum as f64 / snapshot.count as f64
+                };
+                stages.push(StageLatency {
+                    name: name.to_string(),
+                    count: snapshot.count,
+                    mean_us,
+                    p50_us: quantile_from_buckets(snapshot.count, &snapshot.buckets, 0.50),
+                    p99_us: quantile_from_buckets(snapshot.count, &snapshot.buckets, 0.99),
+                });
+            }
+            MetricSnapshot::Counter { name, value, .. } => {
+                counters.push(CounterValue {
+                    name: name.to_string(),
+                    value,
+                });
+            }
+            MetricSnapshot::Gauge { .. } => {}
+        }
+    }
+
+    let doc = PipelineBench {
+        shots,
+        workload_runs,
+        stages,
+        counters,
+    };
+    let json = serde_json::to_string_pretty(&doc).expect("profile document serializes");
+    let path = "BENCH_pipeline.json";
+    std::fs::write(path, json).expect("write BENCH_pipeline.json");
+    println!(
+        "wrote {path}: {} stage histogram(s), {} counter(s), {} workload run(s)",
+        doc.stages.len(),
+        doc.counters.len(),
+        doc.workload_runs
+    );
+}

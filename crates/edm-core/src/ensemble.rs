@@ -262,8 +262,15 @@ pub fn build_ensemble(
     circuit: &Circuit,
     config: &EnsembleConfig,
 ) -> Result<Vec<EnsembleMember>, EdmError> {
-    let baseline = transpiler.transpile(circuit)?;
-    diversify(transpiler, &baseline.physical, config)
+    let _span = edm_telemetry::trace::span("ensemble_build");
+    edm_telemetry::histogram!(
+        "edm_core_ensemble_build_us",
+        "Wall time to transpile and diversify one circuit into an ensemble"
+    )
+    .time(|| {
+        let baseline = transpiler.transpile(circuit)?;
+        diversify(transpiler, &baseline.physical, config)
+    })
 }
 
 /// Inserts an X on every measured qubit right before its measurement
@@ -498,7 +505,14 @@ impl<'t, B: Backend> EdmRunner<'t, B> {
     ) -> Result<EdmResult, EdmError> {
         let plan = plan_run(members, total_shots, seed, self.config.shot_allocation)?;
         let jobs = plan.jobs();
-        let results = self.backend.execute_batch(&jobs, self.threads);
+        let results = {
+            let _span = edm_telemetry::trace::span("execute");
+            edm_telemetry::histogram!(
+                "edm_core_execute_us",
+                "Wall time of one ensemble's backend execution"
+            )
+            .time(|| self.backend.execute_batch(&jobs, self.threads))
+        };
         drop(jobs);
         assemble_result(plan.members, results, &self.config)
     }
@@ -620,6 +634,19 @@ pub fn assemble_result(
     raw: Vec<Result<Counts, qsim::SimError>>,
     config: &EnsembleConfig,
 ) -> Result<EdmResult, EdmError> {
+    let _span = edm_telemetry::trace::span("merge");
+    edm_telemetry::histogram!(
+        "edm_core_merge_us",
+        "Wall time to basis-correct, filter, and merge one run's member histograms"
+    )
+    .time(|| assemble_result_inner(members, raw, config))
+}
+
+fn assemble_result_inner(
+    members: Vec<EnsembleMember>,
+    raw: Vec<Result<Counts, qsim::SimError>>,
+    config: &EnsembleConfig,
+) -> Result<EdmResult, EdmError> {
     assert_eq!(
         members.len(),
         raw.len(),
@@ -665,6 +692,40 @@ pub fn assemble_result(
         // first lost member's error.
         return Err(EdmError::Sim(failed_members.swap_remove(0).error));
     };
+
+    edm_telemetry::counter!("edm_core_runs_total", "Ensemble runs assembled").inc();
+    if health.is_degraded() {
+        edm_telemetry::counter!(
+            "edm_core_degraded_runs_total",
+            "Ensemble runs completed in degraded mode (members dropped)"
+        )
+        .inc();
+    }
+    if let RunHealth::Degraded { failed_members, .. } = &health {
+        edm_telemetry::counter!(
+            "edm_core_failed_members_total",
+            "Ensemble members dropped after terminal execution failure"
+        )
+        .add(failed_members.len() as u64);
+    }
+    if edm_telemetry::enabled() {
+        // Compile-time ESP next to achieved top-outcome probability: the
+        // paper's ESP-vs-IST correlation, observable per member via
+        // quantiles of these two histograms (both scaled by 10⁶).
+        let esp_hist = edm_telemetry::histogram!(
+            "edm_core_member_esp_micro",
+            "Compile-time ESP of executed ensemble members, scaled by 1e6"
+        );
+        let top_hist = edm_telemetry::histogram!(
+            "edm_core_member_top_prob_micro",
+            "Achieved top-outcome probability of executed members, scaled by 1e6"
+        );
+        for run in &runs {
+            esp_hist.observe((run.member.esp * 1e6) as u64);
+            let top = run.dist.iter().map(|(_, p)| p).fold(0.0f64, f64::max);
+            top_hist.observe((top * 1e6) as u64);
+        }
+    }
 
     // `None` slots are members the uniformity filter excludes from the
     // merge; execution failures never reach here (they were dropped above),

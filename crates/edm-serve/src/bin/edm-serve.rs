@@ -13,7 +13,7 @@
 
 use edm_serve::exitcode;
 use edm_serve::journal::JournalError;
-use edm_serve::protocol::{JobSummary, Request, Response};
+use edm_serve::protocol::{JobSummary, MetricFamily, Request, Response};
 use edm_serve::queue::JobRequest;
 use edm_serve::service::{JobService, JobState, ServeConfig};
 use edm_serve::validate;
@@ -25,14 +25,19 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   edm-serve [--device-seed N] [--threads N] [--queue N] [--cache N] [--batch N]
-            [--journal PATH]
+            [--journal PATH] [--metrics-port N]
 
 Speaks JSON lines on stdin/stdout. Requests:
   {\"Submit\":{\"qasm\":\"...\",\"shots\":N,\"seed\":N,\"priority\":\"Normal\"}}
-  {\"Poll\":{\"id\":N}}   \"Flush\"   \"Stats\"   \"BumpCalibration\"   \"Shutdown\"
+  {\"Poll\":{\"id\":N}}   \"Flush\"   \"Stats\"   \"Metrics\"   \"BumpCalibration\"
+  \"Shutdown\"
 
 --journal PATH appends a JSON-lines write-ahead journal of accepted jobs;
 restarting with the same path replays unfinished jobs bit-identically.
+
+--metrics-port N serves Prometheus text on http://127.0.0.1:N/metrics
+(plus /metrics.json, /spans, and /healthz) and enables telemetry; port 0
+picks an ephemeral port, printed to stderr as `metrics listening on ...`.
 
 exit codes:
   0   success
@@ -100,6 +105,36 @@ fn main() -> ExitCode {
                 return ExitCode::from(exitcode::USAGE);
             }
         },
+        None => None,
+    };
+    let metrics_port = match flag(&args, "--metrics-port") {
+        Ok(port) => port,
+        Err(msg) => {
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    // Keep the server handle alive for the process's whole life; dropping it
+    // would only detach the listener thread, but binding up front surfaces
+    // port conflicts before any job is accepted.
+    let _metrics_server = match metrics_port {
+        Some(port) if port > u64::from(u16::MAX) => {
+            eprintln!("error: --metrics-port must fit in 16 bits\n{USAGE}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+        Some(port) => {
+            edm_telemetry::set_enabled(true);
+            match edm_telemetry::http::serve(port as u16) {
+                Ok(server) => {
+                    eprintln!("metrics listening on http://{}/metrics", server.addr());
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("error: cannot bind metrics port {port}: {e}");
+                    return ExitCode::from(exitcode::FAILURE);
+                }
+            }
+        }
         None => None,
     };
 
@@ -189,7 +224,10 @@ fn handle<B: edm_core::Backend>(service: &mut JobService<B>, request: Request) -
                 seed,
                 priority,
             }) {
-                Ok(id) => Response::Accepted { id },
+                Ok(id) => Response::Accepted {
+                    id,
+                    trace_id: service.trace_id(id).unwrap_or(0),
+                },
                 Err(e) => Response::Rejected {
                     reason: e.to_string(),
                 },
@@ -208,7 +246,12 @@ fn handle<B: edm_core::Backend>(service: &mut JobService<B>, request: Request) -
                 },
                 Some(JobState::Done(done)) => Response::Finished {
                     id,
-                    summary: JobSummary::from_result(id, &done.result, done.latency_ms),
+                    summary: JobSummary::from_result(
+                        id,
+                        service.trace_id(id).unwrap_or(0),
+                        &done.result,
+                        done.latency_ms,
+                    ),
                 },
             }
         }
@@ -220,6 +263,13 @@ fn handle<B: edm_core::Backend>(service: &mut JobService<B>, request: Request) -
         },
         Request::BumpCalibration => Response::Recalibrated {
             generation: service.bump_calibration_generation(),
+        },
+        Request::Metrics => Response::Metrics {
+            families: edm_telemetry::metrics::registry()
+                .snapshot()
+                .iter()
+                .map(MetricFamily::from_snapshot)
+                .collect(),
         },
         Request::Shutdown => Response::Bye,
     }

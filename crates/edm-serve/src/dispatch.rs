@@ -125,12 +125,22 @@ impl<B: Backend> Dispatcher<B> {
             let backoff = self.policy.backoff_ms(k);
             if self.clock.now_ms().saturating_add(backoff) > deadline_ms {
                 self.timeouts.fetch_add(1, Ordering::SeqCst);
+                edm_telemetry::counter!(
+                    "edm_serve_retry_timeouts_total",
+                    "Jobs whose retrying was cut short by the per-job timeout"
+                )
+                .inc();
                 return Err(SimError::BackendUnavailable {
                     reason: "per-job timeout exceeded before the retry budget",
                 });
             }
             self.clock.sleep_ms(backoff);
             self.retries.fetch_add(1, Ordering::SeqCst);
+            edm_telemetry::counter!(
+                "edm_serve_retries_total",
+                "Retry attempts performed by the dispatcher"
+            )
+            .inc();
             match attempt() {
                 Ok(counts) => return Ok(counts),
                 Err(e) if !e.is_transient() => return Err(e),
@@ -138,6 +148,11 @@ impl<B: Backend> Dispatcher<B> {
             }
         }
         self.exhausted.fetch_add(1, Ordering::SeqCst);
+        edm_telemetry::counter!(
+            "edm_serve_retry_exhausted_total",
+            "Jobs that failed even after the full retry budget"
+        )
+        .inc();
         Err(last)
     }
 }
@@ -460,11 +475,21 @@ impl<B: Backend> CircuitBreaker<B> {
             core.state = BreakerState::Open;
             core.opened_at_ms = self.clock.now_ms();
             self.trips.fetch_add(1, Ordering::SeqCst);
+            edm_telemetry::counter!(
+                "edm_serve_breaker_trips_total",
+                "Times the circuit breaker tripped open"
+            )
+            .inc();
         }
     }
 
     fn fail_fast(&self) -> SimError {
         self.fast_failures.fetch_add(1, Ordering::SeqCst);
+        edm_telemetry::counter!(
+            "edm_serve_breaker_fast_failures_total",
+            "Calls refused without touching the backend while the breaker was open"
+        )
+        .inc();
         SimError::BackendUnavailable {
             reason: "circuit breaker open; backend cooling down",
         }

@@ -35,6 +35,10 @@ pub enum JournalEntry {
     Accepted {
         /// The service-assigned id, preserved across restarts.
         id: u64,
+        /// The correlation id stamped on every response, journal entry, and
+        /// telemetry span for this job — preserved across restarts so a
+        /// replayed job is traceable back to its original submission.
+        trace_id: u64,
         /// The logical circuit.
         circuit: Circuit,
         /// Total trial budget.
@@ -181,37 +185,55 @@ fn parse_entries(text: &str) -> Result<Vec<JournalEntry>, JournalError> {
     Ok(entries)
 }
 
+/// A job the crash left unfinished, reconstructed from its `Accepted`
+/// entry: the original id, the original correlation [`trace_id`], and the
+/// request to re-run.
+///
+/// [`trace_id`]: RecoveredJob::trace_id
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredJob {
+    /// The id originally assigned at submission.
+    pub id: u64,
+    /// The correlation id originally assigned at submission.
+    pub trace_id: u64,
+    /// The original request (circuit, shots, seed, priority).
+    pub request: JobRequest,
+}
+
 /// Distills replayed entries into the jobs the crash left unfinished, in
 /// acceptance order, plus the largest id ever issued (0 when none).
 ///
 /// A job is outstanding when its `Accepted` has no matching `Completed` or
 /// `Failed`. Re-submitting these with their recorded ids and seeds yields
-/// results bit-identical to the interrupted run.
-pub fn outstanding(entries: &[JournalEntry]) -> (Vec<(u64, JobRequest)>, u64) {
+/// results bit-identical to the interrupted run, and their recorded trace
+/// ids keep the replays correlatable with the original submissions.
+pub fn outstanding(entries: &[JournalEntry]) -> (Vec<RecoveredJob>, u64) {
     let mut max_id = 0;
-    let mut open: Vec<(u64, JobRequest)> = Vec::new();
+    let mut open: Vec<RecoveredJob> = Vec::new();
     for entry in entries {
         match entry {
             JournalEntry::Accepted {
                 id,
+                trace_id,
                 circuit,
                 shots,
                 seed,
                 priority,
             } => {
                 max_id = max_id.max(*id);
-                open.push((
-                    *id,
-                    JobRequest {
+                open.push(RecoveredJob {
+                    id: *id,
+                    trace_id: *trace_id,
+                    request: JobRequest {
                         circuit: circuit.clone(),
                         shots: *shots,
                         seed: *seed,
                         priority: *priority,
                     },
-                ));
+                });
             }
             JournalEntry::Completed { id } | JournalEntry::Failed { id } => {
-                open.retain(|(open_id, _)| open_id != id);
+                open.retain(|job| job.id != *id);
             }
         }
     }
@@ -241,6 +263,7 @@ mod tests {
     fn accepted(id: u64) -> JournalEntry {
         JournalEntry::Accepted {
             id,
+            trace_id: id * 1000 + 7,
             circuit: bell(),
             shots: 256,
             seed: id * 11,
@@ -265,8 +288,9 @@ mod tests {
         let (open, max_id) = outstanding(&replayed);
         assert_eq!(max_id, 2);
         assert_eq!(open.len(), 1);
-        assert_eq!(open[0].0, 2);
-        assert_eq!(open[0].1.seed, 22);
+        assert_eq!(open[0].id, 2);
+        assert_eq!(open[0].trace_id, 2007, "trace id survives the reopen");
+        assert_eq!(open[0].request.seed, 22);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -321,7 +345,7 @@ mod tests {
         ];
         let (open, max_id) = outstanding(&entries);
         assert_eq!(max_id, 7);
-        assert_eq!(open.iter().map(|(id, _)| *id).collect::<Vec<_>>(), vec![6]);
+        assert_eq!(open.iter().map(|j| j.id).collect::<Vec<_>>(), vec![6]);
     }
 
     #[test]

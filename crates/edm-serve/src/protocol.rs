@@ -37,6 +37,9 @@ pub enum Request {
     /// Simulate a recalibration: bump the calibration generation, which
     /// invalidates every cached compilation.
     BumpCalibration,
+    /// Snapshot the telemetry registry as JSON metric families (the same
+    /// data `--metrics-port` serves as Prometheus text).
+    Metrics,
     /// Stop the service loop.
     Shutdown,
 }
@@ -48,6 +51,9 @@ pub enum Response {
     Accepted {
         /// Service-assigned job id; poll with it.
         id: u64,
+        /// Correlation id stamped on the job's journal entries, spans, and
+        /// final summary — stable across crash-recovery replays.
+        trace_id: u64,
     },
     /// The submission was refused (backpressure or validation).
     Rejected {
@@ -84,6 +90,11 @@ pub enum Response {
         /// The counters at the time of the request.
         stats: crate::stats::ServiceStats,
     },
+    /// Telemetry registry snapshot, one family per registered metric.
+    Metrics {
+        /// Every registered metric with its current value.
+        families: Vec<MetricFamily>,
+    },
     /// A `Flush` completed.
     Processed {
         /// How many queued jobs were dispatched.
@@ -103,11 +114,78 @@ pub enum Response {
     Bye,
 }
 
+/// One telemetry metric on the wire, mirroring
+/// `edm_telemetry::metrics::MetricSnapshot` with owned strings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricFamily {
+    /// A monotone counter.
+    Counter {
+        /// Metric name (`edm_<crate>_<name>_<unit>`).
+        name: String,
+        /// Current value.
+        value: u64,
+    },
+    /// An up-down gauge.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Current value.
+        value: i64,
+    },
+    /// A log₂-bucketed histogram. Only finite buckets travel; the implicit
+    /// `+Inf` count is `count` minus the sum of `buckets`.
+    Histogram {
+        /// Metric name.
+        name: String,
+        /// Observations recorded.
+        count: u64,
+        /// Sum of observed values.
+        sum: u64,
+        /// Non-cumulative counts for buckets with upper bounds 1, 2, 4, ….
+        buckets: Vec<u64>,
+    },
+}
+
+impl MetricFamily {
+    /// Converts a registry snapshot entry for the wire.
+    pub fn from_snapshot(snapshot: &edm_telemetry::metrics::MetricSnapshot) -> Self {
+        use edm_telemetry::metrics::MetricSnapshot;
+        match snapshot {
+            MetricSnapshot::Counter { name, value, .. } => MetricFamily::Counter {
+                name: (*name).to_string(),
+                value: *value,
+            },
+            MetricSnapshot::Gauge { name, value, .. } => MetricFamily::Gauge {
+                name: (*name).to_string(),
+                value: *value,
+            },
+            MetricSnapshot::Histogram { name, snapshot, .. } => MetricFamily::Histogram {
+                name: (*name).to_string(),
+                count: snapshot.count,
+                sum: snapshot.sum,
+                buckets: snapshot.buckets.clone(),
+            },
+        }
+    }
+
+    /// The family's metric name.
+    pub fn name(&self) -> &str {
+        match self {
+            MetricFamily::Counter { name, .. }
+            | MetricFamily::Gauge { name, .. }
+            | MetricFamily::Histogram { name, .. } => name,
+        }
+    }
+}
+
 /// The client-facing digest of a finished job.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobSummary {
     /// The finished job's id.
     pub id: u64,
+    /// The correlation id assigned at submission (recovered from the
+    /// journal for replayed jobs).
+    pub trace_id: u64,
     /// Ensemble members executed.
     pub members: u64,
     /// Total shots actually distributed.
@@ -127,7 +205,7 @@ pub struct JobSummary {
 
 impl JobSummary {
     /// Digests a finished [`EdmResult`] for the wire.
-    pub fn from_result(id: u64, result: &EdmResult, latency_ms: u64) -> Self {
+    pub fn from_result(id: u64, trace_id: u64, result: &EdmResult, latency_ms: u64) -> Self {
         let shots = result.members.iter().map(|m| m.counts.shots()).sum();
         let (top_outcome, top_probability) = match result.edm.most_probable() {
             Some(outcome) => (
@@ -142,6 +220,7 @@ impl JobSummary {
         };
         JobSummary {
             id,
+            trace_id,
             members: result.members.len() as u64,
             shots,
             top_outcome,
@@ -177,6 +256,7 @@ mod tests {
             id: 3,
             summary: JobSummary {
                 id: 3,
+                trace_id: 901,
                 members: 4,
                 shots: 8192,
                 top_outcome: "101".into(),
@@ -189,6 +269,38 @@ mod tests {
         let line = serde_json::to_string(&resp).unwrap();
         let back: Response = serde_json::from_str(&line).unwrap();
         assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn metric_families_roundtrip_through_json() {
+        let families = vec![
+            MetricFamily::Counter {
+                name: "edm_serve_cache_hits_total".into(),
+                value: 9,
+            },
+            MetricFamily::Gauge {
+                name: "edm_serve_queue_depth".into(),
+                value: -1,
+            },
+            MetricFamily::Histogram {
+                name: "edm_serve_dispatch_us".into(),
+                count: 3,
+                sum: 70,
+                buckets: vec![1, 0, 2],
+            },
+        ];
+        let resp = Response::Metrics {
+            families: families.clone(),
+        };
+        let line = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(families[0].name(), "edm_serve_cache_hits_total");
+        assert_eq!(families[2].name(), "edm_serve_dispatch_us");
+        assert_eq!(
+            serde_json::from_str::<Request>("\"Metrics\"").unwrap(),
+            Request::Metrics
+        );
     }
 
     #[test]

@@ -98,6 +98,9 @@ pub struct JobService<B> {
     cache: CompileCache,
     queue: AdmissionQueue,
     jobs: BTreeMap<u64, JobState>,
+    /// Correlation id per job id, live for the job's whole service life —
+    /// unlike `JobState`, it never changes as the job moves through states.
+    trace_ids: BTreeMap<u64, u64>,
     next_id: u64,
     clock: Arc<dyn Clock>,
     latency: LatencyRecorder,
@@ -179,6 +182,7 @@ impl<B: Backend> JobService<B> {
             cache: CompileCache::new(config.cache_capacity),
             queue: AdmissionQueue::new(config.queue_capacity),
             jobs: BTreeMap::new(),
+            trace_ids: BTreeMap::new(),
             next_id: 1,
             clock,
             latency: LatencyRecorder::default(),
@@ -210,10 +214,15 @@ impl<B: Backend> JobService<B> {
         let (journal, entries) = Journal::open(path)?;
         let (open, max_id) = journal::outstanding(&entries);
         let recovered = open.len();
-        for (id, request) in open {
+        for recovered_job in open {
+            let id = recovered_job.id;
+            // The original correlation id, not a fresh one: the replayed
+            // job's responses and spans stay correlatable with whatever the
+            // crashed process logged about it.
+            self.trace_ids.insert(id, recovered_job.trace_id);
             let job = QueuedJob {
                 id,
-                request,
+                request: recovered_job.request,
                 enqueued_at_ms: self.clock.now_ms(),
             };
             match self.queue.push(job) {
@@ -221,6 +230,11 @@ impl<B: Backend> JobService<B> {
                     self.jobs.insert(id, JobState::Queued);
                     self.submitted += 1;
                     self.recovered += 1;
+                    edm_telemetry::counter!(
+                        "edm_serve_recovered_total",
+                        "Jobs re-enqueued from the journal after a restart"
+                    )
+                    .inc();
                 }
                 // A recovered backlog larger than the queue: the overflow
                 // fails visibly rather than vanishing.
@@ -244,18 +258,19 @@ impl<B: Backend> JobService<B> {
     /// id and leave no trace beyond the `rejected` counter.
     pub fn submit(&mut self, request: JobRequest) -> Result<u64, AdmitError> {
         if let Err(e) = validate::shots(request.shots) {
-            self.rejected += 1;
+            self.reject();
             return Err(AdmitError::Invalid(e.to_string()));
         }
         // Backpressure is checked before journaling so a rejected job
         // never leaves an orphan `Accepted` entry behind.
         if self.queue.len() >= self.config.queue_capacity {
-            self.rejected += 1;
+            self.reject();
             return Err(AdmitError::QueueFull {
                 capacity: self.config.queue_capacity,
             });
         }
         let id = self.next_id;
+        let trace_id = edm_telemetry::trace::next_trace_id();
         // Write-ahead: the journal entry lands on disk before the job is
         // acknowledged, so an accepted job survives a crash. A job we
         // cannot journal is refused — accepting it silently would break
@@ -263,16 +278,17 @@ impl<B: Backend> JobService<B> {
         if let Some(journal) = &mut self.journal {
             let entry = JournalEntry::Accepted {
                 id,
+                trace_id,
                 circuit: request.circuit.clone(),
                 shots: request.shots,
                 seed: request.seed,
                 priority: request.priority,
             };
             if let Err(e) = journal.append(&entry) {
-                self.rejected += 1;
+                self.reject();
                 return Err(AdmitError::Journal(e.to_string()));
             }
-            self.journal_appends += 1;
+            self.count_journal_append();
         }
         let job = QueuedJob {
             id,
@@ -284,8 +300,27 @@ impl<B: Backend> JobService<B> {
             .expect("capacity was checked before journaling");
         self.next_id += 1;
         self.submitted += 1;
+        self.trace_ids.insert(id, trace_id);
+        edm_telemetry::counter!("edm_serve_submitted_total", "Jobs admitted to the queue").inc();
+        edm_telemetry::gauge!("edm_serve_queue_depth", "Jobs waiting in the queue")
+            .set(self.queue.len() as i64);
         self.jobs.insert(id, JobState::Queued);
         Ok(id)
+    }
+
+    /// The correlation id assigned to `id` at submission (or recovered from
+    /// the journal), if the id was ever issued.
+    pub fn trace_id(&self, id: u64) -> Option<u64> {
+        self.trace_ids.get(&id).copied()
+    }
+
+    fn reject(&mut self) {
+        self.rejected += 1;
+        edm_telemetry::counter!(
+            "edm_serve_rejected_total",
+            "Submissions refused at admission (validation or backpressure)"
+        )
+        .inc();
     }
 
     /// Drains up to `max_batch_jobs` queued requests, compiles each through
@@ -298,11 +333,16 @@ impl<B: Backend> JobService<B> {
             return 0;
         }
         let processed = drained.len();
+        edm_telemetry::gauge!("edm_serve_queue_depth", "Jobs waiting in the queue")
+            .set(self.queue.len() as i64);
 
         // Phase 1: compile (through the cache) and plan each request.
         // Failures are terminal for that request only.
         let mut plans: Vec<(u64, u64, RunPlan)> = Vec::new();
         for job in drained {
+            // Compile under the job's trace id so transpile/VF2 spans of a
+            // cache miss carry it.
+            let _trace = edm_telemetry::trace::with_trace(self.trace_id(job.id).unwrap_or(0));
             let ensemble = match self.compile_cached(&job) {
                 Ok(members) => members,
                 Err(reason) => {
@@ -326,16 +366,30 @@ impl<B: Backend> JobService<B> {
         // so concatenation changes nothing about any job's RNG stream.
         if !plans.is_empty() {
             let all_jobs: Vec<BatchJob<'_>> = plans.iter().flat_map(|(_, _, p)| p.jobs()).collect();
-            let results = self
-                .dispatcher
-                .execute_batch(&all_jobs, self.config.threads);
+            let results = {
+                let _span = edm_telemetry::trace::span("dispatch");
+                edm_telemetry::histogram!(
+                    "edm_serve_dispatch_us",
+                    "Wall time of one coalesced execute_batch dispatch"
+                )
+                .time(|| {
+                    self.dispatcher
+                        .execute_batch(&all_jobs, self.config.threads)
+                })
+            };
             drop(all_jobs);
             self.batches += 1;
+            edm_telemetry::counter!(
+                "edm_serve_batches_total",
+                "Coalesced execute_batch dispatches issued"
+            )
+            .inc();
 
             // Phase 3: split the flat result vector back per request and
             // merge each into its EdmResult.
             let mut results = results.into_iter();
             for (id, enqueued_at_ms, plan) in plans {
+                let _trace = edm_telemetry::trace::with_trace(self.trace_id(id).unwrap_or(0));
                 let k = plan.members.len();
                 let raw: Vec<_> = results.by_ref().take(k).collect();
                 match assemble_result(plan.members, raw, &self.config.ensemble) {
@@ -343,8 +397,23 @@ impl<B: Backend> JobService<B> {
                         let latency_ms = self.clock.now_ms().saturating_sub(enqueued_at_ms);
                         self.latency.record(latency_ms);
                         self.completed += 1;
+                        edm_telemetry::counter!(
+                            "edm_serve_jobs_completed_total",
+                            "Jobs finished with a result"
+                        )
+                        .inc();
+                        edm_telemetry::histogram!(
+                            "edm_serve_job_latency_ms",
+                            "Submit-to-finish job latency in milliseconds"
+                        )
+                        .observe(latency_ms);
                         if result.is_degraded() {
                             self.degraded += 1;
+                            edm_telemetry::counter!(
+                                "edm_serve_degraded_jobs_total",
+                                "Jobs whose ensemble lost members and ran degraded"
+                            )
+                            .inc();
                         }
                         self.journal_finished(JournalEntry::Completed { id });
                         self.jobs
@@ -407,6 +476,16 @@ impl<B: Backend> JobService<B> {
         // quarantined and avoided by every compilation until rates
         // stabilize.
         self.watchdog.observe(&self.calibration);
+        edm_telemetry::gauge!(
+            "edm_serve_quarantined_qubits",
+            "Qubits currently quarantined by the drift watchdog"
+        )
+        .set(self.watchdog.quarantine().num_qubits() as i64);
+        edm_telemetry::gauge!(
+            "edm_serve_quarantined_links",
+            "Links currently quarantined by the drift watchdog"
+        )
+        .set(self.watchdog.quarantine().num_links() as i64);
     }
 
     /// The drift watchdog (thresholds, current quarantine, event count).
@@ -432,6 +511,10 @@ impl<B: Backend> JobService<B> {
     /// Counter snapshot across queue, cache, dispatcher, breaker,
     /// watchdog, journal, and latencies.
     pub fn stats(&self) -> ServiceStats {
+        // One sorted copy serves both percentiles (the old code re-sorted
+        // the reservoir per percentile).
+        let ps = self.latency.percentiles_ms(&[50, 99]);
+        let (latency_p50_ms, latency_p99_ms) = (ps[0], ps[1]);
         ServiceStats {
             submitted: self.submitted,
             completed: self.completed,
@@ -451,8 +534,8 @@ impl<B: Backend> JobService<B> {
             degraded: self.degraded,
             recovered: self.recovered,
             journal_appends: self.journal_appends,
-            latency_p50_ms: self.latency.percentile_ms(50),
-            latency_p99_ms: self.latency.percentile_ms(99),
+            latency_p50_ms,
+            latency_p99_ms,
         }
     }
 
@@ -468,8 +551,18 @@ impl<B: Backend> JobService<B> {
             generation: self.calibration.generation(),
         };
         if let Some(members) = self.cache.get(&key) {
+            edm_telemetry::counter!(
+                "edm_serve_cache_hits_total",
+                "Compilations served from the ensemble cache"
+            )
+            .inc();
             return Ok(members);
         }
+        edm_telemetry::counter!(
+            "edm_serve_cache_misses_total",
+            "Compilations that missed the ensemble cache"
+        )
+        .inc();
         // Quarantine only changes when the calibration does, and every
         // calibration change bumps the generation in the cache key — so
         // cached ensembles never reflect a stale quarantine.
@@ -483,6 +576,11 @@ impl<B: Backend> JobService<B> {
 
     fn fail(&mut self, id: u64, reason: String) {
         self.failed += 1;
+        edm_telemetry::counter!(
+            "edm_serve_jobs_failed_total",
+            "Jobs finished with a terminal error"
+        )
+        .inc();
         self.journal_finished(JournalEntry::Failed { id });
         self.jobs.insert(id, JobState::Failed(reason));
     }
@@ -494,9 +592,18 @@ impl<B: Backend> JobService<B> {
     fn journal_finished(&mut self, entry: JournalEntry) {
         if let Some(journal) = &mut self.journal {
             if journal.append(&entry).is_ok() {
-                self.journal_appends += 1;
+                self.count_journal_append();
             }
         }
+    }
+
+    fn count_journal_append(&mut self) {
+        self.journal_appends += 1;
+        edm_telemetry::counter!(
+            "edm_serve_journal_appends_total",
+            "Write-ahead journal entries appended"
+        )
+        .inc();
     }
 }
 
@@ -657,6 +764,57 @@ mod tests {
         assert!(matches!(svc.poll(ok), Some(JobState::Done(_))));
         assert_eq!(svc.stats().failed, 1);
         assert_eq!(svc.stats().completed, 1);
+    }
+
+    #[test]
+    fn replayed_jobs_keep_their_original_trace_id() {
+        let dir = std::env::temp_dir().join(format!(
+            "edm-serve-trace-replay-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let device = DeviceModel::synthesize(presets::melbourne14(), 11);
+
+        // First process: accept a job, crash before processing it.
+        let original_trace = {
+            let backend = NoisySimulator::from_device(&device);
+            let mut svc = JobService::new(
+                device.topology().clone(),
+                device.calibration(),
+                backend,
+                small_config(),
+            );
+            svc.attach_journal(&path).unwrap();
+            let id = svc.submit(request(ghz(3), 512, 7)).unwrap();
+            let trace = svc.trace_id(id).expect("submitted jobs have a trace id");
+            assert_ne!(trace, 0);
+            trace
+            // svc dropped here without processing = the "crash".
+        };
+
+        // Second process: replay must resurrect the job under the SAME
+        // trace id, not mint a fresh one.
+        let backend = NoisySimulator::from_device(&device);
+        let mut svc = JobService::new(
+            device.topology().clone(),
+            device.calibration(),
+            backend,
+            small_config(),
+        );
+        assert_eq!(svc.attach_journal(&path).unwrap(), 1);
+        assert_eq!(svc.trace_id(1), Some(original_trace));
+        svc.process_all();
+        assert!(matches!(svc.poll(1), Some(JobState::Done(_))));
+        assert_eq!(
+            svc.trace_id(1),
+            Some(original_trace),
+            "trace id survives processing"
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

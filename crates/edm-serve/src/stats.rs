@@ -50,17 +50,33 @@ impl LatencyRecorder {
 
     /// The nearest-rank `p`-th percentile over the retained window, or 0
     /// with no samples. `p` is clamped to `[1, 100]`.
+    ///
+    /// Sorts the window; when several percentiles are needed from the same
+    /// snapshot, use [`LatencyRecorder::percentiles_ms`] to sort once.
     pub fn percentile_ms(&self, p: u32) -> u64 {
+        self.percentiles_ms(&[p])[0]
+    }
+
+    /// Nearest-rank percentiles for every requested `ps` entry, all
+    /// computed from **one** sorted copy of the retained window (the stats
+    /// snapshot path used to re-clone and re-sort the reservoir per
+    /// percentile). Entries are clamped to `[1, 100]`; with no samples
+    /// every answer is 0.
+    pub fn percentiles_ms(&self, ps: &[u32]) -> Vec<u64> {
         if self.samples.is_empty() {
-            return 0;
+            return vec![0; ps.len()];
         }
-        let p = p.clamp(1, 100) as usize;
         let mut sorted = self.samples.clone();
         sorted.sort_unstable();
-        // Nearest rank: the smallest sample with at least p% of samples at
-        // or below it.
-        let rank = (p * sorted.len()).div_ceil(100);
-        sorted[rank - 1]
+        ps.iter()
+            .map(|&p| {
+                let p = p.clamp(1, 100) as usize;
+                // Nearest rank: the smallest sample with at least p% of
+                // samples at or below it.
+                let rank = (p * sorted.len()).div_ceil(100);
+                sorted[rank - 1]
+            })
+            .collect()
     }
 }
 
@@ -167,5 +183,28 @@ mod tests {
         assert_eq!(r.percentile_ms(1), 42);
         assert_eq!(r.percentile_ms(50), 42);
         assert_eq!(r.percentile_ms(99), 42);
+    }
+
+    #[test]
+    fn batched_percentiles_match_individual_calls() {
+        let mut r = LatencyRecorder::new(64);
+        for ms in [9, 3, 27, 81, 1, 243, 729] {
+            r.record(ms);
+        }
+        let batch = r.percentiles_ms(&[1, 50, 99, 100]);
+        assert_eq!(
+            batch,
+            vec![
+                r.percentile_ms(1),
+                r.percentile_ms(50),
+                r.percentile_ms(99),
+                r.percentile_ms(100),
+            ]
+        );
+        assert!(r.percentiles_ms(&[]).is_empty());
+        assert_eq!(
+            LatencyRecorder::new(4).percentiles_ms(&[50, 99]),
+            vec![0, 0]
+        );
     }
 }

@@ -54,7 +54,10 @@ fn submit_poll_stats_shutdown_round_trip() {
         Request::Shutdown,
     ]);
     assert_eq!(responses.len(), 6);
-    assert_eq!(responses[0], Response::Accepted { id: 1 });
+    let Response::Accepted { id: 1, trace_id } = responses[0] else {
+        panic!("expected Accepted for job 1, got {:?}", responses[0]);
+    };
+    assert_ne!(trace_id, 0, "every accepted job carries a correlation id");
 
     let Response::Finished { id: 1, summary } = &responses[1] else {
         panic!("expected Finished for job 1, got {:?}", responses[1]);
@@ -67,7 +70,7 @@ fn submit_poll_stats_shutdown_round_trip() {
         summary.top_outcome
     );
 
-    assert_eq!(responses[2], Response::Accepted { id: 2 });
+    assert!(matches!(responses[2], Response::Accepted { id: 2, .. }));
     assert!(matches!(responses[3], Response::Finished { id: 2, .. }));
 
     let Response::Stats { stats } = &responses[4] else {

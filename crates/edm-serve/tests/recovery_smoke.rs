@@ -51,7 +51,7 @@ fn reference_summary() -> JobSummary {
     let mut child = spawn(&[]);
     let mut out = BufReader::new(child.stdout.take().expect("stdout piped"));
     send(&mut child, &submit());
-    assert_eq!(recv(&mut out), Response::Accepted { id: 1 });
+    assert!(matches!(recv(&mut out), Response::Accepted { id: 1, .. }));
     send(&mut child, &Request::Poll { id: 1 });
     let Response::Finished { id: 1, summary } = recv(&mut out) else {
         panic!("reference run did not finish");
@@ -70,7 +70,7 @@ fn killed_server_replays_its_journal_on_restart() {
     let _ = std::fs::remove_file(&journal);
     let journal_arg = journal.to_str().unwrap();
 
-    let want = reference_summary();
+    let mut want = reference_summary();
 
     // First server: accept the job, then die before ever processing it.
     // The Accepted ack proves the journal entry is on disk (the service
@@ -78,7 +78,14 @@ fn killed_server_replays_its_journal_on_restart() {
     let mut child = spawn(&["--journal", journal_arg]);
     let mut out = BufReader::new(child.stdout.take().expect("stdout piped"));
     send(&mut child, &submit());
-    assert_eq!(recv(&mut out), Response::Accepted { id: 1 });
+    let Response::Accepted {
+        id: 1,
+        trace_id: acked_trace,
+    } = recv(&mut out)
+    else {
+        panic!("first server did not accept the job");
+    };
+    assert_ne!(acked_trace, 0);
     child.kill().expect("kill edm-serve");
     child.wait().expect("reap edm-serve");
 
@@ -90,6 +97,13 @@ fn killed_server_replays_its_journal_on_restart() {
     let Response::Finished { id: 1, summary } = recv(&mut out) else {
         panic!("restarted server did not finish the replayed job");
     };
+    assert_eq!(
+        summary.trace_id, acked_trace,
+        "the replayed job must keep the trace id acknowledged before the crash"
+    );
+    // Trace ids are freshly drawn per process, so the reference run's id
+    // differs by construction; everything else must be bit-identical.
+    want.trace_id = summary.trace_id;
     assert_eq!(summary, want, "replay must be bit-identical");
     send(&mut child, &Request::Shutdown);
     assert_eq!(recv(&mut out), Response::Bye);

@@ -1,0 +1,198 @@
+//! Rendering the metrics registry as Prometheus text format or JSON.
+//!
+//! Both formats are written by hand: the set of types is tiny (counter,
+//! gauge, log₂ histogram), metric names are validated at registration to
+//! the Prometheus-safe charset, and help strings come from string
+//! literals in this workspace — so a serializer dependency would buy
+//! nothing.
+
+use crate::metrics::{HistogramSnapshot, MetricSnapshot, Registry};
+
+/// Renders `registry` in the Prometheus text exposition format
+/// (`text/plain; version=0.0.4`): `# HELP` / `# TYPE` lines, cumulative
+/// `_bucket{le="…"}` series ending in `+Inf`, plus `_sum` and `_count`.
+pub fn prometheus_text(registry: &Registry) -> String {
+    let mut out = String::new();
+    for metric in registry.snapshot() {
+        match metric {
+            MetricSnapshot::Counter { name, help, value } => {
+                header(&mut out, name, help, "counter");
+                out.push_str(&format!("{name} {value}\n"));
+            }
+            MetricSnapshot::Gauge { name, help, value } => {
+                header(&mut out, name, help, "gauge");
+                out.push_str(&format!("{name} {value}\n"));
+            }
+            MetricSnapshot::Histogram {
+                name,
+                help,
+                snapshot,
+            } => {
+                header(&mut out, name, help, "histogram");
+                let mut cumulative = 0u64;
+                for (i, &n) in snapshot.buckets.iter().enumerate() {
+                    cumulative += n;
+                    out.push_str(&format!(
+                        "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                        1u64 << i
+                    ));
+                }
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"+Inf\"}} {}\n",
+                    snapshot.count
+                ));
+                out.push_str(&format!("{name}_sum {}\n", snapshot.sum));
+                out.push_str(&format!("{name}_count {}\n", snapshot.count));
+            }
+        }
+    }
+    out
+}
+
+fn header(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str(&format!("# HELP {name} {}\n", escape_help(help)));
+    out.push_str(&format!("# TYPE {name} {kind}\n"));
+}
+
+/// Prometheus help-text escaping: backslash and newline.
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Renders `registry` as one JSON object:
+/// `{"metrics":[{"name":…,"type":…,…}, …]}`. Histograms carry
+/// non-cumulative finite `buckets` aligned with
+/// [`bucket_bounds`](crate::metrics::bucket_bounds); the `+Inf` count is
+/// `count - sum(buckets)`.
+pub fn json(registry: &Registry) -> String {
+    let mut out = String::from("{\"metrics\":[");
+    for (i, metric) in registry.snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match metric {
+            MetricSnapshot::Counter { name, help, value } => {
+                out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"type\":\"counter\",\"help\":\"{}\",\"value\":{value}}}",
+                    escape_json(help)
+                ));
+            }
+            MetricSnapshot::Gauge { name, help, value } => {
+                out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"type\":\"gauge\",\"help\":\"{}\",\"value\":{value}}}",
+                    escape_json(help)
+                ));
+            }
+            MetricSnapshot::Histogram {
+                name,
+                help,
+                snapshot,
+            } => {
+                out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"type\":\"histogram\",\"help\":\"{}\",{}}}",
+                    escape_json(help),
+                    histogram_json_fields(snapshot)
+                ));
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn histogram_json_fields(snapshot: &HistogramSnapshot) -> String {
+    let buckets: Vec<String> = snapshot.buckets.iter().map(|n| n.to_string()).collect();
+    format!(
+        "\"count\":{},\"sum\":{},\"buckets\":[{}]",
+        snapshot.count,
+        snapshot.sum,
+        buckets.join(",")
+    )
+}
+
+/// Minimal JSON string escaping for help text (always workspace string
+/// literals, but escape defensively).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn sample_registry() -> Registry {
+        crate::set_enabled(true);
+        let r = Registry::new();
+        r.counter("edm_export_hits_total", "Cache hits").add(3);
+        r.gauge("edm_export_depth", "Queue depth").set(-2);
+        let h = r.histogram("edm_export_latency_us", "Latency");
+        h.observe(1);
+        h.observe(3);
+        h.observe(3);
+        r
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let text = prometheus_text(&sample_registry());
+        assert!(text.contains("# HELP edm_export_hits_total Cache hits\n"));
+        assert!(text.contains("# TYPE edm_export_hits_total counter\n"));
+        assert!(text.contains("edm_export_hits_total 3\n"));
+        assert!(text.contains("edm_export_depth -2\n"));
+        // Cumulative buckets: le=1 → 1, le=2 → 1, le=4 → 3, … +Inf → 3.
+        assert!(text.contains("edm_export_latency_us_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("edm_export_latency_us_bucket{le=\"2\"} 1\n"));
+        assert!(text.contains("edm_export_latency_us_bucket{le=\"4\"} 3\n"));
+        assert!(text.contains("edm_export_latency_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("edm_export_latency_us_sum 7\n"));
+        assert!(text.contains("edm_export_latency_us_count 3\n"));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_monotone_cumulative() {
+        let text = prometheus_text(&sample_registry());
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{le=\"")) {
+            let value: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(value >= last, "bucket series must be non-decreasing");
+            last = value;
+        }
+        assert_eq!(last, 3, "+Inf bucket equals count");
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = json(&sample_registry());
+        assert!(j.starts_with("{\"metrics\":["));
+        assert!(j.ends_with("]}"));
+        assert!(j.contains("\"name\":\"edm_export_hits_total\",\"type\":\"counter\",\"help\":\"Cache hits\",\"value\":3"));
+        assert!(j.contains("\"name\":\"edm_export_depth\",\"type\":\"gauge\""));
+        assert!(j.contains("\"count\":3,\"sum\":7,\"buckets\":[1,0,2,"));
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        let r = Registry::new();
+        assert_eq!(prometheus_text(&r), "");
+        assert_eq!(json(&r), "{\"metrics\":[]}");
+    }
+
+    #[test]
+    fn help_escaping() {
+        assert_eq!(escape_help("a\nb\\c"), "a\\nb\\\\c");
+        assert_eq!(escape_json("say \"hi\"\n"), "say \\\"hi\\\"\\n");
+    }
+}

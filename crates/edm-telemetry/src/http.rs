@@ -1,0 +1,176 @@
+//! A minimal HTTP/1.x exposition endpoint on `std::net::TcpListener`.
+//!
+//! Scrapers (Prometheus, `curl`, the CI smoke job) issue simple GETs at a
+//! low rate, so a dependency-free single-thread-per-connection server is
+//! the right amount of machinery. Routes:
+//!
+//! | Path            | Body                                             |
+//! |-----------------|--------------------------------------------------|
+//! | `/metrics`      | Prometheus text format of the global registry    |
+//! | `/metrics.json` | JSON rendering of the global registry            |
+//! | `/healthz`      | `ok\n` (liveness)                                |
+//! | `/spans`        | Flight-recorder dump, JSON lines, oldest first   |
+//!
+//! Anything else is a 404; non-GET methods get a 405.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Handle for a running exposition server (accept loop on a detached
+/// thread). Dropping the handle does not stop the server; it lives for
+/// the process, like the global registry it serves.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+}
+
+impl MetricsServer {
+    /// The bound address. With port 0 requested, this carries the actual
+    /// ephemeral port — callers should print it so scrapers can find it.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+/// Binds `127.0.0.1:port` (0 picks an ephemeral port) and serves the
+/// exposition routes on a detached background thread.
+pub fn serve(port: u16) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    let addr = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("edm-metrics-http".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                // One scrape at a time is plenty; handle inline so a
+                // misbehaving client can't exhaust threads.
+                let _ = handle_connection(stream);
+            }
+        })?;
+    Ok(MetricsServer { addr })
+}
+
+fn handle_connection(stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers so well-behaved clients see us consume the request.
+    let mut header = String::new();
+    while reader.read_line(&mut header)? > 2 {
+        header.clear();
+    }
+
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = route(method, path);
+    respond(stream, status, content_type, &body)
+}
+
+fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".into(),
+        );
+    }
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            crate::export::prometheus_text(crate::metrics::registry()),
+        ),
+        "/metrics.json" => (
+            "200 OK",
+            "application/json",
+            crate::export::json(crate::metrics::registry()),
+        ),
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".into()),
+        "/spans" => (
+            "200 OK",
+            "application/x-ndjson",
+            crate::trace::recorder().dump_json_lines(),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".into(),
+        ),
+    }
+}
+
+fn respond(
+    mut stream: TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_all_routes() {
+        crate::set_enabled(true);
+        crate::counter!("edm_http_test_total", "HTTP test counter").inc();
+        let server = serve(0).expect("bind ephemeral port");
+        let addr = server.addr();
+        assert_ne!(addr.port(), 0, "ephemeral port resolved");
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_eq!(body, "ok\n");
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("edm_http_test_total"));
+
+        let (head, body) = get(addr, "/metrics.json");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(body.starts_with("{\"metrics\":["));
+
+        let (head, _) = get(addr, "/spans");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn rejects_non_get() {
+        let server = serve(0).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"));
+    }
+}

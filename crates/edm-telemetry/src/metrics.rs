@@ -1,0 +1,605 @@
+//! The metrics registry: named counters, gauges, and log-bucketed
+//! histograms with lock-free hot paths.
+//!
+//! Registration (the [`Registry::counter`] family) takes a short-lived
+//! lock once per call site; the [`counter!`](crate::counter),
+//! [`gauge!`](crate::gauge), and [`histogram!`](crate::histogram) macros
+//! cache the returned `&'static` handle in a `OnceLock`, so steady-state
+//! recording touches only relaxed atomics. All recording is gated on the
+//! global [`enabled`](crate::enabled) flag and is a no-op while telemetry
+//! is off.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of finite histogram buckets. Bucket `i` has upper bound
+/// `2^i`, so the finite range spans 1 to 2²⁷ (~134 seconds when the unit
+/// is microseconds); larger observations land in the implicit `+Inf`
+/// bucket.
+pub const HISTOGRAM_BUCKETS: usize = 28;
+
+/// The finite bucket upper bounds (`le` values) of every [`Histogram`]:
+/// `1, 2, 4, …, 2^27`. Fixed at compile time so bucket boundaries are
+/// stable across processes, serialization, and scrapes.
+pub fn bucket_bounds() -> [u64; HISTOGRAM_BUCKETS] {
+    let mut bounds = [0u64; HISTOGRAM_BUCKETS];
+    let mut i = 0;
+    while i < HISTOGRAM_BUCKETS {
+        bounds[i] = 1u64 << i;
+        i += 1;
+    }
+    bounds
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a free-standing counter (tests; production code registers
+    /// through [`Registry::counter`]).
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds 1. No-op while telemetry is disabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. No-op while telemetry is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (queue depth, quarantine
+/// size, breaker state).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a free-standing gauge.
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Sets the gauge. No-op while telemetry is disabled.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (may be negative). No-op while telemetry is disabled.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if crate::enabled() {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A log₂-bucketed histogram of non-negative integer observations
+/// (typically microseconds).
+///
+/// Power-of-two bucket bounds trade resolution (every bucket spans a 2×
+/// range) for a fixed, allocation-free layout whose boundaries never
+/// depend on the data — which is what makes scrapes from different
+/// processes mergeable and serialized snapshots stable.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates a free-standing histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one observation. No-op while telemetry is disabled.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        let idx = Self::bucket_index(value);
+        if idx < HISTOGRAM_BUCKETS {
+            self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        }
+        // idx == HISTOGRAM_BUCKETS lands only in the implicit +Inf
+        // bucket, which is derived from `count` at exposition time.
+    }
+
+    /// Runs `f`, recording its wall time in microseconds. While telemetry
+    /// is disabled this is one relaxed load plus the call — no clock read.
+    #[inline]
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        if !crate::enabled() {
+            return f();
+        }
+        let start = std::time::Instant::now();
+        let out = f();
+        self.observe(start.elapsed().as_micros() as u64);
+        out
+    }
+
+    /// The index of the smallest bucket whose bound covers `value`, or
+    /// `HISTOGRAM_BUCKETS` for overflow into `+Inf`.
+    #[inline]
+    fn bucket_index(value: u64) -> usize {
+        if value <= 1 {
+            return 0;
+        }
+        // ceil(log2(value)): bucket bound 2^i is the first >= value.
+        (64 - (value - 1).leading_zeros()) as usize
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket (non-cumulative) counts, finite buckets only.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Nearest-rank `q`-quantile estimate (`q` in `[0, 1]`), reported as
+    /// the upper bound of the bucket holding that rank. Returns 0 with no
+    /// observations and `u64::MAX` when the rank falls in the `+Inf`
+    /// overflow bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_from_buckets(self.count(), &self.bucket_counts(), q)
+    }
+}
+
+/// Nearest-rank quantile over log₂ bucket counts — shared by live
+/// histograms and deserialized [`HistogramSnapshot`]s.
+pub fn quantile_from_buckets(count: u64, buckets: &[u64], q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * count as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return 1u64 << i;
+        }
+    }
+    u64::MAX
+}
+
+/// An owned point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Non-cumulative finite-bucket counts, aligned with
+    /// [`bucket_bounds`].
+    pub buckets: Vec<u64>,
+}
+
+/// An owned point-in-time copy of one registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSnapshot {
+    /// A counter's value.
+    Counter {
+        /// Registered name.
+        name: &'static str,
+        /// Registered help text.
+        help: &'static str,
+        /// Current value.
+        value: u64,
+    },
+    /// A gauge's value.
+    Gauge {
+        /// Registered name.
+        name: &'static str,
+        /// Registered help text.
+        help: &'static str,
+        /// Current value.
+        value: i64,
+    },
+    /// A histogram's buckets.
+    Histogram {
+        /// Registered name.
+        name: &'static str,
+        /// Registered help text.
+        help: &'static str,
+        /// The copied buckets.
+        snapshot: HistogramSnapshot,
+    },
+}
+
+impl MetricSnapshot {
+    /// The metric's registered name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MetricSnapshot::Counter { name, .. }
+            | MetricSnapshot::Gauge { name, .. }
+            | MetricSnapshot::Histogram { name, .. } => name,
+        }
+    }
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    help: &'static str,
+    metric: Metric,
+}
+
+/// A namespace of registered metrics.
+///
+/// Most code uses the process-global [`registry`]; tests that need
+/// isolation construct their own.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<BTreeMap<&'static str, Entry>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter registered under `name`, registering it (with
+    /// `help`) on first use. The handle is `'static`: metric storage is
+    /// leaked once and lives for the process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is invalid (see [`valid_name`]) or already
+    /// registered as a different metric type.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> &'static Counter {
+        match self.register(name, help, || Metric::Counter(Box::leak(Box::default()))) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, registering it on first
+    /// use. Same contract as [`Registry::counter`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Registry::counter`].
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> &'static Gauge {
+        match self.register(name, help, || Metric::Gauge(Box::leak(Box::default()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, registering it on
+    /// first use. Same contract as [`Registry::counter`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Registry::counter`].
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> &'static Histogram {
+        match self.register(name, help, || Metric::Histogram(Box::leak(Box::default()))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    fn register(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let mut entries = self.entries.lock().expect("registry lock poisoned");
+        let entry = entries.entry(name).or_insert_with(|| Entry {
+            help,
+            metric: make(),
+        });
+        match &entry.metric {
+            Metric::Counter(c) => Metric::Counter(c),
+            Metric::Gauge(g) => Metric::Gauge(g),
+            Metric::Histogram(h) => Metric::Histogram(h),
+        }
+    }
+
+    /// Copies every registered metric's current value, in name order.
+    ///
+    /// Values are read metric-by-metric with relaxed loads, so a snapshot
+    /// taken during concurrent recording is internally consistent per
+    /// metric but not across metrics — fine for monitoring, which is the
+    /// use case.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let entries = self.entries.lock().expect("registry lock poisoned");
+        entries
+            .iter()
+            .map(|(name, entry)| match &entry.metric {
+                Metric::Counter(c) => MetricSnapshot::Counter {
+                    name,
+                    help: entry.help,
+                    value: c.get(),
+                },
+                Metric::Gauge(g) => MetricSnapshot::Gauge {
+                    name,
+                    help: entry.help,
+                    value: g.get(),
+                },
+                Metric::Histogram(h) => MetricSnapshot::Histogram {
+                    name,
+                    help: entry.help,
+                    snapshot: HistogramSnapshot {
+                        count: h.count(),
+                        sum: h.sum(),
+                        buckets: h.bucket_counts().to_vec(),
+                    },
+                },
+            })
+            .collect()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("registry lock poisoned").len()
+    }
+
+    /// Whether nothing is registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The process-global registry every instrumented crate records into.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Whether `name` is a legal metric name: `[a-zA-Z_][a-zA-Z0-9_]*`
+/// (the Prometheus-safe subset; no colons, so exposition never needs
+/// escaping).
+pub fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Looks up (or registers) a counter in the global registry, caching the
+/// `'static` handle so repeat executions of the call site are lock-free.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr, $help:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::metrics::Counter> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::registry().counter($name, $help))
+    }};
+}
+
+/// Looks up (or registers) a gauge in the global registry; see
+/// [`counter!`](crate::counter).
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $help:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::metrics::Gauge> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::registry().gauge($name, $help))
+    }};
+}
+
+/// Looks up (or registers) a histogram in the global registry; see
+/// [`counter!`](crate::counter).
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $help:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::metrics::Histogram> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::registry().histogram($name, $help))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_enabled<T>(f: impl FnOnce() -> T) -> T {
+        crate::set_enabled(true);
+        f()
+        // Deliberately leave telemetry on: tests within one binary share
+        // the flag, and no unit test here asserts disabled behavior (the
+        // `disabled` integration test runs in its own process).
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        with_enabled(|| {
+            let r = Registry::new();
+            let c = r.counter("edm_test_basics_total", "help");
+            c.inc();
+            c.add(4);
+            assert_eq!(c.get(), 5);
+            // Re-registration returns the same handle.
+            assert_eq!(r.counter("edm_test_basics_total", "other").get(), 5);
+
+            let g = r.gauge("edm_test_depth", "help");
+            g.set(7);
+            g.add(-3);
+            assert_eq!(g.get(), 4);
+            assert_eq!(r.len(), 2);
+        });
+    }
+
+    #[test]
+    fn histogram_buckets_observations_by_log2() {
+        with_enabled(|| {
+            let h = Histogram::new();
+            for v in [0, 1, 2, 3, 4, 5, 1000, u64::MAX] {
+                h.observe(v);
+            }
+            assert_eq!(h.count(), 8);
+            let buckets = h.bucket_counts();
+            assert_eq!(buckets[0], 2, "0 and 1 land in le=1");
+            assert_eq!(buckets[1], 1, "2 lands in le=2");
+            assert_eq!(buckets[2], 2, "3 and 4 land in le=4");
+            assert_eq!(buckets[3], 1, "5 lands in le=8");
+            assert_eq!(buckets[10], 1, "1000 lands in le=1024");
+            // u64::MAX overflows every finite bucket.
+            assert_eq!(buckets.iter().sum::<u64>(), 7);
+        });
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        with_enabled(|| {
+            let h = Histogram::new();
+            for _ in 0..90 {
+                h.observe(100); // le=128
+            }
+            for _ in 0..10 {
+                h.observe(10_000); // le=16384
+            }
+            assert_eq!(h.quantile(0.5), 128);
+            assert_eq!(h.quantile(0.99), 16_384);
+            assert_eq!(h.quantile(0.0), 128, "q=0 clamps to the first rank");
+            let empty = Histogram::new();
+            assert_eq!(empty.quantile(0.5), 0);
+        });
+    }
+
+    #[test]
+    fn quantile_in_overflow_reports_max() {
+        with_enabled(|| {
+            let h = Histogram::new();
+            h.observe(u64::MAX);
+            assert_eq!(h.quantile(0.5), u64::MAX);
+        });
+    }
+
+    #[test]
+    fn bucket_bounds_are_powers_of_two() {
+        let bounds = bucket_bounds();
+        assert_eq!(bounds[0], 1);
+        assert_eq!(bounds[HISTOGRAM_BUCKETS - 1], 1 << 27);
+        for w in bounds.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+    }
+
+    #[test]
+    fn snapshot_copies_values_in_name_order() {
+        with_enabled(|| {
+            let r = Registry::new();
+            r.counter("edm_test_snap_b_total", "b").add(2);
+            r.counter("edm_test_snap_a_total", "a").add(1);
+            r.histogram("edm_test_snap_h_us", "h").observe(5);
+            let snap = r.snapshot();
+            let names: Vec<_> = snap.iter().map(|m| m.name()).collect();
+            assert_eq!(
+                names,
+                vec![
+                    "edm_test_snap_a_total",
+                    "edm_test_snap_b_total",
+                    "edm_test_snap_h_us"
+                ]
+            );
+            match &snap[2] {
+                MetricSnapshot::Histogram { snapshot, .. } => {
+                    assert_eq!(snapshot.count, 1);
+                    assert_eq!(snapshot.sum, 5);
+                    assert_eq!(snapshot.buckets.len(), HISTOGRAM_BUCKETS);
+                }
+                other => panic!("expected histogram, got {other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("edm_test_kind_clash", "a");
+        r.gauge("edm_test_kind_clash", "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_name_rejected() {
+        let r = Registry::new();
+        r.counter("bad name with spaces", "help");
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_name("edm_core_execute_us"));
+        assert!(valid_name("_private"));
+        assert!(!valid_name("9starts_with_digit"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("has-dash"));
+        assert!(!valid_name("has:colon"));
+    }
+}

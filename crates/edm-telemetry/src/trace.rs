@@ -1,0 +1,399 @@
+//! Structured span tracing with a bounded in-memory flight recorder.
+//!
+//! A [`Span`] is an RAII guard: creating one records a start time and
+//! pushes the span onto a thread-local parent stack; dropping it computes
+//! the wall time and appends a [`SpanRecord`] to the global
+//! [`FlightRecorder`]. Spans opened while another span is live on the
+//! same thread are linked to it via `parent_id`, so a dump reconstructs
+//! the call tree of each request.
+//!
+//! A *trace id* correlates every span (and journal entry, and response)
+//! belonging to one logical job. [`with_trace`] installs a trace id for
+//! the current thread for the lifetime of its guard; [`next_trace_id`]
+//! mints fresh ones.
+//!
+//! Everything here is gated on the global [`enabled`](crate::enabled)
+//! flag: while telemetry is off, [`span`] returns an inert guard without
+//! reading the clock or touching the recorder.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// How many finished spans the global flight recorder retains.
+pub const FLIGHT_RECORDER_CAPACITY: usize = 4096;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Mints a process-unique, non-zero trace id.
+///
+/// Ids mix a monotone counter with per-process startup entropy so two
+/// runs of the service do not reuse the same id sequence — a replayed
+/// journal keeps its *original* ids while freshly submitted jobs get
+/// distinguishable new ones.
+pub fn next_trace_id() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    static SALT: OnceLock<u64> = OnceLock::new();
+    let salt = *SALT.get_or_init(|| {
+        // Derive entropy from the address of a fresh allocation and the
+        // time; good enough for id disambiguation (not security).
+        let probe = Box::new(0u8);
+        let addr = &*probe as *const u8 as u64;
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        // SplitMix64 finalizer over the combined seed.
+        let mut z = addr ^ now.rotate_left(32);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    });
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    (n ^ salt).max(1)
+}
+
+/// A finished span as retained by the flight recorder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Process-unique span id.
+    pub id: u64,
+    /// Id of the span that was live on this thread when this one opened,
+    /// or 0 for a root span.
+    pub parent_id: u64,
+    /// Trace id installed via [`with_trace`] when the span opened, or 0.
+    pub trace_id: u64,
+    /// Static stage name, e.g. `"transpile"`.
+    pub name: &'static str,
+    /// Wall time from open to drop, in microseconds.
+    pub elapsed_us: u64,
+}
+
+impl SpanRecord {
+    /// Renders the record as one JSON object (used for JSON-lines dumps).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":{},\"parent_id\":{},\"trace_id\":{},\"name\":\"{}\",\"elapsed_us\":{}}}",
+            self.id, self.parent_id, self.trace_id, self.name, self.elapsed_us
+        )
+    }
+}
+
+/// RAII guard for one traced stage. Created by [`span`]; records on drop.
+#[derive(Debug)]
+pub struct Span {
+    /// `None` when telemetry was disabled at open time — drop is a no-op.
+    live: Option<LiveSpan>,
+}
+
+#[derive(Debug)]
+struct LiveSpan {
+    id: u64,
+    parent_id: u64,
+    trace_id: u64,
+    name: &'static str,
+    start: Instant,
+}
+
+/// Opens a span named `name`. While telemetry is disabled this is one
+/// relaxed atomic load and returns an inert guard.
+pub fn span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span { live: None };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent_id = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied().unwrap_or(0);
+        stack.push(id);
+        parent
+    });
+    Span {
+        live: Some(LiveSpan {
+            id,
+            parent_id,
+            trace_id: CURRENT_TRACE.with(|t| t.get()),
+            name,
+            start: Instant::now(),
+        }),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Spans are guards, so drops nest; pop back to (and including)
+            // our id to stay consistent even if an inner guard leaked.
+            while let Some(top) = stack.pop() {
+                if top == live.id {
+                    break;
+                }
+            }
+        });
+        recorder().record(SpanRecord {
+            id: live.id,
+            parent_id: live.parent_id,
+            trace_id: live.trace_id,
+            name: live.name,
+            elapsed_us: live.start.elapsed().as_micros() as u64,
+        });
+    }
+}
+
+/// Guard restoring the previous thread-local trace id on drop.
+#[derive(Debug)]
+pub struct TraceGuard {
+    previous: u64,
+}
+
+/// Installs `trace_id` as the current thread's trace id until the
+/// returned guard drops. Spans opened meanwhile carry it.
+pub fn with_trace(trace_id: u64) -> TraceGuard {
+    let previous = CURRENT_TRACE.with(|t| t.replace(trace_id));
+    TraceGuard { previous }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|t| t.set(self.previous));
+    }
+}
+
+/// The current thread's installed trace id (0 when none).
+pub fn current_trace_id() -> u64 {
+    CURRENT_TRACE.with(|t| t.get())
+}
+
+/// Bounded ring of the most recently finished spans.
+pub struct FlightRecorder {
+    spans: Mutex<VecDeque<SpanRecord>>,
+    capacity: usize,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder retaining at most `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            spans: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity,
+        }
+    }
+
+    fn record(&self, record: SpanRecord) {
+        let mut spans = self.spans.lock().expect("flight recorder lock poisoned");
+        if spans.len() == self.capacity {
+            spans.pop_front();
+        }
+        spans.push_back(record);
+    }
+
+    /// The retained spans, oldest first.
+    pub fn recent(&self) -> Vec<SpanRecord> {
+        self.spans
+            .lock()
+            .expect("flight recorder lock poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Dumps the retained spans as JSON lines (one object per line,
+    /// oldest first), e.g. for `/spans` or an on-error flush.
+    pub fn dump_json_lines(&self) -> String {
+        let spans = self.spans.lock().expect("flight recorder lock poisoned");
+        let mut out = String::with_capacity(spans.len() * 96);
+        for record in spans.iter() {
+            out.push_str(&record.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Discards all retained spans (tests and profile-run isolation).
+    pub fn clear(&self) {
+        self.spans
+            .lock()
+            .expect("flight recorder lock poisoned")
+            .clear();
+    }
+}
+
+/// The global flight recorder all spans report into.
+pub fn recorder() -> &'static FlightRecorder {
+    static RECORDER: OnceLock<FlightRecorder> = OnceLock::new();
+    RECORDER.get_or_init(|| FlightRecorder::new(FLIGHT_RECORDER_CAPACITY))
+}
+
+/// Aggregated wall time for one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTotal {
+    /// Span name.
+    pub name: &'static str,
+    /// How many spans finished under this name.
+    pub calls: u64,
+    /// Summed wall time, microseconds.
+    pub total_us: u64,
+    /// Whether any span with this name was a root (no parent).
+    pub root: bool,
+}
+
+/// Aggregates `records` by span name, preserving first-seen order.
+///
+/// Used by `edm-cli --profile`: summing `total_us` over entries with
+/// `root == true` approximates the instrumented share of wall time,
+/// since child spans nest inside their roots.
+pub fn stage_totals(records: &[SpanRecord]) -> Vec<StageTotal> {
+    let mut totals: Vec<StageTotal> = Vec::new();
+    for record in records {
+        match totals.iter_mut().find(|t| t.name == record.name) {
+            Some(t) => {
+                t.calls += 1;
+                t.total_us += record.elapsed_us;
+                t.root |= record.parent_id == 0;
+            }
+            None => totals.push(StageTotal {
+                name: record.name,
+                calls: 1,
+                total_us: record.elapsed_us,
+                root: record.parent_id == 0,
+            }),
+        }
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record() {
+        crate::set_enabled(true);
+        let (outer_id, inner_id);
+        {
+            let outer = span("outer_test_span");
+            outer_id = outer.live.as_ref().unwrap().id;
+            {
+                let inner = span("inner_test_span");
+                inner_id = inner.live.as_ref().unwrap().id;
+                assert_eq!(inner.live.as_ref().unwrap().parent_id, outer_id);
+            }
+            assert!(inner_id > outer_id);
+        }
+        // The global recorder received both; find them by id.
+        let all = recorder().recent();
+        let inner = all.iter().find(|s| s.id == inner_id).expect("inner span");
+        let outer = all.iter().find(|s| s.id == outer_id).expect("outer span");
+        assert_eq!(inner.parent_id, outer_id);
+        assert_eq!(outer.parent_id, 0);
+        assert_eq!(outer.name, "outer_test_span");
+    }
+
+    #[test]
+    fn trace_guard_restores_previous() {
+        crate::set_enabled(true);
+        assert_eq!(current_trace_id(), 0);
+        {
+            let _a = with_trace(11);
+            assert_eq!(current_trace_id(), 11);
+            {
+                let _b = with_trace(22);
+                assert_eq!(current_trace_id(), 22);
+                let s = span("trace_stamp_test");
+                assert_eq!(s.live.as_ref().unwrap().trace_id, 22);
+            }
+            assert_eq!(current_trace_id(), 11);
+        }
+        assert_eq!(current_trace_id(), 0);
+    }
+
+    #[test]
+    fn recorder_bounds_capacity() {
+        crate::set_enabled(true);
+        let rec = FlightRecorder::new(3);
+        for i in 0..5 {
+            rec.record(SpanRecord {
+                id: i + 1,
+                parent_id: 0,
+                trace_id: 0,
+                name: "bounded",
+                elapsed_us: i,
+            });
+        }
+        let spans = rec.recent();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].id, 3, "oldest entries evicted first");
+        let dump = rec.dump_json_lines();
+        assert_eq!(dump.lines().count(), 3);
+        assert!(dump
+            .lines()
+            .next()
+            .unwrap()
+            .contains("\"name\":\"bounded\""));
+        rec.clear();
+        assert!(rec.recent().is_empty());
+    }
+
+    #[test]
+    fn stage_totals_aggregate_by_name() {
+        let records = vec![
+            SpanRecord {
+                id: 1,
+                parent_id: 0,
+                trace_id: 0,
+                name: "run",
+                elapsed_us: 100,
+            },
+            SpanRecord {
+                id: 2,
+                parent_id: 1,
+                trace_id: 0,
+                name: "transpile",
+                elapsed_us: 40,
+            },
+            SpanRecord {
+                id: 3,
+                parent_id: 1,
+                trace_id: 0,
+                name: "transpile",
+                elapsed_us: 20,
+            },
+        ];
+        let totals = stage_totals(&records);
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals[0].name, "run");
+        assert!(totals[0].root);
+        assert_eq!(totals[1].calls, 2);
+        assert_eq!(totals[1].total_us, 60);
+        assert!(!totals[1].root);
+    }
+
+    #[test]
+    fn trace_ids_unique_and_nonzero() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        // Cannot disable globally (parallel tests share the flag); instead
+        // verify the inert-guard path directly.
+        let s = Span { live: None };
+        drop(s); // must not touch the stack or recorder
+        assert!(SPAN_STACK.with(|st| st.borrow().is_empty()));
+    }
+}

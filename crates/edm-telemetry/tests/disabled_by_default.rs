@@ -1,0 +1,44 @@
+//! Telemetry must be OFF unless something opts in — this binary never
+//! calls `set_enabled`, so it observes the true process default. (It must
+//! stay a separate integration binary: the flag is process-global, and any
+//! test that enables it would leak into these assertions.)
+
+use edm_telemetry::metrics::Registry;
+use edm_telemetry::trace;
+
+#[test]
+fn disabled_process_records_nothing_but_still_returns_values() {
+    assert!(
+        !edm_telemetry::enabled(),
+        "telemetry must default to disabled"
+    );
+
+    let registry = Registry::new();
+    let counter = registry.counter("edm_test_off_total", "Disabled counter");
+    counter.inc();
+    counter.add(100);
+    assert_eq!(counter.get(), 0, "disabled counters must not move");
+
+    let gauge = registry.gauge("edm_test_off_depth", "Disabled gauge");
+    gauge.set(7);
+    gauge.add(3);
+    assert_eq!(gauge.get(), 0, "disabled gauges must not move");
+
+    let hist = registry.histogram("edm_test_off_us", "Disabled histogram");
+    hist.observe(123);
+    let out = hist.time(|| 6 * 7);
+    assert_eq!(out, 42, "time() must pass the closure's value through");
+    assert_eq!(hist.count(), 0, "disabled histograms must not record");
+
+    {
+        let _span = trace::span("disabled_stage");
+    }
+    assert!(
+        trace::recorder().recent().is_empty(),
+        "disabled spans must not reach the flight recorder"
+    );
+
+    // Correlation ids are NOT gated on the flag: they key journal replay,
+    // so a disabled-telemetry service still hands every job a real id.
+    assert_ne!(trace::next_trace_id(), 0);
+}

@@ -38,6 +38,21 @@ pub fn enumerate_subgraph_isomorphisms(
     target: &Topology,
     max_results: usize,
 ) -> Vec<Vec<u32>> {
+    let _span = edm_telemetry::trace::span("vf2_enumerate");
+    let found = edm_telemetry::histogram!(
+        "edm_qdevice_vf2_us",
+        "Wall time of one VF2 subgraph-isomorphism enumeration"
+    )
+    .time(|| enumerate_inner(pattern, target, max_results));
+    edm_telemetry::counter!(
+        "edm_qdevice_vf2_embeddings_total",
+        "Embeddings produced by VF2 enumeration"
+    )
+    .add(found.len() as u64);
+    found
+}
+
+fn enumerate_inner(pattern: &Topology, target: &Topology, max_results: usize) -> Vec<Vec<u32>> {
     let pn = pattern.num_qubits() as usize;
     let tn = target.num_qubits() as usize;
     if pn == 0 || max_results == 0 {

@@ -163,6 +163,15 @@ impl<'a> Transpiler<'a> {
     ///
     /// Propagates placement and routing failures (width, routability).
     pub fn transpile(&self, circuit: &Circuit) -> Result<TranspiledCircuit, MapError> {
+        let _span = edm_telemetry::trace::span("transpile");
+        edm_telemetry::histogram!(
+            "edm_qmap_transpile_us",
+            "Wall time of one Transpiler::transpile call"
+        )
+        .time(|| self.transpile_inner(circuit))
+    }
+
+    fn transpile_inner(&self, circuit: &Circuit) -> Result<TranspiledCircuit, MapError> {
         let basis = circuit.decomposed();
         let layout = match self.swap_free_layout(&basis)? {
             Some(layout) => layout,

@@ -93,7 +93,18 @@ impl NoisySimulator<'_> {
         threads: usize,
     ) -> Vec<Result<Counts, SimError>> {
         assert!(threads > 0, "need at least one thread");
+        edm_telemetry::histogram!(
+            "edm_qsim_batch_us",
+            "Wall time of one run_batch dispatch (all jobs, all slices)"
+        )
+        .time(|| self.run_batch_inner(jobs, threads))
+    }
 
+    fn run_batch_inner(
+        &self,
+        jobs: &[BatchJob<'_>],
+        threads: usize,
+    ) -> Vec<Result<Counts, SimError>> {
         // Flatten jobs into (job, slice) work items so one pool dispatch
         // covers the whole batch — slices of a slow job and of its
         // neighbors interleave freely across workers.
@@ -103,6 +114,21 @@ impl NoisySimulator<'_> {
                 items.push((j, s as u64, slice_shots));
             }
         }
+        edm_telemetry::counter!(
+            "edm_qsim_slices_total",
+            "Shot slices dispatched to the worker pool"
+        )
+        .add(items.len() as u64);
+        edm_telemetry::counter!("edm_qsim_shots_total", "Shots executed by the simulator")
+            .add(jobs.iter().map(|j| j.shots).sum());
+
+        // Per-slice timing is recorded inside the worker closure: a
+        // histogram touch is worker-safe (relaxed atomics, no span stack),
+        // whereas spans on pool threads would surface as parentless roots.
+        let slice_hist = edm_telemetry::histogram!(
+            "edm_qsim_slice_us",
+            "Wall time of one shot slice on a pool worker"
+        );
 
         // `map_catch` contains a panicking slice: it fails only its own
         // job (as a non-transient [`SimError::ExecutionPanicked`]) and the
@@ -110,7 +136,7 @@ impl NoisySimulator<'_> {
         let slice_results = WorkerPool::global()
             .map_catch(&items, threads, |_, &(j, s, n)| {
                 let job = &jobs[j];
-                self.run(job.circuit, n, rngstream::fork(job.seed, s))
+                slice_hist.time(|| self.run(job.circuit, n, rngstream::fork(job.seed, s)))
             })
             .into_iter()
             .map(|r| r.unwrap_or_else(|detail| Err(SimError::ExecutionPanicked { detail })));

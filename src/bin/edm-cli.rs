@@ -3,7 +3,7 @@
 //! ```text
 //! edm-cli draw <circuit.qasm>                 render an ASCII diagram
 //! edm-cli transpile <circuit.qasm> [--seed N] map onto a simulated IBMQ-14
-//! edm-cli run <circuit.qasm> [--shots N] [--seed N] [--threads N]
+//! edm-cli run <circuit.qasm> [--shots N] [--seed N] [--threads N] [--profile]
 //!                                             baseline vs EDM vs WEDM
 //! edm-cli device [--seed N]                   dump the device model as JSON
 //! ```
@@ -95,13 +95,15 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   edm-cli draw <circuit.qasm>
   edm-cli transpile <circuit.qasm> [--seed N]
-  edm-cli run <circuit.qasm> [--shots N] [--seed N] [--threads N]
+  edm-cli run <circuit.qasm> [--shots N] [--seed N] [--threads N] [--profile]
   edm-cli device [--seed N]
 
 run options:
   --threads N   cap execution worker threads, N >= 1 (default: all cores;
                 results are identical for every N — threads only change
                 speed)
+  --profile     enable telemetry for this run and print a per-stage timing
+                table (calls, total ms, % of wall) after the results
 
 exit codes:
   0   success
@@ -164,14 +166,27 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     // flag exists to bound CPU usage, not to pick an RNG schedule.
     let threads = validate::threads(opt_flag(args, "--threads")?)
         .map_err(|e| CliError::usage(format!("--threads: {e}")))?;
+    let profile = args.iter().any(|a| a == "--profile");
     if circuit.count_measure() == 0 {
         return Err(CliError::data(
             "circuit has no measurements; nothing to run",
         ));
     }
-    let correct = ideal::outcome(&circuit).map_err(|e| CliError::other(e.to_string()))?;
-    let device = DeviceModel::synthesize(presets::melbourne14(), seed);
-    let cal = device.calibration();
+    if profile {
+        edm_telemetry::set_enabled(true);
+    }
+    let wall_start = std::time::Instant::now();
+    let correct = {
+        let _span = edm_telemetry::trace::span("ideal_reference");
+        ideal::outcome(&circuit).map_err(|e| CliError::other(e.to_string()))?
+    };
+    let device;
+    let cal;
+    {
+        let _span = edm_telemetry::trace::span("device_setup");
+        device = DeviceModel::synthesize(presets::melbourne14(), seed);
+        cal = device.calibration();
+    }
     let transpiler = Transpiler::new(device.topology(), &cal);
     let backend = NoisySimulator::from_device(&device);
     let mut runner = EdmRunner::new(&transpiler, &backend, EnsembleConfig::default());
@@ -183,6 +198,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         .run_baseline(&circuit, shots, seed)
         .map_err(CliError::run)?;
     let result = runner.run(&circuit, shots, seed).map_err(CliError::run)?;
+    let wall = wall_start.elapsed();
 
     if let RunHealth::Degraded {
         failed_members,
@@ -224,7 +240,54 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             metrics::pst(&m.dist, correct)
         );
     }
+    if profile {
+        print_profile(wall);
+    }
     Ok(())
+}
+
+/// Prints the per-stage timing table `--profile` promises: one row per
+/// traced stage (root stages first, nested stages indented beneath them),
+/// then the root-stage total against the measured wall time. Root spans
+/// never overlap — they all run on the driving thread — so their sum is
+/// directly comparable to wall time.
+fn print_profile(wall: std::time::Duration) {
+    let spans = edm_telemetry::trace::recorder().recent();
+    let totals = edm_telemetry::trace::stage_totals(&spans);
+    let wall_us = (wall.as_micros() as u64).max(1);
+    println!("\nprofile ({} span(s) recorded):", spans.len());
+    println!(
+        "{:<20} {:>6} {:>12} {:>8}",
+        "stage", "calls", "total ms", "% wall"
+    );
+    let ms = |us: u64| us as f64 / 1000.0;
+    let pct = |us: u64| 100.0 * us as f64 / wall_us as f64;
+    let mut root_total_us = 0u64;
+    for stage in totals.iter().filter(|s| s.root) {
+        root_total_us += stage.total_us;
+        println!(
+            "{:<20} {:>6} {:>12.2} {:>7.1}%",
+            stage.name,
+            stage.calls,
+            ms(stage.total_us),
+            pct(stage.total_us)
+        );
+    }
+    for stage in totals.iter().filter(|s| !s.root) {
+        println!(
+            "  {:<18} {:>6} {:>12.2} {:>7.1}%",
+            stage.name,
+            stage.calls,
+            ms(stage.total_us),
+            pct(stage.total_us)
+        );
+    }
+    println!(
+        "stages account for {:.2} ms of {:.2} ms wall ({:.1}%)",
+        ms(root_total_us),
+        ms(wall_us),
+        pct(root_total_us)
+    );
 }
 
 fn cmd_device(args: &[String]) -> Result<(), CliError> {
