@@ -9,5 +9,6 @@
 
 pub mod args;
 pub mod experiments;
+pub mod perfgate;
 pub mod setup;
 pub mod table;

@@ -1,0 +1,246 @@
+//! Performance-regression gate over `BENCH_pipeline.json` documents.
+//!
+//! `pipeline_profile` measures per-stage mean latency; this module turns
+//! two such documents — a committed baseline and a fresh run — into a
+//! pass/fail verdict. CI runs the comparison on every PR
+//! (the `perf-gate` job) so a kernel regression fails the build instead of
+//! landing silently.
+//!
+//! The comparison is intentionally coarse: only a stage's **mean**
+//! microseconds are gated, only when it exceeds a regression `tolerance`
+//! ratio (default 1.25×), and only for stages whose baseline mean is above
+//! a floor (default 50µs — sub-floor stages are timer noise). A stage
+//! present in the baseline but missing from the current run is a failure
+//! too: a silently dropped stage must not read as "infinitely faster".
+
+use serde::{Deserialize, Serialize};
+
+/// Default regression tolerance: a stage may be up to this factor slower
+/// than the baseline before the gate fails.
+pub const DEFAULT_TOLERANCE: f64 = 1.25;
+
+/// Default floor (µs) under which a baseline stage is too fast to gate.
+pub const DEFAULT_MIN_MEAN_US: f64 = 50.0;
+
+/// One stage histogram, digested to the quantiles worth diffing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageLatency {
+    /// Telemetry histogram name (e.g. `edm_core_execute_us`).
+    pub name: String,
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Mean latency in microseconds — the gated quantity.
+    pub mean_us: f64,
+    /// Median latency in microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: u64,
+}
+
+/// One domain counter, carried for context (cache hits, shots, members).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CounterValue {
+    /// Telemetry counter name.
+    pub name: String,
+    /// Final counter value.
+    pub value: u64,
+}
+
+/// The whole document `pipeline_profile` writes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineBench {
+    /// Shots per workload run.
+    pub shots: u64,
+    /// Number of `(workload × seed)` runs profiled.
+    pub workload_runs: u64,
+    /// Per-stage latency digests.
+    pub stages: Vec<StageLatency>,
+    /// Domain counters.
+    pub counters: Vec<CounterValue>,
+}
+
+impl PipelineBench {
+    /// Parses a document from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `serde_json` error when the document does not match the
+    /// schema.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// One gated stage that got slower than the baseline allows (or vanished).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Stage name.
+    pub name: String,
+    /// Baseline mean (µs).
+    pub baseline_mean_us: f64,
+    /// Current mean (µs), or `None` when the stage is missing entirely.
+    pub current_mean_us: Option<f64>,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.current_mean_us {
+            Some(cur) => write!(
+                f,
+                "{}: mean {:.1}µs vs baseline {:.1}µs ({:.2}x)",
+                self.name,
+                cur,
+                self.baseline_mean_us,
+                cur / self.baseline_mean_us
+            ),
+            None => write!(
+                f,
+                "{}: present in baseline (mean {:.1}µs) but missing from current run",
+                self.name, self.baseline_mean_us
+            ),
+        }
+    }
+}
+
+/// Compares a fresh profile against a baseline.
+///
+/// Returns every baseline stage whose current mean exceeds
+/// `baseline mean × tolerance`, or which is missing from `current`.
+/// Baseline stages with a mean below `min_mean_us` are skipped (too fast
+/// to measure reliably), as are stages with zero observations. Stages
+/// that appear only in `current` are ignored — new instrumentation must
+/// not fail the gate until a refreshed baseline covers it.
+pub fn compare(
+    baseline: &PipelineBench,
+    current: &PipelineBench,
+    tolerance: f64,
+    min_mean_us: f64,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for base in &baseline.stages {
+        if base.count == 0 || base.mean_us < min_mean_us {
+            continue;
+        }
+        match current.stages.iter().find(|s| s.name == base.name) {
+            None => regressions.push(Regression {
+                name: base.name.clone(),
+                baseline_mean_us: base.mean_us,
+                current_mean_us: None,
+            }),
+            Some(cur) if cur.mean_us > base.mean_us * tolerance => {
+                regressions.push(Regression {
+                    name: base.name.clone(),
+                    baseline_mean_us: base.mean_us,
+                    current_mean_us: Some(cur.mean_us),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(name: &str, mean_us: f64) -> StageLatency {
+        StageLatency {
+            name: name.to_string(),
+            count: 100,
+            mean_us,
+            p50_us: mean_us as u64,
+            p99_us: (mean_us * 2.0) as u64,
+        }
+    }
+
+    fn doc(stages: Vec<StageLatency>) -> PipelineBench {
+        PipelineBench {
+            shots: 4096,
+            workload_runs: 8,
+            stages,
+            counters: vec![],
+        }
+    }
+
+    #[test]
+    fn identical_profiles_pass() {
+        let base = doc(vec![stage("a", 1000.0), stage("b", 200.0)]);
+        assert!(compare(&base, &base.clone(), DEFAULT_TOLERANCE, DEFAULT_MIN_MEAN_US).is_empty());
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = doc(vec![stage("a", 1000.0)]);
+        let current = doc(vec![stage("a", 1240.0)]);
+        assert!(compare(&base, &current, 1.25, DEFAULT_MIN_MEAN_US).is_empty());
+    }
+
+    #[test]
+    fn inflated_current_fails() {
+        // The acceptance check: feeding the gate a current run slower than
+        // tolerance allows must produce a regression verdict.
+        let base = doc(vec![stage("a", 1000.0), stage("b", 400.0)]);
+        let current = doc(vec![stage("a", 1300.0), stage("b", 410.0)]);
+        let regs = compare(&base, &current, 1.25, DEFAULT_MIN_MEAN_US);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "a");
+        assert_eq!(regs[0].current_mean_us, Some(1300.0));
+        assert!(regs[0].to_string().contains("1.30x"), "{}", regs[0]);
+    }
+
+    #[test]
+    fn missing_stage_fails() {
+        let base = doc(vec![stage("a", 1000.0)]);
+        let current = doc(vec![]);
+        let regs = compare(&base, &current, 1.25, DEFAULT_MIN_MEAN_US);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].current_mean_us, None);
+        assert!(regs[0].to_string().contains("missing"));
+    }
+
+    #[test]
+    fn new_stage_in_current_is_ignored() {
+        let base = doc(vec![stage("a", 1000.0)]);
+        let current = doc(vec![stage("a", 1000.0), stage("new", 9999.0)]);
+        assert!(compare(&base, &current, 1.25, DEFAULT_MIN_MEAN_US).is_empty());
+    }
+
+    #[test]
+    fn sub_floor_stages_are_not_gated() {
+        let base = doc(vec![stage("tiny", 10.0)]);
+        let current = doc(vec![stage("tiny", 500.0)]);
+        // 50x slower, but under the 50µs floor: timer noise, not a verdict.
+        assert!(compare(&base, &current, 1.25, DEFAULT_MIN_MEAN_US).is_empty());
+        // Lowering the floor exposes it.
+        assert_eq!(compare(&base, &current, 1.25, 1.0).len(), 1);
+    }
+
+    #[test]
+    fn tolerance_is_tunable() {
+        let base = doc(vec![stage("a", 1000.0)]);
+        let current = doc(vec![stage("a", 1800.0)]);
+        assert_eq!(compare(&base, &current, 1.25, DEFAULT_MIN_MEAN_US).len(), 1);
+        assert!(compare(&base, &current, 2.0, DEFAULT_MIN_MEAN_US).is_empty());
+    }
+
+    #[test]
+    fn zero_count_stages_are_skipped() {
+        let mut s = stage("idle", 5000.0);
+        s.count = 0;
+        let base = doc(vec![s]);
+        let current = doc(vec![]);
+        assert!(compare(&base, &current, 1.25, DEFAULT_MIN_MEAN_US).is_empty());
+    }
+
+    #[test]
+    fn document_round_trips_through_json() {
+        let base = doc(vec![stage("a", 123.4)]);
+        let json = serde_json::to_string(&base).unwrap();
+        let back = PipelineBench::from_json(&json).unwrap();
+        assert_eq!(back.stages.len(), 1);
+        assert_eq!(back.stages[0].name, "a");
+        assert!((back.stages[0].mean_us - 123.4).abs() < 1e-9);
+        assert_eq!(back.shots, 4096);
+    }
+}

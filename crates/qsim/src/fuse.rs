@@ -1,0 +1,430 @@
+//! Gate fusion: collapsing runs of adjacent single-qubit gates into one
+//! precomputed 2×2 matrix application.
+//!
+//! Trajectory simulation applies the same circuit thousands of times per
+//! job (once per shot that draws a stochastic error). Every symbolic gate
+//! costs a full sweep over the amplitude vector, and parametric gates
+//! additionally pay trig calls to build their matrices. This module moves
+//! both costs to compile time:
+//!
+//! 1. [`gate_matrix`] tabulates the 2×2 unitary of every single-qubit gate
+//!    **once per compiled circuit** (the matrix LUT), instead of
+//!    reconstructing it on every application.
+//! 2. [`fuse`] collapses each *run* of stream-adjacent single-qubit gates
+//!    on the same qubit into a single [`FusedOp`] whose matrix is the
+//!    precomputed product, so an `Rz·Rz·Rx` coherent-error decoration or a
+//!    transpiled Euler-angle chain costs one amplitude sweep, not three.
+//!
+//! # Fusion rule
+//!
+//! The pass keeps a single pending accumulator and scans the primitive
+//! stream in order. A `Unary` primitive on the same qubit as the pending
+//! run multiplies into the accumulator; anything else (a `Unary` on a
+//! different qubit, or a `Cx`) flushes the run and starts fresh. Emitted
+//! ops therefore stay in original stream order, with non-overlapping
+//! primitive ranges and non-decreasing step spans — the property the
+//! trajectory executor relies on to interleave stochastic Pauli events at
+//! the correct step boundaries (a Pauli landing *inside* a fused span
+//! makes the executor replay that op's primitive range instead).
+//!
+//! Fusion changes *when* matrices are multiplied together, never the
+//! circuit's RNG stream: the number and order of random draws per shot is
+//! identical with and without fusion, so the determinism contract
+//! (DESIGN.md §7) is unaffected. The fused product is mathematically the
+//! same operator; floating-point rounding of `(AB)v` vs `A(Bv)` differs at
+//! the ~1e-15 level, which is far below every statistical tolerance in the
+//! workspace.
+
+use crate::complex::{C64, I, ONE, ZERO};
+use qcir::{Gate, Qubit};
+use std::ops::Range;
+
+/// A row-major 2×2 complex matrix: `m[row][column]`.
+pub type Mat2 = [[C64; 2]; 2];
+
+/// The 2×2 identity matrix.
+pub const IDENTITY: Mat2 = [[ONE, ZERO], [ZERO, ONE]];
+
+/// Returns the operand qubit and unitary matrix of a single-qubit gate,
+/// or `None` for multi-qubit gates and measurements.
+///
+/// The matrices are exactly the ones [`crate::StateVector::apply`] uses,
+/// so precomputing them changes nothing but *when* the trig runs.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::{Gate, Qubit};
+/// use qsim::fuse::gate_matrix;
+///
+/// let (q, m) = gate_matrix(&Gate::X(Qubit::new(3))).unwrap();
+/// assert_eq!(q.index(), 3);
+/// assert_eq!(m[0][1].re, 1.0);
+/// assert!(gate_matrix(&Gate::Cx(Qubit::new(0), Qubit::new(1))).is_none());
+/// ```
+pub fn gate_matrix(gate: &Gate) -> Option<(Qubit, Mat2)> {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    match *gate {
+        Gate::H(q) => Some((
+            q,
+            [[C64::real(s), C64::real(s)], [C64::real(s), C64::real(-s)]],
+        )),
+        Gate::X(q) => Some((q, [[ZERO, ONE], [ONE, ZERO]])),
+        Gate::Y(q) => Some((q, [[ZERO, -I], [I, ZERO]])),
+        Gate::Z(q) => Some((q, [[ONE, ZERO], [ZERO, -ONE]])),
+        Gate::S(q) => Some((q, [[ONE, ZERO], [ZERO, I]])),
+        Gate::Sdg(q) => Some((q, [[ONE, ZERO], [ZERO, -I]])),
+        Gate::T(q) => Some((
+            q,
+            [[ONE, ZERO], [ZERO, C64::cis(std::f64::consts::FRAC_PI_4)]],
+        )),
+        Gate::Tdg(q) => Some((
+            q,
+            [[ONE, ZERO], [ZERO, C64::cis(-std::f64::consts::FRAC_PI_4)]],
+        )),
+        Gate::Rx(q, t) => {
+            let (c, sn) = ((t / 2.0).cos(), (t / 2.0).sin());
+            Some((
+                q,
+                [
+                    [C64::real(c), C64::new(0.0, -sn)],
+                    [C64::new(0.0, -sn), C64::real(c)],
+                ],
+            ))
+        }
+        Gate::Ry(q, t) => {
+            let (c, sn) = ((t / 2.0).cos(), (t / 2.0).sin());
+            Some((
+                q,
+                [
+                    [C64::real(c), C64::real(-sn)],
+                    [C64::real(sn), C64::real(c)],
+                ],
+            ))
+        }
+        Gate::Rz(q, t) => Some((q, [[C64::cis(-t / 2.0), ZERO], [ZERO, C64::cis(t / 2.0)]])),
+        Gate::Cx(..)
+        | Gate::Cz(..)
+        | Gate::Swap(..)
+        | Gate::Ccx(..)
+        | Gate::Cswap(..)
+        | Gate::Measure(..) => None,
+    }
+}
+
+/// Matrix product `a · b` (row-major).
+///
+/// Applying gate `B` then gate `A` to a state composes to the single
+/// matrix `matmul(&a, &b)`.
+pub fn matmul(a: &Mat2, b: &Mat2) -> Mat2 {
+    let mut out = [[ZERO; 2]; 2];
+    for (row, a_row) in a.iter().enumerate() {
+        for col in 0..2 {
+            out[row][col] = a_row[0] * b[0][col] + a_row[1] * b[1][col];
+        }
+    }
+    out
+}
+
+/// A primitive simulation operation with everything precomputed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrimOp {
+    /// An arbitrary single-qubit unitary.
+    Unary {
+        /// The operand qubit.
+        qubit: Qubit,
+        /// The precomputed 2×2 matrix.
+        m: Mat2,
+    },
+    /// A controlled-X (exact amplitude permutation, no matrix needed).
+    Cx {
+        /// The control qubit.
+        control: Qubit,
+        /// The target qubit.
+        target: Qubit,
+    },
+}
+
+impl PrimOp {
+    /// True if the op acts on `qubit`.
+    pub fn touches(&self, qubit: Qubit) -> bool {
+        match *self {
+            PrimOp::Unary { qubit: q, .. } => q == qubit,
+            PrimOp::Cx { control, target } => control == qubit || target == qubit,
+        }
+    }
+}
+
+/// One primitive tagged with the *step* (original gate index) it belongs
+/// to. Stochastic error events are keyed by step, so the tag is what lets
+/// the executor apply a fired Pauli after the right gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prim {
+    /// Index of the originating circuit gate (monotonically non-decreasing
+    /// along the primitive stream).
+    pub step: u32,
+    /// The operation.
+    pub op: PrimOp,
+}
+
+impl Prim {
+    /// A single-qubit unitary primitive.
+    pub fn unary(step: u32, qubit: Qubit, m: Mat2) -> Self {
+        Prim {
+            step,
+            op: PrimOp::Unary { qubit, m },
+        }
+    }
+
+    /// A CX primitive.
+    pub fn cx(step: u32, control: Qubit, target: Qubit) -> Self {
+        Prim {
+            step,
+            op: PrimOp::Cx { control, target },
+        }
+    }
+}
+
+/// One fused operation: either a collapsed run of single-qubit gates or a
+/// passthrough CX.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedOp {
+    /// The (possibly fused) operation to apply on the fast path.
+    pub op: PrimOp,
+    /// Step of the first primitive in the run.
+    pub first_step: u32,
+    /// Step of the last primitive in the run.
+    pub last_step: u32,
+    /// The contiguous range of source primitives this op replaces; the
+    /// executor replays them one-by-one when a stochastic Pauli must be
+    /// interleaved strictly inside `first_step..last_step`.
+    pub prims: Range<usize>,
+}
+
+/// Collapses runs of stream-adjacent same-qubit `Unary` primitives.
+///
+/// The output covers the input exactly: fused ops appear in stream order
+/// and their `prims` ranges partition `0..prims.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::{Gate, Qubit};
+/// use qsim::fuse::{fuse, gate_matrix, Prim};
+///
+/// let q0 = Qubit::new(0);
+/// let (_, h) = gate_matrix(&Gate::H(q0)).unwrap();
+/// let (_, t) = gate_matrix(&Gate::T(q0)).unwrap();
+/// // H·T·H on one qubit fuses to a single op.
+/// let prims = [Prim::unary(0, q0, h), Prim::unary(1, q0, t), Prim::unary(2, q0, h)];
+/// let fused = fuse(&prims);
+/// assert_eq!(fused.len(), 1);
+/// assert_eq!(fused[0].prims, 0..3);
+/// ```
+pub fn fuse(prims: &[Prim]) -> Vec<FusedOp> {
+    struct Run {
+        qubit: Qubit,
+        m: Mat2,
+        first_step: u32,
+        last_step: u32,
+        start: usize,
+    }
+
+    fn flush(out: &mut Vec<FusedOp>, run: Option<Run>, end: usize) {
+        if let Some(r) = run {
+            out.push(FusedOp {
+                op: PrimOp::Unary {
+                    qubit: r.qubit,
+                    m: r.m,
+                },
+                first_step: r.first_step,
+                last_step: r.last_step,
+                prims: r.start..end,
+            });
+        }
+    }
+
+    let mut out = Vec::with_capacity(prims.len());
+    let mut run: Option<Run> = None;
+    for (i, p) in prims.iter().enumerate() {
+        if let Some(prev) = prims.get(i.wrapping_sub(1)) {
+            debug_assert!(prev.step <= p.step, "prims must be step-sorted");
+        }
+        match p.op {
+            PrimOp::Unary { qubit, m } => match &mut run {
+                Some(r) if r.qubit == qubit => {
+                    r.m = matmul(&m, &r.m);
+                    r.last_step = p.step;
+                }
+                _ => {
+                    flush(&mut out, run.take(), i);
+                    run = Some(Run {
+                        qubit,
+                        m,
+                        first_step: p.step,
+                        last_step: p.step,
+                        start: i,
+                    });
+                }
+            },
+            PrimOp::Cx { .. } => {
+                flush(&mut out, run.take(), i);
+                out.push(FusedOp {
+                    op: p.op,
+                    first_step: p.step,
+                    last_step: p.step,
+                    prims: i..i + 1,
+                });
+            }
+        }
+    }
+    let end = prims.len();
+    flush(&mut out, run, end);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: u32) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn mat(g: &Gate) -> Mat2 {
+        gate_matrix(g).expect("single-qubit gate").1
+    }
+
+    #[test]
+    fn identity_composes_neutrally() {
+        let h = mat(&Gate::H(q(0)));
+        assert_eq!(matmul(&IDENTITY, &h), h);
+        assert_eq!(matmul(&h, &IDENTITY), h);
+    }
+
+    #[test]
+    fn h_squared_is_identity() {
+        let h = mat(&Gate::H(q(0)));
+        let hh = matmul(&h, &h);
+        for (r, row) in hh.iter().enumerate() {
+            for (c, elem) in row.iter().enumerate() {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!((elem.re - expect).abs() < 1e-15, "hh[{r}][{c}]");
+                assert!(elem.im.abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_qubit_gates_have_no_matrix() {
+        assert!(gate_matrix(&Gate::Cx(q(0), q(1))).is_none());
+        assert!(gate_matrix(&Gate::Swap(q(0), q(1))).is_none());
+        assert!(gate_matrix(&Gate::Measure(q(0), qcir::Clbit::new(0))).is_none());
+    }
+
+    #[test]
+    fn same_qubit_run_fuses_to_one_op() {
+        let prims = [
+            Prim::unary(0, q(0), mat(&Gate::H(q(0)))),
+            Prim::unary(1, q(0), mat(&Gate::T(q(0)))),
+            Prim::unary(2, q(0), mat(&Gate::S(q(0)))),
+        ];
+        let fused = fuse(&prims);
+        assert_eq!(fused.len(), 1);
+        assert_eq!(fused[0].first_step, 0);
+        assert_eq!(fused[0].last_step, 2);
+        assert_eq!(fused[0].prims, 0..3);
+        // Product order: S·T·H (last applied on the left).
+        let expect = matmul(
+            &mat(&Gate::S(q(0))),
+            &matmul(&mat(&Gate::T(q(0))), &mat(&Gate::H(q(0)))),
+        );
+        assert_eq!(
+            fused[0].op,
+            PrimOp::Unary {
+                qubit: q(0),
+                m: expect
+            }
+        );
+    }
+
+    #[test]
+    fn different_qubit_breaks_the_run() {
+        let prims = [
+            Prim::unary(0, q(0), mat(&Gate::H(q(0)))),
+            Prim::unary(1, q(1), mat(&Gate::X(q(1)))),
+            Prim::unary(2, q(0), mat(&Gate::T(q(0)))),
+        ];
+        let fused = fuse(&prims);
+        assert_eq!(fused.len(), 3);
+        assert_eq!(fused[0].prims, 0..1);
+        assert_eq!(fused[1].prims, 1..2);
+        assert_eq!(fused[2].prims, 2..3);
+    }
+
+    #[test]
+    fn cx_breaks_the_run_and_passes_through() {
+        let prims = [
+            Prim::unary(0, q(1), mat(&Gate::H(q(1)))),
+            Prim::cx(1, q(0), q(1)),
+            Prim::unary(1, q(1), mat(&Gate::Rz(q(1), 0.3))),
+            Prim::unary(1, q(1), mat(&Gate::Rx(q(1), 0.18))),
+        ];
+        let fused = fuse(&prims);
+        assert_eq!(fused.len(), 3);
+        assert!(matches!(fused[1].op, PrimOp::Cx { .. }));
+        // The two same-step decorations after the CX fuse together.
+        assert_eq!(fused[2].prims, 2..4);
+        assert_eq!(fused[2].first_step, 1);
+        assert_eq!(fused[2].last_step, 1);
+    }
+
+    #[test]
+    fn ranges_partition_the_stream() {
+        let prims = [
+            Prim::unary(0, q(0), mat(&Gate::H(q(0)))),
+            Prim::unary(1, q(0), mat(&Gate::T(q(0)))),
+            Prim::cx(2, q(0), q(1)),
+            Prim::unary(2, q(0), mat(&Gate::Rz(q(0), 0.1))),
+            Prim::unary(2, q(1), mat(&Gate::Rz(q(1), 0.1))),
+            Prim::unary(3, q(1), mat(&Gate::H(q(1)))),
+        ];
+        let fused = fuse(&prims);
+        let mut next = 0;
+        for f in &fused {
+            assert_eq!(f.prims.start, next, "ranges must tile the stream");
+            assert!(f.prims.end > f.prims.start);
+            next = f.prims.end;
+        }
+        assert_eq!(next, prims.len());
+        // Spans are non-decreasing in stream order.
+        for pair in fused.windows(2) {
+            assert!(
+                pair[0].last_step <= pair[1].first_step || pair[0].last_step == pair[1].last_step
+            );
+            assert!(pair[0].first_step <= pair[1].first_step);
+        }
+    }
+
+    #[test]
+    fn empty_stream_fuses_to_nothing() {
+        assert!(fuse(&[]).is_empty());
+    }
+
+    #[test]
+    fn touches_reports_operands() {
+        let cx = PrimOp::Cx {
+            control: q(0),
+            target: q(2),
+        };
+        assert!(cx.touches(q(0)));
+        assert!(cx.touches(q(2)));
+        assert!(!cx.touches(q(1)));
+        let u = PrimOp::Unary {
+            qubit: q(1),
+            m: IDENTITY,
+        };
+        assert!(u.touches(q(1)));
+        assert!(!u.touches(q(0)));
+    }
+}

@@ -47,6 +47,7 @@ pub mod complex;
 pub mod counts;
 pub mod density;
 mod error;
+pub mod fuse;
 pub mod ideal;
 mod noise;
 pub mod observables;
@@ -59,5 +60,5 @@ pub mod verify;
 pub use counts::Counts;
 pub use density::{DensityMatrix, DensitySimulator};
 pub use error::SimError;
-pub use noise::{NoisySimulator, SimOptions};
+pub use noise::{CompiledCircuit, NoisySimulator, SimOptions, SimScratch};
 pub use statevector::StateVector;

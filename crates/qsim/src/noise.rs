@@ -19,11 +19,38 @@
 //! Idle-qubit decoherence is not modeled (only gate operands decohere); the
 //! paper's shallow workloads keep qubits busy, so this mainly affects
 //! absolute PST, not the correlation structure.
+//!
+//! # Execution model
+//!
+//! [`NoisySimulator::compile`] lowers a circuit once into a
+//! [`CompiledCircuit`]: gate matrices tabulated, adjacent single-qubit
+//! gates fused ([`crate::fuse`]), stochastic error sites flattened into
+//! lookup tables with a precomputed survival-product table, readout flip
+//! probabilities baked per measurement, and the coherent-only ("clean")
+//! outcome distribution cached. [`CompiledCircuit::run_into`] then executes
+//! shots against reusable [`SimScratch`] buffers: after the first shot has
+//! warmed the buffers, the steady-state shot loop performs **zero heap
+//! allocations** (verified by a counting-allocator test).
+//!
+//! Per shot, the fired-event set is drawn by *skip sampling* over the
+//! survival table: one uniform draw decides how far the scan jumps to the
+//! next firing site (an exact sample of the independent per-site Bernoulli
+//! process — see [`CompiledCircuit::sample_events`]), so a shot costs
+//! `O(1 + #fired)` RNG draws instead of one draw per error site. The
+//! resulting histogram remains a pure function of `(circuit, shots, seed)`
+//! and is bit-identical across thread counts (DESIGN.md §7); the draw
+//! *schedule* differs from pre-compile-era versions of this crate, which
+//! only re-rolls which equally-distributed histogram a given seed labels.
 
+use crate::complex::C64;
 use crate::counts::Counts;
 use crate::error::SimError;
+use crate::fuse::{self, FusedOp, Prim};
 use crate::ideal;
-use crate::statevector::StateVector;
+use crate::statevector::{
+    apply_1q_kernel, apply_cx_kernel, apply_x_kernel, apply_y_kernel, apply_z_kernel, reset_zero,
+    sample_kernel, StateVector,
+};
 use qcir::{Circuit, Gate, Qubit};
 use qdevice::{DeviceModel, Edge, NoiseParams, Topology};
 use rand::{Rng, SeedableRng};
@@ -116,6 +143,17 @@ pub struct NoisySimulator<'a> {
     options: SimOptions,
 }
 
+/// Event probabilities are clamped below 1 so the survival products in the
+/// skip-sampling table stay strictly positive. A "certain" error channel is
+/// already unphysical; losing 1e-9 of its firing probability is invisible
+/// to every statistical tolerance in the workspace.
+const MAX_EVENT_PROB: f64 = 1.0 - 1e-9;
+
+/// Outcome histograms are accumulated in a dense per-scratch array (zero
+/// allocation, O(1) record) when the classical register has at most this
+/// many bits; wider registers fall back to direct `Counts` recording.
+const DENSE_HIST_BITS: u32 = 12;
+
 impl<'a> NoisySimulator<'a> {
     /// Creates a simulator over an explicit topology and noise parameters.
     ///
@@ -154,6 +192,11 @@ impl<'a> NoisySimulator<'a> {
     /// Runs `shots` noisy trials of `circuit` and returns the outcome
     /// histogram. Deterministic for a fixed `(circuit, shots, seed)`.
     ///
+    /// Equivalent to [`NoisySimulator::compile`] followed by one
+    /// [`CompiledCircuit::run_into`] with the same seed — callers that run
+    /// the same circuit repeatedly (slices, ensemble members, rounds)
+    /// should compile once and reuse the plan and a [`SimScratch`].
+    ///
     /// The circuit must already be *physical*: lowered to the
     /// `{single-qubit, CX, measure}` basis with every CX on a coupled pair
     /// (use the `qmap` transpiler to get there).
@@ -167,61 +210,24 @@ impl<'a> NoisySimulator<'a> {
     ///   invalid measurement structure.
     pub fn run(&self, circuit: &Circuit, shots: u64, seed: u64) -> Result<Counts, SimError> {
         let plan = self.compile(circuit)?;
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut counts = Counts::new(circuit.num_clbits());
-
-        // Coherent-only reference state: reused for every shot in which no
-        // stochastic event fires.
-        let clean = plan.run_trajectory(&[]);
-        let clean_cum = cumulative(&clean.probabilities());
-
-        let mut fired: Vec<FiredEvent> = Vec::new();
-        for _ in 0..shots {
-            fired.clear();
-            for (event, spec) in plan.events.iter().enumerate() {
-                if rng.gen::<f64>() < spec.prob {
-                    // Outcomes were tabulated at compile time; sampling is
-                    // an index draw, no per-shot allocation. Deterministic
-                    // channels (one outcome) consume no RNG draw.
-                    let outcome = if spec.outcomes.len() > 1 {
-                        rng.gen_range(0..spec.outcomes.len())
-                    } else {
-                        0
-                    };
-                    fired.push(FiredEvent {
-                        step: spec.step,
-                        event,
-                        outcome,
-                    });
-                }
-            }
-            let basis = if fired.is_empty() {
-                sample_cumulative(&clean_cum, &mut rng)
-            } else {
-                plan.run_trajectory(&fired).sample(&mut rng)
-            };
-            let mut key = 0u64;
-            for &(phys, dense, clbit) in &plan.measurements {
-                let mut bit = (basis >> dense) & 1;
-                if self.options.readout_error {
-                    let flip_prob = if bit == 1 {
-                        self.params.readout_p10[phys as usize]
-                    } else {
-                        self.params.readout_p01[phys as usize]
-                    };
-                    if rng.gen::<f64>() < flip_prob {
-                        bit ^= 1;
-                    }
-                }
-                key |= (bit as u64) << clbit;
-            }
-            counts.record(key);
-        }
+        let mut counts = Counts::new(plan.num_clbits());
+        plan.run_into(shots, seed, &mut SimScratch::new(), &mut counts);
         Ok(counts)
     }
 
-    /// Validates and lowers a circuit into an executable plan.
-    fn compile(&self, circuit: &Circuit) -> Result<Plan, SimError> {
+    /// Validates and lowers a circuit into a reusable execution plan.
+    ///
+    /// Compilation does all per-circuit work once — gate-matrix
+    /// tabulation, single-qubit fusion, noise-event lookup tables, the
+    /// survival-product table, baked readout probabilities, and the
+    /// coherent-only outcome distribution — so that per-shot work is pure
+    /// table lookups. The plan borrows nothing: it can be shared across
+    /// threads and outlives the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NoisySimulator::run`].
+    pub fn compile(&self, circuit: &Circuit) -> Result<CompiledCircuit, SimError> {
         if circuit.num_qubits() > self.topology.num_qubits() {
             return Err(SimError::TooManyQubits {
                 circuit: circuit.num_qubits(),
@@ -239,11 +245,10 @@ impl<'a> NoisySimulator<'a> {
         }
         let dq = |q: Qubit| Qubit::new(dense[q.usize()]);
 
-        let mut steps: Vec<Vec<Gate>> = Vec::with_capacity(circuit.len());
-        let mut events: Vec<EventSpec> = Vec::new();
+        let mut prims: Vec<Prim> = Vec::with_capacity(circuit.len());
+        let mut lut = EventLut::default();
+        let mut step = 0u32;
         for g in circuit.iter() {
-            let step_idx = steps.len();
-            let mut step: Vec<Gate> = Vec::with_capacity(1);
             match *g {
                 Gate::Cx(a, b) => {
                     if !self.topology.has_edge(a.index(), b.index()) {
@@ -253,13 +258,13 @@ impl<'a> NoisySimulator<'a> {
                         });
                     }
                     let e = Edge::new(a.index(), b.index());
-                    step.push(Gate::Cx(dq(a), dq(b)));
+                    prims.push(Prim::cx(step, dq(a), dq(b)));
                     if self.options.coherent_errors {
                         let theta = self.params.coherent_cx_angle[&e];
                         if theta != 0.0 {
-                            step.push(Gate::Rz(dq(a), theta));
-                            step.push(Gate::Rz(dq(b), theta));
-                            step.push(Gate::Rx(dq(b), 0.6 * theta));
+                            prims.push(unary(step, Gate::Rz(dq(a), theta)));
+                            prims.push(unary(step, Gate::Rz(dq(b), theta)));
+                            prims.push(unary(step, Gate::Rx(dq(b), 0.6 * theta)));
                         }
                     }
                     if self.options.crosstalk {
@@ -271,22 +276,23 @@ impl<'a> NoisySimulator<'a> {
                                         && n != b.index()
                                         && dense[n as usize] != u32::MAX
                                     {
-                                        step.push(Gate::Rz(Qubit::new(dense[n as usize]), chi));
+                                        let nq = Qubit::new(dense[n as usize]);
+                                        prims.push(unary(step, Gate::Rz(nq, chi)));
                                     }
                                 }
                             }
                         }
                     }
                     if self.options.stochastic_gate_noise {
-                        events.push(EventSpec::new(
-                            step_idx,
+                        lut.push(
+                            step,
                             self.params.cx_err[&e],
                             EventKind::Depol2(dq(a), dq(b)),
-                        ));
+                        );
                     }
                     if self.options.decoherence {
-                        self.push_relaxation(&mut events, step_idx, a, dq(a), true);
-                        self.push_relaxation(&mut events, step_idx, b, dq(b), true);
+                        self.push_relaxation(&mut lut, step, a, dq(a), true);
+                        self.push_relaxation(&mut lut, step, b, dq(b), true);
                     }
                 }
                 Gate::Measure(..) => {
@@ -295,41 +301,70 @@ impl<'a> NoisySimulator<'a> {
                 }
                 ref g1 if g1.is_single_qubit() => {
                     let q = g1.qubits()[0];
-                    step.push(g1.map_qubits(dq));
+                    prims.push(unary(step, g1.map_qubits(dq)));
                     if self.options.stochastic_gate_noise {
-                        events.push(EventSpec::new(
-                            step_idx,
+                        lut.push(
+                            step,
                             self.params.gate_1q_err[q.usize()],
                             EventKind::Depol1(dq(q)),
-                        ));
+                        );
                     }
                     if self.options.decoherence {
-                        self.push_relaxation(&mut events, step_idx, q, dq(q), false);
+                        self.push_relaxation(&mut lut, step, q, dq(q), false);
                     }
                 }
                 ref other => {
                     return Err(SimError::UnsupportedGate { name: other.name() });
                 }
             }
-            steps.push(step);
+            step += 1;
         }
 
         let measurements = meas
             .iter()
-            .map(|&(q, c)| (q.index(), dense[q.usize()], c.index()))
+            .map(|&(q, c)| MeasSite {
+                dense: dense[q.usize()],
+                clbit: c.index(),
+                p01: self.params.readout_p01[q.usize()],
+                p10: self.params.readout_p10[q.usize()],
+            })
             .collect();
-        Ok(Plan {
+
+        let fused = fuse::fuse(&prims);
+        let survival = lut.survival();
+        let mut plan = CompiledCircuit {
             num_dense_qubits: active.len() as u32,
-            steps,
-            events,
+            num_clbits: circuit.num_clbits(),
+            prims,
+            fused,
+            events: lut.events,
+            outcomes: lut.outcomes,
+            pauli_terms: lut.pauli_terms,
+            survival,
             measurements,
-        })
+            readout: self.options.readout_error,
+            clean_cum: Vec::new(),
+        };
+
+        // Coherent-only reference distribution: computed once here, reused
+        // for every shot in which no stochastic event fires.
+        let mut amps = Vec::new();
+        plan.run_trajectory_into(&[], &mut amps);
+        let mut acc = 0.0;
+        plan.clean_cum = amps
+            .iter()
+            .map(|a| {
+                acc += a.norm_sqr();
+                acc
+            })
+            .collect();
+        Ok(plan)
     }
 
     fn push_relaxation(
         &self,
-        events: &mut Vec<EventSpec>,
-        step: usize,
+        lut: &mut EventLut,
+        step: u32,
         phys: Qubit,
         dense: Qubit,
         two_qubit: bool,
@@ -341,75 +376,368 @@ impl<'a> NoisySimulator<'a> {
         };
         let p_bit = 0.5 * (1.0 - (-t / self.params.t1_us[phys.usize()]).exp());
         let p_phase = 0.5 * (1.0 - (-t / self.params.t2_us[phys.usize()]).exp());
-        if p_bit > 0.0 {
-            events.push(EventSpec::new(step, p_bit, EventKind::BitFlip(dense)));
-        }
-        if p_phase > 0.0 {
-            events.push(EventSpec::new(step, p_phase, EventKind::PhaseFlip(dense)));
-        }
+        lut.push(step, p_bit, EventKind::BitFlip(dense));
+        lut.push(step, p_phase, EventKind::PhaseFlip(dense));
     }
 }
 
-/// A lowered, validated execution plan over densely re-indexed qubits.
-struct Plan {
-    num_dense_qubits: u32,
-    /// Per original gate: the ideal unitary followed by its deterministic
-    /// coherent-error unitaries.
-    steps: Vec<Vec<Gate>>,
-    /// Stochastic error sites with their firing probabilities.
-    events: Vec<EventSpec>,
-    /// `(physical qubit, dense qubit, classical bit)` per measurement.
-    measurements: Vec<(u32, u32, u32)>,
+/// Builds a single-qubit unitary primitive from a symbolic gate.
+fn unary(step: u32, gate: Gate) -> Prim {
+    let (q, m) = fuse::gate_matrix(&gate).expect("single-qubit gate");
+    Prim::unary(step, q, m)
 }
 
-impl Plan {
-    /// Runs one trajectory with the given fired events (sorted by step).
-    fn run_trajectory(&self, fired: &[FiredEvent]) -> StateVector {
-        let mut sv = StateVector::zero_state(self.num_dense_qubits);
-        let mut fi = 0;
-        for (si, step) in self.steps.iter().enumerate() {
-            for g in step {
-                sv.apply(g);
-            }
-            while fi < fired.len() && fired[fi].step == si {
-                let hit = &fired[fi];
-                for &(q, pauli) in &self.events[hit.event].outcomes[hit.outcome] {
-                    match pauli {
-                        Pauli::X => sv.apply(&Gate::X(q)),
-                        Pauli::Y => sv.apply(&Gate::Y(q)),
-                        Pauli::Z => sv.apply(&Gate::Z(q)),
+/// A validated, fully lowered execution plan: fused gate stream, flat
+/// noise-event lookup tables, baked readout probabilities, and the cached
+/// coherent-only outcome distribution.
+///
+/// Owns all of its data (no borrows), so one compiled plan can be shared
+/// by every slice of a parallel run. Produced by
+/// [`NoisySimulator::compile`]; executed by [`CompiledCircuit::run_into`].
+#[derive(Debug, Clone)]
+pub struct CompiledCircuit {
+    num_dense_qubits: u32,
+    num_clbits: u32,
+    /// Unfused step-tagged primitives (the slow path when a fired Pauli
+    /// lands strictly inside a fused span).
+    prims: Vec<Prim>,
+    /// The fused fast-path stream.
+    fused: Vec<FusedOp>,
+    /// Stochastic error sites in step order.
+    events: Vec<EventSite>,
+    /// Flat outcome directory across all events.
+    outcomes: Vec<OutcomeDesc>,
+    /// Flat Pauli-term pool across all outcomes.
+    pauli_terms: Vec<PauliTerm>,
+    /// `survival[i] = Π_{j<i} (1 - p_j)`; length `events.len() + 1`. The
+    /// per-slice LUT that skip sampling walks instead of drawing one
+    /// uniform per event site per shot.
+    survival: Vec<f64>,
+    /// Measurement sites with readout-flip probabilities baked in.
+    measurements: Vec<MeasSite>,
+    /// Whether readout flips are applied (and their draws consumed).
+    readout: bool,
+    /// Cumulative probabilities of the coherent-only ("clean") state.
+    clean_cum: Vec<f64>,
+}
+
+impl CompiledCircuit {
+    /// Width of the dense (re-indexed) state vector in qubits.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_dense_qubits
+    }
+
+    /// Width of the classical register outcomes are recorded under.
+    pub fn num_clbits(&self) -> u32 {
+        self.num_clbits
+    }
+
+    /// Number of stochastic error sites in the plan.
+    pub fn num_event_sites(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of fused operations on the fast path (≤ the primitive
+    /// count; the gap is what fusion saved per trajectory).
+    pub fn num_fused_ops(&self) -> usize {
+        self.fused.len()
+    }
+
+    /// Number of unfused primitives.
+    pub fn num_prims(&self) -> usize {
+        self.prims.len()
+    }
+
+    /// Runs `shots` trials with the given seed, accumulating outcomes into
+    /// `counts`. Deterministic for a fixed `(plan, shots, seed)`;
+    /// histograms produced this way are exactly what
+    /// [`NoisySimulator::run`] returns for the same arguments.
+    ///
+    /// `scratch` provides the working buffers (state vector, fired-event
+    /// list, dense histogram). After the buffers have grown to this plan's
+    /// sizes — one warm shot suffices — the shot loop performs no heap
+    /// allocation: reuse the same scratch across calls to stay in steady
+    /// state. Registers wider than 12 classical bits fall back from the
+    /// dense histogram to direct `Counts` recording, which may allocate
+    /// per newly seen outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` was created with a different classical-register
+    /// width than the compiled circuit's.
+    pub fn run_into(&self, shots: u64, seed: u64, scratch: &mut SimScratch, counts: &mut Counts) {
+        assert_eq!(
+            counts.num_clbits(),
+            self.num_clbits,
+            "counts width must match the compiled circuit"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let dense = self.num_clbits <= DENSE_HIST_BITS;
+        let hist_len = 1usize << self.num_clbits.min(DENSE_HIST_BITS);
+        if dense && scratch.hist.len() < hist_len {
+            scratch.hist.resize(hist_len, 0);
+        }
+
+        for _ in 0..shots {
+            scratch.fired.clear();
+            self.sample_events(&mut rng, &mut scratch.fired);
+            let basis = if scratch.fired.is_empty() {
+                sample_cumulative(&self.clean_cum, &mut rng)
+            } else {
+                self.run_trajectory_into(&scratch.fired, &mut scratch.amps);
+                sample_kernel(&scratch.amps, &mut rng)
+            };
+            let mut key = 0u64;
+            for m in &self.measurements {
+                let mut bit = (basis >> m.dense) & 1;
+                if self.readout {
+                    let flip_prob = if bit == 1 { m.p10 } else { m.p01 };
+                    if rng.gen::<f64>() < flip_prob {
+                        bit ^= 1;
                     }
                 }
-                fi += 1;
+                key |= (bit as u64) << m.clbit;
+            }
+            if dense {
+                scratch.hist[key as usize] += 1;
+            } else {
+                counts.record(key);
             }
         }
-        sv
+
+        if dense {
+            for (outcome, slot) in scratch.hist[..hist_len].iter_mut().enumerate() {
+                if *slot > 0 {
+                    counts.record_n(outcome as u64, *slot);
+                    *slot = 0;
+                }
+            }
+        }
+    }
+
+    /// Draws this shot's fired-event set by skip sampling over the
+    /// survival table.
+    ///
+    /// With per-site firing probabilities `p_i` and prefix survival
+    /// products `S_i = Π_{j<i}(1-p_j)`, the first site at or after cursor
+    /// `k` to fire is distributed as `P(i) = (S_i/S_k)·p_i` with
+    /// `P(none) = S_n/S_k`. One uniform draw `u` maps to
+    /// `w = (1-u)·S_k`; "no further site fires" iff `w < S_n`, otherwise
+    /// the firing site is the smallest `i` with `S_{i+1} ≤ w` (binary
+    /// search — `S` is non-increasing). Repeating from `k = i+1` samples
+    /// the exact joint distribution of the independent Bernoulli sites in
+    /// `O((1 + #fired)·log n)` instead of `n` draws.
+    fn sample_events(&self, rng: &mut ChaCha8Rng, fired: &mut Vec<FiredPauli>) {
+        let n = self.events.len();
+        if n == 0 {
+            return;
+        }
+        let mut k = 0usize;
+        loop {
+            let u: f64 = rng.gen();
+            let w = (1.0 - u) * self.survival[k];
+            if w < self.survival[n] {
+                return;
+            }
+            let i = k + self.survival[k + 1..=n].partition_point(|&t| t > w);
+            debug_assert!(i < n);
+            let site = self.events[i];
+            let oi = if site.outcome_count > 1 {
+                site.outcome_start + rng.gen_range(0..site.outcome_count)
+            } else {
+                site.outcome_start
+            };
+            let od = self.outcomes[oi as usize];
+            let terms = &self.pauli_terms[od.start as usize..od.start as usize + od.len as usize];
+            for t in terms {
+                fired.push(FiredPauli {
+                    step: site.step,
+                    bit: t.bit,
+                    pauli: t.pauli,
+                });
+            }
+            k = i + 1;
+            if k == n {
+                return;
+            }
+        }
+    }
+
+    /// Runs one trajectory with the given fired Paulis (step-sorted) into
+    /// `amps`, reusing its capacity.
+    ///
+    /// Fast path: walk the fused stream, applying pending Paulis whose
+    /// step precedes each op's span. A Pauli landing strictly inside a
+    /// fused span `[first_step, last_step)` forces that op to replay its
+    /// unfused primitive range with exact step interleaving; Paulis at a
+    /// step apply after *all* primitives of that step, exactly as the
+    /// unfused executor ordered them.
+    fn run_trajectory_into(&self, fired: &[FiredPauli], amps: &mut Vec<C64>) {
+        reset_zero(amps, self.num_dense_qubits);
+        let mut fi = 0;
+        for f in &self.fused {
+            while fi < fired.len() && fired[fi].step < f.first_step {
+                apply_pauli(amps, fired[fi]);
+                fi += 1;
+            }
+            if fi < fired.len() && fired[fi].step < f.last_step {
+                for p in &self.prims[f.prims.clone()] {
+                    while fi < fired.len() && fired[fi].step < p.step {
+                        apply_pauli(amps, fired[fi]);
+                        fi += 1;
+                    }
+                    apply_prim(amps, &p.op);
+                }
+            } else {
+                apply_prim(amps, &f.op);
+            }
+        }
+        while fi < fired.len() {
+            apply_pauli(amps, fired[fi]);
+            fi += 1;
+        }
+    }
+
+    /// The coherent-only ("clean") trajectory as a state vector — the
+    /// state every no-event shot samples from.
+    pub fn clean_statevector(&self) -> StateVector {
+        let mut amps = Vec::new();
+        self.run_trajectory_into(&[], &mut amps);
+        StateVector::from_amplitudes(self.num_dense_qubits, amps)
     }
 }
 
-/// A stochastic error site with its outcome table precomputed at compile
-/// time.
+/// Reusable per-thread working buffers for [`CompiledCircuit::run_into`].
 ///
-/// All channels here have *uniform* outcome distributions, so the general
-/// alias-table construction degenerates to direct indexing: firing an
-/// event draws one uniform index into `outcomes` instead of rebuilding the
-/// Pauli string (and allocating it) on every fired event in the per-shot
-/// hot loop.
-#[derive(Debug, Clone)]
-struct EventSpec {
-    step: usize,
-    prob: f64,
-    /// Every Pauli string this event can apply; sampled uniformly.
-    outcomes: Vec<Vec<(Qubit, Pauli)>>,
+/// Holds the trajectory state vector, the fired-event list, and the dense
+/// outcome histogram. Buffers only ever grow; once warm for a given plan
+/// size, the shot loop allocates nothing. One scratch serves any sequence
+/// of plans (workers keep a thread-local instance across slices and
+/// batches).
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    amps: Vec<C64>,
+    fired: Vec<FiredPauli>,
+    hist: Vec<u64>,
 }
 
-impl EventSpec {
-    fn new(step: usize, prob: f64, kind: EventKind) -> Self {
-        EventSpec {
-            step,
-            prob,
-            outcomes: kind.outcome_table(),
+impl SimScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+fn apply_prim(amps: &mut [C64], op: &fuse::PrimOp) {
+    match *op {
+        fuse::PrimOp::Unary { qubit, m } => {
+            apply_1q_kernel(amps, 1usize << qubit.index(), &m);
         }
+        fuse::PrimOp::Cx { control, target } => {
+            apply_cx_kernel(amps, 1usize << control.index(), 1usize << target.index());
+        }
+    }
+}
+
+fn apply_pauli(amps: &mut [C64], fp: FiredPauli) {
+    match fp.pauli {
+        Pauli::X => apply_x_kernel(amps, fp.bit),
+        Pauli::Y => apply_y_kernel(amps, fp.bit),
+        Pauli::Z => apply_z_kernel(amps, fp.bit),
+    }
+}
+
+/// One stochastic error site: its step and the slice of the flat outcome
+/// directory it samples from (uniformly) when it fires.
+#[derive(Debug, Clone, Copy)]
+struct EventSite {
+    step: u32,
+    outcome_start: u32,
+    outcome_count: u32,
+}
+
+/// One possible outcome of an event: a run of [`PauliTerm`]s in the flat
+/// pool (at most two — the channels here are 1- and 2-qubit Paulis).
+#[derive(Debug, Clone, Copy)]
+struct OutcomeDesc {
+    start: u32,
+    len: u8,
+}
+
+/// A single Pauli factor, with the qubit pre-lowered to its index mask.
+#[derive(Debug, Clone, Copy)]
+struct PauliTerm {
+    bit: usize,
+    pauli: Pauli,
+}
+
+/// A measurement site with its readout-flip probabilities baked in.
+#[derive(Debug, Clone, Copy)]
+struct MeasSite {
+    dense: u32,
+    clbit: u32,
+    p01: f64,
+    p10: f64,
+}
+
+/// A Pauli drawn for this shot, pre-expanded to (step, qubit mask, kind).
+#[derive(Debug, Clone, Copy)]
+struct FiredPauli {
+    step: u32,
+    bit: usize,
+    pauli: Pauli,
+}
+
+/// Accumulates the flat event lookup tables during compilation.
+#[derive(Debug, Default)]
+struct EventLut {
+    events: Vec<EventSite>,
+    probs: Vec<f64>,
+    outcomes: Vec<OutcomeDesc>,
+    pauli_terms: Vec<PauliTerm>,
+}
+
+impl EventLut {
+    /// Appends an event site, flattening its outcome table. Zero-probability
+    /// sites are dropped (they can never fire) and probabilities are clamped
+    /// to [`MAX_EVENT_PROB`].
+    fn push(&mut self, step: u32, prob: f64, kind: EventKind) {
+        let p = prob.clamp(0.0, MAX_EVENT_PROB);
+        if p <= 0.0 {
+            return;
+        }
+        let outcome_start = self.outcomes.len() as u32;
+        for outcome in kind.outcome_table() {
+            let start = self.pauli_terms.len() as u32;
+            for (q, pauli) in outcome {
+                self.pauli_terms.push(PauliTerm {
+                    bit: 1usize << q.index(),
+                    pauli,
+                });
+            }
+            self.outcomes.push(OutcomeDesc {
+                start,
+                len: (self.pauli_terms.len() as u32 - start) as u8,
+            });
+        }
+        self.events.push(EventSite {
+            step,
+            outcome_start,
+            outcome_count: self.outcomes.len() as u32 - outcome_start,
+        });
+        self.probs.push(p);
+    }
+
+    /// The prefix survival-product table over the collected sites.
+    fn survival(&self) -> Vec<f64> {
+        let mut table = Vec::with_capacity(self.probs.len() + 1);
+        let mut acc = 1.0f64;
+        table.push(acc);
+        for &p in &self.probs {
+            acc *= 1.0 - p;
+            table.push(acc);
+        }
+        table
     }
 }
 
@@ -462,25 +790,6 @@ impl EventKind {
     }
 }
 
-/// A fired stochastic event: indices into the plan's event list and that
-/// event's outcome table (no per-shot allocation).
-struct FiredEvent {
-    step: usize,
-    event: usize,
-    outcome: usize,
-}
-
-fn cumulative(probs: &[f64]) -> Vec<f64> {
-    let mut acc = 0.0;
-    probs
-        .iter()
-        .map(|&p| {
-            acc += p;
-            acc
-        })
-        .collect()
-}
-
 fn sample_cumulative<R: Rng + ?Sized>(cum: &[f64], rng: &mut R) -> usize {
     let u: f64 = rng.gen::<f64>() * cum.last().copied().unwrap_or(1.0);
     cum.partition_point(|&c| c <= u).min(cum.len() - 1)
@@ -513,6 +822,59 @@ mod tests {
     }
 
     #[test]
+    fn run_equals_compile_plus_run_into() {
+        let d = device();
+        let sim = NoisySimulator::from_device(&d);
+        let direct = sim.run(&bell(), 1500, 11).unwrap();
+        let plan = sim.compile(&bell()).unwrap();
+        let mut scratch = SimScratch::new();
+        let mut counts = Counts::new(plan.num_clbits());
+        plan.run_into(1500, 11, &mut scratch, &mut counts);
+        assert_eq!(direct, counts);
+    }
+
+    #[test]
+    fn compiled_plan_is_reusable_with_shared_scratch() {
+        // One plan + one scratch across many seeds must match fresh
+        // runs bit-for-bit: nothing may leak between calls.
+        let d = device();
+        let sim = NoisySimulator::from_device(&d);
+        let plan = sim.compile(&bell()).unwrap();
+        let mut scratch = SimScratch::new();
+        for seed in [3u64, 17, 3, 99] {
+            let mut counts = Counts::new(plan.num_clbits());
+            plan.run_into(700, seed, &mut scratch, &mut counts);
+            assert_eq!(counts, sim.run(&bell(), 700, seed).unwrap(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fusion_collapses_single_qubit_runs() {
+        let d = device();
+        let sim = NoisySimulator::from_device(&d);
+        let mut c = Circuit::new(1, 1);
+        c.h(0).t(0).s(0).h(0).measure(0, 0);
+        let plan = sim.compile(&c).unwrap();
+        assert_eq!(plan.num_prims(), 4);
+        assert_eq!(plan.num_fused_ops(), 1, "adjacent 1q run must fuse");
+    }
+
+    #[test]
+    fn fused_rotation_chain_matches_ideal_outcome() {
+        // Six Rx(π/6) compose to Rx(π) = X up to phase: the fused pipeline
+        // must land every noiseless shot on |1>.
+        let d = device();
+        let sim = NoisySimulator::from_device(&d).with_options(SimOptions::none());
+        let mut c = Circuit::new(1, 1);
+        for _ in 0..6 {
+            c.rx(0, std::f64::consts::PI / 6.0);
+        }
+        c.measure(0, 0);
+        let counts = sim.run(&c, 1000, 5).unwrap();
+        assert_eq!(counts.get(1), 1000);
+    }
+
+    #[test]
     fn noiseless_options_reproduce_ideal_distribution() {
         let d = device();
         let sim = NoisySimulator::from_device(&d).with_options(SimOptions::none());
@@ -533,6 +895,36 @@ mod tests {
         assert!(counts.get(0b01) + counts.get(0b10) > 0);
         // But the Bell pair should still dominate.
         assert!(counts.probability(0b00) + counts.probability(0b11) > 0.6);
+    }
+
+    #[test]
+    fn event_firing_rate_matches_site_probability() {
+        // One X gate with only stochastic gate noise: the depolarizing
+        // site fires with the calibrated 1q error rate. Two-thirds of
+        // firings (X or Y) flip the measured bit... but on |1> an X/Y
+        // lands on |0>: p(read 0) ≈ (2/3)·p_err. Checks the skip-sampling
+        // scan against the direct Bernoulli definition.
+        let d = device();
+        let opts = SimOptions {
+            stochastic_gate_noise: true,
+            decoherence: false,
+            coherent_errors: false,
+            crosstalk: false,
+            readout_error: false,
+        };
+        let sim = NoisySimulator::from_device(&d).with_options(opts);
+        let mut c = Circuit::new(1, 1);
+        c.x(0).measure(0, 0);
+        let shots = 200_000;
+        let counts = sim.run(&c, shots, 13).unwrap();
+        let p_err = d.truth().gate_1q_err[0];
+        let expect = 2.0 / 3.0 * p_err;
+        let got = counts.probability(0);
+        let sigma = (expect * (1.0 - expect) / shots as f64).sqrt();
+        assert!(
+            (got - expect).abs() < 5.0 * sigma + 2e-4,
+            "flip rate {got} vs expected {expect}"
+        );
     }
 
     #[test]
@@ -728,5 +1120,46 @@ mod tests {
         let counts = sim.run(&c, 1000, 3).unwrap();
         assert_eq!(counts.shots(), 1000);
         assert!(counts.probability(0b00) + counts.probability(0b11) > 0.6);
+    }
+
+    #[test]
+    fn survival_table_matches_event_probabilities() {
+        let d = device();
+        let sim = NoisySimulator::from_device(&d);
+        let plan = sim.compile(&bell()).unwrap();
+        let n = plan.num_event_sites();
+        assert!(n > 0, "a noisy bell circuit must have error sites");
+        assert_eq!(plan.survival.len(), n + 1);
+        assert_eq!(plan.survival[0], 1.0);
+        for w in plan.survival.windows(2) {
+            assert!(
+                w[1] <= w[0] && w[1] > 0.0,
+                "survival must decrease, stay positive"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_statevector_matches_trajectory() {
+        let d = device();
+        let opts = SimOptions {
+            stochastic_gate_noise: false,
+            decoherence: false,
+            coherent_errors: true,
+            crosstalk: true,
+            readout_error: false,
+        };
+        let sim = NoisySimulator::from_device(&d).with_options(opts);
+        let plan = sim.compile(&bell()).unwrap();
+        let sv = plan.clean_statevector();
+        assert_eq!(sv.num_qubits(), 2);
+        assert!((sv.norm() - 1.0).abs() < 1e-9);
+        // clean_cum is the cumulative of exactly this state.
+        let probs = sv.probabilities();
+        let mut acc = 0.0;
+        for (p, &c) in probs.iter().zip(plan.clean_cum.iter()) {
+            acc += p;
+            assert!((acc - c).abs() < 1e-12);
+        }
     }
 }

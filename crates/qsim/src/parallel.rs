@@ -11,18 +11,32 @@
 //! worker count — and every slice owns a derived seed stream, the merged
 //! histogram is **bit-identical for any number of threads**. Threads decide
 //! only how fast the answer arrives, not what it is.
+//!
+//! Each job's circuit is compiled **once** into a shared
+//! [`crate::CompiledCircuit`] before dispatch; every slice of the job
+//! executes against the same plan (the per-slice noise lookup tables are
+//! built once, not per slice, and never per shot). Workers keep a
+//! thread-local [`crate::SimScratch`], so after the first slice has warmed
+//! a worker's buffers, slice execution allocates only its output `Counts`.
 
 use crate::pool::WorkerPool;
-use crate::{rngstream, Counts, NoisySimulator, SimError};
+use crate::{rngstream, CompiledCircuit, Counts, NoisySimulator, SimError, SimScratch};
 use qcir::Circuit;
+use std::cell::RefCell;
 
 /// Shots per work slice.
 ///
 /// Small enough that a 16 384-shot budget yields 16 slices (ample
 /// load-balancing granularity for small thread counts), large enough that
-/// per-slice overhead (plan compilation, histogram merge) stays well under
+/// per-slice overhead (histogram merge, scratch warm-up) stays well under
 /// a percent of the trajectory work.
 pub const SLICE_SHOTS: u64 = 1024;
+
+thread_local! {
+    /// Per-worker simulation buffers, reused across every slice a worker
+    /// ever runs (buffers only grow; see [`SimScratch`]).
+    static SCRATCH: RefCell<SimScratch> = RefCell::new(SimScratch::new());
+}
 
 /// One independent execution request inside a batch: a circuit, its shot
 /// budget, and the root seed its slice streams are forked from.
@@ -130,13 +144,33 @@ impl NoisySimulator<'_> {
             "Wall time of one shot slice on a pool worker"
         );
 
+        // Compile each job exactly once; every slice shares the plan. A
+        // job that fails validation is reported per slice below, matching
+        // the error `NoisySimulator::run` would have returned.
+        let compiled: Vec<Result<CompiledCircuit, SimError>> =
+            jobs.iter().map(|job| self.compile(job.circuit)).collect();
+
         // `map_catch` contains a panicking slice: it fails only its own
         // job (as a non-transient [`SimError::ExecutionPanicked`]) and the
         // pool stays usable for the rest of the batch and future calls.
         let slice_results = WorkerPool::global()
             .map_catch(&items, threads, |_, &(j, s, n)| {
-                let job = &jobs[j];
-                slice_hist.time(|| self.run(job.circuit, n, rngstream::fork(job.seed, s)))
+                let plan = match &compiled[j] {
+                    Ok(plan) => plan,
+                    Err(e) => return Err(e.clone()),
+                };
+                slice_hist.time(|| {
+                    let mut counts = Counts::new(plan.num_clbits());
+                    SCRATCH.with(|scratch| {
+                        plan.run_into(
+                            n,
+                            rngstream::fork(jobs[j].seed, s),
+                            &mut scratch.borrow_mut(),
+                            &mut counts,
+                        );
+                    });
+                    Ok(counts)
+                })
             })
             .into_iter()
             .map(|r| r.unwrap_or_else(|detail| Err(SimError::ExecutionPanicked { detail })));
@@ -249,6 +283,30 @@ mod tests {
         let reference = sim.run_parallel(&bell(), 5000, 9, 1).unwrap();
         for threads in [2, 3, 8] {
             let counts = sim.run_parallel(&bell(), 5000, 9, threads).unwrap();
+            assert_eq!(counts, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn fused_runs_are_bit_identical_across_worker_counts() {
+        // A long single-qubit rotation chain between CXs exercises the
+        // fusion fast path and its Pauli-interleave slow path hard; the
+        // histogram must not depend on the worker count (DESIGN.md §7).
+        let d = DeviceModel::synthesize(presets::melbourne14(), 5);
+        let sim = NoisySimulator::from_device(&d);
+        let mut c = Circuit::new(2, 2);
+        for i in 0..6 {
+            c.rx(0, 0.1 + 0.05 * i as f64);
+            c.rz(1, 0.2 + 0.05 * i as f64);
+        }
+        c.cx(0, 1);
+        for _ in 0..4 {
+            c.h(0).t(0);
+        }
+        c.cx(0, 1).measure_all();
+        let reference = sim.run_parallel(&c, 5000, 21, 1).unwrap();
+        for threads in [2, 8] {
+            let counts = sim.run_parallel(&c, 5000, 21, threads).unwrap();
             assert_eq!(counts, reference, "threads = {threads}");
         }
     }

@@ -17,6 +17,12 @@
 //! Panics inside a work item are caught on the worker, remembered, and
 //! re-raised on the dispatching thread after the batch drains — a panicking
 //! item never takes down a pool thread or deadlocks the dispatcher.
+//!
+//! Because workers are persistent (threads live for the process lifetime),
+//! `thread_local!` state on a worker survives across batches. The parallel
+//! executor exploits this to keep one warm [`crate::SimScratch`] per
+//! worker: simulation buffers are allocated on a worker's first slice and
+//! reused for every slice it runs afterwards.
 
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

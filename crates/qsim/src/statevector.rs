@@ -2,8 +2,16 @@
 //!
 //! Qubit `q` corresponds to bit `q` of the basis-state index (little-endian:
 //! qubit 0 is the least significant bit).
+//!
+//! The amplitude-sweep kernels at the bottom of this module operate on raw
+//! `&mut [C64]` slices so the trajectory executor can reuse one scratch
+//! buffer across shots. They are written as index-split loops over
+//! contiguous amplitude runs (`split_at_mut` + `zip`), which eliminates
+//! bounds checks from the hot stride and leaves the inner loops in a shape
+//! the compiler can autovectorize.
 
-use crate::complex::{C64, I, ONE, ZERO};
+use crate::complex::{C64, ONE, ZERO};
+use crate::fuse::{self, Mat2};
 use qcir::{Gate, Qubit};
 use rand::Rng;
 
@@ -45,6 +53,13 @@ impl StateVector {
         StateVector { num_qubits, amps }
     }
 
+    /// Wraps an existing amplitude buffer (used by the trajectory executor
+    /// to expose a scratch state without copying).
+    pub(crate) fn from_amplitudes(num_qubits: u32, amps: Vec<C64>) -> Self {
+        assert_eq!(amps.len(), 1usize << num_qubits, "dimension mismatch");
+        StateVector { num_qubits, amps }
+    }
+
     /// Number of qubits.
     pub fn num_qubits(&self) -> u32 {
         self.num_qubits
@@ -62,53 +77,18 @@ impl StateVector {
     /// Panics if the gate is a measurement (use a simulator driver for
     /// those) or touches a qubit out of range.
     pub fn apply(&mut self, gate: &Gate) {
+        if let Some((q, m)) = fuse::gate_matrix(gate) {
+            self.apply_1q(q, m);
+            return;
+        }
         match *gate {
-            Gate::H(q) => {
-                let s = std::f64::consts::FRAC_1_SQRT_2;
-                self.apply_1q(
-                    q,
-                    [[C64::real(s), C64::real(s)], [C64::real(s), C64::real(-s)]],
-                );
-            }
-            Gate::X(q) => self.apply_1q(q, [[ZERO, ONE], [ONE, ZERO]]),
-            Gate::Y(q) => self.apply_1q(q, [[ZERO, -I], [I, ZERO]]),
-            Gate::Z(q) => self.apply_1q(q, [[ONE, ZERO], [ZERO, -ONE]]),
-            Gate::S(q) => self.apply_1q(q, [[ONE, ZERO], [ZERO, I]]),
-            Gate::Sdg(q) => self.apply_1q(q, [[ONE, ZERO], [ZERO, -I]]),
-            Gate::T(q) => self.apply_1q(
-                q,
-                [[ONE, ZERO], [ZERO, C64::cis(std::f64::consts::FRAC_PI_4)]],
-            ),
-            Gate::Tdg(q) => self.apply_1q(
-                q,
-                [[ONE, ZERO], [ZERO, C64::cis(-std::f64::consts::FRAC_PI_4)]],
-            ),
-            Gate::Rx(q, t) => {
-                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
-                self.apply_1q(
-                    q,
-                    [
-                        [C64::real(c), C64::new(0.0, -s)],
-                        [C64::new(0.0, -s), C64::real(c)],
-                    ],
-                );
-            }
-            Gate::Ry(q, t) => {
-                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
-                self.apply_1q(
-                    q,
-                    [[C64::real(c), C64::real(-s)], [C64::real(s), C64::real(c)]],
-                );
-            }
-            Gate::Rz(q, t) => {
-                self.apply_1q(q, [[C64::cis(-t / 2.0), ZERO], [ZERO, C64::cis(t / 2.0)]])
-            }
             Gate::Cx(c, t) => self.apply_cx(c, t),
             Gate::Cz(a, b) => self.apply_cz(a, b),
             Gate::Swap(a, b) => self.apply_swap(a, b),
             Gate::Ccx(a, b, t) => self.apply_ccx(a, b, t),
             Gate::Cswap(c, a, b) => self.apply_cswap(c, a, b),
             Gate::Measure(..) => panic!("measurements must be handled by a simulator driver"),
+            _ => unreachable!("single-qubit gates are handled via gate_matrix"),
         }
     }
 
@@ -119,27 +99,13 @@ impl StateVector {
     /// Panics if `q` is out of range.
     pub fn apply_1q(&mut self, q: Qubit, m: [[C64; 2]; 2]) {
         let bit = self.bit(q);
-        let dim = self.amps.len();
-        let mut i = 0;
-        while i < dim {
-            if i & bit == 0 {
-                let a0 = self.amps[i];
-                let a1 = self.amps[i | bit];
-                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
-                self.amps[i | bit] = m[1][0] * a0 + m[1][1] * a1;
-            }
-            i += 1;
-        }
+        apply_1q_kernel(&mut self.amps, bit, &m);
     }
 
     fn apply_cx(&mut self, c: Qubit, t: Qubit) {
         let cbit = self.bit(c);
         let tbit = self.bit(t);
-        for i in 0..self.amps.len() {
-            if i & cbit != 0 && i & tbit == 0 {
-                self.amps.swap(i, i | tbit);
-            }
-        }
+        apply_cx_kernel(&mut self.amps, cbit, tbit);
     }
 
     fn apply_cz(&mut self, a: Qubit, b: Qubit) {
@@ -211,15 +177,7 @@ impl StateVector {
 
     /// Samples one basis state index according to the state's probabilities.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
-        let mut acc = 0.0;
-        for (i, a) in self.amps.iter().enumerate() {
-            acc += a.norm_sqr();
-            if u < acc {
-                return i;
-            }
-        }
-        self.amps.len() - 1
+        sample_kernel(&self.amps, rng)
     }
 
     /// The squared overlap `|<self|other>|²` with another state.
@@ -240,6 +198,144 @@ impl StateVector {
     pub fn norm(&self) -> f64 {
         self.amps.iter().map(|a| a.norm_sqr()).sum()
     }
+}
+
+// ---------------------------------------------------------------------------
+// Raw amplitude-sweep kernels.
+//
+// These are the hot loops of trajectory simulation. They take `&mut [C64]`
+// rather than `&mut StateVector` so the noisy executor can run shots into a
+// reusable scratch buffer without constructing a state object per shot.
+// Every kernel walks the vector in blocks of `2·bit` and splits each block
+// into two equal contiguous halves (`bit` clear / `bit` set); iterating the
+// halves with `zip` proves equal lengths to the compiler, so the inner
+// stride carries no bounds checks.
+// ---------------------------------------------------------------------------
+
+/// Resets `amps` to the `|0…0>` state over `num_qubits` qubits, reusing the
+/// buffer's capacity.
+pub(crate) fn reset_zero(amps: &mut Vec<C64>, num_qubits: u32) {
+    let dim = 1usize << num_qubits;
+    amps.clear();
+    amps.resize(dim, ZERO);
+    amps[0] = ONE;
+}
+
+/// Applies the 2×2 unitary `m` to the qubit whose index mask is `bit`.
+///
+/// Identical arithmetic, pair order, and rounding as the historical
+/// naive loop — only the iteration structure changed.
+pub(crate) fn apply_1q_kernel(amps: &mut [C64], bit: usize, m: &Mat2) {
+    debug_assert!(bit < amps.len() && amps.len().is_multiple_of(bit << 1));
+    let [[m00, m01], [m10, m11]] = *m;
+    let block = bit << 1;
+    let mut base = 0;
+    while base < amps.len() {
+        let (lo, hi) = amps[base..base + block].split_at_mut(bit);
+        for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+            let (a0, a1) = (*a, *b);
+            *a = m00 * a0 + m01 * a1;
+            *b = m10 * a0 + m11 * a1;
+        }
+        base += block;
+    }
+}
+
+/// Swaps the target pair of every basis state with the control bit set:
+/// the CX permutation, exact (no floating-point arithmetic).
+pub(crate) fn apply_cx_kernel(amps: &mut [C64], cbit: usize, tbit: usize) {
+    debug_assert!(cbit != tbit && cbit < amps.len() && tbit < amps.len());
+    if cbit < tbit {
+        // Outer blocks over the target bit; within the target-clear and
+        // target-set halves, the control-set indices form aligned
+        // sub-runs of length `cbit`.
+        let mut base = 0;
+        while base < amps.len() {
+            let (lo, hi) = amps[base..base + (tbit << 1)].split_at_mut(tbit);
+            let mut sub = cbit;
+            while sub < tbit {
+                let l = &mut lo[sub..sub + cbit];
+                let h = &mut hi[sub..sub + cbit];
+                for (x, y) in l.iter_mut().zip(h.iter_mut()) {
+                    std::mem::swap(x, y);
+                }
+                sub += cbit << 1;
+            }
+            base += tbit << 1;
+        }
+    } else {
+        // Control stride outer: each control-set run of length `cbit`
+        // contains whole target blocks.
+        let mut base = cbit;
+        while base < amps.len() {
+            let upper = &mut amps[base..base + cbit];
+            let mut sub = 0;
+            while sub < cbit {
+                let (lo, hi) = upper[sub..sub + (tbit << 1)].split_at_mut(tbit);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    std::mem::swap(x, y);
+                }
+                sub += tbit << 1;
+            }
+            base += cbit << 1;
+        }
+    }
+}
+
+/// Pauli-X on the qubit with index mask `bit`: exact amplitude swap.
+pub(crate) fn apply_x_kernel(amps: &mut [C64], bit: usize) {
+    let block = bit << 1;
+    let mut base = 0;
+    while base < amps.len() {
+        let (lo, hi) = amps[base..base + block].split_at_mut(bit);
+        for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+            std::mem::swap(a, b);
+        }
+        base += block;
+    }
+}
+
+/// Pauli-Y on the qubit with index mask `bit`: exact component shuffle
+/// (`(a0, a1) → (-i·a1, i·a0)`), no rounding.
+pub(crate) fn apply_y_kernel(amps: &mut [C64], bit: usize) {
+    let block = bit << 1;
+    let mut base = 0;
+    while base < amps.len() {
+        let (lo, hi) = amps[base..base + block].split_at_mut(bit);
+        for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+            let (a0, a1) = (*a, *b);
+            *a = C64::new(a1.im, -a1.re);
+            *b = C64::new(-a0.im, a0.re);
+        }
+        base += block;
+    }
+}
+
+/// Pauli-Z on the qubit with index mask `bit`: exact sign flip of the
+/// bit-set half of every block.
+pub(crate) fn apply_z_kernel(amps: &mut [C64], bit: usize) {
+    let block = bit << 1;
+    let mut base = 0;
+    while base < amps.len() {
+        for v in &mut amps[base + bit..base + block] {
+            *v = -*v;
+        }
+        base += block;
+    }
+}
+
+/// Samples one basis index by linear inversion over `|amp|²`, consuming
+/// exactly one `f64` draw (same scheme as [`StateVector::sample`]).
+pub(crate) fn sample_kernel<R: Rng + ?Sized>(amps: &[C64], rng: &mut R) -> usize {
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, a) in amps.iter().enumerate() {
+        acc += a.norm_sqr();
+        if u < acc {
+            return i;
+        }
+    }
+    amps.len() - 1
 }
 
 #[cfg(test)]
@@ -449,5 +545,86 @@ mod tests {
     fn out_of_range_panics() {
         let mut sv = StateVector::zero_state(1);
         sv.apply(&Gate::H(q(1)));
+    }
+
+    /// A random-ish dense state for kernel comparisons (unnormalized is
+    /// fine: the kernels are linear).
+    fn dense_state(n: u32) -> Vec<C64> {
+        (0..1usize << n)
+            .map(|i| C64::new((i as f64 * 0.37).sin(), (i as f64 * 0.61).cos()))
+            .collect()
+    }
+
+    /// Reference implementation: the historical naive bit-test sweep.
+    fn naive_1q(amps: &mut [C64], bit: usize, m: &crate::fuse::Mat2) {
+        for i in 0..amps.len() {
+            if i & bit == 0 {
+                let a0 = amps[i];
+                let a1 = amps[i | bit];
+                amps[i] = m[0][0] * a0 + m[0][1] * a1;
+                amps[i | bit] = m[1][0] * a0 + m[1][1] * a1;
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_1q_kernel_matches_naive_sweep_bitwise() {
+        let (_, m) = crate::fuse::gate_matrix(&Gate::Ry(q(0), 0.83)).unwrap();
+        for qi in 0..4u32 {
+            let mut blocked = dense_state(4);
+            let mut naive = blocked.clone();
+            apply_1q_kernel(&mut blocked, 1 << qi, &m);
+            naive_1q(&mut naive, 1 << qi, &m);
+            assert_eq!(blocked, naive, "qubit {qi}");
+        }
+    }
+
+    #[test]
+    fn blocked_cx_kernel_matches_naive_sweep_both_orientations() {
+        for (c, t) in [(0u32, 2u32), (2, 0), (1, 3), (3, 1), (0, 1)] {
+            let (cbit, tbit) = (1usize << c, 1usize << t);
+            let mut blocked = dense_state(4);
+            let mut naive = blocked.clone();
+            apply_cx_kernel(&mut blocked, cbit, tbit);
+            for i in 0..naive.len() {
+                if i & cbit != 0 && i & tbit == 0 {
+                    naive.swap(i, i | tbit);
+                }
+            }
+            assert_eq!(blocked, naive, "cx {c}->{t}");
+        }
+    }
+
+    #[test]
+    fn pauli_kernels_match_gate_application() {
+        for qi in 0..3u32 {
+            for (kernel, gate) in [
+                (apply_x_kernel as fn(&mut [C64], usize), Gate::X(q(qi))),
+                (apply_y_kernel as fn(&mut [C64], usize), Gate::Y(q(qi))),
+                (apply_z_kernel as fn(&mut [C64], usize), Gate::Z(q(qi))),
+            ] {
+                let mut via_kernel = dense_state(3);
+                let mut via_gate = StateVector {
+                    num_qubits: 3,
+                    amps: via_kernel.clone(),
+                };
+                kernel(&mut via_kernel, 1 << qi);
+                via_gate.apply(&gate);
+                for (a, b) in via_kernel.iter().zip(via_gate.amps.iter()) {
+                    assert!((a.re - b.re).abs() < 1e-15 && (a.im - b.im).abs() < 1e-15);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reset_zero_reuses_capacity() {
+        let mut amps = dense_state(4);
+        let cap = amps.capacity();
+        reset_zero(&mut amps, 3);
+        assert_eq!(amps.len(), 8);
+        assert_eq!(amps[0], ONE);
+        assert!(amps[1..].iter().all(|&a| a == ZERO));
+        assert_eq!(amps.capacity(), cap);
     }
 }

@@ -1,0 +1,117 @@
+//! Property tests for the gate-fusion pass.
+//!
+//! Fused and unfused execution apply the same operator: fusion only
+//! changes *when* matrices are multiplied together. `(A·B)·v` and
+//! `A·(B·v)` round differently in floating point (at the 1e-15 scale), so
+//! the comparison uses a 1e-12 per-amplitude tolerance — eight orders of
+//! magnitude below any statistical tolerance in the workspace, but not
+//! bit-exact by design.
+
+use proptest::prelude::*;
+use qcir::{Gate, Qubit};
+use qsim::fuse::{fuse, gate_matrix, Prim, PrimOp};
+use qsim::StateVector;
+
+const NUM_QUBITS: u32 = 3;
+
+/// One random stream element: a single-qubit gate or a CX.
+fn arb_gate() -> impl Strategy<Value = Gate> {
+    let q = 0..NUM_QUBITS;
+    let angle = -3.2f64..3.2;
+    prop_oneof![
+        q.clone().prop_map(|i| Gate::H(Qubit::new(i))),
+        q.clone().prop_map(|i| Gate::X(Qubit::new(i))),
+        q.clone().prop_map(|i| Gate::Y(Qubit::new(i))),
+        q.clone().prop_map(|i| Gate::Z(Qubit::new(i))),
+        q.clone().prop_map(|i| Gate::S(Qubit::new(i))),
+        q.clone().prop_map(|i| Gate::T(Qubit::new(i))),
+        (q.clone(), angle.clone()).prop_map(|(i, t)| Gate::Rx(Qubit::new(i), t)),
+        (q.clone(), angle.clone()).prop_map(|(i, t)| Gate::Ry(Qubit::new(i), t)),
+        (q.clone(), angle).prop_map(|(i, t)| Gate::Rz(Qubit::new(i), t)),
+        (q, 0..NUM_QUBITS - 1).prop_map(|(c, t)| {
+            // Skip the control index so the operands are always distinct.
+            let t = if t >= c { t + 1 } else { t };
+            Gate::Cx(Qubit::new(c), Qubit::new(t))
+        }),
+    ]
+}
+
+/// Lowers a gate stream to step-tagged primitives, as the compiler does.
+fn to_prims(gates: &[Gate]) -> Vec<Prim> {
+    gates
+        .iter()
+        .enumerate()
+        .map(|(step, g)| match gate_matrix(g) {
+            Some((q, m)) => Prim::unary(step as u32, q, m),
+            None => match *g {
+                Gate::Cx(c, t) => Prim::cx(step as u32, c, t),
+                ref other => panic!("unexpected gate {other:?}"),
+            },
+        })
+        .collect()
+}
+
+fn apply_prim_op(sv: &mut StateVector, op: &PrimOp) {
+    match *op {
+        PrimOp::Unary { qubit, m } => sv.apply_1q(qubit, m),
+        PrimOp::Cx { control, target } => sv.apply(&Gate::Cx(control, target)),
+    }
+}
+
+proptest! {
+    #[test]
+    fn fused_execution_matches_unfused(gates in proptest::collection::vec(arb_gate(), 0..40)) {
+        let prims = to_prims(&gates);
+        let fused = fuse(&prims);
+
+        let mut unfused_sv = StateVector::zero_state(NUM_QUBITS);
+        for p in &prims {
+            apply_prim_op(&mut unfused_sv, &p.op);
+        }
+        let mut fused_sv = StateVector::zero_state(NUM_QUBITS);
+        for f in &fused {
+            apply_prim_op(&mut fused_sv, &f.op);
+        }
+
+        for (i, (a, b)) in unfused_sv
+            .amplitudes()
+            .iter()
+            .zip(fused_sv.amplitudes())
+            .enumerate()
+        {
+            prop_assert!(
+                (a.re - b.re).abs() < 1e-12 && (a.im - b.im).abs() < 1e-12,
+                "amplitude {i}: {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_ranges_partition_and_spans_are_ordered(
+        gates in proptest::collection::vec(arb_gate(), 0..40)
+    ) {
+        let prims = to_prims(&gates);
+        let fused = fuse(&prims);
+
+        // The prim ranges tile the stream exactly, in order.
+        let mut next = 0usize;
+        for f in &fused {
+            prop_assert_eq!(f.prims.start, next);
+            prop_assert!(f.prims.end > f.prims.start);
+            next = f.prims.end;
+        }
+        prop_assert_eq!(next, prims.len());
+
+        for f in &fused {
+            // Spans cover exactly the steps of their primitives.
+            prop_assert_eq!(f.first_step, prims[f.prims.start].step);
+            prop_assert_eq!(f.last_step, prims[f.prims.end - 1].step);
+            // Every primitive in a fused unary run acts on the fused qubit.
+            if let PrimOp::Unary { qubit, .. } = f.op {
+                for p in &prims[f.prims.clone()] {
+                    prop_assert!(p.op.touches(qubit));
+                }
+            }
+        }
+    }
+}
