@@ -1,0 +1,190 @@
+//! `edm-fleet` — a multi-client TCP front end over a fleet of virtual
+//! devices.
+//!
+//! ```text
+//! edm-fleet [--addr HOST:PORT] [--devices N] [--device-seed N] [--shards N]
+//!           [--threads N] [--queue N] [--cache N] [--batch N] [--depth-cap N]
+//!           [--metrics-port N]
+//! ```
+//!
+//! Speaks the same JSON-lines protocol as `edm-serve`, over TCP, against
+//! N virtual devices (topology presets cycle melbourne14 → guadalupe16 →
+//! tokyo20, each synthesized from `--device-seed + index`). Every
+//! submission is routed to the device with the highest predicted ESP for
+//! its circuit; results are bit-identical to a direct single-device run
+//! with the same (device, seed). Prints `fleet listening on ADDR` to
+//! stderr once ready; any client's `"Shutdown"` stops the server.
+
+use edm_fleet::fleet::{Fleet, FleetConfig};
+use edm_fleet::server::{FleetServer, ServerConfig};
+use edm_serve::exitcode;
+use edm_serve::service::ServeConfig;
+use edm_serve::validate;
+use qdevice::presets;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  edm-fleet [--addr HOST:PORT] [--devices N] [--device-seed N] [--shards N]
+            [--threads N] [--queue N] [--cache N] [--batch N] [--depth-cap N]
+            [--metrics-port N]
+
+Speaks the edm-serve JSON-lines protocol over TCP against a fleet of N
+virtual devices (presets cycle melbourne14, guadalupe16, tokyo20; device i
+is synthesized from --device-seed + i). Submissions route to the device
+with the highest predicted ESP; \"FleetStats\" reports per-device status.
+
+--addr defaults to 127.0.0.1:0 (ephemeral port); the bound address is
+printed to stderr as `fleet listening on ADDR`.
+
+--metrics-port N serves Prometheus text on http://127.0.0.1:N/metrics with
+per-device label families (edm_fleet_*{device=\"dI\"}); port 0 picks an
+ephemeral port, printed to stderr.
+
+exit codes:
+  0   success
+  1   unclassified failure
+  2   usage error (bad flags)";
+
+fn flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
+    match args.iter().position(|a| a == name) {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .map(Some)
+            .ok_or_else(|| format!("{name} expects an integer")),
+        None => Ok(None),
+    }
+}
+
+fn text_flag(args: &[String], name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{name} expects a value")),
+        None => Ok(None),
+    }
+}
+
+struct Parsed {
+    addr: String,
+    devices: usize,
+    device_seed: u64,
+    fleet_config: FleetConfig,
+    server_config: ServerConfig,
+    metrics_port: Option<u64>,
+}
+
+fn parse(args: &[String]) -> Result<Parsed, String> {
+    let addr = text_flag(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:0".into());
+    let devices = flag(args, "--devices")?.unwrap_or(3);
+    if devices == 0 {
+        return Err("--devices must be at least 1".into());
+    }
+    let device_seed = flag(args, "--device-seed")?.unwrap_or(42);
+    let mut serve = ServeConfig::default();
+    if let Some(threads) = validate::threads(flag(args, "--threads")?).map_err(|e| e.to_string())? {
+        serve.threads = threads;
+    }
+    if let Some(queue) = flag(args, "--queue")? {
+        if queue == 0 {
+            return Err("--queue must be at least 1".into());
+        }
+        serve.queue_capacity = queue as usize;
+    }
+    if let Some(cache) = flag(args, "--cache")? {
+        if cache == 0 {
+            return Err("--cache must be at least 1".into());
+        }
+        serve.cache_capacity = cache as usize;
+    }
+    if let Some(batch) = flag(args, "--batch")? {
+        if batch == 0 {
+            return Err("--batch must be at least 1".into());
+        }
+        serve.max_batch_jobs = batch as usize;
+    }
+    let depth_cap = match flag(args, "--depth-cap")? {
+        Some(0) => return Err("--depth-cap must be at least 1".into()),
+        Some(cap) => (cap as usize).min(serve.queue_capacity),
+        None => (serve.queue_capacity / 4).max(1),
+    };
+    let mut server_config = ServerConfig::default();
+    if let Some(shards) = flag(args, "--shards")? {
+        if shards == 0 {
+            return Err("--shards must be at least 1".into());
+        }
+        server_config.shards = shards as usize;
+    }
+    let metrics_port = flag(args, "--metrics-port")?;
+    if let Some(port) = metrics_port {
+        if port > u64::from(u16::MAX) {
+            return Err("--metrics-port must fit in 16 bits".into());
+        }
+    }
+    Ok(Parsed {
+        addr,
+        devices: devices as usize,
+        device_seed,
+        fleet_config: FleetConfig { serve, depth_cap },
+        server_config,
+        metrics_port,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let parsed = match parse(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+
+    let _metrics_server = match parsed.metrics_port {
+        Some(port) => {
+            edm_telemetry::set_enabled(true);
+            match edm_telemetry::http::serve(port as u16) {
+                Ok(server) => {
+                    eprintln!("metrics listening on http://{}/metrics", server.addr());
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("error: cannot bind metrics port {port}: {e}");
+                    return ExitCode::from(exitcode::FAILURE);
+                }
+            }
+        }
+        None => None,
+    };
+
+    // Heterogeneous by construction: presets cycle, and each device gets
+    // its own synthesis seed, so calibrations (and therefore ESP scores)
+    // genuinely differ across the fleet.
+    let cycle = [
+        (presets::melbourne14(), "melbourne14"),
+        (presets::guadalupe16(), "guadalupe16"),
+        (presets::tokyo20(), "tokyo20"),
+    ];
+    let members: Vec<(qdevice::Topology, &str)> = (0..parsed.devices)
+        .map(|i| cycle[i % cycle.len()].clone())
+        .collect();
+    let fleet = Fleet::synthesize(&members, parsed.device_seed, parsed.fleet_config);
+
+    let server = match FleetServer::bind(fleet, &parsed.addr, parsed.server_config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", parsed.addr);
+            return ExitCode::from(exitcode::FAILURE);
+        }
+    };
+    eprintln!("fleet listening on {}", server.local_addr());
+    server.run();
+    ExitCode::SUCCESS
+}

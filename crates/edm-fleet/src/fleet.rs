@@ -1,0 +1,718 @@
+//! The variability-aware fleet scheduler.
+//!
+//! Tannu & Qureshi's variability-aware policy, lifted from qubits to whole
+//! devices: a [`Fleet`] owns N virtual devices — distinct topology presets
+//! and calibration snapshots, each wrapping its own full
+//! [`JobService`] stack, so the
+//! compilation cache, circuit breaker, drift quarantine, journal, and
+//! telemetry are per-device components — and routes every submission to
+//! the device with the highest predicted ESP for that circuit.
+//!
+//! ## Scoring and failover order
+//!
+//! For each device the scheduler asks
+//! [`predicted_esp`](edm_serve::service::JobService::predicted_esp) — the
+//! best ensemble member's ESP under the device's current calibration and
+//! quarantine, compiled through the per-device cache so scoring warms the
+//! entry the accepted submission then hits. Devices that cannot map the
+//! circuit at all are not candidates. The rest are ordered:
+//!
+//! 1. healthy before unhealthy — healthy means breaker
+//!    [`Closed`](edm_serve::dispatch::BreakerState::Closed), nothing
+//!    quarantined, and queue depth below the routing cap,
+//! 2. predicted ESP, descending,
+//! 3. device index, ascending (the deterministic tie-break).
+//!
+//! Submission walks that order and takes the first device whose admission
+//! queue accepts. Unhealthy devices are kept at the tail rather than
+//! dropped: while any healthy candidate exists they never receive work,
+//! but when the whole fleet is sick the best unhealthy device still gets
+//! the job — which is also what lets an open breaker see its half-open
+//! probe and recover.
+//!
+//! ## Determinism
+//!
+//! Scores depend only on (circuit, calibration generation, quarantine) and
+//! health only on per-device service state, so two fleets in identical
+//! states route identically; and because routing picks a (device, seed)
+//! but never alters the request, a fleet-routed result is bit-identical to
+//! a direct single-device run on the chosen device — the DESIGN.md §7
+//! contract extended to routing.
+
+use crate::backend::DeviceBackend;
+use edm_core::Backend;
+use edm_serve::dispatch::BreakerState;
+use edm_serve::protocol::DeviceStatus;
+use edm_serve::queue::{AdmitError, JobRequest};
+use edm_serve::service::{JobService, JobState, ServeConfig};
+use edm_serve::stats::ServiceStats;
+use qcir::Circuit;
+use qdevice::DeviceModel;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Fleet-level knobs on top of the per-device [`ServeConfig`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Per-device service configuration (every device gets a copy).
+    pub serve: ServeConfig,
+    /// Routing-level queue-depth cap: a device at or above this depth is
+    /// treated as unhealthy so one hot device cannot starve the fleet.
+    /// Must be positive and no larger than the admission-queue capacity.
+    pub depth_cap: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        let serve = ServeConfig::default();
+        FleetConfig {
+            depth_cap: serve.queue_capacity / 4,
+            serve,
+        }
+    }
+}
+
+/// Why a submission could not be routed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteError {
+    /// The fleet has no devices.
+    Empty,
+    /// No device can map the circuit at all.
+    Unmappable {
+        /// The last device's compilation error.
+        reason: String,
+    },
+    /// Every candidate's admission queue refused the job.
+    AllRejected {
+        /// The best-ranked candidate's admission error.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::Empty => write!(f, "fleet has no devices"),
+            RouteError::Unmappable { reason } => {
+                write!(f, "no device can run this circuit: {reason}")
+            }
+            RouteError::AllRejected { reason } => {
+                write!(f, "every device refused the job: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// One device's standing for a specific circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Device index within the fleet.
+    pub device: usize,
+    /// Predicted ESP of the best ensemble member on this device.
+    pub score: f64,
+    /// Breaker closed, nothing quarantined, depth under the cap.
+    pub healthy: bool,
+}
+
+/// The receipt for an accepted fleet submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ticket {
+    /// Fleet-wide job id (what clients poll).
+    pub id: u64,
+    /// The device the job was routed to.
+    pub device: usize,
+    /// The job's id inside that device's service.
+    pub local_id: u64,
+    /// The correlation id the device's service stamped on the job.
+    pub trace_id: u64,
+}
+
+struct DeviceSlot<B> {
+    name: String,
+    service: JobService<B>,
+    routed: &'static edm_telemetry::metrics::Counter,
+    completed: &'static edm_telemetry::metrics::Counter,
+    depth: &'static edm_telemetry::metrics::Gauge,
+    breaker: &'static edm_telemetry::metrics::Gauge,
+}
+
+impl<B: Backend> DeviceSlot<B> {
+    /// Pushes the routing-relevant gauges after any state change.
+    fn refresh_gauges(&self) {
+        self.depth.set(self.service.queue_depth() as i64);
+        self.breaker.set(match self.service.breaker_state() {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        });
+    }
+}
+
+/// A fleet of virtual devices behind one ESP-scored router.
+///
+/// Generic over the per-device [`Backend`] so tests can wrap
+/// [`DeviceBackend`] in the fault-injecting doubles from
+/// [`edm_serve::dispatch`]. Every method takes `&self`: devices sit behind
+/// per-device mutexes, so connection shards and executor threads share a
+/// fleet through an [`Arc`].
+pub struct Fleet<B> {
+    slots: Vec<Mutex<DeviceSlot<B>>>,
+    /// Fleet job id → (device index, device-local job id).
+    index: Mutex<BTreeMap<u64, (usize, u64)>>,
+    next_id: AtomicU64,
+    config: FleetConfig,
+}
+
+/// Interned per-device label values (`d0`, `d1`, …). Metric registration
+/// borrows label values only for the call, but building the string each
+/// time would churn; one leak per device per process is the cheap choice.
+fn device_label(idx: usize) -> &'static str {
+    Box::leak(format!("d{idx}").into_boxed_str())
+}
+
+impl<B: Backend> Fleet<B> {
+    /// An empty fleet; add devices with [`Fleet::add_device`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth_cap` is zero or exceeds the admission-queue
+    /// capacity (such a cap could never mark any device healthy, or never
+    /// fire).
+    pub fn new(config: FleetConfig) -> Self {
+        assert!(config.depth_cap > 0, "depth cap must be positive");
+        assert!(
+            config.depth_cap <= config.serve.queue_capacity,
+            "depth cap beyond queue capacity can never fire"
+        );
+        Fleet {
+            slots: Vec::new(),
+            index: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+            config,
+        }
+    }
+
+    /// Adds a virtual device wrapping its own full `JobService` stack and
+    /// returns its index. `name` should describe the preset and seed
+    /// (e.g. `tokyo20#7`).
+    pub fn add_device(
+        &mut self,
+        name: impl Into<String>,
+        device: &DeviceModel,
+        backend: B,
+    ) -> usize {
+        let idx = self.slots.len();
+        let service = JobService::new(
+            device.topology().clone(),
+            device.calibration(),
+            backend,
+            self.config.serve.clone(),
+        );
+        let label = &[("device", device_label(idx))][..];
+        let registry = edm_telemetry::metrics::registry();
+        let slot = DeviceSlot {
+            name: name.into(),
+            service,
+            routed: registry.counter_with(
+                "edm_fleet_jobs_routed_total",
+                "Jobs the scheduler routed to this device",
+                label,
+            ),
+            completed: registry.counter_with(
+                "edm_fleet_jobs_completed_total",
+                "Jobs this device finished with a result",
+                label,
+            ),
+            depth: registry.gauge_with(
+                "edm_fleet_queue_depth",
+                "Jobs waiting in this device's admission queue",
+                label,
+            ),
+            breaker: registry.gauge_with(
+                "edm_fleet_breaker_state",
+                "This device's breaker state (0 closed, 1 half-open, 2 open)",
+                label,
+            ),
+        };
+        self.slots.push(Mutex::new(slot));
+        idx
+    }
+
+    /// Number of devices in the fleet.
+    pub fn num_devices(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Scores `circuit` on every device and returns the candidates in
+    /// failover order: healthy first, then ESP descending, then device
+    /// index ascending. Devices that cannot map the circuit are absent.
+    pub fn candidates(&self, circuit: &Circuit) -> Vec<Candidate> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let mut slot = slot.lock().expect("device lock poisoned");
+            let score = match slot.service.predicted_esp(circuit) {
+                Ok(score) => score,
+                Err(_) => continue,
+            };
+            let healthy = slot.service.breaker_state() == BreakerState::Closed
+                && !slot.service.is_quarantined()
+                && slot.service.queue_depth() < self.config.depth_cap;
+            out.push(Candidate {
+                device: idx,
+                score,
+                healthy,
+            });
+        }
+        // ESP lives in (0, 1] — never NaN — but stay total anyway.
+        out.sort_by(|a, b| {
+            b.healthy
+                .cmp(&a.healthy)
+                .then(
+                    b.score
+                        .partial_cmp(&a.score)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+                .then(a.device.cmp(&b.device))
+        });
+        out
+    }
+
+    /// The device a submission of `circuit` would go to right now.
+    pub fn route(&self, circuit: &Circuit) -> Option<Candidate> {
+        self.candidates(circuit).into_iter().next()
+    }
+
+    /// Routes and submits a job, returning the fleet-wide ticket.
+    ///
+    /// Walks the candidate order and takes the first device whose
+    /// admission queue accepts — an unhealthy or full best device fails
+    /// over to the next-best instead of bouncing the client.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError`] when the fleet is empty, no device can map the
+    /// circuit, or every candidate's queue refused.
+    pub fn submit(&self, request: JobRequest) -> Result<Ticket, RouteError> {
+        if self.slots.is_empty() {
+            return Err(RouteError::Empty);
+        }
+        let candidates = self.candidates(&request.circuit);
+        if candidates.is_empty() {
+            // Re-ask one device for the human-readable reason.
+            let reason = self.slots[0]
+                .lock()
+                .expect("device lock poisoned")
+                .service
+                .predicted_esp(&request.circuit)
+                .err()
+                .unwrap_or_else(|| "unmappable".into());
+            return Err(RouteError::Unmappable { reason });
+        }
+        let mut first_rejection: Option<AdmitError> = None;
+        for candidate in candidates {
+            let mut slot = self.slots[candidate.device]
+                .lock()
+                .expect("device lock poisoned");
+            match slot.service.submit(request.clone()) {
+                Ok(local_id) => {
+                    let trace_id = slot.service.trace_id(local_id).unwrap_or(0);
+                    slot.routed.inc();
+                    slot.refresh_gauges();
+                    drop(slot);
+                    let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+                    self.index
+                        .lock()
+                        .expect("index lock poisoned")
+                        .insert(id, (candidate.device, local_id));
+                    return Ok(Ticket {
+                        id,
+                        device: candidate.device,
+                        local_id,
+                        trace_id,
+                    });
+                }
+                Err(e) => {
+                    first_rejection.get_or_insert(e);
+                }
+            }
+        }
+        Err(RouteError::AllRejected {
+            reason: first_rejection
+                .expect("candidates existed, so at least one rejection")
+                .to_string(),
+        })
+    }
+
+    /// A fleet job's current state (cloned), or `None` for an unknown id.
+    pub fn poll(&self, id: u64) -> Option<JobState> {
+        let (device, local_id) = *self.index.lock().expect("index lock poisoned").get(&id)?;
+        let slot = self.slots[device].lock().expect("device lock poisoned");
+        slot.service.poll(local_id).cloned()
+    }
+
+    /// The correlation id the routed device's service stamped on a fleet
+    /// job, or `None` for an unknown id.
+    pub fn trace_id(&self, id: u64) -> Option<u64> {
+        let (device, local_id) = *self.index.lock().expect("index lock poisoned").get(&id)?;
+        let slot = self.slots[device].lock().expect("device lock poisoned");
+        slot.service.trace_id(local_id)
+    }
+
+    /// The (device index, device-local id) a fleet job was routed to.
+    pub fn placement(&self, id: u64) -> Option<(usize, u64)> {
+        self.index
+            .lock()
+            .expect("index lock poisoned")
+            .get(&id)
+            .copied()
+    }
+
+    /// Runs one `process_pending` pass on one device. Returns how many of
+    /// its requests finished.
+    pub fn process_device(&self, device: usize) -> usize {
+        let mut slot = self.slots[device].lock().expect("device lock poisoned");
+        let before = slot.service.stats().completed;
+        let n = slot.service.process_pending();
+        let delta = slot.service.stats().completed.saturating_sub(before);
+        if delta > 0 {
+            slot.completed.add(delta);
+        }
+        slot.refresh_gauges();
+        n
+    }
+
+    /// Drains every device completely. Returns how many requests finished
+    /// fleet-wide.
+    pub fn process_all(&self) -> usize {
+        let mut total = 0;
+        loop {
+            let mut round = 0;
+            for device in 0..self.slots.len() {
+                round += self.process_device(device);
+            }
+            if round == 0 {
+                return total;
+            }
+            total += round;
+        }
+    }
+
+    /// Per-device status in device-index order, as the wire protocol
+    /// reports it.
+    pub fn device_status(&self) -> Vec<DeviceStatus> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(idx, slot)| {
+                let slot = slot.lock().expect("device lock poisoned");
+                DeviceStatus {
+                    device: idx as u64,
+                    name: slot.name.clone(),
+                    queue_depth: slot.service.queue_depth() as u64,
+                    breaker: slot.service.breaker_state(),
+                    quarantined: slot.service.is_quarantined(),
+                    stats: slot.service.stats(),
+                }
+            })
+            .collect()
+    }
+
+    /// Fleet-wide counter snapshot: sums across devices, with the worst
+    /// breaker state and the maximum latency percentiles (a conservative
+    /// merge — exact fleet-wide percentiles would need the raw windows).
+    pub fn stats(&self) -> ServiceStats {
+        let per_device: Vec<ServiceStats> = self
+            .slots
+            .iter()
+            .map(|slot| slot.lock().expect("device lock poisoned").service.stats())
+            .collect();
+        aggregate_stats(&per_device)
+    }
+
+    /// Bumps every device's calibration generation (a fleet-wide
+    /// recalibration drill). Returns the maximum generation now current.
+    pub fn bump_calibration_generation(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .expect("device lock poisoned")
+                    .service
+                    .bump_calibration_generation()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Installs a fresh calibration on one device (the fleet analogue of
+    /// [`JobService::update_calibration`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range or the calibration does not
+    /// cover the device's topology.
+    pub fn update_calibration(&self, device: usize, calibration: qdevice::Calibration) {
+        let mut slot = self.slots[device].lock().expect("device lock poisoned");
+        slot.service.update_calibration(calibration);
+        slot.refresh_gauges();
+    }
+}
+
+impl Fleet<DeviceBackend> {
+    /// Builds a fleet over synthesized devices: one virtual device per
+    /// `(topology, name)` pair, each synthesized from `device_seed + index`
+    /// so calibrations differ across the fleet.
+    pub fn synthesize(
+        presets: &[(qdevice::Topology, &str)],
+        device_seed: u64,
+        config: FleetConfig,
+    ) -> Self {
+        let mut fleet = Fleet::new(config);
+        for (idx, (topology, name)) in presets.iter().enumerate() {
+            let seed = device_seed + idx as u64;
+            let device = Arc::new(DeviceModel::synthesize(topology.clone(), seed));
+            let backend = DeviceBackend::new(Arc::clone(&device));
+            fleet.add_device(format!("{name}#{seed}"), &device, backend);
+        }
+        fleet
+    }
+}
+
+/// Merges per-device snapshots into one fleet-wide snapshot: counters sum;
+/// the breaker reports the worst state (`Open` > `HalfOpen` > `Closed`)
+/// with summed trip counters; latency percentiles take the per-device
+/// maximum (conservative — merging percentiles exactly would need the raw
+/// samples).
+pub fn aggregate_stats(per_device: &[ServiceStats]) -> ServiceStats {
+    let mut total = ServiceStats {
+        submitted: 0,
+        completed: 0,
+        failed: 0,
+        rejected: 0,
+        batches: 0,
+        compilations: 0,
+        queue_depth: 0,
+        cache: edm_serve::cache::CacheStats::default(),
+        retries: 0,
+        retry_exhausted: 0,
+        timeouts: 0,
+        breaker: edm_serve::dispatch::BreakerStats {
+            state: BreakerState::Closed,
+            trips: 0,
+            fast_failures: 0,
+            consecutive_failures: 0,
+        },
+        drift_events: 0,
+        quarantined_qubits: 0,
+        quarantined_links: 0,
+        degraded: 0,
+        recovered: 0,
+        journal_appends: 0,
+        latency_p50_ms: 0,
+        latency_p99_ms: 0,
+    };
+    let severity = |state: BreakerState| match state {
+        BreakerState::Closed => 0,
+        BreakerState::HalfOpen => 1,
+        BreakerState::Open => 2,
+    };
+    for s in per_device {
+        total.submitted += s.submitted;
+        total.completed += s.completed;
+        total.failed += s.failed;
+        total.rejected += s.rejected;
+        total.batches += s.batches;
+        total.compilations += s.compilations;
+        total.queue_depth += s.queue_depth;
+        total.cache.hits += s.cache.hits;
+        total.cache.misses += s.cache.misses;
+        total.cache.evictions += s.cache.evictions;
+        total.cache.invalidated += s.cache.invalidated;
+        total.cache.entries += s.cache.entries;
+        total.cache.capacity += s.cache.capacity;
+        total.retries += s.retries;
+        total.retry_exhausted += s.retry_exhausted;
+        total.timeouts += s.timeouts;
+        if severity(s.breaker.state) > severity(total.breaker.state) {
+            total.breaker.state = s.breaker.state;
+        }
+        total.breaker.trips += s.breaker.trips;
+        total.breaker.fast_failures += s.breaker.fast_failures;
+        total.breaker.consecutive_failures = total
+            .breaker
+            .consecutive_failures
+            .max(s.breaker.consecutive_failures);
+        total.drift_events += s.drift_events;
+        total.quarantined_qubits += s.quarantined_qubits;
+        total.quarantined_links += s.quarantined_links;
+        total.degraded += s.degraded;
+        total.recovered += s.recovered;
+        total.journal_appends += s.journal_appends;
+        total.latency_p50_ms = total.latency_p50_ms.max(s.latency_p50_ms);
+        total.latency_p99_ms = total.latency_p99_ms.max(s.latency_p99_ms);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edm_serve::queue::Priority;
+    use qdevice::presets;
+
+    fn ghz(n: u32) -> Circuit {
+        let mut c = Circuit::new(n, n);
+        c.h(0);
+        for q in 1..n {
+            c.cx(q - 1, q);
+        }
+        c.measure_all();
+        c
+    }
+
+    fn request(circuit: Circuit, shots: u64, seed: u64) -> JobRequest {
+        JobRequest {
+            circuit,
+            shots,
+            seed,
+            priority: Priority::Normal,
+        }
+    }
+
+    fn small_config() -> FleetConfig {
+        FleetConfig {
+            serve: ServeConfig {
+                threads: 2,
+                ..ServeConfig::default()
+            },
+            ..FleetConfig::default()
+        }
+    }
+
+    fn three_device_fleet() -> Fleet<DeviceBackend> {
+        Fleet::synthesize(
+            &[
+                (presets::melbourne14(), "melbourne14"),
+                (presets::guadalupe16(), "guadalupe16"),
+                (presets::tokyo20(), "tokyo20"),
+            ],
+            7,
+            small_config(),
+        )
+    }
+
+    #[test]
+    fn routes_to_best_esp_and_completes() {
+        let fleet = three_device_fleet();
+        assert_eq!(fleet.num_devices(), 3);
+        let candidates = fleet.candidates(&ghz(3));
+        assert_eq!(candidates.len(), 3, "all devices can host a 3q circuit");
+        assert!(candidates.iter().all(|c| c.healthy));
+        assert!(
+            candidates.windows(2).all(|w| w[0].score >= w[1].score),
+            "candidates must be ESP-descending: {candidates:?}"
+        );
+
+        let ticket = fleet.submit(request(ghz(3), 512, 11)).unwrap();
+        assert_eq!(ticket.device, candidates[0].device);
+        assert_eq!(
+            fleet.placement(ticket.id),
+            Some((ticket.device, ticket.local_id))
+        );
+        assert!(matches!(fleet.poll(ticket.id), Some(JobState::Queued)));
+        assert_eq!(fleet.process_all(), 1);
+        assert!(matches!(fleet.poll(ticket.id), Some(JobState::Done(_))));
+        assert!(fleet.poll(9999).is_none());
+    }
+
+    #[test]
+    fn circuit_too_large_for_some_devices_routes_to_the_rest() {
+        let fleet = three_device_fleet();
+        // 16 qubits: melbourne14 (14q) cannot host it; guadalupe16 and
+        // tokyo20 can.
+        let candidates = fleet.candidates(&ghz(16));
+        assert_eq!(candidates.len(), 2);
+        assert!(candidates.iter().all(|c| c.device != 0));
+
+        let ticket = fleet.submit(request(ghz(16), 128, 3)).unwrap();
+        assert_ne!(ticket.device, 0);
+        fleet.process_all();
+        assert!(matches!(fleet.poll(ticket.id), Some(JobState::Done(_))));
+    }
+
+    #[test]
+    fn unmappable_everywhere_is_a_route_error() {
+        let fleet = three_device_fleet();
+        let err = fleet.submit(request(ghz(24), 128, 3)).unwrap_err();
+        assert!(matches!(err, RouteError::Unmappable { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn depth_cap_fails_over_to_next_best() {
+        let mut config = small_config();
+        config.depth_cap = 1;
+        let fleet = Fleet::synthesize(
+            &[
+                (presets::melbourne14(), "melbourne14"),
+                (presets::guadalupe16(), "guadalupe16"),
+            ],
+            7,
+            config,
+        );
+        let first = fleet.submit(request(ghz(3), 64, 1)).unwrap();
+        // The best device now sits at the cap, so the next submission must
+        // go elsewhere even though the score order is unchanged.
+        let second = fleet.submit(request(ghz(3), 64, 2)).unwrap();
+        assert_ne!(first.device, second.device);
+        fleet.process_all();
+        assert!(matches!(fleet.poll(first.id), Some(JobState::Done(_))));
+        assert!(matches!(fleet.poll(second.id), Some(JobState::Done(_))));
+    }
+
+    #[test]
+    fn fleet_ids_are_unique_and_stable_across_devices() {
+        let fleet = three_device_fleet();
+        let mut ids = std::collections::BTreeSet::new();
+        for seed in 0..10 {
+            let ticket = fleet.submit(request(ghz(3), 64, seed)).unwrap();
+            assert!(ids.insert(ticket.id), "fleet ids must never repeat");
+        }
+        fleet.process_all();
+        for id in ids {
+            assert!(matches!(fleet.poll(id), Some(JobState::Done(_))));
+        }
+    }
+
+    #[test]
+    fn aggregate_stats_sums_and_takes_worst() {
+        let fleet = three_device_fleet();
+        for seed in 0..4 {
+            fleet.submit(request(ghz(3), 64, seed)).unwrap();
+        }
+        fleet.process_all();
+        let status = fleet.device_status();
+        assert_eq!(status.len(), 3);
+        let total = fleet.stats();
+        assert_eq!(total.submitted, 4);
+        assert_eq!(total.completed, 4);
+        assert_eq!(
+            total.submitted,
+            status.iter().map(|d| d.stats.submitted).sum::<u64>()
+        );
+        assert_eq!(total.breaker.state, BreakerState::Closed);
+    }
+
+    #[test]
+    fn bump_calibration_touches_every_device() {
+        let fleet = three_device_fleet();
+        assert_eq!(fleet.bump_calibration_generation(), 1);
+        for status in fleet.device_status() {
+            assert_eq!(status.stats.cache.invalidated, 0);
+        }
+        assert_eq!(fleet.bump_calibration_generation(), 2);
+    }
+}

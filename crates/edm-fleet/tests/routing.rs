@@ -1,0 +1,247 @@
+//! Property tests for the fleet router.
+//!
+//! Three contracts from the fleet design:
+//!
+//! 1. routing is a pure function of fleet state — two fleets in identical
+//!    states route identically,
+//! 2. a quarantined or open-breaker device never receives jobs while a
+//!    healthy candidate exists,
+//! 3. a fleet-routed result is bit-identical to a direct single-device
+//!    `JobService` run on the chosen device with the same
+//!    `(circuit, shots, seed)` — the DESIGN.md §7 determinism contract
+//!    extended to routing.
+
+use edm_fleet::backend::DeviceBackend;
+use edm_fleet::fleet::{Fleet, FleetConfig};
+use edm_serve::dispatch::{BreakerConfig, BreakerState, ChaosBackend, RetryPolicy};
+use edm_serve::queue::{JobRequest, Priority};
+use edm_serve::service::{JobService, JobState, ServeConfig};
+use proptest::prelude::*;
+use qdevice::{presets, Calibration, DeviceModel, Topology};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+fn ghz(n: u32) -> qcir::Circuit {
+    let mut c = qcir::Circuit::new(n, n);
+    c.h(0);
+    for q in 1..n {
+        c.cx(q - 1, q);
+    }
+    c.measure_all();
+    c
+}
+
+fn request(circuit: qcir::Circuit, shots: u64, seed: u64) -> JobRequest {
+    JobRequest {
+        circuit,
+        shots,
+        seed,
+        priority: Priority::Normal,
+    }
+}
+
+fn small_config() -> FleetConfig {
+    FleetConfig {
+        serve: ServeConfig {
+            threads: 2,
+            ..ServeConfig::default()
+        },
+        ..FleetConfig::default()
+    }
+}
+
+const DEVICE_SEED: u64 = 7;
+
+fn three_device_fleet() -> Fleet<DeviceBackend> {
+    Fleet::synthesize(
+        &[
+            (presets::melbourne14(), "melbourne14"),
+            (presets::guadalupe16(), "guadalupe16"),
+            (presets::tokyo20(), "tokyo20"),
+        ],
+        DEVICE_SEED,
+        small_config(),
+    )
+}
+
+/// The topology + synthesis seed the three-device fleet gave device `idx`
+/// (mirrors `Fleet::synthesize`).
+fn fleet_member(idx: usize) -> (Topology, u64) {
+    let cycle = [
+        presets::melbourne14(),
+        presets::guadalupe16(),
+        presets::tokyo20(),
+    ];
+    (cycle[idx].clone(), DEVICE_SEED + idx as u64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Two fleets built identically and fed identical submission streams
+    /// stay in lockstep: same candidate order (device, score, health) and
+    /// same routing decision for every job.
+    #[test]
+    fn identical_fleets_route_identically(
+        specs in proptest::collection::vec((2u32..10, 1u64..256, 0u64..1_000_000), 1..4)
+    ) {
+        let left = three_device_fleet();
+        let right = three_device_fleet();
+        for (n, shots, seed) in specs {
+            let circuit = ghz(n);
+            prop_assert_eq!(left.candidates(&circuit), right.candidates(&circuit));
+            let a = left.submit(request(circuit.clone(), shots, seed)).unwrap();
+            let b = right.submit(request(circuit, shots, seed)).unwrap();
+            prop_assert_eq!(a.device, b.device);
+            left.process_all();
+            right.process_all();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Routing never changes the outcome: the fleet's result for a job is
+    /// byte-for-byte the result a standalone `JobService` on the routed
+    /// device produces for the same `(circuit, shots, seed)`.
+    #[test]
+    fn fleet_results_are_bit_identical_to_direct_runs(
+        n in 2u32..7,
+        shots in 1u64..128,
+        seed in 0u64..1_000_000,
+    ) {
+        thread_local! {
+            static FLEET: Fleet<DeviceBackend> = three_device_fleet();
+            static DIRECT: [RefCell<JobService<DeviceBackend>>; 3] = [0, 1, 2].map(|idx| {
+                let (topology, synth_seed) = fleet_member(idx);
+                let device = Arc::new(DeviceModel::synthesize(topology.clone(), synth_seed));
+                RefCell::new(JobService::new(
+                    topology,
+                    device.calibration(),
+                    DeviceBackend::new(Arc::clone(&device)),
+                    small_config().serve,
+                ))
+            });
+        }
+        let (routed_device, fleet_result) = FLEET.with(|fleet| {
+            let ticket = fleet.submit(request(ghz(n), shots, seed)).unwrap();
+            fleet.process_all();
+            match fleet.poll(ticket.id) {
+                Some(JobState::Done(done)) => (ticket.device, done.result),
+                other => panic!("fleet job did not finish: {other:?}"),
+            }
+        });
+        let direct_result = DIRECT.with(|services| {
+            let mut service = services[routed_device].borrow_mut();
+            let id = service.submit(request(ghz(n), shots, seed)).unwrap();
+            service.process_pending();
+            match service.poll(id) {
+                Some(JobState::Done(done)) => done.result.clone(),
+                other => panic!("direct job did not finish: {other:?}"),
+            }
+        });
+        prop_assert_eq!(fleet_result, direct_result);
+    }
+}
+
+/// Two devices with the same preset and synthesis seed score identically,
+/// so the tie-break prefers device 0 — until device 0's breaker opens,
+/// after which device 1 must get every job while device 0 sits at the
+/// failover tail.
+#[test]
+fn open_breaker_device_is_skipped_while_a_healthy_candidate_exists() {
+    let mut config = small_config();
+    // One injected failure trips the breaker, and no retries mask it.
+    config.serve.retry = RetryPolicy {
+        max_retries: 0,
+        ..RetryPolicy::default()
+    };
+    config.serve.breaker = BreakerConfig {
+        failure_threshold: 1,
+        ..BreakerConfig::default()
+    };
+    let mut fleet: Fleet<ChaosBackend<DeviceBackend>> = Fleet::new(config);
+    for idx in 0..2usize {
+        let device = Arc::new(DeviceModel::synthesize(presets::melbourne14(), 7));
+        let backend = DeviceBackend::new(Arc::clone(&device));
+        // Device 0 fails every attempt; device 1 never fails.
+        let fail_percent = if idx == 0 { 100 } else { 0 };
+        fleet.add_device(
+            format!("melbourne14#{idx}"),
+            &device,
+            ChaosBackend::new(backend, fail_percent, 0xC0FFEE),
+        );
+    }
+
+    // Identical scores, so the deterministic tie-break picks device 0.
+    let doomed = fleet.submit(request(ghz(3), 64, 1)).unwrap();
+    assert_eq!(doomed.device, 0);
+    fleet.process_all();
+    assert!(matches!(fleet.poll(doomed.id), Some(JobState::Failed(_))));
+    let status = fleet.device_status();
+    assert_eq!(status[0].breaker, BreakerState::Open);
+    assert_eq!(status[1].breaker, BreakerState::Closed);
+
+    // Device 0 still scores best but is unhealthy: every subsequent job
+    // must land on device 1.
+    for seed in 2..8 {
+        let candidates = fleet.candidates(&ghz(3));
+        assert_eq!(candidates.len(), 2, "the sick device stays a candidate");
+        assert!(!candidates.iter().find(|c| c.device == 0).unwrap().healthy);
+        let ticket = fleet.submit(request(ghz(3), 64, seed)).unwrap();
+        assert_eq!(ticket.device, 1, "open breaker must be routed around");
+        fleet.process_all();
+        assert!(matches!(fleet.poll(ticket.id), Some(JobState::Done(_))));
+    }
+}
+
+/// Same two-identical-devices setup, but device 0 is sidelined by drift
+/// quarantine instead of its breaker: a calibration update that worsens
+/// one qubit's readout error past the drift threshold must divert all
+/// traffic to device 1.
+#[test]
+fn quarantined_device_is_skipped_while_a_healthy_candidate_exists() {
+    let mut fleet: Fleet<DeviceBackend> = Fleet::new(small_config());
+    let device = Arc::new(DeviceModel::synthesize(presets::melbourne14(), 7));
+    for idx in 0..2usize {
+        fleet.add_device(
+            format!("melbourne14#{idx}"),
+            &device,
+            DeviceBackend::new(Arc::clone(&device)),
+        );
+    }
+    assert_eq!(fleet.route(&ghz(3)).unwrap().device, 0);
+
+    // Re-issue device 0's calibration with qubit 0's readout error worsened
+    // far past the watchdog's 0.05 drift threshold.
+    let cal = device.calibration();
+    let topology = device.topology();
+    let readout: Vec<f64> = (0..cal.num_qubits())
+        .map(|q| {
+            if q == 0 {
+                cal.readout_err(q) + 0.2
+            } else {
+                cal.readout_err(q)
+            }
+        })
+        .collect();
+    let gate_1q: Vec<f64> = (0..cal.num_qubits()).map(|q| cal.gate_1q_err(q)).collect();
+    let cx: std::collections::BTreeMap<_, _> = topology
+        .edges()
+        .iter()
+        .map(|e| (*e, cal.cx_err(e.lo(), e.hi()).unwrap()))
+        .collect();
+    fleet.update_calibration(0, Calibration::new(readout, gate_1q, cx));
+
+    let status = fleet.device_status();
+    assert!(status[0].quarantined, "drift must quarantine device 0");
+    assert!(!status[1].quarantined);
+
+    for seed in 0..6 {
+        let ticket = fleet.submit(request(ghz(3), 64, seed)).unwrap();
+        assert_eq!(ticket.device, 1, "quarantined device must be routed around");
+        fleet.process_all();
+        assert!(matches!(fleet.poll(ticket.id), Some(JobState::Done(_))));
+    }
+}

@@ -1,0 +1,226 @@
+//! End-to-end tests for the sharded non-blocking connection layer: real
+//! TCP clients against a running [`FleetServer`], exercising frame
+//! reassembly across split writes, reject-with-reason for malformed
+//! frames, concurrent submissions, per-device fleet status, and shutdown.
+
+use edm_fleet::fleet::{Fleet, FleetConfig};
+use edm_fleet::server::{FleetServer, ServerConfig};
+use edm_serve::protocol::{Request, Response};
+use edm_serve::queue::Priority;
+use edm_serve::service::ServeConfig;
+use qdevice::presets;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn ghz_qasm() -> String {
+    let mut c = qcir::Circuit::new(3, 3);
+    c.h(0).cx(0, 1).cx(1, 2).measure_all();
+    qcir::qasm::to_qasm(&c)
+}
+
+fn spawn_server() -> (String, std::thread::JoinHandle<()>) {
+    let fleet = Fleet::synthesize(
+        &[
+            (presets::melbourne14(), "melbourne14"),
+            (presets::tokyo20(), "tokyo20"),
+        ],
+        7,
+        FleetConfig {
+            serve: ServeConfig {
+                threads: 2,
+                ..ServeConfig::default()
+            },
+            ..FleetConfig::default()
+        },
+    );
+    let config = ServerConfig {
+        shards: 2,
+        max_frame: 4096,
+        ..ServerConfig::default()
+    };
+    let server = FleetServer::bind(fleet, "127.0.0.1:0", config).expect("bind fleet server");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect to fleet server");
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("set read timeout");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).expect("write request bytes");
+        self.writer.flush().expect("flush request bytes");
+    }
+
+    fn recv(&mut self) -> Response {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        serde_json::from_str(&line).expect("response parses")
+    }
+
+    fn exchange(&mut self, request: &Request) -> Response {
+        let mut line = serde_json::to_string(request).expect("request serializes");
+        line.push('\n');
+        self.send_raw(line.as_bytes());
+        self.recv()
+    }
+
+    fn submit(&mut self, shots: u64, seed: u64) -> u64 {
+        match self.exchange(&Request::Submit {
+            qasm: ghz_qasm(),
+            shots,
+            seed,
+            priority: Priority::Normal,
+        }) {
+            Response::Accepted { id, .. } => id,
+            other => panic!("expected Accepted, got {other:?}"),
+        }
+    }
+
+    fn await_finished(&mut self, id: u64) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            match self.exchange(&Request::Poll { id }) {
+                Response::Finished { .. } => return,
+                Response::Queued { .. } => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "job {id} never finished"
+                    );
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                other => panic!("expected Finished/Queued for {id}, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn clients_submit_over_tcp_and_malformed_frames_are_rejected_with_reasons() {
+    let (addr, server) = spawn_server();
+
+    // A request split across two TCP writes must reassemble into one frame.
+    let mut split = Client::connect(&addr);
+    let mut line = serde_json::to_string(&Request::Submit {
+        qasm: ghz_qasm(),
+        shots: 64,
+        seed: 1,
+        priority: Priority::Normal,
+    })
+    .unwrap();
+    line.push('\n');
+    let bytes = line.as_bytes();
+    let cut = bytes.len() / 2;
+    split.send_raw(&bytes[..cut]);
+    std::thread::sleep(Duration::from_millis(20));
+    split.send_raw(&bytes[cut..]);
+    let split_id = match split.recv() {
+        Response::Accepted { id, .. } => id,
+        other => panic!("split write should still submit, got {other:?}"),
+    };
+
+    // Several clients submitting concurrently: unique ids, all finish.
+    let mut clients: Vec<Client> = (0..4).map(|_| Client::connect(&addr)).collect();
+    let mut ids = vec![split_id];
+    for (i, client) in clients.iter_mut().enumerate() {
+        ids.push(client.submit(64, 100 + i as u64));
+    }
+    let distinct: std::collections::BTreeSet<u64> = ids.iter().copied().collect();
+    assert_eq!(distinct.len(), ids.len(), "fleet ids must be unique");
+    split.await_finished(split_id);
+    for (i, client) in clients.iter_mut().enumerate() {
+        client.await_finished(ids[i + 1]);
+    }
+
+    // Malformed frames are answered, not dropped: the connection stays
+    // usable afterwards.
+    let mut bad = Client::connect(&addr);
+    bad.send_raw(b"{\"this is\": not json}\n");
+    match bad.recv() {
+        Response::Error { reason } => assert!(
+            reason.contains("bad request line"),
+            "unexpected reason: {reason}"
+        ),
+        other => panic!("expected Error for bad JSON, got {other:?}"),
+    }
+    bad.send_raw(b"\xff\xfe\xfd\n");
+    match bad.recv() {
+        Response::Error { reason } => assert!(
+            reason.contains("not valid UTF-8"),
+            "unexpected reason: {reason}"
+        ),
+        other => panic!("expected Error for invalid UTF-8, got {other:?}"),
+    }
+    // An unterminated 8 KiB blob overflows the 4 KiB frame bound; the
+    // framer resyncs at the next newline and the connection keeps working.
+    let mut oversized = vec![b'x'; 8 * 1024];
+    oversized.push(b'\n');
+    bad.send_raw(&oversized);
+    match bad.recv() {
+        Response::Error { reason } => assert!(
+            reason.contains("frame too long"),
+            "unexpected reason: {reason}"
+        ),
+        other => panic!("expected Error for oversized frame, got {other:?}"),
+    }
+    let survivor = bad.submit(32, 9);
+    bad.await_finished(survivor);
+
+    // FleetStats reports both devices, in index order, with every job
+    // accounted for somewhere in the fleet.
+    match bad.exchange(&Request::FleetStats) {
+        Response::FleetStats { devices } => {
+            assert_eq!(devices.len(), 2);
+            assert_eq!(devices[0].device, 0);
+            assert_eq!(devices[1].device, 1);
+            assert!(devices[0].name.starts_with("melbourne14#"));
+            assert!(devices[1].name.starts_with("tokyo20#"));
+            let submitted: u64 = devices.iter().map(|d| d.stats.submitted).sum();
+            assert_eq!(submitted, ids.len() as u64 + 1);
+        }
+        other => panic!("expected FleetStats, got {other:?}"),
+    }
+    match bad.exchange(&Request::Stats) {
+        Response::Stats { stats } => {
+            assert_eq!(stats.submitted, ids.len() as u64 + 1);
+            assert_eq!(stats.completed, ids.len() as u64 + 1);
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+
+    // Any client's Shutdown stops the whole server.
+    assert!(matches!(bad.exchange(&Request::Shutdown), Response::Bye));
+    server.join().expect("server thread exits cleanly");
+}
+
+#[test]
+fn unknown_ids_and_blank_lines_are_handled() {
+    let (addr, server) = spawn_server();
+    let mut client = Client::connect(&addr);
+    // Blank lines are ignored, not answered: the next real request gets
+    // the next response.
+    client.send_raw(b"\n\n");
+    assert!(matches!(
+        client.exchange(&Request::Poll { id: 424242 }),
+        Response::Unknown { id: 424242 }
+    ));
+    assert!(matches!(client.exchange(&Request::Shutdown), Response::Bye));
+    server.join().expect("server thread exits cleanly");
+}

@@ -12,15 +12,16 @@
 //! direct run with the same circuit, shots, and seed.
 
 use edm_serve::exitcode;
+use edm_serve::framing::{Frame, LineFramer};
 use edm_serve::journal::JournalError;
-use edm_serve::protocol::{JobSummary, MetricFamily, Request, Response};
+use edm_serve::protocol::{DeviceStatus, JobSummary, MetricFamily, Request, Response};
 use edm_serve::queue::JobRequest;
 use edm_serve::service::{JobService, JobState, ServeConfig};
 use edm_serve::validate;
 use qcir::qasm;
 use qdevice::{presets, DeviceModel};
 use qsim::NoisySimulator;
-use std::io::{BufRead, Write};
+use std::io::{Read, Write};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
@@ -29,8 +30,8 @@ const USAGE: &str = "usage:
 
 Speaks JSON lines on stdin/stdout. Requests:
   {\"Submit\":{\"qasm\":\"...\",\"shots\":N,\"seed\":N,\"priority\":\"Normal\"}}
-  {\"Poll\":{\"id\":N}}   \"Flush\"   \"Stats\"   \"Metrics\"   \"BumpCalibration\"
-  \"Shutdown\"
+  {\"Poll\":{\"id\":N}}   \"Flush\"   \"Stats\"   \"Metrics\"   \"FleetStats\"
+  \"BumpCalibration\"   \"Shutdown\"
 
 --journal PATH appends a JSON-lines write-ahead journal of accepted jobs;
 restarting with the same path replays unfinished jobs bit-identically.
@@ -163,34 +164,67 @@ fn main() -> ExitCode {
         }
     }
 
+    let device_name = format!("melbourne14#{device_seed}");
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
+    let mut input = stdin.lock();
     let mut out = stdout.lock();
-    for line in stdin.lock().lines() {
-        let line = match line {
-            Ok(line) => line,
+    // The framer reassembles requests split across reads (a pipe write or
+    // TCP segment boundary mid-line must not error) and turns malformed
+    // frames into reject-with-reason responses instead of hangups.
+    let mut framer = LineFramer::default();
+    let mut buf = [0u8; 8192];
+    loop {
+        let n = match input.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(_) => break,
         };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let request = match serde_json::from_str::<Request>(&line) {
-            Ok(request) => request,
-            Err(e) => {
-                emit(
-                    &mut out,
-                    &Response::Error {
-                        reason: format!("bad request line: {e}"),
-                    },
-                );
+        framer.feed(&buf[..n]);
+        while let Some(frame) = framer.next_frame() {
+            let line = match frame {
+                Frame::Line(line) => line,
+                Frame::Oversized { length } => {
+                    emit(
+                        &mut out,
+                        &Response::Error {
+                            reason: format!("frame too long ({length} bytes, no newline)"),
+                        },
+                    );
+                    continue;
+                }
+                Frame::InvalidUtf8 => {
+                    emit(
+                        &mut out,
+                        &Response::Error {
+                            reason: "request line is not valid UTF-8".into(),
+                        },
+                    );
+                    continue;
+                }
+            };
+            if line.trim().is_empty() {
                 continue;
             }
-        };
-        let shutdown = matches!(request, Request::Shutdown);
-        let response = handle(&mut service, request);
-        emit(&mut out, &response);
-        if shutdown {
-            return ExitCode::SUCCESS;
+            let request = match serde_json::from_str::<Request>(&line) {
+                Ok(request) => request,
+                Err(e) => {
+                    emit(
+                        &mut out,
+                        &Response::Error {
+                            reason: format!("bad request line: {e}"),
+                        },
+                    );
+                    continue;
+                }
+            };
+            let shutdown = matches!(request, Request::Shutdown);
+            let response = handle(&mut service, &device_name, request);
+            emit(&mut out, &response);
+            if shutdown {
+                return ExitCode::SUCCESS;
+            }
         }
     }
     ExitCode::SUCCESS
@@ -202,7 +236,11 @@ fn emit(out: &mut impl Write, response: &Response) {
     out.flush().expect("stdout closed");
 }
 
-fn handle<B: edm_core::Backend>(service: &mut JobService<B>, request: Request) -> Response {
+fn handle<B: edm_core::Backend>(
+    service: &mut JobService<B>,
+    device_name: &str,
+    request: Request,
+) -> Response {
     match request {
         Request::Submit {
             qasm,
@@ -270,6 +308,17 @@ fn handle<B: edm_core::Backend>(service: &mut JobService<B>, request: Request) -
                 .iter()
                 .map(MetricFamily::from_snapshot)
                 .collect(),
+        },
+        // A single-device server is a one-member fleet.
+        Request::FleetStats => Response::FleetStats {
+            devices: vec![DeviceStatus {
+                device: 0,
+                name: device_name.to_string(),
+                queue_depth: service.queue_depth() as u64,
+                breaker: service.breaker_state(),
+                quarantined: service.is_quarantined(),
+                stats: service.stats(),
+            }],
         },
         Request::Shutdown => Response::Bye,
     }

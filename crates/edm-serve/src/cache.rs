@@ -28,7 +28,7 @@ pub struct CacheKey {
 }
 
 /// Counter snapshot of a [`CompileCache`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Lookups that found a live entry.
     pub hits: u64,

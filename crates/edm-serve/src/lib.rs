@@ -18,6 +18,9 @@
 //!   [`ChaosBackend`](dispatch::ChaosBackend) test doubles,
 //! - [`journal`] — a JSON-lines write-ahead journal so accepted jobs
 //!   survive a service crash and replay bit-identically,
+//! - [`framing`] — the incremental line decoder both front ends use, so a
+//!   request split across reads reassembles and a malformed frame gets a
+//!   reject-with-reason instead of a dropped connection,
 //! - [`service`] — the [`JobService`](service::JobService) orchestrator that
 //!   coalesces queued jobs into one `execute_batch` dispatch,
 //! - [`protocol`] — the JSON-lines request/response types the `edm-serve`
@@ -68,6 +71,7 @@ pub mod cache;
 pub mod clock;
 pub mod dispatch;
 pub mod exitcode;
+pub mod framing;
 pub mod journal;
 pub mod protocol;
 pub mod queue;

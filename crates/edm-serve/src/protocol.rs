@@ -40,6 +40,9 @@ pub enum Request {
     /// Snapshot the telemetry registry as JSON metric families (the same
     /// data `--metrics-port` serves as Prometheus text).
     Metrics,
+    /// Snapshot per-device status (only meaningful against a fleet; a
+    /// single-device server answers with its one device).
+    FleetStats,
     /// Stop the service loop.
     Shutdown,
 }
@@ -95,6 +98,12 @@ pub enum Response {
         /// Every registered metric with its current value.
         families: Vec<MetricFamily>,
     },
+    /// Per-device fleet snapshot: one entry per virtual device, in stable
+    /// device-index order.
+    FleetStats {
+        /// Every fleet member's routing-relevant status.
+        devices: Vec<DeviceStatus>,
+    },
     /// A `Flush` completed.
     Processed {
         /// How many queued jobs were dispatched.
@@ -112,6 +121,27 @@ pub enum Response {
     },
     /// Acknowledges `Shutdown`; the service exits after sending it.
     Bye,
+}
+
+/// One fleet member's status as the scheduler sees it: everything the
+/// router consults (health, depth) plus the device's full counter
+/// snapshot, so `FleetStats` distinguishes fleet members the way labeled
+/// `/metrics` families do.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceStatus {
+    /// Stable device index within the fleet (the routing tie-break key).
+    pub device: u64,
+    /// Human-readable device name (topology preset + seed).
+    pub name: String,
+    /// Jobs waiting in this device's admission queue.
+    pub queue_depth: u64,
+    /// The device breaker's admission state right now.
+    pub breaker: crate::dispatch::BreakerState,
+    /// True when the drift watchdog is quarantining any of the device's
+    /// qubits or links.
+    pub quarantined: bool,
+    /// The device's full `JobService` counter snapshot.
+    pub stats: crate::stats::ServiceStats,
 }
 
 /// One telemetry metric on the wire, mirroring
@@ -147,20 +177,45 @@ pub enum MetricFamily {
 }
 
 impl MetricFamily {
-    /// Converts a registry snapshot entry for the wire.
+    /// Converts a registry snapshot entry for the wire. Labeled series
+    /// carry their labels in the name, Prometheus-style
+    /// (`name{device="d0"}`), so a fleet's per-device families stay
+    /// distinguishable without changing the wire shape.
     pub fn from_snapshot(snapshot: &edm_telemetry::metrics::MetricSnapshot) -> Self {
         use edm_telemetry::metrics::MetricSnapshot;
+        let wire_name = |name: &str, labels: &str| {
+            if labels.is_empty() {
+                name.to_string()
+            } else {
+                format!("{name}{{{labels}}}")
+            }
+        };
         match snapshot {
-            MetricSnapshot::Counter { name, value, .. } => MetricFamily::Counter {
-                name: (*name).to_string(),
+            MetricSnapshot::Counter {
+                name,
+                labels,
+                value,
+                ..
+            } => MetricFamily::Counter {
+                name: wire_name(name, labels),
                 value: *value,
             },
-            MetricSnapshot::Gauge { name, value, .. } => MetricFamily::Gauge {
-                name: (*name).to_string(),
+            MetricSnapshot::Gauge {
+                name,
+                labels,
+                value,
+                ..
+            } => MetricFamily::Gauge {
+                name: wire_name(name, labels),
                 value: *value,
             },
-            MetricSnapshot::Histogram { name, snapshot, .. } => MetricFamily::Histogram {
-                name: (*name).to_string(),
+            MetricSnapshot::Histogram {
+                name,
+                labels,
+                snapshot,
+                ..
+            } => MetricFamily::Histogram {
+                name: wire_name(name, labels),
                 count: snapshot.count,
                 sum: snapshot.sum,
                 buckets: snapshot.buckets.clone(),
@@ -300,6 +355,72 @@ mod tests {
         assert_eq!(
             serde_json::from_str::<Request>("\"Metrics\"").unwrap(),
             Request::Metrics
+        );
+    }
+
+    #[test]
+    fn labeled_snapshots_ride_the_wire_name() {
+        edm_telemetry::set_enabled(true);
+        let registry = edm_telemetry::metrics::Registry::new();
+        registry
+            .counter_with("edm_proto_fleet_jobs_total", "Jobs", &[("device", "d1")])
+            .add(2);
+        let families: Vec<MetricFamily> = registry
+            .snapshot()
+            .iter()
+            .map(MetricFamily::from_snapshot)
+            .collect();
+        assert_eq!(families.len(), 1);
+        assert_eq!(
+            families[0].name(),
+            "edm_proto_fleet_jobs_total{device=\"d1\"}"
+        );
+    }
+
+    #[test]
+    fn fleet_stats_roundtrips_through_json() {
+        use crate::queue::{JobRequest, Priority};
+        use crate::service::{JobService, ServeConfig};
+        use qdevice::{presets, DeviceModel};
+        use qsim::NoisySimulator;
+
+        let device = DeviceModel::synthesize(presets::melbourne14(), 3);
+        let backend = NoisySimulator::from_device(&device);
+        let mut svc = JobService::new(
+            device.topology().clone(),
+            device.calibration(),
+            backend,
+            ServeConfig {
+                threads: 2,
+                ..ServeConfig::default()
+            },
+        );
+        let mut bell = qcir::Circuit::new(2, 2);
+        bell.h(0).cx(0, 1).measure_all();
+        svc.submit(JobRequest {
+            circuit: bell,
+            shots: 64,
+            seed: 1,
+            priority: Priority::Normal,
+        })
+        .unwrap();
+
+        let resp = Response::FleetStats {
+            devices: vec![DeviceStatus {
+                device: 0,
+                name: "melbourne14#3".into(),
+                queue_depth: svc.queue_depth() as u64,
+                breaker: svc.breaker_state(),
+                quarantined: false,
+                stats: svc.stats(),
+            }],
+        };
+        let line = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(
+            serde_json::from_str::<Request>("\"FleetStats\"").unwrap(),
+            Request::FleetStats
         );
     }
 

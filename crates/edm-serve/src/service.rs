@@ -343,7 +343,7 @@ impl<B: Backend> JobService<B> {
             // Compile under the job's trace id so transpile/VF2 spans of a
             // cache miss carry it.
             let _trace = edm_telemetry::trace::with_trace(self.trace_id(job.id).unwrap_or(0));
-            let ensemble = match self.compile_cached(&job) {
+            let ensemble = match self.compile_cached(&job.request.circuit) {
                 Ok(members) => members,
                 Err(reason) => {
                     self.fail(job.id, reason);
@@ -539,14 +539,47 @@ impl<B: Backend> JobService<B> {
         }
     }
 
-    /// Looks the job's ensemble up in the cache, compiling (and caching) on
-    /// a miss.
+    /// The predicted success probability of running `circuit` on this
+    /// device right now: the ESP of the best ensemble member under the
+    /// current calibration and quarantine. Compiles through the cache, so
+    /// scoring a circuit warms the same entry its subsequent submission
+    /// hits — a fleet scheduler can score every device without paying for
+    /// compilation twice.
+    ///
+    /// # Errors
+    ///
+    /// The compilation error as text when the circuit cannot be mapped to
+    /// this device (too many qubits, no embedding) — a scheduler treats
+    /// that as "this device is not a candidate".
+    pub fn predicted_esp(&mut self, circuit: &qcir::Circuit) -> Result<f64, String> {
+        let members = self.compile_cached(circuit)?;
+        // build_ensemble returns members best-ESP-first.
+        members
+            .first()
+            .map(|m| m.esp)
+            .ok_or_else(|| "empty ensemble".to_string())
+    }
+
+    /// The backend breaker's admission state right now.
+    pub fn breaker_state(&self) -> crate::dispatch::BreakerState {
+        self.dispatcher.state()
+    }
+
+    /// True when the drift watchdog currently quarantines any qubit or
+    /// link of this device.
+    pub fn is_quarantined(&self) -> bool {
+        let q = self.watchdog.quarantine();
+        q.num_qubits() > 0 || q.num_links() > 0
+    }
+
+    /// Looks a circuit's ensemble up in the cache, compiling (and caching)
+    /// on a miss.
     fn compile_cached(
         &mut self,
-        job: &QueuedJob,
+        circuit: &qcir::Circuit,
     ) -> Result<Arc<Vec<edm_core::EnsembleMember>>, String> {
         let key = CacheKey {
-            circuit: job.request.circuit.fingerprint(),
+            circuit: circuit.fingerprint(),
             topology: self.topology_fp,
             generation: self.calibration.generation(),
         };
@@ -568,7 +601,7 @@ impl<B: Backend> JobService<B> {
         // cached ensembles never reflect a stale quarantine.
         let transpiler = Transpiler::new(&self.topology, &self.calibration)
             .with_quarantine(self.watchdog.quarantine());
-        let members = build_ensemble(&transpiler, &job.request.circuit, &self.config.ensemble)
+        let members = build_ensemble(&transpiler, circuit, &self.config.ensemble)
             .map_err(|e| e.to_string())?;
         self.compilations += 1;
         Ok(self.cache.insert(key, members))
@@ -744,6 +777,34 @@ mod tests {
         svc.submit(request(ghz(3), 512, 3)).unwrap();
         svc.process_pending();
         assert_eq!(svc.stats().compilations, 2, "bump must force a recompile");
+    }
+
+    #[test]
+    fn predicted_esp_warms_the_cache_for_submission() {
+        let device = DeviceModel::synthesize(presets::melbourne14(), 11);
+        let backend = NoisySimulator::from_device(&device);
+        let mut svc = JobService::new(
+            device.topology().clone(),
+            device.calibration(),
+            backend,
+            small_config(),
+        );
+        let esp = svc.predicted_esp(&ghz(3)).unwrap();
+        assert!(esp > 0.0 && esp <= 1.0, "ESP must be a probability: {esp}");
+        assert_eq!(svc.stats().compilations, 1);
+
+        // Scoring is idempotent and the submission reuses the entry.
+        assert_eq!(svc.predicted_esp(&ghz(3)).unwrap(), esp);
+        let id = svc.submit(request(ghz(3), 256, 4)).unwrap();
+        svc.process_pending();
+        assert!(matches!(svc.poll(id), Some(JobState::Done(_))));
+        assert_eq!(svc.stats().compilations, 1, "submission must hit cache");
+        assert_eq!(svc.stats().cache.hits, 2);
+
+        // A circuit the device cannot host is an error, not a panic.
+        assert!(svc.predicted_esp(&ghz(20)).is_err());
+        assert_eq!(svc.breaker_state(), crate::dispatch::BreakerState::Closed);
+        assert!(!svc.is_quarantined());
     }
 
     #[test]

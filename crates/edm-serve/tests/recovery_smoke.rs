@@ -101,9 +101,11 @@ fn killed_server_replays_its_journal_on_restart() {
         summary.trace_id, acked_trace,
         "the replayed job must keep the trace id acknowledged before the crash"
     );
-    // Trace ids are freshly drawn per process, so the reference run's id
-    // differs by construction; everything else must be bit-identical.
+    // Trace ids are freshly drawn per process and latency is wall-clock,
+    // so both differ across runs by construction; everything else must be
+    // bit-identical.
     want.trace_id = summary.trace_id;
+    want.latency_ms = summary.latency_ms;
     assert_eq!(summary, want, "replay must be bit-identical");
     send(&mut child, &Request::Shutdown);
     assert_eq!(recv(&mut out), Response::Bye);

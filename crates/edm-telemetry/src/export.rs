@@ -13,36 +13,84 @@ use crate::metrics::{HistogramSnapshot, MetricSnapshot, Registry};
 /// `_bucket{le="…"}` series ending in `+Inf`, plus `_sum` and `_count`.
 pub fn prometheus_text(registry: &Registry) -> String {
     let mut out = String::new();
+    // Labeled series of one family share HELP/TYPE: the snapshot is
+    // sorted (name, labels), so emit the header whenever the name changes.
+    let mut last_name = "";
     for metric in registry.snapshot() {
-        match metric {
-            MetricSnapshot::Counter { name, help, value } => {
-                header(&mut out, name, help, "counter");
-                out.push_str(&format!("{name} {value}\n"));
+        if metric.name() != last_name {
+            let kind = match &metric {
+                MetricSnapshot::Counter { .. } => "counter",
+                MetricSnapshot::Gauge { .. } => "gauge",
+                MetricSnapshot::Histogram { .. } => "histogram",
+            };
+            let help = match &metric {
+                MetricSnapshot::Counter { help, .. }
+                | MetricSnapshot::Gauge { help, .. }
+                | MetricSnapshot::Histogram { help, .. } => help,
+            };
+            header(&mut out, metric.name(), help, kind);
+            last_name = metric.name();
+        }
+        // `series("name", "")` is `name`; `series("name", labels)` is
+        // `name{labels}`.
+        let series = |name: &str, labels: &str| {
+            if labels.is_empty() {
+                name.to_string()
+            } else {
+                format!("{name}{{{labels}}}")
             }
-            MetricSnapshot::Gauge { name, help, value } => {
-                header(&mut out, name, help, "gauge");
-                out.push_str(&format!("{name} {value}\n"));
+        };
+        match metric {
+            MetricSnapshot::Counter {
+                name,
+                labels,
+                value,
+                ..
+            } => {
+                out.push_str(&format!("{} {value}\n", series(name, labels)));
+            }
+            MetricSnapshot::Gauge {
+                name,
+                labels,
+                value,
+                ..
+            } => {
+                out.push_str(&format!("{} {value}\n", series(name, labels)));
             }
             MetricSnapshot::Histogram {
                 name,
-                help,
+                labels,
                 snapshot,
+                ..
             } => {
-                header(&mut out, name, help, "histogram");
+                // `le` joins any series labels inside one brace set.
+                let le_prefix = if labels.is_empty() {
+                    String::new()
+                } else {
+                    format!("{labels},")
+                };
                 let mut cumulative = 0u64;
                 for (i, &n) in snapshot.buckets.iter().enumerate() {
                     cumulative += n;
                     out.push_str(&format!(
-                        "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                        "{name}_bucket{{{le_prefix}le=\"{}\"}} {cumulative}\n",
                         1u64 << i
                     ));
                 }
                 out.push_str(&format!(
-                    "{name}_bucket{{le=\"+Inf\"}} {}\n",
+                    "{name}_bucket{{{le_prefix}le=\"+Inf\"}} {}\n",
                     snapshot.count
                 ));
-                out.push_str(&format!("{name}_sum {}\n", snapshot.sum));
-                out.push_str(&format!("{name}_count {}\n", snapshot.count));
+                out.push_str(&format!(
+                    "{} {}\n",
+                    series(&format!("{name}_sum"), labels),
+                    snapshot.sum
+                ));
+                out.push_str(&format!(
+                    "{} {}\n",
+                    series(&format!("{name}_count"), labels),
+                    snapshot.count
+                ));
             }
         }
     }
@@ -70,26 +118,49 @@ pub fn json(registry: &Registry) -> String {
         if i > 0 {
             out.push(',');
         }
+        // Unlabeled metrics keep the historical object shape; labeled
+        // series add a `labels` field carrying the rendered pairs.
+        let labels_field = |labels: &str| {
+            if labels.is_empty() {
+                String::new()
+            } else {
+                format!("\"labels\":\"{}\",", escape_json(labels))
+            }
+        };
         match metric {
-            MetricSnapshot::Counter { name, help, value } => {
+            MetricSnapshot::Counter {
+                name,
+                labels,
+                help,
+                value,
+            } => {
                 out.push_str(&format!(
-                    "{{\"name\":\"{name}\",\"type\":\"counter\",\"help\":\"{}\",\"value\":{value}}}",
+                    "{{\"name\":\"{name}\",{}\"type\":\"counter\",\"help\":\"{}\",\"value\":{value}}}",
+                    labels_field(labels),
                     escape_json(help)
                 ));
             }
-            MetricSnapshot::Gauge { name, help, value } => {
+            MetricSnapshot::Gauge {
+                name,
+                labels,
+                help,
+                value,
+            } => {
                 out.push_str(&format!(
-                    "{{\"name\":\"{name}\",\"type\":\"gauge\",\"help\":\"{}\",\"value\":{value}}}",
+                    "{{\"name\":\"{name}\",{}\"type\":\"gauge\",\"help\":\"{}\",\"value\":{value}}}",
+                    labels_field(labels),
                     escape_json(help)
                 ));
             }
             MetricSnapshot::Histogram {
                 name,
+                labels,
                 help,
                 snapshot,
             } => {
                 out.push_str(&format!(
-                    "{{\"name\":\"{name}\",\"type\":\"histogram\",\"help\":\"{}\",{}}}",
+                    "{{\"name\":\"{name}\",{}\"type\":\"histogram\",\"help\":\"{}\",{}}}",
+                    labels_field(labels),
                     escape_json(help),
                     histogram_json_fields(snapshot)
                 ));
@@ -181,6 +252,35 @@ mod tests {
         assert!(j.contains("\"name\":\"edm_export_hits_total\",\"type\":\"counter\",\"help\":\"Cache hits\",\"value\":3"));
         assert!(j.contains("\"name\":\"edm_export_depth\",\"type\":\"gauge\""));
         assert!(j.contains("\"count\":3,\"sum\":7,\"buckets\":[1,0,2,"));
+    }
+
+    #[test]
+    fn labeled_series_render_with_labels() {
+        crate::set_enabled(true);
+        let r = Registry::new();
+        r.counter_with("edm_export_fleet_jobs_total", "Jobs", &[("device", "d0")])
+            .add(4);
+        r.counter_with("edm_export_fleet_jobs_total", "Jobs", &[("device", "d1")])
+            .add(1);
+        let h = r.histogram_with("edm_export_fleet_us", "Latency", &[("device", "d0")]);
+        h.observe(3);
+        let text = prometheus_text(&r);
+        assert!(text.contains("edm_export_fleet_jobs_total{device=\"d0\"} 4\n"));
+        assert!(text.contains("edm_export_fleet_jobs_total{device=\"d1\"} 1\n"));
+        // One HELP/TYPE header per family, not per series.
+        assert_eq!(
+            text.matches("# TYPE edm_export_fleet_jobs_total").count(),
+            1
+        );
+        // Histogram series merge the device label with `le`.
+        assert!(text.contains("edm_export_fleet_us_bucket{device=\"d0\",le=\"4\"} 1\n"));
+        assert!(text.contains("edm_export_fleet_us_sum{device=\"d0\"} 3\n"));
+        assert!(text.contains("edm_export_fleet_us_count{device=\"d0\"} 1\n"));
+
+        let j = json(&r);
+        assert!(
+            j.contains("\"name\":\"edm_export_fleet_jobs_total\",\"labels\":\"device=\\\"d0\\\"\"")
+        );
     }
 
     #[test]

@@ -235,6 +235,8 @@ pub enum MetricSnapshot {
     Counter {
         /// Registered name.
         name: &'static str,
+        /// Rendered label pairs (`device="d0"`), empty for unlabeled.
+        labels: &'static str,
         /// Registered help text.
         help: &'static str,
         /// Current value.
@@ -244,6 +246,8 @@ pub enum MetricSnapshot {
     Gauge {
         /// Registered name.
         name: &'static str,
+        /// Rendered label pairs, empty for unlabeled.
+        labels: &'static str,
         /// Registered help text.
         help: &'static str,
         /// Current value.
@@ -253,6 +257,8 @@ pub enum MetricSnapshot {
     Histogram {
         /// Registered name.
         name: &'static str,
+        /// Rendered label pairs, empty for unlabeled.
+        labels: &'static str,
         /// Registered help text.
         help: &'static str,
         /// The copied buckets.
@@ -261,12 +267,22 @@ pub enum MetricSnapshot {
 }
 
 impl MetricSnapshot {
-    /// The metric's registered name.
+    /// The metric's registered name (family name, labels excluded).
     pub fn name(&self) -> &'static str {
         match self {
             MetricSnapshot::Counter { name, .. }
             | MetricSnapshot::Gauge { name, .. }
             | MetricSnapshot::Histogram { name, .. } => name,
+        }
+    }
+
+    /// The metric's rendered label pairs (`key="value",…`), `""` when the
+    /// metric was registered without labels.
+    pub fn labels(&self) -> &'static str {
+        match self {
+            MetricSnapshot::Counter { labels, .. }
+            | MetricSnapshot::Gauge { labels, .. }
+            | MetricSnapshot::Histogram { labels, .. } => labels,
         }
     }
 }
@@ -288,6 +304,8 @@ impl Metric {
 }
 
 struct Entry {
+    name: &'static str,
+    labels: &'static str,
     help: &'static str,
     metric: Metric,
 }
@@ -296,9 +314,16 @@ struct Entry {
 ///
 /// Most code uses the process-global [`registry`]; tests that need
 /// isolation construct their own.
+///
+/// Metrics may carry **labels** (the `*_with` registration family): the
+/// same family name registered under different label sets yields
+/// independent series, exposed as `name{key="value"} v` — how the fleet
+/// keys its counters by device id. Labeled registration allocates on every
+/// call (the label values are runtime strings), so callers should register
+/// once and cache the returned `'static` handle.
 #[derive(Default)]
 pub struct Registry {
-    entries: Mutex<BTreeMap<&'static str, Entry>>,
+    entries: Mutex<BTreeMap<(String, String), Entry>>,
 }
 
 impl Registry {
@@ -316,7 +341,26 @@ impl Registry {
     /// Panics if `name` is invalid (see [`valid_name`]) or already
     /// registered as a different metric type.
     pub fn counter(&self, name: &'static str, help: &'static str) -> &'static Counter {
-        match self.register(name, help, || Metric::Counter(Box::leak(Box::default()))) {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Returns the counter registered under `name` with `labels` (one
+    /// series per distinct label set), registering it on first use. The
+    /// returned handle is `'static`; cache it — labeled lookup allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` or a label key is invalid (see [`valid_name`]), or
+    /// if the series is already registered as a different metric type.
+    pub fn counter_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> &'static Counter {
+        match self.register(name, help, labels, || {
+            Metric::Counter(Box::leak(Box::default()))
+        }) {
             Metric::Counter(c) => c,
             other => panic!("metric {name} already registered as a {}", other.kind()),
         }
@@ -329,7 +373,24 @@ impl Registry {
     ///
     /// Same conditions as [`Registry::counter`].
     pub fn gauge(&self, name: &'static str, help: &'static str) -> &'static Gauge {
-        match self.register(name, help, || Metric::Gauge(Box::leak(Box::default()))) {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Labeled [`Registry::gauge`]; same contract as
+    /// [`Registry::counter_with`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Registry::counter_with`].
+    pub fn gauge_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> &'static Gauge {
+        match self.register(name, help, labels, || {
+            Metric::Gauge(Box::leak(Box::default()))
+        }) {
             Metric::Gauge(g) => g,
             other => panic!("metric {name} already registered as a {}", other.kind()),
         }
@@ -342,7 +403,24 @@ impl Registry {
     ///
     /// Same conditions as [`Registry::counter`].
     pub fn histogram(&self, name: &'static str, help: &'static str) -> &'static Histogram {
-        match self.register(name, help, || Metric::Histogram(Box::leak(Box::default()))) {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Labeled [`Registry::histogram`]; same contract as
+    /// [`Registry::counter_with`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Registry::counter_with`].
+    pub fn histogram_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> &'static Histogram {
+        match self.register(name, help, labels, || {
+            Metric::Histogram(Box::leak(Box::default()))
+        }) {
             Metric::Histogram(h) => h,
             other => panic!("metric {name} already registered as a {}", other.kind()),
         }
@@ -352,14 +430,23 @@ impl Registry {
         &self,
         name: &'static str,
         help: &'static str,
+        labels: &[(&str, &str)],
         make: impl FnOnce() -> Metric,
     ) -> Metric {
         assert!(valid_name(name), "invalid metric name {name:?}");
+        let rendered = render_labels(labels);
         let mut entries = self.entries.lock().expect("registry lock poisoned");
-        let entry = entries.entry(name).or_insert_with(|| Entry {
-            help,
-            metric: make(),
-        });
+        let key = (name.to_string(), rendered);
+        let entry = entries
+            .entry(key)
+            .or_insert_with_key(|(_, rendered)| Entry {
+                name,
+                // Leaked exactly once per (name, labels) series, on first
+                // registration; later lookups hit the map and reuse it.
+                labels: Box::leak(rendered.clone().into_boxed_str()),
+                help,
+                metric: make(),
+            });
         match &entry.metric {
             Metric::Counter(c) => Metric::Counter(c),
             Metric::Gauge(g) => Metric::Gauge(g),
@@ -376,20 +463,23 @@ impl Registry {
     pub fn snapshot(&self) -> Vec<MetricSnapshot> {
         let entries = self.entries.lock().expect("registry lock poisoned");
         entries
-            .iter()
-            .map(|(name, entry)| match &entry.metric {
+            .values()
+            .map(|entry| match &entry.metric {
                 Metric::Counter(c) => MetricSnapshot::Counter {
-                    name,
+                    name: entry.name,
+                    labels: entry.labels,
                     help: entry.help,
                     value: c.get(),
                 },
                 Metric::Gauge(g) => MetricSnapshot::Gauge {
-                    name,
+                    name: entry.name,
+                    labels: entry.labels,
                     help: entry.help,
                     value: g.get(),
                 },
                 Metric::Histogram(h) => MetricSnapshot::Histogram {
-                    name,
+                    name: entry.name,
+                    labels: entry.labels,
                     help: entry.help,
                     snapshot: HistogramSnapshot {
                         count: h.count(),
@@ -416,6 +506,35 @@ impl Registry {
 pub fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
     REGISTRY.get_or_init(Registry::new)
+}
+
+/// Renders label pairs into the canonical exposition form
+/// `key="value",key2="value2"` (order preserved, values escaped for
+/// Prometheus/JSON: backslash, quote, newline).
+///
+/// # Panics
+///
+/// Panics if a label key is not a valid metric-name identifier.
+pub fn render_labels(labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (i, (key, value)) in labels.iter().enumerate() {
+        assert!(valid_name(key), "invalid label key {key:?}");
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(key);
+        out.push_str("=\"");
+        for c in value.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out
 }
 
 /// Whether `name` is a legal metric name: `[a-zA-Z_][a-zA-Z0-9_]*`
@@ -576,6 +695,63 @@ mod tests {
                 other => panic!("expected histogram, got {other:?}"),
             }
         });
+    }
+
+    #[test]
+    fn labeled_series_are_independent() {
+        with_enabled(|| {
+            let r = Registry::new();
+            let a = r.counter_with("edm_test_dev_total", "h", &[("device", "d0")]);
+            let b = r.counter_with("edm_test_dev_total", "h", &[("device", "d1")]);
+            a.inc();
+            a.inc();
+            b.inc();
+            assert_eq!(a.get(), 2);
+            assert_eq!(b.get(), 1);
+            // Re-registration with the same labels returns the same series.
+            assert_eq!(
+                r.counter_with("edm_test_dev_total", "h", &[("device", "d0")])
+                    .get(),
+                2
+            );
+            assert_eq!(r.len(), 2);
+            let snap = r.snapshot();
+            assert_eq!(snap[0].labels(), "device=\"d0\"");
+            assert_eq!(snap[1].labels(), "device=\"d1\"");
+            assert_eq!(snap[0].name(), snap[1].name());
+        });
+    }
+
+    #[test]
+    fn labeled_and_unlabeled_coexist_per_name() {
+        with_enabled(|| {
+            let r = Registry::new();
+            r.gauge("edm_test_mixed_depth", "h").set(3);
+            r.gauge_with("edm_test_mixed_depth", "h", &[("device", "d0")])
+                .set(9);
+            let snap = r.snapshot();
+            assert_eq!(snap.len(), 2);
+            // Unlabeled sorts first (empty label string).
+            assert_eq!(snap[0].labels(), "");
+            assert_eq!(snap[1].labels(), "device=\"d0\"");
+        });
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(
+            render_labels(&[("device", "a\"b\\c\nd")]),
+            "device=\"a\\\"b\\\\c\\nd\""
+        );
+        assert_eq!(render_labels(&[("a", "1"), ("b", "2")]), "a=\"1\",b=\"2\"");
+        assert_eq!(render_labels(&[]), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid label key")]
+    fn invalid_label_key_rejected() {
+        let r = Registry::new();
+        r.counter_with("edm_test_bad_label", "h", &[("bad-key", "v")]);
     }
 
     #[test]

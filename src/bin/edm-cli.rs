@@ -5,6 +5,8 @@
 //! edm-cli transpile <circuit.qasm> [--seed N] map onto a simulated IBMQ-14
 //! edm-cli run <circuit.qasm> [--shots N] [--seed N] [--threads N] [--profile]
 //!                                             baseline vs EDM vs WEDM
+//! edm-cli run <circuit.qasm> --connect ADDR [--shots N] [--seed N]
+//!                                             submit to a fleet server
 //! edm-cli device [--seed N]                   dump the device model as JSON
 //! ```
 //!
@@ -96,14 +98,20 @@ const USAGE: &str = "usage:
   edm-cli draw <circuit.qasm>
   edm-cli transpile <circuit.qasm> [--seed N]
   edm-cli run <circuit.qasm> [--shots N] [--seed N] [--threads N] [--profile]
+  edm-cli run <circuit.qasm> --connect ADDR [--shots N] [--seed N]
   edm-cli device [--seed N]
 
 run options:
   --threads N   cap execution worker threads, N >= 1 (default: all cores;
                 results are identical for every N — threads only change
-                speed)
+                speed). With --connect the server picks its own thread
+                count (same validation, same results either way)
   --profile     enable telemetry for this run and print a per-stage timing
                 table (calls, total ms, % of wall) after the results
+  --connect ADDR
+                submit to a running edm-serve/edm-fleet JSON-lines server
+                at ADDR (e.g. 127.0.0.1:7878) instead of running locally,
+                then poll until the job finishes and print its summary
 
 exit codes:
   0   success
@@ -123,6 +131,17 @@ fn opt_flag(args: &[String], name: &str) -> Result<Option<u64>, CliError> {
             .and_then(|v| v.parse().ok())
             .map(Some)
             .ok_or_else(|| CliError::usage(format!("{name} expects an integer"))),
+        None => Ok(None),
+    }
+}
+
+fn text_flag(args: &[String], name: &str) -> Result<Option<String>, CliError> {
+    match args.iter().position(|a| a == name) {
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| CliError::usage(format!("{name} expects a value"))),
         None => Ok(None),
     }
 }
@@ -171,6 +190,11 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         return Err(CliError::data(
             "circuit has no measurements; nothing to run",
         ));
+    }
+    // --threads was validated above even for remote runs (catch bad values
+    // before touching the network); the server picks its own thread count.
+    if let Some(addr) = text_flag(args, "--connect")? {
+        return cmd_run_remote(&addr, &circuit, shots, seed);
     }
     if profile {
         edm_telemetry::set_enabled(true);
@@ -244,6 +268,87 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         print_profile(wall);
     }
     Ok(())
+}
+
+/// `run --connect`: submits the circuit to a JSON-lines server (an
+/// `edm-fleet` front end or a line-oriented `edm-serve` peer), polls the
+/// returned id until the job reaches a terminal state, and prints the
+/// summary. Connection problems exit 75 (transient — the server may just
+/// not be up yet); a server-side rejection or job failure exits 65.
+fn cmd_run_remote(addr: &str, circuit: &Circuit, shots: u64, seed: u64) -> Result<(), CliError> {
+    use edm_serve::protocol::{Request, Response};
+    use std::io::{BufRead, BufReader, Write};
+
+    let transient = |message: String| CliError {
+        code: exitcode::TRANSIENT,
+        message,
+    };
+    let stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| transient(format!("cannot connect to {addr}: {e}")))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| transient(format!("{addr}: {e}")))?,
+    );
+    let mut writer = stream;
+    let mut exchange = |request: &Request| -> Result<Response, CliError> {
+        let line = serde_json::to_string(request)
+            .map_err(|e| CliError::other(format!("encode request: {e}")))?;
+        writeln!(writer, "{line}").map_err(|e| transient(format!("{addr}: write: {e}")))?;
+        let mut response = String::new();
+        match reader.read_line(&mut response) {
+            Ok(0) => Err(transient(format!("{addr}: server closed the connection"))),
+            Ok(_) => serde_json::from_str(&response)
+                .map_err(|e| CliError::other(format!("{addr}: bad response: {e}"))),
+            Err(e) => Err(transient(format!("{addr}: read: {e}"))),
+        }
+    };
+
+    let id = match exchange(&Request::Submit {
+        qasm: qasm::to_qasm(circuit),
+        shots,
+        seed,
+        priority: edm_serve::queue::Priority::Normal,
+    })? {
+        Response::Accepted { id, trace_id } => {
+            println!("accepted: id {id}  trace {trace_id:#018x}");
+            id
+        }
+        Response::Rejected { reason } => {
+            return Err(CliError::data(format!("server rejected the job: {reason}")))
+        }
+        other => return Err(CliError::other(format!("unexpected response: {other:?}"))),
+    };
+
+    loop {
+        match exchange(&Request::Poll { id })? {
+            Response::Queued { .. } => std::thread::sleep(std::time::Duration::from_millis(20)),
+            Response::Finished { summary, .. } => {
+                println!(
+                    "finished: {} member(s), {} shot(s), {} ms",
+                    summary.members, summary.shots, summary.latency_ms
+                );
+                if summary.degraded {
+                    println!(
+                        "DEGRADED: {} member(s) failed permanently",
+                        summary.failed_members
+                    );
+                }
+                println!(
+                    "top outcome: {}  p = {:.4}",
+                    summary.top_outcome, summary.top_probability
+                );
+                return Ok(());
+            }
+            Response::Failed { reason, .. } => {
+                return Err(CliError::data(format!(
+                    "job failed on the server: {reason}"
+                )))
+            }
+            other => return Err(CliError::other(format!("unexpected response: {other:?}"))),
+        }
+    }
 }
 
 /// Prints the per-stage timing table `--profile` promises: one row per
