@@ -24,7 +24,8 @@ use crate::metrics;
 use crate::wedm;
 use crate::EdmError;
 use qcir::{Circuit, Gate, Qubit};
-use qdevice::{vf2, Topology};
+use qdevice::mapper::{self, SearchOutcome};
+use qdevice::Topology;
 use qmap::{esp, Transpiler};
 use qsim::Counts;
 
@@ -123,14 +124,32 @@ pub struct EnsembleMember {
 /// # Errors
 ///
 /// - [`EdmError::InvalidConfig`] if `config.size == 0`.
-/// - [`EdmError::NoEmbeddings`] if VF2 finds nothing (cannot happen when
-///   `physical` already satisfies the coupling constraints).
+/// - [`EdmError::NoEmbeddings`] if the embedding search finds nothing
+///   (cannot happen when `physical` already satisfies the coupling
+///   constraints and the search is exhaustive).
 /// - Mapping errors from ESP evaluation.
 pub fn diversify(
     transpiler: &Transpiler<'_>,
     physical: &Circuit,
     config: &EnsembleConfig,
 ) -> Result<Vec<EnsembleMember>, EdmError> {
+    diversify_detailed(transpiler, physical, config).map(|(members, _)| members)
+}
+
+/// [`diversify`] plus the embedding-search outcome, so callers (the CLI's
+/// `map` command, dashboards) can tell a full candidate pool from one the
+/// mapper's budget truncated. The embedding engine is the transpiler's
+/// [`qmap::MapperSelection`]: exhaustive VF2 on small devices, the
+/// budgeted FDLS search on large heavy-hex ones.
+///
+/// # Errors
+///
+/// Same conditions as [`diversify`].
+pub fn diversify_detailed(
+    transpiler: &Transpiler<'_>,
+    physical: &Circuit,
+    config: &EnsembleConfig,
+) -> Result<(Vec<EnsembleMember>, SearchOutcome), EdmError> {
     if config.size == 0 {
         return Err(EdmError::InvalidConfig("ensemble size must be positive"));
     }
@@ -152,17 +171,30 @@ pub fn diversify(
 
     // Enumerate on the quarantine-masked view first; quarantine is advisory,
     // so fall back to the full device rather than return zero embeddings.
-    let mut embeddings = vf2::enumerate_subgraph_isomorphisms(
+    let selection = transpiler.mapper_selection();
+    let set = mapper::enumerate_embeddings(
         &pattern,
         transpiler.effective_topology(),
         config.max_candidates,
+        selection,
     );
+    let mut outcome = set.outcome;
+    let mut embeddings = set.embeddings;
     if let Some(quarantine) = transpiler.quarantine() {
         embeddings.retain(|phi| quarantine.allows_footprint(phi));
         if embeddings.is_empty() {
-            embeddings =
-                vf2::enumerate_subgraph_isomorphisms(&pattern, topology, config.max_candidates);
+            let set =
+                mapper::enumerate_embeddings(&pattern, topology, config.max_candidates, selection);
+            outcome = set.outcome;
+            embeddings = set.embeddings;
         }
+    }
+    if !matches!(outcome, SearchOutcome::Complete) {
+        edm_telemetry::counter!(
+            "edm_core_truncated_pools_total",
+            "Ensemble candidate pools built from a truncated embedding search"
+        )
+        .inc();
     }
     if embeddings.is_empty() {
         return Err(EdmError::NoEmbeddings);
@@ -204,7 +236,7 @@ pub fn diversify(
             }
         }
     }
-    Ok(members)
+    Ok((members, outcome))
 }
 
 /// Greedy max-min diversity selection: start from the ESP-best member, then

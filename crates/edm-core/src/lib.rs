@@ -65,8 +65,8 @@ pub mod wedm;
 pub use adaptive::AdaptiveResult;
 pub use dist::ProbDist;
 pub use ensemble::{
-    assemble_result, build_ensemble, diversify, plan_run, EdmResult, EdmRunner, EnsembleConfig,
-    EnsembleMember, FailedMember, MemberRun, RunHealth, RunPlan, ShotAllocation,
+    assemble_result, build_ensemble, diversify, diversify_detailed, plan_run, EdmResult, EdmRunner,
+    EnsembleConfig, EnsembleMember, FailedMember, MemberRun, RunHealth, RunPlan, ShotAllocation,
 };
 pub use error::EdmError;
 pub use executor::{Backend, BatchJob};

@@ -3,13 +3,14 @@
 //!
 //! ```text
 //! edm-fleet [--addr HOST:PORT] [--devices N] [--device-seed N] [--shards N]
-//!           [--threads N] [--queue N] [--cache N] [--batch N] [--depth-cap N]
-//!           [--metrics-port N]
+//!           [--presets NAME,NAME,...] [--threads N] [--queue N] [--cache N]
+//!           [--batch N] [--depth-cap N] [--metrics-port N]
 //! ```
 //!
 //! Speaks the same JSON-lines protocol as `edm-serve`, over TCP, against
 //! N virtual devices (topology presets cycle melbourne14 → guadalupe16 →
-//! tokyo20, each synthesized from `--device-seed + index`). Every
+//! tokyo20 by default, or any `--presets` list of `qdevice::presets`
+//! names, each synthesized from `--device-seed + index`). Every
 //! submission is routed to the device with the highest predicted ESP for
 //! its circuit; results are bit-identical to a direct single-device run
 //! with the same (device, seed). Prints `fleet listening on ADDR` to
@@ -25,13 +26,16 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   edm-fleet [--addr HOST:PORT] [--devices N] [--device-seed N] [--shards N]
-            [--threads N] [--queue N] [--cache N] [--batch N] [--depth-cap N]
-            [--metrics-port N]
+            [--presets NAME,NAME,...] [--threads N] [--queue N] [--cache N]
+            [--batch N] [--depth-cap N] [--metrics-port N]
 
 Speaks the edm-serve JSON-lines protocol over TCP against a fleet of N
-virtual devices (presets cycle melbourne14, guadalupe16, tokyo20; device i
-is synthesized from --device-seed + i). Submissions route to the device
-with the highest predicted ESP; \"FleetStats\" reports per-device status.
+virtual devices (presets cycle melbourne14, guadalupe16, tokyo20 by
+default; --presets takes a comma-separated list of preset names —
+melbourne14, guadalupe16, tokyo20, falcon27, hummingbird65, eagle127 — to
+cycle instead; device i is synthesized from --device-seed + i).
+Submissions route to the device with the highest predicted ESP;
+\"FleetStats\" reports per-device status.
 
 --addr defaults to 127.0.0.1:0 (ephemeral port); the bound address is
 printed to stderr as `fleet listening on ADDR`.
@@ -71,9 +75,34 @@ struct Parsed {
     addr: String,
     devices: usize,
     device_seed: u64,
+    presets: Vec<(qdevice::Topology, String)>,
     fleet_config: FleetConfig,
     server_config: ServerConfig,
     metrics_port: Option<u64>,
+}
+
+/// Parses `--presets a,b,c` into topologies, defaulting to the original
+/// three-preset cycle so existing deployments (and the fleet smoke test)
+/// see identical devices.
+fn presets_flag(args: &[String]) -> Result<Vec<(qdevice::Topology, String)>, String> {
+    let spec = match text_flag(args, "--presets")? {
+        Some(spec) => spec,
+        None => "melbourne14,guadalupe16,tokyo20".into(),
+    };
+    let mut cycle = Vec::new();
+    for name in spec.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+        let topology = presets::by_name(name).ok_or_else(|| {
+            format!(
+                "--presets: unknown preset '{name}' (expected one of: {})",
+                presets::NAMES.join(", ")
+            )
+        })?;
+        cycle.push((topology, name.to_string()));
+    }
+    if cycle.is_empty() {
+        return Err("--presets needs at least one preset name".into());
+    }
+    Ok(cycle)
 }
 
 fn parse(args: &[String]) -> Result<Parsed, String> {
@@ -82,6 +111,7 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
     if devices == 0 {
         return Err("--devices must be at least 1".into());
     }
+    let preset_cycle = presets_flag(args)?;
     let device_seed = flag(args, "--device-seed")?.unwrap_or(42);
     let mut serve = ServeConfig::default();
     if let Some(threads) = validate::threads(flag(args, "--threads")?).map_err(|e| e.to_string())? {
@@ -127,6 +157,7 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
         addr,
         devices: devices as usize,
         device_seed,
+        presets: preset_cycle,
         fleet_config: FleetConfig { serve, depth_cap },
         server_config,
         metrics_port,
@@ -167,13 +198,12 @@ fn main() -> ExitCode {
     // Heterogeneous by construction: presets cycle, and each device gets
     // its own synthesis seed, so calibrations (and therefore ESP scores)
     // genuinely differ across the fleet.
-    let cycle = [
-        (presets::melbourne14(), "melbourne14"),
-        (presets::guadalupe16(), "guadalupe16"),
-        (presets::tokyo20(), "tokyo20"),
-    ];
+    let cycle = &parsed.presets;
     let members: Vec<(qdevice::Topology, &str)> = (0..parsed.devices)
-        .map(|i| cycle[i % cycle.len()].clone())
+        .map(|i| {
+            let (topology, name) = &cycle[i % cycle.len()];
+            (topology.clone(), name.as_str())
+        })
         .collect();
     let fleet = Fleet::synthesize(&members, parsed.device_seed, parsed.fleet_config);
 

@@ -83,7 +83,25 @@ impl Connection {
     }
 
     fn queue_response(&mut self, response: &Response) {
-        let line = serde_json::to_string(response).expect("responses always serialize");
+        // A response that fails to serialize (e.g. a summary carrying a
+        // non-finite float, which serde_json rejects) must not take the
+        // whole shard down with it — the client gets an error frame and
+        // every other connection on the shard keeps running.
+        let line = serde_json::to_string(response).unwrap_or_else(|e| {
+            edm_telemetry::counter!(
+                "edm_fleet_response_serialize_errors_total",
+                "Responses that failed to serialize and were replaced by an error frame"
+            )
+            .inc();
+            serde_json::to_string(&Response::Error {
+                reason: format!("internal error: response failed to serialize: {e}"),
+            })
+            // The fallback is a plain string-only variant; if even that
+            // fails, emit a hand-built frame rather than panic.
+            .unwrap_or_else(|_| {
+                r#"{"Error":{"reason":"internal error: response failed to serialize"}}"#.into()
+            })
+        });
         self.out.extend_from_slice(line.as_bytes());
         self.out.push(b'\n');
     }
@@ -383,5 +401,55 @@ pub fn handle_request<B: Backend>(fleet: &Fleet<B>, request: Request) -> Respons
                 .collect(),
         },
         Request::Shutdown => Response::Bye,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A connected loopback socket to hang a `Connection` on.
+    fn loopback_connection() -> Connection {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let _accepted = listener.accept().unwrap();
+        Connection::new(stream, edm_serve::framing::DEFAULT_MAX_FRAME)
+    }
+
+    #[test]
+    fn unserializable_response_becomes_error_frame_not_panic() {
+        // serde_json rejects non-finite floats, so a NaN top_probability
+        // (e.g. from a degenerate merge) used to panic the whole shard.
+        let poisoned = Response::Finished {
+            id: 7,
+            summary: JobSummary {
+                id: 7,
+                trace_id: 1,
+                members: 4,
+                shots: 1024,
+                top_outcome: "101".into(),
+                top_probability: f64::NAN,
+                degraded: false,
+                failed_members: 0,
+                latency_ms: 3,
+            },
+        };
+        let mut conn = loopback_connection();
+        conn.queue_response(&poisoned);
+
+        let line = String::from_utf8(conn.out.clone()).unwrap();
+        assert!(line.ends_with('\n'));
+        let parsed: Response = serde_json::from_str(line.trim_end()).unwrap();
+        match parsed {
+            Response::Error { reason } => {
+                assert!(reason.contains("failed to serialize"), "{reason}")
+            }
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+
+        // A healthy response still queues normally afterwards.
+        conn.queue_response(&Response::Bye);
+        let all = String::from_utf8(conn.out.clone()).unwrap();
+        assert_eq!(all.lines().count(), 2);
     }
 }

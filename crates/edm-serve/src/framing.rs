@@ -104,7 +104,15 @@ impl LineFramer {
                 continue;
             }
             self.buf.push(b);
-            if self.buf.len() > self.max_frame {
+            // The bound is on line *content*: a terminator must never flip
+            // an otherwise-acceptable line to Oversized. `\n` never enters
+            // the buffer, but `\r` does until its `\n` arrives — so grant a
+            // trailing `\r` sitting exactly one past the bound a one-byte
+            // grace. If the next byte completes `\r\n`, the `\r` is popped
+            // and the line is exactly max_frame; any other byte overflows
+            // for real on the next iteration.
+            let cr_grace = self.buf.len() == self.max_frame + 1 && b == b'\r';
+            if self.buf.len() > self.max_frame && !cr_grace {
                 self.ready.push_back(Frame::Oversized {
                     length: self.buf.len(),
                 });
@@ -190,6 +198,55 @@ mod tests {
         assert_eq!(f.next_frame(), None);
         // The newline resynchronizes; the next line parses normally.
         f.feed(b"\nok\n");
+        assert_eq!(lines(&mut f), vec![Frame::Line("ok".into())]);
+    }
+
+    #[test]
+    fn line_of_exactly_the_bound_is_accepted() {
+        let mut f = LineFramer::new(8);
+        f.feed(b"12345678\n");
+        assert_eq!(lines(&mut f), vec![Frame::Line("12345678".into())]);
+    }
+
+    #[test]
+    fn line_one_past_the_bound_is_rejected() {
+        let mut f = LineFramer::new(8);
+        f.feed(b"123456789\n");
+        assert_eq!(f.next_frame(), Some(Frame::Oversized { length: 9 }));
+        // The newline already resynchronized the framer.
+        f.feed(b"ok\n");
+        assert_eq!(lines(&mut f), vec![Frame::Line("ok".into())]);
+    }
+
+    #[test]
+    fn crlf_terminator_does_not_count_against_the_bound() {
+        // Regression: a maximal line arriving with `\r\n` used to trip
+        // Oversized on the `\r` even though the content fit exactly.
+        let mut f = LineFramer::new(8);
+        f.feed(b"12345678\r\n");
+        assert_eq!(lines(&mut f), vec![Frame::Line("12345678".into())]);
+
+        // Split between the `\r` and the `\n` — the grace must hold
+        // across feed() boundaries.
+        let mut f = LineFramer::new(8);
+        f.feed(b"12345678\r");
+        assert_eq!(f.next_frame(), None);
+        f.feed(b"\n");
+        assert_eq!(lines(&mut f), vec![Frame::Line("12345678".into())]);
+    }
+
+    #[test]
+    fn cr_grace_is_not_a_loophole() {
+        // A `\r` at the bound followed by anything but `\n` overflows.
+        let mut f = LineFramer::new(8);
+        f.feed(b"12345678\rx");
+        assert_eq!(f.next_frame(), Some(Frame::Oversized { length: 10 }));
+        // An embedded `\r` one past the bound mid-line overflows too once
+        // the line keeps going.
+        let mut f = LineFramer::new(8);
+        f.feed(b"12345678\r\rmore\n");
+        assert_eq!(f.next_frame(), Some(Frame::Oversized { length: 10 }));
+        f.feed(b"ok\n");
         assert_eq!(lines(&mut f), vec![Frame::Line("ok".into())]);
     }
 

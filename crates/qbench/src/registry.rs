@@ -1,6 +1,6 @@
 //! The benchmark registry: every workload of the paper's Table 1.
 
-use crate::{bv, greycode, qaoa, reversible};
+use crate::{bv, ghz, greycode, qaoa, qft, reversible};
 use qcir::{Circuit, CircuitStats};
 use qsim::counts::format_bitstring;
 use qsim::ideal;
@@ -94,6 +94,46 @@ pub fn by_name(name: &str) -> Option<Benchmark> {
     all().into_iter().find(|b| b.name == name)
 }
 
+/// Parametric scaling workloads for the large device presets.
+///
+/// The Table-1 registry is frozen at nine entries (§3.1), but the 27-,
+/// 65-, and 127-qubit presets want deeper circuits than any of them.
+/// This lookup parses `family-N` names into on-demand instances:
+///
+/// - `qft-N` — the phase-recovery QFT on `N` qubits recovering the
+///   alternating bitstring `1010…`,
+/// - `ghz-N` — an `N`-qubit GHZ ladder,
+/// - `qaoa-ring-N` — tuned single-layer QAOA max-cut on the `N`-ring.
+///
+/// Widths are capped at 20 qubits so ideal-simulation ground truth stays
+/// tractable; unknown families, malformed sizes, and out-of-range widths
+/// all return `None`.
+///
+/// # Examples
+///
+/// ```
+/// use qbench::registry;
+/// let c = registry::scaling_by_name("qft-10").unwrap();
+/// assert_eq!(c.num_qubits(), 10);
+/// assert!(registry::scaling_by_name("qft-21").is_none());
+/// assert!(registry::scaling_by_name("warp-9").is_none());
+/// ```
+pub fn scaling_by_name(name: &str) -> Option<Circuit> {
+    let (family, size) = name.rsplit_once('-')?;
+    let n: u32 = size.parse().ok()?;
+    match family {
+        "qft" if (1..=20).contains(&n) => {
+            // Recover the alternating pattern 1010…; `k` must stay inside
+            // `n` bits, so mask the pattern down to the requested width.
+            let k = 0xAAAAA & ((1u64 << n) - 1);
+            Some(qft::phase_recovery(k, n))
+        }
+        "ghz" if (1..=20).contains(&n) => Some(ghz::ghz(n)),
+        "qaoa-ring" if (3..=16).contains(&n) => Some(qaoa::tuned_ring(n)),
+        _ => None,
+    }
+}
+
 /// The subset of benchmarks used in the paper's main IST figures
 /// (Figs. 7, 9, 11): BV and QAOA plus greycode.
 pub fn ist_suite() -> Vec<Benchmark> {
@@ -149,6 +189,37 @@ mod tests {
     fn by_name_roundtrip_and_missing() {
         assert!(by_name("bv-6").is_some());
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn scaling_workloads_parse_and_verify() {
+        let qft = scaling_by_name("qft-10").unwrap();
+        assert_eq!(qft.num_qubits(), 10);
+        assert_eq!(ideal::outcome(&qft).unwrap(), 0xAAAAA & 0x3FF);
+
+        let ghz = scaling_by_name("ghz-12").unwrap();
+        assert_eq!(ghz.num_qubits(), 12);
+        assert!(ghz.count_measure() > 0);
+
+        let qaoa = scaling_by_name("qaoa-ring-8").unwrap();
+        assert_eq!(qaoa.num_qubits(), 8);
+    }
+
+    #[test]
+    fn scaling_rejects_bad_names() {
+        for bad in [
+            "qft-0",
+            "qft-21",
+            "ghz-21",
+            "qaoa-ring-2",
+            "qaoa-ring-17",
+            "qft-abc",
+            "qft",
+            "-5",
+            "bv-6",
+        ] {
+            assert!(scaling_by_name(bad).is_none(), "{bad} should not parse");
+        }
     }
 
     #[test]

@@ -13,8 +13,13 @@
 //! - [`Calibration`] — the compiler-visible view (error rates only, no
 //!   hidden coherent information), optionally drifted relative to the truth
 //!   so that compile-time ESP imperfectly predicts run-time PST (Fig. 8),
-//! - [`vf2`] — subgraph-isomorphism enumeration used by EDM to transplant a
-//!   mapping onto alternative qubit subsets (§5.2),
+//! - [`vf2`] — exhaustive subgraph-isomorphism enumeration used by EDM to
+//!   transplant a mapping onto alternative qubit subsets (§5.2),
+//! - [`fdls`] — budgeted filtered depth-limited search, the scalable
+//!   embedding engine for the 27/65/127-qubit heavy-hex presets,
+//! - [`mapper`] — the selection layer ([`mapper::MapperSelection`]) that
+//!   picks between the two engines and reports an explicit
+//!   [`mapper::SearchOutcome`],
 //! - [`drift`] — cycle-over-cycle calibration-drift scoring and the
 //!   qubit/link quarantine that feeds variation-aware mapping.
 //!
@@ -35,6 +40,8 @@
 mod calibration;
 mod device;
 pub mod drift;
+pub mod fdls;
+pub mod mapper;
 pub mod persist;
 pub mod presets;
 pub mod stats;

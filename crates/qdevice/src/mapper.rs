@@ -1,0 +1,178 @@
+//! Mapper selection: one front door over the two embedding engines.
+//!
+//! EDM needs *many* embeddings of a circuit footprint into the coupling
+//! graph. Two engines produce them:
+//!
+//! - [`crate::vf2`] — exhaustive VF2 enumeration; exact, but intractable on
+//!   the 27/65/127-qubit heavy-hex presets where sparse degree-2 chains make
+//!   the embedding count explode,
+//! - [`crate::fdls`] — filtered depth-limited search (after Li, Zhou &
+//!   Feng); budgeted, deterministic, and spread across root placements so
+//!   the diverse top-K structure EDM relies on survives truncation.
+//!
+//! [`MapperSelection`] names the choice, with an [`MapperSelection::Auto`]
+//! mode that keeps small devices on the exhaustive engine (bit-identical to
+//! the pre-FDLS behavior) and switches large ones to the filtered engine.
+//! Both report an explicit [`SearchOutcome`] instead of a silently capped
+//! `Vec`, so ESP rankings downstream know whether they saw the whole pool.
+
+use crate::fdls::{self, FdlsConfig};
+use crate::{vf2, Topology};
+
+/// Devices at or below this qubit count stay on exhaustive VF2 under
+/// [`MapperSelection::Auto`] — up to tokyo-20, where full enumeration is
+/// affordable and the paper's methodology applies unchanged.
+pub const AUTO_EXHAUSTIVE_MAX_QUBITS: u32 = 20;
+
+/// Whether an embedding search saw the whole space or was cut short.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchOutcome {
+    /// Every embedding (up to the caller's result cap, which was not hit)
+    /// was enumerated: the returned set is the full pool.
+    Complete,
+    /// The search stopped early — result cap, node-expansion budget, or
+    /// backtrack-depth abandonment — so embeddings may be missing and any
+    /// ranking over the set is best-effort.
+    Truncated {
+        /// Search-tree nodes expanded before stopping.
+        explored: u64,
+    },
+}
+
+/// The embeddings a search produced, plus how it ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmbeddingSet {
+    /// Injective pattern-to-target assignments, one `Vec` per embedding,
+    /// indexed by pattern vertex.
+    pub embeddings: Vec<Vec<u32>>,
+    /// Whether the set above is the whole pool.
+    pub outcome: SearchOutcome,
+}
+
+impl EmbeddingSet {
+    /// True when the search enumerated the entire embedding space.
+    pub fn is_complete(&self) -> bool {
+        matches!(self.outcome, SearchOutcome::Complete)
+    }
+}
+
+/// Which embedding engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum MapperSelection {
+    /// Exhaustive VF2 for targets up to [`AUTO_EXHAUSTIVE_MAX_QUBITS`]
+    /// qubits, filtered depth-limited search (default budgets) above.
+    #[default]
+    Auto,
+    /// Always exhaustive VF2, whatever the device size.
+    Exhaustive,
+    /// Always the filtered depth-limited search with these budgets.
+    Filtered(FdlsConfig),
+}
+
+impl MapperSelection {
+    /// Resolves [`MapperSelection::Auto`] against a concrete target device;
+    /// the other variants return themselves.
+    pub fn resolve(self, target: &Topology) -> MapperSelection {
+        match self {
+            MapperSelection::Auto if target.num_qubits() <= AUTO_EXHAUSTIVE_MAX_QUBITS => {
+                MapperSelection::Exhaustive
+            }
+            MapperSelection::Auto => MapperSelection::Filtered(FdlsConfig::default()),
+            other => other,
+        }
+    }
+
+    /// Parses the CLI spelling: `auto`, `exhaustive`/`vf2`, or
+    /// `filtered`/`fdls`.
+    pub fn parse(name: &str) -> Option<MapperSelection> {
+        match name {
+            "auto" => Some(MapperSelection::Auto),
+            "exhaustive" | "vf2" => Some(MapperSelection::Exhaustive),
+            "filtered" | "fdls" => Some(MapperSelection::Filtered(FdlsConfig::default())),
+            _ => None,
+        }
+    }
+
+    /// The short name of the engine this selection resolves to on `target`.
+    pub fn describe(self, target: &Topology) -> &'static str {
+        match self.resolve(target) {
+            MapperSelection::Exhaustive => "exhaustive",
+            MapperSelection::Filtered(_) => "filtered",
+            MapperSelection::Auto => unreachable!("resolve never returns Auto"),
+        }
+    }
+}
+
+/// Enumerates embeddings of `pattern` into `target` with the selected
+/// engine, returning at most `max_results` of them plus the search outcome.
+///
+/// Both engines are deterministic (fixed matching order, candidates in
+/// ascending target-qubit id), so the same inputs always yield the same
+/// embedding sequence.
+pub fn enumerate_embeddings(
+    pattern: &Topology,
+    target: &Topology,
+    max_results: usize,
+    selection: MapperSelection,
+) -> EmbeddingSet {
+    match selection.resolve(target) {
+        MapperSelection::Exhaustive => vf2::enumerate(pattern, target, max_results),
+        MapperSelection::Filtered(config) => fdls::search(pattern, target, max_results, &config),
+        MapperSelection::Auto => unreachable!("resolve never returns Auto"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn auto_resolves_by_device_size() {
+        let small = presets::tokyo20();
+        let large = presets::falcon27();
+        assert_eq!(
+            MapperSelection::Auto.resolve(&small),
+            MapperSelection::Exhaustive
+        );
+        assert!(matches!(
+            MapperSelection::Auto.resolve(&large),
+            MapperSelection::Filtered(_)
+        ));
+        assert_eq!(MapperSelection::Auto.describe(&small), "exhaustive");
+        assert_eq!(MapperSelection::Auto.describe(&large), "filtered");
+    }
+
+    #[test]
+    fn parse_accepts_both_spellings() {
+        assert_eq!(MapperSelection::parse("auto"), Some(MapperSelection::Auto));
+        assert_eq!(
+            MapperSelection::parse("vf2"),
+            Some(MapperSelection::Exhaustive)
+        );
+        assert!(matches!(
+            MapperSelection::parse("fdls"),
+            Some(MapperSelection::Filtered(_))
+        ));
+        assert_eq!(MapperSelection::parse("magic"), None);
+    }
+
+    #[test]
+    fn dispatch_agrees_across_engines_on_a_small_target() {
+        let pattern = presets::line(4);
+        let target = presets::guadalupe16();
+        let a = enumerate_embeddings(&pattern, &target, usize::MAX, MapperSelection::Exhaustive);
+        let b = enumerate_embeddings(
+            &pattern,
+            &target,
+            usize::MAX,
+            MapperSelection::Filtered(FdlsConfig::exhaustive()),
+        );
+        assert!(a.is_complete() && b.is_complete());
+        let mut sa = a.embeddings;
+        let mut sb = b.embeddings;
+        sa.sort();
+        sb.sort();
+        assert_eq!(sa, sb);
+    }
+}

@@ -177,6 +177,163 @@ pub fn guadalupe16() -> Topology {
     )
 }
 
+/// The 27-qubit IBM Falcon coupling map (the `ibmq_montreal` /
+/// `ibm_cairo` generation): a heavy-hex fragment with max degree 3.
+///
+/// ```text
+///  0 - 1 - 4 - 7 - 10 - 12 - 15 - 18 - 21 - 23
+///      |             |              |
+///      2             13             24
+///      |             |              |
+///  3 - 5 - 8 - 11 - 14 - 16 - 19 - 22 - 25 - 26
+///                         |
+///                  (plus the 6-17-20 spur)
+/// ```
+///
+/// Exact IBM qubit numbering is not reproduced — only the graph shape
+/// (qubit count, degree distribution, heavy-hex sparsity) matters to the
+/// mapper and the noise synthesis.
+pub fn falcon27() -> Topology {
+    Topology::new(
+        27,
+        &[
+            (0, 1),
+            (1, 2),
+            (1, 4),
+            (2, 3),
+            (3, 5),
+            (4, 7),
+            (5, 8),
+            (6, 7),
+            (7, 10),
+            (8, 9),
+            (8, 11),
+            (10, 12),
+            (11, 14),
+            (12, 13),
+            (12, 15),
+            (13, 14),
+            (14, 16),
+            (15, 18),
+            (16, 19),
+            (17, 18),
+            (18, 21),
+            (19, 20),
+            (19, 22),
+            (21, 23),
+            (22, 25),
+            (23, 24),
+            (24, 25),
+            (25, 26),
+        ],
+    )
+}
+
+/// The 65-qubit IBM Hummingbird heavy-hex lattice (`ibmq_manhattan` /
+/// `ibmq_brooklyn` scale): five rows of 10/11/11/11/10 qubits joined by
+/// three bridge qubits per row gap. Built by [`heavy_hex`].
+pub fn hummingbird65() -> Topology {
+    heavy_hex(5, 11)
+}
+
+/// The 127-qubit IBM Eagle heavy-hex lattice (`ibm_washington` scale):
+/// seven rows of 14/15/15/15/15/15/14 qubits joined by four bridge qubits
+/// per row gap. Built by [`heavy_hex`].
+pub fn eagle127() -> Topology {
+    heavy_hex(7, 15)
+}
+
+/// A generic heavy-hex lattice of `rows` cell rows by `cols` columns
+/// (IBM's post-Falcon topology family): the first row omits its last
+/// column, the last row omits its first, and consecutive rows are joined
+/// through degree-2 bridge qubits every fourth column (offset by two on
+/// alternating gaps). Max degree is 3 everywhere; roughly half the qubits
+/// sit on degree-2 sites — the sparsity that makes exhaustive embedding
+/// enumeration explode and motivates the [`crate::fdls`] mapper.
+///
+/// # Panics
+///
+/// Panics if `rows < 2`, `cols < 7`, or `cols` is even (bridge columns
+/// repeat every fourth column, so narrower or even widths leave rows
+/// unbridged or misaligned).
+pub fn heavy_hex(rows: u32, cols: u32) -> Topology {
+    assert!(
+        rows >= 2 && cols >= 7 && cols % 2 == 1,
+        "heavy-hex needs rows >= 2 and an odd cols >= 7"
+    );
+    let present =
+        |r: u32, c: u32| -> bool { !((r == 0 && c == cols - 1) || (r == rows - 1 && c == 0)) };
+    let mut next: u32 = 0;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut prev_row: Vec<Option<u32>> = Vec::new();
+    for r in 0..rows {
+        let mut row: Vec<Option<u32>> = Vec::with_capacity(cols as usize);
+        for c in 0..cols {
+            if present(r, c) {
+                row.push(Some(next));
+                next += 1;
+            } else {
+                row.push(None);
+            }
+        }
+        // Chain the row's contiguous cells.
+        for c in 1..cols as usize {
+            if let (Some(a), Some(b)) = (row[c - 1], row[c]) {
+                edges.push((a, b));
+            }
+        }
+        // Bridge qubits down from the previous row: even gaps bridge at
+        // columns 0, 4, 8, …; odd gaps at 2, 6, 10, …
+        if r > 0 {
+            let gap = r - 1;
+            let mut c = if gap % 2 == 0 { 0 } else { 2 };
+            while c < cols {
+                if let (Some(a), Some(b)) = (prev_row[c as usize], row[c as usize]) {
+                    let bridge = next;
+                    next += 1;
+                    edges.push((a, bridge));
+                    edges.push((bridge, b));
+                }
+                c += 4;
+            }
+        }
+        prev_row = row;
+    }
+    Topology::new(next, &edges)
+}
+
+/// Every named device preset, in ascending qubit count — the vocabulary
+/// [`by_name`] accepts and the CLIs list in their usage text.
+pub const NAMES: &[&str] = &[
+    "melbourne14",
+    "guadalupe16",
+    "tokyo20",
+    "falcon27",
+    "hummingbird65",
+    "eagle127",
+];
+
+/// Looks a named device preset up (see [`NAMES`]).
+///
+/// # Examples
+///
+/// ```
+/// use qdevice::presets;
+/// assert_eq!(presets::by_name("eagle127").unwrap().num_qubits(), 127);
+/// assert!(presets::by_name("osprey433").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<Topology> {
+    match name {
+        "melbourne14" => Some(melbourne14()),
+        "guadalupe16" => Some(guadalupe16()),
+        "tokyo20" => Some(tokyo20()),
+        "falcon27" => Some(falcon27()),
+        "hummingbird65" => Some(hummingbird65()),
+        "eagle127" => Some(eagle127()),
+        _ => None,
+    }
+}
+
 /// A ring (cycle) of `n` qubits.
 ///
 /// # Panics
@@ -251,6 +408,72 @@ mod tests {
         // Heavy-hex devices are sparse: max degree 3.
         assert!((0..16).all(|q| t.degree(q) <= 3));
         assert_eq!(t.num_edges(), 16);
+    }
+
+    #[test]
+    fn falcon_shape() {
+        let t = falcon27();
+        assert_eq!(t.num_qubits(), 27);
+        assert_eq!(t.num_edges(), 28);
+        assert!(t.is_connected());
+        assert!((0..27).all(|q| t.degree(q) <= 3));
+        // Heavy-hex: bridge qubits sit at degree 2 or below; the lattice
+        // interior holds the degree-3 sites.
+        assert!((0..27).filter(|&q| t.degree(q) == 3).count() >= 8);
+    }
+
+    #[test]
+    fn hummingbird_shape() {
+        let t = hummingbird65();
+        assert_eq!(t.num_qubits(), 65);
+        // Rows: 9 + 10 + 10 + 10 + 9 = 48; bridges: 4 gaps * 3 * 2 = 24.
+        assert_eq!(t.num_edges(), 72);
+        assert!(t.is_connected());
+        assert!((0..65).all(|q| t.degree(q) <= 3));
+    }
+
+    #[test]
+    fn eagle_shape() {
+        let t = eagle127();
+        assert_eq!(t.num_qubits(), 127);
+        // Rows: 13 + 14*5 + 13 = 96; bridges: 6 gaps * 4 * 2 = 48.
+        assert_eq!(t.num_edges(), 144);
+        assert!(t.is_connected());
+        assert!((0..127).all(|q| t.degree(q) <= 3));
+        // The heavy-hex degree profile: far more degree-2 than degree-3
+        // sites (every bridge qubit and every row cell off a bridge column).
+        let deg3 = (0..127).filter(|&q| t.degree(q) == 3).count();
+        let deg2 = (0..127).filter(|&q| t.degree(q) == 2).count();
+        assert!(
+            deg2 > deg3,
+            "degree profile not heavy-hex: {deg2} vs {deg3}"
+        );
+    }
+
+    #[test]
+    fn heavy_hex_generator_guards() {
+        // Smallest legal lattice is connected and degree-bounded.
+        let t = heavy_hex(2, 7);
+        assert!(t.is_connected());
+        assert!((0..t.num_qubits()).all(|q| t.degree(q) <= 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "heavy-hex needs")]
+    fn heavy_hex_rejects_even_cols() {
+        let _ = heavy_hex(3, 8);
+    }
+
+    #[test]
+    fn by_name_covers_every_preset() {
+        for &name in NAMES {
+            let t = by_name(name).expect("listed preset resolves");
+            assert!(t.is_connected(), "{name} disconnected");
+            // Names end in their qubit count.
+            let digits: String = name.chars().filter(char::is_ascii_digit).collect();
+            assert_eq!(digits.parse::<u32>().unwrap(), t.num_qubits(), "{name}");
+        }
+        assert!(by_name("nope").is_none());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! but extra target edges between mapped vertices are allowed — exactly what
 //! qubit mapping needs.
 
+use crate::mapper::{EmbeddingSet, SearchOutcome};
 use crate::Topology;
 
 /// Enumerates injective mappings `phi` from pattern vertices to target
@@ -21,6 +22,10 @@ use crate::Topology;
 /// Results are returned as vectors indexed by pattern vertex. At most
 /// `max_results` embeddings are produced (pass `usize::MAX` for all of them).
 /// Isolated pattern vertices are matched to any unused target vertex.
+///
+/// This wrapper drops the [`SearchOutcome`]; callers that must know whether
+/// the cap truncated the pool (any ESP ranking does — a silently clipped
+/// pool biases the top-K) should use [`enumerate`] instead.
 ///
 /// # Examples
 ///
@@ -38,8 +43,19 @@ pub fn enumerate_subgraph_isomorphisms(
     target: &Topology,
     max_results: usize,
 ) -> Vec<Vec<u32>> {
+    enumerate(pattern, target, max_results).embeddings
+}
+
+/// Like [`enumerate_subgraph_isomorphisms`], but reports whether the result
+/// cap cut the enumeration short.
+///
+/// The search runs one embedding past `max_results`, so a pool of exactly
+/// `max_results` embeddings is still reported [`SearchOutcome::Complete`];
+/// only a genuinely clipped pool is `Truncated` (and counted by the
+/// `edm_qdevice_vf2_cap_hits_total` telemetry counter).
+pub fn enumerate(pattern: &Topology, target: &Topology, max_results: usize) -> EmbeddingSet {
     let _span = edm_telemetry::trace::span("vf2_enumerate");
-    let found = edm_telemetry::histogram!(
+    let set = edm_telemetry::histogram!(
         "edm_qdevice_vf2_us",
         "Wall time of one VF2 subgraph-isomorphism enumeration"
     )
@@ -48,24 +64,38 @@ pub fn enumerate_subgraph_isomorphisms(
         "edm_qdevice_vf2_embeddings_total",
         "Embeddings produced by VF2 enumeration"
     )
-    .add(found.len() as u64);
-    found
+    .add(set.embeddings.len() as u64);
+    if !set.is_complete() {
+        edm_telemetry::counter!(
+            "edm_qdevice_vf2_cap_hits_total",
+            "VF2 enumerations truncated by their result cap"
+        )
+        .inc();
+    }
+    set
 }
 
-fn enumerate_inner(pattern: &Topology, target: &Topology, max_results: usize) -> Vec<Vec<u32>> {
+fn enumerate_inner(pattern: &Topology, target: &Topology, max_results: usize) -> EmbeddingSet {
     let pn = pattern.num_qubits() as usize;
     let tn = target.num_qubits() as usize;
-    if pn == 0 || max_results == 0 {
-        return if pn == 0 && max_results > 0 {
-            vec![Vec::new()]
+    let complete = |embeddings: Vec<Vec<u32>>| EmbeddingSet {
+        embeddings,
+        outcome: SearchOutcome::Complete,
+    };
+    if pn == 0 {
+        return if max_results > 0 {
+            complete(vec![Vec::new()])
         } else {
-            Vec::new()
+            complete(Vec::new())
         };
     }
     if pn > tn {
-        return Vec::new();
+        return complete(Vec::new());
     }
 
+    // Search one past the cap: finding max_results + 1 embeddings proves
+    // the cap actually clipped the pool.
+    let limit = max_results.saturating_add(1);
     let order = matching_order(pattern);
     let mut state = State {
         pattern,
@@ -74,10 +104,25 @@ fn enumerate_inner(pattern: &Topology, target: &Topology, max_results: usize) ->
         mapping: vec![u32::MAX; pn],
         used: vec![false; tn],
         results: Vec::new(),
-        max_results,
+        max_results: limit,
+        nodes: 0,
     };
     state.search(0);
-    state.results
+    let mut embeddings = state.results;
+    let truncated = embeddings.len() > max_results;
+    if truncated {
+        embeddings.truncate(max_results);
+    }
+    EmbeddingSet {
+        embeddings,
+        outcome: if truncated {
+            SearchOutcome::Truncated {
+                explored: state.nodes,
+            }
+        } else {
+            SearchOutcome::Complete
+        },
+    }
 }
 
 /// Returns true if at least one embedding of `pattern` into `target` exists.
@@ -88,8 +133,10 @@ pub fn is_embeddable(pattern: &Topology, target: &Topology) -> bool {
 /// Computes a matching order: vertices sorted so that every vertex after the
 /// first of its connected component has at least one earlier neighbor.
 /// Components are visited by descending maximum degree, which narrows the
-/// candidate sets early.
-fn matching_order(pattern: &Topology) -> Vec<u32> {
+/// candidate sets early. Shared with [`crate::fdls`] so both engines walk
+/// the same search tree shape (their embedding *sets* must agree whenever
+/// FDLS runs unbudgeted).
+pub(crate) fn matching_order(pattern: &Topology) -> Vec<u32> {
     let n = pattern.num_qubits();
     let mut order = Vec::with_capacity(n as usize);
     let mut placed = vec![false; n as usize];
@@ -136,6 +183,8 @@ struct State<'a> {
     used: Vec<bool>,
     results: Vec<Vec<u32>>,
     max_results: usize,
+    /// Search-tree nodes expanded (candidate placements tried).
+    nodes: u64,
 }
 
 impl State<'_> {
@@ -180,6 +229,7 @@ impl State<'_> {
                     continue 'cand;
                 }
             }
+            self.nodes += 1;
             self.mapping[v as usize] = t;
             self.used[t as usize] = true;
             self.search(depth + 1);
@@ -264,6 +314,25 @@ mod tests {
         let target = presets::melbourne14();
         let found = enumerate_subgraph_isomorphisms(&pattern, &target, 5);
         assert_eq!(found.len(), 5);
+    }
+
+    #[test]
+    fn cap_hit_is_reported_not_silent() {
+        let pattern = presets::line(2);
+        let target = presets::melbourne14(); // 18 edges -> 36 embeddings
+        let clipped = enumerate(&pattern, &target, 5);
+        assert_eq!(clipped.embeddings.len(), 5);
+        assert!(matches!(
+            clipped.outcome,
+            SearchOutcome::Truncated { explored } if explored > 0
+        ));
+        // A cap exactly at the pool size is not a truncation.
+        let exact = enumerate(&pattern, &target, 36);
+        assert_eq!(exact.embeddings.len(), 36);
+        assert!(exact.is_complete());
+        let all = enumerate(&pattern, &target, usize::MAX);
+        assert!(all.is_complete());
+        assert_eq!(all.embeddings.len(), 36);
     }
 
     #[test]

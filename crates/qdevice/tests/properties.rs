@@ -2,12 +2,25 @@
 //! against brute force, synthesis validity, and persistence round-trips.
 
 use proptest::prelude::*;
+use qdevice::fdls::{self, FdlsConfig};
 use qdevice::{persist, presets, vf2, DeviceModel, SynthesisProfile, Topology};
 
 /// A random simple graph over `n` vertices.
 fn graph(n: u32) -> impl Strategy<Value = Topology> {
     proptest::collection::btree_set((0..n, 0..n), 0..12).prop_map(move |edges| {
         let edges: Vec<(u32, u32)> = edges.into_iter().filter(|(a, b)| a != b).collect();
+        Topology::new(n, &edges)
+    })
+}
+
+/// A random *connected* graph over `n` vertices: a path backbone plus
+/// random extra edges. Connected patterns keep full enumeration against
+/// the 16/20-qubit presets tractable (isolated vertices would multiply
+/// the embedding count by the target's falling factorial).
+fn connected_graph(n: u32) -> impl Strategy<Value = Topology> {
+    proptest::collection::btree_set((0..n, 0..n), 0..6).prop_map(move |extra| {
+        let mut edges: Vec<(u32, u32)> = (1..n).map(|v| (v - 1, v)).collect();
+        edges.extend(extra.into_iter().filter(|(a, b)| a != b));
         Topology::new(n, &edges)
     })
 }
@@ -99,6 +112,40 @@ proptest! {
         let fast = vf2::enumerate_subgraph_isomorphisms(&p, &t, usize::MAX).len();
         let slow = brute_force_count(&p, &t);
         prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn fdls_exhaustive_matches_vf2_on_every_small_preset(p in connected_graph(5)) {
+        // The filtered engine with budgets disabled must agree with VF2 on
+        // the full embedding *set* (not just the count) for every preset
+        // the Auto mapper would search exhaustively.
+        for make in [presets::melbourne14, presets::guadalupe16, presets::tokyo20] {
+            let target = make();
+            let mut fast = vf2::enumerate(&p, &target, usize::MAX).embeddings;
+            let mut filtered =
+                fdls::search(&p, &target, usize::MAX, &FdlsConfig::exhaustive()).embeddings;
+            fast.sort();
+            filtered.sort();
+            prop_assert_eq!(&fast, &filtered, "sets differ on a {}-qubit preset",
+                target.num_qubits());
+        }
+    }
+
+    #[test]
+    fn fdls_under_budget_returns_a_subset_of_vf2(p in graph(4), t in graph(6)) {
+        // Budgets may drop embeddings but never invent them.
+        let full: std::collections::BTreeSet<Vec<u32>> =
+            vf2::enumerate(&p, &t, usize::MAX).embeddings.into_iter().collect();
+        let tight = FdlsConfig { node_budget: 12, root_budget: 4, backtrack_depth: 1 };
+        for config in [FdlsConfig::default(), tight] {
+            let got = fdls::search(&p, &t, usize::MAX, &config).embeddings;
+            let distinct: std::collections::BTreeSet<Vec<u32>> =
+                got.iter().cloned().collect();
+            prop_assert_eq!(distinct.len(), got.len(), "duplicates in FDLS output");
+            for e in &got {
+                prop_assert!(full.contains(e), "FDLS invented {:?}", e);
+            }
+        }
     }
 
     #[test]

@@ -6,9 +6,11 @@
 //! - [`Layout`] — injective logical-to-physical qubit assignments,
 //! - [`esp`] — the Estimated Success Probability metric of Nishio et al.,
 //!   computed from compiler-visible calibration data,
-//! - [`placement`] — variation-aware initial placement, including exhaustive
-//!   swap-free embedding enumeration via VF2 ([`placement::rank_embeddings`]
-//!   is the engine behind EDM's top-K mapping selection),
+//! - [`placement`] — variation-aware initial placement, including swap-free
+//!   embedding enumeration ([`placement::rank_embeddings_with`] is the
+//!   engine behind EDM's top-K mapping selection; it dispatches between
+//!   exhaustive VF2 and the budgeted FDLS search via
+//!   [`MapperSelection`] and reports pool completeness),
 //! - [`router`] — SWAP insertion along reliability-optimal (Dijkstra) paths,
 //!   with a swap-count-minimizing baseline strategy,
 //! - [`Transpiler`] — the end-to-end pipeline producing device-basis
@@ -47,5 +49,6 @@ mod transpile;
 
 pub use error::MapError;
 pub use layout::Layout;
+pub use qdevice::mapper::MapperSelection;
 pub use router::RoutingStrategy;
 pub use transpile::{RouterBackend, TranspiledCircuit, Transpiler};

@@ -14,7 +14,8 @@
 use crate::esp;
 use crate::{Layout, MapError};
 use qcir::Circuit;
-use qdevice::{vf2, Calibration, Topology};
+use qdevice::mapper::{self, MapperSelection};
+use qdevice::{Calibration, Topology};
 
 /// Builds the interaction graph of a logical circuit: one vertex per logical
 /// qubit, one edge per interacting pair.
@@ -65,6 +66,42 @@ pub fn rank_embeddings(
     cal: &Calibration,
     max_embeddings: usize,
 ) -> Result<Vec<(Layout, f64)>, MapError> {
+    rank_embeddings_with(
+        circuit,
+        topology,
+        cal,
+        max_embeddings,
+        MapperSelection::Exhaustive,
+    )
+    .map(|r| r.layouts)
+}
+
+/// ESP-ranked swap-free embeddings plus whether the pool is exhaustive.
+#[derive(Debug, Clone)]
+pub struct RankedLayouts {
+    /// `(layout, esp)` pairs, best first.
+    pub layouts: Vec<(Layout, f64)>,
+    /// True when the embedding search saw the whole pool — a ranking over
+    /// a truncated pool is best-effort and its top-K may be biased.
+    pub complete: bool,
+}
+
+/// Like [`rank_embeddings`], but with an explicit embedding engine and an
+/// honest completeness signal: a capped or budget-truncated enumeration is
+/// reported through [`RankedLayouts::complete`] (and the
+/// `edm_qmap_truncated_rankings_total` counter) instead of silently biasing
+/// the ranking.
+///
+/// # Errors
+///
+/// Same conditions as [`rank_embeddings`].
+pub fn rank_embeddings_with(
+    circuit: &Circuit,
+    topology: &Topology,
+    cal: &Calibration,
+    max_embeddings: usize,
+    selection: MapperSelection,
+) -> Result<RankedLayouts, MapError> {
     if circuit.num_qubits() > topology.num_qubits() {
         return Err(MapError::TooManyQubits {
             circuit: circuit.num_qubits(),
@@ -72,16 +109,27 @@ pub fn rank_embeddings(
         });
     }
     let pattern = interaction_topology(circuit);
-    let embeddings = vf2::enumerate_subgraph_isomorphisms(&pattern, topology, max_embeddings);
-    let mut ranked = Vec::with_capacity(embeddings.len());
-    for phi in embeddings {
+    let set = mapper::enumerate_embeddings(&pattern, topology, max_embeddings, selection);
+    let complete = set.is_complete();
+    if !complete {
+        edm_telemetry::counter!(
+            "edm_qmap_truncated_rankings_total",
+            "ESP rankings computed over a truncated embedding pool"
+        )
+        .inc();
+    }
+    let mut ranked = Vec::with_capacity(set.embeddings.len());
+    for phi in set.embeddings {
         let layout = Layout::from_physical(phi, topology.num_qubits());
         let physical = layout.apply(circuit);
         let score = esp::esp(&physical, cal)?;
         ranked.push((layout, score));
     }
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("ESP is finite"));
-    Ok(ranked)
+    Ok(RankedLayouts {
+        layouts: ranked,
+        complete,
+    })
 }
 
 /// The single best swap-free placement by ESP, or `None` if the interaction
@@ -95,9 +143,28 @@ pub fn best_swap_free_placement(
     topology: &Topology,
     cal: &Calibration,
 ) -> Result<Option<Layout>, MapError> {
-    // Ranking needs every embedding; a capped enumeration could miss the best.
-    let ranked = rank_embeddings(circuit, topology, cal, usize::MAX)?;
-    Ok(ranked.into_iter().next().map(|(l, _)| l))
+    best_swap_free_placement_with(circuit, topology, cal, MapperSelection::Exhaustive)
+}
+
+/// [`best_swap_free_placement`] with an explicit embedding engine: on
+/// devices where exhaustive enumeration is intractable, a budgeted
+/// [`MapperSelection::Filtered`] search yields the best embedding *seen* —
+/// still a strong variation-aware placement, though no longer provably
+/// optimal.
+///
+/// # Errors
+///
+/// Same conditions as [`rank_embeddings`].
+pub fn best_swap_free_placement_with(
+    circuit: &Circuit,
+    topology: &Topology,
+    cal: &Calibration,
+    selection: MapperSelection,
+) -> Result<Option<Layout>, MapError> {
+    // Ranking wants every embedding; under a budgeted engine the search
+    // itself bounds the pool instead of a result cap.
+    let ranked = rank_embeddings_with(circuit, topology, cal, usize::MAX, selection)?;
+    Ok(ranked.layouts.into_iter().next().map(|(l, _)| l))
 }
 
 /// Variation-aware greedy placement for circuits that need routing.

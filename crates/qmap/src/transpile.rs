@@ -8,6 +8,7 @@
 use crate::{esp, placement, router, sabre, Layout, MapError, RoutingStrategy};
 use qcir::Circuit;
 use qdevice::drift::Quarantine;
+use qdevice::mapper::MapperSelection;
 use qdevice::{Calibration, Topology};
 use serde::{Deserialize, Serialize};
 
@@ -70,6 +71,8 @@ pub struct Transpiler<'a> {
     calibration: &'a Calibration,
     strategy: RoutingStrategy,
     backend: RouterBackend,
+    /// Embedding-engine selection (see [`Transpiler::with_mapper`]).
+    mapper: MapperSelection,
     /// Drift quarantine, if any (see [`Transpiler::with_quarantine`]).
     quarantine: Option<Quarantine>,
     /// The topology with quarantined links masked out, kept alongside the
@@ -95,6 +98,7 @@ impl<'a> Transpiler<'a> {
             calibration,
             strategy: RoutingStrategy::default(),
             backend: RouterBackend::default(),
+            mapper: MapperSelection::default(),
             quarantine: None,
             masked: None,
         }
@@ -132,6 +136,21 @@ impl<'a> Transpiler<'a> {
     pub fn with_router(mut self, backend: RouterBackend) -> Self {
         self.backend = backend;
         self
+    }
+
+    /// Selects the embedding engine behind swap-free placement and the
+    /// EDM candidate pool. The default, [`MapperSelection::Auto`], keeps
+    /// devices up to 20 qubits on exhaustive VF2 (bit-identical to the
+    /// historical behavior) and switches larger heavy-hex devices to the
+    /// budgeted filtered depth-limited search.
+    pub fn with_mapper(mut self, mapper: MapperSelection) -> Self {
+        self.mapper = mapper;
+        self
+    }
+
+    /// The configured embedding-engine selection (possibly `Auto`).
+    pub fn mapper_selection(&self) -> MapperSelection {
+        self.mapper
     }
 
     /// The device topology this transpiler targets.
@@ -184,19 +203,26 @@ impl<'a> Transpiler<'a> {
     /// exists.
     fn swap_free_layout(&self, basis: &Circuit) -> Result<Option<Layout>, MapError> {
         let Some(quarantine) = &self.quarantine else {
-            return placement::best_swap_free_placement(basis, self.topology, self.calibration);
+            return placement::best_swap_free_placement_with(
+                basis,
+                self.topology,
+                self.calibration,
+                self.mapper,
+            );
         };
         // Enumerating on the masked graph already avoids quarantined links;
         // the footprint filter additionally rejects layouts parking a
         // (now isolated) quarantined qubit under a measure-only program
         // qubit.
-        let ranked = placement::rank_embeddings(
+        let ranked = placement::rank_embeddings_with(
             basis,
             self.effective_topology(),
             self.calibration,
             usize::MAX,
+            self.mapper,
         )?;
         Ok(ranked
+            .layouts
             .into_iter()
             .map(|(l, _)| l)
             .find(|l| quarantine.allows_footprint(&l.physical_qubits())))
@@ -281,20 +307,58 @@ impl<'a> Transpiler<'a> {
         circuit: &Circuit,
         max: usize,
     ) -> Result<Vec<(Layout, f64)>, MapError> {
+        self.ranked_layouts_detailed(circuit, max)
+            .map(|r| r.layouts)
+    }
+
+    /// [`Transpiler::ranked_layouts`] with the pool-completeness signal:
+    /// `complete` is false when the configured mapper's cap or budget
+    /// clipped the enumeration (the top-K is then best-effort).
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement failures.
+    pub fn ranked_layouts_detailed(
+        &self,
+        circuit: &Circuit,
+        max: usize,
+    ) -> Result<placement::RankedLayouts, MapError> {
         let basis = circuit.decomposed();
         let Some(quarantine) = &self.quarantine else {
-            return placement::rank_embeddings(&basis, self.topology, self.calibration, max);
+            return placement::rank_embeddings_with(
+                &basis,
+                self.topology,
+                self.calibration,
+                max,
+                self.mapper,
+            );
         };
-        let ranked =
-            placement::rank_embeddings(&basis, self.effective_topology(), self.calibration, max)?;
+        let ranked = placement::rank_embeddings_with(
+            &basis,
+            self.effective_topology(),
+            self.calibration,
+            max,
+            self.mapper,
+        )?;
+        let complete = ranked.complete;
         let allowed: Vec<(Layout, f64)> = ranked
+            .layouts
             .into_iter()
             .filter(|(l, _)| quarantine.allows_footprint(&l.physical_qubits()))
             .collect();
         if allowed.is_empty() {
-            placement::rank_embeddings(&basis, self.topology, self.calibration, max)
+            placement::rank_embeddings_with(
+                &basis,
+                self.topology,
+                self.calibration,
+                max,
+                self.mapper,
+            )
         } else {
-            Ok(allowed)
+            Ok(placement::RankedLayouts {
+                layouts: allowed,
+                complete,
+            })
         }
     }
 }
@@ -443,6 +507,64 @@ mod tests {
         let t = Transpiler::new(d.topology(), &cal).with_strategy(RoutingStrategy::SwapCount);
         let out = t.transpile(&ghz(3)).unwrap();
         assert_eq!(out.swap_count, 0);
+    }
+}
+
+#[cfg(test)]
+mod mapper_tests {
+    use super::*;
+    use qdevice::fdls::FdlsConfig;
+    use qdevice::{presets, DeviceModel};
+
+    fn path(n: u32) -> Circuit {
+        let mut c = Circuit::new(n, n);
+        for i in 0..n - 1 {
+            c.cx(i, i + 1);
+        }
+        c.measure_all();
+        c
+    }
+
+    #[test]
+    fn auto_mapper_matches_exhaustive_on_small_devices() {
+        // The Auto/Exhaustive equivalence EDM's small-device results rely
+        // on: identical ranked pools, bit for bit.
+        let d = DeviceModel::synthesize(presets::melbourne14(), 31);
+        let cal = d.calibration();
+        let auto = Transpiler::new(d.topology(), &cal);
+        let vf2 = Transpiler::new(d.topology(), &cal).with_mapper(MapperSelection::Exhaustive);
+        let a = auto.ranked_layouts_detailed(&path(4), usize::MAX).unwrap();
+        let b = vf2.ranked_layouts_detailed(&path(4), usize::MAX).unwrap();
+        assert!(a.complete && b.complete);
+        assert_eq!(a.layouts.len(), b.layouts.len());
+        for ((la, ea), (lb, eb)) in a.layouts.iter().zip(&b.layouts) {
+            assert_eq!(la, lb);
+            assert_eq!(ea.to_bits(), eb.to_bits());
+        }
+    }
+
+    #[test]
+    fn filtered_mapper_transpiles_on_eagle() {
+        let d = DeviceModel::synthesize(presets::eagle127(), 7);
+        let cal = d.calibration();
+        let t = Transpiler::new(d.topology(), &cal); // Auto -> Filtered at 127q
+        let out = t.transpile(&path(10)).unwrap();
+        assert_eq!(out.swap_count, 0); // a 10-path embeds swap-free
+        assert!(out.esp > 0.0);
+        assert_eq!(out.physical.num_qubits(), 127);
+    }
+
+    #[test]
+    fn explicit_filtered_pool_is_marked_truncated_when_budget_bites() {
+        let d = DeviceModel::synthesize(presets::eagle127(), 7);
+        let cal = d.calibration();
+        let tiny = FdlsConfig {
+            node_budget: 64,
+            ..FdlsConfig::default()
+        };
+        let t = Transpiler::new(d.topology(), &cal).with_mapper(MapperSelection::Filtered(tiny));
+        let ranked = t.ranked_layouts_detailed(&path(6), usize::MAX).unwrap();
+        assert!(!ranked.complete);
     }
 }
 

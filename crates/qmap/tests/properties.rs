@@ -160,3 +160,47 @@ proptest! {
         prop_assert!(qsim::verify::equivalent(&unitary, &opt).is_equal());
     }
 }
+
+/// The filtered mapper must give EDM a usable pool on the 127-qubit
+/// preset: at least 5 distinct, genuinely swap-free layouts, ESP-ranked
+/// best-first with finite in-range scores (deterministic, so a plain test).
+#[test]
+fn filtered_ranking_on_eagle_yields_a_diverse_esp_ranked_pool() {
+    let device = DeviceModel::synthesize(presets::eagle127(), 11);
+    let cal = device.calibration();
+    // A 6-qubit line interaction graph: embeddable all over heavy-hex.
+    let mut c = Circuit::new(6, 6);
+    for q in 0..5 {
+        c.cx(q, q + 1);
+    }
+    c.measure_all();
+
+    let ranked = placement::rank_embeddings_with(
+        &c,
+        device.topology(),
+        &cal,
+        64,
+        qmap::MapperSelection::Filtered(qdevice::fdls::FdlsConfig::default()),
+    )
+    .expect("ranks");
+    assert!(ranked.layouts.len() >= 5, "only {}", ranked.layouts.len());
+
+    let mut footprints = std::collections::BTreeSet::new();
+    let mut prev = f64::INFINITY;
+    for (layout, esp) in &ranked.layouts {
+        assert!(esp.is_finite() && *esp > 0.0 && *esp <= 1.0);
+        assert!(*esp <= prev, "pool not sorted best-first");
+        prev = *esp;
+        for (a, b) in c.interaction_edges() {
+            assert!(device
+                .topology()
+                .has_edge(layout.phys(a.index()), layout.phys(b.index())));
+        }
+        footprints.insert(layout.physical_qubits());
+    }
+    assert!(
+        footprints.len() >= 5,
+        "only {} footprints",
+        footprints.len()
+    );
+}

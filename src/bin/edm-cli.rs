@@ -2,22 +2,28 @@
 //!
 //! ```text
 //! edm-cli draw <circuit.qasm>                 render an ASCII diagram
-//! edm-cli transpile <circuit.qasm> [--seed N] map onto a simulated IBMQ-14
-//! edm-cli run <circuit.qasm> [--shots N] [--seed N] [--threads N] [--profile]
-//!                                             baseline vs EDM vs WEDM
+//! edm-cli transpile <circuit.qasm> [--device NAME] [--mapper NAME] [--seed N]
+//!                                             map onto a simulated device
+//! edm-cli run <circuit.qasm> [--device NAME] [--shots N] [--seed N]
+//!                [--threads N] [--profile]    baseline vs EDM vs WEDM
 //! edm-cli run <circuit.qasm> --connect ADDR [--shots N] [--seed N]
 //!                                             submit to a fleet server
-//! edm-cli device [--seed N]                   dump the device model as JSON
+//! edm-cli map (<circuit.qasm> | --bench NAME) [--device NAME] [--mapper NAME]
+//!                [--ensemble K] [--seed N]    enumerate a diverse top-K pool
+//! edm-cli device [--device NAME] [--seed N]   dump the device model as JSON
 //! ```
 //!
 //! Circuits are OpenQASM 2.0 in the subset `qcir::qasm` understands (the
-//! same subset it emits).
+//! same subset it emits). `--device` takes any `qdevice::presets` name
+//! (melbourne14 … eagle127); `--mapper` picks the embedding engine
+//! (auto | exhaustive | filtered).
 
 use edm_core::{metrics, EdmError, EdmRunner, EnsembleConfig, RunHealth};
 use edm_serve::{exitcode, validate};
 use qcir::{draw, qasm, Circuit};
-use qdevice::{persist, presets, DeviceModel};
-use qmap::Transpiler;
+use qdevice::mapper::SearchOutcome;
+use qdevice::{persist, presets, DeviceModel, Topology};
+use qmap::{MapperSelection, Transpiler};
 use qsim::{ideal, NoisySimulator};
 use std::process::ExitCode;
 
@@ -76,6 +82,7 @@ fn main() -> ExitCode {
         "draw" => cmd_draw(&args[1..]),
         "transpile" => cmd_transpile(&args[1..]),
         "run" => cmd_run(&args[1..]),
+        "map" => cmd_map(&args[1..]),
         "device" => cmd_device(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -96,10 +103,27 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   edm-cli draw <circuit.qasm>
-  edm-cli transpile <circuit.qasm> [--seed N]
-  edm-cli run <circuit.qasm> [--shots N] [--seed N] [--threads N] [--profile]
+  edm-cli transpile <circuit.qasm> [--device NAME] [--mapper NAME] [--seed N]
+  edm-cli run <circuit.qasm> [--device NAME] [--shots N] [--seed N]
+             [--threads N] [--profile]
   edm-cli run <circuit.qasm> --connect ADDR [--shots N] [--seed N]
-  edm-cli device [--seed N]
+  edm-cli map (<circuit.qasm> | --bench NAME) [--device NAME] [--mapper NAME]
+             [--ensemble K] [--seed N]
+  edm-cli device [--device NAME] [--seed N]
+
+device / mapper options:
+  --device NAME preset topology to synthesize (default: melbourne14).
+                Presets: melbourne14 guadalupe16 tokyo20 falcon27
+                hummingbird65 eagle127
+  --mapper NAME embedding engine: auto (exhaustive up to 20 qubits,
+                filtered above — the default), exhaustive (full VF2),
+                or filtered (budgeted depth-limited FDLS search)
+
+map options:
+  --bench NAME  use a registry workload instead of a .qasm file: a Table-1
+                name (bv-6, qaoa-5, ...) or a scaling instance
+                (qft-N, ghz-N, qaoa-ring-N)
+  --ensemble K  pool size to diversify down to (default: 4)
 
 run options:
   --threads N   cap execution worker threads, N >= 1 (default: all cores;
@@ -146,6 +170,30 @@ fn text_flag(args: &[String], name: &str) -> Result<Option<String>, CliError> {
     }
 }
 
+/// `--device NAME`, defaulting to the paper's IBMQ-14 stand-in.
+fn device_flag(args: &[String]) -> Result<(Topology, String), CliError> {
+    let name = text_flag(args, "--device")?.unwrap_or_else(|| "melbourne14".into());
+    let topology = presets::by_name(&name).ok_or_else(|| {
+        CliError::usage(format!(
+            "--device: unknown preset '{name}' (expected one of: {})",
+            presets::NAMES.join(", ")
+        ))
+    })?;
+    Ok((topology, name))
+}
+
+/// `--mapper NAME`, defaulting to size-based auto selection.
+fn mapper_flag(args: &[String]) -> Result<MapperSelection, CliError> {
+    match text_flag(args, "--mapper")? {
+        Some(name) => MapperSelection::parse(&name).ok_or_else(|| {
+            CliError::usage(format!(
+                "--mapper: unknown engine '{name}' (expected auto, exhaustive, or filtered)"
+            ))
+        }),
+        None => Ok(MapperSelection::Auto),
+    }
+}
+
 fn load_circuit(args: &[String]) -> Result<Circuit, CliError> {
     let path = args
         .iter()
@@ -164,11 +212,19 @@ fn cmd_draw(args: &[String]) -> Result<(), CliError> {
 fn cmd_transpile(args: &[String]) -> Result<(), CliError> {
     let circuit = load_circuit(args)?;
     let seed = flag(args, "--seed", 42)?;
-    let device = DeviceModel::synthesize(presets::melbourne14(), seed);
+    let (topology, device_name) = device_flag(args)?;
+    let mapper = mapper_flag(args)?;
+    let device = DeviceModel::synthesize(topology, seed);
     let cal = device.calibration();
     let out = Transpiler::new(device.topology(), &cal)
+        .with_mapper(mapper)
         .transpile(&circuit)
         .map_err(|e| CliError::other(e.to_string()))?;
+    println!(
+        "device: {device_name} ({} qubits)  mapper: {}",
+        device.topology().num_qubits(),
+        mapper.describe(device.topology())
+    );
     println!("initial layout: {}", out.initial_layout);
     println!("swaps inserted: {}", out.swap_count);
     println!("compile-time ESP: {:.4}", out.esp);
@@ -186,6 +242,8 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let threads = validate::threads(opt_flag(args, "--threads")?)
         .map_err(|e| CliError::usage(format!("--threads: {e}")))?;
     let profile = args.iter().any(|a| a == "--profile");
+    let (topology, _) = device_flag(args)?;
+    let mapper = mapper_flag(args)?;
     if circuit.count_measure() == 0 {
         return Err(CliError::data(
             "circuit has no measurements; nothing to run",
@@ -208,10 +266,10 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let cal;
     {
         let _span = edm_telemetry::trace::span("device_setup");
-        device = DeviceModel::synthesize(presets::melbourne14(), seed);
+        device = DeviceModel::synthesize(topology, seed);
         cal = device.calibration();
     }
-    let transpiler = Transpiler::new(device.topology(), &cal);
+    let transpiler = Transpiler::new(device.topology(), &cal).with_mapper(mapper);
     let backend = NoisySimulator::from_device(&device);
     let mut runner = EdmRunner::new(&transpiler, &backend, EnsembleConfig::default());
     if let Some(threads) = threads {
@@ -266,6 +324,67 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     }
     if profile {
         print_profile(wall);
+    }
+    Ok(())
+}
+
+/// `map`: transpiles a workload onto the chosen preset and prints the
+/// diversified top-K mapping pool — the EDM ensemble before any shots are
+/// spent. This is the command the CI mapping smoke test drives: it proves
+/// the selected engine can produce a ranked, diverse pool on the large
+/// heavy-hex presets within its budget.
+fn cmd_map(args: &[String]) -> Result<(), CliError> {
+    let circuit = match text_flag(args, "--bench")? {
+        Some(name) => qbench::registry::by_name(&name)
+            .map(|b| b.circuit)
+            .or_else(|| qbench::registry::scaling_by_name(&name))
+            .ok_or_else(|| {
+                CliError::usage(format!(
+                    "--bench: unknown workload '{name}' (Table-1 name or qft-N / ghz-N / qaoa-ring-N)"
+                ))
+            })?,
+        None => load_circuit(args)?,
+    };
+    let seed = flag(args, "--seed", 42)?;
+    let size = flag(args, "--ensemble", 4)? as usize;
+    let (topology, device_name) = device_flag(args)?;
+    let mapper = mapper_flag(args)?;
+    let device = DeviceModel::synthesize(topology, seed);
+    let cal = device.calibration();
+    let transpiler = Transpiler::new(device.topology(), &cal).with_mapper(mapper);
+
+    let out = transpiler
+        .transpile(&circuit)
+        .map_err(|e| CliError::other(e.to_string()))?;
+    let config = EnsembleConfig {
+        size,
+        // Keep every candidate the engine can reach: `map` reports the
+        // pool itself, so the §3.2 ESP cutoff would only hide members.
+        min_esp_ratio: 0.0,
+        ..EnsembleConfig::default()
+    };
+    let (members, outcome) =
+        edm_core::diversify_detailed(&transpiler, &out.physical, &config).map_err(CliError::run)?;
+
+    println!(
+        "device: {device_name} ({} qubits)  mapper: {}",
+        device.topology().num_qubits(),
+        mapper.describe(device.topology())
+    );
+    println!(
+        "circuit: {} logical qubits, {} swaps inserted, baseline ESP {:.4}",
+        circuit.num_qubits(),
+        out.swap_count,
+        out.esp
+    );
+    match outcome {
+        SearchOutcome::Complete => println!("search: complete"),
+        SearchOutcome::Truncated { explored } => {
+            println!("search: truncated (budget hit after {explored} node expansions)");
+        }
+    }
+    for (i, m) in members.iter().enumerate() {
+        println!("member {i}: qubits {:?}  ESP {:.4}", m.qubits, m.esp);
     }
     Ok(())
 }
@@ -397,7 +516,8 @@ fn print_profile(wall: std::time::Duration) {
 
 fn cmd_device(args: &[String]) -> Result<(), CliError> {
     let seed = flag(args, "--seed", 42)?;
-    let device = DeviceModel::synthesize(presets::melbourne14(), seed);
+    let (topology, _) = device_flag(args)?;
+    let device = DeviceModel::synthesize(topology, seed);
     let json = persist::device_to_json(&device).map_err(|e| CliError::other(e.to_string()))?;
     println!("{json}");
     Ok(())
