@@ -19,7 +19,9 @@
 //! - [`metrics`] — PST and Inference Strength (§4.3),
 //! - [`model`] — the buckets-and-balls correlated-error analysis
 //!   (Appendix A),
-//! - [`filter`] — the footnote-2 uniformity filter.
+//! - [`filter`] — the footnote-2 uniformity filter,
+//! - [`controller`] — the closed-loop feedback controller that reweights,
+//!   swaps, and recompiles ensemble members as devices drift.
 //!
 //! # Examples
 //!
@@ -51,6 +53,7 @@
 
 pub mod adaptive;
 pub mod analysis;
+pub mod controller;
 pub mod dist;
 pub mod divergence;
 mod ensemble;
@@ -63,6 +66,9 @@ pub mod model;
 pub mod wedm;
 
 pub use adaptive::AdaptiveResult;
+pub use controller::{
+    Controller, ControllerConfig, ControllerEvent, MemberObservation, RunAssessment, SwapReason,
+};
 pub use dist::ProbDist;
 pub use ensemble::{
     assemble_result, build_ensemble, diversify, diversify_detailed, plan_run, EdmResult, EdmRunner,

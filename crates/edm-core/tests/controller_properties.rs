@@ -1,0 +1,135 @@
+//! Property-based invariants of the feedback controller: whatever the
+//! observation stream looks like — zeros, NaNs, infinities, failures —
+//! the adjusted merge weights stay a distribution, quarantined footprints
+//! never stay active while a viable spare exists, and two controllers fed
+//! the same history in the same order make the same decisions.
+
+use edm_core::{Controller, ControllerConfig, MemberObservation};
+use proptest::prelude::*;
+use qdevice::drift::Quarantine;
+
+/// Arbitrary single-slot evidence, deliberately including the degenerate
+/// corners: NaN/negative ESP, zero or infinite realized weight, failures.
+fn observation() -> impl Strategy<Value = MemberObservation> {
+    (
+        prop_oneof![0.0..1.0f64, Just(0.0f64), Just(f64::NAN), Just(-0.5f64),],
+        prop_oneof![Just(true), Just(false)],
+        prop_oneof![
+            0.0..1.0f64,
+            Just(0.0f64),
+            Just(f64::INFINITY),
+            Just(f64::NAN),
+        ],
+        prop_oneof![Just(true), Just(false)],
+    )
+        .prop_map(
+            |(esp, informative, realized_weight, failed)| MemberObservation {
+                esp,
+                informative,
+                realized_weight,
+                failed,
+            },
+        )
+}
+
+/// A run history over a fixed number of slots.
+fn history(slots: usize) -> impl Strategy<Value = Vec<Vec<MemberObservation>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(observation(), slots..slots + 1),
+        1..12,
+    )
+}
+
+/// Disjoint two-qubit footprints, one per pool member.
+fn footprints(pool: usize) -> Vec<Vec<u32>> {
+    (0..pool as u32).map(|i| vec![2 * i, 2 * i + 1]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The health-adjusted WEDM weights are always finite, non-negative,
+    /// and sum to 1 — even when every member's observed signal is zero,
+    /// failed, or outright NaN.
+    #[test]
+    fn weights_are_always_a_distribution(
+        slots in 1usize..6,
+        runs in history(5),
+    ) {
+        let mut ctl = Controller::new(ControllerConfig::default(), slots + 2, slots);
+        for run in &runs {
+            let a = ctl.observe(&run[..slots]);
+            prop_assert_eq!(a.weights.len(), slots);
+            for w in &a.weights {
+                prop_assert!(w.is_finite() && *w >= 0.0, "weight {w} in {:?}", a.weights);
+            }
+            let total: f64 = a.weights.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "sum {total} in {:?}", a.weights);
+        }
+    }
+
+    /// After `maintain`, no active slot keeps a quarantined footprint
+    /// unless *every* unused pool member is quarantined too (the advisory
+    /// escape hatch). With any viable spare available, the quarantined
+    /// member is evicted.
+    #[test]
+    fn quarantined_member_never_survives_a_viable_spare(
+        pool in 3usize..8,
+        active in 1usize..4,
+        bad_qubits in proptest::collection::btree_set(0u32..16, 0..6),
+    ) {
+        let active = active.min(pool);
+        let mut ctl = Controller::new(ControllerConfig::default(), pool, active);
+        let pool_fp = footprints(pool);
+        let mut quarantine = Quarantine::new();
+        for q in bad_qubits {
+            quarantine.add_qubit(q);
+        }
+        let _ = ctl.maintain(&pool_fp, Some(&quarantine));
+        let allowed = |m: usize| quarantine.allows_footprint(&pool_fp[m]);
+        for &member in ctl.active() {
+            if !allowed(member) {
+                let spare_exists = (0..pool)
+                    .any(|i| !ctl.active().contains(&i) && allowed(i));
+                prop_assert!(
+                    !spare_exists,
+                    "member {member} stayed quarantined with a viable spare free"
+                );
+            }
+        }
+    }
+
+    /// Two controllers fed the same run history in the same order produce
+    /// identical assessments, swap decisions, active sets, and logs — the
+    /// determinism the journal-replay contract relies on.
+    #[test]
+    fn identical_histories_are_replayed_identically(
+        slots in 1usize..5,
+        runs in history(4),
+        bad_qubit in prop_oneof![Just(None), (0u32..10).prop_map(Some)],
+    ) {
+        let config = ControllerConfig::default();
+        let pool = slots + 3;
+        let mut a = Controller::new(config, pool, slots);
+        let mut b = Controller::new(config, pool, slots);
+        let pool_fp = footprints(pool);
+        let quarantine = bad_qubit.map(|q| {
+            let mut quarantine = Quarantine::new();
+            quarantine.add_qubit(q);
+            quarantine
+        });
+        for run in &runs {
+            let ra = a.observe(&run[..slots]);
+            let rb = b.observe(&run[..slots]);
+            prop_assert_eq!(ra, rb);
+            let ea = a.maintain(&pool_fp, quarantine.as_ref());
+            let eb = b.maintain(&pool_fp, quarantine.as_ref());
+            prop_assert_eq!(ea, eb);
+        }
+        prop_assert_eq!(a.active(), b.active());
+        prop_assert_eq!(a.health(), b.health());
+        prop_assert_eq!(a.log(), b.log());
+        prop_assert_eq!(a.swaps(), b.swaps());
+        prop_assert_eq!(a.reweights(), b.reweights());
+    }
+}

@@ -19,6 +19,7 @@
 use edm_fleet::fleet::{Fleet, FleetConfig};
 use edm_fleet::server::{FleetServer, ServerConfig};
 use edm_serve::exitcode;
+use edm_serve::journal::JournalError;
 use edm_serve::service::ServeConfig;
 use edm_serve::validate;
 use qdevice::presets;
@@ -28,6 +29,7 @@ const USAGE: &str = "usage:
   edm-fleet [--addr HOST:PORT] [--devices N] [--device-seed N] [--shards N]
             [--presets NAME,NAME,...] [--threads N] [--queue N] [--cache N]
             [--batch N] [--depth-cap N] [--metrics-port N]
+            [--journal-dir DIR] [--controller]
 
 Speaks the edm-serve JSON-lines protocol over TCP against a fleet of N
 virtual devices (presets cycle melbourne14, guadalupe16, tokyo20 by
@@ -44,10 +46,20 @@ printed to stderr as `fleet listening on ADDR`.
 per-device label families (edm_fleet_*{device=\"dI\"}); port 0 picks an
 ephemeral port, printed to stderr.
 
+--journal-dir DIR keeps crash-safe write-ahead journals under DIR: one
+per device (device-I.jsonl) plus a fleet index (fleet-index.jsonl).
+Restarting with the same DIR replays unfinished jobs bit-identically on
+their original devices and keeps old fleet job ids pollable.
+
+--controller enables the closed-loop adaptive controller on every device:
+feedback that reweights WEDM merges, swaps underperforming ensemble
+members, and recompiles layouts after calibration changes.
+
 exit codes:
   0   success
   1   unclassified failure
-  2   usage error (bad flags)";
+  2   usage error (bad flags)
+  65  data error (corrupt journal)";
 
 fn flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
     match args.iter().position(|a| a == name) {
@@ -79,6 +91,7 @@ struct Parsed {
     fleet_config: FleetConfig,
     server_config: ServerConfig,
     metrics_port: Option<u64>,
+    journal_dir: Option<String>,
 }
 
 /// Parses `--presets a,b,c` into topologies, defaulting to the original
@@ -147,6 +160,10 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
         }
         server_config.shards = shards as usize;
     }
+    if args.iter().any(|a| a == "--controller") {
+        serve.controller = Some(edm_core::ControllerConfig::default());
+    }
+    let journal_dir = text_flag(args, "--journal-dir")?;
     let metrics_port = flag(args, "--metrics-port")?;
     if let Some(port) = metrics_port {
         if port > u64::from(u16::MAX) {
@@ -161,6 +178,7 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
         fleet_config: FleetConfig { serve, depth_cap },
         server_config,
         metrics_port,
+        journal_dir,
     })
 }
 
@@ -206,6 +224,22 @@ fn main() -> ExitCode {
         })
         .collect();
     let fleet = Fleet::synthesize(&members, parsed.device_seed, parsed.fleet_config);
+    if let Some(dir) = &parsed.journal_dir {
+        match fleet.attach_journals(dir) {
+            Ok(recovered) if recovered > 0 => {
+                eprintln!("recovered {recovered} unfinished job(s) from {dir}");
+            }
+            Ok(_) => {}
+            Err(e @ JournalError::Corrupt { .. }) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(exitcode::DATA);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(exitcode::FAILURE);
+            }
+        }
+    }
 
     let server = match FleetServer::bind(fleet, &parsed.addr, parsed.server_config) {
         Ok(server) => server,

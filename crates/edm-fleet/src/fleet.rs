@@ -42,14 +42,18 @@
 use crate::backend::DeviceBackend;
 use edm_core::Backend;
 use edm_serve::dispatch::BreakerState;
+use edm_serve::journal::JournalError;
 use edm_serve::protocol::DeviceStatus;
 use edm_serve::queue::{AdmitError, JobRequest};
 use edm_serve::service::{JobService, JobState, ServeConfig};
 use edm_serve::stats::ServiceStats;
 use qcir::Circuit;
 use qdevice::DeviceModel;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::io::Write;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -138,6 +142,7 @@ struct DeviceSlot<B> {
     completed: &'static edm_telemetry::metrics::Counter,
     depth: &'static edm_telemetry::metrics::Gauge,
     breaker: &'static edm_telemetry::metrics::Gauge,
+    quarantined: &'static edm_telemetry::metrics::Gauge,
 }
 
 impl<B: Backend> DeviceSlot<B> {
@@ -149,7 +154,20 @@ impl<B: Backend> DeviceSlot<B> {
             BreakerState::HalfOpen => 1,
             BreakerState::Open => 2,
         });
+        self.quarantined
+            .set(i64::from(self.service.is_quarantined()));
     }
+}
+
+/// One line of the fleet-index journal: which device a fleet-wide job id
+/// was routed to. Device journals are the source of truth for the jobs
+/// themselves; this file only restores the id → placement mapping so
+/// clients can keep polling across a restart.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct IndexEntry {
+    id: u64,
+    device: usize,
+    local_id: u64,
 }
 
 /// A fleet of virtual devices behind one ESP-scored router.
@@ -163,6 +181,8 @@ pub struct Fleet<B> {
     slots: Vec<Mutex<DeviceSlot<B>>>,
     /// Fleet job id → (device index, device-local job id).
     index: Mutex<BTreeMap<u64, (usize, u64)>>,
+    /// Append handle for the fleet-index journal, when journaling is on.
+    index_journal: Mutex<Option<std::fs::File>>,
     next_id: AtomicU64,
     config: FleetConfig,
 }
@@ -191,6 +211,7 @@ impl<B: Backend> Fleet<B> {
         Fleet {
             slots: Vec::new(),
             index: Mutex::new(BTreeMap::new()),
+            index_journal: Mutex::new(None),
             next_id: AtomicU64::new(1),
             config,
         }
@@ -235,6 +256,11 @@ impl<B: Backend> Fleet<B> {
             breaker: registry.gauge_with(
                 "edm_fleet_breaker_state",
                 "This device's breaker state (0 closed, 1 half-open, 2 open)",
+                label,
+            ),
+            quarantined: registry.gauge_with(
+                "edm_fleet_quarantined",
+                "Whether the drift watchdog has quarantined part of this device (0/1)",
                 label,
             ),
         };
@@ -328,6 +354,15 @@ impl<B: Backend> Fleet<B> {
                         .lock()
                         .expect("index lock poisoned")
                         .insert(id, (candidate.device, local_id));
+                    // After the device's own write-ahead entry, before the
+                    // client sees the ticket: a crash in between replays the
+                    // job on the device without an index line — the job
+                    // survives, only the (never-acknowledged) id is lost.
+                    self.journal_index(IndexEntry {
+                        id,
+                        device: candidate.device,
+                        local_id,
+                    });
                     return Ok(Ticket {
                         id,
                         device: candidate.device,
@@ -458,7 +493,106 @@ impl<B: Backend> Fleet<B> {
     pub fn update_calibration(&self, device: usize, calibration: qdevice::Calibration) {
         let mut slot = self.slots[device].lock().expect("device lock poisoned");
         slot.service.update_calibration(calibration);
+        // The service's drift watchdog just re-observed the calibration, so
+        // the quarantine gauge — and through `candidates()`'s re-scoring,
+        // the device's routing rank — reflect the new error rates at once.
         slot.refresh_gauges();
+    }
+
+    /// Attaches crash-safe journals under `dir`: one per-device write-ahead
+    /// journal (`device-{i}.jsonl`, via [`JobService::attach_journal`]) plus
+    /// a fleet-index journal (`fleet-index.jsonl`) that restores the fleet
+    /// job id → placement mapping. Jobs a previous process accepted but
+    /// never finished are re-enqueued on their original devices with their
+    /// original seeds, and previously issued fleet ids keep resolving.
+    /// Returns how many jobs were recovered fleet-wide.
+    ///
+    /// Call before serving traffic — recovery assumes no concurrent
+    /// submissions.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError`] when a journal cannot be opened or a non-final line
+    /// of one is corrupt. A truncated final line (the torn write of the
+    /// crash itself) is dropped, not an error.
+    pub fn attach_journals(&self, dir: impl AsRef<Path>) -> Result<usize, JournalError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut recovered = 0;
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let mut slot = slot.lock().expect("device lock poisoned");
+            recovered += slot
+                .service
+                .attach_journal(dir.join(format!("device-{idx}.jsonl")))?;
+            slot.refresh_gauges();
+        }
+        let path = dir.join("fleet-index.jsonl");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e.into()),
+        };
+        let mut index = self.index.lock().expect("index lock poisoned");
+        let lines: Vec<&str> = text.split('\n').collect();
+        let last = lines.len().saturating_sub(1);
+        for (i, line) in lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<IndexEntry>(line) {
+                Ok(entry) => {
+                    // An entry pointing past the current fleet (shrunk
+                    // config) is unroutable; its id is still reserved so
+                    // fresh tickets never collide with old ones.
+                    if entry.device < self.slots.len() {
+                        index.insert(entry.id, (entry.device, entry.local_id));
+                    }
+                    self.next_id.fetch_max(entry.id + 1, Ordering::SeqCst);
+                }
+                // Same torn-final-line tolerance as the device journals.
+                Err(_) if i == last => break,
+                Err(e) => {
+                    return Err(JournalError::Corrupt {
+                        line: i + 1,
+                        reason: e.to_string(),
+                    })
+                }
+            }
+        }
+        drop(index);
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        *self
+            .index_journal
+            .lock()
+            .expect("index journal lock poisoned") = Some(file);
+        Ok(recovered)
+    }
+
+    /// Appends one placement record when the index journal is attached.
+    ///
+    /// Best-effort by design: the device journal already holds the job
+    /// itself, so losing an index line only degrades that id's polls to
+    /// `Unknown` after a restart — never loses the job. A failing disk
+    /// would fail every append, so the handle is dropped on first error.
+    fn journal_index(&self, entry: IndexEntry) {
+        let mut guard = self
+            .index_journal
+            .lock()
+            .expect("index journal lock poisoned");
+        if let Some(file) = guard.as_mut() {
+            let line = serde_json::to_string(&entry).expect("index entries always serialize");
+            let ok = file
+                .write_all(line.as_bytes())
+                .and_then(|()| file.write_all(b"\n"))
+                .and_then(|()| file.flush())
+                .is_ok();
+            if !ok {
+                *guard = None;
+            }
+        }
     }
 }
 
@@ -512,6 +646,9 @@ pub fn aggregate_stats(per_device: &[ServiceStats]) -> ServiceStats {
         degraded: 0,
         recovered: 0,
         journal_appends: 0,
+        controller_swaps: 0,
+        controller_reweights: 0,
+        controller_recompiles: 0,
         latency_p50_ms: 0,
         latency_p99_ms: 0,
     };
@@ -552,6 +689,9 @@ pub fn aggregate_stats(per_device: &[ServiceStats]) -> ServiceStats {
         total.degraded += s.degraded;
         total.recovered += s.recovered;
         total.journal_appends += s.journal_appends;
+        total.controller_swaps += s.controller_swaps;
+        total.controller_reweights += s.controller_reweights;
+        total.controller_recompiles += s.controller_recompiles;
         total.latency_p50_ms = total.latency_p50_ms.max(s.latency_p50_ms);
         total.latency_p99_ms = total.latency_p99_ms.max(s.latency_p99_ms);
     }

@@ -1,0 +1,213 @@
+//! Kill-and-restart smoke test of the `edm-fleet` binary with
+//! `--journal-dir`: jobs acknowledged before a SIGKILL are replayed on
+//! their original devices by the next process, previously issued fleet
+//! ids keep resolving, and fresh ids never collide with pre-crash ones.
+
+use edm_serve::protocol::{Request, Response};
+use edm_serve::queue::Priority;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn ghz_qasm() -> String {
+    let mut c = qcir::Circuit::new(3, 3);
+    c.h(0).cx(0, 1).cx(1, 2).measure_all();
+    qcir::qasm::to_qasm(&c)
+}
+
+/// A running `edm-fleet` process plus the address it printed to stderr.
+struct Server {
+    child: Child,
+    addr: String,
+    recovered: u64,
+}
+
+fn spawn(journal_dir: &str) -> Server {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_edm-fleet"))
+        .args(["--devices", "2", "--threads", "2", "--addr", "127.0.0.1:0"])
+        .args(["--journal-dir", journal_dir])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn edm-fleet");
+    // The binary prints `recovered N unfinished job(s) ...` (if any) and
+    // then `fleet listening on ADDR`, both to stderr, before serving.
+    let stderr = child.stderr.take().expect("stderr piped");
+    let mut reader = BufReader::new(stderr);
+    let mut recovered = 0;
+    let addr = loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read stderr");
+        assert!(n > 0, "edm-fleet exited before listening");
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("recovered ") {
+            let count = rest.split_whitespace().next().unwrap_or("0");
+            recovered = count.parse().expect("recovered count parses");
+        }
+        if let Some(addr) = line.strip_prefix("fleet listening on ") {
+            break addr.to_string();
+        }
+    };
+    Server {
+        child,
+        addr,
+        recovered,
+    }
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect to fleet server");
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("set read timeout");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    fn exchange(&mut self, request: &Request) -> Response {
+        let mut line = serde_json::to_string(request).expect("request serializes");
+        line.push('\n');
+        self.writer.write_all(line.as_bytes()).expect("write");
+        self.writer.flush().expect("flush");
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        serde_json::from_str(&line).expect("response parses")
+    }
+
+    fn submit(&mut self, shots: u64, seed: u64) -> u64 {
+        match self.exchange(&Request::Submit {
+            qasm: ghz_qasm(),
+            shots,
+            seed,
+            priority: Priority::Normal,
+        }) {
+            Response::Accepted { id, .. } => id,
+            other => panic!("expected Accepted, got {other:?}"),
+        }
+    }
+
+    /// Polls until the job leaves the queue; `true` iff it finished.
+    fn resolve(&mut self, id: u64) -> bool {
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        loop {
+            match self.exchange(&Request::Poll { id }) {
+                Response::Finished { .. } => return true,
+                Response::Unknown { .. } => return false,
+                Response::Queued { .. } => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "job {id} never finished"
+                    );
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                other => panic!("expected Finished/Unknown/Queued for {id}, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn killed_fleet_replays_its_journals_on_restart() {
+    let dir = std::env::temp_dir().join(format!(
+        "edm-fleet-smoke-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir_arg = dir.to_str().unwrap().to_string();
+
+    // First fleet: ack a burst of jobs, then die hard. Each Accepted ack
+    // proves the routed device journaled the job before replying, so
+    // every acked id is either on disk as unfinished (replays) or made it
+    // all the way to completion before the kill.
+    let mut server = spawn(&dir_arg);
+    assert_eq!(server.recovered, 0, "an empty dir recovers nothing");
+    let mut client = Client::connect(&server.addr);
+    let ids: Vec<u64> = (0..8).map(|seed| client.submit(4096, seed)).collect();
+    server.child.kill().expect("SIGKILL edm-fleet");
+    server.child.wait().expect("reap edm-fleet");
+
+    // Second fleet: replays the device journals, restores the fleet
+    // id → (device, local id) index, and finishes the survivors.
+    let mut server = spawn(&dir_arg);
+    assert!(
+        server.recovered >= 1,
+        "a burst of 8 jobs cannot all have finished before the kill"
+    );
+    let mut client = Client::connect(&server.addr);
+    let finished = ids.iter().filter(|&&id| client.resolve(id)).count() as u64;
+    assert_eq!(
+        finished, server.recovered,
+        "every recovered job must finish under its pre-crash fleet id"
+    );
+    // The index journal also restored the id allocator: a fresh
+    // submission must not collide with any pre-crash id.
+    let fresh = client.submit(64, 99);
+    assert!(
+        fresh > *ids.iter().max().unwrap(),
+        "fresh id {fresh} collides with pre-crash ids {ids:?}"
+    );
+    assert!(client.resolve(fresh));
+    assert!(matches!(client.exchange(&Request::Shutdown), Response::Bye));
+    assert!(server.child.wait().expect("edm-fleet exits").success());
+
+    // Third start: everything is journaled complete, so nothing replays
+    // and the old ids are gone.
+    let mut server = spawn(&dir_arg);
+    assert_eq!(server.recovered, 0);
+    let mut client = Client::connect(&server.addr);
+    assert!(matches!(
+        client.exchange(&Request::Poll { id: ids[0] }),
+        Response::Unknown { .. }
+    ));
+    assert!(matches!(client.exchange(&Request::Shutdown), Response::Bye));
+    assert!(server.child.wait().expect("edm-fleet exits").success());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_device_journal_exits_with_the_data_code() {
+    let dir = std::env::temp_dir().join(format!(
+        "edm-fleet-corrupt-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("device-0.jsonl"),
+        "{\"garbage\": true}\n{\"more\": 1}\n",
+    )
+    .unwrap();
+
+    let output = Command::new(env!("CARGO_BIN_EXE_edm-fleet"))
+        .args(["--devices", "2", "--journal-dir", dir.to_str().unwrap()])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("run edm-fleet");
+    assert_eq!(
+        output.status.code(),
+        Some(65),
+        "corrupt journal is EX_DATAERR"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("journal"), "stderr was: {stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

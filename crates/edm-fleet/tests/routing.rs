@@ -17,7 +17,7 @@ use edm_serve::dispatch::{BreakerConfig, BreakerState, ChaosBackend, RetryPolicy
 use edm_serve::queue::{JobRequest, Priority};
 use edm_serve::service::{JobService, JobState, ServeConfig};
 use proptest::prelude::*;
-use qdevice::{presets, Calibration, DeviceModel, Topology};
+use qdevice::{presets, DeviceModel, Topology};
 use std::cell::RefCell;
 use std::sync::Arc;
 
@@ -215,24 +215,10 @@ fn quarantined_device_is_skipped_while_a_healthy_candidate_exists() {
 
     // Re-issue device 0's calibration with qubit 0's readout error worsened
     // far past the watchdog's 0.05 drift threshold.
-    let cal = device.calibration();
-    let topology = device.topology();
-    let readout: Vec<f64> = (0..cal.num_qubits())
-        .map(|q| {
-            if q == 0 {
-                cal.readout_err(q) + 0.2
-            } else {
-                cal.readout_err(q)
-            }
-        })
-        .collect();
-    let gate_1q: Vec<f64> = (0..cal.num_qubits()).map(|q| cal.gate_1q_err(q)).collect();
-    let cx: std::collections::BTreeMap<_, _> = topology
-        .edges()
-        .iter()
-        .map(|e| (*e, cal.cx_err(e.lo(), e.hi()).unwrap()))
-        .collect();
-    fleet.update_calibration(0, Calibration::new(readout, gate_1q, cx));
+    fleet.update_calibration(
+        0,
+        device.calibration().clone().with_degraded_readout(0, 0.2),
+    );
 
     let status = fleet.device_status();
     assert!(status[0].quarantined, "drift must quarantine device 0");
@@ -244,4 +230,54 @@ fn quarantined_device_is_skipped_while_a_healthy_candidate_exists() {
         fleet.process_all();
         assert!(matches!(fleet.poll(ticket.id), Some(JobState::Done(_))));
     }
+}
+
+/// Drift *below* the quarantine threshold must still move traffic: a
+/// calibration update re-scores the device through `predicted_esp`, so a
+/// uniformly (but not quarantinably) worsened device 0 loses the routing
+/// tie to its previously identical twin on ESP alone — regression test
+/// for `Fleet::update_calibration` forgetting to refresh routing state.
+#[test]
+fn calibration_update_rescores_routing_without_quarantine() {
+    let mut fleet: Fleet<DeviceBackend> = Fleet::new(small_config());
+    let device = Arc::new(DeviceModel::synthesize(presets::melbourne14(), 7));
+    for idx in 0..2usize {
+        fleet.add_device(
+            format!("melbourne14#{idx}"),
+            &device,
+            DeviceBackend::new(Arc::clone(&device)),
+        );
+    }
+    // Identical devices: the tie breaks to the lower index.
+    assert_eq!(fleet.route(&ghz(3)).unwrap().device, 0);
+
+    // Worsen every qubit's readout by 0.04 — each under the watchdog's
+    // 0.05 per-qubit threshold, so nothing is quarantined — and push the
+    // update through the fleet.
+    let mut cal = device.calibration().clone();
+    for q in 0..cal.num_qubits() {
+        cal = cal.with_degraded_readout(q, 0.04);
+    }
+    fleet.update_calibration(0, cal);
+
+    let status = fleet.device_status();
+    assert!(
+        !status[0].quarantined && !status[1].quarantined,
+        "sub-threshold drift must not quarantine anything"
+    );
+    let candidates = fleet.candidates(&ghz(3));
+    let score = |d: usize| candidates.iter().find(|c| c.device == d).unwrap();
+    assert!(score(0).healthy && score(1).healthy);
+    assert!(
+        score(0).score < score(1).score,
+        "drifted device must rank below its twin: {candidates:?}"
+    );
+
+    let ticket = fleet.submit(request(ghz(3), 64, 1)).unwrap();
+    assert_eq!(
+        ticket.device, 1,
+        "ESP routing must shift off the drifted device"
+    );
+    fleet.process_all();
+    assert!(matches!(fleet.poll(ticket.id), Some(JobState::Done(_))));
 }

@@ -11,6 +11,8 @@
 //! matching `edm-cli run` — so a served result is bit-identical to the
 //! direct run with the same circuit, shots, and seed.
 
+use edm_core::ControllerConfig;
+use edm_serve::dispatch::ChaosBackend;
 use edm_serve::exitcode;
 use edm_serve::framing::{Frame, LineFramer};
 use edm_serve::journal::JournalError;
@@ -26,7 +28,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   edm-serve [--device-seed N] [--threads N] [--queue N] [--cache N] [--batch N]
-            [--journal PATH] [--metrics-port N]
+            [--journal PATH] [--metrics-port N] [--controller]
+            [--controller-log PATH] [--chaos-kill SEED:MEMBER]
 
 Speaks JSON lines on stdin/stdout. Requests:
   {\"Submit\":{\"qasm\":\"...\",\"shots\":N,\"seed\":N,\"priority\":\"Normal\"}}
@@ -39,6 +42,16 @@ restarting with the same path replays unfinished jobs bit-identically.
 --metrics-port N serves Prometheus text on http://127.0.0.1:N/metrics
 (plus /metrics.json, /spans, and /healthz) and enables telemetry; port 0
 picks an ephemeral port, printed to stderr as `metrics listening on ...`.
+
+--controller enables the closed-loop adaptive controller: per-circuit
+feedback that reweights the WEDM merge, swaps persistently underperforming
+ensemble members for spares, and recompiles the layout pool after a
+calibration change. --controller-log PATH appends its decisions as JSON
+lines.
+
+--chaos-kill SEED:MEMBER (repeatable, test hook) permanently fails the
+ensemble member at plan position MEMBER of any job submitted with seed
+SEED, forcing the controller to observe real failures.
 
 exit codes:
   0   success
@@ -56,6 +69,41 @@ fn flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
             .ok_or_else(|| format!("{name} expects an integer")),
         None => Ok(None),
     }
+}
+
+fn text_flag(args: &[String], name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{name} expects a value")),
+        None => Ok(None),
+    }
+}
+
+/// Every `--chaos-kill SEED:MEMBER` occurrence, parsed.
+fn chaos_kills(args: &[String]) -> Result<Vec<(u64, u64)>, String> {
+    let mut kills = Vec::new();
+    for (i, arg) in args.iter().enumerate() {
+        if arg != "--chaos-kill" {
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or("--chaos-kill expects SEED:MEMBER".to_string())?;
+        let (seed, member) = value
+            .split_once(':')
+            .ok_or(format!("--chaos-kill {value}: expected SEED:MEMBER"))?;
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| format!("--chaos-kill {value}: SEED must be an integer"))?;
+        let member: u64 = member
+            .parse()
+            .map_err(|_| format!("--chaos-kill {value}: MEMBER must be an integer"))?;
+        kills.push((seed, member));
+    }
+    Ok(kills)
 }
 
 fn config_from_args(args: &[String]) -> Result<(u64, ServeConfig), String> {
@@ -91,22 +139,30 @@ fn main() -> ExitCode {
         println!("{USAGE}");
         return ExitCode::SUCCESS;
     }
-    let (device_seed, config) = match config_from_args(&args) {
+    let (device_seed, mut config) = match config_from_args(&args) {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("error: {msg}\n{USAGE}");
             return ExitCode::from(exitcode::USAGE);
         }
     };
-    let journal_path = match args.iter().position(|a| a == "--journal") {
-        Some(i) => match args.get(i + 1) {
-            Some(path) => Some(path.clone()),
-            None => {
-                eprintln!("error: --journal expects a path\n{USAGE}");
-                return ExitCode::from(exitcode::USAGE);
-            }
-        },
-        None => None,
+    if args.iter().any(|a| a == "--controller") {
+        config.controller = Some(ControllerConfig::default());
+    }
+    let (journal_path, controller_log, kills) = match (|| {
+        let journal = text_flag(&args, "--journal")?;
+        let log = text_flag(&args, "--controller-log")?;
+        if log.is_some() && config.controller.is_none() {
+            return Err("--controller-log requires --controller".into());
+        }
+        let kills = chaos_kills(&args)?;
+        Ok::<_, String>((journal, log, kills))
+    })() {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::from(exitcode::USAGE);
+        }
     };
     let metrics_port = match flag(&args, "--metrics-port") {
         Ok(port) => port,
@@ -140,13 +196,42 @@ fn main() -> ExitCode {
     };
 
     let device = DeviceModel::synthesize(presets::melbourne14(), device_seed);
+    let device_name = format!("melbourne14#{device_seed}");
     let backend = NoisySimulator::from_device(&device);
-    let mut service = JobService::new(
-        device.topology().clone(),
-        device.calibration(),
-        backend,
-        config,
-    );
+    // The chaos wrapper changes the service's backend type, so the serve
+    // loop is generic and the choice happens once, here.
+    if kills.is_empty() {
+        let service = JobService::new(
+            device.topology().clone(),
+            device.calibration(),
+            backend,
+            config,
+        );
+        run_service(service, &device_name, journal_path, controller_log)
+    } else {
+        let mut chaos = ChaosBackend::new(backend, 0, 0);
+        for (seed, member) in kills {
+            chaos.kill_seed(qsim::rngstream::fork(seed, member));
+        }
+        let service = JobService::new(
+            device.topology().clone(),
+            device.calibration(),
+            chaos,
+            config,
+        );
+        run_service(service, &device_name, journal_path, controller_log)
+    }
+}
+
+/// The serve loop, generic over the backend so the chaos-wrapped and plain
+/// services share it: attach the journal, open the controller decision
+/// log, then speak JSON lines until shutdown or EOF.
+fn run_service<B: edm_core::Backend>(
+    mut service: JobService<B>,
+    device_name: &str,
+    journal_path: Option<String>,
+    controller_log: Option<String>,
+) -> ExitCode {
     if let Some(path) = journal_path {
         match service.attach_journal(&path) {
             Ok(recovered) if recovered > 0 => {
@@ -163,8 +248,21 @@ fn main() -> ExitCode {
             }
         }
     }
+    let mut decision_log = match controller_log {
+        Some(path) => match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            Ok(file) => Some(file),
+            Err(e) => {
+                eprintln!("error: cannot open controller log {path}: {e}");
+                return ExitCode::from(exitcode::FAILURE);
+            }
+        },
+        None => None,
+    };
 
-    let device_name = format!("melbourne14#{device_seed}");
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut input = stdin.lock();
@@ -220,7 +318,8 @@ fn main() -> ExitCode {
                 }
             };
             let shutdown = matches!(request, Request::Shutdown);
-            let response = handle(&mut service, &device_name, request);
+            let response = handle(&mut service, device_name, request);
+            drain_decisions(&mut service, &mut decision_log);
             emit(&mut out, &response);
             if shutdown {
                 return ExitCode::SUCCESS;
@@ -228,6 +327,37 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Appends any controller decisions made since the last request to the
+/// decision log, one JSON object per line, flushed so the log survives a
+/// kill. Without a log the events are dropped (the counters in `stats`
+/// still track them).
+fn drain_decisions<B: edm_core::Backend>(
+    service: &mut JobService<B>,
+    log: &mut Option<std::fs::File>,
+) {
+    let decisions = service.take_controller_events();
+    if decisions.is_empty() {
+        return;
+    }
+    if let Some(file) = log.as_mut() {
+        for decision in &decisions {
+            let line =
+                serde_json::to_string(decision).expect("controller decisions always serialize");
+            if file
+                .write_all(line.as_bytes())
+                .and_then(|()| file.write_all(b"\n"))
+                .is_err()
+            {
+                *log = None;
+                return;
+            }
+        }
+        if file.flush().is_err() {
+            *log = None;
+        }
+    }
 }
 
 fn emit(out: &mut impl Write, response: &Response) {

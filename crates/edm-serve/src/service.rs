@@ -17,12 +17,14 @@ use crate::queue::{AdmissionQueue, AdmitError, JobRequest, QueuedJob};
 use crate::stats::{LatencyRecorder, ServiceStats};
 use crate::validate;
 use edm_core::{
-    assemble_result, build_ensemble, plan_run, Backend, BatchJob, EdmResult, EnsembleConfig,
-    RunPlan,
+    assemble_result, build_ensemble, filter, plan_run, Backend, BatchJob, Controller,
+    ControllerConfig, ControllerEvent, EdmResult, EnsembleConfig, EnsembleMember,
+    MemberObservation, ProbDist, RunPlan,
 };
 use qdevice::drift::{DriftPolicy, DriftWatchdog};
 use qdevice::{Calibration, Topology};
 use qmap::Transpiler;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -46,6 +48,11 @@ pub struct ServeConfig {
     pub breaker: BreakerConfig,
     /// Calibration-drift thresholds for the quarantine watchdog.
     pub drift: DriftPolicy,
+    /// Closed-loop feedback controller over ensemble composition; `None`
+    /// (the default) keeps the classic static top-K behavior. When set,
+    /// each circuit's pool is compiled `spares` members larger and the
+    /// controller reweights/swaps/recompiles between runs (DESIGN.md §14).
+    pub controller: Option<ControllerConfig>,
 }
 
 impl Default for ServeConfig {
@@ -59,8 +66,29 @@ impl Default for ServeConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
             drift: DriftPolicy::default(),
+            controller: None,
         }
     }
+}
+
+/// One controller decision with the circuit it was made for, in the order
+/// decisions were made. The `edm-serve --controller-log` flag streams
+/// these to disk as JSON lines; tests compare whole sequences to prove
+/// replay determinism.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerDecision {
+    /// Fingerprint of the circuit whose ensemble the decision concerns.
+    pub circuit: u64,
+    /// The decision itself.
+    pub event: ControllerEvent,
+}
+
+/// Per-circuit controller state: the controller plus the calibration
+/// generation its pool was compiled under (a mismatch means the pool went
+/// stale and the controller must rebuild onto the fresh one).
+struct ControllerEntry {
+    controller: Controller,
+    generation: u64,
 }
 
 /// Where a submitted job currently is.
@@ -114,6 +142,15 @@ pub struct JobService<B> {
     degraded: u64,
     recovered: u64,
     journal_appends: u64,
+    /// Per-circuit feedback controllers (empty unless
+    /// [`ServeConfig::controller`] is set), keyed by circuit fingerprint.
+    controllers: BTreeMap<u64, ControllerEntry>,
+    /// Decisions not yet drained by [`JobService::take_controller_events`],
+    /// oldest first, bounded to avoid unbounded growth in embedded users.
+    controller_events: Vec<ControllerDecision>,
+    controller_swaps: u64,
+    controller_reweights: u64,
+    controller_recompiles: u64,
 }
 
 impl<B: Backend> JobService<B> {
@@ -196,6 +233,11 @@ impl<B: Backend> JobService<B> {
             degraded: 0,
             recovered: 0,
             journal_appends: 0,
+            controllers: BTreeMap::new(),
+            controller_events: Vec::new(),
+            controller_swaps: 0,
+            controller_reweights: 0,
+            controller_recompiles: 0,
         }
     }
 
@@ -338,25 +380,36 @@ impl<B: Backend> JobService<B> {
 
         // Phase 1: compile (through the cache) and plan each request.
         // Failures are terminal for that request only.
-        let mut plans: Vec<(u64, u64, RunPlan)> = Vec::new();
+        let mut plans: Vec<(u64, u64, RunPlan, Option<u64>)> = Vec::new();
         for job in drained {
             // Compile under the job's trace id so transpile/VF2 spans of a
             // cache miss carry it.
             let _trace = edm_telemetry::trace::with_trace(self.trace_id(job.id).unwrap_or(0));
-            let ensemble = match self.compile_cached(&job.request.circuit) {
+            let pool = match self.compile_cached(&job.request.circuit) {
                 Ok(members) => members,
                 Err(reason) => {
                     self.fail(job.id, reason);
                     continue;
                 }
             };
+            // With the controller on, the pool is larger than the active
+            // ensemble: plan over whatever the circuit's controller holds
+            // active right now (rebuilding first if the pool went stale,
+            // and evicting quarantined footprints).
+            let (members, context): (Vec<EnsembleMember>, Option<u64>) =
+                if self.config.controller.is_some() {
+                    let fp = job.request.circuit.fingerprint();
+                    (self.controller_members(fp, &pool), Some(fp))
+                } else {
+                    (pool.as_ref().clone(), None)
+                };
             match plan_run(
-                ensemble.as_ref().clone(),
+                members,
                 job.request.shots,
                 job.request.seed,
                 self.config.ensemble.shot_allocation,
             ) {
-                Ok(plan) => plans.push((job.id, job.enqueued_at_ms, plan)),
+                Ok(plan) => plans.push((job.id, job.enqueued_at_ms, plan, context)),
                 Err(e) => self.fail(job.id, e.to_string()),
             }
         }
@@ -365,7 +418,8 @@ impl<B: Backend> JobService<B> {
         // planned request. Seeds were forked per-request inside plan_run,
         // so concatenation changes nothing about any job's RNG stream.
         if !plans.is_empty() {
-            let all_jobs: Vec<BatchJob<'_>> = plans.iter().flat_map(|(_, _, p)| p.jobs()).collect();
+            let all_jobs: Vec<BatchJob<'_>> =
+                plans.iter().flat_map(|(_, _, p, _)| p.jobs()).collect();
             let results = {
                 let _span = edm_telemetry::trace::span("dispatch");
                 edm_telemetry::histogram!(
@@ -388,12 +442,15 @@ impl<B: Backend> JobService<B> {
             // Phase 3: split the flat result vector back per request and
             // merge each into its EdmResult.
             let mut results = results.into_iter();
-            for (id, enqueued_at_ms, plan) in plans {
+            for (id, enqueued_at_ms, plan, context) in plans {
                 let _trace = edm_telemetry::trace::with_trace(self.trace_id(id).unwrap_or(0));
                 let k = plan.members.len();
                 let raw: Vec<_> = results.by_ref().take(k).collect();
                 match assemble_result(plan.members, raw, &self.config.ensemble) {
-                    Ok(result) => {
+                    Ok(mut result) => {
+                        if let Some(fp) = context {
+                            self.controller_observe(fp, k, &mut result);
+                        }
                         let latency_ms = self.clock.now_ms().saturating_sub(enqueued_at_ms);
                         self.latency.record(latency_ms);
                         self.completed += 1;
@@ -534,6 +591,9 @@ impl<B: Backend> JobService<B> {
             degraded: self.degraded,
             recovered: self.recovered,
             journal_appends: self.journal_appends,
+            controller_swaps: self.controller_swaps,
+            controller_reweights: self.controller_reweights,
+            controller_recompiles: self.controller_recompiles,
             latency_p50_ms,
             latency_p99_ms,
         }
@@ -601,10 +661,179 @@ impl<B: Backend> JobService<B> {
         // cached ensembles never reflect a stale quarantine.
         let transpiler = Transpiler::new(&self.topology, &self.calibration)
             .with_quarantine(self.watchdog.quarantine());
-        let members = build_ensemble(&transpiler, circuit, &self.config.ensemble)
-            .map_err(|e| e.to_string())?;
+        // With the controller on, compile `spares` extra ranked layouts:
+        // the active ensemble stays `size` wide, the surplus is the swap
+        // pool the controller promotes from.
+        let mut ensemble_config = self.config.ensemble;
+        if let Some(controller) = &self.config.controller {
+            ensemble_config.size += controller.spares;
+        }
+        let members =
+            build_ensemble(&transpiler, circuit, &ensemble_config).map_err(|e| e.to_string())?;
         self.compilations += 1;
         Ok(self.cache.insert(key, members))
+    }
+
+    /// The members to plan this run over, per the circuit's feedback
+    /// controller: creates the controller on first sight, rebuilds it when
+    /// the pool was recompiled under a new calibration generation, and
+    /// applies the swap policy (quarantined footprints, struck-out slots)
+    /// before planning. Only called when [`ServeConfig::controller`] is set.
+    fn controller_members(
+        &mut self,
+        fp: u64,
+        pool: &Arc<Vec<EnsembleMember>>,
+    ) -> Vec<EnsembleMember> {
+        let config = self
+            .config
+            .controller
+            .expect("controller_members requires a controller config");
+        let target = self.config.ensemble.size;
+        let generation = self.calibration.generation();
+        let mut events = Vec::new();
+        let members: Vec<EnsembleMember> = {
+            let entry = self
+                .controllers
+                .entry(fp)
+                .or_insert_with(|| ControllerEntry {
+                    controller: Controller::new(config, pool.len(), target),
+                    generation,
+                });
+            let stale = entry.generation != generation
+                || entry.controller.active().iter().any(|&i| i >= pool.len());
+            if stale {
+                events.push(entry.controller.rebuild(pool.len(), generation));
+                entry.generation = generation;
+            }
+            let footprints: Vec<Vec<u32>> = pool.iter().map(|m| m.qubits.clone()).collect();
+            events.extend(
+                entry
+                    .controller
+                    .maintain(&footprints, Some(self.watchdog.quarantine())),
+            );
+            entry
+                .controller
+                .active()
+                .iter()
+                .map(|&i| pool[i].clone())
+                .collect()
+        };
+        self.record_controller_events(fp, events);
+        // Bound the controller map like the cache it shadows; evict the
+        // smallest other fingerprint (deterministic, and never the entry
+        // serving the current job).
+        let bound = self.config.cache_capacity.max(1) * 2;
+        while self.controllers.len() > bound {
+            let victim = self
+                .controllers
+                .keys()
+                .find(|k| **k != fp)
+                .copied()
+                .expect("bound > 1, so another entry exists");
+            self.controllers.remove(&victim);
+        }
+        members
+    }
+
+    /// Feeds one finished run back into the circuit's controller: builds
+    /// per-slot observations (plan order, failures included), updates the
+    /// health EWMA, and — when the controller decides the realized WEDM
+    /// weights disagree with member health — re-merges the result under
+    /// the health-adjusted weights. `planned` is the planned member count
+    /// (survivors plus failures).
+    fn controller_observe(&mut self, fp: u64, planned: usize, result: &mut EdmResult) {
+        let threshold = self
+            .config
+            .ensemble
+            .uniformity_filter
+            .unwrap_or(filter::DEFAULT_RSD_THRESHOLD);
+        // Failed slots by plan index; survivors fill the remaining slots
+        // in order (assemble_result preserves plan order among survivors).
+        let failed: BTreeMap<usize, f64> = match &result.health {
+            edm_core::RunHealth::Degraded { failed_members, .. } => failed_members
+                .iter()
+                .map(|f| (f.index, f.member.esp))
+                .collect(),
+            edm_core::RunHealth::Full => BTreeMap::new(),
+        };
+        let mut observations = Vec::with_capacity(planned);
+        let mut survivor = 0usize;
+        for slot in 0..planned {
+            if let Some(&esp) = failed.get(&slot) {
+                observations.push(MemberObservation {
+                    esp,
+                    informative: false,
+                    realized_weight: 0.0,
+                    failed: true,
+                });
+            } else if survivor < result.members.len() {
+                let run = &result.members[survivor];
+                observations.push(MemberObservation {
+                    esp: run.member.esp,
+                    informative: filter::is_informative(&run.dist, threshold),
+                    realized_weight: result.weights.get(survivor).copied().unwrap_or(0.0),
+                    failed: false,
+                });
+                survivor += 1;
+            }
+        }
+        let Some(entry) = self.controllers.get_mut(&fp) else {
+            return;
+        };
+        if observations.len() != entry.controller.active().len() {
+            // The controller changed shape between planning and assembly
+            // (can only happen through external mutation); skip feedback
+            // rather than misattribute observations to the wrong slots.
+            return;
+        }
+        let assessment = entry.controller.observe(&observations);
+        if assessment.reweighted {
+            // Map per-slot adjusted weights back onto the survivors and
+            // re-merge WEDM under them. Failed slots carry no
+            // distribution, so their (zero) weight is simply dropped.
+            let mut adjusted = Vec::with_capacity(result.members.len());
+            for (slot, weight) in assessment.weights.iter().enumerate() {
+                if !failed.contains_key(&slot) {
+                    adjusted.push(*weight);
+                }
+            }
+            let total: f64 = adjusted.iter().sum();
+            if adjusted.len() == result.members.len() && total.is_finite() && total > 0.0 {
+                for w in &mut adjusted {
+                    *w /= total;
+                }
+                let dists: Vec<ProbDist> = result.members.iter().map(|r| r.dist.clone()).collect();
+                result.wedm = ProbDist::merge_weighted(&dists, &adjusted);
+                result.weights = adjusted;
+            }
+        }
+        let events = assessment.events;
+        self.record_controller_events(fp, events);
+    }
+
+    /// Mirrors controller decisions into the service-level counters and
+    /// the bounded drainable decision log.
+    fn record_controller_events(&mut self, fp: u64, events: Vec<ControllerEvent>) {
+        for event in events {
+            match &event {
+                ControllerEvent::Swap { .. } => self.controller_swaps += 1,
+                ControllerEvent::Reweight { .. } => self.controller_reweights += 1,
+                ControllerEvent::Recompile { .. } => self.controller_recompiles += 1,
+            }
+            self.controller_events
+                .push(ControllerDecision { circuit: fp, event });
+        }
+        const EVENT_BOUND: usize = 4096;
+        if self.controller_events.len() > EVENT_BOUND {
+            let excess = self.controller_events.len() - EVENT_BOUND;
+            self.controller_events.drain(..excess);
+        }
+    }
+
+    /// Drains the controller decisions made since the last call, oldest
+    /// first (the `--controller-log` flag streams these to disk).
+    pub fn take_controller_events(&mut self) -> Vec<ControllerDecision> {
+        std::mem::take(&mut self.controller_events)
     }
 
     fn fail(&mut self, id: u64, reason: String) {

@@ -128,6 +128,13 @@ pub struct ServiceStats {
     pub recovered: u64,
     /// Write-ahead journal entries appended by this process.
     pub journal_appends: u64,
+    /// Ensemble-slot swaps decided by the feedback controller.
+    pub controller_swaps: u64,
+    /// Runs whose WEDM merge weights the controller adjusted.
+    pub controller_reweights: u64,
+    /// Layout-pool recompilations the controller performed after a
+    /// calibration-generation change.
+    pub controller_recompiles: u64,
     /// Median job latency (submit to finish) over the recent window, ms.
     pub latency_p50_ms: u64,
     /// 99th-percentile job latency over the recent window, ms.

@@ -154,6 +154,43 @@ impl Calibration {
         }
     }
 
+    /// A copy of this table with `qubit`'s readout error worsened by
+    /// `delta` (clamped into `[0, 1]`), keeping the generation.
+    ///
+    /// This is the drift-injection primitive: tests and chaos tooling use
+    /// it to degrade one qubit past (or deliberately just under) a
+    /// [`DriftPolicy`](crate::drift::DriftPolicy) threshold without
+    /// hand-rebuilding all three error tables through the accessors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range or `delta` is not finite.
+    #[must_use]
+    pub fn with_degraded_readout(mut self, qubit: u32, delta: f64) -> Self {
+        assert!(delta.is_finite(), "degradation delta must be finite");
+        let slot = &mut self.readout_err[qubit as usize];
+        *slot = (*slot + delta).clamp(0.0, 1.0);
+        self
+    }
+
+    /// A copy of this table with the CX error on link `(a, b)` worsened by
+    /// `delta` (clamped into `[0, 1]`), keeping the generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair is not a calibrated link or `delta` is not
+    /// finite.
+    #[must_use]
+    pub fn with_degraded_cx(mut self, a: u32, b: u32, delta: f64) -> Self {
+        assert!(delta.is_finite(), "degradation delta must be finite");
+        let slot = self
+            .cx_err
+            .get_mut(&Edge::new(a, b))
+            .unwrap_or_else(|| panic!("({a}, {b}) is not a calibrated link"));
+        *slot = (*slot + delta).clamp(0.0, 1.0);
+        self
+    }
+
     /// Qubits sorted from most to least reliable readout.
     pub fn qubits_by_readout(&self) -> Vec<u32> {
         let mut order: Vec<u32> = (0..self.num_qubits()).collect();
@@ -247,6 +284,26 @@ mod tests {
         // Bumping does not touch the error tables.
         assert_eq!(c.readout_err(2), 0.30);
         assert_eq!(c.cx_err(0, 1), Some(0.02));
+    }
+
+    #[test]
+    fn degradation_helpers_worsen_one_rate_and_keep_the_generation() {
+        let c = sample().with_generation(3);
+        let worse = c.clone().with_degraded_readout(1, 0.2);
+        assert!((worse.readout_err(1) - 0.30).abs() < 1e-12);
+        assert_eq!(worse.readout_err(0), c.readout_err(0));
+        assert_eq!(worse.generation(), 3);
+        // Clamps at 1.0 rather than panicking out of range.
+        assert_eq!(c.clone().with_degraded_readout(2, 5.0).readout_err(2), 1.0);
+        let worse_cx = c.clone().with_degraded_cx(1, 0, 0.05);
+        assert!((worse_cx.cx_err(0, 1).unwrap() - 0.07).abs() < 1e-12);
+        assert_eq!(worse_cx.cx_err(1, 2), c.cx_err(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a calibrated link")]
+    fn degrading_a_missing_link_is_rejected() {
+        let _ = sample().with_degraded_cx(0, 2, 0.1);
     }
 
     #[test]

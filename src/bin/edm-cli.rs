@@ -18,7 +18,10 @@
 //! (melbourne14 … eagle127); `--mapper` picks the embedding engine
 //! (auto | exhaustive | filtered).
 
-use edm_core::{metrics, EdmError, EdmRunner, EnsembleConfig, RunHealth};
+use edm_core::{
+    metrics, Backend, Controller, ControllerConfig, ControllerEvent, EdmError, EdmRunner,
+    EnsembleConfig, MemberObservation, ProbDist, RunHealth, ShotAllocation,
+};
 use edm_serve::{exitcode, validate};
 use qcir::{draw, qasm, Circuit};
 use qdevice::mapper::SearchOutcome;
@@ -105,7 +108,7 @@ const USAGE: &str = "usage:
   edm-cli draw <circuit.qasm>
   edm-cli transpile <circuit.qasm> [--device NAME] [--mapper NAME] [--seed N]
   edm-cli run <circuit.qasm> [--device NAME] [--shots N] [--seed N]
-             [--threads N] [--profile]
+             [--threads N] [--profile] [--adaptive-controller] [--rounds N]
   edm-cli run <circuit.qasm> --connect ADDR [--shots N] [--seed N]
   edm-cli map (<circuit.qasm> | --bench NAME) [--device NAME] [--mapper NAME]
              [--ensemble K] [--seed N]
@@ -136,6 +139,14 @@ run options:
                 submit to a running edm-serve/edm-fleet JSON-lines server
                 at ADDR (e.g. 127.0.0.1:7878) instead of running locally,
                 then poll until the job finishes and print its summary
+  --adaptive-controller
+                run the shot budget in rounds through the closed-loop
+                feedback controller: an enlarged mapping pool is compiled
+                once, and between rounds the controller reweights the WEDM
+                merge and swaps persistently underperforming members for
+                spares; prints per-round health and decisions
+  --rounds N    feedback rounds for --adaptive-controller, N >= 2
+                (default: 4)
 
 exit codes:
   0   success
@@ -254,6 +265,13 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     if let Some(addr) = text_flag(args, "--connect")? {
         return cmd_run_remote(&addr, &circuit, shots, seed);
     }
+    if args.iter().any(|a| a == "--adaptive-controller") {
+        let rounds = flag(args, "--rounds", 4)?;
+        if rounds < 2 {
+            return Err(CliError::usage("--rounds must be at least 2"));
+        }
+        return cmd_run_adaptive(&circuit, shots, seed, rounds, threads, topology, mapper);
+    }
     if profile {
         edm_telemetry::set_enabled(true);
     }
@@ -326,6 +344,182 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         print_profile(wall);
     }
     Ok(())
+}
+
+/// `run --adaptive-controller`: the closed-loop local mode. Compiles one
+/// enlarged mapping pool (the usual ensemble plus the controller's spare
+/// budget), then spends the shot budget in rounds; after each round the
+/// controller scores every active member against its predicted ESP share,
+/// reweights the WEDM merge, and swaps persistent underperformers for the
+/// next-ranked spare. The final answer merges the per-round WEDM
+/// distributions weighted by their shot counts.
+fn cmd_run_adaptive(
+    circuit: &Circuit,
+    shots: u64,
+    seed: u64,
+    rounds: u64,
+    threads: Option<usize>,
+    topology: Topology,
+    mapper: MapperSelection,
+) -> Result<(), CliError> {
+    let correct = ideal::outcome(circuit).map_err(|e| CliError::other(e.to_string()))?;
+    let width = circuit.num_clbits();
+    let device = DeviceModel::synthesize(topology, seed);
+    let cal = device.calibration();
+    let transpiler = Transpiler::new(device.topology(), &cal).with_mapper(mapper);
+    let backend = NoisySimulator::from_device(&device);
+    let threads = threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+
+    let base = EnsembleConfig::default();
+    let controller_config = ControllerConfig::default();
+    let pool_config = EnsembleConfig {
+        size: base.size + controller_config.spares,
+        ..base
+    };
+    let pool =
+        edm_core::build_ensemble(&transpiler, circuit, &pool_config).map_err(CliError::run)?;
+    let footprints: Vec<Vec<u32>> = pool.iter().map(|m| m.qubits.clone()).collect();
+    let active_len = base.size.min(pool.len());
+    let mut controller = Controller::new(controller_config, pool.len(), active_len);
+
+    let round_shots = shots / rounds;
+    if round_shots < active_len as u64 {
+        return Err(CliError::usage(format!(
+            "--shots {shots} over {rounds} rounds leaves fewer shots per round than the \
+             {active_len} ensemble members"
+        )));
+    }
+    let threshold = base
+        .uniformity_filter
+        .unwrap_or(edm_core::filter::DEFAULT_RSD_THRESHOLD);
+
+    println!(
+        "ideal (correct) answer: {}",
+        qsim::counts::format_bitstring(correct, width)
+    );
+    println!(
+        "pool: {} mapping(s) ({} active + {} spare(s)), {} round(s) of {} shot(s)",
+        pool.len(),
+        active_len,
+        pool.len() - active_len,
+        rounds,
+        round_shots
+    );
+
+    let mut round_dists: Vec<ProbDist> = Vec::new();
+    let mut round_masses: Vec<f64> = Vec::new();
+    for round in 0..rounds {
+        for event in controller.maintain(&footprints, None) {
+            if let ControllerEvent::Swap {
+                slot,
+                out_member,
+                in_member,
+                reason,
+                ..
+            } = event
+            {
+                println!("round {round}: swap slot {slot}: member {out_member} -> {in_member} ({reason:?})");
+            }
+        }
+        let members: Vec<edm_core::EnsembleMember> = controller
+            .active()
+            .iter()
+            .map(|&i| pool[i].clone())
+            .collect();
+        let planned = members.len();
+        // Each round forks its own seed, so rounds are independent trials
+        // and the whole run stays reproducible from the one CLI seed.
+        let plan = plan_round(members, round_shots, qsim::rngstream::fork(seed, round))?;
+        let raw = backend.execute_batch(&plan.jobs(), threads);
+        let mut result =
+            edm_core::assemble_result(plan.members, raw, &base).map_err(CliError::run)?;
+
+        let failed: std::collections::BTreeMap<usize, f64> = match &result.health {
+            RunHealth::Degraded { failed_members, .. } => failed_members
+                .iter()
+                .map(|f| (f.index, f.member.esp))
+                .collect(),
+            RunHealth::Full => Default::default(),
+        };
+        let mut observations = Vec::with_capacity(planned);
+        let mut survivors = result.members.iter().zip(&result.weights);
+        for slot in 0..planned {
+            if let Some(&esp) = failed.get(&slot) {
+                observations.push(MemberObservation {
+                    esp,
+                    informative: false,
+                    realized_weight: 0.0,
+                    failed: true,
+                });
+            } else if let Some((run, &weight)) = survivors.next() {
+                observations.push(MemberObservation {
+                    esp: run.member.esp,
+                    informative: edm_core::filter::is_informative(&run.dist, threshold),
+                    realized_weight: weight,
+                    failed: false,
+                });
+            }
+        }
+        if observations.len() == planned {
+            let assessment = controller.observe(&observations);
+            if assessment.reweighted {
+                // Slot weights map onto survivors in plan order; renormalize
+                // over the survivors actually merged.
+                let adjusted: Vec<f64> = (0..planned)
+                    .filter(|slot| !failed.contains_key(slot))
+                    .map(|slot| assessment.weights[slot])
+                    .collect();
+                let total: f64 = adjusted.iter().sum();
+                if adjusted.len() == result.members.len() && total.is_finite() && total > 0.0 {
+                    let adjusted: Vec<f64> = adjusted.iter().map(|w| w / total).collect();
+                    let dists: Vec<ProbDist> =
+                        result.members.iter().map(|m| m.dist.clone()).collect();
+                    result.wedm = ProbDist::merge_weighted(&dists, &adjusted);
+                    result.weights = adjusted;
+                }
+            }
+        }
+
+        let health: Vec<String> = controller
+            .health()
+            .iter()
+            .map(|h| format!("{h:.2}"))
+            .collect();
+        println!(
+            "round {round}: WEDM PST {:.4}  health [{}]",
+            metrics::pst(&result.wedm, correct),
+            health.join(" ")
+        );
+        round_masses.push(result.members.iter().map(|m| m.counts.shots() as f64).sum());
+        round_dists.push(result.wedm);
+    }
+
+    let final_wedm = ProbDist::merge_weighted(&round_dists, &round_masses);
+    println!(
+        "adaptive WEDM: PST {:.4}  IST {:.3}",
+        metrics::pst(&final_wedm, correct),
+        metrics::ist(&final_wedm, correct)
+    );
+    println!(
+        "controller: {} swap(s), {} reweight(s) over {} round(s)",
+        controller.swaps(),
+        controller.reweights(),
+        controller.runs()
+    );
+    Ok(())
+}
+
+/// Plans one adaptive round, mapping config errors to usage exits.
+fn plan_round(
+    members: Vec<edm_core::EnsembleMember>,
+    shots: u64,
+    seed: u64,
+) -> Result<edm_core::RunPlan, CliError> {
+    edm_core::plan_run(members, shots, seed, ShotAllocation::Uniform).map_err(CliError::run)
 }
 
 /// `map`: transpiles a workload onto the chosen preset and prints the
@@ -458,6 +652,22 @@ fn cmd_run_remote(addr: &str, circuit: &Circuit, shots: u64, seed: u64) -> Resul
                     "top outcome: {}  p = {:.4}",
                     summary.top_outcome, summary.top_probability
                 );
+                // Surface adaptive-controller activity without making the
+                // user scrape Prometheus; servers without the controller
+                // report zeros and print nothing.
+                if let Ok(Response::Stats { stats }) = exchange(&Request::Stats) {
+                    if stats.controller_swaps > 0
+                        || stats.controller_reweights > 0
+                        || stats.controller_recompiles > 0
+                    {
+                        println!(
+                            "controller: {} swap(s), {} reweight(s), {} recompile(s)",
+                            stats.controller_swaps,
+                            stats.controller_reweights,
+                            stats.controller_recompiles
+                        );
+                    }
+                }
                 return Ok(());
             }
             Response::Failed { reason, .. } => {
