@@ -45,11 +45,7 @@ fn bench_parallel_engine(c: &mut Criterion) {
     let jobs: Vec<BatchJob<'_>> = members
         .iter()
         .enumerate()
-        .map(|(i, m)| BatchJob {
-            circuit: &m.physical,
-            shots: 4096,
-            seed: qsim::rngstream::fork(7, i as u64),
-        })
+        .map(|(i, m)| BatchJob::new(&m.physical, 4096, qsim::rngstream::fork(7, i as u64)))
         .collect();
     let mut group = c.benchmark_group("batch_4_members_16384_shots");
     group.sample_size(10);

@@ -86,14 +86,18 @@ impl<B: Backend> EdmRunner<'_, B> {
 
         // Pilot phase: one batch over all members, seeds forked from a
         // pilot-specific stream so the main phase below cannot replay them.
+        let trace = edm_telemetry::trace::current_context();
         let pilot_root = rngstream::fork(seed, 0);
         let pilot_jobs: Vec<BatchJob<'_>> = members
             .iter()
             .enumerate()
-            .map(|(i, member)| BatchJob {
-                circuit: &member.physical,
-                shots: pilot_each,
-                seed: rngstream::fork(pilot_root, i as u64),
+            .map(|(i, member)| {
+                BatchJob::new(
+                    &member.physical,
+                    pilot_each,
+                    rngstream::fork(pilot_root, i as u64),
+                )
+                .traced(trace)
             })
             .collect();
         let mut pilot_counts: Vec<Counts> = Vec::with_capacity(members.len());
@@ -133,10 +137,13 @@ impl<B: Backend> EdmRunner<'_, B> {
         let main_jobs: Vec<BatchJob<'_>> = survivors
             .iter()
             .enumerate()
-            .map(|(slot, (orig_idx, member))| BatchJob {
-                circuit: &member.physical,
-                shots: main_each + u64::from((slot as u64) < main_rem),
-                seed: rngstream::fork(main_root, *orig_idx as u64),
+            .map(|(slot, (orig_idx, member))| {
+                BatchJob::new(
+                    &member.physical,
+                    main_each + u64::from((slot as u64) < main_rem),
+                    rngstream::fork(main_root, *orig_idx as u64),
+                )
+                .traced(trace)
             })
             .collect();
         let main_results = self.backend().execute_batch(&main_jobs, self.threads());

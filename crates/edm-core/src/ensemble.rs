@@ -586,6 +586,18 @@ pub struct RunPlan {
     pub shares: Vec<u64>,
     /// Per-member RNG roots, forked from the run seed.
     pub seeds: Vec<u64>,
+    /// Trace context stamped onto every batch job of this plan, linking
+    /// the pool slices of its execution into the submitting job's trace.
+    /// Telemetry only; never consulted by planning or execution.
+    pub trace: qsim::parallel::TraceContext,
+}
+
+impl RunPlan {
+    /// Stamps the trace context this plan's batch jobs (and therefore
+    /// their pool slices) report into.
+    pub fn set_trace(&mut self, trace: qsim::parallel::TraceContext) {
+        self.trace = trace;
+    }
 }
 
 impl RunPlan {
@@ -595,10 +607,8 @@ impl RunPlan {
             .iter()
             .zip(&self.shares)
             .zip(&self.seeds)
-            .map(|((member, &shots), &seed)| BatchJob {
-                circuit: &member.physical,
-                shots,
-                seed,
+            .map(|((member, &shots), &seed)| {
+                BatchJob::new(&member.physical, shots, seed).traced(self.trace)
             })
             .collect()
     }
@@ -635,6 +645,10 @@ pub fn plan_run(
         members,
         shares,
         seeds,
+        // Inherit the planning thread's context: a plan built under
+        // `with_context` (the service's per-job guard) links its slices
+        // without the caller doing anything; `set_trace` overrides.
+        trace: edm_telemetry::trace::current_context(),
     })
 }
 

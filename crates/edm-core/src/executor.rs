@@ -124,18 +124,7 @@ mod tests {
         let sim = NoisySimulator::from_device(&device);
         let mut c = Circuit::new(2, 2);
         c.h(0).cx(0, 1).measure_all();
-        let jobs = [
-            BatchJob {
-                circuit: &c,
-                shots: 1500,
-                seed: 3,
-            },
-            BatchJob {
-                circuit: &c,
-                shots: 2048,
-                seed: 4,
-            },
-        ];
+        let jobs = [BatchJob::new(&c, 1500, 3), BatchJob::new(&c, 2048, 4)];
         let one = sim.execute_batch(&jobs, 1);
         let eight = sim.execute_batch(&jobs, 8);
         assert_eq!(one[0].as_ref().unwrap(), eight[0].as_ref().unwrap());
@@ -165,15 +154,7 @@ mod tests {
         let shots = 2500u64; // 1024 + 1024 + 452: uneven tail slice
         let seed = 31u64;
 
-        let via_backend = Backend::execute_batch(
-            &sim,
-            &[BatchJob {
-                circuit: &c,
-                shots,
-                seed,
-            }],
-            2,
-        );
+        let via_backend = Backend::execute_batch(&sim, &[BatchJob::new(&c, shots, seed)], 2);
 
         let plan = sim.compile(&c).unwrap();
         let mut scratch = qsim::SimScratch::new();
@@ -216,21 +197,9 @@ mod tests {
         let mut c = Circuit::new(1, 1);
         c.measure_all();
         let jobs = [
-            BatchJob {
-                circuit: &c,
-                shots: 10,
-                seed: 7,
-            },
-            BatchJob {
-                circuit: &c,
-                shots: 10,
-                seed: 8,
-            },
-            BatchJob {
-                circuit: &c,
-                shots: 10,
-                seed: 9,
-            },
+            BatchJob::new(&c, 10, 7),
+            BatchJob::new(&c, 10, 8),
+            BatchJob::new(&c, 10, 9),
         ];
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {})); // keep test output quiet

@@ -63,6 +63,7 @@ pub mod filter;
 pub mod metrics;
 pub mod mitigate;
 pub mod model;
+pub mod quality;
 pub mod wedm;
 
 pub use adaptive::AdaptiveResult;
@@ -76,3 +77,4 @@ pub use ensemble::{
 };
 pub use error::EdmError;
 pub use executor::{Backend, BatchJob};
+pub use quality::{QualityConfig, QualityEstimator, QualitySnapshot};

@@ -1,0 +1,348 @@
+//! Live answer-quality estimation: observed IST vs predicted ESP.
+//!
+//! ESP is a *compile-time* prediction of how often a mapping succeeds; the
+//! paper's Fig. 8 shows it correlates with — but systematically deviates
+//! from — the *observed* Inference Strength on real hardware. This module
+//! closes that gap online: every completed job contributes one observation
+//! of "top-outcome share actually delivered" next to "ESP we promised",
+//! and an exponentially-weighted moving average of each tracks where a
+//! device currently sits relative to its calibration model.
+//!
+//! The estimator is deliberately **deterministic and clock-free**: its
+//! state is a pure function of the ordered observation sequence, with no
+//! timestamps, randomness, or environment reads. Two replicas fed the same
+//! history produce bit-identical estimates — which is what lets the fleet
+//! router consult live quality without breaking the DESIGN.md §7
+//! bit-identity contract (identical histories ⇒ identical routing
+//! decisions ⇒ identical merged histograms).
+//!
+//! The observed quantity is the merged distribution's top-outcome share, a
+//! proxy for IST that needs no knowledge of the correct answer (on
+//! hardware nobody hands you the ground truth). For well-behaved circuits
+//! the top outcome *is* the answer, so the share tracks PST; for
+//! noise-drowned ones it collapses toward uniform and the quality factor
+//! degrades — exactly the signal a router wants.
+
+/// Tuning knobs for a [`QualityEstimator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QualityConfig {
+    /// EWMA smoothing factor in micro-units (`alpha = alpha_micro / 1e6`).
+    /// Larger tracks drift faster but is noisier. Default 200 000 (0.2).
+    pub alpha_micro: u32,
+    /// Observations before [`QualityEstimator::warmed_up`] turns true and
+    /// the quality factor starts deviating from 1.0. Routing policies fall
+    /// back to plain ESP until then. Default 5.
+    pub warmup: u64,
+    /// Lower clamp for [`QualityEstimator::quality_factor`] in micro-units.
+    /// Keeps one catastrophic window from zeroing a device's score
+    /// forever. Default 250 000 (0.25×).
+    pub min_factor_micro: u32,
+    /// Upper clamp for the quality factor in micro-units. Default
+    /// 2 000 000 (2×): over-delivering never more than doubles a score.
+    pub max_factor_micro: u32,
+}
+
+impl Default for QualityConfig {
+    fn default() -> Self {
+        Self {
+            alpha_micro: 200_000,
+            warmup: 5,
+            min_factor_micro: 250_000,
+            max_factor_micro: 2_000_000,
+        }
+    }
+}
+
+impl QualityConfig {
+    fn alpha(&self) -> f64 {
+        f64::from(self.alpha_micro.min(1_000_000)) / 1e6
+    }
+}
+
+/// Online EWMA tracker of observed answer quality against predicted ESP.
+///
+/// # Examples
+///
+/// ```
+/// use edm_core::quality::{QualityConfig, QualityEstimator};
+///
+/// let mut q = QualityEstimator::new(QualityConfig::default());
+/// assert!(q.live_ist().is_none());
+/// assert_eq!(q.quality_factor(), 1.0); // neutral during warmup
+/// for _ in 0..8 {
+///     q.observe(0.8, 0.4); // promised 0.8, delivered 0.4
+/// }
+/// assert!(q.warmed_up());
+/// assert!(q.quality_factor() < 1.0);
+/// assert!(q.esp_gap().unwrap() > 0.0); // under-delivery ⇒ positive gap
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityEstimator {
+    config: QualityConfig,
+    observations: u64,
+    ewma_observed: f64,
+    ewma_predicted: f64,
+}
+
+impl QualityEstimator {
+    /// Creates an estimator with no history.
+    pub fn new(config: QualityConfig) -> Self {
+        Self {
+            config,
+            observations: 0,
+            ewma_observed: 0.0,
+            ewma_predicted: 0.0,
+        }
+    }
+
+    /// Feeds one completed job: the ESP the planner predicted and the
+    /// top-outcome probability the merged histogram actually delivered.
+    /// Inputs are clamped to `[0, 1]`; NaN is treated as 0 so one corrupt
+    /// sample cannot poison the averages.
+    pub fn observe(&mut self, predicted_esp: f64, observed_top_share: f64) {
+        let predicted = sanitize(predicted_esp);
+        let observed = sanitize(observed_top_share);
+        if self.observations == 0 {
+            self.ewma_predicted = predicted;
+            self.ewma_observed = observed;
+        } else {
+            let alpha = self.config.alpha();
+            self.ewma_predicted += alpha * (predicted - self.ewma_predicted);
+            self.ewma_observed += alpha * (observed - self.ewma_observed);
+        }
+        self.observations += 1;
+    }
+
+    /// Number of observations absorbed so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Smoothed observed top-outcome share (the live IST proxy), or `None`
+    /// before the first observation.
+    pub fn live_ist(&self) -> Option<f64> {
+        (self.observations > 0).then_some(self.ewma_observed)
+    }
+
+    /// Smoothed predicted ESP over the same window, or `None` before the
+    /// first observation.
+    pub fn predicted_esp(&self) -> Option<f64> {
+        (self.observations > 0).then_some(self.ewma_predicted)
+    }
+
+    /// `predicted − observed`: positive when the device under-delivers on
+    /// its calibration promise (the Fig. 8 deviation, live). `None` before
+    /// the first observation.
+    pub fn esp_gap(&self) -> Option<f64> {
+        (self.observations > 0)
+            .then_some(self.ewma_observed - self.ewma_predicted)
+            .map(|d| -d)
+    }
+
+    /// Whether enough observations have accumulated to trust the estimate.
+    pub fn warmed_up(&self) -> bool {
+        self.observations >= self.config.warmup
+    }
+
+    /// Multiplicative routing correction: `observed / predicted`, clamped
+    /// to the configured band. Exactly `1.0` until [`warmed_up`] — so an
+    /// ESP-based router's scores are untouched during warmup — and
+    /// whenever the predicted EWMA is too small to divide by.
+    ///
+    /// [`warmed_up`]: QualityEstimator::warmed_up
+    pub fn quality_factor(&self) -> f64 {
+        if !self.warmed_up() || self.ewma_predicted < 1e-9 {
+            return 1.0;
+        }
+        let min = f64::from(self.config.min_factor_micro) / 1e6;
+        let max = f64::from(
+            self.config
+                .max_factor_micro
+                .max(self.config.min_factor_micro),
+        ) / 1e6;
+        (self.ewma_observed / self.ewma_predicted).clamp(min, max)
+    }
+
+    /// Freezes the current state into a wire-friendly snapshot.
+    pub fn snapshot(&self) -> QualitySnapshot {
+        QualitySnapshot {
+            observations: self.observations,
+            live_ist: self.live_ist(),
+            predicted_esp: self.predicted_esp(),
+            esp_gap: self.esp_gap(),
+            warmed_up: self.warmed_up(),
+            quality_factor: self.quality_factor(),
+        }
+    }
+}
+
+fn sanitize(x: f64) -> f64 {
+    if x.is_nan() {
+        0.0
+    } else {
+        x.clamp(0.0, 1.0)
+    }
+}
+
+/// Point-in-time view of a [`QualityEstimator`], serializable for the
+/// stats wire and renderable as gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct QualitySnapshot {
+    /// Completed jobs absorbed into the averages.
+    pub observations: u64,
+    /// Smoothed observed top-outcome share; `None` before any observation.
+    pub live_ist: Option<f64>,
+    /// Smoothed predicted ESP; `None` before any observation.
+    pub predicted_esp: Option<f64>,
+    /// `predicted − observed`; `None` before any observation.
+    pub esp_gap: Option<f64>,
+    /// Whether the warmup threshold has been crossed.
+    pub warmed_up: bool,
+    /// The clamped routing correction in effect (1.0 during warmup).
+    pub quality_factor: f64,
+}
+
+/// Scales a probability-like value to the telemetry `_micro` convention
+/// (×10⁶, saturating): `micro(0.5) == 500_000`.
+pub fn micro(x: f64) -> i64 {
+    if x.is_nan() {
+        0
+    } else {
+        (x * 1e6).round().clamp(i64::MIN as f64, i64::MAX as f64) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_is_a_pure_function_of_the_history() {
+        let history = [
+            (0.9, 0.85),
+            (0.9, 0.40),
+            (0.8, 0.41),
+            (0.7, 0.10),
+            (0.9, 0.88),
+            (0.9, 0.86),
+        ];
+        let mut a = QualityEstimator::new(QualityConfig::default());
+        let mut b = QualityEstimator::new(QualityConfig::default());
+        for &(esp, ist) in &history {
+            a.observe(esp, ist);
+        }
+        for &(esp, ist) in &history {
+            b.observe(esp, ist);
+        }
+        // Bit identity, not approximate equality: the router depends on it.
+        assert_eq!(a, b);
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.quality_factor().to_bits(), b.quality_factor().to_bits());
+    }
+
+    #[test]
+    fn neutral_until_warmed_up() {
+        let config = QualityConfig {
+            warmup: 3,
+            ..QualityConfig::default()
+        };
+        let mut q = QualityEstimator::new(config);
+        assert_eq!(q.quality_factor(), 1.0);
+        q.observe(0.9, 0.1);
+        q.observe(0.9, 0.1);
+        assert!(!q.warmed_up());
+        assert_eq!(q.quality_factor(), 1.0, "warmup must not bias routing");
+        q.observe(0.9, 0.1);
+        assert!(q.warmed_up());
+        assert!(q.quality_factor() < 1.0);
+    }
+
+    #[test]
+    fn factor_clamps_to_the_configured_band() {
+        let config = QualityConfig {
+            warmup: 1,
+            min_factor_micro: 250_000,
+            max_factor_micro: 2_000_000,
+            ..QualityConfig::default()
+        };
+        let mut under = QualityEstimator::new(config);
+        under.observe(1.0, 0.0);
+        assert_eq!(under.quality_factor(), 0.25);
+        let mut over = QualityEstimator::new(config);
+        over.observe(0.1, 1.0);
+        assert_eq!(over.quality_factor(), 2.0);
+    }
+
+    #[test]
+    fn gap_sign_tracks_under_delivery() {
+        let mut q = QualityEstimator::new(QualityConfig {
+            warmup: 1,
+            ..QualityConfig::default()
+        });
+        q.observe(0.8, 0.3);
+        assert!(q.esp_gap().unwrap() > 0.0, "under-delivery is positive");
+        let mut r = QualityEstimator::new(QualityConfig {
+            warmup: 1,
+            ..QualityConfig::default()
+        });
+        r.observe(0.3, 0.8);
+        assert!(r.esp_gap().unwrap() < 0.0, "over-delivery is negative");
+    }
+
+    #[test]
+    fn first_observation_seeds_the_ewma_directly() {
+        let mut q = QualityEstimator::new(QualityConfig::default());
+        q.observe(0.7, 0.6);
+        assert_eq!(q.live_ist(), Some(0.6));
+        assert_eq!(q.predicted_esp(), Some(0.7));
+    }
+
+    #[test]
+    fn hostile_inputs_are_sanitized() {
+        let mut q = QualityEstimator::new(QualityConfig {
+            warmup: 1,
+            ..QualityConfig::default()
+        });
+        q.observe(f64::NAN, 2.0);
+        q.observe(-1.0, f64::INFINITY);
+        let snap = q.snapshot();
+        assert!(snap.live_ist.unwrap().is_finite());
+        assert!(snap.quality_factor.is_finite());
+        assert!((0.0..=1.0).contains(&snap.live_ist.unwrap()));
+    }
+
+    #[test]
+    fn tracks_drift_toward_recent_observations() {
+        let mut q = QualityEstimator::new(QualityConfig::default());
+        for _ in 0..20 {
+            q.observe(0.9, 0.9); // healthy epoch
+        }
+        let healthy = q.quality_factor();
+        for _ in 0..20 {
+            q.observe(0.9, 0.2); // drifted epoch
+        }
+        let drifted = q.quality_factor();
+        assert!(drifted < healthy, "{drifted} !< {healthy}");
+        assert!(drifted < 0.5, "EWMA should converge near 0.22: {drifted}");
+    }
+
+    #[test]
+    fn micro_scaling_matches_the_telemetry_convention() {
+        assert_eq!(micro(0.5), 500_000);
+        assert_eq!(micro(0.0), 0);
+        assert_eq!(micro(f64::NAN), 0);
+        assert_eq!(micro(-0.25), -250_000);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut q = QualityEstimator::new(QualityConfig::default());
+        for i in 0..7 {
+            q.observe(0.8, 0.1 * f64::from(i));
+        }
+        let snap = q.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: QualitySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+}

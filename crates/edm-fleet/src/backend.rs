@@ -70,18 +70,7 @@ mod tests {
             sim.run(&c, 512, 9).unwrap()
         );
 
-        let jobs = [
-            BatchJob {
-                circuit: &c,
-                shots: 256,
-                seed: 1,
-            },
-            BatchJob {
-                circuit: &c,
-                shots: 256,
-                seed: 2,
-            },
-        ];
+        let jobs = [BatchJob::new(&c, 256, 1), BatchJob::new(&c, 256, 2)];
         let owned: Vec<_> = backend
             .execute_batch(&jobs, 2)
             .into_iter()

@@ -5,6 +5,7 @@
 //! edm-fleet [--addr HOST:PORT] [--devices N] [--device-seed N] [--shards N]
 //!           [--presets NAME,NAME,...] [--threads N] [--queue N] [--cache N]
 //!           [--batch N] [--depth-cap N] [--metrics-port N]
+//!           [--routing esp|live-ist] [--trace-out FILE]
 //! ```
 //!
 //! Speaks the same JSON-lines protocol as `edm-serve`, over TCP, against
@@ -16,7 +17,7 @@
 //! with the same (device, seed). Prints `fleet listening on ADDR` to
 //! stderr once ready; any client's `"Shutdown"` stops the server.
 
-use edm_fleet::fleet::{Fleet, FleetConfig};
+use edm_fleet::fleet::{Fleet, FleetConfig, RoutingPolicy};
 use edm_fleet::server::{FleetServer, ServerConfig};
 use edm_serve::exitcode;
 use edm_serve::journal::JournalError;
@@ -29,7 +30,8 @@ const USAGE: &str = "usage:
   edm-fleet [--addr HOST:PORT] [--devices N] [--device-seed N] [--shards N]
             [--presets NAME,NAME,...] [--threads N] [--queue N] [--cache N]
             [--batch N] [--depth-cap N] [--metrics-port N]
-            [--journal-dir DIR] [--controller]
+            [--journal-dir DIR] [--controller] [--routing esp|live-ist]
+            [--trace-out FILE]
 
 Speaks the edm-serve JSON-lines protocol over TCP against a fleet of N
 virtual devices (presets cycle melbourne14, guadalupe16, tokyo20 by
@@ -54,6 +56,16 @@ their original devices and keeps old fleet job ids pollable.
 --controller enables the closed-loop adaptive controller on every device:
 feedback that reweights WEDM merges, swaps underperforming ensemble
 members, and recompiles layouts after calibration changes.
+
+--routing picks the scheduler's scoring policy: `esp` (default) scores by
+compile-time predicted ESP alone; `live-ist` multiplies each device's ESP
+by its live quality factor (EWMA of observed top-outcome share vs promised
+ESP) once that device's estimator has warmed up, so a drift-degraded
+device sheds traffic. Before warmup live-ist routes identically to esp.
+
+--trace-out FILE appends every finished span to FILE as JSON lines (also
+enables telemetry). The file rotates to FILE.1 when it exceeds 16 MiB;
+drops are counted in edm_telemetry_trace_export_dropped_total.
 
 exit codes:
   0   success
@@ -92,6 +104,7 @@ struct Parsed {
     server_config: ServerConfig,
     metrics_port: Option<u64>,
     journal_dir: Option<String>,
+    trace_out: Option<String>,
 }
 
 /// Parses `--presets a,b,c` into topologies, defaulting to the original
@@ -163,7 +176,12 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
     if args.iter().any(|a| a == "--controller") {
         serve.controller = Some(edm_core::ControllerConfig::default());
     }
+    let routing = match text_flag(args, "--routing")? {
+        Some(spec) => spec.parse::<RoutingPolicy>().map_err(|e| e.to_string())?,
+        None => RoutingPolicy::default(),
+    };
     let journal_dir = text_flag(args, "--journal-dir")?;
+    let trace_out = text_flag(args, "--trace-out")?;
     let metrics_port = flag(args, "--metrics-port")?;
     if let Some(port) = metrics_port {
         if port > u64::from(u16::MAX) {
@@ -175,10 +193,15 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
         devices: devices as usize,
         device_seed,
         presets: preset_cycle,
-        fleet_config: FleetConfig { serve, depth_cap },
+        fleet_config: FleetConfig {
+            serve,
+            depth_cap,
+            routing,
+        },
         server_config,
         metrics_port,
         journal_dir,
+        trace_out,
     })
 }
 
@@ -212,6 +235,18 @@ fn main() -> ExitCode {
         }
         None => None,
     };
+
+    if let Some(path) = &parsed.trace_out {
+        edm_telemetry::set_enabled(true);
+        if let Err(e) = edm_telemetry::trace::set_trace_file(
+            path,
+            edm_telemetry::trace::DEFAULT_TRACE_FILE_MAX_BYTES,
+        ) {
+            eprintln!("error: cannot open trace file {path}: {e}");
+            return ExitCode::from(exitcode::FAILURE);
+        }
+        eprintln!("traces appending to {path}");
+    }
 
     // Heterogeneous by construction: presets cycle, and each device gets
     // its own synthesis seed, so calibrations (and therefore ESP scores)

@@ -184,6 +184,8 @@ fn client_session(
                     shots,
                     seed,
                     priority: Priority::Normal,
+                    trace_id: 0,
+                    parent_span: 0,
                 },
                 &mut line,
             ) {
@@ -262,7 +264,15 @@ fn main() {
             let members: Vec<(qdevice::Topology, &str)> = (0..args.devices)
                 .map(|i| cycle[i % cycle.len()].clone())
                 .collect();
-            let fleet = Fleet::synthesize(&members, 42, FleetConfig { serve, depth_cap });
+            let fleet = Fleet::synthesize(
+                &members,
+                42,
+                FleetConfig {
+                    serve,
+                    depth_cap,
+                    routing: Default::default(),
+                },
+            );
             let server = FleetServer::bind(fleet, "127.0.0.1:0", ServerConfig::default())
                 .expect("bind fleet server");
             let addr = server.local_addr().to_string();

@@ -40,13 +40,14 @@
 //! contract extended to routing.
 
 use crate::backend::DeviceBackend;
-use edm_core::Backend;
+use edm_core::{Backend, QualitySnapshot};
 use edm_serve::dispatch::BreakerState;
 use edm_serve::journal::JournalError;
 use edm_serve::protocol::DeviceStatus;
 use edm_serve::queue::{AdmitError, JobRequest};
 use edm_serve::service::{JobService, JobState, ServeConfig};
 use edm_serve::stats::ServiceStats;
+use edm_telemetry::trace::TraceContext;
 use qcir::Circuit;
 use qdevice::DeviceModel;
 use serde::{Deserialize, Serialize};
@@ -57,6 +58,37 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+/// How the scheduler scores a device for a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Compile-time score only: the predicted ESP of the best ensemble
+    /// member under the device's current calibration and quarantine.
+    #[default]
+    Esp,
+    /// ESP corrected by the live answer-quality plane: each device's score
+    /// is its predicted ESP multiplied by the quality factor its online
+    /// IST estimator has earned (EWMA of observed top-outcome share over
+    /// EWMA of promised ESP, clamped). Until an estimator's warmup
+    /// threshold is crossed its factor is exactly `1.0`, so `LiveIst`
+    /// routes identically to [`Esp`](RoutingPolicy::Esp) on a cold fleet —
+    /// the deterministic fallback the DESIGN.md §7 contract needs.
+    LiveIst,
+}
+
+impl std::str::FromStr for RoutingPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "esp" => Ok(RoutingPolicy::Esp),
+            "live-ist" => Ok(RoutingPolicy::LiveIst),
+            other => Err(format!(
+                "unknown routing policy {other:?} (expected esp or live-ist)"
+            )),
+        }
+    }
+}
+
 /// Fleet-level knobs on top of the per-device [`ServeConfig`].
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
@@ -66,6 +98,9 @@ pub struct FleetConfig {
     /// treated as unhealthy so one hot device cannot starve the fleet.
     /// Must be positive and no larger than the admission-queue capacity.
     pub depth_cap: usize,
+    /// How candidate devices are scored (compile-time ESP, or ESP
+    /// corrected by the live answer-quality plane).
+    pub routing: RoutingPolicy,
 }
 
 impl Default for FleetConfig {
@@ -74,6 +109,7 @@ impl Default for FleetConfig {
         FleetConfig {
             depth_cap: serve.queue_capacity / 4,
             serve,
+            routing: RoutingPolicy::default(),
         }
     }
 }
@@ -116,7 +152,9 @@ impl std::error::Error for RouteError {}
 pub struct Candidate {
     /// Device index within the fleet.
     pub device: usize,
-    /// Predicted ESP of the best ensemble member on this device.
+    /// Routing score: the best ensemble member's predicted ESP, multiplied
+    /// by the device's live quality factor under
+    /// [`RoutingPolicy::LiveIst`].
     pub score: f64,
     /// Breaker closed, nothing quarantined, depth under the cap.
     pub healthy: bool,
@@ -143,6 +181,8 @@ struct DeviceSlot<B> {
     depth: &'static edm_telemetry::metrics::Gauge,
     breaker: &'static edm_telemetry::metrics::Gauge,
     quarantined: &'static edm_telemetry::metrics::Gauge,
+    live_ist: &'static edm_telemetry::metrics::Gauge,
+    esp_gap: &'static edm_telemetry::metrics::Gauge,
 }
 
 impl<B: Backend> DeviceSlot<B> {
@@ -156,6 +196,15 @@ impl<B: Backend> DeviceSlot<B> {
         });
         self.quarantined
             .set(i64::from(self.service.is_quarantined()));
+        // Quality gauges follow the `_micro` convention (×10⁶). A device
+        // with no completed jobs yet reports 0 — indistinguishable from a
+        // measured 0, so dashboards should gate on observations > 0 via
+        // the fleet-stats wire if that matters.
+        let quality = self.service.quality();
+        self.live_ist
+            .set(edm_core::quality::micro(quality.live_ist.unwrap_or(0.0)));
+        self.esp_gap
+            .set(edm_core::quality::micro(quality.esp_gap.unwrap_or(0.0)));
     }
 }
 
@@ -263,6 +312,16 @@ impl<B: Backend> Fleet<B> {
                 "Whether the drift watchdog has quarantined part of this device (0/1)",
                 label,
             ),
+            live_ist: registry.gauge_with(
+                "edm_quality_live_ist",
+                "EWMA of this device's observed top-outcome share (micro-units)",
+                label,
+            ),
+            esp_gap: registry.gauge_with(
+                "edm_quality_esp_gap",
+                "Predicted ESP minus observed share, EWMA (micro-units; positive = under-delivery)",
+                label,
+            ),
         };
         self.slots.push(Mutex::new(slot));
         idx
@@ -274,15 +333,24 @@ impl<B: Backend> Fleet<B> {
     }
 
     /// Scores `circuit` on every device and returns the candidates in
-    /// failover order: healthy first, then ESP descending, then device
+    /// failover order: healthy first, then score descending, then device
     /// index ascending. Devices that cannot map the circuit are absent.
+    ///
+    /// Under [`RoutingPolicy::Esp`] the score is the predicted ESP; under
+    /// [`RoutingPolicy::LiveIst`] it is the ESP multiplied by the device's
+    /// current quality factor (exactly `1.0` until that device's estimator
+    /// warms up, so a cold fleet scores identically under both policies).
     pub fn candidates(&self, circuit: &Circuit) -> Vec<Candidate> {
         let mut out = Vec::with_capacity(self.slots.len());
         for (idx, slot) in self.slots.iter().enumerate() {
             let mut slot = slot.lock().expect("device lock poisoned");
-            let score = match slot.service.predicted_esp(circuit) {
+            let esp = match slot.service.predicted_esp(circuit) {
                 Ok(score) => score,
                 Err(_) => continue,
+            };
+            let score = match self.config.routing {
+                RoutingPolicy::Esp => esp,
+                RoutingPolicy::LiveIst => esp * slot.service.quality().quality_factor,
             };
             let healthy = slot.service.breaker_state() == BreakerState::Closed
                 && !slot.service.is_quarantined()
@@ -323,6 +391,22 @@ impl<B: Backend> Fleet<B> {
     /// [`RouteError`] when the fleet is empty, no device can map the
     /// circuit, or every candidate's queue refused.
     pub fn submit(&self, request: JobRequest) -> Result<Ticket, RouteError> {
+        self.submit_with_context(request, TraceContext::default())
+    }
+
+    /// [`Fleet::submit`] with an explicit client trace context: the routed
+    /// device's service links its spans (and the job's pool slices) under
+    /// the client's trace instead of minting a fresh one. A zero context
+    /// behaves exactly like [`Fleet::submit`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Fleet::submit`].
+    pub fn submit_with_context(
+        &self,
+        request: JobRequest,
+        ctx: TraceContext,
+    ) -> Result<Ticket, RouteError> {
         if self.slots.is_empty() {
             return Err(RouteError::Empty);
         }
@@ -343,7 +427,7 @@ impl<B: Backend> Fleet<B> {
             let mut slot = self.slots[candidate.device]
                 .lock()
                 .expect("device lock poisoned");
-            match slot.service.submit(request.clone()) {
+            match slot.service.submit_with_context(request.clone(), ctx) {
                 Ok(local_id) => {
                     let trace_id = slot.service.trace_id(local_id).unwrap_or(0);
                     slot.routed.inc();
@@ -450,6 +534,7 @@ impl<B: Backend> Fleet<B> {
                     queue_depth: slot.service.queue_depth() as u64,
                     breaker: slot.service.breaker_state(),
                     quarantined: slot.service.is_quarantined(),
+                    quality: slot.service.quality(),
                     stats: slot.service.stats(),
                 }
             })
@@ -496,6 +581,39 @@ impl<B: Backend> Fleet<B> {
         // The service's drift watchdog just re-observed the calibration, so
         // the quarantine gauge — and through `candidates()`'s re-scoring,
         // the device's routing rank — reflect the new error rates at once.
+        slot.refresh_gauges();
+    }
+
+    /// One device's live answer-quality snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn device_quality(&self, device: usize) -> QualitySnapshot {
+        self.slots[device]
+            .lock()
+            .expect("device lock poisoned")
+            .service
+            .quality()
+    }
+
+    /// Test/tooling hook: feeds a synthetic observation into one device's
+    /// quality estimator and refreshes its gauges, exactly as a completed
+    /// job would. Deterministic drift injection for routing tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    #[doc(hidden)]
+    pub fn inject_quality_observation(
+        &self,
+        device: usize,
+        predicted_esp: f64,
+        observed_top_share: f64,
+    ) {
+        let mut slot = self.slots[device].lock().expect("device lock poisoned");
+        slot.service
+            .inject_quality_observation(predicted_esp, observed_top_share);
         slot.refresh_gauges();
     }
 
@@ -649,6 +767,9 @@ pub fn aggregate_stats(per_device: &[ServiceStats]) -> ServiceStats {
         controller_swaps: 0,
         controller_reweights: 0,
         controller_recompiles: 0,
+        // Per-device EWMAs do not merge meaningfully; the fleet-wide
+        // snapshot stays empty and `device_status` carries the real ones.
+        quality: QualitySnapshot::default(),
         latency_p50_ms: 0,
         latency_p99_ms: 0,
     };
@@ -844,6 +965,82 @@ mod tests {
             status.iter().map(|d| d.stats.submitted).sum::<u64>()
         );
         assert_eq!(total.breaker.state, BreakerState::Closed);
+    }
+
+    fn live_ist_fleet() -> Fleet<DeviceBackend> {
+        let mut config = small_config();
+        config.routing = RoutingPolicy::LiveIst;
+        Fleet::synthesize(
+            &[
+                (presets::melbourne14(), "melbourne14"),
+                (presets::guadalupe16(), "guadalupe16"),
+                (presets::tokyo20(), "tokyo20"),
+            ],
+            7,
+            config,
+        )
+    }
+
+    #[test]
+    fn live_ist_matches_esp_routing_during_warmup() {
+        let esp_fleet = three_device_fleet();
+        let live_fleet = live_ist_fleet();
+        let circuit = ghz(3);
+        let esp_candidates = esp_fleet.candidates(&circuit);
+        let live_candidates = live_fleet.candidates(&circuit);
+        assert_eq!(esp_candidates.len(), live_candidates.len());
+        for (a, b) in esp_candidates.iter().zip(&live_candidates) {
+            assert_eq!(a.device, b.device);
+            // Bit identity, not approximate: the cold quality factor is
+            // exactly 1.0, so the scores are the very same floats.
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn live_ist_demotes_a_device_that_under_delivers() {
+        let fleet = live_ist_fleet();
+        let circuit = ghz(3);
+        let best = fleet.route(&circuit).unwrap().device;
+        // Severe sustained under-delivery on the ESP favorite: promised
+        // 0.9, delivered near-uniform. Past warmup the factor clamps at
+        // its 0.25 floor, which must push the device below its rivals.
+        for _ in 0..8 {
+            fleet.inject_quality_observation(best, 0.9, 0.02);
+        }
+        assert!(fleet.device_quality(best).warmed_up);
+        let rerouted = fleet.route(&circuit).unwrap().device;
+        assert_ne!(
+            rerouted, best,
+            "a drift-degraded device must lose the route"
+        );
+        let ticket = fleet.submit(request(ghz(3), 128, 5)).unwrap();
+        assert_eq!(ticket.device, rerouted);
+        fleet.process_all();
+        assert!(matches!(fleet.poll(ticket.id), Some(JobState::Done(_))));
+    }
+
+    #[test]
+    fn live_ist_routing_is_a_pure_function_of_the_history() {
+        let build = || {
+            let fleet = live_ist_fleet();
+            for i in 0..12u32 {
+                let observed = 0.8 - 0.05 * f64::from(i % 4);
+                fleet.inject_quality_observation(i as usize % 3, 0.85, observed);
+            }
+            fleet
+        };
+        let a = build();
+        let b = build();
+        let circuit = ghz(4);
+        let ca = a.candidates(&circuit);
+        let cb = b.candidates(&circuit);
+        assert_eq!(ca.len(), cb.len());
+        for (x, y) in ca.iter().zip(&cb) {
+            assert_eq!(x.device, y.device);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+            assert_eq!(x.healthy, y.healthy);
+        }
     }
 
     #[test]

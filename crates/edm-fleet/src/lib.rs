@@ -11,8 +11,11 @@
 //!   [`Backend`](edm_core::Backend) over a device model (breaks the
 //!   borrow cycle a long-lived fleet would otherwise have),
 //! - [`fleet`] — the [`Fleet`](fleet::Fleet) scheduler: per-circuit ESP
-//!   scoring across devices, deterministic tie-breaking, breaker/
-//!   quarantine/depth-aware failover, fleet-wide job ids,
+//!   scoring across devices (optionally corrected by each device's live
+//!   answer-quality estimator under
+//!   [`RoutingPolicy::LiveIst`](fleet::RoutingPolicy)), deterministic
+//!   tie-breaking, breaker/quarantine/depth-aware failover, fleet-wide
+//!   job ids,
 //! - [`server`] — the sharded non-blocking connection layer
 //!   ([`FleetServer`](server::FleetServer)): `std::net` readiness polling
 //!   (no async runtime), per-connection framing via

@@ -25,9 +25,10 @@
 use crate::fleet::{Fleet, RouteError, Ticket};
 use edm_core::Backend;
 use edm_serve::framing::{Frame, LineFramer};
-use edm_serve::protocol::{JobSummary, MetricFamily, Request, Response};
+use edm_serve::protocol::{JobSummary, MetricFamily, Request, Response, SpanInfo};
 use edm_serve::queue::JobRequest;
 use edm_serve::service::JobState;
+use edm_telemetry::trace::TraceContext;
 use qcir::qasm;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -341,7 +342,27 @@ pub fn handle_request<B: Backend>(fleet: &Fleet<B>, request: Request) -> Respons
             shots,
             seed,
             priority,
+            trace_id,
+            parent_span,
         } => {
+            // Link this shard's work under the client's trace: the shard
+            // span covers parse + route + admission, and the routed
+            // device's service spans (and the job's pool slices) hang off
+            // it, so one trace id walks client → shard → device → slice.
+            let _guard = edm_telemetry::trace::with_context(TraceContext {
+                trace_id,
+                parent_span,
+            });
+            let shard_span = edm_telemetry::trace::span("fleet_submit");
+            let ctx = TraceContext {
+                trace_id,
+                // Telemetry off ⇒ the shard span never recorded; keep the
+                // client's span as the remote parent instead of 0.
+                parent_span: match shard_span.id() {
+                    0 => parent_span,
+                    id => id,
+                },
+            };
             let circuit = match qasm::parse(&qasm) {
                 Ok(circuit) => circuit,
                 Err(e) => {
@@ -350,12 +371,15 @@ pub fn handle_request<B: Backend>(fleet: &Fleet<B>, request: Request) -> Respons
                     }
                 }
             };
-            match fleet.submit(JobRequest {
-                circuit,
-                shots,
-                seed,
-                priority,
-            }) {
+            match fleet.submit_with_context(
+                JobRequest {
+                    circuit,
+                    shots,
+                    seed,
+                    priority,
+                },
+                ctx,
+            ) {
                 Ok(Ticket { id, trace_id, .. }) => Response::Accepted { id, trace_id },
                 Err(e @ RouteError::Empty) | Err(e @ RouteError::Unmappable { .. }) => {
                     Response::Rejected {
@@ -381,11 +405,23 @@ pub fn handle_request<B: Backend>(fleet: &Fleet<B>, request: Request) -> Respons
                 ),
             },
         },
+        Request::Trace { id } => match fleet.trace_id(id) {
+            Some(trace_id) => Response::Trace {
+                id,
+                trace_id,
+                spans: edm_telemetry::trace::recorder()
+                    .trace(trace_id)
+                    .iter()
+                    .map(SpanInfo::from)
+                    .collect(),
+            },
+            None => Response::Unknown { id },
+        },
         Request::Flush => Response::Processed {
             jobs: fleet.process_all() as u64,
         },
         Request::Stats => Response::Stats {
-            stats: fleet.stats(),
+            stats: Box::new(fleet.stats()),
         },
         Request::FleetStats => Response::FleetStats {
             devices: fleet.device_status(),

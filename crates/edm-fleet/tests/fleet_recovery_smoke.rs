@@ -92,6 +92,8 @@ impl Client {
             shots,
             seed,
             priority: Priority::Normal,
+            trace_id: 0,
+            parent_span: 0,
         }) {
             Response::Accepted { id, .. } => id,
             other => panic!("expected Accepted, got {other:?}"),

@@ -12,7 +12,7 @@
 //!    extended to routing.
 
 use edm_fleet::backend::DeviceBackend;
-use edm_fleet::fleet::{Fleet, FleetConfig};
+use edm_fleet::fleet::{Fleet, FleetConfig, RoutingPolicy};
 use edm_serve::dispatch::{BreakerConfig, BreakerState, ChaosBackend, RetryPolicy};
 use edm_serve::queue::{JobRequest, Priority};
 use edm_serve::service::{JobService, JobState, ServeConfig};
@@ -230,6 +230,82 @@ fn quarantined_device_is_skipped_while_a_healthy_candidate_exists() {
         fleet.process_all();
         assert!(matches!(fleet.poll(ticket.id), Some(JobState::Done(_))));
     }
+}
+
+/// The live answer-quality plane's acceptance contract: under
+/// `RoutingPolicy::LiveIst`, a device whose *observed* answer quality
+/// drifts below its calibration promise sheds traffic once its estimator
+/// warms up — while before warmup routing is untouched, and the routed
+/// result stays bit-identical to a direct single-device run (the
+/// DESIGN.md §7 contract must survive quality-corrected routing).
+#[test]
+fn live_ist_sheds_traffic_after_warmup_and_results_stay_bit_identical() {
+    let mut config = small_config();
+    config.routing = RoutingPolicy::LiveIst;
+    // Two identical devices: compile-time ESP can never separate them, so
+    // any traffic shift is attributable to the live quality plane alone.
+    let mut fleet: Fleet<DeviceBackend> = Fleet::new(config);
+    let device = Arc::new(DeviceModel::synthesize(presets::melbourne14(), 7));
+    for idx in 0..2usize {
+        fleet.add_device(
+            format!("melbourne14#{idx}"),
+            &device,
+            DeviceBackend::new(Arc::clone(&device)),
+        );
+    }
+    assert_eq!(fleet.route(&ghz(3)).unwrap().device, 0, "tie-break");
+
+    // Device 0 drifts: its calibration promises ESP ≈ 0.9, its answers
+    // deliver a near-uniform 0.1. Feed observations one short of the
+    // warmup threshold (default 5) — routing must not move yet.
+    for _ in 0..4 {
+        fleet.inject_quality_observation(0, 0.9, 0.1);
+    }
+    assert!(!fleet.device_quality(0).warmed_up);
+    assert_eq!(
+        fleet.route(&ghz(3)).unwrap().device,
+        0,
+        "pre-warmup observations must not bias routing"
+    );
+
+    // The fifth observation crosses warmup; the quality factor engages
+    // and the degraded device loses the route.
+    fleet.inject_quality_observation(0, 0.9, 0.1);
+    assert!(fleet.device_quality(0).warmed_up);
+    let candidates = fleet.candidates(&ghz(3));
+    let score = |d: usize| candidates.iter().find(|c| c.device == d).unwrap().score;
+    assert!(
+        score(0) < score(1),
+        "drift-degraded device must rank below its twin: {candidates:?}"
+    );
+    let ticket = fleet.submit(request(ghz(3), 96, 13)).unwrap();
+    assert_eq!(
+        ticket.device, 1,
+        "traffic must shift off the degraded device"
+    );
+    fleet.process_all();
+    let fleet_result = match fleet.poll(ticket.id) {
+        Some(JobState::Done(done)) => done.result.clone(),
+        other => panic!("fleet job did not finish: {other:?}"),
+    };
+
+    // Bit-identity survives: a standalone service on the routed device
+    // with the same (circuit, shots, seed) produces the same result,
+    // byte for byte — quality routing picks a device, never a different
+    // execution.
+    let mut direct = JobService::new(
+        device.topology().clone(),
+        device.calibration(),
+        DeviceBackend::new(Arc::clone(&device)),
+        small_config().serve,
+    );
+    let id = direct.submit(request(ghz(3), 96, 13)).unwrap();
+    direct.process_pending();
+    let direct_result = match direct.poll(id) {
+        Some(JobState::Done(done)) => done.result.clone(),
+        other => panic!("direct job did not finish: {other:?}"),
+    };
+    assert_eq!(fleet_result, direct_result);
 }
 
 /// Drift *below* the quarantine threshold must still move traffic: a

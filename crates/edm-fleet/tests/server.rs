@@ -88,6 +88,8 @@ impl Client {
             shots,
             seed,
             priority: Priority::Normal,
+            trace_id: 0,
+            parent_span: 0,
         }) {
             Response::Accepted { id, .. } => id,
             other => panic!("expected Accepted, got {other:?}"),
@@ -123,6 +125,8 @@ fn clients_submit_over_tcp_and_malformed_frames_are_rejected_with_reasons() {
         shots: 64,
         seed: 1,
         priority: Priority::Normal,
+        trace_id: 0,
+        parent_span: 0,
     })
     .unwrap();
     line.push('\n');

@@ -28,13 +28,17 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   edm-serve [--device-seed N] [--threads N] [--queue N] [--cache N] [--batch N]
-            [--journal PATH] [--metrics-port N] [--controller]
-            [--controller-log PATH] [--chaos-kill SEED:MEMBER]
+            [--journal PATH] [--metrics-port N] [--trace-out PATH]
+            [--controller] [--controller-log PATH] [--chaos-kill SEED:MEMBER]
 
 Speaks JSON lines on stdin/stdout. Requests:
   {\"Submit\":{\"qasm\":\"...\",\"shots\":N,\"seed\":N,\"priority\":\"Normal\"}}
-  {\"Poll\":{\"id\":N}}   \"Flush\"   \"Stats\"   \"Metrics\"   \"FleetStats\"
-  \"BumpCalibration\"   \"Shutdown\"
+  {\"Poll\":{\"id\":N}}   {\"Trace\":{\"id\":N}}   \"Flush\"   \"Stats\"
+  \"Metrics\"   \"FleetStats\"   \"BumpCalibration\"   \"Shutdown\"
+
+Submit also accepts optional trace_id/parent_span fields: a client that
+already opened a trace stamps them so the server's spans (admission,
+planning, pool slices, assembly) join the client's trace.
 
 --journal PATH appends a JSON-lines write-ahead journal of accepted jobs;
 restarting with the same path replays unfinished jobs bit-identically.
@@ -42,6 +46,11 @@ restarting with the same path replays unfinished jobs bit-identically.
 --metrics-port N serves Prometheus text on http://127.0.0.1:N/metrics
 (plus /metrics.json, /spans, and /healthz) and enables telemetry; port 0
 picks an ephemeral port, printed to stderr as `metrics listening on ...`.
+/spans accepts ?trace_id=ID (decimal or 0x-hex) and ?limit=N filters.
+
+--trace-out PATH appends every finished span as one JSON line (enables
+telemetry). The file is size-bounded: at 16 MiB it rotates once to
+PATH.1, so traces survive long past the in-memory flight recorder.
 
 --controller enables the closed-loop adaptive controller: per-circuit
 feedback that reweights the WEDM merge, swaps persistently underperforming
@@ -194,6 +203,24 @@ fn main() -> ExitCode {
         }
         None => None,
     };
+    match text_flag(&args, "--trace-out") {
+        Ok(Some(path)) => {
+            edm_telemetry::set_enabled(true);
+            if let Err(e) = edm_telemetry::trace::set_trace_file(
+                &path,
+                edm_telemetry::trace::DEFAULT_TRACE_FILE_MAX_BYTES,
+            ) {
+                eprintln!("error: cannot open trace file {path}: {e}");
+                return ExitCode::from(exitcode::FAILURE);
+            }
+            eprintln!("traces appending to {path}");
+        }
+        Ok(None) => {}
+        Err(msg) => {
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    }
 
     let device = DeviceModel::synthesize(presets::melbourne14(), device_seed);
     let device_name = format!("melbourne14#{device_seed}");
@@ -377,6 +404,8 @@ fn handle<B: edm_core::Backend>(
             shots,
             seed,
             priority,
+            trace_id,
+            parent_span,
         } => {
             let circuit = match qasm::parse(&qasm) {
                 Ok(circuit) => circuit,
@@ -386,12 +415,18 @@ fn handle<B: edm_core::Backend>(
                     }
                 }
             };
-            match service.submit(JobRequest {
-                circuit,
-                shots,
-                seed,
-                priority,
-            }) {
+            match service.submit_with_context(
+                JobRequest {
+                    circuit,
+                    shots,
+                    seed,
+                    priority,
+                },
+                edm_telemetry::trace::TraceContext {
+                    trace_id,
+                    parent_span,
+                },
+            ) {
                 Ok(id) => Response::Accepted {
                     id,
                     trace_id: service.trace_id(id).unwrap_or(0),
@@ -427,7 +462,7 @@ fn handle<B: edm_core::Backend>(
             jobs: service.process_all() as u64,
         },
         Request::Stats => Response::Stats {
-            stats: service.stats(),
+            stats: Box::new(service.stats()),
         },
         Request::BumpCalibration => Response::Recalibrated {
             generation: service.bump_calibration_generation(),
@@ -447,8 +482,21 @@ fn handle<B: edm_core::Backend>(
                 queue_depth: service.queue_depth() as u64,
                 breaker: service.breaker_state(),
                 quarantined: service.is_quarantined(),
+                quality: service.quality(),
                 stats: service.stats(),
             }],
+        },
+        Request::Trace { id } => match service.trace_id(id) {
+            Some(trace_id) => Response::Trace {
+                id,
+                trace_id,
+                spans: edm_telemetry::trace::recorder()
+                    .trace(trace_id)
+                    .iter()
+                    .map(edm_serve::protocol::SpanInfo::from)
+                    .collect(),
+            },
+            None => Response::Unknown { id },
         },
         Request::Shutdown => Response::Bye,
     }

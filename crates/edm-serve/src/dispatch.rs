@@ -763,18 +763,7 @@ mod tests {
         }
         let d = Dispatcher::with_clock(flaky, policy(), clock.clone());
         let c = circuit();
-        let jobs = [
-            BatchJob {
-                circuit: &c,
-                shots: 32,
-                seed: 5,
-            },
-            BatchJob {
-                circuit: &c,
-                shots: 64,
-                seed: 6,
-            },
-        ];
+        let jobs = [BatchJob::new(&c, 32, 5), BatchJob::new(&c, 64, 6)];
         let out = d.execute_batch(&jobs, 1);
         assert_eq!(out[0].as_ref().unwrap().shots(), 32);
         assert_eq!(out[1].as_ref().unwrap().shots(), 64);
@@ -902,18 +891,7 @@ mod tests {
         let clock = Arc::new(ManualClock::new());
         let b = CircuitBreaker::with_clock(DownBackend, breaker_config(), clock);
         let c = circuit();
-        let jobs = [
-            BatchJob {
-                circuit: &c,
-                shots: 8,
-                seed: 1,
-            },
-            BatchJob {
-                circuit: &c,
-                shots: 8,
-                seed: 2,
-            },
-        ];
+        let jobs = [BatchJob::new(&c, 8, 1), BatchJob::new(&c, 8, 2)];
         // Trip via a batch: 2 failures, then 1 more in the next batch.
         b.execute_batch(&jobs, 1);
         assert_eq!(b.stats().consecutive_failures, 2);
@@ -971,13 +949,7 @@ mod tests {
         let clean = NoisySimulator::from_device(&device);
         let mut c = Circuit::new(2, 2);
         c.h(0).cx(0, 1).measure_all();
-        let jobs: Vec<BatchJob<'_>> = (0..8)
-            .map(|seed| BatchJob {
-                circuit: &c,
-                shots: 128,
-                seed,
-            })
-            .collect();
+        let jobs: Vec<BatchJob<'_>> = (0..8).map(|seed| BatchJob::new(&c, 128, seed)).collect();
         let chaotic = chaos.execute_batch(&jobs, 2);
         let reference = clean.execute_batch(&jobs, 2);
         let mut survivors = 0;

@@ -24,6 +24,15 @@ pub enum Request {
         seed: u64,
         /// Admission priority class.
         priority: Priority,
+        /// Client-supplied trace id (0 or absent: the service mints one).
+        /// Stamping it here links the server's spans into the trace the
+        /// client already started, across the process boundary.
+        #[serde(default)]
+        trace_id: u64,
+        /// The client span the server's spans should parent under (0 or
+        /// absent: server spans become trace roots).
+        #[serde(default)]
+        parent_span: u64,
     },
     /// Ask for a job's current state (drives pending work first).
     Poll {
@@ -43,6 +52,12 @@ pub enum Request {
     /// Snapshot per-device status (only meaningful against a fleet; a
     /// single-device server answers with its one device).
     FleetStats,
+    /// Reconstruct a job's distributed trace: every span the flight
+    /// recorder still holds for the job's trace id, oldest first.
+    Trace {
+        /// The job id returned by `Accepted`.
+        id: u64,
+    },
     /// Stop the service loop.
     Shutdown,
 }
@@ -90,8 +105,9 @@ pub enum Response {
     },
     /// Counter snapshot.
     Stats {
-        /// The counters at the time of the request.
-        stats: crate::stats::ServiceStats,
+        /// The counters at the time of the request (boxed: the snapshot
+        /// is by far the largest variant and would bloat every Response).
+        stats: Box<crate::stats::ServiceStats>,
     },
     /// Telemetry registry snapshot, one family per registered metric.
     Metrics {
@@ -103,6 +119,17 @@ pub enum Response {
     FleetStats {
         /// Every fleet member's routing-relevant status.
         devices: Vec<DeviceStatus>,
+    },
+    /// A job's reconstructed trace.
+    Trace {
+        /// The queried job id.
+        id: u64,
+        /// The job's correlation/trace id.
+        trace_id: u64,
+        /// Every retained span of that trace, in completion order. Spans
+        /// evicted from the flight recorder are absent (the `--trace-out`
+        /// file keeps the durable copy).
+        spans: Vec<SpanInfo>,
     },
     /// A `Flush` completed.
     Processed {
@@ -140,8 +167,41 @@ pub struct DeviceStatus {
     /// True when the drift watchdog is quarantining any of the device's
     /// qubits or links.
     pub quarantined: bool,
+    /// The device's live answer-quality estimate (observed IST vs
+    /// predicted ESP). Defaults to an empty estimate when talking to an
+    /// older server.
+    #[serde(default)]
+    pub quality: edm_core::QualitySnapshot,
     /// The device's full `JobService` counter snapshot.
     pub stats: crate::stats::ServiceStats,
+}
+
+/// One telemetry span on the wire, mirroring
+/// `edm_telemetry::trace::SpanRecord` with an owned name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanInfo {
+    /// Span id, unique within the process that recorded it.
+    pub id: u64,
+    /// Parent span id (0 for a trace root).
+    pub parent_id: u64,
+    /// The trace this span belongs to.
+    pub trace_id: u64,
+    /// Stage name (`serve_plan`, `pool_slice`, ...).
+    pub name: String,
+    /// Wall time spent in the span, microseconds.
+    pub elapsed_us: u64,
+}
+
+impl From<&edm_telemetry::trace::SpanRecord> for SpanInfo {
+    fn from(record: &edm_telemetry::trace::SpanRecord) -> Self {
+        SpanInfo {
+            id: record.id,
+            parent_id: record.parent_id,
+            trace_id: record.trace_id,
+            name: record.name.to_string(),
+            elapsed_us: record.elapsed_us,
+        }
+    }
 }
 
 /// One telemetry metric on the wire, mirroring
@@ -298,11 +358,55 @@ mod tests {
             shots: 4096,
             seed: 7,
             priority: Priority::High,
+            trace_id: 0xfeed,
+            parent_span: 12,
         };
         let line = serde_json::to_string(&req).unwrap();
         assert!(line.contains("\"Submit\""));
         let back: Request = serde_json::from_str(&line).unwrap();
         assert_eq!(back, req);
+    }
+
+    #[test]
+    fn submit_without_trace_fields_stays_wire_compatible() {
+        // A pre-tracing client omits trace_id/parent_span entirely; the
+        // fields default to 0 ("mint one server-side, no remote parent").
+        let line = r#"{"Submit":{"qasm":"OPENQASM 2.0;","shots":64,"seed":1,"priority":"Normal"}}"#;
+        match serde_json::from_str::<Request>(line).unwrap() {
+            Request::Submit {
+                trace_id,
+                parent_span,
+                shots,
+                ..
+            } => {
+                assert_eq!(trace_id, 0);
+                assert_eq!(parent_span, 0);
+                assert_eq!(shots, 64);
+            }
+            other => panic!("expected Submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_response_roundtrips_through_json() {
+        let resp = Response::Trace {
+            id: 4,
+            trace_id: 0xabc,
+            spans: vec![SpanInfo {
+                id: 2,
+                parent_id: 1,
+                trace_id: 0xabc,
+                name: "pool_slice".into(),
+                elapsed_us: 180,
+            }],
+        };
+        let line = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(
+            serde_json::from_str::<Request>(r#"{"Trace":{"id":4}}"#).unwrap(),
+            Request::Trace { id: 4 }
+        );
     }
 
     #[test]
@@ -412,6 +516,7 @@ mod tests {
                 queue_depth: svc.queue_depth() as u64,
                 breaker: svc.breaker_state(),
                 quarantined: false,
+                quality: svc.quality(),
                 stats: svc.stats(),
             }],
         };

@@ -19,8 +19,9 @@ use crate::validate;
 use edm_core::{
     assemble_result, build_ensemble, filter, plan_run, Backend, BatchJob, Controller,
     ControllerConfig, ControllerEvent, EdmResult, EnsembleConfig, EnsembleMember,
-    MemberObservation, ProbDist, RunPlan,
+    MemberObservation, ProbDist, QualityConfig, QualityEstimator, QualitySnapshot, RunPlan,
 };
+use edm_telemetry::trace::TraceContext;
 use qdevice::drift::{DriftPolicy, DriftWatchdog};
 use qdevice::{Calibration, Topology};
 use qmap::Transpiler;
@@ -129,6 +130,14 @@ pub struct JobService<B> {
     /// Correlation id per job id, live for the job's whole service life —
     /// unlike `JobState`, it never changes as the job moves through states.
     trace_ids: BTreeMap<u64, u64>,
+    /// Client parent-span id per job id, for jobs whose submission carried
+    /// one: server-side spans for the job parent under it, stitching the
+    /// cross-process trace tree. Dropped on restart (the client span is
+    /// gone), which only flattens — never breaks — the replayed trace.
+    trace_parents: BTreeMap<u64, u64>,
+    /// Live answer-quality estimate for this device: EWMA of observed
+    /// top-outcome share vs the ESP the planner predicted, per job.
+    quality: QualityEstimator,
     next_id: u64,
     clock: Arc<dyn Clock>,
     latency: LatencyRecorder,
@@ -220,6 +229,8 @@ impl<B: Backend> JobService<B> {
             queue: AdmissionQueue::new(config.queue_capacity),
             jobs: BTreeMap::new(),
             trace_ids: BTreeMap::new(),
+            trace_parents: BTreeMap::new(),
+            quality: QualityEstimator::new(QualityConfig::default()),
             next_id: 1,
             clock,
             latency: LatencyRecorder::default(),
@@ -299,6 +310,24 @@ impl<B: Backend> JobService<B> {
     /// [`AdmitError::QueueFull`] under backpressure. Rejected jobs get no
     /// id and leave no trace beyond the `rejected` counter.
     pub fn submit(&mut self, request: JobRequest) -> Result<u64, AdmitError> {
+        self.submit_with_context(request, TraceContext::default())
+    }
+
+    /// [`JobService::submit`] with an explicit trace context: when the
+    /// client already opened a trace (`ctx.trace_id != 0`), the job adopts
+    /// it — every server-side span, journal entry, and pool slice carries
+    /// the client's id, and spans parent under `ctx.parent_span` — so one
+    /// trace covers the whole cross-process request. A zero context is
+    /// exactly [`JobService::submit`]: the service mints a fresh id.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`JobService::submit`].
+    pub fn submit_with_context(
+        &mut self,
+        request: JobRequest,
+        ctx: TraceContext,
+    ) -> Result<u64, AdmitError> {
         if let Err(e) = validate::shots(request.shots) {
             self.reject();
             return Err(AdmitError::Invalid(e.to_string()));
@@ -312,7 +341,16 @@ impl<B: Backend> JobService<B> {
             });
         }
         let id = self.next_id;
-        let trace_id = edm_telemetry::trace::next_trace_id();
+        let trace_id = if ctx.trace_id != 0 {
+            ctx.trace_id
+        } else {
+            edm_telemetry::trace::next_trace_id()
+        };
+        let _trace = edm_telemetry::trace::with_context(TraceContext {
+            trace_id,
+            parent_span: ctx.parent_span,
+        });
+        let _span = edm_telemetry::trace::span("serve_admit");
         // Write-ahead: the journal entry lands on disk before the job is
         // acknowledged, so an accepted job survives a crash. A job we
         // cannot journal is refused — accepting it silently would break
@@ -343,6 +381,9 @@ impl<B: Backend> JobService<B> {
         self.next_id += 1;
         self.submitted += 1;
         self.trace_ids.insert(id, trace_id);
+        if ctx.parent_span != 0 {
+            self.trace_parents.insert(id, ctx.parent_span);
+        }
         edm_telemetry::counter!("edm_serve_submitted_total", "Jobs admitted to the queue").inc();
         edm_telemetry::gauge!("edm_serve_queue_depth", "Jobs waiting in the queue")
             .set(self.queue.len() as i64);
@@ -354,6 +395,16 @@ impl<B: Backend> JobService<B> {
     /// the journal), if the id was ever issued.
     pub fn trace_id(&self, id: u64) -> Option<u64> {
         self.trace_ids.get(&id).copied()
+    }
+
+    /// The trace context every span of job `id` links into: the job's
+    /// trace id plus the client parent span (0 when the client sent none
+    /// or the job was replayed from the journal).
+    fn job_context(&self, id: u64) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id(id).unwrap_or(0),
+            parent_span: self.trace_parents.get(&id).copied().unwrap_or(0),
+        }
     }
 
     fn reject(&mut self) {
@@ -382,9 +433,12 @@ impl<B: Backend> JobService<B> {
         // Failures are terminal for that request only.
         let mut plans: Vec<(u64, u64, RunPlan, Option<u64>)> = Vec::new();
         for job in drained {
-            // Compile under the job's trace id so transpile/VF2 spans of a
-            // cache miss carry it.
-            let _trace = edm_telemetry::trace::with_trace(self.trace_id(job.id).unwrap_or(0));
+            // Compile under the job's full trace context so transpile/VF2
+            // spans of a cache miss carry the trace id AND parent under
+            // the client's span when the submission named one.
+            let ctx = self.job_context(job.id);
+            let _trace = edm_telemetry::trace::with_context(ctx);
+            let _span = edm_telemetry::trace::span("serve_plan");
             let pool = match self.compile_cached(&job.request.circuit) {
                 Ok(members) => members,
                 Err(reason) => {
@@ -409,7 +463,14 @@ impl<B: Backend> JobService<B> {
                 job.request.seed,
                 self.config.ensemble.shot_allocation,
             ) {
-                Ok(plan) => plans.push((job.id, job.enqueued_at_ms, plan, context)),
+                Ok(mut plan) => {
+                    // Pool slices of this plan run inside the coalesced
+                    // phase-2 dispatch, long after the planning span above
+                    // has closed — parent them under the client's span
+                    // (or the trace root) rather than a dead sibling.
+                    plan.set_trace(ctx);
+                    plans.push((job.id, job.enqueued_at_ms, plan, context));
+                }
                 Err(e) => self.fail(job.id, e.to_string()),
             }
         }
@@ -443,14 +504,23 @@ impl<B: Backend> JobService<B> {
             // merge each into its EdmResult.
             let mut results = results.into_iter();
             for (id, enqueued_at_ms, plan, context) in plans {
-                let _trace = edm_telemetry::trace::with_trace(self.trace_id(id).unwrap_or(0));
+                let _trace = edm_telemetry::trace::with_context(self.job_context(id));
+                let _span = edm_telemetry::trace::span("serve_assemble");
                 let k = plan.members.len();
+                // The best planned ESP is the promise the quality plane
+                // scores the merged outcome against.
+                let predicted_esp = plan
+                    .members
+                    .iter()
+                    .map(|m| m.esp)
+                    .fold(f64::NEG_INFINITY, f64::max);
                 let raw: Vec<_> = results.by_ref().take(k).collect();
                 match assemble_result(plan.members, raw, &self.config.ensemble) {
                     Ok(mut result) => {
                         if let Some(fp) = context {
                             self.controller_observe(fp, k, &mut result);
                         }
+                        self.observe_quality(&result, predicted_esp);
                         let latency_ms = self.clock.now_ms().saturating_sub(enqueued_at_ms);
                         self.latency.record(latency_ms);
                         self.completed += 1;
@@ -594,9 +664,39 @@ impl<B: Backend> JobService<B> {
             controller_swaps: self.controller_swaps,
             controller_reweights: self.controller_reweights,
             controller_recompiles: self.controller_recompiles,
+            quality: self.quality.snapshot(),
             latency_p50_ms,
             latency_p99_ms,
         }
+    }
+
+    /// The live answer-quality estimate for this device: EWMA of observed
+    /// merged top-outcome share against the planner's predicted ESP, one
+    /// observation per completed job. Deterministic and clock-free — a
+    /// replica that processed the same jobs reports the identical
+    /// snapshot.
+    pub fn quality(&self) -> QualitySnapshot {
+        self.quality.snapshot()
+    }
+
+    /// Feeds one completed job into the quality estimator and refreshes
+    /// the quality gauges.
+    fn observe_quality(&mut self, result: &EdmResult, predicted_esp: f64) {
+        let Some(top) = result.edm.most_probable() else {
+            return;
+        };
+        if !predicted_esp.is_finite() {
+            return;
+        }
+        self.quality
+            .observe(predicted_esp, result.edm.probability(top));
+    }
+
+    /// Test hook: injects a raw (predicted ESP, observed top share)
+    /// observation, exactly as a completed job would.
+    #[doc(hidden)]
+    pub fn inject_quality_observation(&mut self, predicted_esp: f64, observed_top_share: f64) {
+        self.quality.observe(predicted_esp, observed_top_share);
     }
 
     /// The predicted success probability of running `circuit` on this
@@ -1105,6 +1205,143 @@ mod tests {
             "trace id survives processing"
         );
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn client_supplied_trace_context_is_adopted() {
+        edm_telemetry::set_enabled(true);
+        let device = DeviceModel::synthesize(presets::melbourne14(), 11);
+        let backend = NoisySimulator::from_device(&device);
+        let mut svc = JobService::new(
+            device.topology().clone(),
+            device.calibration(),
+            backend,
+            small_config(),
+        );
+        // A trace id no other (parallel) test mints: next_trace_id() is
+        // salted and sequential, so a fixed literal cannot collide.
+        let client_trace = 0x7e57_0000_c0ff_ee01_u64;
+        let client_span = 77u64;
+        let id = svc
+            .submit_with_context(
+                request(ghz(3), 512, 5),
+                TraceContext {
+                    trace_id: client_trace,
+                    parent_span: client_span,
+                },
+            )
+            .unwrap();
+        assert_eq!(svc.trace_id(id), Some(client_trace));
+        assert_eq!(svc.process_pending(), 1);
+        assert!(matches!(svc.poll(id), Some(JobState::Done(_))));
+
+        let spans = edm_telemetry::trace::recorder().trace(client_trace);
+        let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+        for stage in ["serve_admit", "serve_plan", "serve_assemble", "pool_slice"] {
+            assert!(names.contains(&stage), "missing {stage} in {names:?}");
+        }
+        // Every server-side stage parents under the client's span: one
+        // trace tree across the (simulated) process boundary.
+        for span in &spans {
+            assert_eq!(span.trace_id, client_trace);
+            if matches!(
+                span.name,
+                "serve_admit" | "serve_plan" | "serve_assemble" | "pool_slice"
+            ) {
+                assert_eq!(span.parent_id, client_span, "span {}", span.name);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_context_submission_still_mints_a_trace() {
+        let device = DeviceModel::synthesize(presets::melbourne14(), 11);
+        let backend = NoisySimulator::from_device(&device);
+        let mut svc = JobService::new(
+            device.topology().clone(),
+            device.calibration(),
+            backend,
+            small_config(),
+        );
+        let id = svc
+            .submit_with_context(request(ghz(2), 128, 1), TraceContext::default())
+            .unwrap();
+        let minted = svc.trace_id(id).unwrap();
+        assert_ne!(minted, 0, "a zero client context must mint a trace id");
+    }
+
+    #[test]
+    fn replay_preserves_client_supplied_trace_id_byte_identically() {
+        let dir = std::env::temp_dir().join(format!(
+            "edm-serve-client-trace-replay-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let device = DeviceModel::synthesize(presets::melbourne14(), 11);
+        let client_trace = u64::MAX - 3; // exercises full-width round-trip
+        {
+            let backend = NoisySimulator::from_device(&device);
+            let mut svc = JobService::new(
+                device.topology().clone(),
+                device.calibration(),
+                backend,
+                small_config(),
+            );
+            svc.attach_journal(&path).unwrap();
+            let id = svc
+                .submit_with_context(
+                    request(ghz(3), 512, 7),
+                    TraceContext {
+                        trace_id: client_trace,
+                        parent_span: 9,
+                    },
+                )
+                .unwrap();
+            assert_eq!(svc.trace_id(id), Some(client_trace));
+            // Crash before processing.
+        }
+        let backend = NoisySimulator::from_device(&device);
+        let mut svc = JobService::new(
+            device.topology().clone(),
+            device.calibration(),
+            backend,
+            small_config(),
+        );
+        assert_eq!(svc.attach_journal(&path).unwrap(), 1);
+        assert_eq!(
+            svc.trace_id(1),
+            Some(client_trace),
+            "the CLIENT's trace id must survive the crash byte-identically"
+        );
+        svc.process_all();
+        assert!(matches!(svc.poll(1), Some(JobState::Done(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn quality_estimator_tracks_completed_jobs() {
+        let device = DeviceModel::synthesize(presets::melbourne14(), 11);
+        let backend = NoisySimulator::from_device(&device);
+        let mut svc = JobService::new(
+            device.topology().clone(),
+            device.calibration(),
+            backend,
+            small_config(),
+        );
+        assert_eq!(svc.quality().observations, 0);
+        assert_eq!(svc.quality().quality_factor, 1.0);
+        let id = svc.submit(request(ghz(3), 1024, 5)).unwrap();
+        svc.process_pending();
+        assert!(matches!(svc.poll(id), Some(JobState::Done(_))));
+        let q = svc.quality();
+        assert_eq!(q.observations, 1);
+        let ist = q.live_ist.expect("one observation recorded");
+        assert!((0.0..=1.0).contains(&ist), "IST is a probability: {ist}");
+        assert_eq!(svc.stats().quality, q, "stats carries the same snapshot");
     }
 
     #[test]

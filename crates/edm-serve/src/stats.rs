@@ -135,6 +135,10 @@ pub struct ServiceStats {
     /// Layout-pool recompilations the controller performed after a
     /// calibration-generation change.
     pub controller_recompiles: u64,
+    /// Live answer-quality estimate (observed IST vs predicted ESP).
+    /// Defaults to an empty estimate when parsing an older snapshot.
+    #[serde(default)]
+    pub quality: edm_core::QualitySnapshot,
     /// Median job latency (submit to finish) over the recent window, ms.
     pub latency_p50_ms: u64,
     /// 99th-percentile job latency over the recent window, ms.

@@ -44,6 +44,8 @@ fn submit_poll_stats_shutdown_round_trip() {
         shots: 1024,
         seed: 7,
         priority: Priority::Normal,
+        trace_id: 0,
+        parent_span: 0,
     };
     let responses = run_session(&[
         submit.clone(),
@@ -91,12 +93,16 @@ fn bad_requests_are_reported_not_fatal() {
             shots: 64,
             seed: 1,
             priority: Priority::Normal,
+            trace_id: 0,
+            parent_span: 0,
         },
         Request::Submit {
             qasm: ghz_qasm(),
             shots: 0,
             seed: 1,
             priority: Priority::Normal,
+            trace_id: 0,
+            parent_span: 0,
         },
         Request::Poll { id: 42 },
         Request::Shutdown,
@@ -117,6 +123,8 @@ fn bump_calibration_invalidates_served_cache() {
         shots: 256,
         seed: 3,
         priority: Priority::Normal,
+        trace_id: 0,
+        parent_span: 0,
     };
     let responses = run_session(&[
         submit.clone(),

@@ -20,6 +20,8 @@ fn submit() -> Request {
         shots: 512,
         seed: 7,
         priority: Priority::Normal,
+        trace_id: 0,
+        parent_span: 0,
     }
 }
 

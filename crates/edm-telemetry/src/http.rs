@@ -11,7 +11,9 @@
 //! | `/healthz`      | `ok\n` (liveness)                                |
 //! | `/spans`        | Flight-recorder dump, JSON lines, oldest first   |
 //!
-//! Anything else is a 404; non-GET methods get a 405.
+//! `/spans` accepts query filters: `?trace_id=N` (decimal or `0x`-hex)
+//! keeps only spans of that trace, `?limit=N` keeps the N most recent
+//! matches. Anything else is a 404; non-GET methods get a 405.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -78,6 +80,16 @@ fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
             "method not allowed\n".into(),
         );
     }
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path, ""),
+    };
+    if path == "/spans" {
+        return match spans_body(query) {
+            Ok(body) => ("200 OK", "application/x-ndjson", body),
+            Err(msg) => ("400 Bad Request", "text/plain; charset=utf-8", msg),
+        };
+    }
     match path {
         "/metrics" => (
             "200 OK",
@@ -90,17 +102,44 @@ fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
             crate::export::json(crate::metrics::registry()),
         ),
         "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".into()),
-        "/spans" => (
-            "200 OK",
-            "application/x-ndjson",
-            crate::trace::recorder().dump_json_lines(),
-        ),
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
             "not found\n".into(),
         ),
     }
+}
+
+/// Renders the `/spans` body for the given query string. Unknown query
+/// keys are ignored (scrapers add cache-busters); malformed values for
+/// the known keys are a 400 so a typo'd trace id cannot silently read as
+/// "the whole buffer".
+fn spans_body(query: &str) -> Result<String, String> {
+    let mut trace_id = None;
+    let mut limit = None;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "trace_id" => {
+                let parsed = match value.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => value.parse(),
+                };
+                trace_id = Some(parsed.map_err(|_| {
+                    format!("bad trace_id {value:?}: expected decimal or 0x-hex u64\n")
+                })?);
+            }
+            "limit" => {
+                limit = Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad limit {value:?}: expected an integer\n"))?,
+                );
+            }
+            _ => {}
+        }
+    }
+    Ok(crate::trace::recorder().dump_json_lines_filtered(trace_id, limit))
 }
 
 fn respond(
@@ -160,6 +199,38 @@ mod tests {
 
         let (head, _) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn spans_query_filters() {
+        crate::set_enabled(true);
+        // Seed the global recorder with spans on a unique trace id.
+        {
+            let _g = crate::trace::with_trace(0xfeed_0123);
+            let _a = crate::trace::span("http_filter_a");
+            let _b = crate::trace::span("http_filter_b");
+        }
+        let server = serve(0).unwrap();
+        let addr = server.addr();
+
+        let (head, body) = get(addr, "/spans?trace_id=0xfeed0123");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_eq!(body.lines().count(), 2);
+        assert!(body.lines().all(|l| l.contains("\"trace_id\":4276945187")));
+
+        let (_, limited) = get(addr, "/spans?trace_id=4276945187&limit=1");
+        assert_eq!(limited.lines().count(), 1);
+        // Inner span dropped first, so it is the older record; limit=1
+        // keeps the most recent (the outer span).
+        assert!(limited.contains("\"name\":\"http_filter_a\""));
+
+        let (_, none) = get(addr, "/spans?trace_id=1");
+        assert_eq!(none, "");
+
+        let (head, _) = get(addr, "/spans?trace_id=bogus");
+        assert!(head.starts_with("HTTP/1.1 400"));
+        let (head, _) = get(addr, "/spans?limit=-3");
+        assert!(head.starts_with("HTTP/1.1 400"));
     }
 
     #[test]

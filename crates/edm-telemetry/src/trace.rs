@@ -12,12 +12,28 @@
 //! the current thread for the lifetime of its guard; [`next_trace_id`]
 //! mints fresh ones.
 //!
+//! Traces cross process and thread boundaries via [`TraceContext`]: a
+//! client stamps `(trace_id, parent_span)` onto a protocol request, the
+//! server installs it with [`with_context`], and detached workers (the
+//! `qsim` pool threads, which never see the submitting thread's span
+//! stack) report linked slices through [`record_external`]. The flight
+//! recorder is bounded, so long-lived services can additionally stream
+//! every finished span to a size-rotated JSON-lines file via
+//! [`set_trace_file`] (`--trace-out` in the binaries); eviction from the
+//! ring and failed exports are both counted
+//! (`edm_telemetry_spans_dropped_total`,
+//! `edm_telemetry_trace_export_dropped_total`) so span loss is never
+//! silent.
+//!
 //! Everything here is gated on the global [`enabled`](crate::enabled)
 //! flag: while telemetry is off, [`span`] returns an inert guard without
 //! reading the clock or touching the recorder.
 
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
+use std::fs::File;
+use std::io::Write;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -25,23 +41,19 @@ use std::time::Instant;
 /// How many finished spans the global flight recorder retains.
 pub const FLIGHT_RECORDER_CAPACITY: usize = 4096;
 
+/// Default size bound for [`set_trace_file`] before rotation (16 MiB).
+pub const DEFAULT_TRACE_FILE_MAX_BYTES: u64 = 16 * 1024 * 1024;
+
 thread_local! {
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
     static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
+    static REMOTE_PARENT: Cell<u64> = const { Cell::new(0) };
 }
 
-static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
-
-/// Mints a process-unique, non-zero trace id.
-///
-/// Ids mix a monotone counter with per-process startup entropy so two
-/// runs of the service do not reuse the same id sequence — a replayed
-/// journal keeps its *original* ids while freshly submitted jobs get
-/// distinguishable new ones.
-pub fn next_trace_id() -> u64 {
-    static COUNTER: AtomicU64 = AtomicU64::new(1);
+/// Per-process startup entropy shared by the trace- and span-id mints.
+fn process_salt() -> u64 {
     static SALT: OnceLock<u64> = OnceLock::new();
-    let salt = *SALT.get_or_init(|| {
+    *SALT.get_or_init(|| {
         // Derive entropy from the address of a fresh allocation and the
         // time; good enough for id disambiguation (not security).
         let probe = Box::new(0u8);
@@ -55,9 +67,72 @@ pub fn next_trace_id() -> u64 {
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         z ^ (z >> 31)
-    });
+    })
+}
+
+/// Mints a span id: monotone within the process (children always out-id
+/// their parents) but starting from a salted per-process base, so the
+/// spans of two processes stitched into one cross-process trace cannot
+/// collide — a client's root span id must never equal a server span id,
+/// or the reassembled tree gains a spurious (even self-referential) edge.
+fn next_span_id() -> u64 {
+    static NEXT: OnceLock<AtomicU64> = OnceLock::new();
+    NEXT.get_or_init(|| {
+        // Clear the top bits so a process lifetime of span ids cannot
+        // wrap, and force the base non-zero (0 means "untraced").
+        AtomicU64::new((process_salt() & 0x3fff_ffff_ffff_ffff) | 1)
+    })
+    .fetch_add(1, Ordering::Relaxed)
+}
+
+/// Mints a process-unique, non-zero trace id.
+///
+/// Ids mix a monotone counter with per-process startup entropy so two
+/// runs of the service do not reuse the same id sequence — a replayed
+/// journal keeps its *original* ids while freshly submitted jobs get
+/// distinguishable new ones.
+pub fn next_trace_id() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
     let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-    (n ^ salt).max(1)
+    (n ^ process_salt()).max(1)
+}
+
+/// A cross-process (or cross-thread) trace context: the trace id a piece
+/// of work belongs to, plus the span id remote work should parent under.
+///
+/// The zero value means "untraced": spans opened under it stay roots with
+/// no trace correlation, exactly as if no context were installed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace id correlating every span of one logical job (0 = none).
+    pub trace_id: u64,
+    /// Span id that downstream spans should link to as their parent
+    /// (0 = none; downstream spans become roots of the trace).
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    /// Whether this context carries a trace id at all.
+    pub fn is_traced(&self) -> bool {
+        self.trace_id != 0
+    }
+}
+
+/// The calling thread's current context: the installed trace id plus the
+/// innermost live span (falling back to the remote parent installed by
+/// [`with_context`]). Capture this before handing work to another thread
+/// or process so its spans link back here.
+pub fn current_context() -> TraceContext {
+    TraceContext {
+        trace_id: CURRENT_TRACE.with(|t| t.get()),
+        parent_span: SPAN_STACK.with(|stack| {
+            stack
+                .borrow()
+                .last()
+                .copied()
+                .unwrap_or_else(|| REMOTE_PARENT.with(|p| p.get()))
+        }),
+    }
 }
 
 /// A finished span as retained by the flight recorder.
@@ -108,10 +183,15 @@ pub fn span(name: &'static str) -> Span {
     if !crate::enabled() {
         return Span { live: None };
     }
-    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let id = next_span_id();
     let parent_id = SPAN_STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
-        let parent = stack.last().copied().unwrap_or(0);
+        // A span with no local parent links to the remote parent from
+        // [`with_context`], stitching cross-process call trees together.
+        let parent = stack
+            .last()
+            .copied()
+            .unwrap_or_else(|| REMOTE_PARENT.with(|p| p.get()));
         stack.push(id);
         parent
     });
@@ -123,6 +203,14 @@ pub fn span(name: &'static str) -> Span {
             name,
             start: Instant::now(),
         }),
+    }
+}
+
+impl Span {
+    /// This span's id (0 when telemetry was disabled at open time). Use
+    /// it as [`TraceContext::parent_span`] to parent remote work here.
+    pub fn id(&self) -> u64 {
+        self.live.as_ref().map_or(0, |l| l.id)
     }
 }
 
@@ -141,7 +229,7 @@ impl Drop for Span {
                 }
             }
         });
-        recorder().record(SpanRecord {
+        publish(SpanRecord {
             id: live.id,
             parent_id: live.parent_id,
             trace_id: live.trace_id,
@@ -151,22 +239,67 @@ impl Drop for Span {
     }
 }
 
-/// Guard restoring the previous thread-local trace id on drop.
+/// Records a finished span that did not run under this thread's span
+/// stack — work executed on a detached worker (a `qsim` pool thread)
+/// whose duration was measured by the caller. The span joins `ctx`'s
+/// trace with `ctx.parent_span` as its parent and lands in the global
+/// recorder (and trace file, if installed) like any other span.
+///
+/// Returns the minted span id, or 0 when telemetry is disabled.
+pub fn record_external(name: &'static str, ctx: TraceContext, elapsed_us: u64) -> u64 {
+    if !crate::enabled() {
+        return 0;
+    }
+    let id = next_span_id();
+    publish(SpanRecord {
+        id,
+        parent_id: ctx.parent_span,
+        trace_id: ctx.trace_id,
+        name,
+        elapsed_us,
+    });
+    id
+}
+
+/// Every finished span funnels through here: durable export first (the
+/// file outlives the bounded ring), then the flight recorder.
+fn publish(record: SpanRecord) {
+    export_to_trace_file(&record);
+    recorder().record(record);
+}
+
+/// Guard restoring the previous thread-local trace context on drop.
 #[derive(Debug)]
 pub struct TraceGuard {
-    previous: u64,
+    previous_trace: u64,
+    previous_parent: u64,
 }
 
 /// Installs `trace_id` as the current thread's trace id until the
 /// returned guard drops. Spans opened meanwhile carry it.
 pub fn with_trace(trace_id: u64) -> TraceGuard {
-    let previous = CURRENT_TRACE.with(|t| t.replace(trace_id));
-    TraceGuard { previous }
+    with_context(TraceContext {
+        trace_id,
+        parent_span: 0,
+    })
+}
+
+/// Installs a full [`TraceContext`] — trace id plus remote parent — for
+/// the current thread until the returned guard drops. Spans opened
+/// meanwhile carry the trace id, and any span with no local parent links
+/// to `ctx.parent_span` (the client/caller span on the other side of a
+/// process boundary) instead of becoming a detached root.
+pub fn with_context(ctx: TraceContext) -> TraceGuard {
+    TraceGuard {
+        previous_trace: CURRENT_TRACE.with(|t| t.replace(ctx.trace_id)),
+        previous_parent: REMOTE_PARENT.with(|p| p.replace(ctx.parent_span)),
+    }
 }
 
 impl Drop for TraceGuard {
     fn drop(&mut self) {
-        CURRENT_TRACE.with(|t| t.set(self.previous));
+        CURRENT_TRACE.with(|t| t.set(self.previous_trace));
+        REMOTE_PARENT.with(|p| p.set(self.previous_parent));
     }
 }
 
@@ -194,6 +327,14 @@ impl FlightRecorder {
         let mut spans = self.spans.lock().expect("flight recorder lock poisoned");
         if spans.len() == self.capacity {
             spans.pop_front();
+            // Eviction is by design (the ring is bounded) but must never
+            // be silent: a scraper watching this counter knows the dump
+            // it just took has a hole, and by how much.
+            crate::counter!(
+                "edm_telemetry_spans_dropped_total",
+                "Spans evicted from the bounded flight recorder"
+            )
+            .inc();
         }
         spans.push_back(record);
     }
@@ -211,13 +352,37 @@ impl FlightRecorder {
     /// Dumps the retained spans as JSON lines (one object per line,
     /// oldest first), e.g. for `/spans` or an on-error flush.
     pub fn dump_json_lines(&self) -> String {
+        self.dump_json_lines_filtered(None, None)
+    }
+
+    /// Like [`dump_json_lines`](Self::dump_json_lines) but keeps only
+    /// spans of `trace_id` (when given) and at most the `limit` most
+    /// recent matches (when given), still rendered oldest first. Backs
+    /// the `/spans?trace_id=…&limit=…` endpoint.
+    pub fn dump_json_lines_filtered(&self, trace_id: Option<u64>, limit: Option<usize>) -> String {
         let spans = self.spans.lock().expect("flight recorder lock poisoned");
-        let mut out = String::with_capacity(spans.len() * 96);
-        for record in spans.iter() {
+        let matching: Vec<&SpanRecord> = spans
+            .iter()
+            .filter(|r| trace_id.is_none_or(|t| r.trace_id == t))
+            .collect();
+        let skip = limit.map_or(0, |l| matching.len().saturating_sub(l));
+        let mut out = String::with_capacity((matching.len() - skip) * 96);
+        for record in &matching[skip..] {
             out.push_str(&record.to_json());
             out.push('\n');
         }
         out
+    }
+
+    /// The retained spans belonging to `trace_id`, oldest first.
+    pub fn trace(&self, trace_id: u64) -> Vec<SpanRecord> {
+        self.spans
+            .lock()
+            .expect("flight recorder lock poisoned")
+            .iter()
+            .filter(|r| r.trace_id == trace_id)
+            .cloned()
+            .collect()
     }
 
     /// Discards all retained spans (tests and profile-run isolation).
@@ -233,6 +398,115 @@ impl FlightRecorder {
 pub fn recorder() -> &'static FlightRecorder {
     static RECORDER: OnceLock<FlightRecorder> = OnceLock::new();
     RECORDER.get_or_init(|| FlightRecorder::new(FLIGHT_RECORDER_CAPACITY))
+}
+
+/// Durable JSON-lines span sink behind `--trace-out`.
+struct TraceFile {
+    file: File,
+    path: PathBuf,
+    max_bytes: u64,
+    written: u64,
+}
+
+static TRACE_FILE: Mutex<Option<TraceFile>> = Mutex::new(None);
+
+/// Streams every subsequently finished span to `path` as JSON lines, one
+/// [`SpanRecord`] per line — the durable complement to the bounded
+/// flight recorder. The file is truncated on install. When it would grow
+/// past `max_bytes` it is rotated once: the current contents move to
+/// `<path>.1` (replacing any previous rotation) and writing restarts on
+/// a fresh `path`, so disk use is bounded by roughly `2 × max_bytes`.
+///
+/// Export failures never propagate into the traced code path: a span
+/// that cannot be written is dropped and counted on
+/// `edm_telemetry_trace_export_dropped_total`.
+pub fn set_trace_file(path: impl Into<PathBuf>, max_bytes: u64) -> std::io::Result<()> {
+    let path = path.into();
+    let file = File::create(&path)?;
+    *TRACE_FILE.lock().expect("trace file lock poisoned") = Some(TraceFile {
+        file,
+        path,
+        max_bytes: max_bytes.max(1),
+        written: 0,
+    });
+    Ok(())
+}
+
+/// Stops streaming spans to the file installed by [`set_trace_file`]
+/// (already-written lines are kept).
+pub fn clear_trace_file() {
+    *TRACE_FILE.lock().expect("trace file lock poisoned") = None;
+}
+
+fn export_dropped() -> &'static crate::metrics::Counter {
+    crate::counter!(
+        "edm_telemetry_trace_export_dropped_total",
+        "Spans lost by the --trace-out exporter (write or rotation failure, oversized record)"
+    )
+}
+
+impl TraceFile {
+    /// Appends one record, rotating first when it would overflow the
+    /// size bound. Returns `false` when the sink failed irrecoverably
+    /// (the caller uninstalls it); recoverable losses are counted on
+    /// `edm_telemetry_trace_export_dropped_total` and return `true`.
+    fn export(&mut self, record: &SpanRecord) -> bool {
+        let mut line = record.to_json();
+        line.push('\n');
+        if line.len() as u64 > self.max_bytes {
+            // Could never fit even in a fresh file: drop without rotating.
+            export_dropped().inc();
+            return true;
+        }
+        if self.written > 0 && self.written + line.len() as u64 > self.max_bytes {
+            // Size-bounded rotation: current file becomes `<path>.1`, a
+            // fresh file takes over. On any filesystem error the exporter
+            // gives up rather than erroring the traced hot path.
+            let mut rotated = self.path.clone().into_os_string();
+            rotated.push(".1");
+            let ok = self.file.flush().is_ok()
+                && std::fs::rename(&self.path, PathBuf::from(rotated)).is_ok();
+            match (ok, File::create(&self.path)) {
+                (true, Ok(file)) => {
+                    self.file = file;
+                    self.written = 0;
+                    crate::counter!(
+                        "edm_telemetry_trace_export_rotations_total",
+                        "Trace-out file rotations"
+                    )
+                    .inc();
+                }
+                _ => {
+                    export_dropped().inc();
+                    return false;
+                }
+            }
+        }
+        match self.file.write_all(line.as_bytes()) {
+            Ok(()) => self.written += line.len() as u64,
+            Err(_) => export_dropped().inc(),
+        }
+        true
+    }
+}
+
+fn export_to_trace_file(record: &SpanRecord) {
+    let mut guard = TRACE_FILE.lock().expect("trace file lock poisoned");
+    let Some(sink) = guard.as_mut() else { return };
+    if !sink.export(record) {
+        *guard = None;
+    }
+}
+
+/// Flushes the `--trace-out` file, if one is installed (shutdown paths).
+pub fn flush_trace_file() {
+    if let Some(sink) = TRACE_FILE
+        .lock()
+        .expect("trace file lock poisoned")
+        .as_mut()
+    {
+        let _ = sink.file.flush();
+    }
 }
 
 /// Aggregated wall time for one span name.
@@ -386,6 +660,171 @@ mod tests {
         assert_ne!(a, 0);
         assert_ne!(b, 0);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn context_guard_links_remote_parent() {
+        crate::set_enabled(true);
+        let ctx = TraceContext {
+            trace_id: 77,
+            parent_span: 555,
+        };
+        let (root_id, child_id);
+        {
+            let _g = with_context(ctx);
+            assert_eq!(current_context(), ctx);
+            let root = span("remote_parent_root");
+            root_id = root.id();
+            // With a span live, current_context points at it, not at the
+            // remote parent.
+            assert_eq!(current_context().parent_span, root_id);
+            let child = span("remote_parent_child");
+            child_id = child.id();
+        }
+        assert_eq!(current_context(), TraceContext::default());
+        let all = recorder().recent();
+        let root = all.iter().find(|s| s.id == root_id).unwrap();
+        let child = all.iter().find(|s| s.id == child_id).unwrap();
+        // The stack-less root linked to the remote parent; the nested
+        // child linked locally as usual. Both carry the trace id.
+        assert_eq!(root.parent_id, 555);
+        assert_eq!(child.parent_id, root_id);
+        assert_eq!(root.trace_id, 77);
+        assert_eq!(child.trace_id, 77);
+    }
+
+    #[test]
+    fn external_records_join_the_trace() {
+        crate::set_enabled(true);
+        let ctx = TraceContext {
+            trace_id: 91,
+            parent_span: 12,
+        };
+        let id = record_external("external_slice_test", ctx, 42);
+        assert_ne!(id, 0);
+        let rec = recorder()
+            .recent()
+            .into_iter()
+            .find(|s| s.id == id)
+            .expect("external span recorded");
+        assert_eq!(rec.trace_id, 91);
+        assert_eq!(rec.parent_id, 12);
+        assert_eq!(rec.elapsed_us, 42);
+        // The caller's span stack was never touched.
+        assert!(SPAN_STACK.with(|st| st.borrow().is_empty()));
+    }
+
+    #[test]
+    fn filtered_dump_selects_trace_and_limits() {
+        crate::set_enabled(true);
+        let rec = FlightRecorder::new(16);
+        for i in 0..6u64 {
+            rec.record(SpanRecord {
+                id: i + 1,
+                parent_id: 0,
+                trace_id: if i % 2 == 0 { 400 } else { 401 },
+                name: "filtered",
+                elapsed_us: i,
+            });
+        }
+        let t400 = rec.dump_json_lines_filtered(Some(400), None);
+        assert_eq!(t400.lines().count(), 3);
+        assert!(t400.lines().all(|l| l.contains("\"trace_id\":400")));
+        // Limit keeps the most recent matches, still oldest first.
+        let limited = rec.dump_json_lines_filtered(Some(400), Some(2));
+        assert_eq!(limited.lines().count(), 2);
+        assert!(limited.lines().next().unwrap().contains("\"id\":3"));
+        assert_eq!(rec.trace(401).len(), 3);
+        assert!(rec.dump_json_lines_filtered(Some(999), None).is_empty());
+    }
+
+    #[test]
+    fn eviction_moves_the_drop_counter() {
+        crate::set_enabled(true);
+        let dropped = || {
+            crate::counter!(
+                "edm_telemetry_spans_dropped_total",
+                "Spans evicted from the bounded flight recorder"
+            )
+            .get()
+        };
+        let before = dropped();
+        let rec = FlightRecorder::new(2);
+        for i in 0..5u64 {
+            rec.record(SpanRecord {
+                id: i + 1,
+                parent_id: 0,
+                trace_id: 0,
+                name: "evicted",
+                elapsed_us: 0,
+            });
+        }
+        assert!(dropped() >= before + 3, "3 evictions must be accounted");
+    }
+
+    #[test]
+    fn trace_file_rotates_and_accounts_drops() {
+        crate::set_enabled(true);
+        let dir = std::env::temp_dir().join(format!("edm_trace_out_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spans.jsonl");
+        // Drive a private sink (not the globally installed one) so spans
+        // finishing in concurrently running tests cannot interleave.
+        let small = SpanRecord {
+            id: 1,
+            parent_id: 0,
+            trace_id: 5,
+            name: "rotate",
+            elapsed_us: 9,
+        };
+        let line_len = (small.to_json().len() + 1) as u64;
+        let mut sink = TraceFile {
+            file: File::create(&path).unwrap(),
+            path: path.clone(),
+            max_bytes: line_len * 2,
+            written: 0,
+        };
+        for _ in 0..3 {
+            assert!(sink.export(&small));
+        }
+        // Third line overflowed the bound: lines 1-2 rotated to .1, line
+        // 3 starts the fresh file.
+        let current = std::fs::read_to_string(&path).unwrap();
+        let rotated = std::fs::read_to_string(dir.join("spans.jsonl.1")).unwrap();
+        assert_eq!(current.lines().count(), 1);
+        assert_eq!(rotated.lines().count(), 2);
+        assert!(current.contains("\"name\":\"rotate\""));
+
+        // An oversized record is dropped, not written, and counted.
+        let before = export_dropped().get();
+        let oversized = SpanRecord {
+            name: "a_rather_long_span_name_that_overflows_the_tiny_two_line_bound_for_sure\
+                   _because_it_is_far_longer_than_two_whole_small_records_put_together\
+                   _and_then_some_more_padding_for_good_measure",
+            ..small
+        };
+        assert!(oversized.to_json().len() as u64 + 1 > line_len * 2);
+        assert!(sink.export(&oversized));
+        assert!(
+            export_dropped().get() > before,
+            "oversized record must be accounted as dropped"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap().lines().count(),
+            1,
+            "oversized record must not be written"
+        );
+
+        // The public install/clear path works end to end.
+        let global = dir.join("global.jsonl");
+        set_trace_file(&global, DEFAULT_TRACE_FILE_MAX_BYTES).unwrap();
+        record_external("trace_file_install_test", TraceContext::default(), 1);
+        flush_trace_file();
+        clear_trace_file();
+        assert!(std::fs::read_to_string(&global)
+            .unwrap()
+            .contains("\"name\":\"trace_file_install_test\""));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

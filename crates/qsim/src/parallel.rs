@@ -21,6 +21,8 @@
 
 use crate::pool::WorkerPool;
 use crate::{rngstream, CompiledCircuit, Counts, NoisySimulator, SimError, SimScratch};
+pub use edm_telemetry::trace::TraceContext;
+
 use qcir::Circuit;
 use std::cell::RefCell;
 
@@ -48,6 +50,30 @@ pub struct BatchJob<'a> {
     pub shots: u64,
     /// Root seed; slice `s` runs with `rngstream::fork(seed, s)`.
     pub seed: u64,
+    /// Trace context the job's pool slices report into (the default —
+    /// untraced — emits no slice spans). Telemetry only: never consulted
+    /// by the execution or seed schedule, so tracing cannot perturb
+    /// histograms.
+    pub trace: TraceContext,
+}
+
+impl<'a> BatchJob<'a> {
+    /// An untraced job; chain [`BatchJob::traced`] to link its slices
+    /// into a trace.
+    pub fn new(circuit: &'a Circuit, shots: u64, seed: u64) -> Self {
+        BatchJob {
+            circuit,
+            shots,
+            seed,
+            trace: TraceContext::default(),
+        }
+    }
+
+    /// Stamps the trace context the job's pool slices report into.
+    pub fn traced(mut self, trace: TraceContext) -> Self {
+        self.trace = trace;
+        self
+    }
 }
 
 /// The shot budgets of each slice of a `shots`-shot job.
@@ -94,8 +120,8 @@ impl NoisySimulator<'_> {
     /// let mut c = Circuit::new(2, 2);
     /// c.h(0).cx(0, 1).measure_all();
     /// let jobs = [
-    ///     BatchJob { circuit: &c, shots: 2000, seed: 7 },
-    ///     BatchJob { circuit: &c, shots: 1000, seed: 8 },
+    ///     BatchJob::new(&c, 2000, 7),
+    ///     BatchJob::new(&c, 1000, 8),
     /// ];
     /// let results = sim.run_batch(&jobs, 4);
     /// assert_eq!(results[0].as_ref().unwrap().shots(), 2000);
@@ -137,8 +163,12 @@ impl NoisySimulator<'_> {
             .add(jobs.iter().map(|j| j.shots).sum());
 
         // Per-slice timing is recorded inside the worker closure: a
-        // histogram touch is worker-safe (relaxed atomics, no span stack),
-        // whereas spans on pool threads would surface as parentless roots.
+        // histogram touch is worker-safe (relaxed atomics, no span stack).
+        // Traced jobs additionally report each slice as an explicit-
+        // context span (`record_external`) — pool threads never inherit
+        // the dispatcher's thread-local span stack, so the job's own
+        // `BatchJob::trace` is the only way a slice can link into its
+        // cross-process trace instead of surfacing as a parentless root.
         let slice_hist = edm_telemetry::histogram!(
             "edm_qsim_slice_us",
             "Wall time of one shot slice on a pool worker"
@@ -159,7 +189,10 @@ impl NoisySimulator<'_> {
                     Ok(plan) => plan,
                     Err(e) => return Err(e.clone()),
                 };
-                slice_hist.time(|| {
+                let trace = jobs[j].trace;
+                let started =
+                    (edm_telemetry::enabled() && trace.is_traced()).then(std::time::Instant::now);
+                let result = slice_hist.time(|| {
                     let mut counts = Counts::new(plan.num_clbits());
                     SCRATCH.with(|scratch| {
                         plan.run_into(
@@ -170,7 +203,15 @@ impl NoisySimulator<'_> {
                         );
                     });
                     Ok(counts)
-                })
+                });
+                if let Some(started) = started {
+                    edm_telemetry::trace::record_external(
+                        "pool_slice",
+                        trace,
+                        started.elapsed().as_micros() as u64,
+                    );
+                }
+                result
             })
             .into_iter()
             .map(|r| r.unwrap_or_else(|detail| Err(SimError::ExecutionPanicked { detail })));
@@ -235,11 +276,10 @@ impl NoisySimulator<'_> {
         seed: u64,
         threads: usize,
     ) -> Result<Counts, SimError> {
-        let job = BatchJob {
-            circuit,
-            shots,
-            seed,
-        };
+        // Inherit the caller's trace context so slices of a directly-run
+        // circuit (e.g. `edm-cli run --profile`) still link up.
+        let job =
+            BatchJob::new(circuit, shots, seed).traced(edm_telemetry::trace::current_context());
         self.run_batch(&[job], threads)
             .pop()
             .expect("one result per job")
@@ -344,16 +384,8 @@ mod tests {
         let mut ghz = Circuit::new(3, 3);
         ghz.h(0).cx(0, 1).cx(1, 2).measure_all();
         let jobs = [
-            BatchJob {
-                circuit: &bell,
-                shots: 1500,
-                seed: 11,
-            },
-            BatchJob {
-                circuit: &ghz,
-                shots: 2048,
-                seed: 12,
-            },
+            BatchJob::new(&bell, 1500, 11),
+            BatchJob::new(&ghz, 2048, 12),
         ];
         let batch = sim.run_batch(&jobs, 4);
         // Batched execution must equal running each job alone — the
@@ -386,18 +418,7 @@ mod tests {
         let good = bell();
         let mut bad = Circuit::new(3, 0);
         bad.ccx(0, 1, 2);
-        let jobs = [
-            BatchJob {
-                circuit: &bad,
-                shots: 100,
-                seed: 0,
-            },
-            BatchJob {
-                circuit: &good,
-                shots: 1200,
-                seed: 1,
-            },
-        ];
+        let jobs = [BatchJob::new(&bad, 100, 0), BatchJob::new(&good, 1200, 1)];
         let results = sim.run_batch(&jobs, 4);
         assert!(results[0].is_err());
         assert_eq!(results[1].as_ref().unwrap().shots(), 1200);

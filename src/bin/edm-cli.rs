@@ -7,7 +7,9 @@
 //! edm-cli run <circuit.qasm> [--device NAME] [--shots N] [--seed N]
 //!                [--threads N] [--profile]    baseline vs EDM vs WEDM
 //! edm-cli run <circuit.qasm> --connect ADDR [--shots N] [--seed N]
-//!                                             submit to a fleet server
+//!                [--trace-out FILE]           submit to a fleet server
+//! edm-cli trace <job-id> --connect ADDR       print a job's span timeline
+//! edm-cli stats --connect ADDR [--watch N]    per-device fleet status table
 //! edm-cli map (<circuit.qasm> | --bench NAME) [--device NAME] [--mapper NAME]
 //!                [--ensemble K] [--seed N]    enumerate a diverse top-K pool
 //! edm-cli device [--device NAME] [--seed N]   dump the device model as JSON
@@ -85,6 +87,8 @@ fn main() -> ExitCode {
         "draw" => cmd_draw(&args[1..]),
         "transpile" => cmd_transpile(&args[1..]),
         "run" => cmd_run(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
         "map" => cmd_map(&args[1..]),
         "device" => cmd_device(&args[1..]),
         "--help" | "-h" | "help" => {
@@ -110,6 +114,9 @@ const USAGE: &str = "usage:
   edm-cli run <circuit.qasm> [--device NAME] [--shots N] [--seed N]
              [--threads N] [--profile] [--adaptive-controller] [--rounds N]
   edm-cli run <circuit.qasm> --connect ADDR [--shots N] [--seed N]
+             [--trace-out FILE]
+  edm-cli trace <job-id> --connect ADDR
+  edm-cli stats --connect ADDR [--watch N]
   edm-cli map (<circuit.qasm> | --bench NAME) [--device NAME] [--mapper NAME]
              [--ensemble K] [--seed N]
   edm-cli device [--device NAME] [--seed N]
@@ -147,6 +154,24 @@ run options:
                 spares; prints per-round health and decisions
   --rounds N    feedback rounds for --adaptive-controller, N >= 2
                 (default: 4)
+  --trace-out FILE
+                with --connect: also append this client's own spans to FILE
+                as JSON lines (the server keeps its half of the trace; see
+                edm-cli trace)
+
+trace options:
+  <job-id>      the id `run --connect` printed in its `accepted:` line
+  --connect ADDR
+                the server that accepted the job; prints every span the
+                server recorded for the job's trace as an indented tree
+                with per-span durations
+
+stats options:
+  --connect ADDR
+                server to query; prints one row per fleet device (queue
+                depth, breaker, quarantine, live IST, ESP gap)
+  --watch N     refresh every N seconds until interrupted (N >= 1);
+                redraws in place when stdout is a terminal
 
 exit codes:
   0   success
@@ -263,7 +288,8 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     // --threads was validated above even for remote runs (catch bad values
     // before touching the network); the server picks its own thread count.
     if let Some(addr) = text_flag(args, "--connect")? {
-        return cmd_run_remote(&addr, &circuit, shots, seed);
+        let trace_out = text_flag(args, "--trace-out")?;
+        return cmd_run_remote(&addr, &circuit, shots, seed, trace_out.as_deref());
     }
     if args.iter().any(|a| a == "--adaptive-controller") {
         let rounds = flag(args, "--rounds", 4)?;
@@ -583,46 +609,98 @@ fn cmd_map(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `run --connect`: submits the circuit to a JSON-lines server (an
-/// `edm-fleet` front end or a line-oriented `edm-serve` peer), polls the
-/// returned id until the job reaches a terminal state, and prints the
-/// summary. Connection problems exit 75 (transient — the server may just
-/// not be up yet); a server-side rejection or job failure exits 65.
-fn cmd_run_remote(addr: &str, circuit: &Circuit, shots: u64, seed: u64) -> Result<(), CliError> {
-    use edm_serve::protocol::{Request, Response};
-    use std::io::{BufRead, BufReader, Write};
-
-    let transient = |message: String| CliError {
+/// Exit 75: the server may just not be up yet.
+fn transient(message: String) -> CliError {
+    CliError {
         code: exitcode::TRANSIENT,
         message,
-    };
-    let stream = std::net::TcpStream::connect(addr)
-        .map_err(|e| transient(format!("cannot connect to {addr}: {e}")))?;
-    stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(
-        stream
-            .try_clone()
-            .map_err(|e| transient(format!("{addr}: {e}")))?,
-    );
-    let mut writer = stream;
-    let mut exchange = |request: &Request| -> Result<Response, CliError> {
+    }
+}
+
+/// A line-oriented protocol client over one TCP connection, shared by the
+/// `run --connect`, `trace`, and `stats` commands.
+struct LineClient {
+    addr: String,
+    reader: std::io::BufReader<std::net::TcpStream>,
+    writer: std::net::TcpStream,
+}
+
+impl LineClient {
+    fn connect(addr: &str) -> Result<Self, CliError> {
+        let stream = std::net::TcpStream::connect(addr)
+            .map_err(|e| transient(format!("cannot connect to {addr}: {e}")))?;
+        stream.set_nodelay(true).ok();
+        let reader = std::io::BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| transient(format!("{addr}: {e}")))?,
+        );
+        Ok(LineClient {
+            addr: addr.to_string(),
+            reader,
+            writer: stream,
+        })
+    }
+
+    fn exchange(
+        &mut self,
+        request: &edm_serve::protocol::Request,
+    ) -> Result<edm_serve::protocol::Response, CliError> {
+        use std::io::{BufRead, Write};
+        let addr = &self.addr;
         let line = serde_json::to_string(request)
             .map_err(|e| CliError::other(format!("encode request: {e}")))?;
-        writeln!(writer, "{line}").map_err(|e| transient(format!("{addr}: write: {e}")))?;
+        writeln!(self.writer, "{line}").map_err(|e| transient(format!("{addr}: write: {e}")))?;
         let mut response = String::new();
-        match reader.read_line(&mut response) {
+        match self.reader.read_line(&mut response) {
             Ok(0) => Err(transient(format!("{addr}: server closed the connection"))),
             Ok(_) => serde_json::from_str(&response)
                 .map_err(|e| CliError::other(format!("{addr}: bad response: {e}"))),
             Err(e) => Err(transient(format!("{addr}: read: {e}"))),
         }
-    };
+    }
+}
 
-    let id = match exchange(&Request::Submit {
+/// `run --connect`: submits the circuit to a JSON-lines server (an
+/// `edm-fleet` front end or a line-oriented `edm-serve` peer), polls the
+/// returned id until the job reaches a terminal state, and prints the
+/// summary. The submission carries this client's freshly minted trace id
+/// and root span, so the server's shard, device-service, and pool-slice
+/// spans all land in one cross-process trace (`edm-cli trace <id>` walks
+/// it back). Connection problems exit 75 (transient — the server may just
+/// not be up yet); a server-side rejection or job failure exits 65.
+fn cmd_run_remote(
+    addr: &str,
+    circuit: &Circuit,
+    shots: u64,
+    seed: u64,
+    trace_out: Option<&str>,
+) -> Result<(), CliError> {
+    use edm_serve::protocol::{Request, Response};
+
+    // The client is the trace's origin: it mints the id and owns the root
+    // span, exactly like an edge gateway in a conventional tracing setup.
+    edm_telemetry::set_enabled(true);
+    if let Some(path) = trace_out {
+        edm_telemetry::trace::set_trace_file(
+            path,
+            edm_telemetry::trace::DEFAULT_TRACE_FILE_MAX_BYTES,
+        )
+        .map_err(|e| CliError::other(format!("--trace-out {path}: {e}")))?;
+    }
+    let trace_id = edm_telemetry::trace::next_trace_id();
+    let _trace = edm_telemetry::trace::with_trace(trace_id);
+    let client_span = edm_telemetry::trace::span("client_run");
+    let parent_span = client_span.id();
+
+    let mut client = LineClient::connect(addr)?;
+    let id = match client.exchange(&Request::Submit {
         qasm: qasm::to_qasm(circuit),
         shots,
         seed,
         priority: edm_serve::queue::Priority::Normal,
+        trace_id,
+        parent_span,
     })? {
         Response::Accepted { id, trace_id } => {
             println!("accepted: id {id}  trace {trace_id:#018x}");
@@ -634,8 +712,8 @@ fn cmd_run_remote(addr: &str, circuit: &Circuit, shots: u64, seed: u64) -> Resul
         other => return Err(CliError::other(format!("unexpected response: {other:?}"))),
     };
 
-    loop {
-        match exchange(&Request::Poll { id })? {
+    let outcome = loop {
+        match client.exchange(&Request::Poll { id })? {
             Response::Queued { .. } => std::thread::sleep(std::time::Duration::from_millis(20)),
             Response::Finished { summary, .. } => {
                 println!(
@@ -655,7 +733,7 @@ fn cmd_run_remote(addr: &str, circuit: &Circuit, shots: u64, seed: u64) -> Resul
                 // Surface adaptive-controller activity without making the
                 // user scrape Prometheus; servers without the controller
                 // report zeros and print nothing.
-                if let Ok(Response::Stats { stats }) = exchange(&Request::Stats) {
+                if let Ok(Response::Stats { stats }) = client.exchange(&Request::Stats) {
                     if stats.controller_swaps > 0
                         || stats.controller_reweights > 0
                         || stats.controller_recompiles > 0
@@ -668,14 +746,184 @@ fn cmd_run_remote(addr: &str, circuit: &Circuit, shots: u64, seed: u64) -> Resul
                         );
                     }
                 }
-                return Ok(());
+                break Ok(());
             }
             Response::Failed { reason, .. } => {
-                return Err(CliError::data(format!(
+                break Err(CliError::data(format!(
                     "job failed on the server: {reason}"
                 )))
             }
+            other => break Err(CliError::other(format!("unexpected response: {other:?}"))),
+        }
+    };
+    // Close the root span so it reaches the recorder (and the export file)
+    // before the process exits.
+    drop(client_span);
+    if trace_out.is_some() {
+        edm_telemetry::trace::flush_trace_file();
+    }
+    outcome
+}
+
+/// `trace <job-id> --connect ADDR`: fetches every span the server recorded
+/// for the job's trace and prints them as an indented call tree. Spans
+/// whose parent lives in another process (the client's root span, for a
+/// job submitted by `run --connect`) print at the top level with their
+/// remote parent noted.
+fn cmd_trace(args: &[String]) -> Result<(), CliError> {
+    use edm_serve::protocol::{Request, Response, SpanInfo};
+
+    let id: u64 = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::usage("trace expects a job id"))?
+        .parse()
+        .map_err(|_| CliError::usage("trace expects a numeric job id"))?;
+    let addr = text_flag(args, "--connect")?
+        .ok_or_else(|| CliError::usage("trace requires --connect ADDR"))?;
+
+    let mut client = LineClient::connect(&addr)?;
+    let (trace_id, spans) = match client.exchange(&Request::Trace { id })? {
+        Response::Trace {
+            trace_id, spans, ..
+        } => (trace_id, spans),
+        Response::Unknown { .. } => {
+            return Err(CliError::data(format!("server does not know job {id}")))
+        }
+        other => return Err(CliError::other(format!("unexpected response: {other:?}"))),
+    };
+
+    println!(
+        "job {id}: trace {trace_id:#018x}, {} span(s) on the server",
+        spans.len()
+    );
+    if spans.is_empty() {
+        println!("(no spans retained — was the server started with telemetry enabled?)");
+        return Ok(());
+    }
+    // Reconstruct the call tree: spans arrive in completion order, ids are
+    // allocation-ordered, so sorting children by id approximates start
+    // order without needing wall-clock timestamps.
+    let known: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.id).collect();
+    let mut children: std::collections::BTreeMap<u64, Vec<&SpanInfo>> =
+        std::collections::BTreeMap::new();
+    let mut roots: Vec<&SpanInfo> = Vec::new();
+    for span in &spans {
+        // A self-parented span is a root: its declared parent id is a
+        // cross-process collision, not a real edge.
+        if span.parent_id != span.id && known.contains(&span.parent_id) {
+            children.entry(span.parent_id).or_default().push(span);
+        } else {
+            roots.push(span);
+        }
+    }
+    for list in children.values_mut() {
+        list.sort_by_key(|s| s.id);
+    }
+    roots.sort_by_key(|s| s.id);
+
+    fn print_subtree(
+        span: &SpanInfo,
+        depth: usize,
+        children: &std::collections::BTreeMap<u64, Vec<&SpanInfo>>,
+        visited: &mut std::collections::BTreeSet<u64>,
+    ) {
+        // Colliding ids could forge a parent cycle; print each span once.
+        if !visited.insert(span.id) {
+            return;
+        }
+        let indent = "  ".repeat(depth);
+        let label = format!("{indent}{}", span.name);
+        println!(
+            "{label:<28} {:>10.3} ms  span {}",
+            span.elapsed_us as f64 / 1000.0,
+            span.id
+        );
+        for child in children.get(&span.id).into_iter().flatten() {
+            print_subtree(child, depth + 1, children, visited);
+        }
+    }
+    let mut visited = std::collections::BTreeSet::new();
+    for root in roots {
+        if root.parent_id != 0 && root.parent_id != root.id {
+            println!("(remote parent span {})", root.parent_id);
+        }
+        print_subtree(root, 0, &children, &mut visited);
+    }
+    // Orphans only appear if the tree wiring ever regresses; printing a
+    // flat tail beats silently hiding spans the server did retain.
+    for span in spans.iter().filter(|s| !visited.contains(&s.id)) {
+        println!(
+            "{:<28} {:>10.3} ms  span {} (unreachable; parent {})",
+            span.name,
+            span.elapsed_us as f64 / 1000.0,
+            span.id,
+            span.parent_id
+        );
+    }
+    Ok(())
+}
+
+/// `stats --connect ADDR [--watch N]`: one table row per fleet device —
+/// queue depth, breaker state, quarantine, and the live answer-quality
+/// plane (observed IST, ESP gap, warmup). With `--watch N` the table
+/// redraws every N seconds (in place when stdout is a terminal).
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
+    use edm_serve::protocol::{Request, Response};
+    use std::io::IsTerminal;
+
+    let addr = text_flag(args, "--connect")?
+        .ok_or_else(|| CliError::usage("stats requires --connect ADDR"))?;
+    let watch = opt_flag(args, "--watch")?;
+    if watch == Some(0) {
+        return Err(CliError::usage("--watch must be at least 1 second"));
+    }
+    let redraw_in_place = watch.is_some() && std::io::stdout().is_terminal();
+
+    let mut client = LineClient::connect(&addr)?;
+    loop {
+        let devices = match client.exchange(&Request::FleetStats)? {
+            Response::FleetStats { devices } => devices,
             other => return Err(CliError::other(format!("unexpected response: {other:?}"))),
+        };
+        if redraw_in_place {
+            // Clear the screen and home the cursor between refreshes.
+            print!("\x1b[2J\x1b[H");
+        }
+        println!(
+            "{:<3} {:<18} {:>5} {:>9} {:>6} {:>6} {:>9} {:>9} {:>8}",
+            "dev", "name", "depth", "breaker", "quar", "jobs", "live IST", "ESP gap", "factor"
+        );
+        for d in &devices {
+            let breaker = match d.breaker {
+                edm_serve::dispatch::BreakerState::Closed => "closed",
+                edm_serve::dispatch::BreakerState::HalfOpen => "half-open",
+                edm_serve::dispatch::BreakerState::Open => "open",
+            };
+            let fmt3 = |v: Option<f64>| match v {
+                Some(v) => format!("{v:.3}"),
+                None => "-".to_string(),
+            };
+            println!(
+                "{:<3} {:<18} {:>5} {:>9} {:>6} {:>6} {:>9} {:>9} {:>8}",
+                d.device,
+                d.name,
+                d.queue_depth,
+                breaker,
+                if d.quarantined { "yes" } else { "no" },
+                d.stats.completed,
+                fmt3(d.quality.live_ist),
+                fmt3(d.quality.esp_gap),
+                if d.quality.warmed_up {
+                    format!("{:.2}", d.quality.quality_factor)
+                } else {
+                    "warmup".to_string()
+                },
+            );
+        }
+        match watch {
+            None => return Ok(()),
+            Some(interval) => std::thread::sleep(std::time::Duration::from_secs(interval)),
         }
     }
 }

@@ -5,8 +5,10 @@
 //! derives: non-generic named-field structs, tuple structs (newtype
 //! structs serialize transparently), unit structs, and enums with unit,
 //! newtype, tuple, and struct variants — all in serde's externally-tagged
-//! representation. Container/field attributes (`#[serde(...)]`) are not
-//! supported and doc comments are ignored.
+//! representation. The only field attribute supported is
+//! `#[serde(default)]` on named fields (absent keys deserialize via
+//! `Default::default()`); other `#[serde(...)]` contents and doc comments
+//! are ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -27,8 +29,14 @@ enum Fields {
     Unit,
     /// `struct S(A, B);` — `usize` is the field count.
     Tuple(usize),
-    /// `struct S { a: A, b: B }` — field names in declaration order.
-    Named(Vec<String>),
+    /// `struct S { a: A, b: B }` — fields in declaration order.
+    Named(Vec<Field>),
+}
+
+/// One named field and whether it carries `#[serde(default)]`.
+struct Field {
+    name: String,
+    default: bool,
 }
 
 struct Variant {
@@ -37,7 +45,7 @@ struct Variant {
 }
 
 /// Derives `serde::Serialize` (value-tree form).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let body = match &item {
@@ -55,7 +63,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `serde::Deserialize` (value-tree form).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let body = match &item {
@@ -178,19 +186,44 @@ fn split_on_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
     out
 }
 
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     split_on_commas(stream)
         .into_iter()
         .filter(|tokens| !tokens.is_empty())
         .map(|tokens| {
+            let default = has_serde_default(&tokens);
             let mut pos = 0;
             skip_attrs_and_vis(&tokens, &mut pos);
-            match &tokens[pos] {
+            let name = match &tokens[pos] {
                 TokenTree::Ident(i) => i.to_string(),
                 other => panic!("expected field name, found `{other}`"),
-            }
+            };
+            Field { name, default }
         })
         .collect()
+}
+
+/// Whether the field's leading attributes include `#[serde(default)]`.
+fn has_serde_default(tokens: &[TokenTree]) -> bool {
+    let mut pos = 0;
+    while matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(attr)) = tokens.get(pos + 1) {
+            let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+            if matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    if args
+                        .stream()
+                        .into_iter()
+                        .any(|tt| matches!(&tt, TokenTree::Ident(i) if i.to_string() == "default"))
+                    {
+                        return true;
+                    }
+                }
+            }
+        }
+        pos += 2;
+    }
+    false
 }
 
 fn count_tuple_fields(stream: TokenStream) -> usize {
@@ -228,10 +261,13 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
 
 // --- codegen: Serialize ------------------------------------------------
 
-fn named_fields_to_object(field_names: &[String], access_prefix: &str) -> String {
-    let entries: Vec<String> = field_names
+fn named_fields_to_object(fields: &[Field], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
         .iter()
-        .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&{access_prefix}{f}))"))
+        .map(|f| {
+            let f = &f.name;
+            format!("({f:?}.to_string(), ::serde::Serialize::to_value(&{access_prefix}{f}))")
+        })
         .collect();
     format!("::serde::Value::Object(vec![{}])", entries.join(", "))
 }
@@ -276,9 +312,13 @@ fn serialize_enum(name: &str, variants: &[Variant]) -> String {
                         items.join(", ")
                     )
                 }
-                Fields::Named(field_names) => {
-                    let binders = field_names.join(", ");
-                    let object = named_fields_to_object(field_names, "");
+                Fields::Named(fields) => {
+                    let binders = fields
+                        .iter()
+                        .map(|f| f.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    let object = named_fields_to_object(fields, "");
                     format!(
                         "{name}::{vname} {{ {binders} }} => ::serde::Value::Object(vec![\
                              ({vname:?}.to_string(), {object})]),"
@@ -294,18 +334,30 @@ fn serialize_enum(name: &str, variants: &[Variant]) -> String {
 
 fn named_fields_from_object(
     type_path: &str,
-    field_names: &[String],
+    fields: &[Field],
     source: &str,
     context: &str,
 ) -> String {
-    let inits: Vec<String> = field_names
+    let inits: Vec<String> = fields
         .iter()
-        .map(|f| {
-            format!(
-                "{f}: ::serde::Deserialize::from_value({source}.get({f:?})\
-                     .ok_or_else(|| ::serde::Error::msg(\
-                         concat!(\"missing field `\", {f:?}, \"` in {context}\")))?)?"
-            )
+        .map(|field| {
+            let f = &field.name;
+            if field.default {
+                // `#[serde(default)]`: an absent key falls back to the
+                // field type's Default instead of erroring.
+                format!(
+                    "{f}: match {source}.get({f:?}) {{\
+                         Some(__v) => ::serde::Deserialize::from_value(__v)?,\
+                         None => ::std::default::Default::default(),\
+                     }}"
+                )
+            } else {
+                format!(
+                    "{f}: ::serde::Deserialize::from_value({source}.get({f:?})\
+                         .ok_or_else(|| ::serde::Error::msg(\
+                             concat!(\"missing field `\", {f:?}, \"` in {context}\")))?)?"
+                )
+            }
         })
         .collect();
     format!("{type_path} {{ {} }}", inits.join(", "))
